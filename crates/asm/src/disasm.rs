@@ -1,0 +1,212 @@
+//! Disassembler and listing generation.
+//!
+//! [`disassemble`] walks a parcel stream linearly, decoding one
+//! instruction at a time. [`listing`] renders an annotated listing and —
+//! given a [`FoldPolicy`] — marks the instruction pairs the PDU would
+//! fold, which is how the paper's Table 3 "before/after" listings are
+//! produced by the bench harness.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crisp_isa::{decode_and_fold, encoding, FoldPolicy, Instr, IsaError};
+
+use crate::Image;
+
+/// One disassembled instruction: `(byte_address, instruction, parcels)`.
+pub type DisasmLine = (u32, Instr, usize);
+
+/// Linearly disassemble a parcel stream loaded at `base`.
+///
+/// Stops at the end of the stream.
+///
+/// # Errors
+///
+/// Propagates decode errors (with the byte address folded into the
+/// result) when the stream contains unassigned opcodes — e.g. when data
+/// words are interleaved with code; callers that expect mixed streams
+/// should disassemble per-function ranges.
+pub fn disassemble(parcels: &[u16], base: u32) -> Result<Vec<DisasmLine>, (u32, IsaError)> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at < parcels.len() {
+        let addr = base + at as u32 * 2;
+        let (instr, len) = encoding::decode(parcels, at).map_err(|e| (addr, e))?;
+        out.push((addr, instr, len));
+        at += len;
+    }
+    Ok(out)
+}
+
+/// Render an annotated listing.
+///
+/// Each line shows the byte address, the instruction, and — when `policy`
+/// permits folding with the *next* instruction — a `\ folded` marker on
+/// the host plus a `/` continuation on the absorbed branch, making the
+/// pairs the PDU merges visible:
+///
+/// ```text
+/// 0x0000  add 0(sp),$1        \ folds with next
+/// 0x0002  ifjmpy.t .-2        /
+/// 0x0004  halt
+/// ```
+///
+/// # Errors
+///
+/// Same conditions as [`disassemble`].
+pub fn listing(
+    parcels: &[u16],
+    base: u32,
+    policy: FoldPolicy,
+) -> Result<String, (u32, IsaError)> {
+    listing_with_symbols(parcels, base, policy, &BTreeMap::new())
+}
+
+/// [`listing`] with label lines interleaved from a symbol table
+/// (`name → address`), as produced by the assembler. Compiler-internal
+/// labels (starting with `.`) are skipped.
+///
+/// # Errors
+///
+/// Same conditions as [`disassemble`].
+pub fn listing_with_symbols(
+    parcels: &[u16],
+    base: u32,
+    policy: FoldPolicy,
+    symbols: &BTreeMap<String, u32>,
+) -> Result<String, (u32, IsaError)> {
+    let lines = disassemble(parcels, base)?;
+    let mut by_addr: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    for (name, &addr) in symbols {
+        if !name.starts_with('.') {
+            by_addr.entry(addr).or_default().push(name);
+        }
+    }
+    let mut out = String::new();
+    let mut absorbed_next = false;
+    for (addr, instr, _len) in &lines {
+        if let Some(names) = by_addr.get(addr) {
+            for name in names {
+                let _ = writeln!(out, "{name}:");
+            }
+        }
+        let parcel_at = (addr - base) as usize / 2;
+        let folds = !absorbed_next
+            && decode_and_fold(parcels, parcel_at, *addr, policy)
+                .map(|d| d.folded)
+                .unwrap_or(false);
+        let marker = if folds {
+            "\\ folds with next"
+        } else if absorbed_next {
+            "/"
+        } else {
+            ""
+        };
+        let text = instr.to_string();
+        let _ = writeln!(out, "{addr:#06x}  {text:<28}{marker}");
+        absorbed_next = folds;
+    }
+    Ok(out)
+}
+
+/// Convenience: annotated listing of a whole image, using its symbol
+/// table.
+///
+/// # Errors
+///
+/// Same conditions as [`disassemble`].
+pub fn listing_of(image: &Image, policy: FoldPolicy) -> Result<String, (u32, IsaError)> {
+    listing_with_symbols(&image.parcels, image.code_base, policy, &image.symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble_text;
+
+    #[test]
+    fn disassemble_round_trips_addresses() {
+        let img = assemble_text(
+            "
+            top: add 0(sp),$1
+                 cmp.s< 0(sp),$1024
+                 ifjmpy.t top
+                 halt
+            ",
+        )
+        .unwrap();
+        let lines = disassemble(&img.parcels, 0).unwrap();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].0, 0);
+        assert_eq!(lines[1].0, 2); // add is 1 parcel
+        assert_eq!(lines[2].0, 8); // cmp is 3 parcels
+        assert_eq!(lines[3].0, 10);
+    }
+
+    #[test]
+    fn listing_marks_folds() {
+        let img = assemble_text(
+            "
+            top: add 0(sp),$1
+                 ifjmpy.t top
+                 halt
+            ",
+        )
+        .unwrap();
+        let text = listing(&img.parcels, 0, FoldPolicy::Host13).unwrap();
+        assert!(text.contains("folds with next"), "{text}");
+        let text_nofold = listing(&img.parcels, 0, FoldPolicy::None).unwrap();
+        assert!(!text_nofold.contains("folds with next"), "{text_nofold}");
+    }
+
+    #[test]
+    fn absorbed_branch_does_not_refold() {
+        // Three instructions where the middle one is a branch: the
+        // branch must not itself be marked as folding into the halt.
+        let img = assemble_text(
+            "
+            a: add 0(sp),$1
+               jmp a
+               add 0(sp),$2
+               jmp a
+            ",
+        )
+        .unwrap();
+        let text = listing(&img.parcels, 0, FoldPolicy::Host13).unwrap();
+        let folds = text.matches("folds with next").count();
+        assert_eq!(folds, 2, "{text}");
+    }
+
+    #[test]
+    fn symbol_listing_interleaves_labels() {
+        let mut img = assemble_text(
+            "
+            main: nop
+            loop: add 0(sp),$1
+                  ifjmpy.t loop
+                  halt
+            ",
+        )
+        .unwrap();
+        // Compiler-internal labels (only creatable through the Module
+        // API) start with `.`.
+        img.symbols.insert(".hidden".into(), 6);
+        let text = crate::listing_of(&img, FoldPolicy::Host13).unwrap();
+        assert!(text.contains("main:"), "{text}");
+        assert!(text.contains("loop:"), "{text}");
+        // Compiler-internal labels are suppressed.
+        assert!(!text.contains(".hidden"), "{text}");
+        // The label precedes its instruction.
+        let l = text.find("loop:").unwrap();
+        let a = text.find("add").unwrap();
+        assert!(l < a);
+    }
+
+    #[test]
+    fn bad_stream_reports_address() {
+        // op6 = 47 unassigned, placed after one good parcel.
+        let parcels = vec![0u16, 47 << 10];
+        let err = disassemble(&parcels, 0x100).unwrap_err();
+        assert_eq!(err.0, 0x102);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+use crisp_isa::IsaError;
+
+/// Errors produced while parsing or assembling a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A branch referenced a label never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// The offending label.
+        label: String,
+    },
+    /// A source line could not be parsed.
+    Parse {
+        /// 1-based line number within the source text.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Instruction encoding failed after layout.
+    Encode {
+        /// Byte address of the offending instruction.
+        at: u32,
+        /// The underlying ISA error.
+        source: IsaError,
+    },
+    /// Branch relaxation failed to converge (cannot happen with a
+    /// monotone promotion scheme; kept as a defensive bound).
+    RelaxationDiverged,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::Encode { at, source } => {
+                write!(f, "encoding failed at {at:#x}: {source}")
+            }
+            AsmError::RelaxationDiverged => write!(f, "branch relaxation did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Encode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for AsmError {
+    fn from(source: IsaError) -> Self {
+        AsmError::Encode { at: 0, source }
+    }
+}

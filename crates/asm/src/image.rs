@@ -1,0 +1,84 @@
+use std::collections::BTreeMap;
+
+/// An executable program image: code parcels plus initialised data,
+/// the unit the simulator loads.
+///
+/// The default memory map places code at address 0, global data at
+/// [`Image::DEFAULT_DATA_BASE`], and the initial stack pointer at
+/// [`Image::DEFAULT_STACK_TOP`] growing down. The compiler and assembler
+/// both emit images; the simulator's `Machine::load` consumes them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Image {
+    /// Byte address at which `parcels[0]` is loaded (2-aligned).
+    pub code_base: u32,
+    /// The encoded instruction stream.
+    pub parcels: Vec<u16>,
+    /// Initialised data blocks: `(byte_address, words)`.
+    pub data: Vec<(u32, Vec<i32>)>,
+    /// Entry-point byte address.
+    pub entry: u32,
+    /// Initial stack pointer (4-aligned); `None` selects the simulator's
+    /// default of [`Image::DEFAULT_STACK_TOP`].
+    pub stack_top: Option<u32>,
+    /// Label/symbol table: name → byte address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Image {
+    /// Default base address for global data.
+    pub const DEFAULT_DATA_BASE: u32 = 0x0001_0000;
+    /// Default initial stack pointer. Sits 64 KiB below the top of the
+    /// default memory so that positive SP-relative slots (the current
+    /// frame's locals) always have headroom.
+    pub const DEFAULT_STACK_TOP: u32 = 0x0003_0000;
+
+    /// An empty image with entry at `code_base`.
+    pub fn new(code_base: u32) -> Image {
+        Image { code_base, entry: code_base, ..Image::default() }
+    }
+
+    /// Total code size in bytes.
+    pub fn code_bytes(&self) -> u32 {
+        self.parcels.len() as u32 * 2
+    }
+
+    /// Address of a symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The smallest memory size (in bytes) that contains the code, all
+    /// data blocks and the stack top.
+    pub fn min_memory_bytes(&self) -> u32 {
+        let mut end = self.code_base + self.code_bytes();
+        for (addr, words) in &self.data {
+            end = end.max(addr + words.len() as u32 * 4);
+        }
+        end = end.max(self.stack_top.unwrap_or(Image::DEFAULT_STACK_TOP) + 4);
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_memory_covers_everything() {
+        let mut img = Image::new(0);
+        img.parcels = vec![0; 10]; // 20 bytes of code
+        img.data.push((0x100, vec![1, 2, 3]));
+        img.stack_top = Some(0x200);
+        assert_eq!(img.min_memory_bytes(), 0x204);
+        img.data.push((0x300, vec![0]));
+        assert_eq!(img.min_memory_bytes(), 0x304);
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let mut img = Image::new(0);
+        img.symbols.insert("main".into(), 0x40);
+        assert_eq!(img.symbol("main"), Some(0x40));
+        assert_eq!(img.symbol("nope"), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! Assembler and disassembler for the CRISP-like instruction set.
+//!
+//! The assembler consumes a [`Module`] — a sequence of labels,
+//! instructions, label-targeted branches and data words — lays it out,
+//! *relaxes* branches (a label branch becomes a one-parcel PC-relative
+//! form when the 10-bit offset reaches it, otherwise the three-parcel
+//! absolute form), and produces an executable [`Image`].
+//!
+//! A small textual syntax is also provided ([`assemble_text`]) for
+//! hand-written programs and for round-tripping the disassembler
+//! ([`disassemble`], [`listing`]).
+//!
+//! # Example
+//!
+//! ```
+//! use crisp_asm::assemble_text;
+//!
+//! let image = assemble_text(
+//!     "
+//!     start:
+//!         mov 0(sp),$0
+//!     loop:
+//!         add 0(sp),$1
+//!         cmp.s< 0(sp),$10
+//!         ifjmpy.t loop
+//!         halt
+//!     ",
+//! )?;
+//! assert!(image.parcels.len() > 0);
+//! assert_eq!(image.symbols["loop"], image.symbols["start"] + 2);
+//! # Ok::<(), crisp_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod disasm;
+mod error;
+mod image;
+mod module;
+mod parse;
+
+pub use disasm::{disassemble, listing, listing_of, listing_with_symbols};
+pub use error::AsmError;
+pub use image::Image;
+pub use module::{assemble, Item, Module};
+pub use parse::{assemble_text, parse_module};

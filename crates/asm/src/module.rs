@@ -1,0 +1,475 @@
+use std::collections::BTreeMap;
+
+use crisp_isa::{encoding, BranchTarget, Instr};
+
+use crate::{AsmError, Image};
+
+/// One element of an assembly [`Module`].
+///
+/// Instructions with concrete targets are carried as [`crisp_isa::Instr`]
+/// directly; branches to labels use the symbolic variants and are
+/// *relaxed* by the assembler — encoded in the one-parcel PC-relative
+/// form when the 10-bit offset reaches the label, in the three-parcel
+/// absolute form otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Define a label at the current address.
+    Label(String),
+    /// A concrete instruction.
+    Instr(Instr),
+    /// `jmp label`.
+    JmpTo {
+        /// Target label.
+        label: String,
+    },
+    /// `ifjmp label` with condition sense and prediction bit.
+    IfJmpTo {
+        /// Branch when the flag equals this value.
+        on_true: bool,
+        /// Static prediction bit.
+        predict_taken: bool,
+        /// Target label.
+        label: String,
+    },
+    /// `call label`.
+    CallTo {
+        /// Target label.
+        label: String,
+    },
+    /// A 32-bit data word emitted into the code stream (low parcel
+    /// first, so that a word-aligned load reads it back).
+    Word(i32),
+    /// A 32-bit data word holding the address of a label — a jump-table
+    /// entry. Callers must 4-align it (see [`Item::Align4`]) so that a
+    /// word load reads it intact.
+    WordLabel(String),
+    /// `Accum = address-of(label)`, encoded in the fixed five-parcel
+    /// wide form so that layout does not depend on the label's value.
+    /// Used for jump-table base materialisation.
+    MovaLabel {
+        /// The label whose address is loaded.
+        label: String,
+    },
+    /// Pad with `nop` parcels to 4-byte alignment (useful before
+    /// [`Item::Word`] data).
+    Align4,
+}
+
+/// A relocatable assembly unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Load address of the first item.
+    pub base: u32,
+    /// The item sequence.
+    pub items: Vec<Item>,
+    /// Entry-point label; defaults to the module base.
+    pub entry: Option<String>,
+    /// Initialised data blocks copied verbatim into the image.
+    pub data: Vec<(u32, Vec<i32>)>,
+}
+
+impl Module {
+    /// An empty module loaded at address 0.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Append an item (builder style).
+    pub fn push(&mut self, item: Item) -> &mut Module {
+        self.items.push(item);
+        self
+    }
+}
+
+/// Per-item layout state used during relaxation.
+#[derive(Clone, Copy)]
+enum Width {
+    Fixed(u32),
+    /// A symbolic branch: `false` = short (2 bytes), `true` = promoted
+    /// to the long form (6 bytes).
+    Branch(bool),
+}
+
+impl Width {
+    fn bytes(self) -> u32 {
+        match self {
+            Width::Fixed(b) => b,
+            Width::Branch(false) => 2,
+            Width::Branch(true) => 6,
+        }
+    }
+}
+
+/// Assemble a module into an executable [`Image`].
+///
+/// Branch relaxation starts with every label branch in the short form and
+/// monotonically promotes out-of-range ones to the long (absolute) form
+/// until a fixed point; because promotion only grows items, the loop
+/// terminates.
+///
+/// # Errors
+///
+/// * [`AsmError::DuplicateLabel`] / [`AsmError::UndefinedLabel`] for
+///   label problems;
+/// * [`AsmError::Encode`] when a concrete instruction cannot be encoded.
+pub fn assemble(module: &Module) -> Result<Image, AsmError> {
+    // Initial widths. `Align4` is resolved each pass from its address.
+    let mut widths: Vec<Width> = module
+        .items
+        .iter()
+        .map(|item| match item {
+            Item::Label(_) => Ok(Width::Fixed(0)),
+            Item::Instr(i) => Ok(Width::Fixed(i.byte_len().map_err(|source| {
+                AsmError::Encode { at: 0, source }
+            })?)),
+            Item::JmpTo { .. } | Item::IfJmpTo { .. } | Item::CallTo { .. } => {
+                Ok(Width::Branch(false))
+            }
+            Item::Word(_) | Item::WordLabel(_) => Ok(Width::Fixed(4)),
+            Item::MovaLabel { .. } => Ok(Width::Fixed(10)),
+            Item::Align4 => Ok(Width::Fixed(0)), // recomputed per pass
+        })
+        .collect::<Result<_, AsmError>>()?;
+
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    // Relaxation fixpoint: each pass recomputes addresses, then promotes
+    // any short branch whose target fell out of range.
+    for _pass in 0..module.items.len() + 2 {
+        labels.clear();
+        let mut addr = module.base;
+        for (idx, item) in module.items.iter().enumerate() {
+            if let Item::Align4 = item {
+                widths[idx] = Width::Fixed((4 - addr % 4) % 4);
+            }
+            if let Item::Label(name) = item {
+                if labels.insert(name.clone(), addr).is_some() {
+                    return Err(AsmError::DuplicateLabel { label: name.clone() });
+                }
+            }
+            addr += widths[idx].bytes();
+        }
+
+        let mut changed = false;
+        let mut addr = module.base;
+        for (idx, item) in module.items.iter().enumerate() {
+            if let Width::Branch(false) = widths[idx] {
+                let label = match item {
+                    Item::JmpTo { label }
+                    | Item::IfJmpTo { label, .. }
+                    | Item::CallTo { label } => label,
+                    _ => unreachable!("Width::Branch only on symbolic branches"),
+                };
+                let target = *labels
+                    .get(label)
+                    .ok_or_else(|| AsmError::UndefinedLabel { label: label.clone() })?;
+                let off = target.wrapping_sub(addr) as i32;
+                if !BranchTarget::PcRel(off).is_short() {
+                    widths[idx] = Width::Branch(true);
+                    changed = true;
+                }
+            }
+            addr += widths[idx].bytes();
+        }
+        if !changed {
+            return emit(module, &widths, &labels);
+        }
+    }
+    Err(AsmError::RelaxationDiverged)
+}
+
+fn emit(
+    module: &Module,
+    widths: &[Width],
+    labels: &BTreeMap<String, u32>,
+) -> Result<Image, AsmError> {
+    let mut image = Image::new(module.base);
+    image.data = module.data.clone();
+    let mut addr = module.base;
+
+    let resolve = |label: &str| -> Result<u32, AsmError> {
+        labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| AsmError::UndefinedLabel { label: label.to_owned() })
+    };
+
+    for (idx, item) in module.items.iter().enumerate() {
+        let width = widths[idx];
+        let target_for = |label: &str| -> Result<BranchTarget, AsmError> {
+            let t = resolve(label)?;
+            Ok(match width {
+                Width::Branch(false) => BranchTarget::PcRel(t.wrapping_sub(addr) as i32),
+                _ => BranchTarget::Abs(t),
+            })
+        };
+        let instr: Option<Instr> = match item {
+            Item::Label(_) => None,
+            Item::Instr(i) => Some(*i),
+            Item::JmpTo { label } => Some(Instr::Jmp { target: target_for(label)? }),
+            Item::IfJmpTo { on_true, predict_taken, label } => Some(Instr::IfJmp {
+                on_true: *on_true,
+                predict_taken: *predict_taken,
+                target: target_for(label)?,
+            }),
+            Item::CallTo { label } => Some(Instr::Call { target: target_for(label)? }),
+            Item::Word(w) => {
+                image.parcels.push(*w as u16);
+                image.parcels.push((*w >> 16) as u16);
+                None
+            }
+            Item::WordLabel(label) => {
+                let t = resolve(label)?;
+                image.parcels.push(t as u16);
+                image.parcels.push((t >> 16) as u16);
+                None
+            }
+            Item::MovaLabel { label } => {
+                let t = resolve(label)?;
+                image.parcels.extend(encoding::encode_wide_mova(t as i32));
+                None
+            }
+            Item::Align4 => {
+                for _ in 0..width.bytes() / 2 {
+                    image.parcels.extend(encoding::encode(&Instr::Nop).expect("nop encodes"));
+                }
+                None
+            }
+        };
+        if let Some(i) = instr {
+            let parcels =
+                encoding::encode(&i).map_err(|source| AsmError::Encode { at: addr, source })?;
+            debug_assert_eq!(parcels.len() as u32 * 2, width.bytes(), "layout mismatch at {i}");
+            image.parcels.extend(parcels);
+        }
+        addr += width.bytes();
+    }
+
+    image.symbols = labels.clone();
+    image.entry = match &module.entry {
+        Some(label) => resolve(label)?,
+        None => module.base,
+    };
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_isa::{BinOp, Operand};
+
+    fn add() -> Item {
+        Item::Instr(Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(0),
+            src: Operand::Imm(1),
+        })
+    }
+
+    #[test]
+    fn forward_and_backward_short_branches() {
+        let mut m = Module::new();
+        m.push(Item::Label("top".into()))
+            .push(add())
+            .push(Item::JmpTo { label: "end".into() })
+            .push(add())
+            .push(Item::Label("end".into()))
+            .push(Item::JmpTo { label: "top".into() })
+            .push(Item::Instr(Instr::Halt));
+        let img = assemble(&m).unwrap();
+        assert_eq!(img.symbols["top"], 0);
+        // add(2) + jmp(2) + add(2) = 6
+        assert_eq!(img.symbols["end"], 6);
+        // All short: 5 instructions * 1 parcel.
+        assert_eq!(img.parcels.len(), 5);
+        // Decode the forward jump: at address 2, target 6 → +4.
+        let (i, _) = encoding::decode(&img.parcels, 1).unwrap();
+        assert_eq!(i, Instr::Jmp { target: BranchTarget::PcRel(4) });
+        // Backward jump at 6 → -6.
+        let (i, _) = encoding::decode(&img.parcels, 3).unwrap();
+        assert_eq!(i, Instr::Jmp { target: BranchTarget::PcRel(-6) });
+    }
+
+    #[test]
+    fn out_of_range_branch_promotes_to_long() {
+        let mut m = Module::new();
+        m.push(Item::JmpTo { label: "far".into() });
+        for _ in 0..600 {
+            m.push(add()); // 1200 bytes of filler, beyond +1022
+        }
+        m.push(Item::Label("far".into()));
+        m.push(Item::Instr(Instr::Halt));
+        let img = assemble(&m).unwrap();
+        let (i, len) = encoding::decode(&img.parcels, 0).unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(i, Instr::Jmp { target: BranchTarget::Abs(6 + 1200) });
+    }
+
+    #[test]
+    fn promotion_cascades() {
+        // Two branches each barely in range only if the other stays
+        // short; promoting one must re-check the other.
+        let mut m = Module::new();
+        m.push(Item::JmpTo { label: "far".into() });
+        m.push(Item::JmpTo { label: "far".into() });
+        for _ in 0..509 {
+            m.push(add());
+        }
+        m.push(Item::Label("far".into()));
+        m.push(Item::Instr(Instr::Halt));
+        let img = assemble(&m).unwrap();
+        // First branch: target at 2+2+1018... after promotion both work.
+        let (_i0, l0) = encoding::decode(&img.parcels, 0).unwrap();
+        let (_i1, _l1) = encoding::decode(&img.parcels, l0).unwrap();
+        // Whatever the widths, all targets must resolve to the label.
+        let far = img.symbols["far"];
+        let mut at = 0usize;
+        let mut addr = 0u32;
+        let mut seen = 0;
+        while at < img.parcels.len() {
+            let (i, len) = encoding::decode(&img.parcels, at).unwrap();
+            if let Instr::Jmp { target } = i {
+                let t = match target {
+                    BranchTarget::PcRel(off) => addr.wrapping_add(off as u32),
+                    BranchTarget::Abs(a) => a,
+                    _ => panic!("unexpected target"),
+                };
+                assert_eq!(t, far);
+                seen += 1;
+            }
+            at += len;
+            addr += len as u32 * 2;
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let mut m = Module::new();
+        m.push(Item::JmpTo { label: "nowhere".into() });
+        assert_eq!(
+            assemble(&m),
+            Err(AsmError::UndefinedLabel { label: "nowhere".into() })
+        );
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let mut m = Module::new();
+        m.push(Item::Label("x".into()));
+        m.push(add());
+        m.push(Item::Label("x".into()));
+        assert_eq!(assemble(&m), Err(AsmError::DuplicateLabel { label: "x".into() }));
+    }
+
+    #[test]
+    fn words_and_alignment() {
+        let mut m = Module::new();
+        m.push(add()); // 2 bytes → next addr 2, misaligned for a word
+        m.push(Item::Align4);
+        m.push(Item::Label("w".into()));
+        m.push(Item::Word(0x1234_5678));
+        let img = assemble(&m).unwrap();
+        assert_eq!(img.symbols["w"], 4);
+        // Low parcel first.
+        assert_eq!(img.parcels[2], 0x5678);
+        assert_eq!(img.parcels[3], 0x1234);
+    }
+
+    #[test]
+    fn word_labels_hold_resolved_addresses() {
+        let mut m = Module::new();
+        m.push(Item::JmpTo { label: "code".into() });
+        m.push(Item::Align4);
+        m.push(Item::Label("table".into()));
+        m.push(Item::WordLabel("code".into()));
+        m.push(Item::WordLabel("table".into()));
+        m.push(Item::Label("code".into()));
+        m.push(Item::Instr(Instr::Halt));
+        let img = assemble(&m).unwrap();
+        let table = img.symbols["table"];
+        let code = img.symbols["code"];
+        assert_eq!(table % 4, 0, "table must be word-aligned");
+        // Low parcel first: a word load reads the address back.
+        let lo = img.parcels[(table / 2) as usize] as u32;
+        let hi = img.parcels[(table / 2) as usize + 1] as u32;
+        assert_eq!(lo | (hi << 16), code);
+        let lo = img.parcels[(table / 2) as usize + 2] as u32;
+        let hi = img.parcels[(table / 2) as usize + 3] as u32;
+        assert_eq!(lo | (hi << 16), table);
+    }
+
+    #[test]
+    fn mova_label_materialises_address() {
+        let mut m = Module::new();
+        m.push(Item::MovaLabel { label: "target".into() });
+        m.push(Item::Instr(Instr::Halt));
+        m.push(Item::Label("target".into()));
+        m.push(Item::Instr(Instr::Nop));
+        let img = assemble(&m).unwrap();
+        let (i, len) = encoding::decode(&img.parcels, 0).unwrap();
+        assert_eq!(len, 5);
+        assert_eq!(
+            i,
+            Instr::Op2 {
+                op: crisp_isa::BinOp::Mov,
+                dst: Operand::Accum,
+                src: Operand::Imm(img.symbols["target"] as i32),
+            }
+        );
+    }
+
+    #[test]
+    fn entry_label() {
+        let mut m = Module::new();
+        m.push(add());
+        m.push(Item::Label("main".into()));
+        m.push(Item::Instr(Instr::Halt));
+        m.entry = Some("main".into());
+        let img = assemble(&m).unwrap();
+        assert_eq!(img.entry, 2);
+        // Default entry is the base.
+        m.entry = None;
+        assert_eq!(assemble(&m).unwrap().entry, 0);
+    }
+
+    #[test]
+    fn conditional_branch_prediction_bit_survives() {
+        let mut m = Module::new();
+        m.push(Item::Label("t".into()));
+        m.push(Item::IfJmpTo { on_true: true, predict_taken: true, label: "t".into() });
+        m.push(Item::IfJmpTo { on_true: false, predict_taken: false, label: "t".into() });
+        let img = assemble(&m).unwrap();
+        let (i0, l0) = encoding::decode(&img.parcels, 0).unwrap();
+        assert_eq!(
+            i0,
+            Instr::IfJmp {
+                on_true: true,
+                predict_taken: true,
+                target: BranchTarget::PcRel(0)
+            }
+        );
+        let (i1, _) = encoding::decode(&img.parcels, l0).unwrap();
+        assert_eq!(
+            i1,
+            Instr::IfJmp {
+                on_true: false,
+                predict_taken: false,
+                target: BranchTarget::PcRel(-2)
+            }
+        );
+    }
+
+    #[test]
+    fn nonzero_base() {
+        let mut m = Module::new();
+        m.base = 0x1000;
+        m.push(Item::Label("top".into()));
+        m.push(add());
+        m.push(Item::JmpTo { label: "top".into() });
+        let img = assemble(&m).unwrap();
+        assert_eq!(img.code_base, 0x1000);
+        assert_eq!(img.symbols["top"], 0x1000);
+        let (i, _) = encoding::decode(&img.parcels, 1).unwrap();
+        assert_eq!(i, Instr::Jmp { target: BranchTarget::PcRel(-2) });
+    }
+}

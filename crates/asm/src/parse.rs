@@ -1,0 +1,458 @@
+//! Textual assembly syntax.
+//!
+//! The syntax mirrors the paper's listings (Table 3) and this crate's
+//! `Display` implementations:
+//!
+//! ```text
+//! ; comment
+//! main:
+//!     enter 16
+//! loop:
+//!     add 0(sp),$1         ; slot += imm
+//!     and3 4(sp),$1        ; Accum = slot & imm
+//!     cmp.= Accum,$0
+//!     ifjmpy.t loop        ; branch if flag true, predicted taken
+//!     mov *0x10000,Accum   ; absolute
+//!     mov [8(sp)],$5       ; stack-indirect
+//!     call f
+//!     jmp .+4              ; explicit pc-relative
+//!     leave 16
+//!     ret
+//!     halt
+//!     .align
+//!     .word 1, 2, 3
+//!     .entry main
+//! ```
+
+use crisp_isa::{BinOp, BranchTarget, Cond, Instr, Operand};
+
+use crate::{assemble, AsmError, Image, Item, Module};
+
+/// Parse assembly text into a [`Module`].
+///
+/// # Errors
+///
+/// [`AsmError::Parse`] with a 1-based line number on any syntax error.
+pub fn parse_module(src: &str) -> Result<Module, AsmError> {
+    let mut module = Module::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text;
+        // Leading labels (possibly several, possibly with an instruction after).
+        while let Some(colon) = find_label(rest) {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if !is_ident(label) {
+                return err(line, format!("invalid label `{label}`"));
+            }
+            module.push(Item::Label(label.to_owned()));
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let item = parse_stmt(rest, line)?;
+        match item {
+            Stmt::Item(item) => {
+                module.push(item);
+            }
+            Stmt::Words(ws) => {
+                for w in ws {
+                    module.push(Item::Word(w));
+                }
+            }
+            Stmt::Entry(label) => module.entry = Some(label),
+        }
+    }
+    Ok(module)
+}
+
+/// Parse and assemble in one step.
+///
+/// # Errors
+///
+/// Any [`AsmError`] from parsing or assembly.
+pub fn assemble_text(src: &str) -> Result<Image, AsmError> {
+    assemble(&parse_module(src)?)
+}
+
+enum Stmt {
+    Item(Item),
+    Words(Vec<i32>),
+    Entry(String),
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Find the colon ending a leading label, ignoring colons elsewhere.
+fn find_label(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    // Only treat it as a label if everything before it is an identifier.
+    is_ident(s[..colon].trim()).then_some(colon)
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn err<T>(line: usize, message: String) -> Result<T, AsmError> {
+    Err(AsmError::Parse { line, message })
+}
+
+fn parse_int(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match value {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad number `{s}`")),
+    }
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("accum") {
+        return Ok(Operand::Accum);
+    }
+    if let Some(imm) = s.strip_prefix('$') {
+        return Ok(Operand::Imm(parse_int(imm, line)? as i32));
+    }
+    if let Some(inner) = s.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let inner = inner.trim();
+        let off = inner
+            .strip_suffix("(sp)")
+            .ok_or(())
+            .or_else(|()| err(line, format!("bad stack-indirect operand `{s}`")))?;
+        return Ok(Operand::SpInd(parse_int(off, line)? as i32));
+    }
+    if let Some(abs) = s.strip_prefix('*') {
+        return Ok(Operand::Abs(parse_int(abs, line)? as u32));
+    }
+    if let Some(off) = s.strip_suffix("(sp)") {
+        return Ok(Operand::SpOff(parse_int(off, line)? as i32));
+    }
+    err(line, format!("bad operand `{s}`"))
+}
+
+fn split2(args: &str, line: usize) -> Result<(&str, &str), AsmError> {
+    let mut parts = args.splitn(2, ',');
+    let a = parts.next().unwrap_or("").trim();
+    let b = parts.next().unwrap_or("").trim();
+    if a.is_empty() || b.is_empty() {
+        return err(line, format!("expected two operands in `{args}`"));
+    }
+    Ok((a, b))
+}
+
+/// A branch target in source form: label, `.±N`, `*abs`, `*N(sp)` or a
+/// bare number (absolute).
+enum SrcTarget {
+    Label(String),
+    Concrete(BranchTarget),
+}
+
+fn parse_target(s: &str, line: usize) -> Result<SrcTarget, AsmError> {
+    let s = s.trim();
+    if is_ident(s) {
+        return Ok(SrcTarget::Label(s.to_owned()));
+    }
+    if let Some(rel) = s.strip_prefix('.') {
+        return Ok(SrcTarget::Concrete(BranchTarget::PcRel(parse_int(rel, line)? as i32)));
+    }
+    if let Some(ind) = s.strip_prefix('*') {
+        if let Some(off) = ind.strip_suffix("(sp)") {
+            return Ok(SrcTarget::Concrete(BranchTarget::IndSp(parse_int(off, line)? as i32)));
+        }
+        return Ok(SrcTarget::Concrete(BranchTarget::IndAbs(parse_int(ind, line)? as u32)));
+    }
+    Ok(SrcTarget::Concrete(BranchTarget::Abs(parse_int(s, line)? as u32)))
+}
+
+fn binop_by_name(name: &str) -> Option<BinOp> {
+    BinOp::ALL.into_iter().find(|op| op.mnemonic() == name)
+}
+
+fn parse_stmt(text: &str, line: usize) -> Result<Stmt, AsmError> {
+    let (mnemonic, args) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let m = mnemonic.to_ascii_lowercase();
+
+    // Directives.
+    if let Some(rest) = m.strip_prefix('.') {
+        return match rest {
+            "word" => {
+                let mut words = Vec::new();
+                for part in args.split(',') {
+                    words.push(parse_int(part, line)? as i32);
+                }
+                Ok(Stmt::Words(words))
+            }
+            "align" => Ok(Stmt::Item(Item::Align4)),
+            "entry" => {
+                if !is_ident(args) {
+                    return err(line, format!("bad entry label `{args}`"));
+                }
+                Ok(Stmt::Entry(args.to_owned()))
+            }
+            other => err(line, format!("unknown directive `.{other}`")),
+        };
+    }
+
+    // cmp.<cond>
+    if let Some(cond_s) = m.strip_prefix("cmp.") {
+        let cond = Cond::from_suffix(cond_s)
+            .ok_or(())
+            .or_else(|()| err(line, format!("unknown condition `{cond_s}`")))?;
+        let (a, b) = split2(args, line)?;
+        return Ok(Stmt::Item(Item::Instr(Instr::Cmp {
+            cond,
+            a: parse_operand(a, line)?,
+            b: parse_operand(b, line)?,
+        })));
+    }
+
+    // ifjmp{y,n}[.t|.nt]
+    if let Some(rest) = m.strip_prefix("ifjmp") {
+        let (sense, pred) = match rest {
+            "y" | "y.t" => (true, true),
+            "y.nt" => (true, false),
+            "n" | "n.t" => (false, true),
+            "n.nt" => (false, false),
+            _ => return err(line, format!("unknown mnemonic `{mnemonic}`")),
+        };
+        return Ok(Stmt::Item(match parse_target(args, line)? {
+            SrcTarget::Label(label) => {
+                Item::IfJmpTo { on_true: sense, predict_taken: pred, label }
+            }
+            SrcTarget::Concrete(target) => Item::Instr(Instr::IfJmp {
+                on_true: sense,
+                predict_taken: pred,
+                target,
+            }),
+        }));
+    }
+
+    // 3-operand accumulator ops: add3, and3, ...
+    if let Some(base) = m.strip_suffix('3') {
+        if let Some(op) = binop_by_name(base) {
+            let (a, b) = split2(args, line)?;
+            return Ok(Stmt::Item(Item::Instr(Instr::Op3 {
+                op,
+                a: parse_operand(a, line)?,
+                b: parse_operand(b, line)?,
+            })));
+        }
+    }
+
+    match m.as_str() {
+        "nop" => Ok(Stmt::Item(Item::Instr(Instr::Nop))),
+        "halt" => Ok(Stmt::Item(Item::Instr(Instr::Halt))),
+        "ret" => Ok(Stmt::Item(Item::Instr(Instr::Ret))),
+        "enter" | "leave" => {
+            let bytes = parse_int(args, line)? as u32;
+            Ok(Stmt::Item(Item::Instr(if m == "enter" {
+                Instr::Enter { bytes }
+            } else {
+                Instr::Leave { bytes }
+            })))
+        }
+        "jmp" => Ok(Stmt::Item(match parse_target(args, line)? {
+            SrcTarget::Label(label) => Item::JmpTo { label },
+            SrcTarget::Concrete(target) => Item::Instr(Instr::Jmp { target }),
+        })),
+        "call" => Ok(Stmt::Item(match parse_target(args, line)? {
+            SrcTarget::Label(label) => Item::CallTo { label },
+            SrcTarget::Concrete(target) => Item::Instr(Instr::Call { target }),
+        })),
+        name => {
+            if let Some(op) = binop_by_name(name) {
+                let (dst, src) = split2(args, line)?;
+                return Ok(Stmt::Item(Item::Instr(Instr::Op2 {
+                    op,
+                    dst: parse_operand(dst, line)?,
+                    src: parse_operand(src, line)?,
+                })));
+            }
+            err(line, format!("unknown mnemonic `{mnemonic}`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_isa::encoding;
+
+    fn decode_all(image: &Image) -> Vec<Instr> {
+        let mut out = Vec::new();
+        let mut at = 0;
+        while at < image.parcels.len() {
+            let (i, len) = encoding::decode(&image.parcels, at).unwrap();
+            out.push(i);
+            at += len;
+        }
+        out
+    }
+
+    #[test]
+    fn parses_paper_style_loop() {
+        // The paper's Table 3 loop, transliterated to our syntax.
+        let img = assemble_text(
+            "
+            _4: add 16(sp),0(sp)    ; add sum,i
+                and3 0(sp),$1       ; and3 i,1
+                cmp.= Accum,$0
+                ifjmpy.t _5
+                add 8(sp),$1        ; add odd,1
+                jmp _6
+            _5: add 12(sp),$1       ; add even,1
+            _6: mov 4(sp),16(sp)    ; mov j,sum
+                add 0(sp),$1        ; add i,1
+                cmp.s< 0(sp),$1024
+                ifjmpy.t _4
+                halt
+            ",
+        )
+        .unwrap();
+        let instrs = decode_all(&img);
+        assert_eq!(instrs.len(), 12);
+        assert!(matches!(instrs[1], Instr::Op3 { op: BinOp::And, .. }));
+        assert!(matches!(instrs[2], Instr::Cmp { cond: Cond::Eq, a: Operand::Accum, .. }));
+        assert!(matches!(instrs[3], Instr::IfJmp { on_true: true, predict_taken: true, .. }));
+        assert!(matches!(instrs[11], Instr::Halt));
+    }
+
+    #[test]
+    fn all_operand_forms() {
+        let img = assemble_text(
+            "
+            mov Accum,$5
+            mov 0(sp),Accum
+            mov *0x10000,$7
+            mov [4(sp)],$-3
+            mov -8(sp),$0x1F
+            ",
+        )
+        .unwrap();
+        let instrs = decode_all(&img);
+        assert_eq!(
+            instrs[0],
+            Instr::Op2 { op: BinOp::Mov, dst: Operand::Accum, src: Operand::Imm(5) }
+        );
+        assert_eq!(
+            instrs[2],
+            Instr::Op2 { op: BinOp::Mov, dst: Operand::Abs(0x10000), src: Operand::Imm(7) }
+        );
+        assert_eq!(
+            instrs[3],
+            Instr::Op2 { op: BinOp::Mov, dst: Operand::SpInd(4), src: Operand::Imm(-3) }
+        );
+        assert_eq!(
+            instrs[4],
+            Instr::Op2 { op: BinOp::Mov, dst: Operand::SpOff(-8), src: Operand::Imm(31) }
+        );
+    }
+
+    #[test]
+    fn explicit_targets() {
+        let img = assemble_text(
+            "
+            jmp .+4
+            jmp 0x2000
+            jmp *0x10000
+            jmp *8(sp)
+            call 0x3000
+            ",
+        )
+        .unwrap();
+        let instrs = decode_all(&img);
+        assert_eq!(instrs[0], Instr::Jmp { target: BranchTarget::PcRel(4) });
+        assert_eq!(instrs[1], Instr::Jmp { target: BranchTarget::Abs(0x2000) });
+        assert_eq!(instrs[2], Instr::Jmp { target: BranchTarget::IndAbs(0x10000) });
+        assert_eq!(instrs[3], Instr::Jmp { target: BranchTarget::IndSp(8) });
+        assert_eq!(instrs[4], Instr::Call { target: BranchTarget::Abs(0x3000) });
+    }
+
+    #[test]
+    fn prediction_suffixes() {
+        let img = assemble_text(
+            "
+            t: ifjmpy.t t
+            ifjmpy.nt t
+            ifjmpn t
+            ifjmpn.nt t
+            ",
+        )
+        .unwrap();
+        let instrs = decode_all(&img);
+        assert!(matches!(instrs[0], Instr::IfJmp { on_true: true, predict_taken: true, .. }));
+        assert!(matches!(instrs[1], Instr::IfJmp { on_true: true, predict_taken: false, .. }));
+        // Bare `ifjmpn` defaults to predicted taken.
+        assert!(matches!(instrs[2], Instr::IfJmp { on_true: false, predict_taken: true, .. }));
+        assert!(matches!(instrs[3], Instr::IfJmp { on_true: false, predict_taken: false, .. }));
+    }
+
+    #[test]
+    fn directives() {
+        let img = assemble_text(
+            "
+            nop
+            .align
+            data: .word 10, -20, 0x30
+            .entry main
+            main: halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(img.symbols["data"], 4);
+        assert_eq!(img.entry, img.symbols["main"]);
+        assert_eq!(img.parcels[2], 10);
+        assert_eq!(img.parcels[4] as i16, -20);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble_text("nop\nbogus 1,2\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 2, .. }), "{e}");
+        let e = assemble_text("mov 0(sp)\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+        let e = assemble_text("cmp.?? Accum,$0\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+        let e = assemble_text("jmp 12q\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let img = assemble_text("; full comment\n  # another\n\n nop ; trailing\n").unwrap();
+        assert_eq!(img.parcels.len(), 1);
+    }
+
+    #[test]
+    fn label_followed_by_instruction_same_line() {
+        let img = assemble_text("a: b: nop\n").unwrap();
+        assert_eq!(img.symbols["a"], 0);
+        assert_eq!(img.symbols["b"], 0);
+        assert_eq!(img.parcels.len(), 1);
+    }
+}

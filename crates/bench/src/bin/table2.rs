@@ -1,0 +1,25 @@
+//! Regenerate the paper's Table 2: dynamic instruction counts for the
+//! Figure 3 program on CRISP and on the VAX-lite comparison substrate.
+
+fn main() {
+    let t = crisp_bench::table2();
+    println!("Table 2. Instruction counts for the program of Figure 3.");
+    println!();
+    println!("CRISP — total of {} instructions", t.crisp_total);
+    println!("{:<10} {:>8} {:>9}", "opcode", "count", "percent");
+    for (name, count) in t.crisp.sorted_desc() {
+        println!(
+            "{name:<10} {count:>8} {:>8.2}%",
+            count as f64 * 100.0 / t.crisp_total as f64
+        );
+    }
+    println!();
+    println!("VAX — total of {} instructions", t.vax_total);
+    println!("{:<10} {:>8} {:>9}", "opcode", "count", "percent");
+    for (name, count) in t.vax.sorted_desc() {
+        println!(
+            "{name:<10} {count:>8} {:>8.2}%",
+            count as f64 * 100.0 / t.vax_total as f64
+        );
+    }
+}

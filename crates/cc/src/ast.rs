@@ -1,0 +1,183 @@
+//! Abstract syntax tree for the mini-C language.
+//!
+//! The language is the integer subset of C the paper's programs need:
+//! `int` scalars and one-dimensional global `int` arrays, functions,
+//! the usual statements and operators (including short-circuit `&&`/`||`
+//! and pre/post increment), no pointers, structs or floats.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+impl BinaryOp {
+    /// Whether this operator yields a 0/1 truth value via comparison.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq | BinaryOp::Ne
+        )
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    Neg,
+    Not,    // bitwise ~
+    LogNot, // logical !
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An element of a (global) array.
+    Index(String, Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Lit(i32),
+    /// Load from an lvalue.
+    Load(LValue),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation (including comparisons and short-circuit ops).
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Assignment `lv = e` (value is `e`).
+    Assign(LValue, Box<Expr>),
+    /// Compound assignment `lv op= e`.
+    AssignOp(BinaryOp, LValue, Box<Expr>),
+    /// Pre/post increment or decrement; `post` selects the flavour and
+    /// `delta` is +1 or −1.
+    IncDec {
+        /// The updated location.
+        lv: LValue,
+        /// +1 for `++`, −1 for `--`.
+        delta: i32,
+        /// `true` for the postfix form (value before update).
+        post: bool,
+    },
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Ternary conditional `c ? a : b`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration(s) `int a, b = 3;` — `(name, initialiser)`.
+    Decl(Vec<(String, Option<Expr>)>),
+    /// Expression evaluated for side effects.
+    Expr(Expr),
+    /// `if (cond) then else`
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (cond) body`
+    While(Expr, Box<Stmt>),
+    /// `do body while (cond);`
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body` — all three optional.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `switch (e) { case k: ... default: ... }` with C fallthrough
+    /// semantics; `break` exits the switch.
+    Switch(Expr, Vec<SwitchCase>),
+    /// `;`
+    Empty,
+}
+
+/// One arm of a `switch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchCase {
+    /// The case value; `None` for `default:`.
+    pub value: Option<i32>,
+    /// Statements up to the next label (fallthrough continues into the
+    /// following case's body).
+    pub body: Vec<Stmt>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Global scalar `int g;` or `int g = init;`.
+    Global {
+        /// Variable name.
+        name: String,
+        /// Constant initialiser.
+        init: Option<i32>,
+    },
+    /// Global array `int a[N];`.
+    Array {
+        /// Array name.
+        name: String,
+        /// Element count.
+        len: u32,
+        /// Constant element initialisers (shorter than `len` allowed;
+        /// the rest is zero).
+        init: Vec<i32>,
+    },
+    /// Function definition.
+    Function(Function),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// Whether the function returns a value (`int` vs `void`).
+    pub returns_value: bool,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Unit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Unit {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.items.iter().find_map(|i| match i {
+            Item::Function(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+}

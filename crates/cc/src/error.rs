@@ -1,0 +1,65 @@
+use std::fmt;
+
+use crisp_asm::AsmError;
+
+/// Errors from the mini-C compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CcError {
+    /// Lexical error.
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Semantic error (names, arity, assignability).
+    Sema {
+        /// Description.
+        message: String,
+    },
+    /// Construct outside the supported mini-C subset for the selected
+    /// backend.
+    Unsupported {
+        /// Description.
+        message: String,
+    },
+    /// Assembly of the generated code failed.
+    Asm(AsmError),
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcError::Lex { line, message } => write!(f, "lex error, line {line}: {message}"),
+            CcError::Parse { line, message } => {
+                write!(f, "parse error, line {line}: {message}")
+            }
+            CcError::Sema { message } => write!(f, "semantic error: {message}"),
+            CcError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            CcError::Asm(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CcError::Asm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AsmError> for CcError {
+    fn from(e: AsmError) -> CcError {
+        CcError::Asm(e)
+    }
+}

@@ -1,0 +1,335 @@
+//! Constant folding over the AST.
+//!
+//! Runs before code generation on both backends: compile-time-known
+//! arithmetic collapses to literals, `if`/`while`/ternary with constant
+//! conditions drop dead arms, and short-circuit operators simplify.
+//! Semantics match the target machine exactly (wrapping arithmetic,
+//! division-by-zero yielding 0, arithmetic right shift) so folding can
+//! never change program results.
+
+use crate::ast::{BinaryOp, Expr, Function, Item, Stmt, Unit, UnaryOp};
+
+/// Fold constants throughout a unit.
+pub fn fold_unit(unit: &mut Unit) {
+    for item in &mut unit.items {
+        if let Item::Function(f) = item {
+            fold_function(f);
+        }
+    }
+}
+
+fn fold_function(f: &mut Function) {
+    for s in &mut f.body {
+        fold_stmt(s);
+    }
+}
+
+fn truthiness(e: &Expr) -> Option<bool> {
+    match e {
+        Expr::Lit(v) => Some(*v != 0),
+        _ => None,
+    }
+}
+
+fn fold_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Expr(e) | Stmt::Return(Some(e)) => fold_expr(e),
+        Stmt::Decl(decls) => {
+            for (_, init) in decls {
+                if let Some(e) = init {
+                    fold_expr(e);
+                }
+            }
+        }
+        Stmt::If(cond, then, els) => {
+            fold_expr(cond);
+            fold_stmt(then);
+            if let Some(els) = els {
+                fold_stmt(els);
+            }
+            match truthiness(cond) {
+                Some(true) => *s = std::mem::replace(then, Box::new(Stmt::Empty)).as_ref().clone(),
+                Some(false) => {
+                    *s = match els.take() {
+                        Some(e) => *e,
+                        None => Stmt::Empty,
+                    }
+                }
+                None => {}
+            }
+        }
+        Stmt::While(cond, body) => {
+            fold_expr(cond);
+            fold_stmt(body);
+            if truthiness(cond) == Some(false) {
+                *s = Stmt::Empty;
+            }
+        }
+        Stmt::DoWhile(body, cond) => {
+            fold_stmt(body);
+            fold_expr(cond);
+        }
+        Stmt::For(init, cond, step, body) => {
+            if let Some(init) = init {
+                fold_stmt(init);
+            }
+            if let Some(cond) = cond {
+                fold_expr(cond);
+            }
+            if let Some(step) = step {
+                fold_expr(step);
+            }
+            fold_stmt(body);
+        }
+        Stmt::Block(body) => {
+            for s in body.iter_mut() {
+                fold_stmt(s);
+            }
+            body.retain(|s| !matches!(s, Stmt::Empty));
+        }
+        Stmt::Switch(scrutinee, cases) => {
+            fold_expr(scrutinee);
+            for case in cases {
+                for s in &mut case.body {
+                    fold_stmt(s);
+                }
+            }
+        }
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+    }
+}
+
+/// Evaluate a binary operator on constants with target semantics.
+fn eval_bin(op: BinaryOp, a: i32, b: i32) -> i32 {
+    match op {
+        BinaryOp::Add => a.wrapping_add(b),
+        BinaryOp::Sub => a.wrapping_sub(b),
+        BinaryOp::Mul => a.wrapping_mul(b),
+        BinaryOp::Div => {
+            if b == 0 || (a == i32::MIN && b == -1) {
+                0
+            } else {
+                a / b
+            }
+        }
+        BinaryOp::Rem => {
+            if b == 0 || (a == i32::MIN && b == -1) {
+                0
+            } else {
+                a % b
+            }
+        }
+        BinaryOp::And => a & b,
+        BinaryOp::Or => a | b,
+        BinaryOp::Xor => a ^ b,
+        BinaryOp::Shl => ((a as u32) << (b as u32 & 31)) as i32,
+        BinaryOp::Shr => a >> (b as u32 & 31),
+        BinaryOp::Lt => i32::from(a < b),
+        BinaryOp::Le => i32::from(a <= b),
+        BinaryOp::Gt => i32::from(a > b),
+        BinaryOp::Ge => i32::from(a >= b),
+        BinaryOp::Eq => i32::from(a == b),
+        BinaryOp::Ne => i32::from(a != b),
+        BinaryOp::LogAnd => i32::from(a != 0 && b != 0),
+        BinaryOp::LogOr => i32::from(a != 0 || b != 0),
+    }
+}
+
+fn fold_expr(e: &mut Expr) {
+    match e {
+        Expr::Lit(_) => {}
+        Expr::Load(lv) => fold_lvalue(lv),
+        Expr::Unary(op, inner) => {
+            fold_expr(inner);
+            if let Expr::Lit(v) = **inner {
+                *e = Expr::Lit(match op {
+                    UnaryOp::Neg => v.wrapping_neg(),
+                    UnaryOp::Not => !v,
+                    UnaryOp::LogNot => i32::from(v == 0),
+                });
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            fold_expr(a);
+            fold_expr(b);
+            match (&**a, &**b, *op) {
+                (Expr::Lit(x), Expr::Lit(y), _) => *e = Expr::Lit(eval_bin(*op, *x, *y)),
+                // Short-circuit with a constant left side: the right
+                // side either decides alone or never runs.
+                (Expr::Lit(x), _, BinaryOp::LogAnd) => {
+                    *e = if *x == 0 {
+                        Expr::Lit(0)
+                    } else {
+                        // truthiness of b
+                        Expr::Binary(
+                            BinaryOp::Ne,
+                            std::mem::replace(b, Box::new(Expr::Lit(0))),
+                            Box::new(Expr::Lit(0)),
+                        )
+                    };
+                }
+                (Expr::Lit(x), _, BinaryOp::LogOr) => {
+                    *e = if *x != 0 {
+                        Expr::Lit(1)
+                    } else {
+                        Expr::Binary(
+                            BinaryOp::Ne,
+                            std::mem::replace(b, Box::new(Expr::Lit(0))),
+                            Box::new(Expr::Lit(0)),
+                        )
+                    };
+                }
+                // Identities that cost an instruction on a
+                // memory-to-memory machine.
+                (_, Expr::Lit(0), BinaryOp::Add | BinaryOp::Sub | BinaryOp::Or | BinaryOp::Xor)
+                | (_, Expr::Lit(0), BinaryOp::Shl | BinaryOp::Shr)
+                | (_, Expr::Lit(1), BinaryOp::Mul | BinaryOp::Div) => {
+                    *e = *std::mem::replace(a, Box::new(Expr::Lit(0)));
+                }
+                _ => {}
+            }
+        }
+        Expr::Assign(lv, rhs) | Expr::AssignOp(_, lv, rhs) => {
+            fold_lvalue(lv);
+            fold_expr(rhs);
+        }
+        Expr::IncDec { lv, .. } => fold_lvalue(lv),
+        Expr::Call(_, args) => {
+            for a in args {
+                fold_expr(a);
+            }
+        }
+        Expr::Cond(c, a, b) => {
+            fold_expr(c);
+            fold_expr(a);
+            fold_expr(b);
+            match truthiness(c) {
+                Some(true) => *e = std::mem::replace(a, Box::new(Expr::Lit(0))).as_ref().clone(),
+                Some(false) => {
+                    *e = std::mem::replace(b, Box::new(Expr::Lit(0))).as_ref().clone()
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+fn fold_lvalue(lv: &mut crate::ast::LValue) {
+    if let crate::ast::LValue::Index(_, idx) = lv {
+        fold_expr(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn folded_main(src: &str) -> Vec<Stmt> {
+        let mut unit = parse(src).unwrap();
+        fold_unit(&mut unit);
+        unit.function("main").unwrap().body.clone()
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        let body = folded_main("int r; void main() { r = 2 + 3 * 4; }");
+        assert!(matches!(&body[0], Stmt::Expr(Expr::Assign(_, e)) if **e == Expr::Lit(14)));
+    }
+
+    #[test]
+    fn wrapping_and_division_match_target() {
+        let body = folded_main(
+            "int a; int b; int c;
+             void main() { a = 0x7fffffff + 1; b = 5 / 0; c = -9 >> 1; }",
+        );
+        let lit = |s: &Stmt| match s {
+            Stmt::Expr(Expr::Assign(_, e)) => match **e {
+                Expr::Lit(v) => v,
+                _ => panic!("not folded: {e:?}"),
+            },
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(lit(&body[0]), i32::MIN);
+        assert_eq!(lit(&body[1]), 0);
+        assert_eq!(lit(&body[2]), -5);
+    }
+
+    #[test]
+    fn constant_if_drops_dead_arm() {
+        let body = folded_main(
+            "int r; void main() { if (1) r = 10; else r = 20; if (0) r = 30; }",
+        );
+        assert_eq!(body.len(), 2);
+        assert!(matches!(&body[0], Stmt::Expr(Expr::Assign(..))));
+        assert!(matches!(&body[1], Stmt::Empty));
+    }
+
+    #[test]
+    fn while_false_disappears_while_true_stays() {
+        let body = folded_main(
+            "int r; void main() { while (0) r++; while (1) { break; } }",
+        );
+        assert!(matches!(&body[0], Stmt::Empty));
+        assert!(matches!(&body[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn short_circuit_with_constant_lhs() {
+        let body = folded_main(
+            "int r; int x; void main() { r = 0 && x; r = 1 || x; r = 1 && x; }",
+        );
+        let expr = |s: &Stmt| match s {
+            Stmt::Expr(Expr::Assign(_, e)) => (**e).clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(expr(&body[0]), Expr::Lit(0));
+        assert_eq!(expr(&body[1]), Expr::Lit(1));
+        assert!(matches!(expr(&body[2]), Expr::Binary(BinaryOp::Ne, ..)));
+    }
+
+    #[test]
+    fn identities_elide_operations() {
+        let body = folded_main("int r; int x; void main() { r = x + 0; r = x * 1; }");
+        for s in &body {
+            let Stmt::Expr(Expr::Assign(_, e)) = s else { panic!() };
+            assert!(matches!(**e, Expr::Load(_)), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn ternary_with_constant_condition() {
+        let body = folded_main("int r; int x; void main() { r = 1 ? x : 99; r = 0 ? 99 : x; }");
+        for s in &body {
+            let Stmt::Expr(Expr::Assign(_, e)) = s else { panic!() };
+            assert!(matches!(**e, Expr::Load(_)), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn folding_is_semantics_preserving_end_to_end() {
+        // The pass runs inside compile_crisp; compare against the
+        // paper-faithful expectation directly.
+        use crisp_sim::{FunctionalSim, Machine};
+        let src = "
+            int r;
+            void main() {
+                int i;
+                r = 0;
+                for (i = 0; i < 3 * 4; i++) {
+                    if (2 > 1) r += i * 1 + 0;
+                    r = 1 ? r : 12345;
+                }
+            }
+        ";
+        let image =
+            crate::compile_crisp(src, &crate::CompileOptions::default()).unwrap();
+        let run = FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap();
+        let r = run
+            .machine
+            .mem
+            .read_word(crisp_asm::Image::DEFAULT_DATA_BASE)
+            .unwrap();
+        assert_eq!(r, (0..12).sum::<i32>());
+    }
+}

@@ -1,0 +1,292 @@
+//! Lexer for the mini-C source language.
+
+use std::fmt;
+
+use crate::CcError;
+
+/// A token with its 1-based source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal (decimal, hex `0x`, or character `'c'`).
+    Int(i64),
+    /// A keyword.
+    Kw(Kw),
+    /// Punctuation or operator, by its exact spelling.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords of the mini-C language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Int,
+    Void,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Return,
+    Break,
+    Continue,
+    Switch,
+    Case,
+    Default,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Kw(k) => write!(f, "keyword `{k:?}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Multi-character operators, longest first so that maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "<<", ">>", "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*",
+    "/", "%", "&", "|", "^", "<", ">", "!", "~", "?", ":",
+];
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "int" => Kw::Int,
+        "void" => Kw::Void,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "do" => Kw::Do,
+        "for" => Kw::For,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "switch" => Kw::Switch,
+        "case" => Kw::Case,
+        "default" => Kw::Default,
+        _ => return None,
+    })
+}
+
+/// Tokenise mini-C source.
+///
+/// # Errors
+///
+/// [`CcError::Lex`] on stray characters, malformed numbers, or an
+/// unterminated block comment.
+pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if bytes[i..].starts_with(b"//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if bytes[i..].starts_with(b"/*") {
+            let start_line = line;
+            i += 2;
+            while i + 1 < bytes.len() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    continue 'outer;
+                }
+                i += 1;
+            }
+            return Err(CcError::Lex {
+                line: start_line,
+                message: "unterminated block comment".into(),
+            });
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let kind = match keyword(word) {
+                Some(k) => Tok::Kw(k),
+                None => Tok::Ident(word.to_owned()),
+            };
+            out.push(Token { kind, line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let radix = if bytes[i..].starts_with(b"0x") || bytes[i..].starts_with(b"0X") {
+                i += 2;
+                16
+            } else {
+                10
+            };
+            while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                i += 1;
+            }
+            let body = if radix == 16 { &src[start + 2..i] } else { &src[start..i] };
+            let value = i64::from_str_radix(body, radix).map_err(|_| CcError::Lex {
+                line,
+                message: format!("bad number `{}`", &src[start..i]),
+            })?;
+            out.push(Token { kind: Tok::Int(value), line });
+            continue;
+        }
+        // Character literals (value of the byte).
+        if c == b'\'' {
+            if i + 2 < bytes.len() && bytes[i + 1] == b'\\' && bytes[i + 3] == b'\'' {
+                let v = match bytes[i + 2] {
+                    b'n' => b'\n',
+                    b't' => b'\t',
+                    b'0' => 0,
+                    b'\\' => b'\\',
+                    b'\'' => b'\'',
+                    other => other,
+                };
+                out.push(Token { kind: Tok::Int(v as i64), line });
+                i += 4;
+                continue;
+            }
+            if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                out.push(Token { kind: Tok::Int(bytes[i + 1] as i64), line });
+                i += 3;
+                continue;
+            }
+            return Err(CcError::Lex { line, message: "bad character literal".into() });
+        }
+        // Operators / punctuation.
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Token { kind: Tok::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(CcError::Lex {
+            line,
+            message: format!("stray character `{}`", src[i..].chars().next().unwrap_or('?')),
+        });
+    }
+    out.push(Token { kind: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch() {
+        assert_eq!(
+            kinds("a<<=b<<c<d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<"),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+        // x, ++, +, ++, y, EOF
+        assert_eq!(kinds("x++ + ++y").len(), 6);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0x1F 10 0")[..3], [Tok::Int(31), Tok::Int(10), Tok::Int(0)]);
+        assert!(lex("0xZZ").is_err());
+        assert!(lex("12ab").is_err());
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'a'")[0], Tok::Int(97));
+        assert_eq!(kinds("'\\n'")[0], Tok::Int(10));
+        assert_eq!(kinds("'\\0'")[0], Tok::Int(0));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // line\nb /* block\nmore */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+        assert!(matches!(lex("/* oops"), Err(CcError::Lex { .. })));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn stray_character_reported() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(matches!(err, CcError::Lex { line: 1, .. }), "{err:?}");
+    }
+}

@@ -1,0 +1,357 @@
+//! Mini-C compiler for the CRISP reproduction.
+//!
+//! The paper attributes CRISP's branch performance to "the synergistic
+//! combination of three techniques": Branch Folding in hardware,
+//! compiler technology, and an instruction set designed for both. This
+//! crate is the compiler leg: a small C compiler with the two passes the
+//! paper describes —
+//!
+//! * **static branch prediction** ([`PredictionMode`]): setting the
+//!   single prediction bit each conditional branch carries;
+//! * **Branch Spreading** ([`spread`]): code motion separating `cmp`
+//!   from its dependent conditional branch so the branch direction is
+//!   known with certainty when it is read from the decoded cache.
+//!
+//! Two backends share the front end: the CRISP backend produces
+//! executable [`crisp_asm::Image`]s; the VAX-lite backend produces
+//! [`vax_lite::Program`]s for the paper's Table 2 instruction-count
+//! comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use crisp_cc::{compile_crisp, CompileOptions, PredictionMode};
+//!
+//! let image = compile_crisp(
+//!     "
+//!     int total;
+//!     void main() {
+//!         int i;
+//!         for (i = 0; i < 10; i++) total += i;
+//!     }
+//!     ",
+//!     &CompileOptions { spread: true, prediction: PredictionMode::Btfnt },
+//! )?;
+//! assert!(image.symbols.contains_key("main"));
+//! # Ok::<(), crisp_cc::CcError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod crisp_gen;
+mod error;
+pub mod fold_const;
+mod lexer;
+mod parser;
+pub mod predict;
+pub mod spread;
+mod vax_gen;
+
+pub use error::CcError;
+pub use parser::parse;
+pub use predict::{apply_profile, PredictionMode};
+
+use crisp_asm::{assemble, Image, Module};
+
+/// Options for the CRISP backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Apply Branch Spreading (statement fill + compare hoisting).
+    pub spread: bool,
+    /// How static prediction bits are set.
+    pub prediction: PredictionMode,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions { spread: true, prediction: PredictionMode::Btfnt }
+    }
+}
+
+/// Compile mini-C to a CRISP assembly [`Module`] (pre-assembly, useful
+/// for listings such as the paper's Table 3).
+///
+/// # Errors
+///
+/// Any [`CcError`] from lexing, parsing or code generation.
+pub fn compile_crisp_module(src: &str, opts: &CompileOptions) -> Result<Module, CcError> {
+    let mut unit = parser::parse(src)?;
+    fold_const::fold_unit(&mut unit);
+    let mut module = crisp_gen::generate(&unit, opts.spread)?;
+    if opts.spread {
+        spread::hoist_compares(&mut module.items);
+    }
+    predict::assign_prediction(&mut module, opts.prediction);
+    Ok(module)
+}
+
+/// Compile mini-C to an executable CRISP [`Image`].
+///
+/// # Errors
+///
+/// Any [`CcError`], including assembly failures.
+pub fn compile_crisp(src: &str, opts: &CompileOptions) -> Result<Image, CcError> {
+    assemble(&compile_crisp_module(src, opts)?).map_err(CcError::Asm)
+}
+
+/// Compile mini-C to a VAX-lite [`vax_lite::Program`] (the Table 2
+/// comparison backend; scalar programs only).
+///
+/// # Errors
+///
+/// Any [`CcError`]; arrays and recursion report
+/// [`CcError::Unsupported`].
+pub fn compile_vax(src: &str) -> Result<vax_lite::Program, CcError> {
+    let mut unit = parser::parse(src)?;
+    fold_const::fold_unit(&mut unit);
+    vax_gen::generate(&unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_sim::{FunctionalSim, Machine};
+
+    fn run_crisp(src: &str, opts: &CompileOptions) -> crisp_sim::FunctionalRun {
+        let image = compile_crisp(src, opts).unwrap();
+        FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap()
+    }
+
+    fn global(run: &crisp_sim::FunctionalRun, index: u32) -> i32 {
+        run.machine
+            .mem
+            .read_word(crisp_asm::Image::DEFAULT_DATA_BASE + 4 * index)
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_arithmetic() {
+        let src = "
+            int a; int b; int c; int d; int e;
+            void main() {
+                a = 7 + 3 * 2;
+                b = (20 - 5) / 3;
+                c = 17 % 5;
+                d = (6 & 3) | (8 ^ 1);
+                e = (1 << 6) >> 2;
+            }
+        ";
+        for opts in [
+            CompileOptions::default(),
+            CompileOptions { spread: false, prediction: PredictionMode::NotTaken },
+        ] {
+            let r = run_crisp(src, &opts);
+            assert_eq!(global(&r, 0), 13);
+            assert_eq!(global(&r, 1), 5);
+            assert_eq!(global(&r, 2), 2);
+            assert_eq!(global(&r, 3), 2 | 9);
+            assert_eq!(global(&r, 4), 16);
+        }
+    }
+
+    #[test]
+    fn crisp_and_vax_agree_on_figure3() {
+        let src = "
+            int out_sum; int out_odd; int out_even;
+            void main() {
+                int i, j, odd, even, sum;
+                sum = 0;
+                j = odd = even = 0;
+                for (i = 0; i < 100; i++) {
+                    sum += i;
+                    if (i & 1) odd++;
+                    else even++;
+                    j = sum;
+                }
+                out_sum = sum;
+                out_odd = odd;
+                out_even = even;
+            }
+        ";
+        let crisp = run_crisp(src, &CompileOptions::default());
+        assert_eq!(global(&crisp, 0), 4950);
+        assert_eq!(global(&crisp, 1), 50);
+        assert_eq!(global(&crisp, 2), 50);
+        let vax = compile_vax(src).unwrap().run(10_000_000).unwrap();
+        assert_eq!(vax.memory[0], 4950);
+        assert_eq!(vax.memory[1], 50);
+        assert_eq!(vax.memory[2], 50);
+    }
+
+    #[test]
+    fn spreading_preserves_semantics() {
+        // A battery of programs executed with and without spreading
+        // must produce identical results.
+        let programs = [
+            "int r; void main() { int i, x; x = 0;
+              for (i = 0; i < 50; i++) { if (i % 3 == 0) x += i; else x -= 1; r = x; } }",
+            "int r; void main() { int i, a, b; a = b = 0;
+              for (i = 0; i < 30; i++) { if (i & 1) a++; else b++; r = a * 100 + b; } }",
+            "int r; int acc; void main() { int i;
+              for (i = 0; i < 20; i++) { if (i > 10) acc += 2; acc += 1; } r = acc; }",
+        ];
+        for src in programs {
+            let plain = run_crisp(
+                src,
+                &CompileOptions { spread: false, prediction: PredictionMode::Btfnt },
+            );
+            let spread = run_crisp(
+                src,
+                &CompileOptions { spread: true, prediction: PredictionMode::Btfnt },
+            );
+            assert_eq!(global(&plain, 0), global(&spread, 0), "{src}");
+        }
+    }
+
+    #[test]
+    fn spreading_separates_compare_from_branch() {
+        // The Figure 3 loop: with spreading the alternating if-branch
+        // must sit at least 3 instructions after its compare.
+        let src = "
+            void main() {
+                int i, j, odd, even, sum;
+                sum = 0;
+                j = odd = even = 0;
+                for (i = 0; i < 16; i++) {
+                    sum += i;
+                    if (i & 1) odd++;
+                    else even++;
+                    j = sum;
+                }
+            }
+        ";
+        let module = compile_crisp_module(src, &CompileOptions::default()).unwrap();
+        // Find the first cmp/ifjmp pair and count instructions between.
+        let items = &module.items;
+        let cmp_at = items
+            .iter()
+            .position(|i| matches!(i, crisp_asm::Item::Instr(crisp_isa::Instr::Cmp { .. })))
+            .expect("a compare");
+        let mut gap = 0;
+        for item in &items[cmp_at + 1..] {
+            match item {
+                crisp_asm::Item::IfJmpTo { .. } => break,
+                crisp_asm::Item::Instr(_) => gap += 1,
+                _ => {}
+            }
+        }
+        assert!(gap >= 3, "expected >=3 instructions of spread, got {gap}");
+    }
+
+    #[test]
+    fn functions_recursion_and_arrays() {
+        let src = "
+            int fib[20];
+            int out;
+            int fib_rec(int n) {
+                if (n < 2) return n;
+                return fib_rec(n - 1) + fib_rec(n - 2);
+            }
+            void main() {
+                int i;
+                fib[0] = 0;
+                fib[1] = 1;
+                for (i = 2; i < 20; i++) fib[i] = fib[i-1] + fib[i-2];
+                out = fib_rec(15);
+                if (out != fib[15]) out = -1;
+            }
+        ";
+        let r = run_crisp(src, &CompileOptions::default());
+        assert_eq!(global(&r, 20), 610); // out is after fib[20]
+    }
+
+    #[test]
+    fn prediction_modes_do_not_change_results() {
+        let src = "int r; void main() { int i; for (i = 0; i < 25; i++) r += i; }";
+        let mut last = None;
+        for mode in [
+            PredictionMode::Taken,
+            PredictionMode::NotTaken,
+            PredictionMode::Btfnt,
+            PredictionMode::Ftbnt,
+        ] {
+            let r = run_crisp(src, &CompileOptions { spread: false, prediction: mode });
+            let v = global(&r, 0);
+            assert_eq!(v, 300);
+            if let Some(prev) = last {
+                assert_eq!(prev, v);
+            }
+            last = Some(v);
+        }
+    }
+
+    #[test]
+    fn dense_switch_emits_indirect_jump_table() {
+        let src = "
+            int r;
+            void main() {
+                switch (r) {
+                    case 0: r = 1; break;
+                    case 1: r = 2; break;
+                    case 2: r = 3; break;
+                    case 3: r = 4; break;
+                    default: r = 9; break;
+                }
+            }
+        ";
+        let module = compile_crisp_module(src, &CompileOptions::default()).unwrap();
+        let indirect = module.items.iter().any(|i| {
+            matches!(
+                i,
+                crisp_asm::Item::Instr(crisp_isa::Instr::Jmp {
+                    target: crisp_isa::BranchTarget::IndSp(_)
+                })
+            )
+        });
+        let table_words = module
+            .items
+            .iter()
+            .filter(|i| matches!(i, crisp_asm::Item::WordLabel(_)))
+            .count();
+        assert!(indirect, "dense switch must dispatch indirectly");
+        assert_eq!(table_words, 4, "table covers the case span");
+        // The functional trace records the indirect transfer.
+        let image = crisp_asm::assemble(&module).unwrap();
+        let run = FunctionalSim::new(Machine::load(&image).unwrap())
+            .record_trace(true)
+            .run()
+            .unwrap();
+        assert!(run
+            .trace
+            .iter()
+            .any(|e| e.kind == crisp_sim::BranchKind::Uncond && e.target != 0));
+    }
+
+    #[test]
+    fn vax_switch_with_continue_in_loop() {
+        let src = "
+            int sum;
+            void main() {
+                int i;
+                for (i = 0; i < 8; i++) {
+                    switch (i & 1) {
+                        case 0: continue;
+                        default: sum += i;
+                    }
+                }
+            }
+        ";
+        let vax = compile_vax(src).unwrap().run(1_000_000).unwrap();
+        assert_eq!(vax.memory[0], 1 + 3 + 5 + 7);
+        let crisp = run_crisp(src, &CompileOptions::default());
+        assert_eq!(global(&crisp, 0), 16);
+    }
+
+    #[test]
+    fn error_paths_render() {
+        for (src, needle) in [
+            ("void main() { @ }", "stray"),
+            ("void main() { int x }", "expected"),
+            ("void main() { y = 1; }", "undefined"),
+        ] {
+            let e = compile_crisp(src, &CompileOptions::default()).unwrap_err();
+            assert!(e.to_string().contains(needle), "{src}: {e}");
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! Recursive-descent parser for the mini-C language.
+
+use crate::ast::{BinaryOp, Expr, Function, Item, LValue, Stmt, SwitchCase, UnaryOp, Unit};
+use crate::lexer::{lex, Kw, Tok, Token};
+use crate::CcError;
+
+/// Parse a translation unit.
+///
+/// # Errors
+///
+/// [`CcError::Lex`] / [`CcError::Parse`] with line numbers.
+pub fn parse(src: &str) -> Result<Unit, CcError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut unit = Unit::default();
+    while !p.at_eof() {
+        unit.items.extend(p.item()?);
+    }
+    Ok(unit)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CcError> {
+        Err(CcError::Parse { line: self.line(), message: message.into() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CcError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if matches!(self.peek(), Tok::Kw(q) if *q == k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CcError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i32, CcError> {
+        let neg = self.eat_punct("-");
+        match self.bump() {
+            Tok::Int(v) => {
+                let v = if neg { -v } else { v };
+                i32::try_from(v)
+                    .or_else(|_| u32::try_from(v).map(|u| u as i32))
+                    .or_else(|_| self.err(format!("constant {v} out of 32-bit range")))
+            }
+            other => self.err(format!("expected integer constant, found {other}")),
+        }
+    }
+
+    // ---- items ----
+
+    fn item(&mut self) -> Result<Vec<Item>, CcError> {
+        let returns_value = if self.eat_kw(Kw::Int) {
+            true
+        } else if self.eat_kw(Kw::Void) {
+            false
+        } else {
+            return self.err(format!("expected `int` or `void`, found {}", self.peek()));
+        };
+        let name = self.ident()?;
+
+        if self.eat_punct("(") {
+            // Function definition or prototype.
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    if !self.eat_kw(Kw::Int) {
+                        return self.err("expected `int` parameter");
+                    }
+                    params.push(self.ident()?);
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            if self.eat_punct(";") {
+                // Forward declaration: name resolution is whole-unit, so
+                // prototypes carry no information beyond documentation.
+                return Ok(vec![]);
+            }
+            self.expect_punct("{")?;
+            let body = self.block_body()?;
+            return Ok(vec![Item::Function(Function { name, params, returns_value, body })]);
+        }
+
+        if !returns_value {
+            return self.err("global variables must be `int`");
+        }
+        // Global scalar(s) or array.
+        let mut items = Vec::new();
+        let mut current = name;
+        loop {
+            if self.eat_punct("[") {
+                let len = self.int_lit()?;
+                if len <= 0 {
+                    return self.err("array length must be positive");
+                }
+                self.expect_punct("]")?;
+                let mut init = Vec::new();
+                if self.eat_punct("=") {
+                    self.expect_punct("{")?;
+                    if !self.eat_punct("}") {
+                        loop {
+                            init.push(self.int_lit()?);
+                            if self.eat_punct("}") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    if init.len() > len as usize {
+                        return self.err("too many array initialisers");
+                    }
+                }
+                items.push(Item::Array { name: current, len: len as u32, init });
+            } else {
+                let init =
+                    if self.eat_punct("=") { Some(self.int_lit()?) } else { None };
+                items.push(Item::Global { name: current, init });
+            }
+            if self.eat_punct(";") {
+                break;
+            }
+            self.expect_punct(",")?;
+            current = self.ident()?;
+        }
+        Ok(items)
+    }
+
+    // ---- statements ----
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, CcError> {
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return self.err("unterminated block");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CcError> {
+        if self.eat_punct("{") {
+            return Ok(Stmt::Block(self.block_body()?));
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_kw(Kw::Int) {
+            let mut decls = Vec::new();
+            loop {
+                let name = self.ident()?;
+                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                decls.push((name, init));
+                if self.eat_punct(";") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+            return Ok(Stmt::Decl(decls));
+        }
+        if self.eat_kw(Kw::If) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_kw(Kw::Else) { Some(Box::new(self.stmt()?)) } else { None };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw(Kw::While) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Stmt::While(cond, Box::new(self.stmt()?)));
+        }
+        if self.eat_kw(Kw::Do) {
+            let body = Box::new(self.stmt()?);
+            if !self.eat_kw(Kw::While) {
+                return self.err("expected `while` after `do` body");
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile(body, cond));
+        }
+        if self.eat_kw(Kw::For) {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else if matches!(self.peek(), Tok::Kw(Kw::Int)) {
+                Some(Box::new(self.stmt()?)) // consumes the `;`
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if self.eat_punct(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            let step = if self.eat_punct(")") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Some(e)
+            };
+            return Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)));
+        }
+        if self.eat_kw(Kw::Switch) {
+            self.expect_punct("(")?;
+            let scrutinee = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let mut cases: Vec<SwitchCase> = Vec::new();
+            let mut seen_default = false;
+            loop {
+                if self.eat_punct("}") {
+                    break;
+                }
+                if self.eat_kw(Kw::Case) {
+                    let v = self.int_lit()?;
+                    self.expect_punct(":")?;
+                    if cases.iter().any(|c| c.value == Some(v)) {
+                        return self.err(format!("duplicate case {v}"));
+                    }
+                    cases.push(SwitchCase { value: Some(v), body: Vec::new() });
+                    continue;
+                }
+                if self.eat_kw(Kw::Default) {
+                    self.expect_punct(":")?;
+                    if seen_default {
+                        return self.err("duplicate `default`");
+                    }
+                    seen_default = true;
+                    cases.push(SwitchCase { value: None, body: Vec::new() });
+                    continue;
+                }
+                let Some(current) = cases.last_mut() else {
+                    return self.err("statement before the first `case`");
+                };
+                current.body.push(self.stmt()?);
+            }
+            return Ok(Stmt::Switch(scrutinee, cases));
+        }
+        if self.eat_kw(Kw::Return) {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw(Kw::Break) {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw(Kw::Continue) {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, CcError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CcError> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            Tok::Punct("=") => None,
+            Tok::Punct("+=") => Some(BinaryOp::Add),
+            Tok::Punct("-=") => Some(BinaryOp::Sub),
+            Tok::Punct("*=") => Some(BinaryOp::Mul),
+            Tok::Punct("/=") => Some(BinaryOp::Div),
+            Tok::Punct("%=") => Some(BinaryOp::Rem),
+            Tok::Punct("&=") => Some(BinaryOp::And),
+            Tok::Punct("|=") => Some(BinaryOp::Or),
+            Tok::Punct("^=") => Some(BinaryOp::Xor),
+            Tok::Punct("<<=") => Some(BinaryOp::Shl),
+            Tok::Punct(">>=") => Some(BinaryOp::Shr),
+            _ => return Ok(lhs),
+        };
+        let lv = match lhs {
+            Expr::Load(lv) => lv,
+            _ => return self.err("left side of assignment is not assignable"),
+        };
+        self.bump();
+        let rhs = Box::new(self.assignment()?);
+        Ok(match op {
+            None => Expr::Assign(lv, rhs),
+            Some(op) => Expr::AssignOp(op, lv, rhs),
+        })
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CcError> {
+        let cond = self.binary(0)?;
+        if self.eat_punct("?") {
+            let a = self.expr()?;
+            self.expect_punct(":")?;
+            let b = self.ternary()?;
+            return Ok(Expr::Cond(Box::new(cond), Box::new(a), Box::new(b)));
+        }
+        Ok(cond)
+    }
+
+    /// Binary operators by precedence level (loosest first).
+    fn binary(&mut self, level: usize) -> Result<Expr, CcError> {
+        const LEVELS: &[&[(&str, BinaryOp)]] = &[
+            &[("||", BinaryOp::LogOr)],
+            &[("&&", BinaryOp::LogAnd)],
+            &[("|", BinaryOp::Or)],
+            &[("^", BinaryOp::Xor)],
+            &[("&", BinaryOp::And)],
+            &[("==", BinaryOp::Eq), ("!=", BinaryOp::Ne)],
+            &[
+                ("<=", BinaryOp::Le),
+                (">=", BinaryOp::Ge),
+                ("<", BinaryOp::Lt),
+                (">", BinaryOp::Gt),
+            ],
+            &[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)],
+            &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
+            &[("*", BinaryOp::Mul), ("/", BinaryOp::Div), ("%", BinaryOp::Rem)],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        'outer: loop {
+            for &(p, op) in LEVELS[level] {
+                if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+                    self.bump();
+                    let rhs = self.binary(level + 1)?;
+                    lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CcError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnaryOp::LogNot, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("+") {
+            return self.unary();
+        }
+        if self.eat_punct("++") {
+            let lv = self.lvalue_expr()?;
+            return Ok(Expr::IncDec { lv, delta: 1, post: false });
+        }
+        if self.eat_punct("--") {
+            let lv = self.lvalue_expr()?;
+            return Ok(Expr::IncDec { lv, delta: -1, post: false });
+        }
+        self.postfix()
+    }
+
+    fn lvalue_expr(&mut self) -> Result<LValue, CcError> {
+        match self.primary()? {
+            Expr::Load(lv) => Ok(lv),
+            _ => self.err("operand of ++/-- is not assignable"),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CcError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct("++") {
+                let Expr::Load(lv) = e else {
+                    return self.err("operand of ++ is not assignable");
+                };
+                e = Expr::IncDec { lv, delta: 1, post: true };
+            } else if self.eat_punct("--") {
+                let Expr::Load(lv) = e else {
+                    return self.err("operand of -- is not assignable");
+                };
+                e = Expr::IncDec { lv, delta: -1, post: true };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CcError> {
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.bump() {
+            Tok::Int(v) => {
+                let v = i32::try_from(v)
+                    .or_else(|_| u32::try_from(v).map(|u| u as i32))
+                    .map_err(|_| CcError::Parse {
+                        line: self.line(),
+                        message: format!("constant {v} out of 32-bit range"),
+                    })?;
+                Ok(Expr::Lit(v))
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    return Ok(Expr::Load(LValue::Index(name, Box::new(idx))));
+                }
+                Ok(Expr::Load(LValue::Var(name)))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure3_shape() {
+        let unit = parse(
+            "
+            int odd; int even;
+            void main() {
+                int i, j, sum;
+                j = sum = 0;
+                for (i = 0; i < 1024; i++) {
+                    sum += i;
+                    if (i & 1) odd++;
+                    else even++;
+                    j = sum;
+                }
+            }
+            ",
+        )
+        .unwrap();
+        assert_eq!(unit.items.len(), 3);
+        let main = unit.function("main").unwrap();
+        assert!(!main.returns_value);
+        assert_eq!(main.body.len(), 3);
+        assert!(matches!(main.body[2], Stmt::For(..)));
+    }
+
+    #[test]
+    fn precedence() {
+        let unit = parse("void f() { int x; x = 1 + 2 * 3; }").unwrap();
+        let f = unit.function("f").unwrap();
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else { panic!("{:?}", f.body) };
+        // 1 + (2*3)
+        let Expr::Binary(BinaryOp::Add, a, b) = rhs.as_ref() else { panic!("{rhs:?}") };
+        assert_eq!(**a, Expr::Lit(1));
+        assert!(matches!(**b, Expr::Binary(BinaryOp::Mul, ..)));
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_shift() {
+        let unit = parse("void f() { int x; x = 1 << 2 < 3; }").unwrap();
+        let f = unit.function("f").unwrap();
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else { panic!() };
+        assert!(matches!(rhs.as_ref(), Expr::Binary(BinaryOp::Lt, ..)));
+    }
+
+    #[test]
+    fn short_circuit_and_ternary() {
+        let unit = parse("int f(int a, int b) { return a && b ? a : b || 1; }").unwrap();
+        let f = unit.function("f").unwrap();
+        let Stmt::Return(Some(Expr::Cond(c, _, e))) = &f.body[0] else { panic!("{:?}", f.body) };
+        assert!(matches!(c.as_ref(), Expr::Binary(BinaryOp::LogAnd, ..)));
+        assert!(matches!(e.as_ref(), Expr::Binary(BinaryOp::LogOr, ..)));
+    }
+
+    #[test]
+    fn incdec_forms() {
+        let unit = parse("void f() { int i; i++; ++i; i--; --i; }").unwrap();
+        let f = unit.function("f").unwrap();
+        assert!(matches!(
+            f.body[1],
+            Stmt::Expr(Expr::IncDec { delta: 1, post: true, .. })
+        ));
+        assert!(matches!(
+            f.body[2],
+            Stmt::Expr(Expr::IncDec { delta: 1, post: false, .. })
+        ));
+        assert!(matches!(
+            f.body[3],
+            Stmt::Expr(Expr::IncDec { delta: -1, post: true, .. })
+        ));
+    }
+
+    #[test]
+    fn arrays_and_calls() {
+        let unit = parse(
+            "
+            int a[16] = {1, 2, 3};
+            int get(int i) { return a[i]; }
+            void main() { a[3] = get(2) + a[0]; }
+            ",
+        )
+        .unwrap();
+        assert!(matches!(&unit.items[0], Item::Array { len: 16, init, .. } if init.len() == 3));
+        let main = unit.function("main").unwrap();
+        assert!(matches!(
+            &main.body[0],
+            Stmt::Expr(Expr::Assign(LValue::Index(..), _))
+        ));
+    }
+
+    #[test]
+    fn global_lists_and_inits() {
+        let unit = parse("int a, b = 5, c;").unwrap();
+        assert_eq!(unit.items.len(), 3);
+        assert!(matches!(&unit.items[1], Item::Global { init: Some(5), .. }));
+    }
+
+    #[test]
+    fn loops() {
+        let unit = parse(
+            "
+            void f() {
+                while (1) break;
+                do { continue; } while (0);
+                for (;;) break;
+            }
+            ",
+        )
+        .unwrap();
+        let f = unit.function("f").unwrap();
+        assert!(matches!(f.body[0], Stmt::While(..)));
+        assert!(matches!(f.body[1], Stmt::DoWhile(..)));
+        assert!(matches!(f.body[2], Stmt::For(None, None, None, _)));
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let err = parse("void f() {\n  int x\n}").unwrap_err();
+        assert!(matches!(err, CcError::Parse { line: 3, .. }), "{err:?}");
+        let err = parse("void f() { 1 = 2; }").unwrap_err();
+        assert!(matches!(err, CcError::Parse { .. }));
+        let err = parse("float f;").unwrap_err();
+        assert!(matches!(err, CcError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let unit = parse("void f() { int a, b; a = b = 3; }").unwrap();
+        let f = unit.function("f").unwrap();
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else { panic!() };
+        assert!(matches!(rhs.as_ref(), Expr::Assign(..)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Static branch-prediction-bit setting.
+//!
+//! CRISP's conditional branches carry "a single static branch prediction
+//! bit, which may be set by the compiler ... used as a hint to the
+//! hardware as to whether the branch will transfer or not". This pass
+//! assigns that bit over a generated item list.
+//!
+//! [`PredictionMode::Btfnt`] is the classic backward-taken /
+//! forward-not-taken heuristic (loops predicted to iterate).
+//! The paper's Table 4 cases map onto the other modes: case A sets the
+//! end-of-loop branch *not taken* while keeping the `if` branch taken —
+//! exactly [`PredictionMode::Ftbnt`] (the inverse heuristic) — and cases
+//! B–E set every branch taken ([`PredictionMode::Taken`], since both
+//! branches in the Figure 3 loop were set to "yes").
+//!
+//! Profile-guided (optimal static) bits are applied separately with
+//! [`apply_profile`], which patches prediction bits directly in an
+//! assembled image given per-branch majority directions measured by a
+//! profiling run — the method the paper used to report "accuracy for
+//! optimal setting of a branch prediction bit".
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crisp_asm::{Image, Item, Module};
+use crisp_isa::{encoding, BranchTarget, Instr};
+
+/// How static prediction bits are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictionMode {
+    /// Predict every conditional branch taken.
+    Taken,
+    /// Predict every conditional branch not taken.
+    NotTaken,
+    /// Backward taken, forward not taken (the compiler default).
+    #[default]
+    Btfnt,
+    /// Forward taken, backward not taken — the paper's case A setting
+    /// (loop branch "no", `if` branch "yes").
+    Ftbnt,
+}
+
+/// Assign prediction bits across a module according to `mode`.
+///
+/// Direction (backward/forward) is judged from item order: a branch to a
+/// label defined at or before the branch's position is backward.
+pub fn assign_prediction(module: &mut Module, mode: PredictionMode) {
+    let mut label_pos: BTreeMap<&str, usize> = BTreeMap::new();
+    for (idx, item) in module.items.iter().enumerate() {
+        if let Item::Label(name) = item {
+            label_pos.insert(name, idx);
+        }
+    }
+    let decide = |backward: bool| match mode {
+        PredictionMode::Taken => true,
+        PredictionMode::NotTaken => false,
+        PredictionMode::Btfnt => backward,
+        PredictionMode::Ftbnt => !backward,
+    };
+    // Collect decisions first (label_pos borrows items).
+    let decisions: Vec<Option<bool>> = module
+        .items
+        .iter()
+        .enumerate()
+        .map(|(idx, item)| match item {
+            Item::IfJmpTo { label, .. } => {
+                let backward = label_pos.get(label.as_str()).is_some_and(|&p| p <= idx);
+                Some(decide(backward))
+            }
+            Item::Instr(Instr::IfJmp { target, .. }) => {
+                let backward = matches!(target, BranchTarget::PcRel(off) if *off <= 0);
+                Some(decide(backward))
+            }
+            _ => None,
+        })
+        .collect();
+    for (item, decision) in module.items.iter_mut().zip(decisions) {
+        let Some(bit) = decision else { continue };
+        match item {
+            Item::IfJmpTo { predict_taken, .. } => *predict_taken = bit,
+            Item::Instr(Instr::IfJmp { predict_taken, .. }) => *predict_taken = bit,
+            _ => {}
+        }
+    }
+}
+
+/// Patch prediction bits in an assembled image from a per-branch profile
+/// (`branch pc → majority taken?`). Branches absent from the map keep
+/// their compiled bit. Returns how many branches were patched.
+///
+/// This models the optimal-static-bit setting of the paper's Table 1:
+/// run once, set each bit to the branch's majority direction.
+pub fn apply_profile(image: &mut Image, majority: &HashMap<u32, bool>) -> usize {
+    let mut patched = 0;
+    let mut at = 0usize;
+    while at < image.parcels.len() {
+        let pc = image.code_base + at as u32 * 2;
+        let Ok((instr, len)) = encoding::decode(&image.parcels, at) else {
+            // Data in the stream (e.g. `.word`): skip one parcel.
+            at += 1;
+            continue;
+        };
+        if let Instr::IfJmp { on_true, predict_taken, target } = instr {
+            if let Some(&bit) = majority.get(&pc) {
+                if bit != predict_taken {
+                    let fixed = Instr::IfJmp { on_true, predict_taken: bit, target };
+                    let parcels = encoding::encode(&fixed)
+                        .expect("re-encoding a decoded branch cannot fail");
+                    image.parcels[at..at + parcels.len()].copy_from_slice(&parcels);
+                    patched += 1;
+                }
+            }
+        }
+        at += len;
+    }
+    patched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_asm::{assemble, parse_module};
+
+    fn module() -> Module {
+        parse_module(
+            "
+            top:
+                add 0(sp),$1
+                cmp.s< 0(sp),$10
+                ifjmpy.nt top      ; backward
+                cmp.= Accum,$0
+                ifjmpy.nt fwd      ; forward
+                nop
+            fwd:
+                halt
+            ",
+        )
+        .unwrap()
+    }
+
+    fn bits(m: &Module) -> Vec<bool> {
+        m.items
+            .iter()
+            .filter_map(|i| match i {
+                Item::IfJmpTo { predict_taken, .. } => Some(*predict_taken),
+                Item::Instr(Instr::IfJmp { predict_taken, .. }) => Some(*predict_taken),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn btfnt_predicts_backward_taken() {
+        let mut m = module();
+        assign_prediction(&mut m, PredictionMode::Btfnt);
+        assert_eq!(bits(&m), vec![true, false]);
+    }
+
+    #[test]
+    fn ftbnt_is_the_inverse() {
+        let mut m = module();
+        assign_prediction(&mut m, PredictionMode::Ftbnt);
+        assert_eq!(bits(&m), vec![false, true]);
+    }
+
+    #[test]
+    fn uniform_modes() {
+        let mut m = module();
+        assign_prediction(&mut m, PredictionMode::Taken);
+        assert_eq!(bits(&m), vec![true, true]);
+        assign_prediction(&mut m, PredictionMode::NotTaken);
+        assert_eq!(bits(&m), vec![false, false]);
+    }
+
+    #[test]
+    fn concrete_pcrel_branches_also_assigned() {
+        let mut m = Module::new();
+        m.push(Item::Instr(Instr::IfJmp {
+            on_true: true,
+            predict_taken: false,
+            target: BranchTarget::PcRel(-4),
+        }));
+        m.push(Item::Instr(Instr::IfJmp {
+            on_true: true,
+            predict_taken: true,
+            target: BranchTarget::PcRel(8),
+        }));
+        assign_prediction(&mut m, PredictionMode::Btfnt);
+        assert_eq!(bits(&m), vec![true, false]);
+    }
+
+    #[test]
+    fn profile_patch_flips_bits_in_place() {
+        let mut m = module();
+        assign_prediction(&mut m, PredictionMode::NotTaken);
+        let mut image = assemble(&m).unwrap();
+        // Find the two conditional branches.
+        let mut branch_pcs = Vec::new();
+        let mut at = 0;
+        while at < image.parcels.len() {
+            let (i, len) = encoding::decode(&image.parcels, at).unwrap();
+            if matches!(i, Instr::IfJmp { .. }) {
+                branch_pcs.push(at as u32 * 2);
+            }
+            at += len;
+        }
+        assert_eq!(branch_pcs.len(), 2);
+        let mut majority = HashMap::new();
+        majority.insert(branch_pcs[0], true);
+        majority.insert(branch_pcs[1], false); // already false: no patch
+        let patched = apply_profile(&mut image, &majority);
+        assert_eq!(patched, 1);
+        let (i, _) = encoding::decode(&image.parcels, branch_pcs[0] as usize / 2).unwrap();
+        assert!(matches!(i, Instr::IfJmp { predict_taken: true, .. }));
+    }
+}

@@ -1,0 +1,654 @@
+//! Branch Spreading — the paper's compiler-side technique.
+//!
+//! "Because CRISP has separate compare and conditional branch
+//! instructions it is possible to have the compiler assure that no
+//! comparison instructions will be in the pipeline when a conditional
+//! branch is read from the instruction cache. ... Use of code motion can
+//! do much better by moving useful non-condition-code-setting
+//! instructions between the compare instruction and the conditional
+//! branch instruction."
+//!
+//! Two cooperating mechanisms reproduce the paper's Table 3
+//! transformation:
+//!
+//! 1. **Statement fill** (used during code generation): statements that
+//!    follow an `if` and commute with both arms — plus the enclosing
+//!    `for` loop's step when nothing else remains — are emitted *between*
+//!    the compare and the conditional branch. This is what moves
+//!    `j = sum` and `i++` ahead of the `if` branch in Table 3.
+//! 2. **Compare hoisting** (an item-level pass, [`hoist_compares`]): the
+//!    compare, together with the producers it depends on (`and3 i,1`),
+//!    is bubbled upward past independent instructions, which therefore
+//!    land in the gap. This moves `add sum,i` below the compare in
+//!    Table 3.
+//!
+//! Three instructions of separation make the compare retire before the
+//! branch enters the pipeline, reducing even a wrongly-predicted
+//! branch's cost to zero.
+
+use std::collections::BTreeSet;
+
+use crisp_asm::Item;
+use crisp_isa::{Instr, Operand};
+
+use crate::ast::{BinaryOp, Expr, LValue, Stmt, UnaryOp};
+
+/// How many instructions between a compare and its branch guarantee
+/// zero-cost resolution (the EU pipeline depth).
+pub const SPREAD_DISTANCE: usize = 3;
+
+// ---------------------------------------------------------------------
+// AST-level analysis for statement fill
+// ---------------------------------------------------------------------
+
+/// Read/write variable sets. Array accesses appear as `"[]name"` so
+/// element accesses of the same array conflict with each other but not
+/// with unrelated scalars.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RwSets {
+    /// Variables (and arrays) read.
+    pub reads: BTreeSet<String>,
+    /// Variables (and arrays) written.
+    pub writes: BTreeSet<String>,
+}
+
+impl RwSets {
+    /// Whether two effect sets commute (no read/write or write/write
+    /// overlap).
+    pub fn commutes(&self, other: &RwSets) -> bool {
+        self.writes.is_disjoint(&other.reads)
+            && self.writes.is_disjoint(&other.writes)
+            && self.reads.is_disjoint(&other.writes)
+    }
+}
+
+fn lvalue_rw(lv: &LValue, as_write: bool, out: &mut RwSets) -> Option<()> {
+    match lv {
+        LValue::Var(name) => {
+            if as_write {
+                out.writes.insert(name.clone());
+            } else {
+                out.reads.insert(name.clone());
+            }
+        }
+        LValue::Index(name, idx) => {
+            let tag = format!("[]{name}");
+            if as_write {
+                out.writes.insert(tag);
+            } else {
+                out.reads.insert(tag);
+            }
+            expr_rw_into(idx, out)?;
+        }
+    }
+    Some(())
+}
+
+fn expr_rw_into(e: &Expr, out: &mut RwSets) -> Option<()> {
+    match e {
+        Expr::Lit(_) => Some(()),
+        Expr::Load(lv) => lvalue_rw(lv, false, out),
+        Expr::Unary(_, inner) => expr_rw_into(inner, out),
+        Expr::Binary(_, a, b) => {
+            expr_rw_into(a, out)?;
+            expr_rw_into(b, out)
+        }
+        Expr::Assign(lv, rhs) | Expr::AssignOp(_, lv, rhs) => {
+            expr_rw_into(rhs, out)?;
+            lvalue_rw(lv, true, out)?;
+            if matches!(e, Expr::AssignOp(..)) {
+                lvalue_rw(lv, false, out)?;
+            }
+            Some(())
+        }
+        Expr::IncDec { lv, .. } => {
+            lvalue_rw(lv, false, out)?;
+            lvalue_rw(lv, true, out)
+        }
+        Expr::Cond(c, a, b) => {
+            expr_rw_into(c, out)?;
+            expr_rw_into(a, out)?;
+            expr_rw_into(b, out)
+        }
+        // Calls have unknown effects: not analyzable.
+        Expr::Call(..) => None,
+    }
+}
+
+/// Effect sets of an expression, or `None` when it contains a call
+/// (unknown effects).
+pub fn expr_rw(e: &Expr) -> Option<RwSets> {
+    let mut out = RwSets::default();
+    expr_rw_into(e, &mut out)?;
+    Some(out)
+}
+
+/// Effect sets of a whole statement (including nested control flow), or
+/// `None` when it contains a call.
+pub fn stmt_rw(s: &Stmt) -> Option<RwSets> {
+    let mut out = RwSets::default();
+    stmt_rw_into(s, &mut out)?;
+    Some(out)
+}
+
+fn stmt_rw_into(s: &Stmt, out: &mut RwSets) -> Option<()> {
+    match s {
+        Stmt::Empty | Stmt::Break | Stmt::Continue => Some(()),
+        Stmt::Expr(e) => expr_rw_into(e, out),
+        Stmt::Decl(decls) => {
+            for (name, init) in decls {
+                out.writes.insert(name.clone());
+                if let Some(e) = init {
+                    expr_rw_into(e, out)?;
+                }
+            }
+            Some(())
+        }
+        Stmt::If(c, t, e) => {
+            expr_rw_into(c, out)?;
+            stmt_rw_into(t, out)?;
+            if let Some(e) = e {
+                stmt_rw_into(e, out)?;
+            }
+            Some(())
+        }
+        Stmt::While(c, b) | Stmt::DoWhile(b, c) => {
+            expr_rw_into(c, out)?;
+            stmt_rw_into(b, out)
+        }
+        Stmt::For(i, c, st, b) => {
+            if let Some(i) = i {
+                stmt_rw_into(i, out)?;
+            }
+            if let Some(c) = c {
+                expr_rw_into(c, out)?;
+            }
+            if let Some(st) = st {
+                expr_rw_into(st, out)?;
+            }
+            stmt_rw_into(b, out)
+        }
+        Stmt::Return(e) => {
+            if let Some(e) = e {
+                expr_rw_into(e, out)?;
+            }
+            Some(())
+        }
+        Stmt::Block(body) => {
+            for s in body {
+                stmt_rw_into(s, out)?;
+            }
+            Some(())
+        }
+        Stmt::Switch(scrutinee, cases) => {
+            expr_rw_into(scrutinee, out)?;
+            for case in cases {
+                for s in &case.body {
+                    stmt_rw_into(s, out)?;
+                }
+            }
+            Some(())
+        }
+    }
+}
+
+/// Whether an expression's code generation is guaranteed not to emit a
+/// compare (comparisons, logical operators, ternaries and calls all
+/// do or may).
+fn expr_flag_safe(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(_) => true,
+        Expr::Load(lv) => lvalue_flag_safe(lv),
+        Expr::Unary(op, inner) => !matches!(op, UnaryOp::LogNot) && expr_flag_safe(inner),
+        Expr::Binary(op, a, b) => {
+            !op.is_comparison()
+                && !matches!(op, BinaryOp::LogAnd | BinaryOp::LogOr)
+                && expr_flag_safe(a)
+                && expr_flag_safe(b)
+        }
+        Expr::Assign(lv, rhs) | Expr::AssignOp(_, lv, rhs) => {
+            lvalue_flag_safe(lv) && expr_flag_safe(rhs)
+        }
+        Expr::IncDec { lv, .. } => lvalue_flag_safe(lv),
+        Expr::Call(..) | Expr::Cond(..) => false,
+    }
+}
+
+fn lvalue_flag_safe(lv: &LValue) -> bool {
+    match lv {
+        LValue::Var(_) => true,
+        LValue::Index(_, idx) => expr_flag_safe(idx),
+    }
+}
+
+/// Whether `s` may be emitted into a compare→branch gap: a simple
+/// expression statement whose code cannot touch the condition flag.
+pub fn is_fill_candidate(s: &Stmt) -> bool {
+    matches!(s, Stmt::Expr(e) if expr_flag_safe(e))
+}
+
+/// Whether a statement contains a side exit (`break` / `continue` /
+/// `return`) at any depth that could leave the enclosing region.
+pub fn has_side_exit(s: &Stmt) -> bool {
+    match s {
+        Stmt::Break | Stmt::Continue | Stmt::Return(_) => true,
+        Stmt::Block(body) => body.iter().any(has_side_exit),
+        Stmt::If(_, t, e) => {
+            has_side_exit(t) || e.as_deref().is_some_and(has_side_exit)
+        }
+        // break/continue inside a nested loop do not exit *this* region;
+        // a return still does.
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) => contains_return(b),
+        Stmt::For(i, _, _, b) => {
+            i.as_deref().is_some_and(has_side_exit) || contains_return(b)
+        }
+        // A switch captures its breaks, but `continue` and `return`
+        // still escape.
+        Stmt::Switch(_, cases) => cases
+            .iter()
+            .flat_map(|c| &c.body)
+            .any(|s| has_continue(s) || contains_return(s)),
+        _ => false,
+    }
+}
+
+/// Whether a statement contains a `continue` that targets the enclosing
+/// loop (nested loops keep their own `continue`s).
+pub fn has_continue(s: &Stmt) -> bool {
+    match s {
+        Stmt::Continue => true,
+        Stmt::Block(body) => body.iter().any(has_continue),
+        Stmt::If(_, t, e) => has_continue(t) || e.as_deref().is_some_and(has_continue),
+        // A switch does NOT capture continue.
+        Stmt::Switch(_, cases) => cases.iter().flat_map(|c| &c.body).any(has_continue),
+        // A nested loop captures its own continues.
+        Stmt::While(..) | Stmt::DoWhile(..) | Stmt::For(..) => false,
+        _ => false,
+    }
+}
+
+fn contains_return(s: &Stmt) -> bool {
+    match s {
+        Stmt::Return(_) => true,
+        Stmt::Block(body) => body.iter().any(contains_return),
+        Stmt::If(_, t, e) => contains_return(t) || e.as_deref().is_some_and(contains_return),
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) => contains_return(b),
+        Stmt::For(i, _, _, b) => {
+            i.as_deref().is_some_and(contains_return) || contains_return(b)
+        }
+        Stmt::Switch(_, cases) => {
+            cases.iter().flat_map(|c| &c.body).any(contains_return)
+        }
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Item-level compare hoisting
+// ---------------------------------------------------------------------
+
+/// Abstract locations an instruction touches.
+#[derive(Debug, Default, Clone)]
+struct Touch {
+    reads: Vec<Operand>,
+    writes: Vec<Operand>,
+    reads_accum: bool,
+    writes_accum: bool,
+}
+
+fn touch_of(instr: &Instr) -> Option<Touch> {
+    // Only plain data instructions participate; everything else is a
+    // motion barrier.
+    let mut t = Touch::default();
+    let note_read = |op: Operand, t: &mut Touch| {
+        match op {
+            Operand::Accum => t.reads_accum = true,
+            Operand::Imm(_) => {}
+            other => t.reads.push(other),
+        }
+        // A stack-indirect access also reads its pointer slot.
+        if let Operand::SpInd(off) = op {
+            t.reads.push(Operand::SpOff(off));
+        }
+    };
+    match *instr {
+        Instr::Nop => {}
+        Instr::Op2 { op, dst, src } => {
+            if op != crisp_isa::BinOp::Mov {
+                note_read(dst, &mut t);
+            }
+            note_read(src, &mut t);
+            match dst {
+                Operand::Accum => t.writes_accum = true,
+                other => {
+                    t.writes.push(other);
+                    if let Operand::SpInd(off) = other {
+                        t.reads.push(Operand::SpOff(off));
+                    }
+                }
+            }
+        }
+        Instr::Op3 { a, b, .. } => {
+            note_read(a, &mut t);
+            note_read(b, &mut t);
+            t.writes_accum = true;
+        }
+        Instr::Cmp { a, b, .. } => {
+            note_read(a, &mut t);
+            note_read(b, &mut t);
+            // The flag write is implicit; only branches read it and they
+            // are barriers, so it needs no modelling here.
+        }
+        _ => return None, // branches, calls, frame ops, halt: barriers
+    }
+    Some(t)
+}
+
+/// Conservative may-alias for operand locations.
+fn may_alias(a: Operand, b: Operand) -> bool {
+    match (a, b) {
+        // Indirect pointers can point anywhere in memory.
+        (Operand::SpInd(_), other) | (other, Operand::SpInd(_)) => other.is_memory(),
+        (Operand::SpOff(x), Operand::SpOff(y)) => x == y,
+        (Operand::Abs(x), Operand::Abs(y)) => x == y,
+        // Stack and globals live in disjoint regions of the memory map.
+        (Operand::SpOff(_), Operand::Abs(_)) | (Operand::Abs(_), Operand::SpOff(_)) => false,
+        _ => false,
+    }
+}
+
+fn sets_conflict(a: &[Operand], b: &[Operand]) -> bool {
+    a.iter().any(|&x| b.iter().any(|&y| may_alias(x, y)))
+}
+
+/// Whether two instructions' effects conflict (cannot be reordered).
+fn conflicts(p: &Touch, g: &Touch) -> bool {
+    sets_conflict(&p.writes, &g.reads)
+        || sets_conflict(&p.writes, &g.writes)
+        || sets_conflict(&p.reads, &g.writes)
+        || (p.writes_accum && (g.reads_accum || g.writes_accum))
+        || (p.reads_accum && g.writes_accum)
+}
+
+/// Hoist each compare (with the producers it depends on) upward past
+/// independent instructions until [`SPREAD_DISTANCE`] instructions
+/// separate it from its conditional branch, or motion is blocked by a
+/// label, control transfer or dependence. Returns the number of swaps
+/// performed.
+pub fn hoist_compares(items: &mut Vec<Item>) -> usize {
+    let mut moved = 0;
+    let mut idx = 0;
+    while idx < items.len() {
+        // Find a conditional branch.
+        let is_cond = matches!(
+            items[idx],
+            Item::IfJmpTo { .. } | Item::Instr(Instr::IfJmp { .. })
+        );
+        if !is_cond {
+            idx += 1;
+            continue;
+        }
+        // Find its compare, scanning back over plain instructions.
+        let mut cmp_at = None;
+        let mut between = 0usize;
+        let mut k = idx;
+        while k > 0 {
+            k -= 1;
+            match &items[k] {
+                Item::Instr(Instr::Cmp { .. }) => {
+                    cmp_at = Some(k);
+                    break;
+                }
+                Item::Instr(i) if touch_of(i).is_some() => between += 1,
+                _ => break, // label / branch / frame op: no compare here
+            }
+        }
+        let Some(mut cmp_at) = cmp_at else {
+            idx += 1;
+            continue;
+        };
+
+        // Hoist the dependence-closed group [group_lo ..= cmp_at].
+        let mut group_lo = cmp_at;
+        while between < SPREAD_DISTANCE && group_lo > 0 {
+            let group_touch: Vec<Touch> = items[group_lo..=cmp_at]
+                .iter()
+                .filter_map(|it| match it {
+                    Item::Instr(i) => touch_of(i),
+                    _ => None,
+                })
+                .collect();
+            let p_instr = match &items[group_lo - 1] {
+                Item::Instr(i) => i,
+                _ => break, // label or directive: barrier
+            };
+            let Some(p_touch) = touch_of(p_instr) else { break };
+            if group_touch.iter().any(|g| conflicts(&p_touch, g)) {
+                // Dependence: absorb the producer into the group and keep
+                // climbing.
+                group_lo -= 1;
+                continue;
+            }
+            // Independent: rotate P below the group.
+            let p = items.remove(group_lo - 1);
+            items.insert(cmp_at, p);
+            moved += 1;
+            between += 1;
+            group_lo -= 1;
+            cmp_at -= 1;
+        }
+        idx += 1;
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crisp_isa::{BinOp, Cond};
+
+    fn instr_item(i: Instr) -> Item {
+        Item::Instr(i)
+    }
+
+    fn mnemonics(items: &[Item]) -> Vec<String> {
+        items
+            .iter()
+            .map(|i| match i {
+                Item::Instr(instr) => instr.to_string(),
+                Item::Label(l) => format!("{l}:"),
+                Item::IfJmpTo { label, .. } => format!("ifjmp {label}"),
+                Item::JmpTo { label } => format!("jmp {label}"),
+                other => format!("{other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hoists_compare_group_past_independent_add() {
+        // The Table 3 pattern: add sum,i / and3 i,1 / cmp.= Accum,0 / if.
+        let mut items = vec![
+            Item::Label("top".into()),
+            instr_item(Instr::Op2 {
+                op: BinOp::Add,
+                dst: Operand::SpOff(16), // sum
+                src: Operand::SpOff(0),  // i
+            }),
+            instr_item(Instr::Op3 {
+                op: BinOp::And,
+                a: Operand::SpOff(0),
+                b: Operand::Imm(1),
+            }),
+            instr_item(Instr::Cmp { cond: Cond::Eq, a: Operand::Accum, b: Operand::Imm(0) }),
+            Item::IfJmpTo { on_true: true, predict_taken: true, label: "else".into() },
+        ];
+        let moved = hoist_compares(&mut items);
+        assert_eq!(moved, 1);
+        let m = mnemonics(&items);
+        // and3+cmp group hoisted above the add.
+        assert!(m[1].starts_with("and3"), "{m:?}");
+        assert!(m[2].starts_with("cmp"), "{m:?}");
+        assert!(m[3].starts_with("add"), "{m:?}");
+    }
+
+    #[test]
+    fn does_not_hoist_past_dependence_sink() {
+        // add writes the slot the cmp reads: must absorb, not swap —
+        // and then hit the label.
+        let mut items = vec![
+            Item::Label("top".into()),
+            instr_item(Instr::Op2 { op: BinOp::Add, dst: Operand::SpOff(0), src: Operand::Imm(1) }),
+            instr_item(Instr::Cmp {
+                cond: Cond::LtS,
+                a: Operand::SpOff(0),
+                b: Operand::Imm(10),
+            }),
+            Item::IfJmpTo { on_true: true, predict_taken: true, label: "top".into() },
+        ];
+        let before = mnemonics(&items);
+        hoist_compares(&mut items);
+        assert_eq!(before, mnemonics(&items), "no motion possible");
+    }
+
+    #[test]
+    fn stops_at_spread_distance() {
+        // Four independent adds above the cmp: only three may move down.
+        let mut items = vec![Item::Label("top".into())];
+        for i in 0..4 {
+            items.push(instr_item(Instr::Op2 {
+                op: BinOp::Add,
+                dst: Operand::SpOff(4 * (i + 2)),
+                src: Operand::Imm(1),
+            }));
+        }
+        items.push(instr_item(Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(0),
+            b: Operand::Imm(10),
+        }));
+        items.push(Item::IfJmpTo { on_true: true, predict_taken: true, label: "top".into() });
+        let moved = hoist_compares(&mut items);
+        assert_eq!(moved, 3);
+        let m = mnemonics(&items);
+        assert!(m[1].starts_with("add"), "{m:?}"); // one add left above
+        assert!(m[2].starts_with("cmp"), "{m:?}");
+    }
+
+    #[test]
+    fn aliasing_blocks_motion() {
+        // A stack-indirect write may alias the compare's operand.
+        let mut items = vec![
+            Item::Label("top".into()),
+            instr_item(Instr::Op2 { op: BinOp::Mov, dst: Operand::SpInd(8), src: Operand::Imm(1) }),
+            instr_item(Instr::Cmp {
+                cond: Cond::LtS,
+                a: Operand::SpOff(0),
+                b: Operand::Imm(10),
+            }),
+            Item::IfJmpTo { on_true: true, predict_taken: true, label: "top".into() },
+        ];
+        let before = mnemonics(&items);
+        hoist_compares(&mut items);
+        assert_eq!(before, mnemonics(&items));
+    }
+
+    #[test]
+    fn distinct_globals_do_not_alias() {
+        assert!(!may_alias(Operand::Abs(0x10000), Operand::Abs(0x10004)));
+        assert!(may_alias(Operand::Abs(0x10000), Operand::Abs(0x10000)));
+        assert!(!may_alias(Operand::SpOff(0), Operand::Abs(0x10000)));
+        assert!(may_alias(Operand::SpInd(4), Operand::Abs(0x10000)));
+        assert!(!may_alias(Operand::SpInd(4), Operand::Imm(3)));
+    }
+
+    // ---- AST analysis ----
+
+    fn stmts_of(src: &str) -> Vec<Stmt> {
+        let unit = parse(src).unwrap();
+        unit.function("f").unwrap().body.clone()
+    }
+
+    #[test]
+    fn rw_sets_of_statements() {
+        let body = stmts_of("int j; int sum; void f() { j = sum; }");
+        let rw = stmt_rw(&body[0]).unwrap();
+        assert!(rw.reads.contains("sum"));
+        assert!(rw.writes.contains("j"));
+    }
+
+    #[test]
+    fn commutation() {
+        let body = stmts_of(
+            "int i; int j; int sum; int odd;
+             void f() { j = sum; odd += 1; i += 1; sum += i; }",
+        );
+        let a = stmt_rw(&body[0]).unwrap(); // j = sum
+        let b = stmt_rw(&body[1]).unwrap(); // odd += 1
+        let c = stmt_rw(&body[2]).unwrap(); // i += 1
+        let d = stmt_rw(&body[3]).unwrap(); // sum += i
+        assert!(a.commutes(&b));
+        assert!(a.commutes(&c));
+        assert!(!a.commutes(&d)); // both touch sum
+        assert!(!c.commutes(&d)); // d reads i, c writes i
+    }
+
+    #[test]
+    fn calls_are_not_analyzable() {
+        let body = stmts_of("int g() { return 1; } void f() { int x; x = g(); }");
+        assert_eq!(stmt_rw(&body[1]), None);
+    }
+
+    #[test]
+    fn fill_candidates() {
+        let body = stmts_of(
+            "int a; int b; int g() { return 1; }
+             void f() {
+                a = b + 1;        // yes
+                a = b < 1;        // no: comparison sets the flag
+                a = g();          // no: call
+                if (a) b = 1;     // no: not an expression statement
+                a++;              // yes
+             }",
+        );
+        assert!(is_fill_candidate(&body[0]));
+        assert!(!is_fill_candidate(&body[1]));
+        assert!(!is_fill_candidate(&body[2]));
+        assert!(!is_fill_candidate(&body[3]));
+        assert!(is_fill_candidate(&body[4]));
+    }
+
+    #[test]
+    fn side_exit_cases() {
+        let unit = parse(
+            "void f() {
+                if (1) break;
+                while (1) { break; }
+                while (1) { return; }
+                ;
+             }",
+        );
+        // `break` outside a loop is a semantic error, not a parse error,
+        // so this parses fine.
+        let body = unit.unwrap().function("f").unwrap().body.clone();
+        assert!(has_side_exit(&body[0]));
+        assert!(!has_side_exit(&body[1]));
+        assert!(has_side_exit(&body[2]));
+        assert!(!has_side_exit(&body[3]));
+    }
+
+    #[test]
+    fn array_accesses_conflict_by_array() {
+        let unit = parse(
+            "int a[4]; int b[4]; int i;
+             void f() { a[i] = 1; b[i] = 2; a[0] = 3; }",
+        )
+        .unwrap();
+        let body = unit.function("f").unwrap().body.clone();
+        let s0 = stmt_rw(&body[0]).unwrap();
+        let s1 = stmt_rw(&body[1]).unwrap();
+        let s2 = stmt_rw(&body[2]).unwrap();
+        assert!(s0.commutes(&s1)); // different arrays
+        assert!(!s0.commutes(&s2)); // same array
+    }
+}

@@ -1,0 +1,687 @@
+//! VAX-lite code generation, used for the paper's Table 2 comparison.
+//!
+//! The backend reproduces the idioms a period VAX C compiler emitted for
+//! the Figure 3 program (visible in the paper's instruction counts):
+//! `x++` becomes `incl`; `x += e` becomes `addl2`; `if (x & c)` becomes
+//! `bitl` + `jeql`/`jneq`; loops test at the **top** (`cmpl` + inverted
+//! conditional jump past the body) with a `jbr` back edge; `x = 0`
+//! becomes `clrl`. Locals are pre-assigned data slots (the VAX-lite VM
+//! has no frame pointer), so recursive functions are rejected — none of
+//! the Table 2 workloads recurse.
+
+use std::collections::BTreeMap;
+
+use vax_lite::{Operand as VOp, Program, VaxInstr};
+
+use crate::ast::{BinaryOp, Expr, Function, Item as AstItem, LValue, Stmt, UnaryOp, Unit};
+use crate::CcError;
+
+/// Generate a VAX-lite program for a unit. Execution starts at `main`
+/// (via the entry `calls` + `halt` stub).
+///
+/// # Errors
+///
+/// [`CcError::Sema`] for name errors; [`CcError::Unsupported`] for
+/// constructs the VAX-lite substrate does not model (arrays, recursion).
+pub fn generate(unit: &Unit) -> Result<Program, CcError> {
+    let mut g = VaxGen {
+        unit,
+        p: Program::new(),
+        func: String::new(),
+        scopes: Vec::new(),
+        loop_labels: Vec::new(),
+        next_label: 0,
+        call_stack: Vec::new(),
+    };
+    if unit.function("main").is_none() {
+        return Err(CcError::Sema { message: "no `main` function defined".into() });
+    }
+    for item in &unit.items {
+        match item {
+            AstItem::Global { name, init } => {
+                let slot = g.p.alloc_slot(name);
+                if let Some(v) = init {
+                    // Initialised data: emitted as startup stores before
+                    // main is entered.
+                    g.p.push(VaxInstr::Movl(VOp::Loc(slot), VOp::Imm(*v)));
+                }
+            }
+            AstItem::Array { .. } => {
+                return Err(CcError::Unsupported {
+                    message: "the VAX-lite backend does not support arrays".into(),
+                })
+            }
+            AstItem::Function(_) => {}
+        }
+    }
+    g.p.push_branch(VaxInstr::Calls(0), "main");
+    g.p.push(VaxInstr::Halt);
+    for item in &unit.items {
+        if let AstItem::Function(f) = item {
+            g.function(f)?;
+        }
+    }
+    Ok(g.p)
+}
+
+struct VaxGen<'a> {
+    unit: &'a Unit,
+    p: Program,
+    func: String,
+    /// Lexical scopes: source name → mangled slot name.
+    scopes: Vec<BTreeMap<String, String>>,
+    loop_labels: Vec<(String, String)>,
+    next_label: usize,
+    /// Call chain for recursion detection.
+    call_stack: Vec<String>,
+}
+
+impl<'a> VaxGen<'a> {
+    fn sema<T>(&self, message: impl Into<String>) -> Result<T, CcError> {
+        Err(CcError::Sema { message: message.into() })
+    }
+
+    fn fresh(&mut self, stem: &str) -> String {
+        self.next_label += 1;
+        format!(".V{}_{stem}", self.next_label)
+    }
+
+    fn slot_for(&mut self, name: &str) -> Option<u32> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(mangled) = scope.get(name) {
+                let m = mangled.clone();
+                return Some(self.p.alloc_slot(&m));
+            }
+        }
+        // Globals use their bare name; only return known ones.
+        self.p.slot(name)
+    }
+
+    fn lvalue(&mut self, lv: &LValue) -> Result<VOp, CcError> {
+        match lv {
+            LValue::Var(name) => match self.slot_for(name) {
+                Some(s) => Ok(VOp::Loc(s)),
+                None => self.sema(format!("undefined variable `{name}`")),
+            },
+            LValue::Index(..) => Err(CcError::Unsupported {
+                message: "the VAX-lite backend does not support arrays".into(),
+            }),
+        }
+    }
+
+    /// A fresh anonymous temporary slot.
+    fn temp(&mut self) -> VOp {
+        let name = self.fresh("tmp");
+        VOp::Loc(self.p.alloc_slot(&name))
+    }
+
+    // ---- expressions ----
+
+    fn eval(&mut self, e: &Expr) -> Result<VOp, CcError> {
+        match e {
+            Expr::Lit(v) => Ok(VOp::Imm(*v)),
+            Expr::Load(lv) => self.lvalue(lv),
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                let t = self.temp();
+                match op {
+                    UnaryOp::Neg => {
+                        self.p.push(VaxInstr::Subl3(t, VOp::Imm(0), v));
+                    }
+                    UnaryOp::Not => {
+                        self.p.push(VaxInstr::Mcoml(t, v));
+                    }
+                    UnaryOp::LogNot => return self.truth_value(e),
+                }
+                Ok(t)
+            }
+            Expr::Binary(op, a, b) => {
+                if op.is_comparison() || matches!(op, BinaryOp::LogAnd | BinaryOp::LogOr) {
+                    return self.truth_value(e);
+                }
+                let va = self.eval(a)?;
+                let t = self.temp();
+                self.p.push(VaxInstr::Movl(t, va));
+                let vb = self.eval(b)?;
+                match op {
+                    BinaryOp::Add => self.p.push(VaxInstr::Addl2(t, vb)),
+                    BinaryOp::Sub => self.p.push(VaxInstr::Subl2(t, vb)),
+                    BinaryOp::Mul => self.p.push(VaxInstr::Mull2(t, vb)),
+                    BinaryOp::Div => self.p.push(VaxInstr::Divl2(t, vb)),
+                    BinaryOp::Rem => {
+                        // r = a - (a / b) * b, VAX-style synthesis.
+                        let q = self.temp();
+                        self.p.push(VaxInstr::Movl(q, t));
+                        self.p.push(VaxInstr::Divl2(q, vb));
+                        self.p.push(VaxInstr::Mull2(q, vb));
+                        self.p.push(VaxInstr::Subl2(t, q));
+                    }
+                    BinaryOp::And => {
+                        // AND via complement + bit-clear (the VAX idiom).
+                        let m = self.temp();
+                        self.p.push(VaxInstr::Mcoml(m, vb));
+                        self.p.push(VaxInstr::Bicl2(t, m));
+                    }
+                    BinaryOp::Or => self.p.push(VaxInstr::Bisl2(t, vb)),
+                    BinaryOp::Xor => self.p.push(VaxInstr::Xorl2(t, vb)),
+                    BinaryOp::Shl => self.p.push(VaxInstr::Ashl(t, vb, t)),
+                    BinaryOp::Shr => {
+                        let neg = self.temp();
+                        self.p.push(VaxInstr::Subl3(neg, VOp::Imm(0), vb));
+                        self.p.push(VaxInstr::Ashl(t, neg, t));
+                    }
+                    _ => unreachable!("handled above"),
+                }
+                Ok(t)
+            }
+            Expr::Assign(lv, rhs) => {
+                let loc = self.lvalue(lv)?;
+                match rhs.as_ref() {
+                    Expr::Lit(0) => self.p.push(VaxInstr::Clrl(loc)),
+                    _ => {
+                        let v = self.eval(rhs)?;
+                        self.p.push(VaxInstr::Movl(loc, v));
+                    }
+                }
+                Ok(loc)
+            }
+            Expr::AssignOp(op, lv, rhs) => {
+                let loc = self.lvalue(lv)?;
+                let v = self.eval(rhs)?;
+                match op {
+                    BinaryOp::Add => self.p.push(VaxInstr::Addl2(loc, v)),
+                    BinaryOp::Sub => self.p.push(VaxInstr::Subl2(loc, v)),
+                    BinaryOp::Mul => self.p.push(VaxInstr::Mull2(loc, v)),
+                    BinaryOp::Div => self.p.push(VaxInstr::Divl2(loc, v)),
+                    BinaryOp::Or => self.p.push(VaxInstr::Bisl2(loc, v)),
+                    BinaryOp::Xor => self.p.push(VaxInstr::Xorl2(loc, v)),
+                    BinaryOp::And => {
+                        let m = self.temp();
+                        self.p.push(VaxInstr::Mcoml(m, v));
+                        self.p.push(VaxInstr::Bicl2(loc, m));
+                    }
+                    BinaryOp::Shl => self.p.push(VaxInstr::Ashl(loc, v, loc)),
+                    BinaryOp::Shr => {
+                        let neg = self.temp();
+                        self.p.push(VaxInstr::Subl3(neg, VOp::Imm(0), v));
+                        self.p.push(VaxInstr::Ashl(loc, neg, loc));
+                    }
+                    other => {
+                        return self.sema(format!("unsupported compound operator {other:?}"))
+                    }
+                }
+                Ok(loc)
+            }
+            Expr::IncDec { lv, delta, post } => {
+                let loc = self.lvalue(lv)?;
+                let result = if *post {
+                    let t = self.temp();
+                    self.p.push(VaxInstr::Movl(t, loc));
+                    t
+                } else {
+                    loc
+                };
+                self.p.push(if *delta >= 0 {
+                    VaxInstr::Incl(loc)
+                } else {
+                    VaxInstr::Decl(loc)
+                });
+                Ok(result)
+            }
+            Expr::Call(name, args) => self.call(name, args),
+            Expr::Cond(c, a, b) => {
+                let t = self.temp();
+                let lf = self.fresh("cfalse");
+                let le = self.fresh("cend");
+                self.branch_cond(c, &lf, false)?;
+                let va = self.eval(a)?;
+                self.p.push(VaxInstr::Movl(t, va));
+                self.p.push_branch(VaxInstr::Jbr(0), &le);
+                self.p.label(&lf);
+                let vb = self.eval(b)?;
+                self.p.push(VaxInstr::Movl(t, vb));
+                self.p.label(&le);
+                Ok(t)
+            }
+        }
+    }
+
+    fn truth_value(&mut self, e: &Expr) -> Result<VOp, CcError> {
+        let t = self.temp();
+        let lf = self.fresh("false");
+        let le = self.fresh("end");
+        self.branch_cond(e, &lf, false)?;
+        self.p.push(VaxInstr::Movl(t, VOp::Imm(1)));
+        self.p.push_branch(VaxInstr::Jbr(0), &le);
+        self.p.label(&lf);
+        self.p.push(VaxInstr::Clrl(t));
+        self.p.label(&le);
+        Ok(t)
+    }
+
+    /// Conditional jump selection: `(when_true, when_false)` for a
+    /// comparison operator.
+    fn jumps(op: BinaryOp, t: usize) -> (VaxInstr, VaxInstr) {
+        match op {
+            BinaryOp::Lt => (VaxInstr::Jlss(t), VaxInstr::Jgeq(t)),
+            BinaryOp::Le => (VaxInstr::Jleq(t), VaxInstr::Jgtr(t)),
+            BinaryOp::Gt => (VaxInstr::Jgtr(t), VaxInstr::Jleq(t)),
+            BinaryOp::Ge => (VaxInstr::Jgeq(t), VaxInstr::Jlss(t)),
+            BinaryOp::Eq => (VaxInstr::Jeql(t), VaxInstr::Jneq(t)),
+            BinaryOp::Ne => (VaxInstr::Jneq(t), VaxInstr::Jeql(t)),
+            _ => unreachable!("not a comparison"),
+        }
+    }
+
+    fn branch_cond(&mut self, e: &Expr, target: &str, jump_if: bool) -> Result<(), CcError> {
+        match e {
+            Expr::Lit(v) => {
+                if (*v != 0) == jump_if {
+                    self.p.push_branch(VaxInstr::Jbr(0), target);
+                }
+                Ok(())
+            }
+            Expr::Unary(UnaryOp::LogNot, inner) => self.branch_cond(inner, target, !jump_if),
+            Expr::Binary(op, a, b) if op.is_comparison() => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                self.p.push(VaxInstr::Cmpl(va, vb));
+                let (jt, jf) = Self::jumps(*op, 0);
+                self.p.push_branch(if jump_if { jt } else { jf }, target);
+                Ok(())
+            }
+            // The classic VAX idiom: `if (x & mask)` → bitl + jneq/jeql.
+            Expr::Binary(BinaryOp::And, a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                self.p.push(VaxInstr::Bitl(va, vb));
+                self.p.push_branch(
+                    if jump_if { VaxInstr::Jneq(0) } else { VaxInstr::Jeql(0) },
+                    target,
+                );
+                Ok(())
+            }
+            Expr::Binary(BinaryOp::LogAnd, a, b) => {
+                if jump_if {
+                    let skip = self.fresh("and");
+                    self.branch_cond(a, &skip, false)?;
+                    self.branch_cond(b, target, true)?;
+                    self.p.label(&skip);
+                } else {
+                    self.branch_cond(a, target, false)?;
+                    self.branch_cond(b, target, false)?;
+                }
+                Ok(())
+            }
+            Expr::Binary(BinaryOp::LogOr, a, b) => {
+                if jump_if {
+                    self.branch_cond(a, target, true)?;
+                    self.branch_cond(b, target, true)?;
+                } else {
+                    let skip = self.fresh("or");
+                    self.branch_cond(a, &skip, true)?;
+                    self.branch_cond(b, target, false)?;
+                    self.p.label(&skip);
+                }
+                Ok(())
+            }
+            _ => {
+                let v = self.eval(e)?;
+                self.p.push(VaxInstr::Tstl(v));
+                self.p.push_branch(
+                    if jump_if { VaxInstr::Jneq(0) } else { VaxInstr::Jeql(0) },
+                    target,
+                );
+                Ok(())
+            }
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<VOp, CcError> {
+        let Some(callee) = self.unit.function(name) else {
+            return self.sema(format!("call to undefined function `{name}`"));
+        };
+        if callee.params.len() != args.len() {
+            return self.sema(format!(
+                "`{name}` takes {} argument(s), {} given",
+                callee.params.len(),
+                args.len()
+            ));
+        }
+        if self.call_stack.iter().any(|f| f == name) || name == self.func {
+            return Err(CcError::Unsupported {
+                message: format!(
+                    "recursion through `{name}` is not supported by the VAX-lite backend"
+                ),
+            });
+        }
+        for (i, a) in args.iter().enumerate() {
+            let v = self.eval(a)?;
+            let pname = format!("{name}.arg{i}");
+            let slot = self.p.alloc_slot(&pname);
+            self.p.push(VaxInstr::Movl(VOp::Loc(slot), v));
+        }
+        self.p.push_branch(VaxInstr::Calls(0), name);
+        // Return value convention: r0.
+        let t = self.temp();
+        self.p.push(VaxInstr::Movl(t, VOp::Reg(0)));
+        Ok(t)
+    }
+
+    /// Evaluate an expression whose value is discarded: post-increment
+    /// needs no old-value save (`i++` is a single `incl`, as a real VAX
+    /// compiler emitted).
+    fn eval_discard(&mut self, e: &Expr) -> Result<(), CcError> {
+        if let Expr::IncDec { lv, delta, .. } = e {
+            let loc = self.lvalue(lv)?;
+            self.p.push(if *delta >= 0 { VaxInstr::Incl(loc) } else { VaxInstr::Decl(loc) });
+            return Ok(());
+        }
+        self.eval(e)?;
+        Ok(())
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CcError> {
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(body) => {
+                self.scopes.push(BTreeMap::new());
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl(decls) => {
+                for (name, init) in decls {
+                    let mangled = format!("{}.{}", self.func, name);
+                    let scope = self.scopes.last_mut().expect("scope stack");
+                    if scope.insert(name.clone(), mangled.clone()).is_some() {
+                        return self.sema(format!("duplicate local `{name}`"));
+                    }
+                    let slot = self.p.alloc_slot(&mangled);
+                    if let Some(e) = init {
+                        match e {
+                            Expr::Lit(0) => self.p.push(VaxInstr::Clrl(VOp::Loc(slot))),
+                            _ => {
+                                let v = self.eval(e)?;
+                                self.p.push(VaxInstr::Movl(VOp::Loc(slot), v));
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => self.eval_discard(e),
+            Stmt::If(cond, then, els) => {
+                let lelse = self.fresh("else");
+                let lend = self.fresh("endif");
+                self.branch_cond(cond, &lelse, false)?;
+                self.stmt(then)?;
+                if let Some(els) = els {
+                    self.p.push_branch(VaxInstr::Jbr(0), &lend);
+                    self.p.label(&lelse);
+                    self.stmt(els)?;
+                    self.p.label(&lend);
+                } else {
+                    self.p.label(&lelse);
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let ltest = self.fresh("wtest");
+                let lexit = self.fresh("wexit");
+                self.p.label(&ltest);
+                self.branch_cond(cond, &lexit, false)?;
+                self.loop_labels.push((lexit.clone(), ltest.clone()));
+                self.stmt(body)?;
+                self.loop_labels.pop();
+                self.p.push_branch(VaxInstr::Jbr(0), &ltest);
+                self.p.label(&lexit);
+                Ok(())
+            }
+            Stmt::DoWhile(body, cond) => {
+                let lbody = self.fresh("dbody");
+                let ltest = self.fresh("dtest");
+                let lexit = self.fresh("dexit");
+                self.p.label(&lbody);
+                self.loop_labels.push((lexit.clone(), ltest.clone()));
+                self.stmt(body)?;
+                self.loop_labels.pop();
+                self.p.label(&ltest);
+                self.branch_cond(cond, &lbody, true)?;
+                self.p.label(&lexit);
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                // Top-test form, as period VAX compilers emitted.
+                let ltest = self.fresh("ftest");
+                let lstep = self.fresh("fstep");
+                let lexit = self.fresh("fexit");
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                self.p.label(&ltest);
+                if let Some(cond) = cond {
+                    self.branch_cond(cond, &lexit, false)?;
+                }
+                self.loop_labels.push((lexit.clone(), lstep.clone()));
+                self.stmt(body)?;
+                self.loop_labels.pop();
+                self.p.label(&lstep);
+                if let Some(step) = step {
+                    self.eval_discard(step)?;
+                }
+                self.p.push_branch(VaxInstr::Jbr(0), &ltest);
+                self.p.label(&lexit);
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    let v = self.eval(e)?;
+                    self.p.push(VaxInstr::Movl(VOp::Reg(0), v));
+                }
+                self.p.push(VaxInstr::Ret);
+                Ok(())
+            }
+            Stmt::Switch(scrutinee, cases) => {
+                let lend = self.fresh("swend");
+                let labels: Vec<String> =
+                    (0..cases.len()).map(|_| self.fresh("vcase")).collect();
+                let default_label = cases
+                    .iter()
+                    .position(|c| c.value.is_none())
+                    .map(|i| labels[i].clone())
+                    .unwrap_or_else(|| lend.clone());
+                let v = self.eval(scrutinee)?;
+                let t = self.temp();
+                self.p.push(VaxInstr::Movl(t, v));
+                for (case, label) in cases.iter().zip(&labels) {
+                    if let Some(k) = case.value {
+                        self.p.push(VaxInstr::Cmpl(t, VOp::Imm(k)));
+                        self.p.push_branch(VaxInstr::Jeql(0), label);
+                    }
+                }
+                self.p.push_branch(VaxInstr::Jbr(0), &default_label);
+                // `break` targets the switch end; `continue` still
+                // targets the enclosing loop.
+                let inherited_continue = self
+                    .loop_labels
+                    .last()
+                    .map(|(_, c)| c.clone())
+                    .unwrap_or_default();
+                self.loop_labels.push((lend.clone(), inherited_continue));
+                for (case, label) in cases.iter().zip(&labels) {
+                    self.p.label(label);
+                    for s in &case.body {
+                        self.stmt(s)?;
+                    }
+                }
+                self.loop_labels.pop();
+                self.p.label(&lend);
+                Ok(())
+            }
+            Stmt::Break => match self.loop_labels.last().cloned() {
+                Some((brk, _)) => {
+                    self.p.push_branch(VaxInstr::Jbr(0), &brk);
+                    Ok(())
+                }
+                None => self.sema("`break` outside a loop"),
+            },
+            Stmt::Continue => match self.loop_labels.last().cloned() {
+                Some((_, cont)) => {
+                    self.p.push_branch(VaxInstr::Jbr(0), &cont);
+                    Ok(())
+                }
+                None => self.sema("`continue` outside a loop"),
+            },
+        }
+    }
+
+    fn function(&mut self, func: &Function) -> Result<(), CcError> {
+        self.func = func.name.clone();
+        self.p.label(&func.name);
+        let mut scope = BTreeMap::new();
+        for (i, pname) in func.params.iter().enumerate() {
+            // Parameters arrive in the caller-filled argument slots.
+            scope.insert(pname.clone(), format!("{}.arg{i}", func.name));
+        }
+        self.scopes.push(scope);
+        for s in &func.body {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        self.p.push(VaxInstr::Ret);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> vax_lite::RunResult {
+        let unit = parse(src).unwrap();
+        generate(&unit).unwrap().run(10_000_000).unwrap()
+    }
+
+    #[test]
+    fn figure3_shape_counts() {
+        let r = run("
+            void main() {
+                int i, j, odd, even, sum;
+                sum = 0;
+                j = odd = even = 0;
+                for (i = 0; i < 1024; i++) {
+                    sum += i;
+                    if (i & 1) odd++;
+                    else even++;
+                    j = sum;
+                }
+            }
+        ");
+        // The paper's Table 2 shape: incl ≈ 2048, bitl = jeql = 1024,
+        // cmpl = jgeq = 1025, addl2 = 1024, jbr = 1536.
+        assert_eq!(r.counts.get("incl"), 2048);
+        assert_eq!(r.counts.get("bitl"), 1024);
+        assert_eq!(r.counts.get("jeql"), 1024);
+        assert_eq!(r.counts.get("cmpl"), 1025);
+        assert_eq!(r.counts.get("jgeq"), 1025);
+        assert_eq!(r.counts.get("addl2"), 1024);
+        assert_eq!(r.counts.get("jbr"), 1536);
+        assert_eq!(r.counts.get("calls"), 1);
+        assert_eq!(r.counts.get("ret"), 1);
+    }
+
+    #[test]
+    fn arithmetic_results_match_semantics() {
+        let r = run("
+            int a; int b; int c; int d; int e; int f; int g;
+            void main() {
+                a = 7 + 3 * 2;      // 13
+                b = (7 - 10);       // -3
+                c = 7 & 12;         // 4
+                d = 7 | 8;          // 15
+                e = 7 ^ 5;          // 2
+                f = 3 << 4;         // 48
+                g = -64 >> 3;       // -8
+            }
+        ");
+        let vals: Vec<i32> = ["a", "b", "c", "d", "e", "f", "g"]
+            .iter()
+            .map(|_| 0)
+            .collect();
+        let _ = vals;
+        // Globals are the first allocated slots, in declaration order.
+        assert_eq!(r.memory[0], 13);
+        assert_eq!(r.memory[1], -3);
+        assert_eq!(r.memory[2], 4);
+        assert_eq!(r.memory[3], 15);
+        assert_eq!(r.memory[4], 2);
+        assert_eq!(r.memory[5], 48);
+        assert_eq!(r.memory[6], -8);
+    }
+
+    #[test]
+    fn rem_synthesis() {
+        let r = run("int a; void main() { int x; x = 17; a = x % 5; }");
+        assert_eq!(r.memory[0], 2);
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return() {
+        let r = run("
+            int out;
+            int add3(int a, int b, int c) { return a + b + c; }
+            void main() { out = add3(1, 2, 3); }
+        ");
+        assert_eq!(r.memory[0], 6);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let unit = parse("int f(int n) { return f(n); } void main() { f(1); }").unwrap();
+        let e = generate(&unit).unwrap_err();
+        assert!(matches!(e, CcError::Unsupported { .. }), "{e}");
+    }
+
+    #[test]
+    fn arrays_rejected() {
+        let unit = parse("int a[4]; void main() { }").unwrap();
+        assert!(matches!(generate(&unit), Err(CcError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn control_flow() {
+        let r = run("
+            int out;
+            void main() {
+                int i;
+                out = 0;
+                for (i = 0; i < 10; i++) {
+                    if (i == 5) continue;
+                    if (i == 8) break;
+                    out += i;
+                }
+            }
+        ");
+        // 0+1+2+3+4+6+7 = 23
+        assert_eq!(r.memory[0], 23);
+    }
+
+    #[test]
+    fn logical_ops_short_circuit() {
+        let r = run("
+            int out; int touched;
+            int side() { touched = 1; return 1; }
+            void main() {
+                out = (0 && side()) + (1 || side());
+            }
+        ");
+        assert_eq!(r.memory[0], 1);
+        assert_eq!(r.memory[1], 0, "short-circuit must skip side()");
+    }
+}

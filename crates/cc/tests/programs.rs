@@ -1,0 +1,584 @@
+//! End-to-end compiler torture tests: each program runs under every
+//! compiler-option combination on the functional engine, and its
+//! outputs (globals, in declaration order) must match the expected
+//! values computed by ordinary Rust.
+
+use crisp_asm::Image;
+use crisp_cc::{compile_crisp, CompileOptions, PredictionMode};
+use crisp_sim::{FunctionalSim, Machine};
+
+fn run_all_options(src: &str, expected: &[i32]) {
+    let combos = [
+        CompileOptions { spread: false, prediction: PredictionMode::NotTaken },
+        CompileOptions { spread: false, prediction: PredictionMode::Taken },
+        CompileOptions { spread: true, prediction: PredictionMode::Btfnt },
+        CompileOptions { spread: true, prediction: PredictionMode::Ftbnt },
+    ];
+    for opts in combos {
+        let image = compile_crisp(src, &opts).unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+        let run = FunctionalSim::new(Machine::load(&image).unwrap())
+            .run()
+            .unwrap_or_else(|e| panic!("{opts:?}: {e}"));
+        assert!(run.halted);
+        for (i, &want) in expected.iter().enumerate() {
+            let got = run
+                .machine
+                .mem
+                .read_word(Image::DEFAULT_DATA_BASE + 4 * i as u32)
+                .unwrap();
+            assert_eq!(got, want, "global {i} under {opts:?}\n{src}");
+        }
+    }
+}
+
+#[test]
+fn operator_precedence_and_associativity() {
+    run_all_options(
+        "
+        int a; int b; int c; int d; int e; int f;
+        void main() {
+            a = 2 + 3 * 4 - 5;          // 9
+            b = (2 + 3) * (4 - 6);      // -10
+            c = 100 / 10 / 2;           // 5 (left assoc)
+            d = 1 << 2 << 1;            // 8
+            e = 7 - 3 - 2;              // 2
+            f = -3 + +4;                // 1
+        }
+        ",
+        &[9, -10, 5, 8, 2, 1],
+    );
+}
+
+#[test]
+fn comparisons_as_values() {
+    run_all_options(
+        "
+        int a; int b; int c; int d;
+        void main() {
+            a = (3 < 4) + (4 < 3);      // 1
+            b = (5 == 5) * 10;          // 10
+            c = !(2 > 1);               // 0
+            d = !0 + !7;                // 1
+        }
+        ",
+        &[1, 10, 0, 1],
+    );
+}
+
+#[test]
+fn short_circuit_evaluation_order() {
+    run_all_options(
+        "
+        int hits; int r1; int r2; int r3;
+        int bump() { hits++; return 1; }
+        void main() {
+            hits = 0;
+            r1 = 0 && bump();   // bump not called
+            r2 = 1 || bump();   // bump not called
+            r3 = 1 && bump();   // called once
+        }
+        ",
+        &[1, 0, 1, 1],
+    );
+}
+
+#[test]
+fn ternary_expressions() {
+    run_all_options(
+        "
+        int a; int b; int c;
+        void main() {
+            int x;
+            x = 7;
+            a = x > 5 ? 100 : 200;
+            b = x < 5 ? 100 : 200;
+            c = (x == 7 ? 1 : 0) + (x != 7 ? 10 : 20);
+        }
+        ",
+        &[100, 200, 21],
+    );
+}
+
+#[test]
+fn while_do_while_and_break_continue() {
+    run_all_options(
+        "
+        int a; int b; int c;
+        void main() {
+            int i;
+            a = 0; i = 0;
+            while (i < 10) { i++; if (i == 3) continue; if (i == 8) break; a += i; }
+            b = 0; i = 0;
+            do { b += i; i++; } while (i < 5);
+            c = 0;
+            for (i = 0; i < 100; i++) { if (i >= 4) break; c += 10; }
+        }
+        ",
+        // a = 1+2+4+5+6+7 = 25; b = 0+1+2+3+4 = 10; c = 40
+        &[25, 10, 40],
+    );
+}
+
+#[test]
+fn nested_loops_with_shadowing() {
+    run_all_options(
+        "
+        int total;
+        void main() {
+            int i, j;
+            total = 0;
+            for (i = 0; i < 5; i++) {
+                int acc;
+                acc = 0;
+                for (j = 0; j <= i; j++) {
+                    int acc2;
+                    acc2 = j * 2;
+                    acc += acc2;
+                }
+                total += acc;
+            }
+        }
+        ",
+        // sum over i of 2*(0+..+i) = 2*(0+1+3+6+10) = 40
+        &[40],
+    );
+}
+
+#[test]
+fn global_arrays_and_index_expressions() {
+    run_all_options(
+        "
+        int a[10];
+        int sum; int back;
+        void main() {
+            int i;
+            for (i = 0; i < 10; i++) a[i] = i * i;
+            sum = 0;
+            for (i = 0; i < 10; i++) sum += a[i];
+            back = a[a[3]];  // a[9] = 81
+        }
+        ",
+        &[0, 1, 4, 9, 16, 25, 36, 49, 64, 81, 285, 81],
+    );
+}
+
+#[test]
+fn array_initialisers() {
+    run_all_options(
+        "
+        int a[5] = {10, 20, 30};
+        int s;
+        void main() { s = a[0] + a[1] + a[2] + a[3] + a[4]; }
+        ",
+        &[10, 20, 30, 0, 0, 60],
+    );
+}
+
+#[test]
+fn functions_with_many_args_and_nesting() {
+    run_all_options(
+        "
+        int r1; int r2;
+        int mix(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+        int twice(int x) { return x * 2; }
+        void main() {
+            r1 = mix(1, 2, 3, 4);
+            r2 = mix(twice(1), twice(2), twice(3), twice(4));
+        }
+        ",
+        &[1234, 2468],
+    );
+}
+
+#[test]
+fn mutual_recursion() {
+    run_all_options(
+        "
+        int evens; int odds;
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        void main() {
+            int i;
+            evens = odds = 0;
+            for (i = 0; i < 12; i++) {
+                if (is_even(i)) evens++;
+                else odds++;
+            }
+        }
+        ",
+        &[6, 6],
+    );
+}
+
+#[test]
+fn signed_arithmetic_edge_cases() {
+    run_all_options(
+        "
+        int a; int b; int c; int d; int e;
+        void main() {
+            a = -7 / 2;         // -3 (trunc toward zero)
+            b = -7 % 2;         // -1
+            c = -1 >> 1;        // -1 (arithmetic shift)
+            d = 0x7fffffff + 1; // wraps to INT_MIN
+            e = -0x80000000 - 1;// wraps to INT_MAX
+        }
+        ",
+        &[-3, -1, -1, i32::MIN, i32::MAX],
+    );
+}
+
+#[test]
+fn compound_assignments() {
+    run_all_options(
+        "
+        int a; int b;
+        void main() {
+            int x;
+            x = 100;
+            x += 10; x -= 5; x *= 2; x /= 3; x %= 50;
+            a = x;              // ((105*2)/3)%50 = 70%50 = 20
+            x = 0x0F;
+            x &= 0x3C; x |= 0x40; x ^= 0xFF; x <<= 2; x >>= 1;
+            a = a;              // keep
+            b = x;
+        }
+        ",
+        &[20, (((0x0F & 0x3C) | 0x40) ^ 0xFF) << 2 >> 1],
+    );
+}
+
+#[test]
+fn increment_decrement_value_semantics() {
+    run_all_options(
+        "
+        int a; int b; int c; int d;
+        void main() {
+            int x;
+            x = 5;  a = x++ + 10;  // 15, x=6
+            b = ++x + 10;          // 17, x=7
+            c = x-- + 10;          // 17, x=6
+            d = --x + 10;          // 15, x=5
+        }
+        ",
+        &[15, 17, 17, 15],
+    );
+}
+
+#[test]
+fn char_literals_and_hex() {
+    run_all_options(
+        "
+        int a; int b;
+        void main() {
+            a = 'A' + 1;      // 66
+            b = 0xFF & 0x0F;  // 15
+        }
+        ",
+        &[66, 15],
+    );
+}
+
+#[test]
+fn deeply_nested_expressions_spill_correctly() {
+    // Forces accumulator spills at every level.
+    run_all_options(
+        "
+        int r;
+        void main() {
+            r = ((1+2)*(3+4)) + ((5+6)*(7+8)) + ((9+10)*(11+12)) - ((2*3)*(4*5));
+        }
+        ",
+        &[(3 * 7) + (11 * 15) + (19 * 23) - 120],
+    );
+}
+
+#[test]
+fn spreading_with_aliased_fill_candidates() {
+    // The statement after the if touches the same variables as the
+    // arms: fill must be refused, and results stay correct.
+    run_all_options(
+        "
+        int odd; int even; int total;
+        void main() {
+            int i;
+            for (i = 0; i < 10; i++) {
+                if (i & 1) odd++;
+                else even++;
+                total = odd + even;  // reads what the arms write
+            }
+        }
+        ",
+        &[5, 5, 10],
+    );
+}
+
+#[test]
+fn fill_across_if_without_else() {
+    run_all_options(
+        "
+        int hits; int steps;
+        void main() {
+            int i;
+            for (i = 0; i < 16; i++) {
+                if (i % 3 == 0) hits++;
+                steps += 1;
+            }
+        }
+        ",
+        &[6, 16],
+    );
+}
+
+#[test]
+fn early_returns() {
+    run_all_options(
+        "
+        int r1; int r2;
+        int classify(int x) {
+            if (x < 0) return -1;
+            if (x == 0) return 0;
+            return 1;
+        }
+        void main() {
+            r1 = classify(-5) + classify(0) + classify(9);  // 0
+            r2 = classify(3) * 7;                           // 7
+        }
+        ",
+        &[0, 7],
+    );
+}
+
+#[test]
+fn sieve_of_eratosthenes() {
+    run_all_options(
+        "
+        int sieve[100];
+        int primes;
+        void main() {
+            int i, j;
+            for (i = 0; i < 100; i++) sieve[i] = 1;
+            sieve[0] = sieve[1] = 0;
+            for (i = 2; i < 100; i++) {
+                if (sieve[i]) {
+                    for (j = i * i; j < 100; j += i) sieve[j] = 0;
+                }
+            }
+            primes = 0;
+            for (i = 0; i < 100; i++) primes += sieve[i];
+        }
+        ",
+        // primes below 100: 25 — check the counter (global index 100).
+        &{
+            let mut v = [0i32; 101];
+            let mut sieve = [true; 100];
+            sieve[0] = false;
+            sieve[1] = false;
+            let mut i = 2;
+            while i < 100 {
+                if sieve[i] {
+                    let mut j = i * i;
+                    while j < 100 {
+                        sieve[j] = false;
+                        j += i;
+                    }
+                }
+                i += 1;
+            }
+            for (k, &p) in sieve.iter().enumerate() {
+                v[k] = i32::from(p);
+            }
+            v[100] = sieve.iter().filter(|&&p| p).count() as i32;
+            v
+        },
+    );
+}
+
+#[test]
+fn insertion_sort() {
+    run_all_options(
+        "
+        int a[16];
+        int sorted;
+        void main() {
+            int i, j, key, n, seed;
+            n = 16;
+            seed = 42;
+            for (i = 0; i < n; i++) {
+                seed = seed * 1103515245 + 12345;
+                a[i] = (seed >> 16) & 0xFF;
+            }
+            for (i = 1; i < n; i++) {
+                key = a[i];
+                j = i - 1;
+                while (j >= 0 && a[j] > key) {
+                    a[j + 1] = a[j];
+                    j--;
+                }
+                a[j + 1] = key;
+            }
+            sorted = 1;
+            for (i = 1; i < n; i++) {
+                if (a[i - 1] > a[i]) sorted = 0;
+            }
+        }
+        ",
+        &{
+            // Mirror the LCG and sort in Rust.
+            let mut vals = [0i32; 16];
+            let mut seed: i32 = 42;
+            for v in &mut vals {
+                seed = seed.wrapping_mul(1103515245).wrapping_add(12345);
+                *v = (seed >> 16) & 0xFF;
+            }
+            vals.sort_unstable();
+            let mut out = [0i32; 17];
+            out[..16].copy_from_slice(&vals);
+            out[16] = 1;
+            out
+        },
+    );
+}
+
+#[test]
+fn switch_dense_jump_table() {
+    // 5 contiguous cases: compiles to an indirect jump table — the
+    // construct for which the paper says indirect branches are
+    // "occasionally generated ... for such constructs as case
+    // statements".
+    run_all_options(
+        "
+        int out[8];
+        void main() {
+            int i, r;
+            for (i = -1; i < 7; i++) {
+                switch (i) {
+                    case 0: r = 100; break;
+                    case 1: r = 101; break;
+                    case 2: r = 102; break;
+                    case 3: r = 103; break;
+                    case 4: r = 104; break;
+                    default: r = -1; break;
+                }
+                out[i + 1] = r;
+            }
+        }
+        ",
+        &[-1, 100, 101, 102, 103, 104, -1, -1],
+    );
+}
+
+#[test]
+fn switch_sparse_compare_chain() {
+    run_all_options(
+        "
+        int a; int b; int c;
+        int pick(int x) {
+            switch (x) {
+                case 1: return 10;
+                case 100: return 20;
+                case -50: return 30;
+            }
+            return 0;
+        }
+        void main() {
+            a = pick(100);
+            b = pick(-50);
+            c = pick(7);
+        }
+        ",
+        &[20, 30, 0],
+    );
+}
+
+#[test]
+fn switch_fallthrough_semantics() {
+    run_all_options(
+        "
+        int out[5];
+        void main() {
+            int i, acc;
+            for (i = 0; i < 5; i++) {
+                acc = 0;
+                switch (i) {
+                    case 0: acc += 1;      // falls through
+                    case 1: acc += 10;     // falls through
+                    case 2: acc += 100; break;
+                    case 3: acc += 1000; break;
+                    default: acc = -1;
+                }
+                out[i] = acc;
+            }
+        }
+        ",
+        &[111, 110, 100, 1000, -1],
+    );
+}
+
+#[test]
+fn switch_without_default_or_match() {
+    run_all_options(
+        "
+        int r;
+        void main() {
+            r = 42;
+            switch (9) {
+                case 1: r = 1; break;
+                case 2: r = 2; break;
+            }
+        }
+        ",
+        &[42],
+    );
+}
+
+#[test]
+fn switch_inside_loop_with_continue() {
+    // `continue` inside the switch must target the enclosing loop.
+    run_all_options(
+        "
+        int sum; int skipped;
+        void main() {
+            int i;
+            for (i = 0; i < 10; i++) {
+                switch (i & 3) {
+                    case 0: skipped++; continue;
+                    case 1: sum += 10; break;
+                    default: sum += 1; break;
+                }
+                sum += 1000;
+            }
+        }
+        ",
+        // i%4==0 for 0,4,8 -> skipped=3; i%4==1 for 1,5,9 -> +10 each;
+        // others (2,3,6,7) -> +1 each; non-skipped add 1000 each (7x).
+        &[30 + 4 + 7000, 3],
+    );
+}
+
+#[test]
+fn nested_switches() {
+    run_all_options(
+        "
+        int r;
+        int classify(int a, int b) {
+            switch (a) {
+                case 0:
+                    switch (b) {
+                        case 0: return 1;
+                        case 1: return 2;
+                        case 2: return 3;
+                        case 3: return 4;
+                        default: return 5;
+                    }
+                case 1: return 10;
+                default: return 20;
+            }
+        }
+        void main() {
+            r = classify(0, 2) * 10000 + classify(1, 0) * 100 + classify(9, 9);
+        }
+        ",
+        &[3 * 10000 + 10 * 100 + 20],
+    );
+}

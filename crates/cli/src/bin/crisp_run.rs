@@ -1,0 +1,101 @@
+//! `crisp-run` — compile (or assemble) and execute a program.
+//!
+//! ```text
+//! crisp-run [OPTIONS] [FILE]     run FILE (or stdin)
+//!
+//!   --asm                        input is CRISP assembly, not mini-C
+//!   --cycles                     use the cycle-level pipeline (default:
+//!                                functional engine)
+//!   --trace                      print the branch trace (functional only)
+//!   --fold POLICY --icache N --mem-latency N   machine configuration
+//!   --no-spread --predict MODE                 compiler configuration
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! crisp-run --cycles program.c
+//! crisp-run --asm loop.s
+//! echo 'void main(){}' | crisp-run
+//! ```
+
+use std::process::ExitCode;
+
+use crisp_asm::assemble_text;
+use crisp_cc::compile_crisp;
+use crisp_cli::{extract_switch, parse_common, read_input};
+use crisp_sim::{CycleSim, FunctionalSim, Machine};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("crisp-run: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: crisp-run [--asm] [--cycles] [--trace] [OPTIONS] [FILE]");
+        return Ok(());
+    }
+    let is_asm = extract_switch(&mut raw, "--asm");
+    let cycles = extract_switch(&mut raw, "--cycles");
+    let trace = extract_switch(&mut raw, "--trace");
+    let args = parse_common(raw.into_iter()).map_err(|e| e.to_string())?;
+    if let Some(flag) = args.rest.first() {
+        return Err(format!("unknown flag `{flag}`"));
+    }
+
+    let source = read_input(&args.input).map_err(|e| e.to_string())?;
+    let image = if is_asm {
+        assemble_text(&source).map_err(|e| e.to_string())?
+    } else {
+        compile_crisp(&source, &args.compile).map_err(|e| e.to_string())?
+    };
+    let machine = Machine::load(&image).map_err(|e| e.to_string())?;
+
+    if cycles {
+        let run = CycleSim::new(machine, args.sim).run().map_err(|e| e.to_string())?;
+        println!("cycles               : {}", run.stats.cycles);
+        println!("instructions issued  : {}", run.stats.issued);
+        println!("program instructions : {}", run.stats.program_instrs);
+        println!("issued CPI           : {:.3}", run.stats.cycles_per_issued());
+        println!("apparent CPI         : {:.3}", run.stats.apparent_cpi());
+        println!("conditional branches : {}", run.stats.cond_branches);
+        println!(
+            "mispredicts          : {} (by resolve stage {:?})",
+            run.stats.mispredicts(),
+            run.stats.mispredicts_by_stage
+        );
+        println!("resolved at fetch    : {}", run.stats.resolved_at_fetch);
+        println!(
+            "decoded cache        : {} hits / {} misses",
+            run.stats.icache_hits, run.stats.icache_misses
+        );
+        println!("accumulator          : {}", run.machine.accum);
+    } else {
+        let run = FunctionalSim::new(machine)
+            .record_trace(trace)
+            .run()
+            .map_err(|e| e.to_string())?;
+        println!("program instructions : {}", run.stats.program_instrs);
+        println!("pipeline entries     : {}", run.stats.entries);
+        println!("folded branches      : {}", run.stats.folded);
+        println!("conditional branches : {}", run.stats.cond_branches);
+        println!("static mispredicts   : {}", run.stats.static_mispredicts);
+        println!("accumulator          : {}", run.machine.accum);
+        println!("opcode mix:");
+        print!("{}", run.stats.opcodes);
+        if trace {
+            println!("branch trace ({} events):", run.trace.len());
+            for e in &run.trace {
+                println!("  {e}");
+            }
+        }
+    }
+    Ok(())
+}

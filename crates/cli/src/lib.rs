@@ -1,0 +1,220 @@
+//! Shared plumbing for the command-line tools.
+//!
+//! `crispc` compiles mini-C to CRISP code (listing, disassembly or a
+//! summary); `crisp-run` compiles — or assembles `.s` files — and
+//! executes on the functional or cycle engine, printing the statistics
+//! the paper's tables are made of.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use crisp_cc::{CompileOptions, PredictionMode};
+use crisp_isa::FoldPolicy;
+use crisp_sim::SimConfig;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct CommonArgs {
+    /// Input path (`-` for stdin).
+    pub input: Option<String>,
+    /// Compiler options.
+    pub compile: CompileOptions,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// Remaining tool-specific flags.
+    pub rest: Vec<String>,
+}
+
+/// A CLI usage error (message already formatted for the user).
+#[derive(Debug)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, UsageError> {
+    Err(UsageError(msg.into()))
+}
+
+/// Parse the options shared by both tools:
+///
+/// ```text
+/// --no-spread            disable Branch Spreading
+/// --predict MODE         taken | not-taken | btfnt | ftbnt
+/// --fold POLICY          none | host1 | host13 | all
+/// --icache N             decoded-cache entries (power of two)
+/// --mem-latency N        cycles per 4-parcel instruction fetch
+/// ```
+///
+/// # Errors
+///
+/// [`UsageError`] on unknown flags or bad values.
+pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonArgs, UsageError> {
+    let mut out = CommonArgs {
+        input: None,
+        compile: CompileOptions::default(),
+        sim: SimConfig::default(),
+        rest: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let value_for = |flag: &str, args: &mut std::iter::Peekable<_>| match args.next() {
+            Some(v) => Ok(v),
+            None => err(format!("{flag} requires a value")),
+        };
+        match arg.as_str() {
+            "--no-spread" => out.compile.spread = false,
+            "--predict" => {
+                let v: String = value_for("--predict", &mut args)?;
+                out.compile.prediction = match v.as_str() {
+                    "taken" => PredictionMode::Taken,
+                    "not-taken" => PredictionMode::NotTaken,
+                    "btfnt" => PredictionMode::Btfnt,
+                    "ftbnt" => PredictionMode::Ftbnt,
+                    other => return err(format!("unknown prediction mode `{other}`")),
+                };
+            }
+            "--fold" => {
+                let v: String = value_for("--fold", &mut args)?;
+                out.sim.fold_policy = match v.as_str() {
+                    "none" => FoldPolicy::None,
+                    "host1" => FoldPolicy::Host1,
+                    "host13" => FoldPolicy::Host13,
+                    "all" => FoldPolicy::All,
+                    other => return err(format!("unknown fold policy `{other}`")),
+                };
+            }
+            "--icache" => {
+                let v: String = value_for("--icache", &mut args)?;
+                out.sim.icache_entries = match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => return err(format!("bad --icache value `{v}`")),
+                };
+            }
+            "--mem-latency" => {
+                let v: String = value_for("--mem-latency", &mut args)?;
+                out.sim.mem_latency = match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => return err(format!("bad --mem-latency value `{v}`")),
+                };
+            }
+            other if other.starts_with("--") => out.rest.push(arg),
+            _ => {
+                if out.input.is_some() {
+                    return err(format!("unexpected extra input `{arg}`"));
+                }
+                out.input = Some(arg);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Remove `--name VALUE` from an argument vector, returning the value.
+///
+/// # Errors
+///
+/// [`UsageError`] when the flag is present without a value.
+pub fn extract_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, UsageError> {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        if pos + 1 >= args.len() {
+            return err(format!("{name} requires a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        return Ok(Some(value));
+    }
+    Ok(None)
+}
+
+/// Remove a boolean `--name` switch from an argument vector.
+pub fn extract_switch(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Read the input file (or stdin when the path is `-` or absent).
+///
+/// # Errors
+///
+/// [`UsageError`] describing the I/O failure.
+pub fn read_input(input: &Option<String>) -> Result<String, UsageError> {
+    use std::io::Read as _;
+    match input.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => Ok(buf),
+                Err(e) => err(format!("reading stdin: {e}")),
+            }
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => Ok(s),
+            Err(e) => err(format!("reading {path}: {e}")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, UsageError> {
+        parse_common(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&["prog.c"]).unwrap();
+        assert_eq!(a.input.as_deref(), Some("prog.c"));
+        assert!(a.compile.spread);
+        assert_eq!(a.sim.icache_entries, 32);
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&[
+            "--no-spread",
+            "--predict",
+            "not-taken",
+            "--fold",
+            "none",
+            "--icache",
+            "64",
+            "--mem-latency",
+            "3",
+            "x.c",
+        ])
+        .unwrap();
+        assert!(!a.compile.spread);
+        assert_eq!(a.compile.prediction, PredictionMode::NotTaken);
+        assert_eq!(a.sim.fold_policy, FoldPolicy::None);
+        assert_eq!(a.sim.icache_entries, 64);
+        assert_eq!(a.sim.mem_latency, 3);
+    }
+
+    #[test]
+    fn tool_specific_flags_pass_through() {
+        let a = parse(&["--cycles", "x.c"]).unwrap();
+        assert_eq!(a.rest, vec!["--cycles".to_string()]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--predict"]).is_err());
+        assert!(parse(&["--predict", "sideways"]).is_err());
+        assert!(parse(&["--fold", "sometimes"]).is_err());
+        assert!(parse(&["--icache", "lots"]).is_err());
+        assert!(parse(&["a.c", "b.c"]).is_err());
+    }
+}

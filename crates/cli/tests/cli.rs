@@ -1,0 +1,117 @@
+//! Integration tests that drive the built binaries end to end.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const PROGRAM: &str = "int r; void main() { int i; for (i = 0; i < 9; i++) r += i; }";
+
+fn run_tool(exe: &str, args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(exe)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("tool spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin writes");
+    let out = child.wait_with_output().expect("tool runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn crispc_lists_code_from_stdin() {
+    let (stdout, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crispc"), &[], PROGRAM);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("enter"), "{stdout}");
+    assert!(stdout.contains("ifjmpy"), "{stdout}");
+    assert!(stdout.contains("folds with next"), "{stdout}");
+}
+
+#[test]
+fn crispc_emits_vax() {
+    let (stdout, stderr, ok) =
+        run_tool(env!("CARGO_BIN_EXE_crispc"), &["--emit", "vax"], PROGRAM);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("addl2"), "{stdout}");
+    assert!(stdout.contains("jbr") || stdout.contains("jgeq"), "{stdout}");
+}
+
+#[test]
+fn crispc_summary_lists_symbols() {
+    let (stdout, stderr, ok) =
+        run_tool(env!("CARGO_BIN_EXE_crispc"), &["--emit", "summary"], PROGRAM);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("main"), "{stdout}");
+    assert!(stdout.contains("parcels"), "{stdout}");
+}
+
+#[test]
+fn crispc_reports_compile_errors() {
+    let (_, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crispc"), &[], "void main() { x = 1; }");
+    assert!(!ok);
+    assert!(stderr.contains("undefined"), "{stderr}");
+}
+
+#[test]
+fn crisp_run_functional() {
+    let (stdout, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crisp-run"), &[], PROGRAM);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("program instructions"), "{stdout}");
+    assert!(stdout.contains("folded branches"), "{stdout}");
+}
+
+#[test]
+fn crisp_run_cycles_with_machine_flags() {
+    let (stdout, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &["--cycles", "--fold", "none", "--icache", "64"],
+        PROGRAM,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("cycles"), "{stdout}");
+    assert!(stdout.contains("mispredicts"), "{stdout}");
+}
+
+#[test]
+fn crisp_run_assembly_input() {
+    let asm = "
+        mov 0(sp),$0
+    top:
+        add 0(sp),$1
+        cmp.s< 0(sp),$5
+        ifjmpy.t top
+        halt
+    ";
+    let (stdout, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crisp-run"), &["--asm"], asm);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("conditional branches : 5"), "{stdout}");
+}
+
+#[test]
+fn crisp_run_trace_output() {
+    let (stdout, stderr, ok) =
+        run_tool(env!("CARGO_BIN_EXE_crisp-run"), &["--trace"], PROGRAM);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("branch trace"), "{stdout}");
+    assert!(stdout.contains("taken"), "{stdout}");
+}
+
+#[test]
+fn unknown_flags_fail_cleanly() {
+    let (_, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crisp-run"), &["--bogus"], PROGRAM);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    let (_, stderr, ok) =
+        run_tool(env!("CARGO_BIN_EXE_crispc"), &["--emit", "pdf"], PROGRAM);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --emit"), "{stderr}");
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Errors produced while encoding, decoding or folding instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A short (one-parcel) branch target is outside the 10-bit
+    /// PC-relative reach of −1024..+1022 bytes.
+    ShortBranchOutOfRange {
+        /// The requested byte offset.
+        offset: i32,
+    },
+    /// A one-parcel register form was requested with a stack offset that
+    /// is not a multiple of four or not within the 5-bit slot range.
+    SlotOutOfRange {
+        /// The requested SP-relative byte offset.
+        offset: i32,
+    },
+    /// A 5-bit immediate form was requested with a value outside 0..=31.
+    Imm5OutOfRange {
+        /// The requested immediate.
+        value: i32,
+    },
+    /// An SP-relative offset does not fit the 16-bit extension parcel and
+    /// no 32-bit form exists for this operand pairing.
+    SpOffOutOfRange {
+        /// The requested SP-relative byte offset.
+        offset: i32,
+    },
+    /// A stack-indirect operand (16-bit offset only) was paired with an
+    /// operand requiring 32-bit extensions; the ISA has no wide
+    /// stack-indirect mode, so the instruction must be split by the
+    /// code generator.
+    UnencodablePair,
+    /// The destination of an operation was an immediate.
+    ImmediateDestination,
+    /// The parcel stream ended in the middle of an instruction.
+    Truncated,
+    /// The opcode bits of the first parcel do not name an instruction.
+    BadOpcode {
+        /// The offending first parcel.
+        parcel: u16,
+    },
+    /// An operand-mode field held a combination the encoder never emits
+    /// (for example mismatched extension widths).
+    BadOperandMode {
+        /// The offending mode bits.
+        mode: u8,
+    },
+    /// A `Frame` (enter/leave) byte count was negative or not
+    /// word-aligned.
+    BadFrameSize {
+        /// The requested frame size in bytes.
+        bytes: u32,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::ShortBranchOutOfRange { offset } => {
+                write!(f, "short branch offset {offset} outside -1024..=1022 bytes")
+            }
+            IsaError::SlotOutOfRange { offset } => {
+                write!(f, "stack slot offset {offset} not encodable in a 5-bit slot field")
+            }
+            IsaError::Imm5OutOfRange { value } => {
+                write!(f, "immediate {value} outside the 5-bit range 0..=31")
+            }
+            IsaError::SpOffOutOfRange { offset } => {
+                write!(f, "SP-relative offset {offset} outside the 16-bit range")
+            }
+            IsaError::UnencodablePair => {
+                write!(f, "stack-indirect operand cannot pair with a 32-bit operand")
+            }
+            IsaError::ImmediateDestination => {
+                write!(f, "destination operand cannot be an immediate")
+            }
+            IsaError::Truncated => write!(f, "parcel stream truncated mid-instruction"),
+            IsaError::BadOpcode { parcel } => {
+                write!(f, "parcel {parcel:#06x} does not decode to an instruction")
+            }
+            IsaError::BadOperandMode { mode } => {
+                write!(f, "invalid operand mode bits {mode:#x}")
+            }
+            IsaError::BadFrameSize { bytes } => {
+                write!(f, "frame size {bytes} is not a word-aligned byte count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

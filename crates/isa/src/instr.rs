@@ -1,0 +1,336 @@
+use std::fmt;
+
+use crate::{encoding, BinOp, Cond, IsaError, Operand};
+
+/// Where a branch transfers control.
+///
+/// One-parcel branches use [`BranchTarget::PcRel`]; three-parcel branches
+/// carry a 32-bit specifier in one of the three forms the paper lists:
+/// "an absolute address, ... a branch indirect through an absolute
+/// address, or a branch indirect through the address specified by a 32-bit
+/// offset from the Stack Pointer".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchTarget {
+    /// PC-relative byte offset from the branch instruction's own address.
+    /// Only valid in the one-parcel form and therefore limited to
+    /// −1024..+1022 bytes, even values.
+    PcRel(i32),
+    /// Absolute byte address.
+    Abs(u32),
+    /// Indirect: the target is the word stored at the absolute address.
+    IndAbs(u32),
+    /// Indirect: the target is the word stored at `SP + offset`.
+    IndSp(i32),
+}
+
+impl BranchTarget {
+    /// Whether this target form fits the one-parcel branch encoding.
+    pub fn is_short(self) -> bool {
+        matches!(self, BranchTarget::PcRel(off)
+            if (crate::SHORT_BRANCH_MIN..=crate::SHORT_BRANCH_MAX).contains(&off)
+                && off % 2 == 0)
+    }
+}
+
+impl fmt::Display for BranchTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchTarget::PcRel(off) => write!(f, ".{off:+}"),
+            BranchTarget::Abs(a) => write!(f, "{a:#x}"),
+            BranchTarget::IndAbs(a) => write!(f, "*{a:#x}"),
+            BranchTarget::IndSp(off) => write!(f, "*{off}(sp)"),
+        }
+    }
+}
+
+/// An assembler-level CRISP instruction.
+///
+/// This is the form the assembler and compiler manipulate; the binary
+/// parcel representation is produced by [`crate::encoding::encode`] and
+/// the execution-unit form by [`crate::decode_and_fold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation (one parcel). Emitted by the compiler when branch
+    /// spreading cannot find useful work to hoist.
+    Nop,
+    /// Stop the simulator (one parcel; stands in for CRISP's kernel-call
+    /// mechanism, which the paper does not describe).
+    Halt,
+    /// Two-address ALU operation: `dst = dst op src`
+    /// (or `dst = src` when `op` is [`BinOp::Mov`]).
+    Op2 {
+        /// The operation.
+        op: BinOp,
+        /// Destination (must be writable).
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// Three-address accumulator operation: `Accum = a op b`.
+    /// This is the paper's `and3 i,1` family.
+    Op3 {
+        /// The operation ([`BinOp::Mov`] is not valid here).
+        op: BinOp,
+        /// Left source.
+        a: Operand,
+        /// Right source.
+        b: Operand,
+    },
+    /// Compare: sets the PSW flag to `a cond b`. The only instruction
+    /// that writes the flag.
+    Cmp {
+        /// The comparison condition.
+        cond: Cond,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Unconditional branch.
+    Jmp {
+        /// Target.
+        target: BranchTarget,
+    },
+    /// Conditional branch.
+    IfJmp {
+        /// Branch when the flag equals this value (`true` = `ifjmpy`
+        /// branch-if-flag-true, `false` = `ifjmpn`).
+        on_true: bool,
+        /// The static branch-prediction bit: `true` predicts taken.
+        /// Set by the compiler; the paper's central hint bit.
+        predict_taken: bool,
+        /// Target.
+        target: BranchTarget,
+    },
+    /// Call: pushes the return address (`SP -= 4; mem[SP] = pc + len`)
+    /// and transfers to the target.
+    Call {
+        /// Target.
+        target: BranchTarget,
+    },
+    /// Return: pops the return address (`pc = mem[SP]; SP += 4`).
+    Ret,
+    /// Allocate a stack frame: `SP -= bytes`. The paper's `enter`.
+    Enter {
+        /// Frame size in bytes (word-aligned).
+        bytes: u32,
+    },
+    /// Release a stack frame: `SP += bytes`.
+    Leave {
+        /// Frame size in bytes (word-aligned).
+        bytes: u32,
+    },
+}
+
+impl Instr {
+    /// The encoded length in parcels: always 1, 3 or 5.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the instruction cannot be encoded at all
+    /// (see [`crate::encoding::encode`]).
+    pub fn parcels(&self) -> Result<usize, IsaError> {
+        encoding::encoded_len(self)
+    }
+
+    /// The encoded length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Instr::parcels`].
+    pub fn byte_len(&self) -> Result<u32, IsaError> {
+        Ok(self.parcels()? as u32 * crate::PARCEL_BYTES)
+    }
+
+    /// Whether this is any control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jmp { .. } | Instr::IfJmp { .. } | Instr::Call { .. } | Instr::Ret
+        )
+    }
+
+    /// Whether this is a branch that the PDU may fold into a preceding
+    /// instruction: only one-parcel `jmp` / `ifjmp` qualify (calls and
+    /// returns are never folded — the paper's example of an unfolded
+    /// one-parcel branch is precisely "a branch after a call").
+    pub fn is_foldable_branch(&self) -> bool {
+        match self {
+            Instr::Jmp { target } => target.is_short(),
+            Instr::IfJmp { target, .. } => target.is_short(),
+            _ => false,
+        }
+    }
+
+    /// Whether this instruction may *host* a folded branch: a
+    /// non-branching instruction of one or three parcels (the CRISP
+    /// folding policy; five-parcel hosts were judged not worth the
+    /// hardware).
+    pub fn can_host_fold(&self) -> bool {
+        if self.is_control() || matches!(self, Instr::Halt) {
+            return false;
+        }
+        matches!(self.parcels(), Ok(1) | Ok(3))
+    }
+
+    /// Whether this instruction writes the condition flag.
+    pub fn modifies_cc(&self) -> bool {
+        matches!(self, Instr::Cmp { .. })
+    }
+
+    /// Whether this instruction writes the stack pointer.
+    pub fn modifies_sp(&self) -> bool {
+        matches!(
+            self,
+            Instr::Enter { .. } | Instr::Leave { .. } | Instr::Call { .. } | Instr::Ret
+        )
+    }
+
+    /// The memory location(s) this instruction writes, if statically
+    /// known (used by the branch-spreading pass for dependence checks).
+    pub fn written_operand(&self) -> Option<Operand> {
+        match self {
+            Instr::Op2 { dst, .. } => Some(*dst),
+            Instr::Op3 { .. } => Some(Operand::Accum),
+            _ => None,
+        }
+    }
+
+    /// The source operands this instruction reads.
+    pub fn read_operands(&self) -> Vec<Operand> {
+        match self {
+            Instr::Op2 { op: BinOp::Mov, src, .. } => vec![*src],
+            Instr::Op2 { dst, src, .. } => vec![*dst, *src],
+            Instr::Op3 { a, b, .. } | Instr::Cmp { a, b, .. } => vec![*a, *b],
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Op2 { op, dst, src } => write!(f, "{op} {dst},{src}"),
+            Instr::Op3 { op, a, b } => write!(f, "{op}3 {a},{b}"),
+            Instr::Cmp { cond, a, b } => write!(f, "cmp.{cond} {a},{b}"),
+            Instr::Jmp { target } => write!(f, "jmp {target}"),
+            Instr::IfJmp { on_true, predict_taken, target } => {
+                let tn = if *on_true { "y" } else { "n" };
+                let p = if *predict_taken { "t" } else { "nt" };
+                write!(f, "ifjmp{tn}.{p} {target}")
+            }
+            Instr::Call { target } => write!(f, "call {target}"),
+            Instr::Ret => write!(f, "ret"),
+            Instr::Enter { bytes } => write!(f, "enter {bytes}"),
+            Instr::Leave { bytes } => write!(f, "leave {bytes}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_target_bounds() {
+        assert!(BranchTarget::PcRel(0).is_short());
+        assert!(BranchTarget::PcRel(-1024).is_short());
+        assert!(BranchTarget::PcRel(1022).is_short());
+        assert!(!BranchTarget::PcRel(1024).is_short());
+        assert!(!BranchTarget::PcRel(-1026).is_short());
+        assert!(!BranchTarget::PcRel(3).is_short()); // odd
+        assert!(!BranchTarget::Abs(0).is_short());
+    }
+
+    #[test]
+    fn foldability() {
+        let short_jmp = Instr::Jmp { target: BranchTarget::PcRel(-10) };
+        let long_jmp = Instr::Jmp { target: BranchTarget::Abs(0x100) };
+        let call = Instr::Call { target: BranchTarget::PcRel(4) };
+        assert!(short_jmp.is_foldable_branch());
+        assert!(!long_jmp.is_foldable_branch());
+        assert!(!call.is_foldable_branch());
+        assert!(!Instr::Ret.is_foldable_branch());
+    }
+
+    #[test]
+    fn host_eligibility() {
+        // 1-parcel ALU op: can host.
+        let add = Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(0),
+            src: Operand::SpOff(4),
+        };
+        assert!(add.can_host_fold());
+        // 3-parcel cmp: can host.
+        let cmp = Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(0),
+            b: Operand::Imm(1024),
+        };
+        assert_eq!(cmp.parcels().unwrap(), 3);
+        assert!(cmp.can_host_fold());
+        // 5-parcel op: cannot host (CRISP policy).
+        let wide = Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::Abs(0x8000),
+            src: Operand::Imm(100_000),
+        };
+        assert_eq!(wide.parcels().unwrap(), 5);
+        assert!(!wide.can_host_fold());
+        // Branches cannot host.
+        assert!(!Instr::Jmp { target: BranchTarget::PcRel(2) }.can_host_fold());
+        assert!(!Instr::Ret.can_host_fold());
+        assert!(!Instr::Halt.can_host_fold());
+        // Nop can host (used after spreading).
+        assert!(Instr::Nop.can_host_fold());
+    }
+
+    #[test]
+    fn cc_and_sp_classification() {
+        let cmp = Instr::Cmp {
+            cond: Cond::Eq,
+            a: Operand::Accum,
+            b: Operand::Imm(0),
+        };
+        assert!(cmp.modifies_cc());
+        assert!(!cmp.modifies_sp());
+        assert!(Instr::Enter { bytes: 16 }.modifies_sp());
+        assert!(Instr::Ret.modifies_sp());
+        assert!(!Instr::Nop.modifies_cc());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let i = Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(0),
+            b: Operand::Imm(1024),
+        };
+        assert_eq!(i.to_string(), "cmp.s< 0(sp),$1024");
+        let j = Instr::IfJmp {
+            on_true: true,
+            predict_taken: true,
+            target: BranchTarget::PcRel(-12),
+        };
+        assert_eq!(j.to_string(), "ifjmpy.t .-12");
+    }
+
+    #[test]
+    fn mov_reads_only_source() {
+        let mov = Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::SpOff(0),
+            src: Operand::SpOff(4),
+        };
+        assert_eq!(mov.read_operands(), vec![Operand::SpOff(4)]);
+        let add = Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(0),
+            src: Operand::SpOff(4),
+        };
+        assert_eq!(add.read_operands(), vec![Operand::SpOff(0), Operand::SpOff(4)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! A CRISP-like instruction-set architecture, reconstructed from
+//! Ditzel & McLellan, *"Branch Folding in the CRISP Microprocessor:
+//! Reducing Branch Delay to Zero"* (ISCA 1987).
+//!
+//! The paper fixes the properties this crate preserves exactly:
+//!
+//! * instructions are composed of 16-bit **parcels** and are exactly
+//!   **1, 3 or 5** parcels long;
+//! * a memory-to-memory operand model (stack-offset, absolute, immediate
+//!   and stack-indirect addressing) plus an accumulator, with **no side
+//!   effects** before result write so that any in-flight instruction can be
+//!   cancelled;
+//! * a single condition flag, modified **only** by the `cmp` instruction;
+//! * conditional branches `ifjmp-true` / `ifjmp-false` carrying a single
+//!   **static prediction bit**;
+//! * one-parcel branches with a 10-bit PC-relative offset
+//!   (−1024..+1022 bytes) and three-parcel branches with a 32-bit
+//!   specifier (absolute, indirect-absolute, or indirect through SP);
+//! * **branch folding**: a one- or three-parcel non-branching instruction
+//!   followed by a one-parcel branch decodes into a *single* entry of the
+//!   decoded instruction cache, carrying a `next_pc` and (for conditional
+//!   branches) an `alt_pc` field.
+//!
+//! The crate provides three layers:
+//!
+//! 1. [`Instr`] — the assembler-level instruction, built from [`Operand`]s,
+//!    [`BinOp`]s, [`Cond`]s and [`BranchTarget`]s;
+//! 2. [`encoding`] — the bit-exact binary encoding to and from parcels;
+//! 3. [`Decoded`] — the canonical wide form held in the decoded
+//!    instruction cache, produced by [`decode_and_fold`], the software
+//!    model of the PDU's folding datapath.
+//!
+//! # Example
+//!
+//! ```
+//! use crisp_isa::{Instr, Operand, BinOp, encoding};
+//!
+//! // add the stack word at SP+4 into the one at SP+0 (a 1-parcel form)
+//! let instr = Instr::Op2 {
+//!     op: BinOp::Add,
+//!     dst: Operand::SpOff(0),
+//!     src: Operand::SpOff(4),
+//! };
+//! let parcels = encoding::encode(&instr)?;
+//! assert_eq!(parcels.len(), 1);
+//! let (back, len) = encoding::decode(&parcels, 0)?;
+//! assert_eq!(back, instr);
+//! assert_eq!(len, 1);
+//! # Ok::<(), crisp_isa::IsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod decoded;
+pub mod encoding;
+mod error;
+mod instr;
+mod op;
+mod operand;
+mod psw;
+
+pub use decoded::{decode_and_fold, Decoded, ExecOp, FoldClass, FoldPolicy, NextPc};
+pub use error::IsaError;
+pub use instr::{BranchTarget, Instr};
+pub use op::{BinOp, Cond};
+pub use operand::Operand;
+pub use psw::Psw;
+
+/// Number of bytes in one instruction parcel.
+pub const PARCEL_BYTES: u32 = 2;
+
+/// Maximum instruction length in parcels.
+pub const MAX_PARCELS: usize = 5;
+
+/// Reach of the 10-bit PC-relative offset of a one-parcel branch,
+/// in bytes: the paper gives −1024..+1022.
+pub const SHORT_BRANCH_MIN: i32 = -1024;
+/// Upper bound (inclusive) of the short-branch reach in bytes.
+pub const SHORT_BRANCH_MAX: i32 = 1022;

@@ -1,0 +1,348 @@
+use std::fmt;
+
+/// Binary ALU operations.
+///
+/// Two-address forms compute `dst = dst op src`; three-address forms
+/// compute `Accum = a op b`. `Mov` is carried in the same code space for
+/// the general three-parcel format (`dst = src`).
+///
+/// Arithmetic is 32-bit two's-complement wrapping. Division and remainder
+/// by zero produce zero (the simulator has no trap architecture; the paper
+/// does not discuss traps and none of the evaluation programs divide by
+/// zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add = 0,
+    /// Wrapping subtraction.
+    Sub = 1,
+    /// Wrapping multiplication.
+    Mul = 2,
+    /// Signed division (by zero yields 0).
+    Div = 3,
+    /// Signed remainder (by zero yields 0).
+    Rem = 4,
+    /// Bitwise and.
+    And = 5,
+    /// Bitwise or.
+    Or = 6,
+    /// Bitwise exclusive-or.
+    Xor = 7,
+    /// Logical shift left (shift amount taken modulo 32).
+    Shl = 8,
+    /// Logical shift right (shift amount taken modulo 32).
+    Shr = 9,
+    /// Arithmetic shift right (shift amount taken modulo 32).
+    Sar = 10,
+    /// Copy: `dst = src`. Only valid in the general two-operand format.
+    Mov = 11,
+}
+
+impl BinOp {
+    /// All operations, in encoding order.
+    pub const ALL: [BinOp; 12] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Sar,
+        BinOp::Mov,
+    ];
+
+    /// Decode from the 4-bit sub-opcode field.
+    pub fn from_code(code: u8) -> Option<BinOp> {
+        BinOp::ALL.get(code as usize).copied()
+    }
+
+    /// The 4-bit sub-opcode used in the three-parcel format.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Evaluate the operation on two 32-bit values.
+    ///
+    /// For [`BinOp::Mov`] the result is simply `b`.
+    pub fn eval(self, a: i32, b: i32) -> i32 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 || (a == i32::MIN && b == -1) {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 || (a == i32::MIN && b == -1) {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => ((a as u32) << (b as u32 & 31)) as i32,
+            BinOp::Shr => ((a as u32) >> (b as u32 & 31)) as i32,
+            BinOp::Sar => a >> (b as u32 & 31),
+            BinOp::Mov => b,
+        }
+    }
+
+    /// Assembler mnemonic for the two-address form.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Sar => "sar",
+            BinOp::Mov => "mov",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison conditions for the `cmp` instruction.
+///
+/// `cmp.cond a,b` sets the PSW flag to `a cond b`. The flag is the *only*
+/// state a conditional branch examines, and `cmp` is the *only*
+/// instruction that writes it — a deliberate CRISP design choice the paper
+/// highlights (it limits the instructions that can affect a conditional
+/// branch in flight, making code motion and prediction more effective).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal.
+    Eq = 0,
+    /// Not equal.
+    Ne = 1,
+    /// Signed less-than.
+    LtS = 2,
+    /// Signed less-or-equal.
+    LeS = 3,
+    /// Signed greater-than.
+    GtS = 4,
+    /// Signed greater-or-equal.
+    GeS = 5,
+    /// Unsigned less-than.
+    LtU = 6,
+    /// Unsigned less-or-equal.
+    LeU = 7,
+    /// Unsigned greater-than.
+    GtU = 8,
+    /// Unsigned greater-or-equal.
+    GeU = 9,
+}
+
+impl Cond {
+    /// All conditions, in encoding order.
+    pub const ALL: [Cond; 10] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::LtS,
+        Cond::LeS,
+        Cond::GtS,
+        Cond::GeS,
+        Cond::LtU,
+        Cond::LeU,
+        Cond::GtU,
+        Cond::GeU,
+    ];
+
+    /// Decode from the 4-bit condition field.
+    pub fn from_code(code: u8) -> Option<Cond> {
+        Cond::ALL.get(code as usize).copied()
+    }
+
+    /// The 4-bit condition code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Evaluate the condition on two 32-bit values.
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::LtS => a < b,
+            Cond::LeS => a <= b,
+            Cond::GtS => a > b,
+            Cond::GeS => a >= b,
+            Cond::LtU => (a as u32) < (b as u32),
+            Cond::LeU => (a as u32) <= (b as u32),
+            Cond::GtU => (a as u32) > (b as u32),
+            Cond::GeU => (a as u32) >= (b as u32),
+        }
+    }
+
+    /// The condition with operands swapped: `a cond b == b swap(cond) a`.
+    pub fn swapped(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+            Cond::LtS => Cond::GtS,
+            Cond::LeS => Cond::GeS,
+            Cond::GtS => Cond::LtS,
+            Cond::GeS => Cond::LeS,
+            Cond::LtU => Cond::GtU,
+            Cond::LeU => Cond::GeU,
+            Cond::GtU => Cond::LtU,
+            Cond::GeU => Cond::LeU,
+        }
+    }
+
+    /// The logical negation: `!(a cond b) == a negated(cond) b`.
+    pub fn negated(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::LtS => Cond::GeS,
+            Cond::LeS => Cond::GtS,
+            Cond::GtS => Cond::LeS,
+            Cond::GeS => Cond::LtS,
+            Cond::LtU => Cond::GeU,
+            Cond::LeU => Cond::GtU,
+            Cond::GtU => Cond::LeU,
+            Cond::GeU => Cond::LtU,
+        }
+    }
+
+    /// Assembler suffix, mirroring the paper's listing style
+    /// (`cmp.=`, `cmp.s<`, ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "=",
+            Cond::Ne => "!=",
+            Cond::LtS => "s<",
+            Cond::LeS => "s<=",
+            Cond::GtS => "s>",
+            Cond::GeS => "s>=",
+            Cond::LtU => "u<",
+            Cond::LeU => "u<=",
+            Cond::GtU => "u>",
+            Cond::GeU => "u>=",
+        }
+    }
+
+    /// Parse an assembler suffix produced by [`Cond::suffix`].
+    pub fn from_suffix(s: &str) -> Option<Cond> {
+        Cond::ALL.iter().copied().find(|c| c.suffix() == s)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_codes_round_trip() {
+        for op in BinOp::ALL {
+            assert_eq!(BinOp::from_code(op.code()), Some(op));
+        }
+        assert_eq!(BinOp::from_code(12), None);
+        assert_eq!(BinOp::from_code(255), None);
+    }
+
+    #[test]
+    fn cond_codes_round_trip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(10), None);
+    }
+
+    #[test]
+    fn eval_basic_arithmetic() {
+        assert_eq!(BinOp::Add.eval(3, 4), 7);
+        assert_eq!(BinOp::Sub.eval(3, 4), -1);
+        assert_eq!(BinOp::Mul.eval(-3, 4), -12);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Rem.eval(7, 2), 1);
+        assert_eq!(BinOp::Mov.eval(99, 4), 4);
+    }
+
+    #[test]
+    fn eval_wraps_on_overflow() {
+        assert_eq!(BinOp::Add.eval(i32::MAX, 1), i32::MIN);
+        assert_eq!(BinOp::Sub.eval(i32::MIN, 1), i32::MAX);
+        assert_eq!(BinOp::Mul.eval(i32::MAX, 2), -2);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(BinOp::Div.eval(42, 0), 0);
+        assert_eq!(BinOp::Rem.eval(42, 0), 0);
+        assert_eq!(BinOp::Div.eval(i32::MIN, -1), 0);
+        assert_eq!(BinOp::Rem.eval(i32::MIN, -1), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(BinOp::Shl.eval(1, 33), 2);
+        assert_eq!(BinOp::Shr.eval(-1, 28), 0xF);
+        assert_eq!(BinOp::Sar.eval(-16, 2), -4);
+        assert_eq!(BinOp::Shr.eval(-16, 2), ((-16i32 as u32) >> 2) as i32);
+    }
+
+    #[test]
+    fn cond_eval_signed_vs_unsigned() {
+        assert!(Cond::LtS.eval(-1, 0));
+        assert!(!Cond::LtU.eval(-1, 0)); // -1 is u32::MAX
+        assert!(Cond::GtU.eval(-1, 0));
+        assert!(Cond::GeS.eval(5, 5));
+        assert!(Cond::LeU.eval(5, 5));
+    }
+
+    #[test]
+    fn negated_is_logical_complement() {
+        for c in Cond::ALL {
+            for &(a, b) in &[(0, 0), (1, 2), (-5, 3), (i32::MIN, i32::MAX), (7, 7)] {
+                assert_eq!(c.eval(a, b), !c.negated().eval(a, b), "{c:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_commutes_operands() {
+        for c in Cond::ALL {
+            for &(a, b) in &[(0, 0), (1, 2), (-5, 3), (i32::MIN, i32::MAX)] {
+                assert_eq!(c.eval(a, b), c.swapped().eval(b, a), "{c:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_round_trips() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_suffix(c.suffix()), Some(c));
+        }
+        assert_eq!(Cond::from_suffix("nope"), None);
+    }
+}

@@ -1,0 +1,125 @@
+use std::fmt;
+
+/// An instruction operand.
+///
+/// CRISP is a memory-to-memory architecture: ALU operations read and
+/// write memory directly through a small set of addressing modes (the
+/// paper: "a compare instruction can compare two operands located in
+/// memory via four standard addressing modes"), plus an accumulator that
+/// appears in the paper's code listings as `Accum`.
+///
+/// All data accesses are 32-bit words; addresses are byte addresses and
+/// must be 4-aligned (the simulator masks the low two bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The accumulator register.
+    Accum,
+    /// An immediate value (source positions only).
+    Imm(i32),
+    /// The word at `SP + offset` — a stack-frame slot.
+    SpOff(i32),
+    /// The word at an absolute address.
+    Abs(u32),
+    /// Indirect through a stack slot: the word at address
+    /// `mem[SP + offset]`.
+    SpInd(i32),
+}
+
+impl Operand {
+    /// Whether this operand may appear as a destination.
+    ///
+    /// Immediates are sources only; everything else (including the
+    /// accumulator) names a writable location.
+    pub fn is_writable(self) -> bool {
+        !matches!(self, Operand::Imm(_))
+    }
+
+    /// Whether the operand references memory (as opposed to the
+    /// accumulator or an immediate).
+    pub fn is_memory(self) -> bool {
+        matches!(self, Operand::SpOff(_) | Operand::Abs(_) | Operand::SpInd(_))
+    }
+
+    /// Whether this operand fits a compact 5-bit stack-slot field:
+    /// an `SpOff` with a 4-aligned byte offset in `0..=124`.
+    pub fn as_slot5(self) -> Option<u8> {
+        match self {
+            Operand::SpOff(off) if (0..=124).contains(&off) && off % 4 == 0 => {
+                Some((off / 4) as u8)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this operand fits a compact 5-bit immediate field
+    /// (an unsigned value in `0..=31`).
+    pub fn as_imm5(self) -> Option<u8> {
+        match self {
+            Operand::Imm(v) if (0..=31).contains(&v) => Some(v as u8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Accum => write!(f, "Accum"),
+            Operand::Imm(v) => write!(f, "${v}"),
+            Operand::SpOff(off) => write!(f, "{off}(sp)"),
+            Operand::Abs(a) => write!(f, "*{a:#x}"),
+            Operand::SpInd(off) => write!(f, "[{off}(sp)]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writability() {
+        assert!(Operand::Accum.is_writable());
+        assert!(Operand::SpOff(8).is_writable());
+        assert!(Operand::Abs(0x8000).is_writable());
+        assert!(Operand::SpInd(-4).is_writable());
+        assert!(!Operand::Imm(3).is_writable());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(!Operand::Accum.is_memory());
+        assert!(!Operand::Imm(0).is_memory());
+        assert!(Operand::SpOff(0).is_memory());
+        assert!(Operand::Abs(0).is_memory());
+        assert!(Operand::SpInd(0).is_memory());
+    }
+
+    #[test]
+    fn slot5_bounds() {
+        assert_eq!(Operand::SpOff(0).as_slot5(), Some(0));
+        assert_eq!(Operand::SpOff(124).as_slot5(), Some(31));
+        assert_eq!(Operand::SpOff(128).as_slot5(), None);
+        assert_eq!(Operand::SpOff(-4).as_slot5(), None);
+        assert_eq!(Operand::SpOff(6).as_slot5(), None); // misaligned
+        assert_eq!(Operand::Accum.as_slot5(), None);
+    }
+
+    #[test]
+    fn imm5_bounds() {
+        assert_eq!(Operand::Imm(0).as_imm5(), Some(0));
+        assert_eq!(Operand::Imm(31).as_imm5(), Some(31));
+        assert_eq!(Operand::Imm(32).as_imm5(), None);
+        assert_eq!(Operand::Imm(-1).as_imm5(), None);
+        assert_eq!(Operand::SpOff(4).as_imm5(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand::Accum.to_string(), "Accum");
+        assert_eq!(Operand::Imm(5).to_string(), "$5");
+        assert_eq!(Operand::SpOff(8).to_string(), "8(sp)");
+        assert_eq!(Operand::Abs(0x8000).to_string(), "*0x8000");
+        assert_eq!(Operand::SpInd(12).to_string(), "[12(sp)]");
+    }
+}

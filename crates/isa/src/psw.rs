@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// The Program Status Word.
+///
+/// The paper: "Conditional branches are conditioned on the value of a
+/// single flag bit, kept in the Program Status Word register" and "the
+/// condition code flag can only be modified as the result of a compare
+/// instruction". That single flag is the entire architecturally visible
+/// status state this reconstruction needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Psw {
+    /// The condition flag written by `cmp` and read by `ifjmp`.
+    pub flag: bool,
+}
+
+impl Psw {
+    /// A PSW with the flag clear.
+    pub fn new() -> Psw {
+        Psw::default()
+    }
+}
+
+impl fmt::Display for Psw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PSW{{F={}}}", u8::from(self.flag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_flag_clear() {
+        assert!(!Psw::new().flag);
+        assert_eq!(Psw::new(), Psw::default());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Psw { flag: true }.to_string(), "PSW{F=1}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests: every encodable instruction round-trips through the
+//! binary encoding, always occupies 1, 3 or 5 parcels, and folding is
+//! consistent with the policy predicates.
+
+use crisp_isa::{
+    decode_and_fold, encoding, BinOp, BranchTarget, Cond, FoldPolicy, Instr, Operand,
+};
+use proptest::prelude::*;
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(BinOp::ALL.to_vec())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+/// Operands constrained to the encodable space (stack-indirect offsets
+/// within 16 bits).
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        Just(Operand::Accum),
+        any::<i32>().prop_map(Operand::Imm),
+        any::<i32>().prop_map(Operand::SpOff),
+        any::<u32>().prop_map(Operand::Abs),
+        (-32768i32..=32767).prop_map(Operand::SpInd),
+    ]
+}
+
+fn arb_writable() -> impl Strategy<Value = Operand> {
+    arb_operand().prop_filter("writable", |o| o.is_writable())
+}
+
+fn arb_short_target() -> impl Strategy<Value = BranchTarget> {
+    (-512i32..=511).prop_map(|p| BranchTarget::PcRel(p * 2))
+}
+
+fn arb_target() -> impl Strategy<Value = BranchTarget> {
+    prop_oneof![
+        arb_short_target(),
+        any::<u32>().prop_map(BranchTarget::Abs),
+        any::<u32>().prop_map(BranchTarget::IndAbs),
+        any::<i32>().prop_map(BranchTarget::IndSp),
+    ]
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Ret),
+        (0u32..=(1 << 20)).prop_map(|w| Instr::Enter { bytes: w * 4 }),
+        (0u32..=(1 << 20)).prop_map(|w| Instr::Leave { bytes: w * 4 }),
+        (arb_binop(), arb_writable(), arb_operand())
+            .prop_map(|(op, dst, src)| Instr::Op2 { op, dst, src }),
+        (arb_binop(), arb_operand(), arb_operand()).prop_map(|(op, a, b)| Instr::Op3 {
+            op,
+            a,
+            b
+        }),
+        (arb_cond(), arb_operand(), arb_operand()).prop_map(|(cond, a, b)| Instr::Cmp {
+            cond,
+            a,
+            b
+        }),
+        arb_target().prop_map(|target| Instr::Jmp { target }),
+        (any::<bool>(), any::<bool>(), arb_target()).prop_map(
+            |(on_true, predict_taken, target)| Instr::IfJmp { on_true, predict_taken, target }
+        ),
+        arb_target().prop_map(|target| Instr::Call { target }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        match encoding::encode(&instr) {
+            Ok(parcels) => {
+                prop_assert!(matches!(parcels.len(), 1 | 3 | 5),
+                    "{instr} encoded to {} parcels", parcels.len());
+                let (back, len) = encoding::decode(&parcels, 0).unwrap();
+                prop_assert_eq!(len, parcels.len());
+                prop_assert_eq!(back, instr);
+                prop_assert_eq!(encoding::encoded_len(&instr).unwrap(), parcels.len());
+            }
+            Err(crisp_isa::IsaError::UnencodablePair) => {
+                // Legal refusal: stack-indirect paired with a 32-bit operand.
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("{instr}: {e}"))),
+        }
+    }
+
+    #[test]
+    fn decode_never_panics(parcels in prop::collection::vec(any::<u16>(), 0..6)) {
+        let _ = encoding::decode(&parcels, 0);
+    }
+
+    #[test]
+    fn decoded_instructions_reencode(parcels in prop::collection::vec(any::<u16>(), 1..6)) {
+        // Any bit pattern that decodes must re-encode to an instruction
+        // that decodes back to itself (encode need not reproduce the
+        // exact bits: compact/general forms can alias).
+        if let Ok((instr, _len)) = encoding::decode(&parcels, 0) {
+            if let Ok(re) = encoding::encode(&instr) {
+                let (again, _) = encoding::decode(&re, 0).unwrap();
+                prop_assert_eq!(again, instr);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_respects_policy(
+        host in arb_instr(),
+        target_off in -512i32..=511,
+        on_true in any::<bool>(),
+        pred in any::<bool>(),
+    ) {
+        let branch = Instr::IfJmp {
+            on_true,
+            predict_taken: pred,
+            target: BranchTarget::PcRel(target_off * 2),
+        };
+        let (Ok(hp), Ok(bp)) = (encoding::encode(&host), encoding::encode(&branch)) else {
+            return Ok(());
+        };
+        let mut stream = hp.clone();
+        stream.extend(&bp);
+        for policy in [FoldPolicy::None, FoldPolicy::Host1, FoldPolicy::Host13, FoldPolicy::All] {
+            let d = decode_and_fold(&stream, 0, 0x1000, policy).unwrap();
+            let expect = policy.host_ok(&host) && policy.branch_ok(&branch)
+                // A host that is itself a control transfer produces its
+                // own entry before folding is even considered.
+                && !host.is_control();
+            prop_assert_eq!(d.folded, expect, "policy {:?} host {}", policy, host);
+            if d.folded {
+                prop_assert_eq!(
+                    d.len_bytes,
+                    (hp.len() + bp.len()) as u32 * 2
+                );
+                prop_assert!(d.alt_pc.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn folded_cond_paths_are_branch_relative(
+        target_off in -500i32..=500,
+        pred in any::<bool>(),
+    ) {
+        // Verify the branch-adjust datapath (Figure 2): the PC-relative
+        // offset is applied at the branch's own address, which trails the
+        // host by the host's length.
+        let host = Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(0),
+            src: Operand::SpOff(4),
+        };
+        let branch = Instr::IfJmp {
+            on_true: true,
+            predict_taken: pred,
+            target: BranchTarget::PcRel(target_off * 2),
+        };
+        let mut stream = encoding::encode(&host).unwrap();
+        stream.extend(encoding::encode(&branch).unwrap());
+        let pc = 0x4000u32;
+        let d = decode_and_fold(&stream, 0, pc, FoldPolicy::Host13).unwrap();
+        prop_assert!(d.folded);
+        let (taken, seq) = d.cond_paths().unwrap();
+        prop_assert_eq!(taken, (pc + 2).wrapping_add((target_off * 2) as u32));
+        prop_assert_eq!(seq, pc + 4);
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+
+use crisp_isa::IsaError;
+
+/// Errors produced while loading or running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A data or instruction access fell outside simulated memory.
+    MemOutOfBounds {
+        /// The faulting byte address.
+        addr: u32,
+        /// Size of simulated memory in bytes.
+        size: u32,
+    },
+    /// Instruction decode failed at a program counter the machine
+    /// actually reached.
+    Decode {
+        /// The faulting PC.
+        pc: u32,
+        /// The underlying ISA error.
+        source: IsaError,
+    },
+    /// The step/cycle limit was exceeded (runaway program guard).
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The image does not fit the configured memory size.
+    ImageTooLarge {
+        /// Bytes required by the image.
+        required: u32,
+        /// Bytes available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemOutOfBounds { addr, size } => {
+                write!(f, "memory access at {addr:#x} outside {size:#x}-byte memory")
+            }
+            SimError::Decode { pc, source } => write!(f, "decode failed at {pc:#x}: {source}"),
+            SimError::StepLimit { limit } => {
+                write!(f, "execution exceeded the limit of {limit} steps")
+            }
+            SimError::ImageTooLarge { required, available } => {
+                write!(f, "image needs {required:#x} bytes but memory has {available:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

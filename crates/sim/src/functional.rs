@@ -1,0 +1,287 @@
+use std::collections::HashMap;
+
+use crisp_isa::{decode_and_fold, Decoded, ExecOp, FoldClass, FoldPolicy};
+
+use crate::{BranchEvent, BranchKind, Machine, RunStats, SimError, Trace};
+
+/// Maximum parcels one decoded entry can span: a five-parcel host plus a
+/// three-parcel branch under [`FoldPolicy::All`].
+const DECODE_WINDOW: usize = 8;
+
+/// The functional (untimed) engine.
+///
+/// Executes decoded entries back to back: no pipeline, no cache
+/// geometry, no penalties. It is the reference for architectural
+/// results, the dynamic-instruction counter behind the paper's Table 2,
+/// and the branch-trace recorder behind Table 1. Its results must match
+/// the cycle engine's exactly — an invariant the integration tests
+/// check on every workload.
+#[derive(Debug)]
+pub struct FunctionalSim {
+    machine: Machine,
+    policy: FoldPolicy,
+    decode_cache: HashMap<u32, Decoded>,
+    max_steps: u64,
+    record_trace: bool,
+}
+
+/// The result of a completed functional run.
+#[derive(Debug)]
+pub struct FunctionalRun {
+    /// Final architectural state.
+    pub machine: Machine,
+    /// Dynamic counts.
+    pub stats: RunStats,
+    /// Branch trace (empty unless [`FunctionalSim::record_trace`] was
+    /// enabled).
+    pub trace: Trace,
+    /// Whether the program reached `halt` (as opposed to the step
+    /// limit; running off the end raises an error instead).
+    pub halted: bool,
+}
+
+impl FunctionalSim {
+    /// Wrap a loaded machine with the default (CRISP) fold policy.
+    pub fn new(machine: Machine) -> FunctionalSim {
+        FunctionalSim::with_policy(machine, FoldPolicy::Host13)
+    }
+
+    /// Wrap a loaded machine with an explicit fold policy.
+    ///
+    /// Folding never changes architectural results — executing
+    /// host-then-branch is exactly sequential semantics — but it does
+    /// change the entry/instruction bookkeeping, which some experiments
+    /// read.
+    pub fn with_policy(machine: Machine, policy: FoldPolicy) -> FunctionalSim {
+        FunctionalSim {
+            machine,
+            policy,
+            decode_cache: HashMap::new(),
+            max_steps: 2_000_000_000,
+            record_trace: false,
+        }
+    }
+
+    /// Enable branch-trace recording (builder style).
+    pub fn record_trace(mut self, on: bool) -> FunctionalSim {
+        self.record_trace = on;
+        self
+    }
+
+    /// Set the runaway-program step limit (builder style).
+    pub fn max_steps(mut self, limit: u64) -> FunctionalSim {
+        self.max_steps = limit;
+        self
+    }
+
+    fn decoded_at(&mut self, pc: u32) -> Result<Decoded, SimError> {
+        if let Some(d) = self.decode_cache.get(&pc) {
+            return Ok(*d);
+        }
+        let window = self.machine.mem.parcel_window(pc, DECODE_WINDOW);
+        let d = decode_and_fold(&window, 0, pc, self.policy)
+            .map_err(|source| SimError::Decode { pc, source })?;
+        self.decode_cache.insert(pc, d);
+        Ok(d)
+    }
+
+    /// Run to `halt`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Decode`] if execution reaches bytes that are not
+    ///   instructions;
+    /// * [`SimError::StepLimit`] if the program does not halt within the
+    ///   configured limit;
+    /// * [`SimError::MemOutOfBounds`] on wild data accesses.
+    pub fn run(mut self) -> Result<FunctionalRun, SimError> {
+        let mut stats = RunStats::default();
+        let mut trace = Trace::new();
+
+        for _ in 0..self.max_steps {
+            let pc = self.machine.pc;
+            let d = self.decoded_at(pc)?;
+            let step = self.machine.execute(&d)?;
+
+            stats.entries += 1;
+            stats.program_instrs += 1 + u64::from(d.folded);
+            stats.folded += u64::from(d.folded);
+            stats.opcodes.record(&d);
+
+            if d.fold.is_transfer() {
+                stats.transfers += 1;
+            }
+            if let FoldClass::Cond { predict_taken, .. } = d.fold {
+                stats.cond_branches += 1;
+                let taken = step.taken.expect("conditional step reports direction");
+                if taken != predict_taken {
+                    stats.static_mispredicts += 1;
+                }
+            }
+
+            if self.record_trace {
+                if let Some(branch_pc) = d.branch_pc {
+                    let kind = match (d.fold, d.exec) {
+                        (FoldClass::Cond { .. }, _) => BranchKind::Cond,
+                        (_, ExecOp::CallPush { .. }) => BranchKind::Call,
+                        (_, ExecOp::RetPop) => BranchKind::Ret,
+                        _ => BranchKind::Uncond,
+                    };
+                    let taken = step.taken.unwrap_or(true);
+                    // For conditional branches record the taken-path
+                    // target even when not taken (a BTB stores it).
+                    let target = match d.cond_paths() {
+                        Some((taken_path, _seq)) => taken_path,
+                        None => step.next_pc,
+                    };
+                    trace.push(BranchEvent { pc: branch_pc, target, taken, kind });
+                }
+            }
+
+            if step.halted {
+                return Ok(FunctionalRun { machine: self.machine, stats, trace, halted: true });
+            }
+        }
+        Err(SimError::StepLimit { limit: self.max_steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_asm::assemble_text;
+
+    fn run(src: &str) -> FunctionalRun {
+        let img = assemble_text(src).unwrap();
+        FunctionalSim::new(Machine::load(&img).unwrap())
+            .record_trace(true)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn counted_loop_executes_correctly() {
+        let r = run("
+            mov 0(sp),$0
+            mov 4(sp),$0
+        top:
+            add 4(sp),$2
+            add 0(sp),$1
+            cmp.s< 0(sp),$10
+            ifjmpy.t top
+            halt
+        ");
+        assert!(r.halted);
+        assert_eq!(r.machine.mem.read_word(r.machine.sp + 4).unwrap(), 20);
+        assert_eq!(r.machine.mem.read_word(r.machine.sp).unwrap(), 10);
+        // 10 iterations of the conditional branch.
+        assert_eq!(r.stats.cond_branches, 10);
+        // Predicted taken, wrong exactly once (the exit).
+        assert_eq!(r.stats.static_mispredicts, 1);
+    }
+
+    #[test]
+    fn folding_reduces_entries_not_instructions() {
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$5
+            ifjmpy.t top
+            halt
+        ";
+        let img = assemble_text(src).unwrap();
+        let folded = FunctionalSim::with_policy(Machine::load(&img).unwrap(), FoldPolicy::Host13)
+            .run()
+            .unwrap();
+        let unfolded = FunctionalSim::with_policy(Machine::load(&img).unwrap(), FoldPolicy::None)
+            .run()
+            .unwrap();
+        // Same program instructions either way...
+        assert_eq!(folded.stats.program_instrs, unfolded.stats.program_instrs);
+        // ... but fewer pipeline entries with folding: one per iteration
+        // (cmp+ifjmpy fold; 5 iterations).
+        assert_eq!(unfolded.stats.entries - folded.stats.entries, 5);
+        assert_eq!(folded.stats.folded, 5);
+        assert_eq!(unfolded.stats.folded, 0);
+        // Architectural state identical.
+        assert_eq!(folded.machine.accum, unfolded.machine.accum);
+        assert_eq!(
+            folded.machine.mem.read_word(folded.machine.sp).unwrap(),
+            unfolded.machine.mem.read_word(unfolded.machine.sp).unwrap()
+        );
+    }
+
+    #[test]
+    fn trace_records_branch_identity_and_direction() {
+        let r = run("
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$3
+            ifjmpy.t top
+            halt
+        ");
+        let conds: Vec<_> =
+            r.trace.iter().filter(|e| e.kind == BranchKind::Cond).collect();
+        assert_eq!(conds.len(), 3);
+        // All occurrences share the branch PC and the taken-target.
+        assert!(conds.windows(2).all(|w| w[0].pc == w[1].pc));
+        assert!(conds.windows(2).all(|w| w[0].target == w[1].target));
+        assert!(conds[0].taken);
+        assert!(!conds[2].taken);
+        // Target is the loop top (address 2).
+        assert_eq!(conds[0].target, 2);
+    }
+
+    #[test]
+    fn call_and_ret_traced() {
+        let r = run("
+            call f
+            halt
+            f: add 0(sp),$1
+            ret
+        ");
+        let kinds: Vec<_> = r.trace.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![BranchKind::Call, BranchKind::Ret]);
+        assert!(r.trace.iter().all(|e| e.taken));
+    }
+
+    #[test]
+    fn opcode_histogram_matches_execution() {
+        let r = run("
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$4
+            ifjmpy.t top
+            halt
+        ");
+        assert_eq!(r.stats.opcodes.get("move"), 1);
+        assert_eq!(r.stats.opcodes.get("add"), 4);
+        assert_eq!(r.stats.opcodes.get("cmp"), 4);
+        assert_eq!(r.stats.opcodes.get("if-jump"), 4);
+        assert_eq!(r.stats.opcodes.get("halt"), 1);
+        assert_eq!(r.stats.opcodes.total(), r.stats.program_instrs);
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let img = assemble_text("top: jmp top").unwrap();
+        let err = FunctionalSim::new(Machine::load(&img).unwrap())
+            .max_steps(1000)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::StepLimit { limit: 1000 });
+    }
+
+    #[test]
+    fn decode_error_reports_pc() {
+        // Jump into a data word that is not a valid instruction.
+        let img = assemble_text("jmp d\nd: .word 0x0000B800").unwrap();
+        // 0xB800 >> 10 = 46 — unassigned opcode. The low parcel (0xB800)
+        // is at the jump target... low parcel first: parcels[1]=0xB800.
+        let err = FunctionalSim::new(Machine::load(&img).unwrap()).run().unwrap_err();
+        assert!(matches!(err, SimError::Decode { .. }), "{err:?}");
+    }
+}

@@ -1,0 +1,156 @@
+use crisp_isa::Decoded;
+
+/// The Decoded Instruction Cache.
+///
+/// Direct-mapped, indexed by the low bits of the *parcel* address
+/// (the paper: "the low five bits are used to address the Decoded
+/// Instruction Cache" for the 32-entry chip), tagged with the full PC.
+/// Each entry is one canonical decoded instruction carrying its Next-PC
+/// and Alternate Next-PC fields — the structure that makes branch
+/// folding possible.
+#[derive(Debug, Clone)]
+pub struct DecodedCache {
+    entries: Vec<Option<Decoded>>,
+    mask: u32,
+    /// Entries inserted over the cache's lifetime.
+    pub inserts: u64,
+    /// Insertions that overwrote a valid entry with a different tag.
+    pub evictions: u64,
+}
+
+impl DecodedCache {
+    /// Create a cache with `entries` slots (must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is zero or not a power of two.
+    pub fn new(entries: usize) -> DecodedCache {
+        assert!(entries.is_power_of_two() && entries >= 1, "cache size must be a power of two");
+        DecodedCache {
+            entries: vec![None; entries],
+            mask: entries as u32 - 1,
+            inserts: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache has no valid entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 1) & self.mask) as usize
+    }
+
+    /// Look up the entry decoded at `pc`.
+    pub fn lookup(&self, pc: u32) -> Option<&Decoded> {
+        self.entries[self.index(pc)].as_ref().filter(|d| d.pc == pc)
+    }
+
+    /// Whether `pc` currently hits.
+    pub fn contains(&self, pc: u32) -> bool {
+        self.lookup(pc).is_some()
+    }
+
+    /// Insert a decoded entry, evicting any conflicting one.
+    pub fn insert(&mut self, d: Decoded) {
+        let idx = self.index(d.pc);
+        if let Some(old) = &self.entries[idx] {
+            if old.pc != d.pc {
+                self.evictions += 1;
+            }
+        }
+        self.inserts += 1;
+        self.entries[idx] = Some(d);
+    }
+
+    /// Invalidate everything (used between experiment runs).
+    pub fn clear(&mut self) {
+        self.entries.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_isa::{ExecOp, FoldClass, NextPc};
+
+    fn entry(pc: u32) -> Decoded {
+        Decoded {
+            pc,
+            len_bytes: 2,
+            exec: ExecOp::Nop,
+            modifies_cc: false,
+            modifies_sp: false,
+            fold: FoldClass::Sequential,
+            folded: false,
+            branch_pc: None,
+            next_pc: NextPc::Known(pc + 2),
+            alt_pc: None,
+        }
+    }
+
+    #[test]
+    fn hit_requires_tag_match() {
+        let mut c = DecodedCache::new(32);
+        c.insert(entry(0x10));
+        assert!(c.contains(0x10));
+        // Same index (32 entries × 2-byte parcels = 64-byte window):
+        // 0x10 + 64 = 0x50 maps to the same slot but a different tag.
+        assert!(!c.contains(0x50));
+        assert_eq!(c.lookup(0x10).unwrap().pc, 0x10);
+    }
+
+    #[test]
+    fn conflicting_insert_evicts() {
+        let mut c = DecodedCache::new(32);
+        c.insert(entry(0x10));
+        c.insert(entry(0x10 + 64));
+        assert!(!c.contains(0x10));
+        assert!(c.contains(0x10 + 64));
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.inserts, 2);
+    }
+
+    #[test]
+    fn reinsert_same_pc_not_an_eviction() {
+        let mut c = DecodedCache::new(32);
+        c.insert(entry(0x10));
+        c.insert(entry(0x10));
+        assert_eq!(c.evictions, 0);
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let mut c = DecodedCache::new(4);
+        c.insert(entry(0));
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn small_cache_wraps() {
+        let mut c = DecodedCache::new(2);
+        // Parcel addresses 0 and 4 map to slots 0 and 0 (with mask 1,
+        // index of pc=4 is (4>>1)&1 = 0).
+        c.insert(entry(0));
+        c.insert(entry(4));
+        assert!(!c.contains(0));
+        assert!(c.contains(4));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        DecodedCache::new(3);
+    }
+}

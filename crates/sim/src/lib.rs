@@ -1,0 +1,68 @@
+//! Simulators for the CRISP microprocessor reproduction.
+//!
+//! Two engines share one architectural core ([`Machine`]):
+//!
+//! * [`FunctionalSim`] executes decoded entries one at a time with no
+//!   timing — it provides reference results, dynamic instruction counts
+//!   (the paper's Table 2) and branch traces for the prediction study
+//!   (Table 1).
+//! * [`CycleSim`] is the structural cycle-level model of the paper's
+//!   Figure 1/2 machine: a three-stage Prefetch and Decode Unit
+//!   ([`Pdu`]) filling a Decoded Instruction Cache ([`DecodedCache`])
+//!   whose entries carry Next-PC and Alternate Next-PC fields, and a
+//!   three-stage Execution Unit (IR → OR → RR) with valid-bit
+//!   cancellation. It reproduces the paper's mispredict penalties —
+//!   3 cycles when the compare is folded with the branch, 2/1 when the
+//!   compare runs one/two stages ahead, and 0 when the compare has left
+//!   the pipeline (the payoff of Branch Spreading) — and the Table 4
+//!   experiment matrix via [`SimConfig`].
+//!
+//! # Example
+//!
+//! ```
+//! use crisp_asm::assemble_text;
+//! use crisp_sim::{CycleSim, FunctionalSim, Machine, SimConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = assemble_text(
+//!     "
+//!         mov 0(sp),$0
+//!     top:
+//!         add 0(sp),$1
+//!         cmp.s< 0(sp),$100
+//!         ifjmpy.t top
+//!         halt
+//!     ",
+//! )?;
+//! let func = FunctionalSim::new(Machine::load(&image)?).run()?;
+//! let cyc = CycleSim::new(Machine::load(&image)?, SimConfig::default()).run()?;
+//! // Same architectural result, and the cycle model reports timing.
+//! assert_eq!(func.machine.accum, cyc.machine.accum);
+//! assert!(cyc.stats.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod functional;
+mod icache;
+mod machine;
+mod mem;
+mod pdu;
+mod pipeline;
+mod stats;
+mod trace;
+
+pub use config::{HwPredictor, SimConfig};
+pub use error::SimError;
+pub use functional::{FunctionalRun, FunctionalSim};
+pub use icache::DecodedCache;
+pub use machine::{Machine, Step};
+pub use mem::Memory;
+pub use pdu::Pdu;
+pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};
+pub use stats::{CycleStats, OpcodeCounts, RunStats};
+pub use trace::{BranchEvent, BranchKind, Trace};

@@ -1,0 +1,370 @@
+use crisp_asm::Image;
+use crisp_isa::{BinOp, Decoded, ExecOp, FoldClass, NextPc, Operand, Psw};
+
+use crate::{Memory, SimError};
+
+/// Default memory size: 256 KiB covers the default memory map (code at
+/// 0, data at 64 KiB, stack top just below 256 KiB).
+pub const DEFAULT_MEMORY_BYTES: u32 = 0x0004_0000;
+
+/// The architectural state of the machine: memory, stack pointer,
+/// accumulator, PSW flag and (for the functional engine) the PC.
+///
+/// Both simulation engines mutate a `Machine` exclusively through
+/// [`Machine::execute`], which applies one decoded entry atomically —
+/// the reconstruction's commit point (the hardware's result-write at the
+/// end of the RR stage).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Simulated memory.
+    pub mem: Memory,
+    /// Stack pointer (byte address, grows down).
+    pub sp: u32,
+    /// The accumulator (the paper's `Accum`).
+    pub accum: i32,
+    /// Program status word (the condition flag).
+    pub psw: Psw,
+    /// Architectural program counter.
+    pub pc: u32,
+    /// Whether a `halt` has been executed.
+    pub halted: bool,
+}
+
+/// The result of executing one decoded entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// The architecturally correct next PC.
+    pub next_pc: u32,
+    /// For conditional entries, whether the branch was taken.
+    pub taken: Option<bool>,
+    /// Whether this entry halted the machine.
+    pub halted: bool,
+}
+
+impl Machine {
+    /// Build a machine with `size` bytes of memory and load `image`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ImageTooLarge`] when the image (code, data or stack
+    /// top) does not fit.
+    pub fn with_memory(image: &Image, size: u32) -> Result<Machine, SimError> {
+        if image.min_memory_bytes() > size {
+            return Err(SimError::ImageTooLarge {
+                required: image.min_memory_bytes(),
+                available: size,
+            });
+        }
+        let mut mem = Memory::new(size);
+        for (i, &parcel) in image.parcels.iter().enumerate() {
+            mem.write_parcel(image.code_base + i as u32 * 2, parcel)?;
+        }
+        for (base, words) in &image.data {
+            for (i, &w) in words.iter().enumerate() {
+                mem.write_word(base + i as u32 * 4, w)?;
+            }
+        }
+        Ok(Machine {
+            mem,
+            sp: image.stack_top.unwrap_or(Image::DEFAULT_STACK_TOP),
+            accum: 0,
+            psw: Psw::new(),
+            pc: image.entry,
+            halted: false,
+        })
+    }
+
+    /// Build a machine with the default 256 KiB memory and load `image`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::with_memory`].
+    pub fn load(image: &Image) -> Result<Machine, SimError> {
+        Machine::with_memory(image, DEFAULT_MEMORY_BYTES.max(image.min_memory_bytes()))
+    }
+
+    /// Read the value of an operand.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] for wild addresses.
+    pub fn read_operand(&self, op: Operand) -> Result<i32, SimError> {
+        match op {
+            Operand::Accum => Ok(self.accum),
+            Operand::Imm(v) => Ok(v),
+            Operand::SpOff(off) => self.mem.read_word(self.sp.wrapping_add(off as u32)),
+            Operand::Abs(a) => self.mem.read_word(a),
+            Operand::SpInd(off) => {
+                let ptr = self.mem.read_word(self.sp.wrapping_add(off as u32))?;
+                self.mem.read_word(ptr as u32)
+            }
+        }
+    }
+
+    /// Write a value to an operand location.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] for wild addresses. Writing an
+    /// immediate is a programming error upstream and panics in debug
+    /// builds; release builds ignore it (the encoder rejects such
+    /// instructions, so this cannot arise from decoded programs).
+    pub fn write_operand(&mut self, op: Operand, value: i32) -> Result<(), SimError> {
+        match op {
+            Operand::Accum => {
+                self.accum = value;
+                Ok(())
+            }
+            Operand::Imm(_) => {
+                debug_assert!(false, "write to immediate operand");
+                Ok(())
+            }
+            Operand::SpOff(off) => self.mem.write_word(self.sp.wrapping_add(off as u32), value),
+            Operand::Abs(a) => self.mem.write_word(a, value),
+            Operand::SpInd(off) => {
+                let ptr = self.mem.read_word(self.sp.wrapping_add(off as u32))?;
+                self.mem.write_word(ptr as u32, value)
+            }
+        }
+    }
+
+    /// Resolve a `NextPc` against current state (after the entry's
+    /// operation has executed).
+    fn resolve_next(&self, next: NextPc) -> Result<u32, SimError> {
+        Ok(match next {
+            NextPc::Known(a) => a,
+            NextPc::IndAbs(a) => self.mem.read_word(a)? as u32,
+            NextPc::IndSp(off) => self.mem.read_word(self.sp.wrapping_add(off as u32))? as u32,
+            // `FromRet` is resolved inside RetPop before SP moves; by the
+            // time we get here SP has been incremented, so look below it.
+            NextPc::FromRet => self.mem.read_word(self.sp.wrapping_sub(4))? as u32,
+        })
+    }
+
+    /// Execute one decoded entry: apply its operation, update the PSW,
+    /// and compute the architecturally correct next PC (following the
+    /// *actual* branch direction, not the predicted one).
+    ///
+    /// This is the single commit point shared by the functional and
+    /// cycle engines.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] on wild data accesses.
+    pub fn execute(&mut self, d: &Decoded) -> Result<Step, SimError> {
+        match d.exec {
+            ExecOp::Nop => {}
+            ExecOp::Halt => {
+                self.halted = true;
+                self.pc = d.pc;
+                return Ok(Step { next_pc: d.pc, taken: None, halted: true });
+            }
+            ExecOp::Op2 { op, dst, src } => {
+                let b = self.read_operand(src)?;
+                let value = if op == BinOp::Mov {
+                    b
+                } else {
+                    let a = self.read_operand(dst)?;
+                    op.eval(a, b)
+                };
+                self.write_operand(dst, value)?;
+            }
+            ExecOp::Op3 { op, a, b } => {
+                let av = self.read_operand(a)?;
+                let bv = self.read_operand(b)?;
+                self.accum = op.eval(av, bv);
+            }
+            ExecOp::Cmp { cond, a, b } => {
+                let av = self.read_operand(a)?;
+                let bv = self.read_operand(b)?;
+                self.psw.flag = cond.eval(av, bv);
+            }
+            ExecOp::Enter { bytes } => self.sp = self.sp.wrapping_sub(bytes),
+            ExecOp::Leave { bytes } => self.sp = self.sp.wrapping_add(bytes),
+            ExecOp::CallPush { ret } => {
+                self.sp = self.sp.wrapping_sub(4);
+                self.mem.write_word(self.sp, ret as i32)?;
+            }
+            ExecOp::RetPop => {
+                // Target is read before the pop; resolve_next compensates.
+                self.sp = self.sp.wrapping_add(4);
+            }
+        }
+
+        let (next_pc, taken) = match d.fold {
+            FoldClass::Sequential | FoldClass::Uncond => (self.resolve_next(d.next_pc)?, None),
+            FoldClass::Cond { on_true, predict_taken } => {
+                let taken = self.psw.flag == on_true;
+                let chosen = if taken == predict_taken {
+                    d.next_pc
+                } else {
+                    d.alt_pc.expect("conditional entry carries an alternate")
+                };
+                (self.resolve_next(chosen)?, Some(taken))
+            }
+        };
+        self.pc = next_pc;
+        Ok(Step { next_pc, taken, halted: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_asm::assemble_text;
+    use crisp_isa::{decode_and_fold, FoldPolicy};
+
+    fn machine_with(src: &str) -> Machine {
+        Machine::load(&assemble_text(src).unwrap()).unwrap()
+    }
+
+    fn entry(m: &Machine, pc: u32) -> Decoded {
+        let window = m.mem.parcel_window(pc, 10);
+        decode_and_fold(&window, 0, pc, FoldPolicy::Host13).unwrap()
+    }
+
+    #[test]
+    fn loads_image() {
+        let m = machine_with("mov 0(sp),$5\nhalt");
+        assert_eq!(m.pc, 0);
+        assert!(!m.halted);
+        assert_eq!(m.sp, Image::DEFAULT_STACK_TOP);
+    }
+
+    #[test]
+    fn op2_reads_and_writes_stack() {
+        let mut m = machine_with("add 0(sp),$3\nhalt");
+        m.mem.write_word(m.sp, 10).unwrap();
+        let d = entry(&m, 0);
+        let step = m.execute(&d).unwrap();
+        assert_eq!(m.mem.read_word(m.sp).unwrap(), 13);
+        assert_eq!(step.next_pc, 2);
+        assert_eq!(step.taken, None);
+    }
+
+    #[test]
+    fn cmp_sets_flag_and_cond_branch_follows_it() {
+        let mut m = machine_with(
+            "
+            cmp.= Accum,$0
+            ifjmpy.t .+10
+            halt
+            ",
+        );
+        // Accum starts 0, so flag becomes true and the fold (cmp hosts
+        // the branch) follows the taken path.
+        let d = entry(&m, 0);
+        assert!(d.folded);
+        let step = m.execute(&d).unwrap();
+        assert!(m.psw.flag);
+        assert_eq!(step.taken, Some(true));
+        assert_eq!(step.next_pc, 2 + 10);
+    }
+
+    #[test]
+    fn mispredicted_direction_still_architecturally_correct() {
+        let mut m = machine_with(
+            "
+            cmp.= Accum,$1
+            ifjmpy.t .+10
+            halt
+            ",
+        );
+        // Accum is 0 ≠ 1: flag false, branch (on_true) not taken even
+        // though predicted taken.
+        let d = entry(&m, 0);
+        let step = m.execute(&d).unwrap();
+        assert_eq!(step.taken, Some(false));
+        assert_eq!(step.next_pc, 4); // fall-through past cmp(1)+branch(1)
+    }
+
+    #[test]
+    fn call_pushes_and_ret_pops() {
+        let mut m = machine_with(
+            "
+            call f
+            halt
+            f: ret
+            ",
+        );
+        let sp0 = m.sp;
+        let d = entry(&m, 0);
+        let step = m.execute(&d).unwrap();
+        assert_eq!(m.sp, sp0 - 4);
+        assert_eq!(m.mem.read_word(m.sp).unwrap(), 2); // return address
+        let f = step.next_pc;
+        let d = entry(&m, f);
+        let step = m.execute(&d).unwrap();
+        assert_eq!(m.sp, sp0);
+        assert_eq!(step.next_pc, 2); // back to the halt
+    }
+
+    #[test]
+    fn enter_leave_move_sp() {
+        let mut m = machine_with("enter 16\nleave 16\nhalt");
+        let sp0 = m.sp;
+        let d = entry(&m, 0);
+        m.execute(&d).unwrap();
+        assert_eq!(m.sp, sp0 - 16);
+        let d = entry(&m, 2);
+        m.execute(&d).unwrap();
+        assert_eq!(m.sp, sp0);
+    }
+
+    #[test]
+    fn halt_stops() {
+        let mut m = machine_with("halt");
+        let d = entry(&m, 0);
+        let step = m.execute(&d).unwrap();
+        assert!(step.halted);
+        assert!(m.halted);
+    }
+
+    #[test]
+    fn indirect_jump_through_memory() {
+        let mut m = machine_with("jmp *0x10000\nhalt");
+        m.mem.write_word(0x10000, 0x42).unwrap();
+        let d = entry(&m, 0);
+        let step = m.execute(&d).unwrap();
+        assert_eq!(step.next_pc, 0x42);
+    }
+
+    #[test]
+    fn indirect_jump_through_stack() {
+        let mut m = machine_with("jmp *8(sp)\nhalt");
+        let sp = m.sp;
+        m.mem.write_word(sp + 8, 0x64).unwrap();
+        let d = entry(&m, 0);
+        let step = m.execute(&d).unwrap();
+        assert_eq!(step.next_pc, 0x64);
+    }
+
+    #[test]
+    fn spind_operands() {
+        let mut m = machine_with("mov [0(sp)],$9\nhalt");
+        let sp = m.sp;
+        m.mem.write_word(sp, 0x11000).unwrap(); // pointer
+        let d = entry(&m, 0);
+        m.execute(&d).unwrap();
+        assert_eq!(m.mem.read_word(0x11000).unwrap(), 9);
+    }
+
+    #[test]
+    fn image_too_large_detected() {
+        let img = assemble_text("halt").unwrap();
+        let e = Machine::with_memory(&img, 16).unwrap_err();
+        assert!(matches!(e, SimError::ImageTooLarge { .. }));
+    }
+
+    #[test]
+    fn cmp_is_only_flag_writer() {
+        let mut m = machine_with("cmp.= Accum,$0\nadd 0(sp),$1\nhalt");
+        let d = entry(&m, 0);
+        m.execute(&d).unwrap();
+        assert!(m.psw.flag);
+        // An add must not clear it.
+        let d = entry(&m, 2);
+        m.execute(&d).unwrap();
+        assert!(m.psw.flag);
+    }
+}

@@ -1,0 +1,142 @@
+use crate::SimError;
+
+/// Byte-addressable little-endian memory.
+///
+/// Data accesses are 32-bit words (addresses masked to 4-byte
+/// alignment, as the hardware datapath would); instruction fetches read
+/// 16-bit parcels (masked to 2-byte alignment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocate `size` bytes of zeroed memory.
+    pub fn new(size: u32) -> Memory {
+        Memory { bytes: vec![0; size as usize] }
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, SimError> {
+        let end = addr.checked_add(len).filter(|&e| e <= self.size());
+        match end {
+            Some(_) => Ok(addr as usize),
+            None => Err(SimError::MemOutOfBounds { addr, size: self.size() }),
+        }
+    }
+
+    /// Read the 32-bit word at `addr` (low two address bits ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when the word lies outside memory.
+    pub fn read_word(&self, addr: u32) -> Result<i32, SimError> {
+        let a = self.check(addr & !3, 4)?;
+        Ok(i32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Write the 32-bit word at `addr` (low two address bits ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when the word lies outside memory.
+    pub fn write_word(&mut self, addr: u32, value: i32) -> Result<(), SimError> {
+        let a = self.check(addr & !3, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read the 16-bit instruction parcel at `addr` (low bit ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when the parcel lies outside memory.
+    pub fn read_parcel(&self, addr: u32) -> Result<u16, SimError> {
+        let a = self.check(addr & !1, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Write the 16-bit parcel at `addr` (used by the loader).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemOutOfBounds`] when the parcel lies outside memory.
+    pub fn write_parcel(&mut self, addr: u32, value: u16) -> Result<(), SimError> {
+        let a = self.check(addr & !1, 2)?;
+        self.bytes[a..a + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read up to `max` consecutive parcels starting at `addr`, stopping
+    /// at the end of memory. Used by decode paths that need a lookahead
+    /// window.
+    pub fn parcel_window(&self, addr: u32, max: usize) -> Vec<u16> {
+        let mut out = Vec::with_capacity(max);
+        let mut a = addr & !1;
+        for _ in 0..max {
+            match self.read_parcel(a) {
+                Ok(p) => out.push(p),
+                Err(_) => break,
+            }
+            a += 2;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip_little_endian() {
+        let mut m = Memory::new(64);
+        m.write_word(8, -1234).unwrap();
+        assert_eq!(m.read_word(8).unwrap(), -1234);
+        m.write_word(12, 0x1234_5678).unwrap();
+        // Little-endian byte order: parcels see low half first.
+        assert_eq!(m.read_parcel(12).unwrap(), 0x5678);
+        assert_eq!(m.read_parcel(14).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn alignment_masking() {
+        let mut m = Memory::new(64);
+        m.write_word(16, 42).unwrap();
+        assert_eq!(m.read_word(17).unwrap(), 42);
+        assert_eq!(m.read_word(19).unwrap(), 42);
+        m.write_parcel(20, 7).unwrap();
+        assert_eq!(m.read_parcel(21).unwrap(), 7);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let m = Memory::new(16);
+        assert_eq!(m.read_word(12).unwrap(), 0);
+        assert!(matches!(m.read_word(16), Err(SimError::MemOutOfBounds { .. })));
+        assert!(matches!(m.read_word(u32::MAX), Err(SimError::MemOutOfBounds { .. })));
+        assert!(matches!(m.read_parcel(16), Err(SimError::MemOutOfBounds { .. })));
+        let mut m = Memory::new(16);
+        assert!(matches!(m.write_word(16, 0), Err(SimError::MemOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn parcel_window_stops_at_end() {
+        let mut m = Memory::new(8);
+        for i in 0..4u16 {
+            m.write_parcel(i as u32 * 2, i + 1).unwrap();
+        }
+        assert_eq!(m.parcel_window(4, 10), vec![3, 4]);
+        assert_eq!(m.parcel_window(0, 2), vec![1, 2]);
+        assert!(m.parcel_window(8, 4).is_empty());
+    }
+}

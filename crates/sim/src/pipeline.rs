@@ -1,0 +1,968 @@
+//! The cycle-level Execution Unit pipeline, coupled to the PDU and the
+//! Decoded Instruction Cache.
+//!
+//! Structure per the paper: "Instructions are read from the Decoded
+//! Instruction Cache into the Instruction Register (IR) stage, operands
+//! are accessed and placed into the Operand Register (OR) stage, then an
+//! ALU operation takes place ... in the Result Register (RR) stage, and
+//! finally the result write occurs." Sequencing is driven entirely by
+//! the IR.Next-PC register, loaded from the cache entry's Next-PC field;
+//! the Alternate Next-PC rides along with each conditional entry.
+//!
+//! Mispredict recovery reproduces the paper's cost model exactly:
+//!
+//! * compare **folded with** the branch → resolves at RR → 3 cycles lost;
+//! * compare **one stage ahead** → resolves from OR.Alternate-PC → 2;
+//! * compare **two stages ahead** → resolves from IR.Alternate-PC → 1;
+//! * compare **three or more ahead** (left the pipeline) → the flag is
+//!   compared against the prediction bit at cache-read time and the
+//!   correct path followed → **0** cycles — the case Branch Spreading
+//!   engineers for.
+//!
+//! Architectural state commits atomically at RR retire; wrong-path
+//! entries occupy stages and are cancelled by clearing their valid bit
+//! (legal because the ISA has no side effects before result write).
+
+use crisp_isa::{Decoded, FoldClass, NextPc};
+
+use crate::config::HwPredictor;
+use crate::{CycleStats, DecodedCache, Machine, Pdu, SimConfig, SimError};
+
+/// One EU pipeline stage latch.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    d: Decoded,
+    valid: bool,
+    /// For conditional entries: direction already determined (either at
+    /// cache-read time or by an early compare).
+    resolved: bool,
+    /// For conditional entries: the direction the fetch unit followed
+    /// (the static bit, the dynamic predictor's guess, or — when
+    /// resolved at cache-read time — the actual direction).
+    followed: bool,
+    /// For conditional entries: the path NOT followed, used for
+    /// recovery on a mispredict.
+    other: NextPc,
+    /// Fetch sequence number (slot identity for indirect-target waits).
+    seq: u64,
+}
+
+/// A direct-mapped table of n-bit saturating counters (the dynamic
+/// hardware predictor the paper evaluated and rejected).
+#[derive(Debug, Clone)]
+struct DynTable {
+    threshold: u8,
+    max: u8,
+    mask: usize,
+    counters: Vec<u8>,
+}
+
+impl DynTable {
+    fn new(bits: u8, entries: usize) -> DynTable {
+        let threshold = 1 << (bits - 1);
+        DynTable {
+            threshold,
+            max: (1 << bits) - 1,
+            mask: entries - 1,
+            // Weakly not-taken initial state.
+            counters: vec![threshold - 1; entries],
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 1) as usize) & self.mask
+    }
+
+    fn predict(&self, pc: u32) -> bool {
+        self.counters[self.index(pc)] >= self.threshold
+    }
+
+    fn train(&mut self, pc: u32, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(self.max);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// A view of one EU stage for [`CycleSim::step`] consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageView {
+    /// Address of the (host) instruction in the stage.
+    pub pc: u32,
+    /// Whether the slot is still valid (cleared by mispredict flushes).
+    pub valid: bool,
+    /// Whether the entry carries a folded branch.
+    pub folded: bool,
+}
+
+/// A per-cycle snapshot of the pipeline, for visualisation and
+/// debugging (see the `pipeline_view` example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// The cycle this snapshot follows.
+    pub cycle: u64,
+    /// The IR.Next-PC register (`None` while waiting on an indirect
+    /// target).
+    pub fetch_pc: Option<u32>,
+    /// Instruction Register stage.
+    pub ir: Option<StageView>,
+    /// Operand Register stage.
+    pub or: Option<StageView>,
+    /// Result Register stage.
+    pub rr: Option<StageView>,
+    /// Whether `halt` has retired.
+    pub halted: bool,
+}
+
+/// The result of a completed cycle-level run.
+#[derive(Debug)]
+pub struct CycleRun {
+    /// Final architectural state.
+    pub machine: Machine,
+    /// Timing counters.
+    pub stats: CycleStats,
+    /// Whether the program reached `halt`.
+    pub halted: bool,
+}
+
+/// The cycle-level simulator (Figure 1's machine).
+#[derive(Debug)]
+pub struct CycleSim {
+    machine: Machine,
+    cfg: SimConfig,
+    cache: DecodedCache,
+    pdu: Pdu,
+    ir: Option<Slot>,
+    or_: Option<Slot>,
+    rr: Option<Slot>,
+    /// The IR.Next-PC register; `None` while waiting for an indirect
+    /// target to resolve at retire.
+    fetch_pc: Option<u32>,
+    /// Sequence number of the slot whose retirement will supply
+    /// `fetch_pc` (indirect branches, returns).
+    waiting_on: Option<u64>,
+    next_seq: u64,
+    /// The PC whose miss is currently being counted (so a multi-cycle
+    /// stall counts as one miss).
+    missing_pc: Option<u32>,
+    /// Dynamic-prediction counter table, when configured.
+    dyn_table: Option<DynTable>,
+    /// Timing counters (public so callers can sample mid-run).
+    pub stats: CycleStats,
+}
+
+impl CycleSim {
+    /// Build a simulator over a loaded machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`SimConfig::validate`]).
+    pub fn new(machine: Machine, cfg: SimConfig) -> CycleSim {
+        cfg.validate();
+        let entry = machine.pc;
+        let mut sim = CycleSim {
+            machine,
+            cfg,
+            cache: DecodedCache::new(cfg.icache_entries),
+            pdu: Pdu::new(
+                cfg.fold_policy,
+                cfg.mem_latency,
+                cfg.pdu_pipe_delay,
+                cfg.icache_entries as u32,
+            ),
+            ir: None,
+            or_: None,
+            rr: None,
+            fetch_pc: Some(entry),
+            waiting_on: None,
+            next_seq: 0,
+            missing_pc: None,
+            dyn_table: match cfg.predictor {
+                HwPredictor::StaticBit => None,
+                HwPredictor::Dynamic { bits, entries } => Some(DynTable::new(bits, entries)),
+            },
+            stats: CycleStats::default(),
+        };
+        sim.pdu.demand(entry);
+        sim
+    }
+
+    /// Advance the machine by one clock cycle and return a snapshot of
+    /// the pipeline, for cycle-by-cycle inspection. Returns
+    /// `halted = true` once `halt` retires; further steps are no-ops.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CycleSim::run`].
+    pub fn step(&mut self) -> Result<PipelineSnapshot, SimError> {
+        let halted = if self.machine.halted { true } else { self.cycle_once()? };
+        let view = |slot: &Option<Slot>| {
+            slot.as_ref().map(|s| StageView { pc: s.d.pc, valid: s.valid, folded: s.d.folded })
+        };
+        Ok(PipelineSnapshot {
+            cycle: self.stats.cycles,
+            fetch_pc: self.fetch_pc,
+            ir: view(&self.ir),
+            or: view(&self.or_),
+            rr: view(&self.rr),
+            halted,
+        })
+    }
+
+    /// The architectural state (read-only view).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Consume the simulator after stepping to completion.
+    pub fn into_run(self) -> CycleRun {
+        let halted = self.machine.halted;
+        CycleRun { machine: self.machine, stats: self.stats, halted }
+    }
+
+    /// Run until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Decode`] when the architecturally-correct path
+    ///   reaches bytes that do not decode;
+    /// * [`SimError::StepLimit`] when `max_cycles` elapses first;
+    /// * [`SimError::MemOutOfBounds`] on wild data accesses.
+    pub fn run(mut self) -> Result<CycleRun, SimError> {
+        while self.stats.cycles < self.cfg.max_cycles {
+            if self.cycle_once()? {
+                return Ok(CycleRun { machine: self.machine, stats: self.stats, halted: true });
+            }
+        }
+        Err(SimError::StepLimit { limit: self.cfg.max_cycles })
+    }
+
+    fn cc_writer_in_flight(&self) -> bool {
+        [&self.ir, &self.or_, &self.rr]
+            .into_iter()
+            .flatten()
+            .any(|s| s.valid && s.d.modifies_cc)
+    }
+
+    fn unresolved_branch_in_flight(&self) -> bool {
+        [&self.ir, &self.or_, &self.rr]
+            .into_iter()
+            .flatten()
+            .any(|s| s.valid && !s.resolved && matches!(s.d.fold, FoldClass::Cond { .. }))
+    }
+
+    /// Kill a stage's slot, counting it if it held a valid entry.
+    fn kill(slot: &mut Option<Slot>, flushed: &mut u64) {
+        if let Some(s) = slot {
+            if s.valid {
+                *flushed += 1;
+            }
+            s.valid = false;
+        }
+    }
+
+    /// Point fetch at the architectural continuation of a mispredicted
+    /// branch: the already-known alternate when it is static, otherwise
+    /// wait for the branch's own retirement to supply it.
+    fn redirect_to(&mut self, alt: NextPc, branch_seq: u64) {
+        match alt {
+            NextPc::Known(a) => {
+                self.fetch_pc = Some(a);
+                self.waiting_on = None;
+            }
+            _ => {
+                self.fetch_pc = None;
+                self.waiting_on = Some(branch_seq);
+            }
+        }
+    }
+
+    /// Early-resolve the conditional branch in `or_` or `ir`, if its
+    /// direction is now certain. Returns `true` if a mispredict flushed
+    /// the pipeline behind it.
+    fn try_resolve(&mut self, at_or: bool, kill_fetch: &mut bool, stage_idx: usize) {
+        // Split-borrow gymnastics: take the slot out, put it back.
+        let slot_ref = if at_or { &mut self.or_ } else { &mut self.ir };
+        let Some(mut slot) = slot_ref.take() else { return };
+        let FoldClass::Cond { on_true, .. } = slot.d.fold else {
+            *slot_ref = Some(slot);
+            return;
+        };
+        if !slot.valid || slot.resolved || slot.d.modifies_cc {
+            *slot_ref = Some(slot);
+            return;
+        }
+        // Blocked while an older valid compare is still in flight. For
+        // the OR stage nothing older remains (RR retired this cycle);
+        // for IR the OR slot may hold one.
+        if !at_or {
+            if let Some(older) = &self.or_ {
+                if older.valid && older.d.modifies_cc {
+                    self.ir = Some(slot);
+                    return;
+                }
+            }
+        }
+        let taken = self.machine.psw.flag == on_true;
+        slot.resolved = true;
+        let seq = slot.seq;
+        let other = slot.other;
+        let mispredicted = taken != slot.followed;
+        if at_or {
+            self.or_ = Some(slot);
+        } else {
+            self.ir = Some(slot);
+        }
+        if mispredicted {
+            self.stats.mispredicts_by_stage[stage_idx] += 1;
+            let mut flushed = 0;
+            if at_or {
+                Self::kill(&mut self.ir, &mut flushed);
+            }
+            *kill_fetch = true;
+            self.stats.flushed_slots += flushed;
+            self.redirect_to(other, seq);
+        }
+    }
+
+    /// Advance the machine by one clock cycle. Returns `true` on halt.
+    fn cycle_once(&mut self) -> Result<bool, SimError> {
+        let cyc = self.stats.cycles;
+        self.stats.cycles += 1;
+        let mut kill_fetch = false;
+
+        // ---- 1. RR stage: commit and retire. ----
+        if let Some(slot) = self.rr.take() {
+            if slot.valid {
+                let step = self.machine.execute(&slot.d)?;
+                self.stats.issued += 1;
+                self.stats.program_instrs += 1 + u64::from(slot.d.folded);
+                if let FoldClass::Cond { .. } = slot.d.fold {
+                    self.stats.cond_branches += 1;
+                    let taken = step.taken.expect("conditional step reports direction");
+                    if let Some(table) = &mut self.dyn_table {
+                        table.train(slot.d.branch_pc.unwrap_or(slot.d.pc), taken);
+                    }
+                    if !slot.resolved && taken != slot.followed {
+                        // Resolved only now — the folded-compare case:
+                        // three slots die (OR, IR, and this cycle's fetch).
+                        self.stats.mispredicts_by_stage[3] += 1;
+                        let mut flushed = 0;
+                        Self::kill(&mut self.or_, &mut flushed);
+                        Self::kill(&mut self.ir, &mut flushed);
+                        self.stats.flushed_slots += flushed;
+                        kill_fetch = true;
+                        self.fetch_pc = Some(step.next_pc);
+                        self.waiting_on = None;
+                    }
+                }
+                if self.waiting_on == Some(slot.seq) {
+                    // This retirement supplies the pending indirect target.
+                    self.waiting_on = None;
+                    self.fetch_pc = Some(step.next_pc);
+                }
+                if step.halted {
+                    return Ok(true);
+                }
+            }
+        }
+
+        // ---- 2. Early resolution: OR first (older), then IR. ----
+        self.try_resolve(true, &mut kill_fetch, 2);
+        self.try_resolve(false, &mut kill_fetch, 1);
+
+        // ---- 3. Clock the stages forward. ----
+        self.rr = self.or_.take();
+        self.or_ = self.ir.take();
+
+        // ---- 4. Fetch into IR from the decoded cache. ----
+        self.ir = None;
+        if kill_fetch {
+            // The slot being clocked into IR this edge was cancelled.
+        } else if let Some(pc) = self.fetch_pc {
+            if let Some(&d) = self.cache.lookup(pc) {
+                self.stats.icache_hits += 1;
+                self.missing_pc = None;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let mut slot = Slot {
+                    d,
+                    valid: true,
+                    resolved: false,
+                    followed: false,
+                    other: d.next_pc,
+                    seq,
+                };
+                let mut chosen = d.next_pc;
+                if let FoldClass::Cond { on_true, predict_taken } = d.fold {
+                    let alt = d.alt_pc.expect("conditional entry carries an alternate");
+                    // The hardware's guess: the static bit, or the
+                    // dynamic counter table when configured.
+                    let guess = match &self.dyn_table {
+                        None => predict_taken,
+                        Some(t) => t.predict(d.branch_pc.unwrap_or(d.pc)),
+                    };
+                    // Zero-cost resolution at cache-read time: no compare
+                    // anywhere in the pipeline means the flag is final.
+                    if !d.modifies_cc && !self.cc_writer_in_flight() {
+                        let taken = self.machine.psw.flag == on_true;
+                        slot.resolved = true;
+                        slot.followed = taken;
+                        self.stats.resolved_at_fetch += 1;
+                        if guess != taken {
+                            // Wrong guess, but zero cycles lost: "the
+                            // conditional branch has effectively been
+                            // turned into an unconditional branch".
+                            self.stats.mispredicts_by_stage[0] += 1;
+                        }
+                        // Follow the actual direction. The Next-PC field
+                        // holds the static-bit path; swap when needed.
+                        chosen = if taken == predict_taken { d.next_pc } else { alt };
+                    } else {
+                        slot.followed = guess;
+                        let (c, o) = if guess == predict_taken {
+                            (d.next_pc, alt)
+                        } else {
+                            (alt, d.next_pc)
+                        };
+                        chosen = c;
+                        slot.other = o;
+                    }
+                }
+                match chosen {
+                    NextPc::Known(n) => self.fetch_pc = Some(n),
+                    _ => {
+                        self.fetch_pc = None;
+                        self.waiting_on = Some(seq);
+                    }
+                }
+                self.ir = Some(slot);
+            } else {
+                if self.missing_pc != Some(pc) {
+                    self.missing_pc = Some(pc);
+                    self.stats.icache_misses += 1;
+                }
+                self.stats.miss_stall_cycles += 1;
+                // Check for a decode failure at this address *before*
+                // re-demanding (demand clears the failure latch). If no
+                // branch in flight can still redirect us, the failing
+                // address is the real path.
+                if let Some((fpc, e)) = self.pdu.failure() {
+                    if *fpc == pc && !self.unresolved_branch_in_flight() {
+                        return Err(SimError::Decode { pc, source: e.clone() });
+                    }
+                }
+                self.pdu.demand(pc);
+            }
+        } else {
+            self.stats.indirect_stall_cycles += 1;
+        }
+
+        // ---- 5. PDU cycle. ----
+        self.pdu.tick(cyc, &self.machine.mem, &mut self.cache);
+        self.stats.pdu_decodes = self.pdu.decodes;
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionalSim;
+    use crisp_asm::assemble_text;
+    
+
+    fn run_cfg(src: &str, cfg: SimConfig) -> CycleRun {
+        let img = assemble_text(src).unwrap();
+        CycleSim::new(Machine::load(&img).unwrap(), cfg).run().unwrap()
+    }
+
+    fn run(src: &str) -> CycleRun {
+        run_cfg(src, SimConfig::default())
+    }
+
+    #[test]
+    fn straight_line_executes_and_halts() {
+        let r = run("
+            mov 0(sp),$1
+            add 0(sp),$2
+            add 0(sp),$3
+            halt
+        ");
+        assert!(r.halted);
+        assert_eq!(r.machine.mem.read_word(r.machine.sp).unwrap(), 6);
+        assert_eq!(r.stats.issued, 4);
+        assert_eq!(r.stats.program_instrs, 4);
+    }
+
+    #[test]
+    fn matches_functional_results() {
+        let src = "
+            mov 0(sp),$0
+            mov 4(sp),$0
+        top:
+            add 4(sp),0(sp)
+            add 0(sp),$1
+            cmp.s< 0(sp),$20
+            ifjmpy.t top
+            mov Accum,4(sp)
+            halt
+        ";
+        let img = assemble_text(src).unwrap();
+        let f = FunctionalSim::new(Machine::load(&img).unwrap()).run().unwrap();
+        let c = CycleSim::new(Machine::load(&img).unwrap(), SimConfig::default())
+            .run()
+            .unwrap();
+        assert_eq!(f.machine.accum, c.machine.accum);
+        assert_eq!(f.machine.sp, c.machine.sp);
+        assert_eq!(f.stats.program_instrs, c.stats.program_instrs);
+        assert_eq!(f.stats.entries, c.stats.issued);
+    }
+
+    // ---- The paper's penalty schedule ----
+
+    #[test]
+    fn folded_compare_mispredict_resolves_at_rr() {
+        // cmp folded with its branch; prediction bit wrong.
+        // Flag: Accum(0) == 0 → true; ifjmpn (branch if false) predicted
+        // taken → mispredict, resolvable only at RR.
+        let r = run("
+            nop
+            cmp.= Accum,$0
+            ifjmpn.t skip
+            nop
+        skip:
+            halt
+        ");
+        assert_eq!(r.stats.mispredicts_by_stage, [0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn compare_one_ahead_resolves_at_or() {
+        // Folding disabled so cmp and branch are separate entries,
+        // immediately adjacent: the branch is one stage behind.
+        let r = run_cfg(
+            "
+            nop
+            cmp.= Accum,$0
+            ifjmpn.t skip
+            nop
+        skip:
+            halt
+        ",
+            SimConfig::without_folding(),
+        );
+        assert_eq!(r.stats.mispredicts_by_stage, [0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn compare_two_ahead_resolves_at_ir() {
+        // One independent instruction between cmp and branch
+        // (folding off keeps the distance exact).
+        let r = run_cfg(
+            "
+            nop
+            cmp.= Accum,$0
+            add 0(sp),$1
+            ifjmpn.t skip
+            nop
+        skip:
+            halt
+        ",
+            SimConfig::without_folding(),
+        );
+        assert_eq!(r.stats.mispredicts_by_stage, [0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn compare_three_ahead_costs_nothing() {
+        // Two instructions between cmp and branch: the compare has left
+        // the pipeline when the branch is read from the cache, so the
+        // wrong prediction bit costs zero cycles.
+        let r = run_cfg(
+            "
+            nop
+            cmp.= Accum,$0
+            add 0(sp),$1
+            add 4(sp),$1
+            ifjmpn.t skip
+            nop
+        skip:
+            halt
+        ",
+            SimConfig::without_folding(),
+        );
+        assert_eq!(r.stats.mispredicts_by_stage, [1, 0, 0, 0]);
+        assert!(r.stats.resolved_at_fetch >= 1);
+    }
+
+    #[test]
+    fn penalty_cycles_match_the_schedule() {
+        // Same program, mispredict penalty varied by compare distance;
+        // cycle counts must differ by exactly the schedule (3/2/1/0).
+        let base = "
+            nop
+            cmp.= Accum,$0
+            {SPREAD}
+            ifjmpn.t skip
+            nop
+        skip:
+            halt
+        ";
+        let cycles = |spread: &str, cfg: SimConfig| {
+            run_cfg(&base.replace("{SPREAD}", spread), cfg).stats.cycles
+        };
+        let nf = SimConfig::without_folding();
+        // Distance 3+: zero penalty. Reference point.
+        let c3 = cycles("add 0(sp),$1\n add 4(sp),$1", nf);
+        // Distance 2: one cycle. One less instruction in the pipeline,
+        // so an equal-cycle program would be c3 - 1; the penalty adds 1.
+        let c2 = cycles("add 0(sp),$1", nf);
+        assert_eq!(c2, c3 - 1 + 1, "c2={c2} c3={c3}");
+        // Distance 1 (adjacent): two cycles.
+        let c1 = cycles("", nf);
+        assert_eq!(c1, c3 - 2 + 2, "c1={c1} c3={c3}");
+        // Folded (distance 0): three cycles; folding also removes the
+        // branch's own slot.
+        let c0 = cycles("", SimConfig::default());
+        assert_eq!(c0, c3 - 3 + 3, "c0={c0} c3={c3}");
+    }
+
+    #[test]
+    fn correct_prediction_costs_nothing() {
+        // Predicted-taken backward branch, taken every time: steady
+        // state issues one entry per cycle.
+        let r = run("
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            add 4(sp),$2
+            mov 8(sp),4(sp)
+            cmp.s< 0(sp),$200
+            ifjmpy.t top
+            halt
+        ");
+        // 4 entries per iteration (cmp folds the branch), 200 iterations.
+        let steady = r.stats.issued as f64;
+        let cpi = r.stats.cycles as f64 / steady;
+        assert!(cpi < 1.1, "steady-state CPI should approach 1, got {cpi}");
+        // Exactly one mispredict: the loop exit (resolved at RR since
+        // cmp is folded with the branch).
+        assert_eq!(r.stats.mispredicts(), 1);
+    }
+
+    #[test]
+    fn folding_reduces_issued_but_not_program_instrs() {
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$50
+            ifjmpy.t top
+            halt
+        ";
+        let fold = run_cfg(src, SimConfig::default());
+        let nofold = run_cfg(src, SimConfig::without_folding());
+        assert_eq!(fold.stats.program_instrs, nofold.stats.program_instrs);
+        // 50 folded branches disappear from the issue stream.
+        assert_eq!(nofold.stats.issued - fold.stats.issued, 50);
+        assert!(fold.stats.cycles < nofold.stats.cycles);
+        // Apparent CPI dips below issued CPI when folding is on.
+        assert!(fold.stats.apparent_cpi() < fold.stats.cycles_per_issued());
+    }
+
+    #[test]
+    fn indirect_jump_stalls_then_proceeds() {
+        let r = run("
+            mov *0x10000,$12
+            jmp *0x10000
+            nop
+            nop
+            nop
+            nop      ; byte 12: target
+            halt
+        ");
+        assert!(r.halted);
+        assert!(r.stats.indirect_stall_cycles >= 1);
+    }
+
+    #[test]
+    fn call_and_return_work_under_timing() {
+        let r = run("
+            mov 0(sp),$5
+            call f
+            mov 4(sp),Accum
+            halt
+        f:
+            enter 8
+            mov Accum,$7
+            leave 8
+            ret
+        ");
+        assert!(r.halted);
+        assert_eq!(r.machine.accum, 7);
+        assert_eq!(r.machine.mem.read_word(r.machine.sp + 4).unwrap(), 7);
+    }
+
+    #[test]
+    fn step_api_exposes_pipeline_flow() {
+        let img = assemble_text(
+            "
+            mov 0(sp),$1
+            add 0(sp),$2
+            add 0(sp),$3
+            halt
+            ",
+        )
+        .unwrap();
+        let mut sim = CycleSim::new(Machine::load(&img).unwrap(), SimConfig::default());
+        let mut snaps = Vec::new();
+        for _ in 0..100 {
+            let s = sim.step().unwrap();
+            let done = s.halted;
+            snaps.push(s);
+            if done {
+                break;
+            }
+        }
+        assert!(snaps.last().unwrap().halted);
+        // The mov (pc 0) must appear in IR, then OR, then RR.
+        let find = |f: fn(&PipelineSnapshot) -> Option<StageView>| {
+            snaps.iter().position(|s| f(s).map(|v| v.pc) == Some(0))
+        };
+        let ir_at = find(|s| s.ir).expect("mov reaches IR");
+        let or_at = find(|s| s.or).expect("mov reaches OR");
+        let rr_at = find(|s| s.rr).expect("mov reaches RR");
+        assert_eq!(or_at, ir_at + 1);
+        assert_eq!(rr_at, or_at + 1);
+        // Architectural result via the read-only accessor + into_run.
+        assert_eq!(sim.machine().mem.read_word(sim.machine().sp).unwrap(), 6);
+        let run = sim.into_run();
+        assert!(run.halted);
+        assert!(run.stats.cycles > 0);
+    }
+
+    #[test]
+    fn step_shows_folded_entries() {
+        let img = assemble_text(
+            "
+            top: add 0(sp),$1
+                 ifjmpy.nt top
+                 halt
+            ",
+        )
+        .unwrap();
+        let mut sim = CycleSim::new(Machine::load(&img).unwrap(), SimConfig::default());
+        let mut saw_folded = false;
+        for _ in 0..50 {
+            let s = sim.step().unwrap();
+            if s.ir.is_some_and(|v| v.folded) {
+                saw_folded = true;
+            }
+            if s.halted {
+                break;
+            }
+        }
+        assert!(saw_folded, "folded entry should appear in IR");
+    }
+
+    #[test]
+    fn cold_start_misses_then_hits() {
+        let r = run("
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$100
+            ifjmpy.t top
+            halt
+        ");
+        assert!(r.stats.icache_misses >= 1);
+        // Steady state: hits dominate (hundreds of fetches, few misses).
+        assert!(r.stats.icache_hits > 50 * r.stats.icache_misses);
+    }
+
+    #[test]
+    fn tiny_cache_thrashes() {
+        // A loop longer than the cache must keep missing.
+        let mut body = String::from("mov 0(sp),$0\ntop:\n");
+        for i in 0..24 {
+            body.push_str(&format!("add {}(sp),$1\n", 4 * (i % 8)));
+        }
+        body.push_str("add 0(sp),$1\ncmp.s< 0(sp),$50\nifjmpy.t top\nhalt\n");
+        let big = run_cfg(&body, SimConfig { icache_entries: 64, ..SimConfig::default() });
+        let tiny = run_cfg(&body, SimConfig { icache_entries: 8, ..SimConfig::default() });
+        assert!(
+            tiny.stats.cycles > big.stats.cycles,
+            "tiny {} vs big {}",
+            tiny.stats.cycles,
+            big.stats.cycles
+        );
+        assert!(tiny.stats.icache_misses > big.stats.icache_misses);
+        // Architectural results identical regardless of geometry.
+        assert_eq!(
+            tiny.machine.mem.read_word(tiny.machine.sp).unwrap(),
+            big.machine.mem.read_word(big.machine.sp).unwrap()
+        );
+    }
+
+    #[test]
+    fn wrong_path_halt_does_not_stop_the_machine() {
+        // Predicted-taken branch jumps over a halt; prediction is wrong
+        // only in that the halt IS the correct path... inverted: the
+        // branch is predicted NOT taken so the halt streams in behind
+        // it, but the branch is actually taken.
+        let r = run("
+            cmp.= Accum,$0
+            nop
+            nop
+            nop
+            ifjmpy.nt skip   ; actually taken (flag true), predicted not
+            halt             ; wrong path: must not commit
+        skip:
+            mov 0(sp),$9
+            halt
+        ");
+        assert!(r.halted);
+        assert_eq!(r.machine.mem.read_word(r.machine.sp).unwrap(), 9);
+    }
+
+    #[test]
+    fn wrong_path_wild_fetch_is_harmless() {
+        // The not-taken path runs into data that does not decode; the
+        // branch is predicted not-taken but actually taken. The wild
+        // wrong-path fetch must not kill the run.
+        let r = run("
+            cmp.= Accum,$0
+            ifjmpy.nt good
+            .word 0x0000B800   ; junk on the wrong path
+        good:
+            halt
+        ");
+        assert!(r.halted);
+    }
+
+    #[test]
+    fn true_path_decode_error_is_reported() {
+        let img = assemble_text("jmp bad\nbad: .word 0x0000B800").unwrap();
+        let err = CycleSim::new(Machine::load(&img).unwrap(), SimConfig::default())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Decode { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let img = assemble_text("top: jmp top").unwrap();
+        let err = CycleSim::new(
+            Machine::load(&img).unwrap(),
+            SimConfig { max_cycles: 500, ..SimConfig::default() },
+        )
+        .run()
+        .unwrap_err();
+        assert_eq!(err, SimError::StepLimit { limit: 500 });
+    }
+
+    #[test]
+    fn dynamic_predictor_learns_a_loop() {
+        use crate::config::HwPredictor;
+        // The loop branch: a 2-bit dynamic counter starts weakly
+        // not-taken, mispredicts early iterations, then learns. The
+        // compare is adjacent (folded), so each early mispredict costs
+        // the full 3 cycles — slower than a correct static bit but far
+        // better than a wrong one.
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$100
+            ifjmpy.nt top      ; static bit says NOT taken (wrong 99x)
+            halt
+        ";
+        let dyn_cfg = SimConfig {
+            predictor: HwPredictor::Dynamic { bits: 2, entries: 256 },
+            ..SimConfig::default()
+        };
+        let dynamic = run_cfg(src, dyn_cfg);
+        let static_bad = run_cfg(src, SimConfig::default());
+        // The dynamic predictor overrides the bad static bit after a
+        // couple of iterations.
+        assert!(
+            dynamic.stats.mispredicts() < 6,
+            "dynamic mispredicts = {}",
+            dynamic.stats.mispredicts()
+        );
+        assert!(static_bad.stats.mispredicts() > 90);
+        assert!(dynamic.stats.cycles < static_bad.stats.cycles);
+        // Architectural results identical.
+        assert_eq!(
+            dynamic.machine.mem.read_word(dynamic.machine.sp).unwrap(),
+            static_bad.machine.mem.read_word(static_bad.machine.sp).unwrap(),
+        );
+    }
+
+    #[test]
+    fn dynamic_predictor_loses_on_alternating_branch() {
+        use crate::config::HwPredictor;
+        // The paper's alternating case: a 1-bit counter mispredicts
+        // every time once warmed, while the optimal static bit gets 50%.
+        let src = "
+            mov 0(sp),$0
+        top:
+            and3 0(sp),$1
+            cmp.= Accum,$0
+            nop
+            nop
+            nop
+            ifjmpy.t skip      ; taken on even i: alternates
+            add 4(sp),$1
+        skip:
+            add 0(sp),$1
+            cmp.s< 0(sp),$64
+            ifjmpy.t top
+            halt
+        ";
+        let dyn_cfg = SimConfig {
+            predictor: HwPredictor::Dynamic { bits: 1, entries: 256 },
+            ..SimConfig::default()
+        };
+        let dynamic = run_cfg(src, dyn_cfg);
+        let static_bit = run_cfg(src, SimConfig::default());
+        // Both runs compute the same result ...
+        assert_eq!(
+            dynamic.machine.mem.read_word(dynamic.machine.sp + 4).unwrap(),
+            static_bit.machine.mem.read_word(static_bit.machine.sp + 4).unwrap(),
+        );
+        // ... and the alternating branch is spread (3 instructions), so
+        // every wrong guess costs 0 — both predictors tie on cycles.
+        // Check the guess quality itself: the 1-bit table must be wrong
+        // more often on the alternating branch.
+        assert!(
+            dynamic.stats.mispredicts_by_stage[0] > static_bit.stats.mispredicts_by_stage[0],
+            "dynamic {:?} vs static {:?}",
+            dynamic.stats.mispredicts_by_stage,
+            static_bit.stats.mispredicts_by_stage
+        );
+    }
+
+    #[test]
+    fn slow_memory_hurts_cold_start_only() {
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$100
+            ifjmpy.t top
+            halt
+        ";
+        let fast = run_cfg(src, SimConfig::default());
+        let slow = run_cfg(src, SimConfig { mem_latency: 10, ..SimConfig::default() });
+        assert!(slow.stats.cycles > fast.stats.cycles);
+        // The loop runs from the decoded cache, so the gap is bounded by
+        // the (small) number of misses, not proportional to iterations.
+        assert!(slow.stats.cycles < fast.stats.cycles + 400);
+    }
+}

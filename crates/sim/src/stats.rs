@@ -1,0 +1,277 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crisp_isa::{BinOp, Decoded, ExecOp, FoldClass};
+
+/// Dynamic opcode histogram, keyed by mnemonic category.
+///
+/// The categories mirror the paper's Table 2 ("add", "if-jump", "cmp",
+/// "move", "and", "jump", "enter", "return"): a folded entry contributes
+/// its host mnemonic *and* its branch mnemonic, because Table 2 counts
+/// program instructions, not pipeline slots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpcodeCounts {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl OpcodeCounts {
+    /// An empty histogram.
+    pub fn new() -> OpcodeCounts {
+        OpcodeCounts::default()
+    }
+
+    /// Record one executed program instruction by category name.
+    pub fn bump(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Record the program instruction(s) represented by one decoded
+    /// entry: the host operation plus, when folded, the branch.
+    pub fn record(&mut self, d: &Decoded) {
+        self.bump(host_mnemonic(d));
+        if d.folded {
+            self.bump(match d.fold {
+                FoldClass::Cond { .. } => "if-jump",
+                _ => "jump",
+            });
+        }
+    }
+
+    /// Count for one category.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total across categories.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterate `(name, count)` sorted by descending count (stable by
+    /// name for ties) — the paper's table ordering.
+    pub fn sorted_desc(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+}
+
+impl fmt::Display for OpcodeCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(1);
+        for (name, count) in self.sorted_desc() {
+            writeln!(
+                f,
+                "{name:<10} {count:>10}  {:>6.2}%",
+                count as f64 * 100.0 / total as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Mnemonic category of the host operation of a decoded entry.
+fn host_mnemonic(d: &Decoded) -> &'static str {
+    match d.exec {
+        ExecOp::Nop => match d.fold {
+            // An unfolded branch decodes to an entry whose ExecOp is Nop;
+            // classify it by its control class.
+            FoldClass::Uncond if !d.folded => "jump",
+            FoldClass::Cond { .. } if !d.folded => "if-jump",
+            _ => "nop",
+        },
+        ExecOp::Halt => "halt",
+        ExecOp::Op2 { op, .. } => binop_name(op),
+        ExecOp::Op3 { op, .. } => binop_name(op),
+        ExecOp::Cmp { .. } => "cmp",
+        ExecOp::Enter { .. } => "enter",
+        ExecOp::Leave { .. } => "leave",
+        ExecOp::CallPush { .. } => "call",
+        ExecOp::RetPop => "return",
+    }
+}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::Sar => "sar",
+        BinOp::Mov => "move",
+    }
+}
+
+/// Counters produced by the functional engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Program instructions executed (a folded entry counts as two).
+    pub program_instrs: u64,
+    /// Decoded entries executed (what the EU pipeline would issue).
+    pub entries: u64,
+    /// Entries that carried a folded branch.
+    pub folded: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Conditional branches whose static prediction bit was wrong.
+    pub static_mispredicts: u64,
+    /// All control transfers (conditional, unconditional, calls, returns).
+    pub transfers: u64,
+    /// Per-mnemonic dynamic histogram.
+    pub opcodes: OpcodeCounts,
+}
+
+/// Counters produced by the cycle engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// Valid entries retired by the EU (pipeline issues).
+    pub issued: u64,
+    /// Program instructions retired (issued + folded branches).
+    pub program_instrs: u64,
+    /// Conditional branches retired.
+    pub cond_branches: u64,
+    /// Mispredicted conditional branches, by the stage distance at which
+    /// they resolved: `[at fetch (0 lost), at IR (1), at OR (2), at RR (3)]`.
+    pub mispredicts_by_stage: [u64; 4],
+    /// Pipeline slots killed by mispredict recovery.
+    pub flushed_slots: u64,
+    /// Conditional branches resolved with certainty at cache-read time
+    /// (the Branch Spreading payoff: no compare in the pipeline).
+    pub resolved_at_fetch: u64,
+    /// Decoded-cache hits and misses (EU side).
+    pub icache_hits: u64,
+    /// Decoded-cache misses (EU side).
+    pub icache_misses: u64,
+    /// Cycles the EU spent stalled waiting for the PDU.
+    pub miss_stall_cycles: u64,
+    /// Cycles stalled waiting for an indirect target to resolve.
+    pub indirect_stall_cycles: u64,
+    /// Instructions decoded by the PDU (including wrong-path decodes).
+    pub pdu_decodes: u64,
+}
+
+impl CycleStats {
+    /// Total mispredicted conditional branches.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts_by_stage.iter().sum()
+    }
+
+    /// Cycles per issued instruction.
+    pub fn cycles_per_issued(&self) -> f64 {
+        self.cycles as f64 / self.issued.max(1) as f64
+    }
+
+    /// Apparent cycles per program instruction — the paper's black-box
+    /// metric that drops below 1.0 when folding works.
+    pub fn apparent_cpi(&self) -> f64 {
+        self.cycles as f64 / self.program_instrs.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_isa::{decode_and_fold, encoding, BranchTarget, FoldPolicy, Instr, Operand};
+
+    fn folded_add_jmp() -> Decoded {
+        let mut p = encoding::encode(&Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(0),
+            src: Operand::Imm(1),
+        })
+        .unwrap();
+        p.extend(encoding::encode(&Instr::Jmp { target: BranchTarget::PcRel(-2) }).unwrap());
+        decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap()
+    }
+
+    #[test]
+    fn folded_entry_counts_two_program_instrs() {
+        let mut c = OpcodeCounts::new();
+        c.record(&folded_add_jmp());
+        assert_eq!(c.get("add"), 1);
+        assert_eq!(c.get("jump"), 1);
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn unfolded_branch_classified() {
+        let p = encoding::encode(&Instr::Jmp { target: BranchTarget::PcRel(-2) }).unwrap();
+        let d = decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap();
+        let mut c = OpcodeCounts::new();
+        c.record(&d);
+        assert_eq!(c.get("jump"), 1);
+        assert_eq!(c.total(), 1);
+
+        let p = encoding::encode(&Instr::IfJmp {
+            on_true: true,
+            predict_taken: true,
+            target: BranchTarget::PcRel(-2),
+        })
+        .unwrap();
+        let d = decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap();
+        c.record(&d);
+        assert_eq!(c.get("if-jump"), 1);
+    }
+
+    #[test]
+    fn mov_counted_as_move() {
+        let p = encoding::encode(&Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::SpOff(0),
+            src: Operand::Imm(1),
+        })
+        .unwrap();
+        let d = decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap();
+        let mut c = OpcodeCounts::new();
+        c.record(&d);
+        assert_eq!(c.get("move"), 1);
+    }
+
+    #[test]
+    fn sorted_desc_orders_by_count() {
+        let mut c = OpcodeCounts::new();
+        for _ in 0..3 {
+            c.bump("add");
+        }
+        c.bump("cmp");
+        c.bump("cmp");
+        c.bump("jump");
+        let v = c.sorted_desc();
+        assert_eq!(v[0], ("add", 3));
+        assert_eq!(v[1], ("cmp", 2));
+        assert_eq!(v[2], ("jump", 1));
+    }
+
+    #[test]
+    fn cycle_stat_ratios() {
+        let s = CycleStats {
+            cycles: 100,
+            issued: 80,
+            program_instrs: 120,
+            ..CycleStats::default()
+        };
+        assert!((s.cycles_per_issued() - 1.25).abs() < 1e-9);
+        assert!((s.apparent_cpi() - 100.0 / 120.0).abs() < 1e-9);
+        assert_eq!(CycleStats::default().cycles_per_issued(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let mut c = OpcodeCounts::new();
+        c.bump("add");
+        c.bump("add");
+        c.bump("cmp");
+        c.bump("cmp");
+        let text = c.to_string();
+        assert!(text.contains("add"));
+        assert!(text.contains("50.00%"), "{text}");
+    }
+}

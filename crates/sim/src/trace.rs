@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// The kind of a control transfer, for trace consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional branch (`ifjmp`).
+    Cond,
+    /// Unconditional branch (`jmp`, direct or indirect).
+    Uncond,
+    /// Subroutine call.
+    Call,
+    /// Subroutine return.
+    Ret,
+}
+
+/// One dynamic branch occurrence, as recorded by the functional engine.
+///
+/// This is the input format of the prediction study (the paper modified
+/// a VAX C compiler to emit equivalent instrumentation; we record the
+/// same information from simulated execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// Address of the branch instruction itself (for a folded branch,
+    /// the address of the absorbed one-parcel branch, not its host).
+    pub pc: u32,
+    /// The taken-path target address (for conditional branches this is
+    /// the branch target even on a not-taken occurrence, which is what a
+    /// branch target buffer stores).
+    pub target: u32,
+    /// Whether the transfer happened (`true` for every unconditional
+    /// event).
+    pub taken: bool,
+    /// Transfer kind.
+    pub kind: BranchKind,
+}
+
+impl fmt::Display for BranchEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#08x} -> {:#08x} {} ({:?})",
+            self.pc,
+            self.target,
+            if self.taken { "taken" } else { "not-taken" },
+            self.kind
+        )
+    }
+}
+
+/// A dynamic branch trace.
+pub type Trace = Vec<BranchEvent>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BranchEvent { pc: 0x10, target: 0x40, taken: true, kind: BranchKind::Cond };
+        let s = e.to_string();
+        assert!(s.contains("0x000010"));
+        assert!(s.contains("taken"));
+        assert!(s.contains("Cond"));
+    }
+}

@@ -1,0 +1,207 @@
+use std::fmt;
+
+/// A VAX-lite operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general register `r0..r11`.
+    Reg(u8),
+    /// An immediate (literal) value.
+    Imm(i32),
+    /// A word slot in data memory (pre-assigned local or global).
+    Loc(u32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "r{r}"),
+            Operand::Imm(v) => write!(f, "${v}"),
+            Operand::Loc(a) => write!(f, "L{a}"),
+        }
+    }
+}
+
+/// One VAX-lite instruction. Branch targets are instruction indices
+/// (resolved from labels by [`crate::Program`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variants mirror VAX mnemonics; see `mnemonic`
+pub enum VaxInstr {
+    /// `dst = 0`.
+    Clrl(Operand),
+    /// `dst = src` (sets no condition codes in this model).
+    Movl(Operand, Operand),
+    /// `dst += 1`.
+    Incl(Operand),
+    /// `dst -= 1`.
+    Decl(Operand),
+    /// `dst += src`.
+    Addl2(Operand, Operand),
+    /// `dst = a + b`.
+    Addl3(Operand, Operand, Operand),
+    /// `dst -= src`.
+    Subl2(Operand, Operand),
+    /// `dst = a - b` (operand order as VAX `subl3 sub, min, dst`
+    /// simplified to `dst = a - b`).
+    Subl3(Operand, Operand, Operand),
+    /// `dst *= src`.
+    Mull2(Operand, Operand),
+    /// `dst /= src` (division by zero yields 0).
+    Divl2(Operand, Operand),
+    /// `dst = ~src` (one's complement).
+    Mcoml(Operand, Operand),
+    /// `dst &= ~src` (bit clear — the VAX has no `andl`; compilers
+    /// synthesise AND from `mcoml` + `bicl2`).
+    Bicl2(Operand, Operand),
+    /// `dst |= src` (bit set).
+    Bisl2(Operand, Operand),
+    /// `dst ^= src`.
+    Xorl2(Operand, Operand),
+    /// `dst = src` arithmetically shifted by `cnt` bits (positive =
+    /// left, negative = right), VAX `ashl cnt, src, dst`.
+    Ashl(Operand, Operand, Operand),
+    /// Compare: condition codes from `a - b`.
+    Cmpl(Operand, Operand),
+    /// Test: condition codes from `a`.
+    Tstl(Operand),
+    /// Bit test: condition codes from `a & b`.
+    Bitl(Operand, Operand),
+    /// Unconditional branch to an instruction index.
+    Jbr(usize),
+    /// Branch if equal (Z).
+    Jeql(usize),
+    /// Branch if not equal (!Z).
+    Jneq(usize),
+    /// Branch if less (N).
+    Jlss(usize),
+    /// Branch if less or equal (N | Z).
+    Jleq(usize),
+    /// Branch if greater (!N & !Z).
+    Jgtr(usize),
+    /// Branch if greater or equal (!N).
+    Jgeq(usize),
+    /// Call the function at an instruction index.
+    Calls(usize),
+    /// Return to the caller.
+    Ret,
+    /// Stop the VM.
+    Halt,
+}
+
+impl VaxInstr {
+    /// The VAX mnemonic used in Table 2.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            VaxInstr::Clrl(..) => "clrl",
+            VaxInstr::Movl(..) => "movl",
+            VaxInstr::Incl(..) => "incl",
+            VaxInstr::Decl(..) => "decl",
+            VaxInstr::Addl2(..) => "addl2",
+            VaxInstr::Addl3(..) => "addl3",
+            VaxInstr::Subl2(..) => "subl2",
+            VaxInstr::Subl3(..) => "subl3",
+            VaxInstr::Mull2(..) => "mull2",
+            VaxInstr::Divl2(..) => "divl2",
+            VaxInstr::Mcoml(..) => "mcoml",
+            VaxInstr::Bicl2(..) => "bicl2",
+            VaxInstr::Bisl2(..) => "bisl2",
+            VaxInstr::Xorl2(..) => "xorl2",
+            VaxInstr::Ashl(..) => "ashl",
+            VaxInstr::Cmpl(..) => "cmpl",
+            VaxInstr::Tstl(..) => "tstl",
+            VaxInstr::Bitl(..) => "bitl",
+            VaxInstr::Jbr(..) => "jbr",
+            VaxInstr::Jeql(..) => "jeql",
+            VaxInstr::Jneq(..) => "jneq",
+            VaxInstr::Jlss(..) => "jlss",
+            VaxInstr::Jleq(..) => "jleq",
+            VaxInstr::Jgtr(..) => "jgtr",
+            VaxInstr::Jgeq(..) => "jgeq",
+            VaxInstr::Calls(..) => "calls",
+            VaxInstr::Ret => "ret",
+            VaxInstr::Halt => "halt",
+        }
+    }
+
+    /// The branch-target index, if this is a branch/call, together with
+    /// a setter — used by [`crate::Program`] when resolving labels.
+    pub(crate) fn target_mut(&mut self) -> Option<&mut usize> {
+        match self {
+            VaxInstr::Jbr(t)
+            | VaxInstr::Jeql(t)
+            | VaxInstr::Jneq(t)
+            | VaxInstr::Jlss(t)
+            | VaxInstr::Jleq(t)
+            | VaxInstr::Jgtr(t)
+            | VaxInstr::Jgeq(t)
+            | VaxInstr::Calls(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VaxInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaxInstr::Clrl(d) | VaxInstr::Incl(d) | VaxInstr::Decl(d) | VaxInstr::Tstl(d) => {
+                write!(f, "{} {d}", self.mnemonic())
+            }
+            VaxInstr::Movl(d, s)
+            | VaxInstr::Addl2(d, s)
+            | VaxInstr::Subl2(d, s)
+            | VaxInstr::Mull2(d, s)
+            | VaxInstr::Divl2(d, s)
+            | VaxInstr::Cmpl(d, s)
+            | VaxInstr::Bitl(d, s)
+            | VaxInstr::Mcoml(d, s)
+            | VaxInstr::Bicl2(d, s)
+            | VaxInstr::Bisl2(d, s)
+            | VaxInstr::Xorl2(d, s) => write!(f, "{} {d},{s}", self.mnemonic()),
+            VaxInstr::Ashl(d, c, s) => write!(f, "{} {c},{s},{d}", self.mnemonic()),
+            VaxInstr::Addl3(d, a, b) | VaxInstr::Subl3(d, a, b) => {
+                write!(f, "{} {a},{b},{d}", self.mnemonic())
+            }
+            VaxInstr::Jbr(t)
+            | VaxInstr::Jeql(t)
+            | VaxInstr::Jneq(t)
+            | VaxInstr::Jlss(t)
+            | VaxInstr::Jleq(t)
+            | VaxInstr::Jgtr(t)
+            | VaxInstr::Jgeq(t)
+            | VaxInstr::Calls(t) => write!(f, "{} @{t}", self.mnemonic()),
+            VaxInstr::Ret | VaxInstr::Halt => f.write_str(self.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_match_table2_names() {
+        assert_eq!(VaxInstr::Incl(Operand::Reg(0)).mnemonic(), "incl");
+        assert_eq!(VaxInstr::Jbr(0).mnemonic(), "jbr");
+        assert_eq!(VaxInstr::Bitl(Operand::Reg(0), Operand::Imm(1)).mnemonic(), "bitl");
+        assert_eq!(VaxInstr::Jgeq(0).mnemonic(), "jgeq");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VaxInstr::Movl(Operand::Loc(3), Operand::Imm(5)).to_string(), "movl L3,$5");
+        assert_eq!(VaxInstr::Jeql(7).to_string(), "jeql @7");
+        assert_eq!(
+            VaxInstr::Addl3(Operand::Reg(1), Operand::Loc(0), Operand::Imm(2)).to_string(),
+            "addl3 L0,$2,r1"
+        );
+    }
+
+    #[test]
+    fn target_mut_covers_all_branches() {
+        let mut i = VaxInstr::Jgeq(3);
+        *i.target_mut().unwrap() = 9;
+        assert_eq!(i, VaxInstr::Jgeq(9));
+        assert!(VaxInstr::Ret.target_mut().is_none());
+        assert!(VaxInstr::Halt.target_mut().is_none());
+        assert!(VaxInstr::Incl(Operand::Reg(0)).target_mut().is_none());
+    }
+}

@@ -1,0 +1,175 @@
+use std::collections::BTreeMap;
+
+use crate::{RunResult, VaxError, VaxInstr, Vm};
+
+/// A VAX-lite program under construction: instructions, labels and a
+/// slot allocator for locals/globals.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    instrs: Vec<VaxInstr>,
+    labels: BTreeMap<String, usize>,
+    /// `(instruction index, label)` fixups applied by [`Program::finish`].
+    fixups: Vec<(usize, String)>,
+    slots: BTreeMap<String, u32>,
+    next_slot: u32,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Allocate (or look up) a named word slot in data memory.
+    pub fn alloc_slot(&mut self, name: &str) -> u32 {
+        if let Some(&s) = self.slots.get(name) {
+            return s;
+        }
+        let s = self.next_slot;
+        self.next_slot += 1;
+        self.slots.insert(name.to_owned(), s);
+        s
+    }
+
+    /// The slot previously allocated for `name`.
+    pub fn slot(&self, name: &str) -> Option<u32> {
+        self.slots.get(name).copied()
+    }
+
+    /// Define a label at the current instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition (a code-generator bug).
+    pub fn label(&mut self, name: &str) {
+        let here = self.instrs.len();
+        assert!(
+            self.labels.insert(name.to_owned(), here).is_none(),
+            "duplicate label {name}"
+        );
+    }
+
+    /// Append an instruction.
+    pub fn push(&mut self, instr: VaxInstr) {
+        self.instrs.push(instr);
+    }
+
+    /// Append a branch/call whose target is a label (resolved at
+    /// [`Program::finish`] time; the index inside `instr` is ignored).
+    pub fn push_branch(&mut self, instr: VaxInstr, label: &str) {
+        let at = self.instrs.len();
+        self.fixups.push((at, label.to_owned()));
+        self.instrs.push(instr);
+    }
+
+    /// Number of instructions so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Resolve labels and return the executable instruction list.
+    ///
+    /// # Errors
+    ///
+    /// [`VaxError::UndefinedLabel`] when a branch references a label
+    /// that was never defined.
+    pub fn finish(mut self) -> Result<Vec<VaxInstr>, VaxError> {
+        for (at, label) in &self.fixups {
+            let &target = self
+                .labels
+                .get(label)
+                .ok_or_else(|| VaxError::UndefinedLabel { label: label.clone() })?;
+            *self.instrs[*at]
+                .target_mut()
+                .expect("push_branch only accepts branch instructions") = target;
+        }
+        Ok(self.instrs)
+    }
+
+    /// Resolve labels and run to `halt` (convenience wrapper).
+    ///
+    /// # Errors
+    ///
+    /// Any [`VaxError`] from label resolution or execution.
+    pub fn run(self, max_steps: u64) -> Result<RunResult, VaxError> {
+        let slots = self.next_slot;
+        let instrs = self.finish()?;
+        Vm::new(instrs, slots.max(64)).run(max_steps)
+    }
+
+    /// Render the program as an assembly listing.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let by_index: BTreeMap<usize, &str> =
+            self.labels.iter().map(|(name, &i)| (i, name.as_str())).collect();
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if let Some(name) = by_index.get(&i) {
+                let _ = writeln!(out, "{name}:");
+            }
+            let _ = writeln!(out, "    {instr}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operand;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut p = Program::new();
+        p.label("top");
+        p.push(VaxInstr::Incl(Operand::Reg(0)));
+        p.push_branch(VaxInstr::Jbr(0), "end");
+        p.push_branch(VaxInstr::Jbr(0), "top");
+        p.label("end");
+        p.push(VaxInstr::Halt);
+        let instrs = p.finish().unwrap();
+        assert_eq!(instrs[1], VaxInstr::Jbr(3));
+        assert_eq!(instrs[2], VaxInstr::Jbr(0));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut p = Program::new();
+        p.push_branch(VaxInstr::Jbr(0), "nowhere");
+        assert!(matches!(p.finish(), Err(VaxError::UndefinedLabel { .. })));
+    }
+
+    #[test]
+    fn slots_are_stable() {
+        let mut p = Program::new();
+        let a = p.alloc_slot("a");
+        let b = p.alloc_slot("b");
+        assert_ne!(a, b);
+        assert_eq!(p.alloc_slot("a"), a);
+        assert_eq!(p.slot("b"), Some(b));
+        assert_eq!(p.slot("c"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut p = Program::new();
+        p.label("x");
+        p.label("x");
+    }
+
+    #[test]
+    fn listing_shows_labels() {
+        let mut p = Program::new();
+        p.label("main");
+        p.push(VaxInstr::Halt);
+        let text = p.listing();
+        assert!(text.contains("main:"));
+        assert!(text.contains("halt"));
+    }
+}

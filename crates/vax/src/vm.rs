@@ -1,0 +1,418 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Operand, VaxInstr};
+
+/// Errors from building or running VAX-lite programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VaxError {
+    /// A branch referenced an undefined label.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A memory slot index outside the VM's data memory.
+    BadSlot {
+        /// The offending slot.
+        slot: u32,
+    },
+    /// `ret` with an empty call stack.
+    ReturnUnderflow,
+    /// The PC ran past the last instruction without `halt`.
+    FellOffEnd,
+    /// Step limit exceeded.
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for VaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaxError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            VaxError::BadSlot { slot } => write!(f, "slot {slot} outside data memory"),
+            VaxError::ReturnUnderflow => write!(f, "ret with empty call stack"),
+            VaxError::FellOffEnd => write!(f, "execution ran past the last instruction"),
+            VaxError::StepLimit { limit } => write!(f, "exceeded {limit} steps"),
+        }
+    }
+}
+
+impl std::error::Error for VaxError {}
+
+/// Dynamic opcode histogram (`mnemonic → count`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counts {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counts {
+    /// Count for one mnemonic.
+    pub fn get(&self, mnemonic: &str) -> u64 {
+        self.map.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// Total executed instructions.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// `(mnemonic, count)` sorted by descending count, ties by name.
+    pub fn sorted_desc(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    fn bump(&mut self, mnemonic: &'static str) {
+        *self.map.entry(mnemonic).or_insert(0) += 1;
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final data memory (word slots).
+    pub memory: Vec<i32>,
+    /// Final registers.
+    pub regs: [i32; 12],
+    /// Executed-opcode histogram.
+    pub counts: Counts,
+}
+
+/// The functional VAX-lite virtual machine.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    instrs: Vec<VaxInstr>,
+    memory: Vec<i32>,
+    regs: [i32; 12],
+    /// Condition codes N and Z (set by `cmpl`, `tstl`, `bitl`).
+    n: bool,
+    z: bool,
+    call_stack: Vec<usize>,
+    counts: Counts,
+}
+
+impl Vm {
+    /// Create a VM for `instrs` with `data_slots` words of zeroed data
+    /// memory.
+    pub fn new(instrs: Vec<VaxInstr>, data_slots: u32) -> Vm {
+        Vm {
+            instrs,
+            memory: vec![0; data_slots as usize],
+            regs: [0; 12],
+            n: false,
+            z: false,
+            call_stack: Vec::new(),
+            counts: Counts::default(),
+        }
+    }
+
+    fn read(&self, op: Operand) -> Result<i32, VaxError> {
+        match op {
+            Operand::Reg(r) => Ok(self.regs[r as usize % 12]),
+            Operand::Imm(v) => Ok(v),
+            Operand::Loc(s) => self
+                .memory
+                .get(s as usize)
+                .copied()
+                .ok_or(VaxError::BadSlot { slot: s }),
+        }
+    }
+
+    fn write(&mut self, op: Operand, value: i32) -> Result<(), VaxError> {
+        match op {
+            Operand::Reg(r) => {
+                self.regs[r as usize % 12] = value;
+                Ok(())
+            }
+            Operand::Imm(_) => {
+                debug_assert!(false, "write to immediate");
+                Ok(())
+            }
+            Operand::Loc(s) => match self.memory.get_mut(s as usize) {
+                Some(slot) => {
+                    *slot = value;
+                    Ok(())
+                }
+                None => Err(VaxError::BadSlot { slot: s }),
+            },
+        }
+    }
+
+    fn set_cc(&mut self, value: i32) {
+        self.n = value < 0;
+        self.z = value == 0;
+    }
+
+    /// Run until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VaxError`] raised during execution.
+    pub fn run(mut self, max_steps: u64) -> Result<RunResult, VaxError> {
+        let mut pc = 0usize;
+        for _ in 0..max_steps {
+            let instr = *self.instrs.get(pc).ok_or(VaxError::FellOffEnd)?;
+            self.counts.bump(instr.mnemonic());
+            pc += 1;
+            match instr {
+                VaxInstr::Clrl(d) => self.write(d, 0)?,
+                VaxInstr::Movl(d, s) => {
+                    let v = self.read(s)?;
+                    self.write(d, v)?;
+                }
+                VaxInstr::Incl(d) => {
+                    let v = self.read(d)?.wrapping_add(1);
+                    self.write(d, v)?;
+                }
+                VaxInstr::Decl(d) => {
+                    let v = self.read(d)?.wrapping_sub(1);
+                    self.write(d, v)?;
+                }
+                VaxInstr::Addl2(d, s) => {
+                    let v = self.read(d)?.wrapping_add(self.read(s)?);
+                    self.write(d, v)?;
+                }
+                VaxInstr::Addl3(d, a, b) => {
+                    let v = self.read(a)?.wrapping_add(self.read(b)?);
+                    self.write(d, v)?;
+                }
+                VaxInstr::Subl2(d, s) => {
+                    let v = self.read(d)?.wrapping_sub(self.read(s)?);
+                    self.write(d, v)?;
+                }
+                VaxInstr::Subl3(d, a, b) => {
+                    let v = self.read(a)?.wrapping_sub(self.read(b)?);
+                    self.write(d, v)?;
+                }
+                VaxInstr::Mull2(d, s) => {
+                    let v = self.read(d)?.wrapping_mul(self.read(s)?);
+                    self.write(d, v)?;
+                }
+                VaxInstr::Divl2(d, s) => {
+                    let b = self.read(s)?;
+                    let a = self.read(d)?;
+                    let v = if b == 0 || (a == i32::MIN && b == -1) { 0 } else { a / b };
+                    self.write(d, v)?;
+                }
+                VaxInstr::Mcoml(d, s) => {
+                    let v = !self.read(s)?;
+                    self.write(d, v)?;
+                }
+                VaxInstr::Bicl2(d, s) => {
+                    let v = self.read(d)? & !self.read(s)?;
+                    self.write(d, v)?;
+                }
+                VaxInstr::Bisl2(d, s) => {
+                    let v = self.read(d)? | self.read(s)?;
+                    self.write(d, v)?;
+                }
+                VaxInstr::Xorl2(d, s) => {
+                    let v = self.read(d)? ^ self.read(s)?;
+                    self.write(d, v)?;
+                }
+                VaxInstr::Ashl(d, c, s) => {
+                    let cnt = self.read(c)?;
+                    let src = self.read(s)?;
+                    let v = if cnt >= 0 {
+                        ((src as u32) << (cnt as u32 & 31)) as i32
+                    } else {
+                        src >> ((-cnt) as u32 & 31)
+                    };
+                    self.write(d, v)?;
+                }
+                VaxInstr::Cmpl(a, b) => {
+                    let v = self.read(a)?.wrapping_sub(self.read(b)?);
+                    self.set_cc(v);
+                }
+                VaxInstr::Tstl(a) => {
+                    let v = self.read(a)?;
+                    self.set_cc(v);
+                }
+                VaxInstr::Bitl(a, b) => {
+                    let v = self.read(a)? & self.read(b)?;
+                    self.set_cc(v);
+                }
+                VaxInstr::Jbr(t) => pc = t,
+                VaxInstr::Jeql(t) => {
+                    if self.z {
+                        pc = t;
+                    }
+                }
+                VaxInstr::Jneq(t) => {
+                    if !self.z {
+                        pc = t;
+                    }
+                }
+                VaxInstr::Jlss(t) => {
+                    if self.n {
+                        pc = t;
+                    }
+                }
+                VaxInstr::Jleq(t) => {
+                    if self.n || self.z {
+                        pc = t;
+                    }
+                }
+                VaxInstr::Jgtr(t) => {
+                    if !self.n && !self.z {
+                        pc = t;
+                    }
+                }
+                VaxInstr::Jgeq(t) => {
+                    if !self.n {
+                        pc = t;
+                    }
+                }
+                VaxInstr::Calls(t) => {
+                    self.call_stack.push(pc);
+                    pc = t;
+                }
+                VaxInstr::Ret => {
+                    pc = self.call_stack.pop().ok_or(VaxError::ReturnUnderflow)?;
+                }
+                VaxInstr::Halt => {
+                    return Ok(RunResult {
+                        memory: self.memory,
+                        regs: self.regs,
+                        counts: self.counts,
+                    });
+                }
+            }
+        }
+        Err(VaxError::StepLimit { limit: max_steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Program;
+
+    #[test]
+    fn counted_loop() {
+        let mut p = Program::new();
+        let i = p.alloc_slot("i");
+        let sum = p.alloc_slot("sum");
+        p.push(VaxInstr::Clrl(Operand::Loc(i)));
+        p.push(VaxInstr::Clrl(Operand::Loc(sum)));
+        p.label("top");
+        p.push(VaxInstr::Cmpl(Operand::Loc(i), Operand::Imm(10)));
+        p.push_branch(VaxInstr::Jgeq(0), "done");
+        p.push(VaxInstr::Addl2(Operand::Loc(sum), Operand::Loc(i)));
+        p.push(VaxInstr::Incl(Operand::Loc(i)));
+        p.push_branch(VaxInstr::Jbr(0), "top");
+        p.label("done");
+        p.push(VaxInstr::Halt);
+        let r = p.run(10_000).unwrap();
+        assert_eq!(r.memory[sum as usize], 45);
+        assert_eq!(r.counts.get("cmpl"), 11);
+        assert_eq!(r.counts.get("jgeq"), 11);
+        assert_eq!(r.counts.get("jbr"), 10);
+        assert_eq!(r.counts.get("incl"), 10);
+    }
+
+    #[test]
+    fn bitl_tests_without_modifying() {
+        let mut p = Program::new();
+        let x = p.alloc_slot("x");
+        p.push(VaxInstr::Movl(Operand::Loc(x), Operand::Imm(5)));
+        p.push(VaxInstr::Bitl(Operand::Loc(x), Operand::Imm(1)));
+        p.push_branch(VaxInstr::Jneq(0), "odd");
+        p.push(VaxInstr::Halt); // even path: x stays 5
+        p.label("odd");
+        p.push(VaxInstr::Movl(Operand::Loc(x), Operand::Imm(99)));
+        p.push(VaxInstr::Halt);
+        let r = p.run(100).unwrap();
+        assert_eq!(r.memory[x as usize], 99);
+    }
+
+    #[test]
+    fn calls_and_ret() {
+        let mut p = Program::new();
+        p.push_branch(VaxInstr::Calls(0), "f");
+        p.push(VaxInstr::Halt);
+        p.label("f");
+        p.push(VaxInstr::Movl(Operand::Reg(0), Operand::Imm(7)));
+        p.push(VaxInstr::Ret);
+        let r = p.run(100).unwrap();
+        assert_eq!(r.regs[0], 7);
+        assert_eq!(r.counts.get("calls"), 1);
+        assert_eq!(r.counts.get("ret"), 1);
+    }
+
+    #[test]
+    fn condition_code_semantics() {
+        for (a, b, jlss, jeql, jgtr) in
+            [(1, 2, true, false, false), (2, 2, false, true, false), (3, 2, false, false, true)]
+        {
+            let mut p = Program::new();
+            let out = p.alloc_slot("out");
+            p.push(VaxInstr::Cmpl(Operand::Imm(a), Operand::Imm(b)));
+            p.push_branch(VaxInstr::Jlss(0), "lss");
+            p.push_branch(VaxInstr::Jeql(0), "eql");
+            p.push(VaxInstr::Movl(Operand::Loc(out), Operand::Imm(3)));
+            p.push(VaxInstr::Halt);
+            p.label("lss");
+            p.push(VaxInstr::Movl(Operand::Loc(out), Operand::Imm(1)));
+            p.push(VaxInstr::Halt);
+            p.label("eql");
+            p.push(VaxInstr::Movl(Operand::Loc(out), Operand::Imm(2)));
+            p.push(VaxInstr::Halt);
+            let r = p.run(100).unwrap();
+            let expected = if jlss {
+                1
+            } else if jeql {
+                2
+            } else {
+                assert!(jgtr);
+                3
+            };
+            assert_eq!(r.memory[out as usize], expected, "cmp {a},{b}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        let p = Vm::new(vec![VaxInstr::Ret], 4);
+        assert_eq!(p.run(10).unwrap_err(), VaxError::ReturnUnderflow);
+        let p = Vm::new(vec![VaxInstr::Incl(Operand::Reg(0))], 4);
+        assert_eq!(p.run(10).unwrap_err(), VaxError::FellOffEnd);
+        let p = Vm::new(vec![VaxInstr::Jbr(0)], 4);
+        assert_eq!(p.run(10).unwrap_err(), VaxError::StepLimit { limit: 10 });
+        let p = Vm::new(vec![VaxInstr::Incl(Operand::Loc(99)), VaxInstr::Halt], 4);
+        assert_eq!(p.run(10).unwrap_err(), VaxError::BadSlot { slot: 99 });
+    }
+
+    #[test]
+    fn division_semantics() {
+        let mut p = Program::new();
+        let x = p.alloc_slot("x");
+        p.push(VaxInstr::Movl(Operand::Loc(x), Operand::Imm(7)));
+        p.push(VaxInstr::Divl2(Operand::Loc(x), Operand::Imm(2)));
+        p.push(VaxInstr::Halt);
+        assert_eq!(p.run(100).unwrap().memory[x as usize], 3);
+        let mut p = Program::new();
+        let x = p.alloc_slot("x");
+        p.push(VaxInstr::Movl(Operand::Loc(x), Operand::Imm(7)));
+        p.push(VaxInstr::Divl2(Operand::Loc(x), Operand::Imm(0)));
+        p.push(VaxInstr::Halt);
+        assert_eq!(p.run(100).unwrap().memory[x as usize], 0);
+    }
+
+    #[test]
+    fn run_result_counts_totals() {
+        let mut p = Program::new();
+        p.push(VaxInstr::Clrl(Operand::Reg(0)));
+        p.push(VaxInstr::Incl(Operand::Reg(0)));
+        p.push(VaxInstr::Halt);
+        let r = p.run(100).unwrap();
+        assert_eq!(r.counts.total(), 3);
+        let sorted = r.counts.sorted_desc();
+        assert_eq!(sorted.len(), 3);
+        assert!(sorted.iter().all(|&(_, c)| c == 1));
+    }
+}

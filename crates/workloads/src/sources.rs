@@ -1,0 +1,328 @@
+//! Mini-C sources for every workload.
+
+/// The paper's Figure 3 program, transcribed. The published listing
+/// declares `zeros`/`ones` but uses `odd`/`even` in the body (a typo in
+/// the paper); this transcription declares what the body uses. `sum` is
+/// deliberately left uninitialised as in the paper — simulated memory is
+/// zeroed, so the result is deterministic — keeping the Table 2 move
+/// count at exactly 1027 (3 initialising moves + 1024 × `j = sum`).
+pub const FIGURE3_SOURCE: &str = "
+void main() {
+    int i, j, odd, even, sum;
+    j = odd = even = 0;
+    for (i = 0; i < 1024; i++) {
+        sum += i;
+        if (i & 1) odd++;
+        else even++;
+        j = sum;
+    }
+}
+";
+
+/// Figure 3 with results exported to globals, for correctness checks.
+pub const FIGURE3_CHECKED_SOURCE: &str = "
+int out_sum; int out_odd; int out_even;
+void main() {
+    int i, j, odd, even, sum;
+    sum = 0;
+    j = odd = even = 0;
+    for (i = 0; i < 1024; i++) {
+        sum += i;
+        if (i & 1) odd++;
+        else even++;
+        j = sum;
+    }
+    out_sum = sum;
+    out_odd = odd;
+    out_even = even;
+}
+";
+
+/// Text-formatter proxy (stands in for troff): generates synthetic text
+/// with an LCG, then runs word scanning, line filling and hyphenation.
+/// Character-class branches are heavily biased, giving the ~0.9 static
+/// accuracy the paper reports for troff.
+pub const TROFF_PROXY_SOURCE: &str = "
+int nlines; int nwords; int nchars; int nhyphens;
+int text[8192];
+int seed;
+
+void main() {
+    int i, c, col, wlen, lines, words, chars, hyph;
+
+    seed = 12345;
+    for (i = 0; i < 8192; i++) {
+        seed = seed * 1103515245 + 12345;
+        text[i] = (seed >> 16) & 31;
+    }
+
+    col = 0; lines = 0; words = 0; chars = 0; wlen = 0; hyph = 0;
+    for (i = 0; i < 8192; i++) {
+        c = text[i];
+        if (c < 6) {
+            if (wlen > 0) {
+                words++;
+                if (col + wlen > 60) {
+                    lines++;
+                    col = 0;
+                }
+                col += wlen + 1;
+                wlen = 0;
+            }
+            if (c == 0) {
+                lines++;
+                col = 0;
+            }
+        } else {
+            chars++;
+            wlen++;
+            if (wlen > 14) {
+                hyph++;
+                lines++;
+                col = 0;
+                wlen = 0;
+            }
+        }
+    }
+    nlines = lines;
+    nwords = words;
+    nchars = chars;
+    nhyphens = hyph;
+}
+";
+
+/// Compiler proxy (stands in for the paper's C-compiler workload): an
+/// expression-parser state machine over a uniform synthetic token
+/// stream. Many near-50/50 data-dependent branches give the ~0.75
+/// accuracy band the paper reports for the C compiler.
+pub const CC_PROXY_SOURCE: &str = "
+int emits; int errors; int maxdepth;
+int toks[8192];
+int seed;
+
+void main() {
+    int i, t, state, depth;
+
+    seed = 99;
+    for (i = 0; i < 8192; i++) {
+        seed = seed * 1103515245 + 12345;
+        t = (seed >> 16) & 0x7fff;
+        toks[i] = t % 7;
+    }
+
+    state = 0; depth = 0; emits = 0; errors = 0; maxdepth = 0;
+    for (i = 0; i < 8192; i++) {
+        t = toks[i];
+        seed = seed * 1103515245 + 12345;
+        if ((seed >> 13) & 1) emits++;
+        if ((seed >> 14) & 1) { if ((seed >> 15) & 1) errors++; }
+        if (state == 0) {
+            if (t == 0) { state = 1; emits++; }
+            else if (t == 1) { state = 1; emits++; }
+            else if (t == 2) {
+                depth++;
+                if (depth > maxdepth) maxdepth = depth;
+            }
+            else errors++;
+        } else {
+            if (t == 3 || t == 4) state = 0;
+            else if (t == 5) {
+                if (depth > 0) depth--;
+                else errors++;
+            }
+            else if (t == 6) { state = 0; emits++; }
+            else { errors++; state = 0; }
+        }
+    }
+}
+";
+
+/// Design-rule-checker proxy (stands in for the paper's VLSI DRC): a
+/// 64x64 layout bitmap (~12% fill) scanned for spacing and width rules.
+/// Sparse-hit tests give strongly biased branches (~0.9 static), with
+/// dynamic history slightly ahead — the shape of the paper's DRC row.
+pub const DRC_PROXY_SOURCE: &str = "
+int violations; int cells;
+int grid[4096];
+int seed;
+
+void main() {
+    int x, y, v, idx;
+
+    seed = 7;
+    v = 0;
+    for (idx = 0; idx < 4096; idx++) {
+        seed = seed * 1103515245 + 12345;
+        x = (seed >> 16) & 15;
+        if (v) {
+            if (x < 3) v = 0;
+        } else {
+            if (x < 1) v = 1;
+        }
+        grid[idx] = v;
+    }
+
+    violations = 0; cells = 0;
+    for (y = 1; y < 63; y++) {
+        for (x = 1; x < 63; x++) {
+            idx = y * 64 + x;
+            if (grid[idx]) {
+                cells++;
+                if (grid[idx - 65]) {
+                    if (!grid[idx - 64] && !grid[idx - 1]) violations++;
+                }
+                if (grid[idx - 63]) {
+                    if (!grid[idx - 64] && !grid[idx + 1]) violations++;
+                }
+                if (!grid[idx - 1] && !grid[idx + 1]) {
+                    if (!grid[idx - 64] && !grid[idx + 64]) violations++;
+                }
+            }
+        }
+    }
+}
+";
+
+/// Dhrystone-flavoured integer kernel: procedure calls, array traffic
+/// and — crucially — alternating boolean flags. The paper found static
+/// prediction *better* than dynamic history on Dhrystone because its
+/// conditionals either always go one way or alternate; the `run & 1`
+/// flags here reproduce that.
+pub const DHRY_SOURCE: &str = "
+int int_glob; int bool_glob; int ch_glob; int checksum;
+int arr1[80];
+int arr2[80];
+int seed;
+
+int func1(int a, int b) {
+    if ((a & 15) == (b & 15)) return 0;
+    return 1;
+}
+
+int func2(int a, int b) {
+    if (a != b) return 1;
+    int_glob = a;
+    return 0;
+}
+
+void proc7(int a, int b) {
+    int_glob = a + b + 2;
+}
+
+void proc8(int k) {
+    int i;
+    if (k >= 0) arr1[k] = k;
+    arr1[k + 1] = arr1[k];
+    for (i = 0; i < 4; i++) {
+        if (k + i < 80) arr2[k + i] = k + i;
+    }
+}
+
+void main() {
+    int run, i, a, b;
+
+    seed = 1;
+    bool_glob = 0;
+    for (run = 0; run < 400; run++) {
+        seed = seed * 1103515245 + 12345;
+        a = (seed >> 16) & 63;
+        b = (seed >> 20) & 63;
+
+        if (run & 1) bool_glob = 1;
+        else bool_glob = 0;
+
+        if (bool_glob) int_glob += 1;
+        else int_glob += 2;
+
+        if (func1(a, b)) ch_glob = 1;
+        else ch_glob = 2;
+
+        if (func2(a & 7, b & 7)) int_glob++;
+
+        proc7(a, b);
+        if (a < 60) proc8(a);
+
+        i = 0;
+        while (i < 3) {
+            if (i < 2) a = a + i;
+            i++;
+        }
+        if (a != b) checksum += 3;
+        if (int_glob > 0) checksum++;
+        if (seed != 0) checksum++;
+        if (checksum > 0) ch_glob = 2;
+        if (run >= 0) checksum += 2;
+        checksum += int_glob + ch_glob + a;
+    }
+}
+";
+
+/// Integer-Whetstone-flavoured kernel: arithmetic modules under an
+/// alternating even/odd control split plus 25%-taken case selectors —
+/// the mix behind the paper's Cwhet row (static 0.84, 1-bit 0.68).
+pub const CWHET_SOURCE: &str = "
+int out; int seed;
+
+int p3(int a, int b) {
+    a = 2 * a;
+    return (a + b) % 4096;
+}
+
+void main() {
+    int i, j, k, x, y, z, n;
+
+    x = 1; y = 2; z = 3; n = 300;
+    for (i = 0; i < n; i++) {
+        if (i % 2 == 0) x = (x + y + z) / 3;
+        else x = (x * 2 + y) / 3;
+
+        for (j = 0; j < 6; j++) y = p3(x, y);
+
+        k = i % 4;
+        if (k == 0) z += 1;
+        if (k == 1) z += 2;
+        if (k == 2) z -= 3;
+        if (z < 0) z = -z;
+    }
+    out = x + y + z;
+}
+";
+
+/// Baskett's-Puzzle-flavoured recursive exhaustive search (reduced):
+/// place pieces to hit an exact target, counting solutions. Short run
+/// with biased feasibility tests, like the paper's 741-branch Puzzle
+/// row where static prediction (0.92) beat dynamic history (0.87).
+pub const PUZZLE_SOURCE: &str = "
+int solutions; int calls;
+int pieces[12];
+int used[12];
+
+int trial(int remaining, int start) {
+    int i, r;
+    calls++;
+    if (remaining == 0) {
+        solutions++;
+        return 1;
+    }
+    r = 0;
+    for (i = start; i < 12; i++) {
+        if (!used[i]) {
+            if (pieces[i] <= remaining) {
+                used[i] = 1;
+                r += trial(remaining - pieces[i], i + 1);
+                used[i] = 0;
+            }
+        }
+    }
+    return r;
+}
+
+void main() {
+    int i;
+    for (i = 0; i < 12; i++) {
+        pieces[i] = (i % 4) + 1;
+        used[i] = 0;
+    }
+    solutions = trial(5, 0);
+}
+";

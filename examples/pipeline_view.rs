@@ -1,0 +1,74 @@
+//! Watch the pipeline cycle by cycle: instructions flow IR → OR → RR,
+//! folded entries carry their branch for free, and a mispredict kills
+//! the slots behind the branch.
+//!
+//! ```sh
+//! cargo run --example pipeline_view
+//! ```
+
+use std::collections::BTreeMap;
+
+use crisp::asm::assemble_text;
+use crisp::isa::encoding;
+use crisp::sim::{CycleSim, Machine, SimConfig, StageView};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = assemble_text(
+        "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1        ; i++
+            add 4(sp),0(sp)     ; sum += i
+            cmp.s< 0(sp),$3     ; i < 3 ?
+            ifjmpy.t top        ; folded with the cmp
+            halt
+        ",
+    )?;
+
+    // Pre-disassemble so stages can be labelled by mnemonic.
+    let mut names: BTreeMap<u32, String> = BTreeMap::new();
+    let mut at = 0usize;
+    while at < image.parcels.len() {
+        let (instr, len) = encoding::decode(&image.parcels, at)
+            .map_err(|e| format!("disassembly failed: {e}"))?;
+        names.insert(at as u32 * 2, instr.to_string());
+        at += len;
+    }
+
+    let describe = |v: Option<StageView>| -> String {
+        match v {
+            None => "·".into(),
+            Some(v) => {
+                let name = names.get(&v.pc).cloned().unwrap_or_else(|| format!("{:#x}", v.pc));
+                let mut s = name;
+                if v.folded {
+                    s.push_str(" [+branch]");
+                }
+                if !v.valid {
+                    s = format!("({s}) killed");
+                }
+                s
+            }
+        }
+    };
+
+    println!("{:>5}  {:<26} {:<26} {:<26}", "cycle", "IR", "OR", "RR");
+    let mut sim = CycleSim::new(Machine::load(&image)?, SimConfig::default());
+    for _ in 0..60 {
+        let snap = sim.step()?;
+        println!(
+            "{:>5}  {:<26} {:<26} {:<26}",
+            snap.cycle,
+            describe(snap.ir),
+            describe(snap.or),
+            describe(snap.rr),
+        );
+        if snap.halted {
+            break;
+        }
+    }
+    let sum = sim.machine().mem.read_word(sim.machine().sp + 4)?;
+    println!("\nresult: sum = {sum}");
+    println!("note: the ifjmpy never occupies a stage — it rides folded with the cmp.");
+    Ok(())
+}

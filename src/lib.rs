@@ -1,0 +1,47 @@
+//! Umbrella crate for the CRISP branch-folding reproduction
+//! (Ditzel & McLellan, ISCA 1987).
+//!
+//! Re-exports every workspace crate under one root so that examples,
+//! integration tests and downstream users can write `crisp::sim::...`
+//! instead of depending on each crate individually.
+//!
+//! * [`isa`] — the CRISP-like instruction set, encoding and the decoded
+//!   instruction form with branch folding;
+//! * [`asm`] — two-pass assembler and disassembler;
+//! * [`cc`] — the mini-C compiler with branch-spreading and static
+//!   prediction passes (CRISP and VAX-lite backends);
+//! * [`sim`] — functional and cycle-level pipeline simulators (PDU,
+//!   decoded instruction cache, 3-stage execution unit);
+//! * [`predict`] — trace-driven branch-prediction models (static, 1/2/3
+//!   bits of dynamic history, branch target buffer, MU5 jump trace);
+//! * [`vax`] — the VAX-lite substrate used for the paper's Table 2
+//!   comparison;
+//! * [`workloads`] — the paper's Figure 3 program and the benchmark
+//!   proxies used by the prediction study.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use crisp::cc::compile_crisp;
+//! use crisp::sim::{FunctionalSim, Machine};
+//! use crisp::workloads;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Compile the paper's Figure 3 program and run it to completion.
+//! let image = compile_crisp(workloads::FIGURE3_SOURCE, &Default::default())?;
+//! let mut sim = FunctionalSim::new(Machine::load(&image)?);
+//! let result = sim.run()?;
+//! assert!(result.halted);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use crisp_asm as asm;
+pub use crisp_cc as cc;
+pub use crisp_isa as isa;
+pub use crisp_predict as predict;
+pub use crisp_sim as sim;
+pub use crisp_workloads as workloads;
+pub use vax_lite as vax;

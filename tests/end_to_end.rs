@@ -1,0 +1,134 @@
+//! Cross-crate integration: every workload compiles, runs on both
+//! engines, and the engines agree architecturally — the fundamental
+//! invariant (branch folding and all pipeline machinery change timing,
+//! never results).
+
+use crisp::asm::Image;
+use crisp::cc::{compile_crisp, CompileOptions, PredictionMode};
+use crisp::isa::FoldPolicy;
+use crisp::sim::{CycleSim, FunctionalSim, Machine, SimConfig};
+use crisp::workloads::{figure3_with_count, prediction_workloads, FIGURE3_CHECKED_SOURCE};
+
+fn globals(mem: &crisp::sim::Memory, n: u32) -> Vec<i32> {
+    (0..n).map(|i| mem.read_word(Image::DEFAULT_DATA_BASE + 4 * i).unwrap()).collect()
+}
+
+#[test]
+fn functional_and_cycle_agree_on_every_workload() {
+    for w in prediction_workloads() {
+        for opts in [
+            CompileOptions::default(),
+            CompileOptions { spread: false, prediction: PredictionMode::NotTaken },
+        ] {
+            let image = compile_crisp(w.source, &opts).unwrap();
+            let f = FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap();
+            let c = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
+                .run()
+                .unwrap();
+            assert!(f.halted && c.halted, "{}", w.name);
+            assert_eq!(
+                globals(&f.machine.mem, 8),
+                globals(&c.machine.mem, 8),
+                "{} globals",
+                w.name
+            );
+            assert_eq!(f.machine.accum, c.machine.accum, "{}", w.name);
+            assert_eq!(f.machine.sp, c.machine.sp, "{}", w.name);
+            assert_eq!(f.stats.program_instrs, c.stats.program_instrs, "{}", w.name);
+            assert_eq!(f.stats.entries, c.stats.issued, "{}", w.name);
+        }
+    }
+}
+
+#[test]
+fn cycle_results_invariant_under_machine_configuration() {
+    // Timing knobs must never change architectural results.
+    let image = compile_crisp(FIGURE3_CHECKED_SOURCE, &CompileOptions::default()).unwrap();
+    let reference = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
+        .run()
+        .unwrap();
+    let configs = [
+        SimConfig { fold_policy: FoldPolicy::None, ..SimConfig::default() },
+        SimConfig { fold_policy: FoldPolicy::Host1, ..SimConfig::default() },
+        SimConfig { fold_policy: FoldPolicy::All, ..SimConfig::default() },
+        SimConfig { icache_entries: 4, ..SimConfig::default() },
+        SimConfig { icache_entries: 1024, ..SimConfig::default() },
+        SimConfig { mem_latency: 9, ..SimConfig::default() },
+        SimConfig { pdu_pipe_delay: 7, ..SimConfig::default() },
+    ];
+    for cfg in configs {
+        let run = CycleSim::new(Machine::load(&image).unwrap(), cfg).run().unwrap();
+        assert_eq!(
+            globals(&run.machine.mem, 3),
+            globals(&reference.machine.mem, 3),
+            "{cfg:?}"
+        );
+        assert_eq!(run.stats.program_instrs, reference.stats.program_instrs, "{cfg:?}");
+    }
+}
+
+#[test]
+fn prediction_bits_only_change_timing() {
+    let src = figure3_with_count(200);
+    let mut cycles = Vec::new();
+    for mode in [
+        PredictionMode::Taken,
+        PredictionMode::NotTaken,
+        PredictionMode::Btfnt,
+        PredictionMode::Ftbnt,
+    ] {
+        let image = compile_crisp(&src, &CompileOptions { spread: false, prediction: mode })
+            .unwrap();
+        let run = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
+            .run()
+            .unwrap();
+        cycles.push((mode, run.stats.cycles, run.stats.issued));
+    }
+    // Issue counts identical across modes; cycles differ.
+    assert!(cycles.windows(2).all(|w| w[0].2 == w[1].2), "{cycles:?}");
+    let c: Vec<u64> = cycles.iter().map(|x| x.1).collect();
+    assert!(c.iter().any(|&x| x != c[0]), "prediction must matter: {cycles:?}");
+    // Btfnt (loop predicted taken) beats NotTaken on a loopy program.
+    let btfnt = cycles.iter().find(|x| x.0 == PredictionMode::Btfnt).unwrap().1;
+    let nottaken = cycles.iter().find(|x| x.0 == PredictionMode::NotTaken).unwrap().1;
+    assert!(btfnt < nottaken, "{cycles:?}");
+}
+
+#[test]
+fn deep_recursion_works_under_both_engines() {
+    let src = "
+        int out;
+        int sum_to(int n) {
+            if (n <= 0) return 0;
+            return n + sum_to(n - 1);
+        }
+        void main() { out = sum_to(200); }
+    ";
+    let image = compile_crisp(src, &CompileOptions::default()).unwrap();
+    let f = FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap();
+    let c = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
+        .run()
+        .unwrap();
+    assert_eq!(f.machine.mem.read_word(Image::DEFAULT_DATA_BASE).unwrap(), 20100);
+    assert_eq!(c.machine.mem.read_word(Image::DEFAULT_DATA_BASE).unwrap(), 20100);
+}
+
+#[test]
+fn figure3_loop_count_scaling_is_linear() {
+    // The paper: "The results are relatively independent of the actual
+    // loop count" — per-iteration cycles stay constant.
+    let per_iter = |n: u32| {
+        let image =
+            compile_crisp(&figure3_with_count(n), &CompileOptions::default()).unwrap();
+        let run = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
+            .run()
+            .unwrap();
+        run.stats.cycles as f64 / n as f64
+    };
+    let small = per_iter(128);
+    let large = per_iter(2048);
+    assert!(
+        (small - large).abs() / large < 0.15,
+        "per-iteration cycles drifted: {small} vs {large}"
+    );
+}
