@@ -54,11 +54,7 @@ pub fn disassemble(parcels: &[u16], base: u32) -> Result<Vec<DisasmLine>, (u32, 
 /// # Errors
 ///
 /// Same conditions as [`disassemble`].
-pub fn listing(
-    parcels: &[u16],
-    base: u32,
-    policy: FoldPolicy,
-) -> Result<String, (u32, IsaError)> {
+pub fn listing(parcels: &[u16], base: u32, policy: FoldPolicy) -> Result<String, (u32, IsaError)> {
     listing_with_symbols(parcels, base, policy, &BTreeMap::new())
 }
 

@@ -34,7 +34,11 @@ impl Image {
 
     /// An empty image with entry at `code_base`.
     pub fn new(code_base: u32) -> Image {
-        Image { code_base, entry: code_base, ..Image::default() }
+        Image {
+            code_base,
+            entry: code_base,
+            ..Image::default()
+        }
     }
 
     /// Total code size in bytes.

@@ -119,9 +119,10 @@ pub fn assemble(module: &Module) -> Result<Image, AsmError> {
         .iter()
         .map(|item| match item {
             Item::Label(_) => Ok(Width::Fixed(0)),
-            Item::Instr(i) => Ok(Width::Fixed(i.byte_len().map_err(|source| {
-                AsmError::Encode { at: 0, source }
-            })?)),
+            Item::Instr(i) => Ok(Width::Fixed(
+                i.byte_len()
+                    .map_err(|source| AsmError::Encode { at: 0, source })?,
+            )),
             Item::JmpTo { .. } | Item::IfJmpTo { .. } | Item::CallTo { .. } => {
                 Ok(Width::Branch(false))
             }
@@ -143,7 +144,9 @@ pub fn assemble(module: &Module) -> Result<Image, AsmError> {
             }
             if let Item::Label(name) = item {
                 if labels.insert(name.clone(), addr).is_some() {
-                    return Err(AsmError::DuplicateLabel { label: name.clone() });
+                    return Err(AsmError::DuplicateLabel {
+                        label: name.clone(),
+                    });
                 }
             }
             addr += widths[idx].bytes();
@@ -159,9 +162,9 @@ pub fn assemble(module: &Module) -> Result<Image, AsmError> {
                     | Item::CallTo { label } => label,
                     _ => unreachable!("Width::Branch only on symbolic branches"),
                 };
-                let target = *labels
-                    .get(label)
-                    .ok_or_else(|| AsmError::UndefinedLabel { label: label.clone() })?;
+                let target = *labels.get(label).ok_or_else(|| AsmError::UndefinedLabel {
+                    label: label.clone(),
+                })?;
                 let off = target.wrapping_sub(addr) as i32;
                 if !BranchTarget::PcRel(off).is_short() {
                     widths[idx] = Width::Branch(true);
@@ -190,7 +193,9 @@ fn emit(
         labels
             .get(label)
             .copied()
-            .ok_or_else(|| AsmError::UndefinedLabel { label: label.to_owned() })
+            .ok_or_else(|| AsmError::UndefinedLabel {
+                label: label.to_owned(),
+            })
     };
 
     for (idx, item) in module.items.iter().enumerate() {
@@ -205,13 +210,21 @@ fn emit(
         let instr: Option<Instr> = match item {
             Item::Label(_) => None,
             Item::Instr(i) => Some(*i),
-            Item::JmpTo { label } => Some(Instr::Jmp { target: target_for(label)? }),
-            Item::IfJmpTo { on_true, predict_taken, label } => Some(Instr::IfJmp {
+            Item::JmpTo { label } => Some(Instr::Jmp {
+                target: target_for(label)?,
+            }),
+            Item::IfJmpTo {
+                on_true,
+                predict_taken,
+                label,
+            } => Some(Instr::IfJmp {
                 on_true: *on_true,
                 predict_taken: *predict_taken,
                 target: target_for(label)?,
             }),
-            Item::CallTo { label } => Some(Instr::Call { target: target_for(label)? }),
+            Item::CallTo { label } => Some(Instr::Call {
+                target: target_for(label)?,
+            }),
             Item::Word(w) => {
                 image.parcels.push(*w as u16);
                 image.parcels.push((*w >> 16) as u16);
@@ -230,7 +243,9 @@ fn emit(
             }
             Item::Align4 => {
                 for _ in 0..width.bytes() / 2 {
-                    image.parcels.extend(encoding::encode(&Instr::Nop).expect("nop encodes"));
+                    image
+                        .parcels
+                        .extend(encoding::encode(&Instr::Nop).expect("nop encodes"));
                 }
                 None
             }
@@ -238,7 +253,11 @@ fn emit(
         if let Some(i) = instr {
             let parcels =
                 encoding::encode(&i).map_err(|source| AsmError::Encode { at: addr, source })?;
-            debug_assert_eq!(parcels.len() as u32 * 2, width.bytes(), "layout mismatch at {i}");
+            debug_assert_eq!(
+                parcels.len() as u32 * 2,
+                width.bytes(),
+                "layout mismatch at {i}"
+            );
             image.parcels.extend(parcels);
         }
         addr += width.bytes();
@@ -270,10 +289,14 @@ mod tests {
         let mut m = Module::new();
         m.push(Item::Label("top".into()))
             .push(add())
-            .push(Item::JmpTo { label: "end".into() })
+            .push(Item::JmpTo {
+                label: "end".into(),
+            })
             .push(add())
             .push(Item::Label("end".into()))
-            .push(Item::JmpTo { label: "top".into() })
+            .push(Item::JmpTo {
+                label: "top".into(),
+            })
             .push(Item::Instr(Instr::Halt));
         let img = assemble(&m).unwrap();
         assert_eq!(img.symbols["top"], 0);
@@ -283,16 +306,28 @@ mod tests {
         assert_eq!(img.parcels.len(), 5);
         // Decode the forward jump: at address 2, target 6 → +4.
         let (i, _) = encoding::decode(&img.parcels, 1).unwrap();
-        assert_eq!(i, Instr::Jmp { target: BranchTarget::PcRel(4) });
+        assert_eq!(
+            i,
+            Instr::Jmp {
+                target: BranchTarget::PcRel(4)
+            }
+        );
         // Backward jump at 6 → -6.
         let (i, _) = encoding::decode(&img.parcels, 3).unwrap();
-        assert_eq!(i, Instr::Jmp { target: BranchTarget::PcRel(-6) });
+        assert_eq!(
+            i,
+            Instr::Jmp {
+                target: BranchTarget::PcRel(-6)
+            }
+        );
     }
 
     #[test]
     fn out_of_range_branch_promotes_to_long() {
         let mut m = Module::new();
-        m.push(Item::JmpTo { label: "far".into() });
+        m.push(Item::JmpTo {
+            label: "far".into(),
+        });
         for _ in 0..600 {
             m.push(add()); // 1200 bytes of filler, beyond +1022
         }
@@ -301,7 +336,12 @@ mod tests {
         let img = assemble(&m).unwrap();
         let (i, len) = encoding::decode(&img.parcels, 0).unwrap();
         assert_eq!(len, 3);
-        assert_eq!(i, Instr::Jmp { target: BranchTarget::Abs(6 + 1200) });
+        assert_eq!(
+            i,
+            Instr::Jmp {
+                target: BranchTarget::Abs(6 + 1200)
+            }
+        );
     }
 
     #[test]
@@ -309,8 +349,12 @@ mod tests {
         // Two branches each barely in range only if the other stays
         // short; promoting one must re-check the other.
         let mut m = Module::new();
-        m.push(Item::JmpTo { label: "far".into() });
-        m.push(Item::JmpTo { label: "far".into() });
+        m.push(Item::JmpTo {
+            label: "far".into(),
+        });
+        m.push(Item::JmpTo {
+            label: "far".into(),
+        });
         for _ in 0..509 {
             m.push(add());
         }
@@ -345,10 +389,14 @@ mod tests {
     #[test]
     fn undefined_label_reported() {
         let mut m = Module::new();
-        m.push(Item::JmpTo { label: "nowhere".into() });
+        m.push(Item::JmpTo {
+            label: "nowhere".into(),
+        });
         assert_eq!(
             assemble(&m),
-            Err(AsmError::UndefinedLabel { label: "nowhere".into() })
+            Err(AsmError::UndefinedLabel {
+                label: "nowhere".into()
+            })
         );
     }
 
@@ -358,7 +406,10 @@ mod tests {
         m.push(Item::Label("x".into()));
         m.push(add());
         m.push(Item::Label("x".into()));
-        assert_eq!(assemble(&m), Err(AsmError::DuplicateLabel { label: "x".into() }));
+        assert_eq!(
+            assemble(&m),
+            Err(AsmError::DuplicateLabel { label: "x".into() })
+        );
     }
 
     #[test]
@@ -378,7 +429,9 @@ mod tests {
     #[test]
     fn word_labels_hold_resolved_addresses() {
         let mut m = Module::new();
-        m.push(Item::JmpTo { label: "code".into() });
+        m.push(Item::JmpTo {
+            label: "code".into(),
+        });
         m.push(Item::Align4);
         m.push(Item::Label("table".into()));
         m.push(Item::WordLabel("code".into()));
@@ -401,7 +454,9 @@ mod tests {
     #[test]
     fn mova_label_materialises_address() {
         let mut m = Module::new();
-        m.push(Item::MovaLabel { label: "target".into() });
+        m.push(Item::MovaLabel {
+            label: "target".into(),
+        });
         m.push(Item::Instr(Instr::Halt));
         m.push(Item::Label("target".into()));
         m.push(Item::Instr(Instr::Nop));
@@ -436,8 +491,16 @@ mod tests {
     fn conditional_branch_prediction_bit_survives() {
         let mut m = Module::new();
         m.push(Item::Label("t".into()));
-        m.push(Item::IfJmpTo { on_true: true, predict_taken: true, label: "t".into() });
-        m.push(Item::IfJmpTo { on_true: false, predict_taken: false, label: "t".into() });
+        m.push(Item::IfJmpTo {
+            on_true: true,
+            predict_taken: true,
+            label: "t".into(),
+        });
+        m.push(Item::IfJmpTo {
+            on_true: false,
+            predict_taken: false,
+            label: "t".into(),
+        });
         let img = assemble(&m).unwrap();
         let (i0, l0) = encoding::decode(&img.parcels, 0).unwrap();
         assert_eq!(
@@ -465,11 +528,18 @@ mod tests {
         m.base = 0x1000;
         m.push(Item::Label("top".into()));
         m.push(add());
-        m.push(Item::JmpTo { label: "top".into() });
+        m.push(Item::JmpTo {
+            label: "top".into(),
+        });
         let img = assemble(&m).unwrap();
         assert_eq!(img.code_base, 0x1000);
         assert_eq!(img.symbols["top"], 0x1000);
         let (i, _) = encoding::decode(&img.parcels, 1).unwrap();
-        assert_eq!(i, Instr::Jmp { target: BranchTarget::PcRel(-2) });
+        assert_eq!(
+            i,
+            Instr::Jmp {
+                target: BranchTarget::PcRel(-2)
+            }
+        );
     }
 }

@@ -102,7 +102,9 @@ fn find_label(s: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -175,15 +177,23 @@ fn parse_target(s: &str, line: usize) -> Result<SrcTarget, AsmError> {
         return Ok(SrcTarget::Label(s.to_owned()));
     }
     if let Some(rel) = s.strip_prefix('.') {
-        return Ok(SrcTarget::Concrete(BranchTarget::PcRel(parse_int(rel, line)? as i32)));
+        return Ok(SrcTarget::Concrete(BranchTarget::PcRel(
+            parse_int(rel, line)? as i32,
+        )));
     }
     if let Some(ind) = s.strip_prefix('*') {
         if let Some(off) = ind.strip_suffix("(sp)") {
-            return Ok(SrcTarget::Concrete(BranchTarget::IndSp(parse_int(off, line)? as i32)));
+            return Ok(SrcTarget::Concrete(BranchTarget::IndSp(
+                parse_int(off, line)? as i32,
+            )));
         }
-        return Ok(SrcTarget::Concrete(BranchTarget::IndAbs(parse_int(ind, line)? as u32)));
+        return Ok(SrcTarget::Concrete(BranchTarget::IndAbs(
+            parse_int(ind, line)? as u32,
+        )));
     }
-    Ok(SrcTarget::Concrete(BranchTarget::Abs(parse_int(s, line)? as u32)))
+    Ok(SrcTarget::Concrete(BranchTarget::Abs(
+        parse_int(s, line)? as u32
+    )))
 }
 
 fn binop_by_name(name: &str) -> Option<BinOp> {
@@ -241,9 +251,11 @@ fn parse_stmt(text: &str, line: usize) -> Result<Stmt, AsmError> {
             _ => return err(line, format!("unknown mnemonic `{mnemonic}`")),
         };
         return Ok(Stmt::Item(match parse_target(args, line)? {
-            SrcTarget::Label(label) => {
-                Item::IfJmpTo { on_true: sense, predict_taken: pred, label }
-            }
+            SrcTarget::Label(label) => Item::IfJmpTo {
+                on_true: sense,
+                predict_taken: pred,
+                label,
+            },
             SrcTarget::Concrete(target) => Item::Instr(Instr::IfJmp {
                 on_true: sense,
                 predict_taken: pred,
@@ -337,8 +349,22 @@ mod tests {
         let instrs = decode_all(&img);
         assert_eq!(instrs.len(), 12);
         assert!(matches!(instrs[1], Instr::Op3 { op: BinOp::And, .. }));
-        assert!(matches!(instrs[2], Instr::Cmp { cond: Cond::Eq, a: Operand::Accum, .. }));
-        assert!(matches!(instrs[3], Instr::IfJmp { on_true: true, predict_taken: true, .. }));
+        assert!(matches!(
+            instrs[2],
+            Instr::Cmp {
+                cond: Cond::Eq,
+                a: Operand::Accum,
+                ..
+            }
+        ));
+        assert!(matches!(
+            instrs[3],
+            Instr::IfJmp {
+                on_true: true,
+                predict_taken: true,
+                ..
+            }
+        ));
         assert!(matches!(instrs[11], Instr::Halt));
     }
 
@@ -357,19 +383,35 @@ mod tests {
         let instrs = decode_all(&img);
         assert_eq!(
             instrs[0],
-            Instr::Op2 { op: BinOp::Mov, dst: Operand::Accum, src: Operand::Imm(5) }
+            Instr::Op2 {
+                op: BinOp::Mov,
+                dst: Operand::Accum,
+                src: Operand::Imm(5)
+            }
         );
         assert_eq!(
             instrs[2],
-            Instr::Op2 { op: BinOp::Mov, dst: Operand::Abs(0x10000), src: Operand::Imm(7) }
+            Instr::Op2 {
+                op: BinOp::Mov,
+                dst: Operand::Abs(0x10000),
+                src: Operand::Imm(7)
+            }
         );
         assert_eq!(
             instrs[3],
-            Instr::Op2 { op: BinOp::Mov, dst: Operand::SpInd(4), src: Operand::Imm(-3) }
+            Instr::Op2 {
+                op: BinOp::Mov,
+                dst: Operand::SpInd(4),
+                src: Operand::Imm(-3)
+            }
         );
         assert_eq!(
             instrs[4],
-            Instr::Op2 { op: BinOp::Mov, dst: Operand::SpOff(-8), src: Operand::Imm(31) }
+            Instr::Op2 {
+                op: BinOp::Mov,
+                dst: Operand::SpOff(-8),
+                src: Operand::Imm(31)
+            }
         );
     }
 
@@ -386,11 +428,36 @@ mod tests {
         )
         .unwrap();
         let instrs = decode_all(&img);
-        assert_eq!(instrs[0], Instr::Jmp { target: BranchTarget::PcRel(4) });
-        assert_eq!(instrs[1], Instr::Jmp { target: BranchTarget::Abs(0x2000) });
-        assert_eq!(instrs[2], Instr::Jmp { target: BranchTarget::IndAbs(0x10000) });
-        assert_eq!(instrs[3], Instr::Jmp { target: BranchTarget::IndSp(8) });
-        assert_eq!(instrs[4], Instr::Call { target: BranchTarget::Abs(0x3000) });
+        assert_eq!(
+            instrs[0],
+            Instr::Jmp {
+                target: BranchTarget::PcRel(4)
+            }
+        );
+        assert_eq!(
+            instrs[1],
+            Instr::Jmp {
+                target: BranchTarget::Abs(0x2000)
+            }
+        );
+        assert_eq!(
+            instrs[2],
+            Instr::Jmp {
+                target: BranchTarget::IndAbs(0x10000)
+            }
+        );
+        assert_eq!(
+            instrs[3],
+            Instr::Jmp {
+                target: BranchTarget::IndSp(8)
+            }
+        );
+        assert_eq!(
+            instrs[4],
+            Instr::Call {
+                target: BranchTarget::Abs(0x3000)
+            }
+        );
     }
 
     #[test]
@@ -405,11 +472,39 @@ mod tests {
         )
         .unwrap();
         let instrs = decode_all(&img);
-        assert!(matches!(instrs[0], Instr::IfJmp { on_true: true, predict_taken: true, .. }));
-        assert!(matches!(instrs[1], Instr::IfJmp { on_true: true, predict_taken: false, .. }));
+        assert!(matches!(
+            instrs[0],
+            Instr::IfJmp {
+                on_true: true,
+                predict_taken: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            instrs[1],
+            Instr::IfJmp {
+                on_true: true,
+                predict_taken: false,
+                ..
+            }
+        ));
         // Bare `ifjmpn` defaults to predicted taken.
-        assert!(matches!(instrs[2], Instr::IfJmp { on_true: false, predict_taken: true, .. }));
-        assert!(matches!(instrs[3], Instr::IfJmp { on_true: false, predict_taken: false, .. }));
+        assert!(matches!(
+            instrs[2],
+            Instr::IfJmp {
+                on_true: false,
+                predict_taken: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            instrs[3],
+            Instr::IfJmp {
+                on_true: false,
+                predict_taken: false,
+                ..
+            }
+        ));
     }
 
     #[test]

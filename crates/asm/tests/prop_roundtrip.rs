@@ -27,7 +27,11 @@ fn arb_plain_instr() -> impl Strategy<Value = Instr> {
     let cond = prop::sample::select(Cond::ALL.to_vec());
     prop_oneof![
         Just(Instr::Nop),
-        (op.clone(), operand.clone().prop_filter("writable", |o| o.is_writable()), operand.clone())
+        (
+            op.clone(),
+            operand.clone().prop_filter("writable", |o| o.is_writable()),
+            operand.clone()
+        )
             .prop_filter_map("encodable", |(op, dst, src)| {
                 let i = Instr::Op2 { op, dst, src };
                 crisp_isa::encoding::encode(&i).ok().map(|_| i)
@@ -50,7 +54,9 @@ fn arb_module() -> impl Strategy<Value = Module> {
         let mut m = Module::new();
         let mut rng = seed;
         let mut next = move || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng >> 33) as usize
         };
         for (b, instrs) in blocks.into_iter().enumerate() {

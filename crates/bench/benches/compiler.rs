@@ -1,9 +1,9 @@
 //! Compiler and encoder throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use crisp_cc::{compile_crisp, CompileOptions, PredictionMode};
 use crisp_isa::{encoding, BinOp, Cond, Instr, Operand};
 use crisp_workloads::{DHRY_SOURCE, FIGURE3_SOURCE};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("compile");
@@ -15,7 +15,10 @@ fn bench_compile(c: &mut Criterion) {
             b.iter(|| {
                 compile_crisp(
                     src,
-                    &CompileOptions { spread: false, prediction: PredictionMode::NotTaken },
+                    &CompileOptions {
+                        spread: false,
+                        prediction: PredictionMode::NotTaken,
+                    },
                 )
                 .unwrap()
             })
@@ -26,10 +29,26 @@ fn bench_compile(c: &mut Criterion) {
 
 fn bench_encoding(c: &mut Criterion) {
     let instrs: Vec<Instr> = vec![
-        Instr::Op2 { op: BinOp::Add, dst: Operand::SpOff(0), src: Operand::SpOff(4) },
-        Instr::Op2 { op: BinOp::Mov, dst: Operand::Abs(0x10000), src: Operand::Imm(123_456) },
-        Instr::Op3 { op: BinOp::And, a: Operand::SpOff(4), b: Operand::Imm(1) },
-        Instr::Cmp { cond: Cond::LtS, a: Operand::SpOff(4), b: Operand::Imm(1024) },
+        Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(0),
+            src: Operand::SpOff(4),
+        },
+        Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::Abs(0x10000),
+            src: Operand::Imm(123_456),
+        },
+        Instr::Op3 {
+            op: BinOp::And,
+            a: Operand::SpOff(4),
+            b: Operand::Imm(1),
+        },
+        Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(4),
+            b: Operand::Imm(1024),
+        },
         Instr::IfJmp {
             on_true: true,
             predict_taken: true,
@@ -37,7 +56,10 @@ fn bench_encoding(c: &mut Criterion) {
         },
         Instr::Enter { bytes: 32 },
     ];
-    let encoded: Vec<u16> = instrs.iter().flat_map(|i| encoding::encode(i).unwrap()).collect();
+    let encoded: Vec<u16> = instrs
+        .iter()
+        .flat_map(|i| encoding::encode(i).unwrap())
+        .collect();
 
     let mut g = c.benchmark_group("encoding");
     g.throughput(Throughput::Elements(instrs.len() as u64));

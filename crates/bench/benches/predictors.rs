@@ -1,17 +1,17 @@
 //! Predictor-model throughput over a real workload trace.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use crisp_bench::trace_of;
-use crisp_predict::{
-    evaluate_dynamic, evaluate_static_optimal, Btb, BtbConfig, JumpTrace,
-};
+use crisp_predict::{evaluate_dynamic, evaluate_static_optimal, Btb, BtbConfig, JumpTrace};
 use crisp_workloads::TROFF_PROXY_SOURCE;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_predictors(c: &mut Criterion) {
     let trace = trace_of(TROFF_PROXY_SOURCE);
     let mut g = c.benchmark_group("predict");
     g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("static_optimal", |b| b.iter(|| evaluate_static_optimal(&trace)));
+    g.bench_function("static_optimal", |b| {
+        b.iter(|| evaluate_static_optimal(&trace))
+    });
     for bits in [1u8, 2, 3] {
         g.bench_function(format!("dynamic_{bits}bit"), |b| {
             b.iter(|| evaluate_dynamic(&trace, bits))

@@ -1,10 +1,10 @@
 //! Simulator throughput: functional vs cycle engine on the Figure 3
 //! program, and cycle-engine sensitivity to cache geometry.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use crisp_cc::{compile_crisp, CompileOptions};
-use crisp_sim::{CycleSim, FunctionalSim, Machine, SimConfig};
+use crisp_sim::{BranchProfiler, CycleSim, EventRing, FunctionalSim, Machine, SimConfig};
 use crisp_workloads::figure3_with_count;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 fn bench_engines(c: &mut Criterion) {
     let src = figure3_with_count(256);
@@ -35,7 +35,49 @@ fn bench_engines(c: &mut Criterion) {
     g.bench_function("cycle_figure3_256_nofold", |b| {
         b.iter_batched(
             || Machine::load(&image).unwrap(),
-            |m| CycleSim::new(m, SimConfig::without_folding()).run().unwrap(),
+            |m| {
+                CycleSim::new(m, SimConfig::without_folding())
+                    .run()
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Observability overhead guard. `cycle_nullobs` is the default engine —
+/// the `NullObserver` path, which must stay within noise (≤2 %) of
+/// `cycle_figure3_256` above since `O::ENABLED` guards compile away.
+/// `cycle_ring_profiler` measures the real cost of full tracing plus
+/// branch-site profiling, for calibrating `--trace`/`--profile` runs.
+fn bench_observer_overhead(c: &mut Criterion) {
+    let src = figure3_with_count(256);
+    let image = compile_crisp(&src, &CompileOptions::default()).expect("compiles");
+    let instrs = FunctionalSim::new(Machine::load(&image).unwrap())
+        .run()
+        .unwrap()
+        .stats
+        .program_instrs;
+
+    let mut g = c.benchmark_group("observer");
+    g.throughput(Throughput::Elements(instrs));
+    g.bench_function("cycle_nullobs", |b| {
+        b.iter_batched(
+            || Machine::load(&image).unwrap(),
+            |m| CycleSim::new(m, SimConfig::default()).run().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cycle_ring_profiler", |b| {
+        b.iter_batched(
+            || Machine::load(&image).unwrap(),
+            |m| {
+                let obs = (EventRing::new(1 << 20), BranchProfiler::new());
+                CycleSim::with_observer(m, SimConfig::default(), obs)
+                    .run_observed()
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
@@ -51,9 +93,15 @@ fn bench_cache_sizes(c: &mut Criterion) {
             b.iter_batched(
                 || Machine::load(&image).unwrap(),
                 |m| {
-                    CycleSim::new(m, SimConfig { icache_entries: entries, ..Default::default() })
-                        .run()
-                        .unwrap()
+                    CycleSim::new(
+                        m,
+                        SimConfig {
+                            icache_entries: entries,
+                            ..Default::default()
+                        },
+                    )
+                    .run()
+                    .unwrap()
                 },
                 BatchSize::SmallInput,
             )
@@ -62,5 +110,10 @@ fn bench_cache_sizes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_cache_sizes);
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_observer_overhead,
+    bench_cache_sizes
+);
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 //! keep wall-clock reasonable; the `table*` binaries print the
 //! full-scale numbers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use crisp_bench::{ablation_fold_policy, ablation_icache, table2, table3, table4_with_count};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
@@ -12,7 +12,9 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("table2", |b| b.iter(table2));
     g.bench_function("table3", |b| b.iter(table3));
     g.bench_function("table4_n128", |b| b.iter(|| table4_with_count(128)));
-    g.bench_function("ablation_icache", |b| b.iter(|| ablation_icache(&[8, 32, 128], 128)));
+    g.bench_function("ablation_icache", |b| {
+        b.iter(|| ablation_icache(&[8, 32, 128], 128))
+    });
     g.bench_function("ablation_fold", |b| b.iter(|| ablation_fold_policy(128)));
     g.finish();
 }

@@ -29,7 +29,10 @@ fn main() {
 
     println!("== Hardware predictor: static bit vs finite dynamic tables ==");
     println!("(the road CRISP did not take, measured in cycles)");
-    println!("{:<12} {:>10} {:>10} {:>10}", "program", "static", "dyn-1bit", "dyn-2bit");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "program", "static", "dyn-1bit", "dyn-2bit"
+    );
     for (name, st, d1, d2) in crisp_bench::ablation_predictor() {
         println!("{name:<12} {st:>10} {d1:>10} {d2:>10}");
     }
@@ -39,7 +42,10 @@ fn main() {
     println!("(Table 1 assumed an infinite table; \"in practice only a small");
     println!(" number of recent predictions would be cached\")");
     let sizes = [8usize, 32, 128, 512];
-    println!("{:<12} {:>9} {:>7} {:>7} {:>7} {:>7}", "program", "infinite", 8, 32, 128, 512);
+    println!(
+        "{:<12} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "program", "infinite", 8, 32, 128, 512
+    );
     for (name, infinite, by_size) in crisp_bench::ablation_finite_dynamic(&sizes) {
         print!("{name:<12} {infinite:>9.3}");
         for v in by_size {
@@ -52,7 +58,10 @@ fn main() {
     println!("== Basic-block size vs Branch Spreading benefit ==");
     println!("(the paper: CRISP basic blocks are ~3 instructions — short blocks");
     println!(" limit what spreading can move; larger ones let it zero the penalty)");
-    println!("{:>6} {:>16} {:>16} {:>8}", "block", "prediction-only", "with-spreading", "gain");
+    println!(
+        "{:>6} {:>16} {:>16} {:>8}",
+        "block", "prediction-only", "with-spreading", "gain"
+    );
     for (n, plain, spread) in crisp_bench::ablation_bbsize(&[0, 1, 2, 3, 4, 6, 8]) {
         println!("{n:>6} {plain:>16} {spread:>16} {:>8}", plain - spread);
     }

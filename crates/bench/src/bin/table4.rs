@@ -5,9 +5,7 @@ fn main() {
     println!("Table 4. Execution statistics on CRISP for the Figure 3 program.");
     println!("(paper reference: A=14422cy/1.0x, B=11359/1.3, C=8789/1.6, D=7250/2.0, E=9815/1.5)");
     println!();
-    println!(
-        "Case  Fold  Predict Spread     Cycles    Issued  Rel.  Iss.CPI  App.CPI"
-    );
+    println!("Case  Fold  Predict Spread     Cycles    Issued  Rel.  Iss.CPI  App.CPI");
     for row in crisp_bench::table4() {
         println!("{row}");
     }

@@ -12,13 +12,12 @@ use std::fmt;
 
 use crisp_asm::{listing_of, Image};
 use crisp_cc::{
-    apply_profile, compile_crisp, compile_crisp_module, compile_vax, CompileOptions,
-    PredictionMode,
+    apply_profile, compile_crisp, compile_crisp_module, compile_vax, CompileOptions, PredictionMode,
 };
 use crisp_isa::FoldPolicy;
 use crisp_predict::{
-    evaluate_dynamic, evaluate_predictor, evaluate_static_optimal, Btb, BtbConfig,
-    FinitePredictor, JumpTrace,
+    evaluate_dynamic, evaluate_predictor, evaluate_static_optimal, Btb, BtbConfig, FinitePredictor,
+    JumpTrace,
 };
 use crisp_sim::{CycleSim, FunctionalSim, HwPredictor, Machine, SimConfig, Trace};
 use crisp_workloads::{figure3_with_count, prediction_workloads, FIGURE3_SOURCE};
@@ -78,8 +77,7 @@ pub fn table1() -> Vec<Table1Row> {
         .map(|w| {
             let trace = trace_of(w.source);
             let st = evaluate_static_optimal(&trace);
-            let dynamic =
-                [1u8, 2, 3].map(|bits| evaluate_dynamic(&trace, bits).ratio());
+            let dynamic = [1u8, 2, 3].map(|bits| evaluate_dynamic(&trace, bits).ratio());
             Table1Row {
                 program: w.name.to_owned(),
                 static_acc: st.accuracy.ratio(),
@@ -131,7 +129,10 @@ pub struct Table2 {
 pub fn table2() -> Table2 {
     let image = compile_crisp(
         FIGURE3_SOURCE,
-        &CompileOptions { spread: false, prediction: PredictionMode::Taken },
+        &CompileOptions {
+            spread: false,
+            prediction: PredictionMode::Taken,
+        },
     )
     .expect("figure3 compiles");
     let run = FunctionalSim::new(Machine::load(&image).expect("loads"))
@@ -163,7 +164,10 @@ pub fn table3() -> (String, String) {
     let render = |spread: bool| {
         let module = compile_crisp_module(
             FIGURE3_SOURCE,
-            &CompileOptions { spread, prediction: PredictionMode::Taken },
+            &CompileOptions {
+                spread,
+                prediction: PredictionMode::Taken,
+            },
         )
         .expect("figure3 compiles");
         let image = crisp_asm::assemble(&module).expect("assembles");
@@ -240,11 +244,25 @@ pub fn table4_with_count(count: u32) -> Vec<Table4Row> {
         // the forward if branch is predicted taken in ALL cases (the
         // paper: "the particular setting is irrelevant"). Taken covers
         // both; case A inverts only the backward branch via Ftbnt.
-        let mode = if prediction { PredictionMode::Taken } else { PredictionMode::Ftbnt };
-        let image = compile_crisp(&src, &CompileOptions { spread: spreading, prediction: mode })
-            .expect("figure3 compiles");
+        let mode = if prediction {
+            PredictionMode::Taken
+        } else {
+            PredictionMode::Ftbnt
+        };
+        let image = compile_crisp(
+            &src,
+            &CompileOptions {
+                spread: spreading,
+                prediction: mode,
+            },
+        )
+        .expect("figure3 compiles");
         let cfg = SimConfig {
-            fold_policy: if folding { FoldPolicy::Host13 } else { FoldPolicy::None },
+            fold_policy: if folding {
+                FoldPolicy::Host13
+            } else {
+                FoldPolicy::None
+            },
             ..SimConfig::default()
         };
         let run = cycles_of(&image, cfg);
@@ -323,13 +341,18 @@ pub fn profile_guided_mispredicts(source: &str) -> (u64, u64) {
         .record_trace(true)
         .run()
         .expect("halts");
-    let majority: HashMap<u32, bool> =
-        evaluate_static_optimal(&before.trace).majority.into_iter().collect();
+    let majority: HashMap<u32, bool> = evaluate_static_optimal(&before.trace)
+        .majority
+        .into_iter()
+        .collect();
     apply_profile(&mut image, &majority);
     let after = FunctionalSim::new(Machine::load(&image).expect("loads"))
         .run()
         .expect("halts");
-    (before.stats.static_mispredicts, after.stats.static_mispredicts)
+    (
+        before.stats.static_mispredicts,
+        after.stats.static_mispredicts,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -345,7 +368,10 @@ pub fn ablation_icache(sizes: &[usize], count: u32) -> Vec<(usize, u64)> {
     sizes
         .iter()
         .map(|&entries| {
-            let cfg = SimConfig { icache_entries: entries, ..SimConfig::default() };
+            let cfg = SimConfig {
+                icache_entries: entries,
+                ..SimConfig::default()
+            };
             (entries, cycles_of(&image, cfg).stats.cycles)
         })
         .collect()
@@ -358,14 +384,22 @@ pub fn ablation_icache(sizes: &[usize], count: u32) -> Vec<(usize, u64)> {
 pub fn ablation_fold_policy(count: u32) -> Vec<(FoldPolicy, u64, u64)> {
     let src = figure3_with_count(count);
     let image = compile_crisp(&src, &CompileOptions::default()).expect("compiles");
-    [FoldPolicy::None, FoldPolicy::Host1, FoldPolicy::Host13, FoldPolicy::All]
-        .into_iter()
-        .map(|policy| {
-            let cfg = SimConfig { fold_policy: policy, ..SimConfig::default() };
-            let run = cycles_of(&image, cfg);
-            (policy, run.stats.cycles, run.stats.issued)
-        })
-        .collect()
+    [
+        FoldPolicy::None,
+        FoldPolicy::Host1,
+        FoldPolicy::Host13,
+        FoldPolicy::All,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let cfg = SimConfig {
+            fold_policy: policy,
+            ..SimConfig::default()
+        };
+        let run = cycles_of(&image, cfg);
+        (policy, run.stats.cycles, run.stats.issued)
+    })
+    .collect()
 }
 
 /// Memory-latency sweep showing the decoupling value of the decoded
@@ -376,7 +410,10 @@ pub fn ablation_mem_latency(latencies: &[u32], count: u32) -> Vec<(u32, u64)> {
     latencies
         .iter()
         .map(|&lat| {
-            let cfg = SimConfig { mem_latency: lat, ..SimConfig::default() };
+            let cfg = SimConfig {
+                mem_latency: lat,
+                ..SimConfig::default()
+            };
             (lat, cycles_of(&image, cfg).stats.cycles)
         })
         .collect()
@@ -390,18 +427,29 @@ pub fn ablation_predictor() -> Vec<(String, u64, u64, u64)> {
     prediction_workloads()
         .into_iter()
         .map(|w| {
-            let image =
-                compile_crisp(w.source, &CompileOptions::default()).expect("compiles");
+            let image = compile_crisp(w.source, &CompileOptions::default()).expect("compiles");
             let run = |predictor| {
-                cycles_of(&image, SimConfig { predictor, ..SimConfig::default() })
-                    .stats
-                    .cycles
+                cycles_of(
+                    &image,
+                    SimConfig {
+                        predictor,
+                        ..SimConfig::default()
+                    },
+                )
+                .stats
+                .cycles
             };
             (
                 w.name.to_owned(),
                 run(HwPredictor::StaticBit),
-                run(HwPredictor::Dynamic { bits: 1, entries: 512 }),
-                run(HwPredictor::Dynamic { bits: 2, entries: 512 }),
+                run(HwPredictor::Dynamic {
+                    bits: 1,
+                    entries: 512,
+                }),
+                run(HwPredictor::Dynamic {
+                    bits: 2,
+                    entries: 512,
+                }),
             )
         })
         .collect()
@@ -420,9 +468,7 @@ pub fn ablation_finite_dynamic(sizes: &[usize]) -> Vec<(String, f64, Vec<f64>)> 
             let infinite = evaluate_dynamic(&trace, 2).ratio();
             let by_size = sizes
                 .iter()
-                .map(|&n| {
-                    evaluate_predictor(&trace, &mut FinitePredictor::new(2, n)).ratio()
-                })
+                .map(|&n| evaluate_predictor(&trace, &mut FinitePredictor::new(2, n)).ratio())
                 .collect();
             (w.name.to_owned(), infinite, by_size)
         })
@@ -470,13 +516,19 @@ pub fn ablation_bbsize(sizes: &[usize]) -> Vec<(usize, u64, u64)> {
             let run = |spread: bool| {
                 let image = compile_crisp(
                     &src,
-                    &CompileOptions { spread, prediction: PredictionMode::Btfnt },
+                    &CompileOptions {
+                        spread,
+                        prediction: PredictionMode::Btfnt,
+                    },
                 )
                 .expect("compiles");
                 // A large decoded cache isolates the branch effects: big
                 // bodies would otherwise overflow the 32-entry cache and
                 // conflict noise would swamp the measurement.
-                let cfg = SimConfig { icache_entries: 512, ..SimConfig::default() };
+                let cfg = SimConfig {
+                    icache_entries: 512,
+                    ..SimConfig::default()
+                };
                 cycles_of(&image, cfg).stats.cycles
             };
             (n, run(false), run(true))
@@ -497,9 +549,24 @@ mod tests {
         let (a, b, c, d, e) = (by('A'), by('B'), by('C'), by('D'), by('E'));
 
         // Ordering: A slowest; D fastest; E between B and C.
-        assert!(b.cycles < a.cycles, "prediction helps: {} vs {}", b.cycles, a.cycles);
-        assert!(c.cycles < b.cycles, "folding helps: {} vs {}", c.cycles, b.cycles);
-        assert!(d.cycles < c.cycles, "spreading helps: {} vs {}", d.cycles, c.cycles);
+        assert!(
+            b.cycles < a.cycles,
+            "prediction helps: {} vs {}",
+            b.cycles,
+            a.cycles
+        );
+        assert!(
+            c.cycles < b.cycles,
+            "folding helps: {} vs {}",
+            c.cycles,
+            b.cycles
+        );
+        assert!(
+            d.cycles < c.cycles,
+            "spreading helps: {} vs {}",
+            d.cycles,
+            c.cycles
+        );
         assert!(e.cycles < b.cycles && e.cycles > d.cycles, "E sits between");
 
         // Folding removes the branches from the issue stream.
@@ -573,7 +640,12 @@ mod tests {
     fn btb_rows_have_sane_ranges() {
         for r in btb_compare() {
             assert!(r.btb > 0.3 && r.btb <= 1.0, "{}: btb {}", r.program, r.btb);
-            assert!(r.jump_trace <= r.btb + 0.2, "{}: jt {}", r.program, r.jump_trace);
+            assert!(
+                r.jump_trace <= r.btb + 0.2,
+                "{}: jt {}",
+                r.program,
+                r.jump_trace
+            );
             assert!(r.transfers > 0);
         }
     }

@@ -43,10 +43,14 @@ const PARAM_BASE: i32 = 0x0010_0000;
 pub fn generate(unit: &Unit, spread: bool) -> Result<Module, CcError> {
     let mut g = CrispGen::new(unit, spread)?;
     if unit.function("main").is_none() {
-        return Err(CcError::Sema { message: "no `main` function defined".into() });
+        return Err(CcError::Sema {
+            message: "no `main` function defined".into(),
+        });
     }
     // Entry stub.
-    g.items.push(Item::CallTo { label: "main".into() });
+    g.items.push(Item::CallTo {
+        label: "main".into(),
+    });
     g.items.push(Item::Instr(Instr::Halt));
     for item in &unit.items {
         if let AstItem::Function(f) = item {
@@ -146,7 +150,14 @@ impl<'a> CrispGen<'a> {
                 AstItem::Function(_) => {}
             }
         }
-        Ok(CrispGen { unit, items: Vec::new(), globals, data, next_label: 0, spread })
+        Ok(CrispGen {
+            unit,
+            items: Vec::new(),
+            globals,
+            data,
+            next_label: 0,
+            spread,
+        })
     }
 
     fn fresh_label(&mut self, stem: &str) -> String {
@@ -159,7 +170,9 @@ impl<'a> CrispGen<'a> {
     }
 
     fn sema<T>(&self, message: impl Into<String>) -> Result<T, CcError> {
-        Err(CcError::Sema { message: message.into() })
+        Err(CcError::Sema {
+            message: message.into(),
+        })
     }
 
     // ---- frame management ----
@@ -197,7 +210,11 @@ impl<'a> CrispGen<'a> {
         if v == Val::Accum {
             let t = self.alloc_temp(f);
             let dst = self.operand(f, Val::Temp(t));
-            self.emit(Instr::Op2 { op: BinOp::Mov, dst, src: Operand::Accum });
+            self.emit(Instr::Op2 {
+                op: BinOp::Mov,
+                dst,
+                src: Operand::Accum,
+            });
             Val::Temp(t)
         } else {
             v
@@ -225,7 +242,11 @@ impl<'a> CrispGen<'a> {
         // Move the offending value into a plain stack temp.
         let t = self.alloc_temp(f);
         let dst = self.operand(f, Val::Temp(t));
-        self.emit(Instr::Op2 { op: BinOp::Mov, dst, src: vo });
+        self.emit(Instr::Op2 {
+            op: BinOp::Mov,
+            dst,
+            src: vo,
+        });
         self.free(f, v);
         Val::Temp(t)
     }
@@ -238,7 +259,10 @@ impl<'a> CrispGen<'a> {
                 return Some(Val::Slot(off));
             }
         }
-        self.globals.get(name).filter(|g| g.len == 1).map(|g| Val::Global(g.addr))
+        self.globals
+            .get(name)
+            .filter(|g| g.len == 1)
+            .map(|g| Val::Global(g.addr))
     }
 
     /// Resolve an lvalue to a writable value (allocating an address temp
@@ -270,7 +294,11 @@ impl<'a> CrispGen<'a> {
                 let iv = self.eval(f, idx)?;
                 // Accum = idx << 2; Accum += base; temp = Accum.
                 let iop = self.operand(f, iv);
-                self.emit(Instr::Op3 { op: BinOp::Shl, a: iop, b: Operand::Imm(2) });
+                self.emit(Instr::Op3 {
+                    op: BinOp::Shl,
+                    a: iop,
+                    b: Operand::Imm(2),
+                });
                 self.free(f, iv);
                 self.emit(Instr::Op3 {
                     op: BinOp::Add,
@@ -279,7 +307,11 @@ impl<'a> CrispGen<'a> {
                 });
                 let t = self.alloc_temp(f);
                 let dst = self.operand(f, Val::Temp(t));
-                self.emit(Instr::Op2 { op: BinOp::Mov, dst, src: Operand::Accum });
+                self.emit(Instr::Op2 {
+                    op: BinOp::Mov,
+                    dst,
+                    src: Operand::Accum,
+                });
                 Ok(Val::Ind(t))
             }
         }
@@ -324,7 +356,11 @@ impl<'a> CrispGen<'a> {
                 match op {
                     crate::ast::UnaryOp::Neg => {
                         let vo = self.operand(f, v);
-                        self.emit(Instr::Op3 { op: BinOp::Sub, a: Operand::Imm(0), b: vo });
+                        self.emit(Instr::Op3 {
+                            op: BinOp::Sub,
+                            a: Operand::Imm(0),
+                            b: vo,
+                        });
                         self.free(f, v);
                         Ok(Val::Accum)
                     }
@@ -332,19 +368,19 @@ impl<'a> CrispGen<'a> {
                         let vo = self.operand(f, v);
                         let v2 = self.legalize_src(f, Operand::Imm(-1), v);
                         let vo = if v2 == v { vo } else { self.operand(f, v2) };
-                        self.emit(Instr::Op3 { op: BinOp::Xor, a: vo, b: Operand::Imm(-1) });
+                        self.emit(Instr::Op3 {
+                            op: BinOp::Xor,
+                            a: vo,
+                            b: Operand::Imm(-1),
+                        });
                         self.free(f, v2);
                         Ok(Val::Accum)
                     }
-                    crate::ast::UnaryOp::LogNot => {
-                        self.truth_value(f, e.clone())
-                    }
+                    crate::ast::UnaryOp::LogNot => self.truth_value(f, e.clone()),
                 }
             }
             Expr::Binary(op, a, b) => {
-                if op.is_comparison()
-                    || matches!(op, BinaryOp::LogAnd | BinaryOp::LogOr)
-                {
+                if op.is_comparison() || matches!(op, BinaryOp::LogAnd | BinaryOp::LogOr) {
                     return self.truth_value(f, e.clone());
                 }
                 let machine_op = Self::binop(*op).expect("arith op");
@@ -356,7 +392,11 @@ impl<'a> CrispGen<'a> {
                 let (va, vb) = self.legalize_two(f, va, vb);
                 let ao = self.operand(f, va);
                 let bo = self.operand(f, vb);
-                self.emit(Instr::Op3 { op: machine_op, a: ao, b: bo });
+                self.emit(Instr::Op3 {
+                    op: machine_op,
+                    a: ao,
+                    b: bo,
+                });
                 self.free(f, va);
                 self.free(f, vb);
                 Ok(Val::Accum)
@@ -372,7 +412,11 @@ impl<'a> CrispGen<'a> {
                 let lo = self.operand(f, loc);
                 let v = self.legalize_src(f, lo, v);
                 let vo = self.operand(f, v);
-                self.emit(Instr::Op2 { op: BinOp::Mov, dst: lo, src: vo });
+                self.emit(Instr::Op2 {
+                    op: BinOp::Mov,
+                    dst: lo,
+                    src: vo,
+                });
                 self.free(f, v);
                 Ok(loc)
             }
@@ -391,7 +435,11 @@ impl<'a> CrispGen<'a> {
                 let lo = self.operand(f, loc);
                 let v = self.legalize_src(f, lo, v);
                 let vo = self.operand(f, v);
-                self.emit(Instr::Op2 { op: machine_op, dst: lo, src: vo });
+                self.emit(Instr::Op2 {
+                    op: machine_op,
+                    dst: lo,
+                    src: vo,
+                });
                 self.free(f, v);
                 Ok(loc)
             }
@@ -401,7 +449,11 @@ impl<'a> CrispGen<'a> {
                 let old = if *post {
                     let t = self.alloc_temp(f);
                     let to = self.operand(f, Val::Temp(t));
-                    self.emit(Instr::Op2 { op: BinOp::Mov, dst: to, src: lo });
+                    self.emit(Instr::Op2 {
+                        op: BinOp::Mov,
+                        dst: to,
+                        src: lo,
+                    });
                     Some(Val::Temp(t))
                 } else {
                     None
@@ -428,14 +480,22 @@ impl<'a> CrispGen<'a> {
                 let va = self.eval(f, a)?;
                 let to = self.operand(f, Val::Temp(t));
                 let vo = self.operand(f, va);
-                self.emit(Instr::Op2 { op: BinOp::Mov, dst: to, src: vo });
+                self.emit(Instr::Op2 {
+                    op: BinOp::Mov,
+                    dst: to,
+                    src: vo,
+                });
                 self.free(f, va);
                 self.items.push(Item::JmpTo { label: le.clone() });
                 self.items.push(Item::Label(lf));
                 let vb = self.eval(f, b)?;
                 let to = self.operand(f, Val::Temp(t));
                 let vo = self.operand(f, vb);
-                self.emit(Instr::Op2 { op: BinOp::Mov, dst: to, src: vo });
+                self.emit(Instr::Op2 {
+                    op: BinOp::Mov,
+                    dst: to,
+                    src: vo,
+                });
                 self.free(f, vb);
                 self.items.push(Item::Label(le));
                 Ok(Val::Temp(t))
@@ -479,10 +539,18 @@ impl<'a> CrispGen<'a> {
         let lf = self.fresh_label("false");
         let le = self.fresh_label("end");
         self.branch_cond(f, &e, &lf, false)?;
-        self.emit(Instr::Op2 { op: BinOp::Mov, dst: Operand::Accum, src: Operand::Imm(1) });
+        self.emit(Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::Accum,
+            src: Operand::Imm(1),
+        });
         self.items.push(Item::JmpTo { label: le.clone() });
         self.items.push(Item::Label(lf));
-        self.emit(Instr::Op2 { op: BinOp::Mov, dst: Operand::Accum, src: Operand::Imm(0) });
+        self.emit(Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::Accum,
+            src: Operand::Imm(0),
+        });
         self.items.push(Item::Label(le));
         Ok(Val::Accum)
     }
@@ -500,7 +568,9 @@ impl<'a> CrispGen<'a> {
         match e {
             Expr::Lit(v) => {
                 if (*v != 0) == jump_if {
-                    self.items.push(Item::JmpTo { label: target.to_owned() });
+                    self.items.push(Item::JmpTo {
+                        label: target.to_owned(),
+                    });
                 }
                 Ok(())
             }
@@ -516,7 +586,11 @@ impl<'a> CrispGen<'a> {
                 let (va, vb) = self.legalize_two(f, va, vb);
                 let ao = self.operand(f, va);
                 let bo = self.operand(f, vb);
-                self.emit(Instr::Cmp { cond: Self::cond_of(*op), a: ao, b: bo });
+                self.emit(Instr::Cmp {
+                    cond: Self::cond_of(*op),
+                    a: ao,
+                    b: bo,
+                });
                 self.free(f, va);
                 self.free(f, vb);
                 self.items.push(Item::IfJmpTo {
@@ -556,7 +630,11 @@ impl<'a> CrispGen<'a> {
                 let v = self.eval(f, e)?;
                 let v = self.legalize_src(f, Operand::Imm(0), v);
                 let vo = self.operand(f, v);
-                self.emit(Instr::Cmp { cond: Cond::Eq, a: vo, b: Operand::Imm(0) });
+                self.emit(Instr::Cmp {
+                    cond: Cond::Eq,
+                    a: vo,
+                    b: Operand::Imm(0),
+                });
                 self.free(f, v);
                 // flag true ⟺ e == 0 ⟺ e is false.
                 self.items.push(Item::IfJmpTo {
@@ -592,7 +670,11 @@ impl<'a> CrispGen<'a> {
                     let t = self.alloc_temp(f);
                     let to = self.operand(f, Val::Temp(t));
                     let vo = self.operand(f, v);
-                    self.emit(Instr::Op2 { op: BinOp::Mov, dst: to, src: vo });
+                    self.emit(Instr::Op2 {
+                        op: BinOp::Mov,
+                        dst: to,
+                        src: vo,
+                    });
                     self.free(f, v);
                     Val::Temp(t)
                 }
@@ -612,7 +694,9 @@ impl<'a> CrispGen<'a> {
                 });
             }
         }
-        self.items.push(Item::CallTo { label: name.to_owned() });
+        self.items.push(Item::CallTo {
+            label: name.to_owned(),
+        });
         if !args.is_empty() {
             f.sp_adjust -= block as i32;
             self.emit(Instr::Leave { bytes: block });
@@ -632,8 +716,7 @@ impl<'a> CrispGen<'a> {
             Expr::Unary(crate::ast::UnaryOp::LogNot, inner) => Self::simple_cond(inner),
             Expr::Lit(_) => false,
             Expr::Binary(op, ..) => {
-                op.is_comparison()
-                    || !matches!(op, BinaryOp::LogAnd | BinaryOp::LogOr)
+                op.is_comparison() || !matches!(op, BinaryOp::LogAnd | BinaryOp::LogOr)
             }
             _ => true,
         }
@@ -654,8 +737,12 @@ impl<'a> CrispGen<'a> {
             },
             _ => None,
         };
-        let Some((var, value)) = assigned else { return false };
-        let Expr::Binary(op, a, b) = cond else { return false };
+        let Some((var, value)) = assigned else {
+            return false;
+        };
+        let Expr::Binary(op, a, b) = cond else {
+            return false;
+        };
         if !op.is_comparison() {
             return false;
         }
@@ -664,7 +751,11 @@ impl<'a> CrispGen<'a> {
             (Expr::Lit(k), Expr::Load(LValue::Var(n))) if n == var => (false, *k),
             _ => return false,
         };
-        let (x, y) = if lhs_is_var { (value, lit) } else { (lit, value) };
+        let (x, y) = if lhs_is_var {
+            (value, lit)
+        } else {
+            (lit, value)
+        };
         match op {
             BinaryOp::Lt => x < y,
             BinaryOp::Le => x <= y,
@@ -699,8 +790,7 @@ impl<'a> CrispGen<'a> {
                         let mut fill_refs: Vec<&Stmt> = fill.iter().collect();
                         let step_stmt;
                         if took_step {
-                            step_stmt =
-                                Stmt::Expr(step.expect("took_step implies step").clone());
+                            step_stmt = Stmt::Expr(step.expect("took_step implies step").clone());
                             fill_refs.push(&step_stmt);
                         }
                         self.gen_if(f, cond, then, els.as_deref(), &fill_refs)?;
@@ -745,8 +835,7 @@ impl<'a> CrispGen<'a> {
             };
         }
         let movable = |s: &Stmt, arms: &RwSets| -> bool {
-            spread::is_fill_candidate(s)
-                && spread::stmt_rw(s).is_some_and(|rw| rw.commutes(arms))
+            spread::is_fill_candidate(s) && spread::stmt_rw(s).is_some_and(|rw| rw.commutes(arms))
         };
         let mut fill: Vec<&Stmt> = Vec::new();
         let mut taken = 0usize;
@@ -787,7 +876,9 @@ impl<'a> CrispGen<'a> {
         self.branch_cond_fill(f, cond, &lelse, false, fill)?;
         self.stmt(f, then)?;
         if let Some(els) = els {
-            self.items.push(Item::JmpTo { label: lend.clone() });
+            self.items.push(Item::JmpTo {
+                label: lend.clone(),
+            });
             self.items.push(Item::Label(lelse));
             self.stmt(f, els)?;
             self.items.push(Item::Label(lend));
@@ -820,7 +911,11 @@ impl<'a> CrispGen<'a> {
                 let (va, vb) = self.legalize_two(f, va, vb);
                 let ao = self.operand(f, va);
                 let bo = self.operand(f, vb);
-                self.emit(Instr::Cmp { cond: Self::cond_of(*op), a: ao, b: bo });
+                self.emit(Instr::Cmp {
+                    cond: Self::cond_of(*op),
+                    a: ao,
+                    b: bo,
+                });
                 self.free(f, va);
                 self.free(f, vb);
                 for s in fill {
@@ -838,7 +933,11 @@ impl<'a> CrispGen<'a> {
                 let vo = self.operand(f, v);
                 // The fill must not clobber the accumulator while it
                 // still holds the tested value — compare first.
-                self.emit(Instr::Cmp { cond: Cond::Eq, a: vo, b: Operand::Imm(0) });
+                self.emit(Instr::Cmp {
+                    cond: Cond::Eq,
+                    a: vo,
+                    b: Operand::Imm(0),
+                });
                 self.free(f, v);
                 for s in fill {
                     self.stmt(f, s)?;
@@ -875,7 +974,11 @@ impl<'a> CrispGen<'a> {
                         let dst = self.operand(f, Val::Slot(off));
                         let v = self.legalize_src(f, dst, v);
                         let vo = self.operand(f, v);
-                        self.emit(Instr::Op2 { op: BinOp::Mov, dst, src: vo });
+                        self.emit(Instr::Op2 {
+                            op: BinOp::Mov,
+                            dst,
+                            src: vo,
+                        });
                         self.free(f, v);
                     }
                 }
@@ -891,7 +994,9 @@ impl<'a> CrispGen<'a> {
                 self.branch_cond(f, cond, &lelse, false)?;
                 self.stmt(f, then)?;
                 if let Some(els) = els {
-                    self.items.push(Item::JmpTo { label: lend.clone() });
+                    self.items.push(Item::JmpTo {
+                        label: lend.clone(),
+                    });
                     self.items.push(Item::Label(lelse));
                     self.stmt(f, els)?;
                     self.items.push(Item::Label(lend));
@@ -904,7 +1009,9 @@ impl<'a> CrispGen<'a> {
                 let ltest = self.fresh_label("wtest");
                 let lbody = self.fresh_label("wbody");
                 let lexit = self.fresh_label("wexit");
-                self.items.push(Item::JmpTo { label: ltest.clone() });
+                self.items.push(Item::JmpTo {
+                    label: ltest.clone(),
+                });
                 self.items.push(Item::Label(lbody.clone()));
                 f.break_labels.push(lexit.clone());
                 f.continue_labels.push(ltest.clone());
@@ -948,7 +1055,9 @@ impl<'a> CrispGen<'a> {
                     _ => false,
                 };
                 if cond.is_some() && !first_test_true {
-                    self.items.push(Item::JmpTo { label: ltest.clone() });
+                    self.items.push(Item::JmpTo {
+                        label: ltest.clone(),
+                    });
                 }
                 self.items.push(Item::Label(lbody.clone()));
                 f.break_labels.push(lexit.clone());
@@ -1018,7 +1127,9 @@ impl<'a> CrispGen<'a> {
             },
             Stmt::Continue => match f.continue_labels.last() {
                 Some(cont) => {
-                    self.items.push(Item::JmpTo { label: cont.clone() });
+                    self.items.push(Item::JmpTo {
+                        label: cont.clone(),
+                    });
                     Ok(())
                 }
                 None => self.sema("`continue` outside a loop"),
@@ -1068,14 +1179,22 @@ impl<'a> CrispGen<'a> {
             let ltable = self.fresh_label("swtab");
             let vo = self.operand(f, v);
             // Bounds checks route to the default.
-            self.emit(Instr::Cmp { cond: Cond::LtS, a: vo, b: Operand::Imm(min) });
+            self.emit(Instr::Cmp {
+                cond: Cond::LtS,
+                a: vo,
+                b: Operand::Imm(min),
+            });
             self.items.push(Item::IfJmpTo {
                 on_true: true,
                 predict_taken: false,
                 label: default_label.clone(),
             });
             let vo = self.operand(f, v);
-            self.emit(Instr::Cmp { cond: Cond::GtS, a: vo, b: Operand::Imm(max) });
+            self.emit(Instr::Cmp {
+                cond: Cond::GtS,
+                a: vo,
+                b: Operand::Imm(max),
+            });
             self.items.push(Item::IfJmpTo {
                 on_true: true,
                 predict_taken: false,
@@ -1083,26 +1202,54 @@ impl<'a> CrispGen<'a> {
             });
             // index = (v - min); Accum = table + 4*index.
             let vo = self.operand(f, v);
-            self.emit(Instr::Op3 { op: BinOp::Sub, a: vo, b: Operand::Imm(min) });
-            self.emit(Instr::Op3 { op: BinOp::Shl, a: Operand::Accum, b: Operand::Imm(2) });
+            self.emit(Instr::Op3 {
+                op: BinOp::Sub,
+                a: vo,
+                b: Operand::Imm(min),
+            });
+            self.emit(Instr::Op3 {
+                op: BinOp::Shl,
+                a: Operand::Accum,
+                b: Operand::Imm(2),
+            });
             let tidx = self.alloc_temp(f);
             let tio = self.operand(f, Val::Temp(tidx));
-            self.emit(Instr::Op2 { op: BinOp::Mov, dst: tio, src: Operand::Accum });
-            self.items.push(Item::MovaLabel { label: ltable.clone() });
+            self.emit(Instr::Op2 {
+                op: BinOp::Mov,
+                dst: tio,
+                src: Operand::Accum,
+            });
+            self.items.push(Item::MovaLabel {
+                label: ltable.clone(),
+            });
             let tio = self.operand(f, Val::Temp(tidx));
-            self.emit(Instr::Op3 { op: BinOp::Add, a: Operand::Accum, b: tio });
+            self.emit(Instr::Op3 {
+                op: BinOp::Add,
+                a: Operand::Accum,
+                b: tio,
+            });
             // taddr = &table[index]; ttgt = table[index]; jmp *ttgt(sp).
             let taddr = tidx; // reuse: now holds the entry address
             let tao = self.operand(f, Val::Temp(taddr));
-            self.emit(Instr::Op2 { op: BinOp::Mov, dst: tao, src: Operand::Accum });
+            self.emit(Instr::Op2 {
+                op: BinOp::Mov,
+                dst: tao,
+                src: Operand::Accum,
+            });
             let ttgt = self.alloc_temp(f);
             let tto = self.operand(f, Val::Temp(ttgt));
             let ind = self.operand(f, Val::Ind(taddr));
-            self.emit(Instr::Op2 { op: BinOp::Mov, dst: tto, src: ind });
+            self.emit(Instr::Op2 {
+                op: BinOp::Mov,
+                dst: tto,
+                src: ind,
+            });
             let Operand::SpOff(tgt_off) = self.operand(f, Val::Temp(ttgt)) else {
                 unreachable!("temps are stack slots")
             };
-            self.emit(Instr::Jmp { target: crisp_isa::BranchTarget::IndSp(tgt_off) });
+            self.emit(Instr::Jmp {
+                target: crisp_isa::BranchTarget::IndSp(tgt_off),
+            });
             self.free(f, Val::Temp(taddr));
             self.free(f, Val::Temp(ttgt));
             // The table itself, 4-aligned, right behind the dispatch.
@@ -1124,14 +1271,20 @@ impl<'a> CrispGen<'a> {
                     let kv = self.legalize_src(f, vo, Val::Imm(k));
                     (vo, self.operand(f, kv))
                 };
-                self.emit(Instr::Cmp { cond: Cond::Eq, a, b });
+                self.emit(Instr::Cmp {
+                    cond: Cond::Eq,
+                    a,
+                    b,
+                });
                 self.items.push(Item::IfJmpTo {
                     on_true: true,
                     predict_taken: false,
                     label: label.to_owned(),
                 });
             }
-            self.items.push(Item::JmpTo { label: default_label.clone() });
+            self.items.push(Item::JmpTo {
+                label: default_label.clone(),
+            });
         }
         self.free(f, v);
 
@@ -1212,13 +1365,21 @@ impl<'a> CrispGen<'a> {
         for item in &mut self.items[start..] {
             if let Item::Instr(instr) = item {
                 *instr = match *instr {
-                    Instr::Op2 { op, dst, src } => {
-                        Instr::Op2 { op, dst: map_op(dst), src: map_op(src) }
-                    }
-                    Instr::Op3 { op, a, b } => Instr::Op3 { op, a: map_op(a), b: map_op(b) },
-                    Instr::Cmp { cond, a, b } => {
-                        Instr::Cmp { cond, a: map_op(a), b: map_op(b) }
-                    }
+                    Instr::Op2 { op, dst, src } => Instr::Op2 {
+                        op,
+                        dst: map_op(dst),
+                        src: map_op(src),
+                    },
+                    Instr::Op3 { op, a, b } => Instr::Op3 {
+                        op,
+                        a: map_op(a),
+                        b: map_op(b),
+                    },
+                    Instr::Cmp { cond, a, b } => Instr::Cmp {
+                        cond,
+                        a: map_op(a),
+                        b: map_op(b),
+                    },
                     other => other,
                 };
             }
@@ -1238,8 +1399,7 @@ mod tests {
 
     #[test]
     fn figure3_compiles_and_assembles() {
-        let module = gen(
-            "
+        let module = gen("
             void main() {
                 int i, j, odd, even, sum;
                 j = odd = even = 0;
@@ -1250,8 +1410,7 @@ mod tests {
                     j = sum;
                 }
             }
-            ",
-        );
+            ");
         let image = assemble(&module).unwrap();
         assert!(image.symbols.contains_key("main"));
         assert!(!image.parcels.is_empty());
@@ -1265,8 +1424,11 @@ mod tests {
         assert!(e.to_string().contains("main"), "{e}");
         let e = generate(&parse("void main() { g(); }").unwrap(), false).unwrap_err();
         assert!(e.to_string().contains("undefined function"), "{e}");
-        let e = generate(&parse("int f(int a){return a;} void main() { f(); }").unwrap(), false)
-            .unwrap_err();
+        let e = generate(
+            &parse("int f(int a){return a;} void main() { f(); }").unwrap(),
+            false,
+        )
+        .unwrap_err();
         assert!(e.to_string().contains("argument"), "{e}");
         let e = generate(&parse("void main() { break; }").unwrap(), false).unwrap_err();
         assert!(e.to_string().contains("break"), "{e}");
@@ -1281,7 +1443,10 @@ mod tests {
         let module = gen("int a = 7; int b[3] = {1,2,3}; int c; void main() { c = a; }");
         // a at DATA_BASE, b at +4, c at +16.
         assert_eq!(module.data[0], (Image::DEFAULT_DATA_BASE, vec![7]));
-        assert_eq!(module.data[1], (Image::DEFAULT_DATA_BASE + 4, vec![1, 2, 3]));
+        assert_eq!(
+            module.data[1],
+            (Image::DEFAULT_DATA_BASE + 4, vec![1, 2, 3])
+        );
     }
 
     #[test]
@@ -1289,22 +1454,37 @@ mod tests {
         // `i = 0; i < 4` is statically true: no entry jump, one bottom
         // conditional.
         let module = gen("void main() { int i; for (i = 0; i < 4; i++) { } }");
-        let jmps = module.items.iter().filter(|i| matches!(i, Item::JmpTo { .. })).count();
-        let condb = module.items.iter().filter(|i| matches!(i, Item::IfJmpTo { .. })).count();
+        let jmps = module
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::JmpTo { .. }))
+            .count();
+        let condb = module
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::IfJmpTo { .. }))
+            .count();
         assert_eq!(jmps, 0);
         assert_eq!(condb, 1);
     }
 
     #[test]
     fn dynamic_bound_loop_keeps_entry_jump() {
-        let module =
-            gen("int n; void main() { int i; for (i = 0; i < n; i++) { } }");
-        let jmps = module.items.iter().filter(|i| matches!(i, Item::JmpTo { .. })).count();
+        let module = gen("int n; void main() { int i; for (i = 0; i < n; i++) { } }");
+        let jmps = module
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::JmpTo { .. }))
+            .count();
         assert_eq!(jmps, 1, "entry jump to the bottom test must remain");
         // And a statically FALSE first test also keeps it (the body may
         // never run).
         let module = gen("void main() { int i; for (i = 9; i < 4; i++) { } }");
-        let jmps = module.items.iter().filter(|i| matches!(i, Item::JmpTo { .. })).count();
+        let jmps = module
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::JmpTo { .. }))
+            .count();
         assert_eq!(jmps, 1);
     }
 }

@@ -7,7 +7,7 @@
 //! division-by-zero yielding 0, arithmetic right shift) so folding can
 //! never change program results.
 
-use crate::ast::{BinaryOp, Expr, Function, Item, Stmt, Unit, UnaryOp};
+use crate::ast::{BinaryOp, Expr, Function, Item, Stmt, UnaryOp, Unit};
 
 /// Fold constants throughout a unit.
 pub fn fold_unit(unit: &mut Unit) {
@@ -48,7 +48,11 @@ fn fold_stmt(s: &mut Stmt) {
                 fold_stmt(els);
             }
             match truthiness(cond) {
-                Some(true) => *s = std::mem::replace(then, Box::new(Stmt::Empty)).as_ref().clone(),
+                Some(true) => {
+                    *s = std::mem::replace(then, Box::new(Stmt::Empty))
+                        .as_ref()
+                        .clone()
+                }
                 Some(false) => {
                     *s = match els.take() {
                         Some(e) => *e,
@@ -204,9 +208,15 @@ fn fold_expr(e: &mut Expr) {
             fold_expr(a);
             fold_expr(b);
             match truthiness(c) {
-                Some(true) => *e = std::mem::replace(a, Box::new(Expr::Lit(0))).as_ref().clone(),
+                Some(true) => {
+                    *e = std::mem::replace(a, Box::new(Expr::Lit(0)))
+                        .as_ref()
+                        .clone()
+                }
                 Some(false) => {
-                    *e = std::mem::replace(b, Box::new(Expr::Lit(0))).as_ref().clone()
+                    *e = std::mem::replace(b, Box::new(Expr::Lit(0)))
+                        .as_ref()
+                        .clone()
                 }
                 None => {}
             }
@@ -257,9 +267,7 @@ mod tests {
 
     #[test]
     fn constant_if_drops_dead_arm() {
-        let body = folded_main(
-            "int r; void main() { if (1) r = 10; else r = 20; if (0) r = 30; }",
-        );
+        let body = folded_main("int r; void main() { if (1) r = 10; else r = 20; if (0) r = 30; }");
         assert_eq!(body.len(), 2);
         assert!(matches!(&body[0], Stmt::Expr(Expr::Assign(..))));
         assert!(matches!(&body[1], Stmt::Empty));
@@ -267,18 +275,14 @@ mod tests {
 
     #[test]
     fn while_false_disappears_while_true_stays() {
-        let body = folded_main(
-            "int r; void main() { while (0) r++; while (1) { break; } }",
-        );
+        let body = folded_main("int r; void main() { while (0) r++; while (1) { break; } }");
         assert!(matches!(&body[0], Stmt::Empty));
         assert!(matches!(&body[1], Stmt::While(..)));
     }
 
     #[test]
     fn short_circuit_with_constant_lhs() {
-        let body = folded_main(
-            "int r; int x; void main() { r = 0 && x; r = 1 || x; r = 1 && x; }",
-        );
+        let body = folded_main("int r; int x; void main() { r = 0 && x; r = 1 || x; r = 1 && x; }");
         let expr = |s: &Stmt| match s {
             Stmt::Expr(Expr::Assign(_, e)) => (**e).clone(),
             other => panic!("{other:?}"),
@@ -292,7 +296,9 @@ mod tests {
     fn identities_elide_operations() {
         let body = folded_main("int r; int x; void main() { r = x + 0; r = x * 1; }");
         for s in &body {
-            let Stmt::Expr(Expr::Assign(_, e)) = s else { panic!() };
+            let Stmt::Expr(Expr::Assign(_, e)) = s else {
+                panic!()
+            };
             assert!(matches!(**e, Expr::Load(_)), "{e:?}");
         }
     }
@@ -301,7 +307,9 @@ mod tests {
     fn ternary_with_constant_condition() {
         let body = folded_main("int r; int x; void main() { r = 1 ? x : 99; r = 0 ? 99 : x; }");
         for s in &body {
-            let Stmt::Expr(Expr::Assign(_, e)) = s else { panic!() };
+            let Stmt::Expr(Expr::Assign(_, e)) = s else {
+                panic!()
+            };
             assert!(matches!(**e, Expr::Load(_)), "{e:?}");
         }
     }
@@ -322,9 +330,10 @@ mod tests {
                 }
             }
         ";
-        let image =
-            crate::compile_crisp(src, &crate::CompileOptions::default()).unwrap();
-        let run = FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap();
+        let image = crate::compile_crisp(src, &crate::CompileOptions::default()).unwrap();
+        let run = FunctionalSim::new(Machine::load(&image).unwrap())
+            .run()
+            .unwrap();
         let r = run
             .machine
             .mem

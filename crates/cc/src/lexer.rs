@@ -62,8 +62,8 @@ impl fmt::Display for Tok {
 /// Multi-character operators, longest first so that maximal munch works.
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=",
-    "&=", "|=", "^=", "<<", ">>", "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*",
-    "/", "%", "&", "|", "^", "<", ">", "!", "~", "?", ":",
+    "&=", "|=", "^=", "<<", ">>", "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "-", "*", "/",
+    "%", "&", "|", "^", "<", ">", "!", "~", "?", ":",
 ];
 
 fn keyword(s: &str) -> Option<Kw> {
@@ -159,12 +159,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
             while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
                 i += 1;
             }
-            let body = if radix == 16 { &src[start + 2..i] } else { &src[start..i] };
+            let body = if radix == 16 {
+                &src[start + 2..i]
+            } else {
+                &src[start..i]
+            };
             let value = i64::from_str_radix(body, radix).map_err(|_| CcError::Lex {
                 line,
                 message: format!("bad number `{}`", &src[start..i]),
             })?;
-            out.push(Token { kind: Tok::Int(value), line });
+            out.push(Token {
+                kind: Tok::Int(value),
+                line,
+            });
             continue;
         }
         // Character literals (value of the byte).
@@ -178,31 +185,49 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
                     b'\'' => b'\'',
                     other => other,
                 };
-                out.push(Token { kind: Tok::Int(v as i64), line });
+                out.push(Token {
+                    kind: Tok::Int(v as i64),
+                    line,
+                });
                 i += 4;
                 continue;
             }
             if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-                out.push(Token { kind: Tok::Int(bytes[i + 1] as i64), line });
+                out.push(Token {
+                    kind: Tok::Int(bytes[i + 1] as i64),
+                    line,
+                });
                 i += 3;
                 continue;
             }
-            return Err(CcError::Lex { line, message: "bad character literal".into() });
+            return Err(CcError::Lex {
+                line,
+                message: "bad character literal".into(),
+            });
         }
         // Operators / punctuation.
         for p in PUNCTS {
             if src[i..].starts_with(p) {
-                out.push(Token { kind: Tok::Punct(p), line });
+                out.push(Token {
+                    kind: Tok::Punct(p),
+                    line,
+                });
                 i += p.len();
                 continue 'outer;
             }
         }
         return Err(CcError::Lex {
             line,
-            message: format!("stray character `{}`", src[i..].chars().next().unwrap_or('?')),
+            message: format!(
+                "stray character `{}`",
+                src[i..].chars().next().unwrap_or('?')
+            ),
         });
     }
-    out.push(Token { kind: Tok::Eof, line });
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -250,7 +275,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("0x1F 10 0")[..3], [Tok::Int(31), Tok::Int(10), Tok::Int(0)]);
+        assert_eq!(
+            kinds("0x1F 10 0")[..3],
+            [Tok::Int(31), Tok::Int(10), Tok::Int(0)]
+        );
         assert!(lex("0xZZ").is_err());
         assert!(lex("12ab").is_err());
     }

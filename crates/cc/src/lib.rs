@@ -65,7 +65,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> CompileOptions {
-        CompileOptions { spread: true, prediction: PredictionMode::Btfnt }
+        CompileOptions {
+            spread: true,
+            prediction: PredictionMode::Btfnt,
+        }
     }
 }
 
@@ -115,7 +118,9 @@ mod tests {
 
     fn run_crisp(src: &str, opts: &CompileOptions) -> crisp_sim::FunctionalRun {
         let image = compile_crisp(src, opts).unwrap();
-        FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap()
+        FunctionalSim::new(Machine::load(&image).unwrap())
+            .run()
+            .unwrap()
     }
 
     fn global(run: &crisp_sim::FunctionalRun, index: u32) -> i32 {
@@ -139,7 +144,10 @@ mod tests {
         ";
         for opts in [
             CompileOptions::default(),
-            CompileOptions { spread: false, prediction: PredictionMode::NotTaken },
+            CompileOptions {
+                spread: false,
+                prediction: PredictionMode::NotTaken,
+            },
         ] {
             let r = run_crisp(src, &opts);
             assert_eq!(global(&r, 0), 13);
@@ -194,11 +202,17 @@ mod tests {
         for src in programs {
             let plain = run_crisp(
                 src,
-                &CompileOptions { spread: false, prediction: PredictionMode::Btfnt },
+                &CompileOptions {
+                    spread: false,
+                    prediction: PredictionMode::Btfnt,
+                },
             );
             let spread = run_crisp(
                 src,
-                &CompileOptions { spread: true, prediction: PredictionMode::Btfnt },
+                &CompileOptions {
+                    spread: true,
+                    prediction: PredictionMode::Btfnt,
+                },
             );
             assert_eq!(global(&plain, 0), global(&spread, 0), "{src}");
         }
@@ -271,7 +285,13 @@ mod tests {
             PredictionMode::Btfnt,
             PredictionMode::Ftbnt,
         ] {
-            let r = run_crisp(src, &CompileOptions { spread: false, prediction: mode });
+            let r = run_crisp(
+                src,
+                &CompileOptions {
+                    spread: false,
+                    prediction: mode,
+                },
+            );
             let v = global(&r, 0);
             assert_eq!(v, 300);
             if let Some(prev) = last {

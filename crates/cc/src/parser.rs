@@ -46,7 +46,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, CcError> {
-        Err(CcError::Parse { line: self.line(), message: message.into() })
+        Err(CcError::Parse {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -129,7 +132,12 @@ impl Parser {
             }
             self.expect_punct("{")?;
             let body = self.block_body()?;
-            return Ok(vec![Item::Function(Function { name, params, returns_value, body })]);
+            return Ok(vec![Item::Function(Function {
+                name,
+                params,
+                returns_value,
+                body,
+            })]);
         }
 
         if !returns_value {
@@ -161,11 +169,21 @@ impl Parser {
                         return self.err("too many array initialisers");
                     }
                 }
-                items.push(Item::Array { name: current, len: len as u32, init });
+                items.push(Item::Array {
+                    name: current,
+                    len: len as u32,
+                    init,
+                });
             } else {
-                let init =
-                    if self.eat_punct("=") { Some(self.int_lit()?) } else { None };
-                items.push(Item::Global { name: current, init });
+                let init = if self.eat_punct("=") {
+                    Some(self.int_lit()?)
+                } else {
+                    None
+                };
+                items.push(Item::Global {
+                    name: current,
+                    init,
+                });
             }
             if self.eat_punct(";") {
                 break;
@@ -200,7 +218,11 @@ impl Parser {
             let mut decls = Vec::new();
             loop {
                 let name = self.ident()?;
-                let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 decls.push((name, init));
                 if self.eat_punct(";") {
                     break;
@@ -214,7 +236,11 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let then = Box::new(self.stmt()?);
-            let els = if self.eat_kw(Kw::Else) { Some(Box::new(self.stmt()?)) } else { None };
+            let els = if self.eat_kw(Kw::Else) {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
             return Ok(Stmt::If(cond, then, els));
         }
         if self.eat_kw(Kw::While) {
@@ -278,7 +304,10 @@ impl Parser {
                     if cases.iter().any(|c| c.value == Some(v)) {
                         return self.err(format!("duplicate case {v}"));
                     }
-                    cases.push(SwitchCase { value: Some(v), body: Vec::new() });
+                    cases.push(SwitchCase {
+                        value: Some(v),
+                        body: Vec::new(),
+                    });
                     continue;
                 }
                 if self.eat_kw(Kw::Default) {
@@ -287,7 +316,10 @@ impl Parser {
                         return self.err("duplicate `default`");
                     }
                     seen_default = true;
-                    cases.push(SwitchCase { value: None, body: Vec::new() });
+                    cases.push(SwitchCase {
+                        value: None,
+                        body: Vec::new(),
+                    });
                     continue;
                 }
                 let Some(current) = cases.last_mut() else {
@@ -380,7 +412,11 @@ impl Parser {
             ],
             &[("<<", BinaryOp::Shl), (">>", BinaryOp::Shr)],
             &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
-            &[("*", BinaryOp::Mul), ("/", BinaryOp::Div), ("%", BinaryOp::Rem)],
+            &[
+                ("*", BinaryOp::Mul),
+                ("/", BinaryOp::Div),
+                ("%", BinaryOp::Rem),
+            ],
         ];
         if level == LEVELS.len() {
             return self.unary();
@@ -414,11 +450,19 @@ impl Parser {
         }
         if self.eat_punct("++") {
             let lv = self.lvalue_expr()?;
-            return Ok(Expr::IncDec { lv, delta: 1, post: false });
+            return Ok(Expr::IncDec {
+                lv,
+                delta: 1,
+                post: false,
+            });
         }
         if self.eat_punct("--") {
             let lv = self.lvalue_expr()?;
-            return Ok(Expr::IncDec { lv, delta: -1, post: false });
+            return Ok(Expr::IncDec {
+                lv,
+                delta: -1,
+                post: false,
+            });
         }
         self.postfix()
     }
@@ -437,12 +481,20 @@ impl Parser {
                 let Expr::Load(lv) = e else {
                     return self.err("operand of ++ is not assignable");
                 };
-                e = Expr::IncDec { lv, delta: 1, post: true };
+                e = Expr::IncDec {
+                    lv,
+                    delta: 1,
+                    post: true,
+                };
             } else if self.eat_punct("--") {
                 let Expr::Load(lv) = e else {
                     return self.err("operand of -- is not assignable");
                 };
-                e = Expr::IncDec { lv, delta: -1, post: true };
+                e = Expr::IncDec {
+                    lv,
+                    delta: -1,
+                    post: true,
+                };
             } else {
                 return Ok(e);
             }
@@ -524,9 +576,13 @@ mod tests {
     fn precedence() {
         let unit = parse("void f() { int x; x = 1 + 2 * 3; }").unwrap();
         let f = unit.function("f").unwrap();
-        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else { panic!("{:?}", f.body) };
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else {
+            panic!("{:?}", f.body)
+        };
         // 1 + (2*3)
-        let Expr::Binary(BinaryOp::Add, a, b) = rhs.as_ref() else { panic!("{rhs:?}") };
+        let Expr::Binary(BinaryOp::Add, a, b) = rhs.as_ref() else {
+            panic!("{rhs:?}")
+        };
         assert_eq!(**a, Expr::Lit(1));
         assert!(matches!(**b, Expr::Binary(BinaryOp::Mul, ..)));
     }
@@ -535,7 +591,9 @@ mod tests {
     fn comparison_binds_looser_than_shift() {
         let unit = parse("void f() { int x; x = 1 << 2 < 3; }").unwrap();
         let f = unit.function("f").unwrap();
-        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else { panic!() };
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else {
+            panic!()
+        };
         assert!(matches!(rhs.as_ref(), Expr::Binary(BinaryOp::Lt, ..)));
     }
 
@@ -543,7 +601,9 @@ mod tests {
     fn short_circuit_and_ternary() {
         let unit = parse("int f(int a, int b) { return a && b ? a : b || 1; }").unwrap();
         let f = unit.function("f").unwrap();
-        let Stmt::Return(Some(Expr::Cond(c, _, e))) = &f.body[0] else { panic!("{:?}", f.body) };
+        let Stmt::Return(Some(Expr::Cond(c, _, e))) = &f.body[0] else {
+            panic!("{:?}", f.body)
+        };
         assert!(matches!(c.as_ref(), Expr::Binary(BinaryOp::LogAnd, ..)));
         assert!(matches!(e.as_ref(), Expr::Binary(BinaryOp::LogOr, ..)));
     }
@@ -554,15 +614,27 @@ mod tests {
         let f = unit.function("f").unwrap();
         assert!(matches!(
             f.body[1],
-            Stmt::Expr(Expr::IncDec { delta: 1, post: true, .. })
+            Stmt::Expr(Expr::IncDec {
+                delta: 1,
+                post: true,
+                ..
+            })
         ));
         assert!(matches!(
             f.body[2],
-            Stmt::Expr(Expr::IncDec { delta: 1, post: false, .. })
+            Stmt::Expr(Expr::IncDec {
+                delta: 1,
+                post: false,
+                ..
+            })
         ));
         assert!(matches!(
             f.body[3],
-            Stmt::Expr(Expr::IncDec { delta: -1, post: true, .. })
+            Stmt::Expr(Expr::IncDec {
+                delta: -1,
+                post: true,
+                ..
+            })
         ));
     }
 
@@ -623,7 +695,9 @@ mod tests {
     fn assignment_is_right_associative() {
         let unit = parse("void f() { int a, b; a = b = 3; }").unwrap();
         let f = unit.function("f").unwrap();
-        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else { panic!() };
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &f.body[1] else {
+            panic!()
+        };
         assert!(matches!(rhs.as_ref(), Expr::Assign(..)));
     }
 }

@@ -100,12 +100,21 @@ pub fn apply_profile(image: &mut Image, majority: &HashMap<u32, bool>) -> usize 
             at += 1;
             continue;
         };
-        if let Instr::IfJmp { on_true, predict_taken, target } = instr {
+        if let Instr::IfJmp {
+            on_true,
+            predict_taken,
+            target,
+        } = instr
+        {
             if let Some(&bit) = majority.get(&pc) {
                 if bit != predict_taken {
-                    let fixed = Instr::IfJmp { on_true, predict_taken: bit, target };
-                    let parcels = encoding::encode(&fixed)
-                        .expect("re-encoding a decoded branch cannot fail");
+                    let fixed = Instr::IfJmp {
+                        on_true,
+                        predict_taken: bit,
+                        target,
+                    };
+                    let parcels =
+                        encoding::encode(&fixed).expect("re-encoding a decoded branch cannot fail");
                     image.parcels[at..at + parcels.len()].copy_from_slice(&parcels);
                     patched += 1;
                 }
@@ -211,6 +220,12 @@ mod tests {
         let patched = apply_profile(&mut image, &majority);
         assert_eq!(patched, 1);
         let (i, _) = encoding::decode(&image.parcels, branch_pcs[0] as usize / 2).unwrap();
-        assert!(matches!(i, Instr::IfJmp { predict_taken: true, .. }));
+        assert!(matches!(
+            i,
+            Instr::IfJmp {
+                predict_taken: true,
+                ..
+            }
+        ));
     }
 }

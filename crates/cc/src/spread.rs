@@ -233,15 +233,11 @@ pub fn has_side_exit(s: &Stmt) -> bool {
     match s {
         Stmt::Break | Stmt::Continue | Stmt::Return(_) => true,
         Stmt::Block(body) => body.iter().any(has_side_exit),
-        Stmt::If(_, t, e) => {
-            has_side_exit(t) || e.as_deref().is_some_and(has_side_exit)
-        }
+        Stmt::If(_, t, e) => has_side_exit(t) || e.as_deref().is_some_and(has_side_exit),
         // break/continue inside a nested loop do not exit *this* region;
         // a return still does.
         Stmt::While(_, b) | Stmt::DoWhile(b, _) => contains_return(b),
-        Stmt::For(i, _, _, b) => {
-            i.as_deref().is_some_and(has_side_exit) || contains_return(b)
-        }
+        Stmt::For(i, _, _, b) => i.as_deref().is_some_and(has_side_exit) || contains_return(b),
         // A switch captures its breaks, but `continue` and `return`
         // still escape.
         Stmt::Switch(_, cases) => cases
@@ -273,12 +269,8 @@ fn contains_return(s: &Stmt) -> bool {
         Stmt::Block(body) => body.iter().any(contains_return),
         Stmt::If(_, t, e) => contains_return(t) || e.as_deref().is_some_and(contains_return),
         Stmt::While(_, b) | Stmt::DoWhile(b, _) => contains_return(b),
-        Stmt::For(i, _, _, b) => {
-            i.as_deref().is_some_and(contains_return) || contains_return(b)
-        }
-        Stmt::Switch(_, cases) => {
-            cases.iter().flat_map(|c| &c.body).any(contains_return)
-        }
+        Stmt::For(i, _, _, b) => i.as_deref().is_some_and(contains_return) || contains_return(b),
+        Stmt::Switch(_, cases) => cases.iter().flat_map(|c| &c.body).any(contains_return),
         _ => false,
     }
 }
@@ -422,7 +414,9 @@ pub fn hoist_compares(items: &mut Vec<Item>) -> usize {
                 Item::Instr(i) => i,
                 _ => break, // label or directive: barrier
             };
-            let Some(p_touch) = touch_of(p_instr) else { break };
+            let Some(p_touch) = touch_of(p_instr) else {
+                break;
+            };
             if group_touch.iter().any(|g| conflicts(&p_touch, g)) {
                 // Dependence: absorb the producer into the group and keep
                 // climbing.
@@ -480,8 +474,16 @@ mod tests {
                 a: Operand::SpOff(0),
                 b: Operand::Imm(1),
             }),
-            instr_item(Instr::Cmp { cond: Cond::Eq, a: Operand::Accum, b: Operand::Imm(0) }),
-            Item::IfJmpTo { on_true: true, predict_taken: true, label: "else".into() },
+            instr_item(Instr::Cmp {
+                cond: Cond::Eq,
+                a: Operand::Accum,
+                b: Operand::Imm(0),
+            }),
+            Item::IfJmpTo {
+                on_true: true,
+                predict_taken: true,
+                label: "else".into(),
+            },
         ];
         let moved = hoist_compares(&mut items);
         assert_eq!(moved, 1);
@@ -498,13 +500,21 @@ mod tests {
         // and then hit the label.
         let mut items = vec![
             Item::Label("top".into()),
-            instr_item(Instr::Op2 { op: BinOp::Add, dst: Operand::SpOff(0), src: Operand::Imm(1) }),
+            instr_item(Instr::Op2 {
+                op: BinOp::Add,
+                dst: Operand::SpOff(0),
+                src: Operand::Imm(1),
+            }),
             instr_item(Instr::Cmp {
                 cond: Cond::LtS,
                 a: Operand::SpOff(0),
                 b: Operand::Imm(10),
             }),
-            Item::IfJmpTo { on_true: true, predict_taken: true, label: "top".into() },
+            Item::IfJmpTo {
+                on_true: true,
+                predict_taken: true,
+                label: "top".into(),
+            },
         ];
         let before = mnemonics(&items);
         hoist_compares(&mut items);
@@ -527,7 +537,11 @@ mod tests {
             a: Operand::SpOff(0),
             b: Operand::Imm(10),
         }));
-        items.push(Item::IfJmpTo { on_true: true, predict_taken: true, label: "top".into() });
+        items.push(Item::IfJmpTo {
+            on_true: true,
+            predict_taken: true,
+            label: "top".into(),
+        });
         let moved = hoist_compares(&mut items);
         assert_eq!(moved, 3);
         let m = mnemonics(&items);
@@ -540,13 +554,21 @@ mod tests {
         // A stack-indirect write may alias the compare's operand.
         let mut items = vec![
             Item::Label("top".into()),
-            instr_item(Instr::Op2 { op: BinOp::Mov, dst: Operand::SpInd(8), src: Operand::Imm(1) }),
+            instr_item(Instr::Op2 {
+                op: BinOp::Mov,
+                dst: Operand::SpInd(8),
+                src: Operand::Imm(1),
+            }),
             instr_item(Instr::Cmp {
                 cond: Cond::LtS,
                 a: Operand::SpOff(0),
                 b: Operand::Imm(10),
             }),
-            Item::IfJmpTo { on_true: true, predict_taken: true, label: "top".into() },
+            Item::IfJmpTo {
+                on_true: true,
+                predict_taken: true,
+                label: "top".into(),
+            },
         ];
         let before = mnemonics(&items);
         hoist_compares(&mut items);

@@ -34,7 +34,9 @@ pub fn generate(unit: &Unit) -> Result<Program, CcError> {
         call_stack: Vec::new(),
     };
     if unit.function("main").is_none() {
-        return Err(CcError::Sema { message: "no `main` function defined".into() });
+        return Err(CcError::Sema {
+            message: "no `main` function defined".into(),
+        });
     }
     for item in &unit.items {
         match item {
@@ -78,7 +80,9 @@ struct VaxGen<'a> {
 
 impl<'a> VaxGen<'a> {
     fn sema<T>(&self, message: impl Into<String>) -> Result<T, CcError> {
-        Err(CcError::Sema { message: message.into() })
+        Err(CcError::Sema {
+            message: message.into(),
+        })
     }
 
     fn fresh(&mut self, stem: &str) -> String {
@@ -206,9 +210,7 @@ impl<'a> VaxGen<'a> {
                         self.p.push(VaxInstr::Subl3(neg, VOp::Imm(0), v));
                         self.p.push(VaxInstr::Ashl(loc, neg, loc));
                     }
-                    other => {
-                        return self.sema(format!("unsupported compound operator {other:?}"))
-                    }
+                    other => return self.sema(format!("unsupported compound operator {other:?}")),
                 }
                 Ok(loc)
             }
@@ -296,7 +298,11 @@ impl<'a> VaxGen<'a> {
                 let vb = self.eval(b)?;
                 self.p.push(VaxInstr::Bitl(va, vb));
                 self.p.push_branch(
-                    if jump_if { VaxInstr::Jneq(0) } else { VaxInstr::Jeql(0) },
+                    if jump_if {
+                        VaxInstr::Jneq(0)
+                    } else {
+                        VaxInstr::Jeql(0)
+                    },
                     target,
                 );
                 Ok(())
@@ -329,7 +335,11 @@ impl<'a> VaxGen<'a> {
                 let v = self.eval(e)?;
                 self.p.push(VaxInstr::Tstl(v));
                 self.p.push_branch(
-                    if jump_if { VaxInstr::Jneq(0) } else { VaxInstr::Jeql(0) },
+                    if jump_if {
+                        VaxInstr::Jneq(0)
+                    } else {
+                        VaxInstr::Jeql(0)
+                    },
                     target,
                 );
                 Ok(())
@@ -374,7 +384,11 @@ impl<'a> VaxGen<'a> {
     fn eval_discard(&mut self, e: &Expr) -> Result<(), CcError> {
         if let Expr::IncDec { lv, delta, .. } = e {
             let loc = self.lvalue(lv)?;
-            self.p.push(if *delta >= 0 { VaxInstr::Incl(loc) } else { VaxInstr::Decl(loc) });
+            self.p.push(if *delta >= 0 {
+                VaxInstr::Incl(loc)
+            } else {
+                VaxInstr::Decl(loc)
+            });
             return Ok(());
         }
         self.eval(e)?;
@@ -488,8 +502,7 @@ impl<'a> VaxGen<'a> {
             }
             Stmt::Switch(scrutinee, cases) => {
                 let lend = self.fresh("swend");
-                let labels: Vec<String> =
-                    (0..cases.len()).map(|_| self.fresh("vcase")).collect();
+                let labels: Vec<String> = (0..cases.len()).map(|_| self.fresh("vcase")).collect();
                 let default_label = cases
                     .iter()
                     .position(|c| c.value.is_none())

@@ -9,10 +9,22 @@ use crisp_sim::{FunctionalSim, Machine};
 
 fn run_all_options(src: &str, expected: &[i32]) {
     let combos = [
-        CompileOptions { spread: false, prediction: PredictionMode::NotTaken },
-        CompileOptions { spread: false, prediction: PredictionMode::Taken },
-        CompileOptions { spread: true, prediction: PredictionMode::Btfnt },
-        CompileOptions { spread: true, prediction: PredictionMode::Ftbnt },
+        CompileOptions {
+            spread: false,
+            prediction: PredictionMode::NotTaken,
+        },
+        CompileOptions {
+            spread: false,
+            prediction: PredictionMode::Taken,
+        },
+        CompileOptions {
+            spread: true,
+            prediction: PredictionMode::Btfnt,
+        },
+        CompileOptions {
+            spread: true,
+            prediction: PredictionMode::Ftbnt,
+        },
     ];
     for opts in combos {
         let image = compile_crisp(src, &opts).unwrap_or_else(|e| panic!("{opts:?}: {e}"));

@@ -6,7 +6,22 @@
 //!   --asm                        input is CRISP assembly, not mini-C
 //!   --cycles                     use the cycle-level pipeline (default:
 //!                                functional engine)
-//!   --trace                      print the branch trace (functional only)
+//!   --trace PATH                 write a JSONL pipeline event trace
+//!                                (`-` = stdout); the cycle engine emits
+//!                                the full fetch/decode/fold/squash
+//!                                stream, the functional engine its
+//!                                commit stream
+//!   --chrome-trace PATH          write a Chrome trace_event JSON file
+//!                                (open in chrome://tracing or Perfetto;
+//!                                needs --cycles)
+//!   --profile                    print the per-branch-site profile
+//!   --timeline                   print an ASCII pipeline timeline
+//!                                around the first mispredict (needs
+//!                                --cycles)
+//!   --stats-json PATH            write run statistics as JSON
+//!                                (`-` = stdout)
+//!   --branch-trace               print the branch trace (functional
+//!                                engine only)
 //!   --fold POLICY --icache N --mem-latency N   machine configuration
 //!   --no-spread --predict MODE                 compiler configuration
 //! ```
@@ -14,17 +29,25 @@
 //! Examples:
 //!
 //! ```sh
-//! crisp-run --cycles program.c
-//! crisp-run --asm loop.s
-//! echo 'void main(){}' | crisp-run
+//! crisp-run --cycles --profile program.c
+//! crisp-run --cycles --trace run.jsonl --chrome-trace run.json program.c
+//! crisp-run --asm --stats-json - loop.s
 //! ```
 
+use std::io::{self, Write as _};
 use std::process::ExitCode;
 
 use crisp_asm::assemble_text;
 use crisp_cc::compile_crisp;
-use crisp_cli::{extract_switch, parse_common, read_input};
-use crisp_sim::{CycleSim, FunctionalSim, Machine};
+use crisp_cli::{extract_flag, extract_switch, parse_common, read_input};
+use crisp_sim::{
+    mispredict_cycles, render_timeline, write_chrome_trace, write_jsonl, BranchProfiler, CycleSim,
+    EventRing, FunctionalSim, Machine, PipeEvent,
+};
+
+/// Event-ring capacity for `--trace`/`--chrome-trace`/`--timeline`:
+/// large enough for any workload in this repo; overflow is reported.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 fn main() -> ExitCode {
     match run() {
@@ -36,18 +59,50 @@ fn main() -> ExitCode {
     }
 }
 
+/// Write through `emit` to the file at `path`, or to stdout for `-`.
+fn write_output(
+    path: &str,
+    emit: impl FnOnce(&mut dyn io::Write) -> io::Result<()>,
+) -> Result<(), String> {
+    let result = if path == "-" {
+        let stdout = io::stdout();
+        let mut w = stdout.lock();
+        emit(&mut w).and_then(|()| w.flush())
+    } else {
+        std::fs::File::create(path).and_then(|f| {
+            let mut w = io::BufWriter::new(f);
+            emit(&mut w).and_then(|()| w.flush())
+        })
+    };
+    result.map_err(|e| format!("writing {path}: {e}"))
+}
+
 fn run() -> Result<(), String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: crisp-run [--asm] [--cycles] [--trace] [OPTIONS] [FILE]");
+        println!(
+            "usage: crisp-run [--asm] [--cycles] [--trace PATH] [--chrome-trace PATH] \
+             [--profile] [--timeline] [--stats-json PATH] [--branch-trace] [OPTIONS] [FILE]"
+        );
         return Ok(());
     }
     let is_asm = extract_switch(&mut raw, "--asm");
     let cycles = extract_switch(&mut raw, "--cycles");
-    let trace = extract_switch(&mut raw, "--trace");
+    let trace_path = extract_flag(&mut raw, "--trace").map_err(|e| e.to_string())?;
+    let chrome_path = extract_flag(&mut raw, "--chrome-trace").map_err(|e| e.to_string())?;
+    let stats_path = extract_flag(&mut raw, "--stats-json").map_err(|e| e.to_string())?;
+    let profile = extract_switch(&mut raw, "--profile");
+    let timeline = extract_switch(&mut raw, "--timeline");
+    let branch_trace = extract_switch(&mut raw, "--branch-trace");
     let args = parse_common(raw.into_iter()).map_err(|e| e.to_string())?;
     if let Some(flag) = args.rest.first() {
         return Err(format!("unknown flag `{flag}`"));
+    }
+    if !cycles && chrome_path.is_some() {
+        return Err("--chrome-trace needs --cycles".into());
+    }
+    if !cycles && timeline {
+        return Err("--timeline needs --cycles".into());
     }
 
     let source = read_input(&args.input).map_err(|e| e.to_string())?;
@@ -58,30 +113,50 @@ fn run() -> Result<(), String> {
     };
     let machine = Machine::load(&image).map_err(|e| e.to_string())?;
 
+    let observing = trace_path.is_some() || chrome_path.is_some() || profile || timeline;
+
     if cycles {
-        let run = CycleSim::new(machine, args.sim).run().map_err(|e| e.to_string())?;
-        println!("cycles               : {}", run.stats.cycles);
-        println!("instructions issued  : {}", run.stats.issued);
-        println!("program instructions : {}", run.stats.program_instrs);
-        println!("issued CPI           : {:.3}", run.stats.cycles_per_issued());
-        println!("apparent CPI         : {:.3}", run.stats.apparent_cpi());
-        println!("conditional branches : {}", run.stats.cond_branches);
-        println!(
-            "mispredicts          : {} (by resolve stage {:?})",
-            run.stats.mispredicts(),
-            run.stats.mispredicts_by_stage
-        );
-        println!("resolved at fetch    : {}", run.stats.resolved_at_fetch);
-        println!(
-            "decoded cache        : {} hits / {} misses",
-            run.stats.icache_hits, run.stats.icache_misses
-        );
+        let (run, events, profiler) = if observing {
+            let obs = (EventRing::new(TRACE_CAPACITY), BranchProfiler::new());
+            let (run, (ring, prof)) = CycleSim::with_observer(machine, args.sim, obs)
+                .run_observed()
+                .map_err(|e| e.to_string())?;
+            if ring.dropped > 0 {
+                eprintln!(
+                    "crisp-run: trace ring overflowed; {} oldest events dropped",
+                    ring.dropped
+                );
+            }
+            (run, ring.into_vec(), Some(prof))
+        } else {
+            let run = CycleSim::new(machine, args.sim)
+                .run()
+                .map_err(|e| e.to_string())?;
+            (run, Vec::new(), None)
+        };
+
+        print!("{}", run.stats);
         println!("accumulator          : {}", run.machine.accum);
+        emit_observations(
+            &events,
+            profiler.as_ref().filter(|_| profile),
+            &trace_path,
+            &chrome_path,
+            timeline,
+        )?;
+        if let Some(path) = &stats_path {
+            write_output(path, |w| writeln!(w, "{}", run.stats.to_json()))?;
+        }
     } else {
-        let run = FunctionalSim::new(machine)
-            .record_trace(trace)
-            .run()
-            .map_err(|e| e.to_string())?;
+        let mut obs = (EventRing::new(TRACE_CAPACITY), BranchProfiler::new());
+        let sim = FunctionalSim::new(machine).record_trace(branch_trace);
+        let run = if observing {
+            sim.run_observed(&mut obs).map_err(|e| e.to_string())?
+        } else {
+            sim.run().map_err(|e| e.to_string())?
+        };
+        let (ring, profiler) = obs;
+
         println!("program instructions : {}", run.stats.program_instrs);
         println!("pipeline entries     : {}", run.stats.entries);
         println!("folded branches      : {}", run.stats.folded);
@@ -90,11 +165,51 @@ fn run() -> Result<(), String> {
         println!("accumulator          : {}", run.machine.accum);
         println!("opcode mix:");
         print!("{}", run.stats.opcodes);
-        if trace {
+        if branch_trace {
             println!("branch trace ({} events):", run.trace.len());
             for e in &run.trace {
                 println!("  {e}");
             }
+        }
+        let events = ring.into_vec();
+        emit_observations(
+            &events,
+            Some(&profiler).filter(|_| profile),
+            &trace_path,
+            &None,
+            false,
+        )?;
+        if let Some(path) = &stats_path {
+            write_output(path, |w| writeln!(w, "{}", run.stats.to_json()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Emit the trace/profile/timeline renderings common to both engines.
+fn emit_observations(
+    events: &[PipeEvent],
+    profiler: Option<&BranchProfiler>,
+    trace_path: &Option<String>,
+    chrome_path: &Option<String>,
+    timeline: bool,
+) -> Result<(), String> {
+    if let Some(path) = trace_path {
+        write_output(path, |w| write_jsonl(w, events))?;
+    }
+    if let Some(path) = chrome_path {
+        write_output(path, |w| write_chrome_trace(w, events))?;
+    }
+    if let Some(prof) = profiler {
+        print!("{prof}");
+    }
+    if timeline {
+        match mispredict_cycles(events).first() {
+            Some(&center) => {
+                let from = center.saturating_sub(6);
+                print!("{}", render_timeline(events, from, center + 6));
+            }
+            None => println!("timeline: no mispredicts in this run"),
         }
     }
     Ok(())

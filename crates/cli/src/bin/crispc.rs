@@ -39,8 +39,9 @@ fn run() -> Result<(), String> {
         println!("usage: crispc [--emit list|vax|summary] [OPTIONS] [FILE]");
         return Ok(());
     }
-    let emit =
-        extract_flag(&mut raw, "--emit").map_err(|e| e.to_string())?.unwrap_or("list".into());
+    let emit = extract_flag(&mut raw, "--emit")
+        .map_err(|e| e.to_string())?
+        .unwrap_or("list".into());
     let _ = extract_switch(&mut raw, "--"); // tolerate a bare separator
     let args = parse_common(raw.into_iter()).map_err(|e| e.to_string())?;
     if let Some(flag) = args.rest.first() {
@@ -55,16 +56,14 @@ fn run() -> Result<(), String> {
             print!("{}", program.listing());
         }
         "list" => {
-            let module =
-                compile_crisp_module(&source, &args.compile).map_err(|e| e.to_string())?;
+            let module = compile_crisp_module(&source, &args.compile).map_err(|e| e.to_string())?;
             let image = assemble(&module).map_err(|e| e.to_string())?;
             let text = listing_of(&image, args.sim.fold_policy)
                 .map_err(|(addr, e)| format!("disassembly failed at {addr:#x}: {e}"))?;
             print!("{text}");
         }
         "summary" => {
-            let module =
-                compile_crisp_module(&source, &args.compile).map_err(|e| e.to_string())?;
+            let module = compile_crisp_module(&source, &args.compile).map_err(|e| e.to_string())?;
             let image = assemble(&module).map_err(|e| e.to_string())?;
             println!("code bytes    : {}", image.code_bytes());
             println!("parcels       : {}", image.parcels.len());

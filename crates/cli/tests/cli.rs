@@ -1,6 +1,6 @@
 //! Integration tests that drive the built binaries end to end.
 
-use std::io::Write as _;
+use std::io::{ErrorKind, Write as _};
 use std::process::{Command, Stdio};
 
 const PROGRAM: &str = "int r; void main() { int i; for (i = 0; i < 9; i++) r += i; }";
@@ -13,12 +13,18 @@ fn run_tool(exe: &str, args: &[&str], stdin: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("tool spawns");
-    child
+    // A tool that rejects its flags exits before reading stdin; the
+    // resulting EPIPE is part of the scenario, not a harness failure.
+    match child
         .stdin
         .as_mut()
         .expect("stdin piped")
         .write_all(stdin.as_bytes())
-        .expect("stdin writes");
+    {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => {}
+        Err(e) => panic!("stdin writes: {e}"),
+    }
     let out = child.wait_with_output().expect("tool runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -38,17 +44,22 @@ fn crispc_lists_code_from_stdin() {
 
 #[test]
 fn crispc_emits_vax() {
-    let (stdout, stderr, ok) =
-        run_tool(env!("CARGO_BIN_EXE_crispc"), &["--emit", "vax"], PROGRAM);
+    let (stdout, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crispc"), &["--emit", "vax"], PROGRAM);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("addl2"), "{stdout}");
-    assert!(stdout.contains("jbr") || stdout.contains("jgeq"), "{stdout}");
+    assert!(
+        stdout.contains("jbr") || stdout.contains("jgeq"),
+        "{stdout}"
+    );
 }
 
 #[test]
 fn crispc_summary_lists_symbols() {
-    let (stdout, stderr, ok) =
-        run_tool(env!("CARGO_BIN_EXE_crispc"), &["--emit", "summary"], PROGRAM);
+    let (stdout, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crispc"),
+        &["--emit", "summary"],
+        PROGRAM,
+    );
     assert!(ok, "{stderr}");
     assert!(stdout.contains("main"), "{stdout}");
     assert!(stdout.contains("parcels"), "{stdout}");
@@ -97,12 +108,65 @@ fn crisp_run_assembly_input() {
 }
 
 #[test]
-fn crisp_run_trace_output() {
-    let (stdout, stderr, ok) =
-        run_tool(env!("CARGO_BIN_EXE_crisp-run"), &["--trace"], PROGRAM);
+fn crisp_run_branch_trace_output() {
+    let (stdout, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &["--branch-trace"],
+        PROGRAM,
+    );
     assert!(ok, "{stderr}");
     assert!(stdout.contains("branch trace"), "{stdout}");
     assert!(stdout.contains("taken"), "{stdout}");
+}
+
+#[test]
+fn crisp_run_trace_profile_and_stats_export() {
+    let trace = std::env::temp_dir().join(format!("crisp_run_trace_{}.jsonl", std::process::id()));
+    let trace_path = trace.to_str().unwrap();
+    let (stdout, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &[
+            "--cycles",
+            "--trace",
+            trace_path,
+            "--profile",
+            "--stats-json",
+            "-",
+        ],
+        PROGRAM,
+    );
+    let jsonl = std::fs::read_to_string(&trace);
+    std::fs::remove_file(&trace).ok();
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("branch-site profile"), "{stdout}");
+    assert!(stdout.contains(r#""cycles":"#), "{stdout}");
+    let jsonl = jsonl.expect("trace file written");
+    assert!(jsonl.lines().count() > 10, "{jsonl}");
+    assert!(jsonl.contains(r#""ev":"issue""#), "{jsonl}");
+    assert!(jsonl.contains(r#""ev":"branch_retire""#), "{jsonl}");
+}
+
+#[test]
+fn crisp_run_chrome_trace_and_timeline() {
+    let out = std::env::temp_dir().join(format!("crisp_run_chrome_{}.json", std::process::id()));
+    let out_path = out.to_str().unwrap();
+    let (stdout, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &["--cycles", "--chrome-trace", out_path, "--timeline"],
+        PROGRAM,
+    );
+    let chrome = std::fs::read_to_string(&out);
+    std::fs::remove_file(&out).ok();
+    assert!(ok, "{stderr}");
+    // The loop exit mispredicts, so a timeline window is printed.
+    assert!(stdout.contains("I=IR O=OR R=RR"), "{stdout}");
+    let chrome = chrome.expect("chrome trace written");
+    assert!(chrome.contains(r#""traceEvents":["#), "{chrome}");
+
+    // Chrome trace and timeline are cycle-engine features.
+    let (_, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crisp-run"), &["--timeline"], PROGRAM);
+    assert!(!ok);
+    assert!(stderr.contains("--timeline needs --cycles"), "{stderr}");
 }
 
 #[test]
@@ -110,8 +174,7 @@ fn unknown_flags_fail_cleanly() {
     let (_, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crisp-run"), &["--bogus"], PROGRAM);
     assert!(!ok);
     assert!(stderr.contains("unknown flag"), "{stderr}");
-    let (_, stderr, ok) =
-        run_tool(env!("CARGO_BIN_EXE_crispc"), &["--emit", "pdf"], PROGRAM);
+    let (_, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crispc"), &["--emit", "pdf"], PROGRAM);
     assert!(!ok);
     assert!(stderr.contains("unknown --emit"), "{stderr}");
 }

@@ -183,6 +183,91 @@ impl FoldPolicy {
     }
 }
 
+/// Why a branch adjacent to an instruction was not folded into it.
+///
+/// Produced by [`fold_failure`] for the observability layer: the
+/// simulator's branch-site profiler reports, per site, whether the
+/// branch folded and — when it did not — which folding rule blocked it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FoldFailure {
+    /// Folding is disabled ([`FoldPolicy::None`]).
+    PolicyDisabled,
+    /// The preceding instruction is itself a control transfer (or a
+    /// `halt`), so it cannot host a branch — the paper's "a branch
+    /// after a call" case.
+    HostIsControl,
+    /// The host's parcel count is outside what the policy folds
+    /// (e.g. a five-parcel instruction under [`FoldPolicy::Host13`]).
+    HostTooLong,
+    /// The branch is longer than one parcel, which only
+    /// [`FoldPolicy::All`] accepts.
+    BranchTooLong,
+}
+
+impl FoldFailure {
+    /// All variants, in serialization order.
+    pub const ALL: [FoldFailure; 4] = [
+        FoldFailure::PolicyDisabled,
+        FoldFailure::HostIsControl,
+        FoldFailure::HostTooLong,
+        FoldFailure::BranchTooLong,
+    ];
+
+    /// Stable kebab-case name (used in traces and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            FoldFailure::PolicyDisabled => "policy-disabled",
+            FoldFailure::HostIsControl => "host-is-control",
+            FoldFailure::HostTooLong => "host-too-long",
+            FoldFailure::BranchTooLong => "branch-too-long",
+        }
+    }
+}
+
+impl fmt::Display for FoldFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for FoldFailure {
+    type Err = ();
+    fn from_str(s: &str) -> Result<FoldFailure, ()> {
+        FoldFailure::ALL
+            .into_iter()
+            .find(|v| v.name() == s)
+            .ok_or(())
+    }
+}
+
+/// Classify why the instruction at parcel index `at` did **not** absorb
+/// the branch that follows it.
+///
+/// Returns `Some(reason)` only when a foldable-class branch (`jmp` or
+/// `ifjmp`) is visibly next in the stream and the entry nevertheless
+/// does not fold under `policy`; `None` when the entry folds, when no
+/// branch follows, or when the stream is too short to tell.
+pub fn fold_failure(parcels: &[u16], at: usize, policy: FoldPolicy) -> Option<FoldFailure> {
+    let (host, len) = encoding::decode(parcels, at).ok()?;
+    let (branch, blen) = encoding::decode(parcels, at + len).ok()?;
+    if !matches!(branch, Instr::Jmp { .. } | Instr::IfJmp { .. }) {
+        return None;
+    }
+    if policy.host_ok(&host) && policy.branch_ok(&branch) {
+        return None; // it folds
+    }
+    if policy == FoldPolicy::None {
+        Some(FoldFailure::PolicyDisabled)
+    } else if host.is_control() || matches!(host, Instr::Halt) {
+        Some(FoldFailure::HostIsControl)
+    } else if !policy.host_ok(&host) {
+        Some(FoldFailure::HostTooLong)
+    } else {
+        debug_assert!(blen > 1 || !policy.branch_ok(&branch));
+        Some(FoldFailure::BranchTooLong)
+    }
+}
+
 /// One entry of the Decoded Instruction Cache: the canonical wide form
 /// every instruction takes after decode (the paper's 192-bit entry with
 /// control field, operands, Next-PC and Alternate Next-PC).
@@ -264,7 +349,9 @@ fn exec_of(instr: &Instr, pc: u32, len_bytes: u32) -> ExecOp {
         Instr::Cmp { cond, a, b } => ExecOp::Cmp { cond, a, b },
         Instr::Enter { bytes } => ExecOp::Enter { bytes },
         Instr::Leave { bytes } => ExecOp::Leave { bytes },
-        Instr::Call { .. } => ExecOp::CallPush { ret: pc.wrapping_add(len_bytes) },
+        Instr::Call { .. } => ExecOp::CallPush {
+            ret: pc.wrapping_add(len_bytes),
+        },
         Instr::Ret => ExecOp::RetPop,
     }
 }
@@ -328,17 +415,28 @@ pub fn decode_and_fold(
                 alt_pc: None,
             });
         }
-        Instr::IfJmp { on_true, predict_taken, target } => {
+        Instr::IfJmp {
+            on_true,
+            predict_taken,
+            target,
+        } => {
             let taken = target_next(target, pc);
             let seq = NextPc::Known(pc.wrapping_add(len_bytes));
-            let (next_pc, alt_pc) = if predict_taken { (taken, seq) } else { (seq, taken) };
+            let (next_pc, alt_pc) = if predict_taken {
+                (taken, seq)
+            } else {
+                (seq, taken)
+            };
             return Ok(Decoded {
                 pc,
                 len_bytes,
                 exec: ExecOp::Nop,
                 modifies_cc: false,
                 modifies_sp: false,
-                fold: FoldClass::Cond { on_true, predict_taken },
+                fold: FoldClass::Cond {
+                    on_true,
+                    predict_taken,
+                },
                 folded: false,
                 branch_pc: Some(pc),
                 next_pc,
@@ -398,18 +496,28 @@ pub fn decode_and_fold(
                             alt_pc: None,
                         });
                     }
-                    Instr::IfJmp { on_true, predict_taken, target } => {
+                    Instr::IfJmp {
+                        on_true,
+                        predict_taken,
+                        target,
+                    } => {
                         let taken = target_next(target, branch_pc);
                         let seq = NextPc::Known(pc.wrapping_add(total_bytes));
-                        let (next_pc, alt_pc) =
-                            if predict_taken { (taken, seq) } else { (seq, taken) };
+                        let (next_pc, alt_pc) = if predict_taken {
+                            (taken, seq)
+                        } else {
+                            (seq, taken)
+                        };
                         return Ok(Decoded {
                             pc,
                             len_bytes: total_bytes,
                             exec,
                             modifies_cc: instr.modifies_cc(),
                             modifies_sp: instr.modifies_sp(),
-                            fold: FoldClass::Cond { on_true, predict_taken },
+                            fold: FoldClass::Cond {
+                                on_true,
+                                predict_taken,
+                            },
                             folded: true,
                             branch_pc: Some(branch_pc),
                             next_pc,
@@ -450,7 +558,11 @@ mod tests {
     }
 
     fn add_slots() -> Instr {
-        Instr::Op2 { op: BinOp::Add, dst: Operand::SpOff(0), src: Operand::SpOff(4) }
+        Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(0),
+            src: Operand::SpOff(4),
+        }
     }
 
     #[test]
@@ -466,7 +578,12 @@ mod tests {
 
     #[test]
     fn folds_one_parcel_host_with_uncond_branch() {
-        let p = stream(&[add_slots(), Instr::Jmp { target: BranchTarget::PcRel(-20) }]);
+        let p = stream(&[
+            add_slots(),
+            Instr::Jmp {
+                target: BranchTarget::PcRel(-20),
+            },
+        ]);
         let d = decode_and_fold(&p, 0, 0x100, FoldPolicy::Host13).unwrap();
         assert!(d.folded);
         assert_eq!(d.fold, FoldClass::Uncond);
@@ -481,7 +598,11 @@ mod tests {
         // 3-parcel cmp + 1-parcel conditional branch: the paper's QD case
         // ("the 10-bit PC relative offset is found ... in the QD parcel
         // if the previous instruction was three parcels long").
-        let cmp = Instr::Cmp { cond: Cond::LtS, a: Operand::SpOff(4), b: Operand::Imm(1024) };
+        let cmp = Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(4),
+            b: Operand::Imm(1024),
+        };
         assert_eq!(cmp.parcels().unwrap(), 3);
         let br = Instr::IfJmp {
             on_true: true,
@@ -522,7 +643,12 @@ mod tests {
             src: Operand::Imm(100_000),
         };
         assert_eq!(wide.parcels().unwrap(), 5);
-        let p = stream(&[wide, Instr::Jmp { target: BranchTarget::PcRel(2) }]);
+        let p = stream(&[
+            wide,
+            Instr::Jmp {
+                target: BranchTarget::PcRel(2),
+            },
+        ]);
         let d = decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap();
         assert!(!d.folded);
         assert_eq!(d.fold, FoldClass::Sequential);
@@ -533,7 +659,9 @@ mod tests {
 
     #[test]
     fn long_branches_not_folded_under_crisp_policy() {
-        let br = Instr::Jmp { target: BranchTarget::Abs(0x4000) };
+        let br = Instr::Jmp {
+            target: BranchTarget::Abs(0x4000),
+        };
         let p = stream(&[add_slots(), br]);
         let d = decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap();
         assert!(!d.folded);
@@ -545,13 +673,22 @@ mod tests {
     #[test]
     fn calls_and_returns_never_fold() {
         // A call is not absorbed as a "branch" ...
-        let p = stream(&[add_slots(), Instr::Call { target: BranchTarget::PcRel(20) }]);
+        let p = stream(&[
+            add_slots(),
+            Instr::Call {
+                target: BranchTarget::PcRel(20),
+            },
+        ]);
         let d = decode_and_fold(&p, 0, 0, FoldPolicy::All).unwrap();
         assert!(!d.folded);
         // ... and a call does not host a following branch.
         let p = stream(&[
-            Instr::Call { target: BranchTarget::PcRel(20) },
-            Instr::Jmp { target: BranchTarget::PcRel(2) },
+            Instr::Call {
+                target: BranchTarget::PcRel(20),
+            },
+            Instr::Jmp {
+                target: BranchTarget::PcRel(2),
+            },
         ]);
         let d = decode_and_fold(&p, 0, 0, FoldPolicy::All).unwrap();
         assert!(!d.folded);
@@ -563,7 +700,9 @@ mod tests {
     fn unfolded_branch_is_own_entry() {
         // The paper's example: "a branch after a call" is a one-parcel
         // branch that is not folded.
-        let p = stream(&[Instr::Jmp { target: BranchTarget::PcRel(-4) }]);
+        let p = stream(&[Instr::Jmp {
+            target: BranchTarget::PcRel(-4),
+        }]);
         let d = decode_and_fold(&p, 0, 0x50, FoldPolicy::Host13).unwrap();
         assert!(!d.folded);
         assert_eq!(d.fold, FoldClass::Uncond);
@@ -582,17 +721,26 @@ mod tests {
 
     #[test]
     fn indirect_branch_forms() {
-        let p = stream(&[Instr::Jmp { target: BranchTarget::IndAbs(0x8000) }]);
+        let p = stream(&[Instr::Jmp {
+            target: BranchTarget::IndAbs(0x8000),
+        }]);
         let d = decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap();
         assert_eq!(d.next_pc, NextPc::IndAbs(0x8000));
-        let p = stream(&[Instr::Jmp { target: BranchTarget::IndSp(8) }]);
+        let p = stream(&[Instr::Jmp {
+            target: BranchTarget::IndSp(8),
+        }]);
         let d = decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap();
         assert_eq!(d.next_pc, NextPc::IndSp(8));
     }
 
     #[test]
     fn fold_policy_none_disables_folding() {
-        let p = stream(&[add_slots(), Instr::Jmp { target: BranchTarget::PcRel(2) }]);
+        let p = stream(&[
+            add_slots(),
+            Instr::Jmp {
+                target: BranchTarget::PcRel(2),
+            },
+        ]);
         let d = decode_and_fold(&p, 0, 0, FoldPolicy::None).unwrap();
         assert!(!d.folded);
         assert_eq!(d.fold, FoldClass::Sequential);
@@ -600,10 +748,23 @@ mod tests {
 
     #[test]
     fn host1_policy_rejects_three_parcel_host() {
-        let cmp = Instr::Cmp { cond: Cond::LtS, a: Operand::SpOff(4), b: Operand::Imm(1024) };
-        let p = stream(&[cmp, Instr::Jmp { target: BranchTarget::PcRel(2) }]);
+        let cmp = Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(4),
+            b: Operand::Imm(1024),
+        };
+        let p = stream(&[
+            cmp,
+            Instr::Jmp {
+                target: BranchTarget::PcRel(2),
+            },
+        ]);
         assert!(!decode_and_fold(&p, 0, 0, FoldPolicy::Host1).unwrap().folded);
-        assert!(decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap().folded);
+        assert!(
+            decode_and_fold(&p, 0, 0, FoldPolicy::Host13)
+                .unwrap()
+                .folded
+        );
     }
 
     #[test]
@@ -634,7 +795,11 @@ mod tests {
     fn cmp_folded_with_branch_keeps_cc_bit() {
         // The hardest mispredict case in the paper: compare folded with
         // the dependent branch resolves only at RR.
-        let cmp = Instr::Cmp { cond: Cond::Eq, a: Operand::Accum, b: Operand::Imm(0) };
+        let cmp = Instr::Cmp {
+            cond: Cond::Eq,
+            a: Operand::Accum,
+            b: Operand::Imm(0),
+        };
         assert_eq!(cmp.parcels().unwrap(), 1);
         let br = Instr::IfJmp {
             on_true: true,
@@ -646,7 +811,63 @@ mod tests {
         assert!(d.folded);
         assert!(d.modifies_cc);
         assert!(matches!(d.exec, ExecOp::Cmp { .. }));
-        assert!(matches!(d.fold, FoldClass::Cond { on_true: true, predict_taken: false }));
+        assert!(matches!(
+            d.fold,
+            FoldClass::Cond {
+                on_true: true,
+                predict_taken: false
+            }
+        ));
+    }
+
+    #[test]
+    fn fold_failure_classifies_blocked_folds() {
+        use std::str::FromStr;
+        let jmp = Instr::Jmp {
+            target: BranchTarget::PcRel(2),
+        };
+        // Folds under Host13 → no failure.
+        let p = stream(&[add_slots(), jmp]);
+        assert_eq!(fold_failure(&p, 0, FoldPolicy::Host13), None);
+        assert_eq!(
+            fold_failure(&p, 0, FoldPolicy::None),
+            Some(FoldFailure::PolicyDisabled)
+        );
+        // Branch after a branch: the host is control.
+        let p = stream(&[jmp, jmp]);
+        assert_eq!(
+            fold_failure(&p, 0, FoldPolicy::Host13),
+            Some(FoldFailure::HostIsControl)
+        );
+        // Five-parcel host under the CRISP policy.
+        let wide = Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::Abs(0x8000),
+            src: Operand::Imm(100_000),
+        };
+        let p = stream(&[wide, jmp]);
+        assert_eq!(
+            fold_failure(&p, 0, FoldPolicy::Host13),
+            Some(FoldFailure::HostTooLong)
+        );
+        assert_eq!(fold_failure(&p, 0, FoldPolicy::All), None);
+        // Multi-parcel branch under Host13.
+        let far = Instr::Jmp {
+            target: BranchTarget::Abs(0x4000),
+        };
+        let p = stream(&[add_slots(), far]);
+        assert_eq!(
+            fold_failure(&p, 0, FoldPolicy::Host13),
+            Some(FoldFailure::BranchTooLong)
+        );
+        // No branch follows → not a fold failure.
+        let p = stream(&[add_slots(), Instr::Nop]);
+        assert_eq!(fold_failure(&p, 0, FoldPolicy::Host13), None);
+        // Name round-trip.
+        for v in FoldFailure::ALL {
+            assert_eq!(FoldFailure::from_str(v.name()), Ok(v));
+        }
+        assert!(FoldFailure::from_str("no-such-reason").is_err());
     }
 
     #[test]

@@ -231,7 +231,11 @@ pub fn encode(instr: &Instr) -> Result<Vec<u16>, IsaError> {
             encode_general(OP_CMP_X, cond.code(), a, b)
         }
         Instr::Jmp { target } => encode_branch(CLASS_JMP_S, OP_JMP_L, false, target),
-        Instr::IfJmp { on_true, predict_taken, target } => {
+        Instr::IfJmp {
+            on_true,
+            predict_taken,
+            target,
+        } => {
             let (short, long) = if on_true {
                 (CLASS_IFT_S, OP_IFT_L)
             } else {
@@ -369,7 +373,10 @@ fn long_branch(op6: u16, mode: u16, pred: bool, spec: u32) -> Vec<u16> {
 /// depend on the — not yet final — label value.
 pub fn encode_wide_mova(value: i32) -> Vec<u16> {
     vec![
-        (OP_OP2_X << 10) | ((M_ACCUM_W as u16) << 7) | ((M_IMM32 as u16) << 4) | BinOp::Mov.code() as u16,
+        (OP_OP2_X << 10)
+            | ((M_ACCUM_W as u16) << 7)
+            | ((M_IMM32 as u16) << 4)
+            | BinOp::Mov.code() as u16,
         0,
         0,
         ((value as u32) >> 16) as u16,
@@ -400,8 +407,16 @@ pub fn decode(parcels: &[u16], at: usize) -> Result<(Instr, usize), IsaError> {
         let target = BranchTarget::PcRel(off);
         let instr = match class5 {
             CLASS_JMP_S => Instr::Jmp { target },
-            CLASS_IFT_S => Instr::IfJmp { on_true: true, predict_taken: pred, target },
-            CLASS_IFF_S => Instr::IfJmp { on_true: false, predict_taken: pred, target },
+            CLASS_IFT_S => Instr::IfJmp {
+                on_true: true,
+                predict_taken: pred,
+                target,
+            },
+            CLASS_IFF_S => Instr::IfJmp {
+                on_true: false,
+                predict_taken: pred,
+                target,
+            },
             _ => Instr::Call { target },
         };
         return Ok((instr, 1));
@@ -418,32 +433,68 @@ pub fn decode(parcels: &[u16], at: usize) -> Result<(Instr, usize), IsaError> {
         OP_NOP => one(Instr::Nop),
         OP_HALT => one(Instr::Halt),
         OP_RET => one(Instr::Ret),
-        OP_ENTER_S => one(Instr::Enter { bytes: (p0 & 0x3FF) as u32 * 4 }),
-        OP_LEAVE_S => one(Instr::Leave { bytes: (p0 & 0x3FF) as u32 * 4 }),
-        OP_MVA_R => one(Instr::Op2 { op: BinOp::Mov, dst: Operand::Accum, src: slot(f1) }),
-        OP_MAV_R => one(Instr::Op2 { op: BinOp::Mov, dst: slot(f1), src: Operand::Accum }),
-        OP_MVA_I => one(Instr::Op2 { op: BinOp::Mov, dst: Operand::Accum, src: imm }),
+        OP_ENTER_S => one(Instr::Enter {
+            bytes: (p0 & 0x3FF) as u32 * 4,
+        }),
+        OP_LEAVE_S => one(Instr::Leave {
+            bytes: (p0 & 0x3FF) as u32 * 4,
+        }),
+        OP_MVA_R => one(Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::Accum,
+            src: slot(f1),
+        }),
+        OP_MAV_R => one(Instr::Op2 {
+            op: BinOp::Mov,
+            dst: slot(f1),
+            src: Operand::Accum,
+        }),
+        OP_MVA_I => one(Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::Accum,
+            src: imm,
+        }),
         o if (OP_RR_BASE..OP_RR_BASE + 8).contains(&o) => {
             let op = COMPACT_OPS[(o - OP_RR_BASE) as usize];
-            one(Instr::Op2 { op, dst: slot(f1), src: slot(f2) })
+            one(Instr::Op2 {
+                op,
+                dst: slot(f1),
+                src: slot(f2),
+            })
         }
         o if (OP_RI_BASE..OP_RI_BASE + 8).contains(&o) => {
             let op = COMPACT_OPS[(o - OP_RI_BASE) as usize];
-            one(Instr::Op2 { op, dst: slot(f1), src: imm })
+            one(Instr::Op2 {
+                op,
+                dst: slot(f1),
+                src: imm,
+            })
         }
         o if (OP3_RI_BASE..OP3_RI_BASE + 3).contains(&o) => {
             let op = COMPACT_OP3[(o - OP3_RI_BASE) as usize];
-            one(Instr::Op3 { op, a: slot(f1), b: imm })
+            one(Instr::Op3 {
+                op,
+                a: slot(f1),
+                b: imm,
+            })
         }
         o if (OP3_RR_BASE..OP3_RR_BASE + 3).contains(&o) => {
             let op = COMPACT_OP3[(o - OP3_RR_BASE) as usize];
-            one(Instr::Op3 { op, a: slot(f1), b: slot(f2) })
+            one(Instr::Op3 {
+                op,
+                a: slot(f1),
+                b: slot(f2),
+            })
         }
         OP_CMP_AI | OP_CMP_AR => {
             let cond = Cond::from_code(((p0 >> 6) & 0xF) as u8)
                 .ok_or(IsaError::BadOpcode { parcel: p0 })?;
             let b = if op6 == OP_CMP_AI { imm } else { slot(f2) };
-            one(Instr::Cmp { cond, a: Operand::Accum, b })
+            one(Instr::Cmp {
+                cond,
+                a: Operand::Accum,
+                b,
+            })
         }
         OP_OP2_X | OP_OP3_X | OP_CMP_X => {
             let m1 = ((p0 >> 7) & 0x7) as u8;
@@ -486,8 +537,16 @@ pub fn decode(parcels: &[u16], at: usize) -> Result<(Instr, usize), IsaError> {
             };
             let instr = match op6 {
                 OP_JMP_L => Instr::Jmp { target },
-                OP_IFT_L => Instr::IfJmp { on_true: true, predict_taken: pred, target },
-                OP_IFF_L => Instr::IfJmp { on_true: false, predict_taken: pred, target },
+                OP_IFT_L => Instr::IfJmp {
+                    on_true: true,
+                    predict_taken: pred,
+                    target,
+                },
+                OP_IFF_L => Instr::IfJmp {
+                    on_true: false,
+                    predict_taken: pred,
+                    target,
+                },
                 _ => Instr::Call { target },
             };
             Ok((instr, 3))
@@ -500,7 +559,11 @@ pub fn decode(parcels: &[u16], at: usize) -> Result<(Instr, usize), IsaError> {
             if !bytes.is_multiple_of(4) {
                 return Err(IsaError::BadFrameSize { bytes });
             }
-            let instr = if leave { Instr::Leave { bytes } } else { Instr::Enter { bytes } };
+            let instr = if leave {
+                Instr::Leave { bytes }
+            } else {
+                Instr::Enter { bytes }
+            };
             Ok((instr, 3))
         }
         _ => Err(IsaError::BadOpcode { parcel: p0 }),
@@ -547,9 +610,17 @@ mod tests {
     #[test]
     fn compact_alu_forms_are_one_parcel() {
         for op in COMPACT_OPS {
-            let i = Instr::Op2 { op, dst: Operand::SpOff(8), src: Operand::SpOff(124) };
+            let i = Instr::Op2 {
+                op,
+                dst: Operand::SpOff(8),
+                src: Operand::SpOff(124),
+            };
             assert_eq!(round_trip(i), 1, "{op}");
-            let i = Instr::Op2 { op, dst: Operand::SpOff(0), src: Operand::Imm(31) };
+            let i = Instr::Op2 {
+                op,
+                dst: Operand::SpOff(0),
+                src: Operand::Imm(31),
+            };
             assert_eq!(round_trip(i), 1, "{op}");
         }
     }
@@ -573,51 +644,99 @@ mod tests {
             1
         );
         assert_eq!(
-            round_trip(Instr::Op2 { op: BinOp::Mov, dst: Operand::Accum, src: Operand::Imm(7) }),
+            round_trip(Instr::Op2 {
+                op: BinOp::Mov,
+                dst: Operand::Accum,
+                src: Operand::Imm(7)
+            }),
             1
         );
     }
 
     #[test]
     fn mul_has_no_compact_form() {
-        let i = Instr::Op2 { op: BinOp::Mul, dst: Operand::SpOff(0), src: Operand::SpOff(4) };
+        let i = Instr::Op2 {
+            op: BinOp::Mul,
+            dst: Operand::SpOff(0),
+            src: Operand::SpOff(4),
+        };
         assert_eq!(round_trip(i), 3);
     }
 
     #[test]
     fn op3_compact_and_general() {
         // The paper's `and3 i,1`.
-        let i = Instr::Op3 { op: BinOp::And, a: Operand::SpOff(4), b: Operand::Imm(1) };
+        let i = Instr::Op3 {
+            op: BinOp::And,
+            a: Operand::SpOff(4),
+            b: Operand::Imm(1),
+        };
         assert_eq!(round_trip(i), 1);
-        let i = Instr::Op3 { op: BinOp::Add, a: Operand::SpOff(4), b: Operand::SpOff(8) };
+        let i = Instr::Op3 {
+            op: BinOp::Add,
+            a: Operand::SpOff(4),
+            b: Operand::SpOff(8),
+        };
         assert_eq!(round_trip(i), 1);
-        let i = Instr::Op3 { op: BinOp::Xor, a: Operand::SpOff(4), b: Operand::Imm(1) };
+        let i = Instr::Op3 {
+            op: BinOp::Xor,
+            a: Operand::SpOff(4),
+            b: Operand::Imm(1),
+        };
         assert_eq!(round_trip(i), 3);
-        let i = Instr::Op3 { op: BinOp::Mul, a: Operand::Accum, b: Operand::Imm(100_000) };
+        let i = Instr::Op3 {
+            op: BinOp::Mul,
+            a: Operand::Accum,
+            b: Operand::Imm(100_000),
+        };
         assert_eq!(round_trip(i), 5);
     }
 
     #[test]
     fn cmp_forms() {
         // The paper's `cmp.= Accum,0`.
-        let i = Instr::Cmp { cond: Cond::Eq, a: Operand::Accum, b: Operand::Imm(0) };
+        let i = Instr::Cmp {
+            cond: Cond::Eq,
+            a: Operand::Accum,
+            b: Operand::Imm(0),
+        };
         assert_eq!(round_trip(i), 1);
-        let i = Instr::Cmp { cond: Cond::GeU, a: Operand::Accum, b: Operand::SpOff(124) };
+        let i = Instr::Cmp {
+            cond: Cond::GeU,
+            a: Operand::Accum,
+            b: Operand::SpOff(124),
+        };
         assert_eq!(round_trip(i), 1);
         // The paper's `cmp.s< i,1024` — 1024 exceeds imm5.
-        let i = Instr::Cmp { cond: Cond::LtS, a: Operand::SpOff(4), b: Operand::Imm(1024) };
+        let i = Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(4),
+            b: Operand::Imm(1024),
+        };
         assert_eq!(round_trip(i), 3);
-        let i = Instr::Cmp { cond: Cond::Ne, a: Operand::Abs(0x8000), b: Operand::Imm(3) };
+        let i = Instr::Cmp {
+            cond: Cond::Ne,
+            a: Operand::Abs(0x8000),
+            b: Operand::Imm(3),
+        };
         assert_eq!(round_trip(i), 5); // Abs32 forces wide
     }
 
     #[test]
     fn general_form_widening() {
         // Imm16 paired with Abs32 must widen to keep length odd.
-        let i = Instr::Op2 { op: BinOp::Add, dst: Operand::Abs(0x12345678), src: Operand::Imm(1) };
+        let i = Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::Abs(0x12345678),
+            src: Operand::Imm(1),
+        };
         assert_eq!(round_trip(i), 5);
         // Accum paired with Abs32: AccumW padding.
-        let i = Instr::Op2 { op: BinOp::Mov, dst: Operand::Abs(0x9000), src: Operand::Accum };
+        let i = Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::Abs(0x9000),
+            src: Operand::Accum,
+        };
         assert_eq!(round_trip(i), 5);
         // SpOff16 + Imm32.
         let i = Instr::Op2 {
@@ -637,9 +756,17 @@ mod tests {
 
     #[test]
     fn spind_forms() {
-        let i = Instr::Op2 { op: BinOp::Mov, dst: Operand::SpInd(8), src: Operand::SpOff(4) };
+        let i = Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::SpInd(8),
+            src: Operand::SpOff(4),
+        };
         assert_eq!(round_trip(i), 3);
-        let i = Instr::Op2 { op: BinOp::Mov, dst: Operand::SpInd(8), src: Operand::Accum };
+        let i = Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::SpInd(8),
+            src: Operand::Accum,
+        };
         assert_eq!(round_trip(i), 3);
         // SpInd cannot pair with a 32-bit operand.
         let i = Instr::Op2 {
@@ -649,20 +776,33 @@ mod tests {
         };
         assert_eq!(encode(&i), Err(IsaError::UnencodablePair));
         // Stack-indirect offsets beyond 16 bits have no encoding.
-        let i = Instr::Op2 { op: BinOp::Mov, dst: Operand::SpInd(40_000), src: Operand::Imm(0) };
-        assert_eq!(encode(&i), Err(IsaError::SpOffOutOfRange { offset: 40_000 }));
+        let i = Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::SpInd(40_000),
+            src: Operand::Imm(0),
+        };
+        assert_eq!(
+            encode(&i),
+            Err(IsaError::SpOffOutOfRange { offset: 40_000 })
+        );
     }
 
     #[test]
     fn immediate_destination_rejected() {
-        let i = Instr::Op2 { op: BinOp::Add, dst: Operand::Imm(1), src: Operand::Imm(2) };
+        let i = Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::Imm(1),
+            src: Operand::Imm(2),
+        };
         assert_eq!(encode(&i), Err(IsaError::ImmediateDestination));
     }
 
     #[test]
     fn short_branches() {
         for off in [-1024, -2, 0, 2, 100, 1022] {
-            let i = Instr::Jmp { target: BranchTarget::PcRel(off) };
+            let i = Instr::Jmp {
+                target: BranchTarget::PcRel(off),
+            };
             assert_eq!(round_trip(i), 1, "offset {off}");
             for on_true in [false, true] {
                 for pred in [false, true] {
@@ -674,17 +814,29 @@ mod tests {
                     assert_eq!(round_trip(i), 1);
                 }
             }
-            let i = Instr::Call { target: BranchTarget::PcRel(off) };
+            let i = Instr::Call {
+                target: BranchTarget::PcRel(off),
+            };
             assert_eq!(round_trip(i), 1);
         }
     }
 
     #[test]
     fn short_branch_range_enforced() {
-        let i = Instr::Jmp { target: BranchTarget::PcRel(1024) };
-        assert_eq!(encode(&i), Err(IsaError::ShortBranchOutOfRange { offset: 1024 }));
-        let i = Instr::Jmp { target: BranchTarget::PcRel(-1026) };
-        assert_eq!(encode(&i), Err(IsaError::ShortBranchOutOfRange { offset: -1026 }));
+        let i = Instr::Jmp {
+            target: BranchTarget::PcRel(1024),
+        };
+        assert_eq!(
+            encode(&i),
+            Err(IsaError::ShortBranchOutOfRange { offset: 1024 })
+        );
+        let i = Instr::Jmp {
+            target: BranchTarget::PcRel(-1026),
+        };
+        assert_eq!(
+            encode(&i),
+            Err(IsaError::ShortBranchOutOfRange { offset: -1026 })
+        );
     }
 
     #[test]
@@ -699,11 +851,19 @@ mod tests {
             assert_eq!(round_trip(Instr::Jmp { target: t }), 3);
             assert_eq!(round_trip(Instr::Call { target: t }), 3);
             assert_eq!(
-                round_trip(Instr::IfJmp { on_true: true, predict_taken: true, target: t }),
+                round_trip(Instr::IfJmp {
+                    on_true: true,
+                    predict_taken: true,
+                    target: t
+                }),
                 3
             );
             assert_eq!(
-                round_trip(Instr::IfJmp { on_true: false, predict_taken: false, target: t }),
+                round_trip(Instr::IfJmp {
+                    on_true: false,
+                    predict_taken: false,
+                    target: t
+                }),
                 3
             );
         }
@@ -711,7 +871,11 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let i = Instr::Cmp { cond: Cond::LtS, a: Operand::SpOff(4), b: Operand::Imm(1024) };
+        let i = Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(4),
+            b: Operand::Imm(1024),
+        };
         let parcels = encode(&i).unwrap();
         assert_eq!(decode(&parcels[..1], 0), Err(IsaError::Truncated));
         assert_eq!(decode(&parcels[..2], 0), Err(IsaError::Truncated));
@@ -721,9 +885,15 @@ mod tests {
     #[test]
     fn bad_opcodes_rejected() {
         // op6 = 44 is unassigned.
-        assert!(matches!(decode(&[44 << 10], 0), Err(IsaError::BadOpcode { .. })));
+        assert!(matches!(
+            decode(&[44 << 10], 0),
+            Err(IsaError::BadOpcode { .. })
+        ));
         // op6 = 47 is unassigned.
-        assert!(matches!(decode(&[47 << 10], 0), Err(IsaError::BadOpcode { .. })));
+        assert!(matches!(
+            decode(&[47 << 10], 0),
+            Err(IsaError::BadOpcode { .. })
+        ));
         // CmpAI with condition code 15 (unassigned).
         assert!(matches!(
             decode(&[(OP_CMP_AI << 10) | (15 << 6)], 0),
@@ -764,16 +934,28 @@ mod tests {
             assert_eq!(len, 5);
             assert_eq!(
                 i,
-                Instr::Op2 { op: BinOp::Mov, dst: Operand::Accum, src: Operand::Imm(v) }
+                Instr::Op2 {
+                    op: BinOp::Mov,
+                    dst: Operand::Accum,
+                    src: Operand::Imm(v)
+                }
             );
         }
     }
 
     #[test]
     fn negative_sp_offsets_round_trip() {
-        let i = Instr::Op2 { op: BinOp::Add, dst: Operand::SpOff(-4), src: Operand::Imm(-8) };
+        let i = Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(-4),
+            src: Operand::Imm(-8),
+        };
         assert_eq!(round_trip(i), 3); // negative slot has no compact form
-        let i = Instr::Cmp { cond: Cond::Eq, a: Operand::SpInd(-100), b: Operand::Imm(-1) };
+        let i = Instr::Cmp {
+            cond: Cond::Eq,
+            a: Operand::SpInd(-100),
+            b: Operand::Imm(-1),
+        };
         assert_eq!(round_trip(i), 3);
     }
 }

@@ -62,7 +62,10 @@ impl fmt::Display for IsaError {
                 write!(f, "short branch offset {offset} outside -1024..=1022 bytes")
             }
             IsaError::SlotOutOfRange { offset } => {
-                write!(f, "stack slot offset {offset} not encodable in a 5-bit slot field")
+                write!(
+                    f,
+                    "stack slot offset {offset} not encodable in a 5-bit slot field"
+                )
             }
             IsaError::Imm5OutOfRange { value } => {
                 write!(f, "immediate {value} outside the 5-bit range 0..=31")
@@ -71,7 +74,10 @@ impl fmt::Display for IsaError {
                 write!(f, "SP-relative offset {offset} outside the 16-bit range")
             }
             IsaError::UnencodablePair => {
-                write!(f, "stack-indirect operand cannot pair with a 32-bit operand")
+                write!(
+                    f,
+                    "stack-indirect operand cannot pair with a 32-bit operand"
+                )
             }
             IsaError::ImmediateDestination => {
                 write!(f, "destination operand cannot be an immediate")

@@ -199,7 +199,11 @@ impl Instr {
     /// The source operands this instruction reads.
     pub fn read_operands(&self) -> Vec<Operand> {
         match self {
-            Instr::Op2 { op: BinOp::Mov, src, .. } => vec![*src],
+            Instr::Op2 {
+                op: BinOp::Mov,
+                src,
+                ..
+            } => vec![*src],
             Instr::Op2 { dst, src, .. } => vec![*dst, *src],
             Instr::Op3 { a, b, .. } | Instr::Cmp { a, b, .. } => vec![*a, *b],
             _ => Vec::new(),
@@ -216,7 +220,11 @@ impl fmt::Display for Instr {
             Instr::Op3 { op, a, b } => write!(f, "{op}3 {a},{b}"),
             Instr::Cmp { cond, a, b } => write!(f, "cmp.{cond} {a},{b}"),
             Instr::Jmp { target } => write!(f, "jmp {target}"),
-            Instr::IfJmp { on_true, predict_taken, target } => {
+            Instr::IfJmp {
+                on_true,
+                predict_taken,
+                target,
+            } => {
                 let tn = if *on_true { "y" } else { "n" };
                 let p = if *predict_taken { "t" } else { "nt" };
                 write!(f, "ifjmp{tn}.{p} {target}")
@@ -246,9 +254,15 @@ mod tests {
 
     #[test]
     fn foldability() {
-        let short_jmp = Instr::Jmp { target: BranchTarget::PcRel(-10) };
-        let long_jmp = Instr::Jmp { target: BranchTarget::Abs(0x100) };
-        let call = Instr::Call { target: BranchTarget::PcRel(4) };
+        let short_jmp = Instr::Jmp {
+            target: BranchTarget::PcRel(-10),
+        };
+        let long_jmp = Instr::Jmp {
+            target: BranchTarget::Abs(0x100),
+        };
+        let call = Instr::Call {
+            target: BranchTarget::PcRel(4),
+        };
         assert!(short_jmp.is_foldable_branch());
         assert!(!long_jmp.is_foldable_branch());
         assert!(!call.is_foldable_branch());
@@ -281,7 +295,10 @@ mod tests {
         assert_eq!(wide.parcels().unwrap(), 5);
         assert!(!wide.can_host_fold());
         // Branches cannot host.
-        assert!(!Instr::Jmp { target: BranchTarget::PcRel(2) }.can_host_fold());
+        assert!(!Instr::Jmp {
+            target: BranchTarget::PcRel(2)
+        }
+        .can_host_fold());
         assert!(!Instr::Ret.can_host_fold());
         assert!(!Instr::Halt.can_host_fold());
         // Nop can host (used after spreading).
@@ -331,6 +348,9 @@ mod tests {
             dst: Operand::SpOff(0),
             src: Operand::SpOff(4),
         };
-        assert_eq!(add.read_operands(), vec![Operand::SpOff(0), Operand::SpOff(4)]);
+        assert_eq!(
+            add.read_operands(),
+            vec![Operand::SpOff(0), Operand::SpOff(4)]
+        );
     }
 }

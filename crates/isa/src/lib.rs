@@ -59,7 +59,9 @@ mod op;
 mod operand;
 mod psw;
 
-pub use decoded::{decode_and_fold, Decoded, ExecOp, FoldClass, FoldPolicy, NextPc};
+pub use decoded::{
+    decode_and_fold, fold_failure, Decoded, ExecOp, FoldClass, FoldFailure, FoldPolicy, NextPc,
+};
 pub use error::IsaError;
 pub use instr::{BranchTarget, Instr};
 pub use op::{BinOp, Cond};

@@ -37,7 +37,10 @@ impl Operand {
     /// Whether the operand references memory (as opposed to the
     /// accumulator or an immediate).
     pub fn is_memory(self) -> bool {
-        matches!(self, Operand::SpOff(_) | Operand::Abs(_) | Operand::SpInd(_))
+        matches!(
+            self,
+            Operand::SpOff(_) | Operand::Abs(_) | Operand::SpInd(_)
+        )
     }
 
     /// Whether this operand fits a compact 5-bit stack-slot field:

@@ -2,9 +2,7 @@
 //! binary encoding, always occupies 1, 3 or 5 parcels, and folding is
 //! consistent with the policy predicates.
 
-use crisp_isa::{
-    decode_and_fold, encoding, BinOp, BranchTarget, Cond, FoldPolicy, Instr, Operand,
-};
+use crisp_isa::{decode_and_fold, encoding, BinOp, BranchTarget, Cond, FoldPolicy, Instr, Operand};
 use proptest::prelude::*;
 
 fn arb_binop() -> impl Strategy<Value = BinOp> {
@@ -51,13 +49,12 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         Just(Instr::Ret),
         (0u32..=(1 << 20)).prop_map(|w| Instr::Enter { bytes: w * 4 }),
         (0u32..=(1 << 20)).prop_map(|w| Instr::Leave { bytes: w * 4 }),
-        (arb_binop(), arb_writable(), arb_operand())
-            .prop_map(|(op, dst, src)| Instr::Op2 { op, dst, src }),
-        (arb_binop(), arb_operand(), arb_operand()).prop_map(|(op, a, b)| Instr::Op3 {
+        (arb_binop(), arb_writable(), arb_operand()).prop_map(|(op, dst, src)| Instr::Op2 {
             op,
-            a,
-            b
+            dst,
+            src
         }),
+        (arb_binop(), arb_operand(), arb_operand()).prop_map(|(op, a, b)| Instr::Op3 { op, a, b }),
         (arb_cond(), arb_operand(), arb_operand()).prop_map(|(cond, a, b)| Instr::Cmp {
             cond,
             a,
@@ -65,7 +62,11 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         }),
         arb_target().prop_map(|target| Instr::Jmp { target }),
         (any::<bool>(), any::<bool>(), arb_target()).prop_map(
-            |(on_true, predict_taken, target)| Instr::IfJmp { on_true, predict_taken, target }
+            |(on_true, predict_taken, target)| Instr::IfJmp {
+                on_true,
+                predict_taken,
+                target
+            }
         ),
         arb_target().prop_map(|target| Instr::Call { target }),
     ]

@@ -74,9 +74,17 @@ impl Btb {
     ///
     /// Panics when `sets` is not a power of two or `ways` is zero.
     pub fn new(cfg: BtbConfig) -> Btb {
-        assert!(cfg.sets.is_power_of_two() && cfg.sets >= 1, "sets must be a power of two");
+        assert!(
+            cfg.sets.is_power_of_two() && cfg.sets >= 1,
+            "sets must be a power of two"
+        );
         assert!(cfg.ways >= 1, "ways must be at least 1");
-        Btb { cfg, sets: vec![Vec::new(); cfg.sets], clock: 0, stats: BtbStats::default() }
+        Btb {
+            cfg,
+            sets: vec![Vec::new(); cfg.sets],
+            clock: 0,
+            stats: BtbStats::default(),
+        }
     }
 
     fn set_index(&self, pc: u32) -> usize {
@@ -110,14 +118,23 @@ impl Btb {
 
         match hit {
             Some(en) => {
-                en.counter = if e.taken { (en.counter + 1).min(3) } else { en.counter.saturating_sub(1) };
+                en.counter = if e.taken {
+                    (en.counter + 1).min(3)
+                } else {
+                    en.counter.saturating_sub(1)
+                };
                 en.target = e.target;
                 en.used = clock;
             }
             None if e.taken => {
                 // Allocate on taken branches only (a BTB of fall-through
                 // branches would be useless).
-                let entry = BtbEntry { pc: e.pc, target: e.target, counter: 2, used: clock };
+                let entry = BtbEntry {
+                    pc: e.pc,
+                    target: e.target,
+                    counter: 2,
+                    used: clock,
+                };
                 if set.len() < ways {
                     set.push(entry);
                 } else {
@@ -149,7 +166,12 @@ mod tests {
     use crisp_sim::BranchKind;
 
     fn ev(pc: u32, target: u32, taken: bool) -> BranchEvent {
-        BranchEvent { pc, target, taken, kind: BranchKind::Cond }
+        BranchEvent {
+            pc,
+            target,
+            taken,
+            kind: BranchKind::Cond,
+        }
     }
 
     #[test]

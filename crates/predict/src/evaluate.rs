@@ -84,7 +84,12 @@ mod tests {
     use crisp_sim::BranchEvent;
 
     fn cond(pc: u32, taken: bool) -> BranchEvent {
-        BranchEvent { pc, target: 0x100, taken, kind: BranchKind::Cond }
+        BranchEvent {
+            pc,
+            target: 0x100,
+            taken,
+            kind: BranchKind::Cond,
+        }
     }
 
     #[test]
@@ -120,7 +125,10 @@ mod tests {
         let st = evaluate_static_optimal(&t);
         assert_eq!(st.accuracy.correct, 50);
         let d1 = evaluate_dynamic(&t, 1);
-        assert!(d1.correct <= 1, "1-bit should mispredict almost always: {d1:?}");
+        assert!(
+            d1.correct <= 1,
+            "1-bit should mispredict almost always: {d1:?}"
+        );
         let d2 = evaluate_dynamic(&t, 2);
         assert!(d2.ratio() <= 0.51, "{d2:?}");
     }
@@ -128,8 +136,18 @@ mod tests {
     #[test]
     fn non_conditional_events_ignored() {
         let t = vec![
-            BranchEvent { pc: 0, target: 4, taken: true, kind: BranchKind::Uncond },
-            BranchEvent { pc: 8, target: 40, taken: true, kind: BranchKind::Call },
+            BranchEvent {
+                pc: 0,
+                target: 4,
+                taken: true,
+                kind: BranchKind::Uncond,
+            },
+            BranchEvent {
+                pc: 8,
+                target: 40,
+                taken: true,
+                kind: BranchKind::Call,
+            },
             cond(0x10, true),
         ];
         assert_eq!(evaluate_static_optimal(&t).accuracy.total, 1);

@@ -84,7 +84,12 @@ mod tests {
     use crisp_sim::{BranchEvent, BranchKind};
 
     fn cond(pc: u32, taken: bool) -> BranchEvent {
-        BranchEvent { pc, target: 0, taken, kind: BranchKind::Cond }
+        BranchEvent {
+            pc,
+            target: 0,
+            taken,
+            kind: BranchKind::Cond,
+        }
     }
 
     #[test]

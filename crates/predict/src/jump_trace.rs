@@ -46,7 +46,11 @@ impl JumpTrace {
     /// Panics when `capacity` is zero.
     pub fn new(capacity: usize) -> JumpTrace {
         assert!(capacity >= 1, "capacity must be at least 1");
-        JumpTrace { capacity, entries: Vec::new(), stats: JumpTraceStats::default() }
+        JumpTrace {
+            capacity,
+            entries: Vec::new(),
+            stats: JumpTraceStats::default(),
+        }
     }
 
     /// Process one dynamic branch.
@@ -92,7 +96,12 @@ mod tests {
     use crisp_sim::BranchKind;
 
     fn ev(pc: u32, taken: bool) -> BranchEvent {
-        BranchEvent { pc, target: pc + 0x40, taken, kind: BranchKind::Cond }
+        BranchEvent {
+            pc,
+            target: pc + 0x40,
+            taken,
+            kind: BranchKind::Cond,
+        }
     }
 
     #[test]
@@ -120,7 +129,12 @@ mod tests {
 
     #[test]
     fn not_taken_evicts() {
-        let trace = vec![ev(0x10, true), ev(0x10, false), ev(0x10, true), ev(0x10, true)];
+        let trace = vec![
+            ev(0x10, true),
+            ev(0x10, false),
+            ev(0x10, true),
+            ev(0x10, true),
+        ];
         let stats = JumpTrace::new(8).evaluate(&trace);
         // taken(miss, wrong) / not-taken(hit, wrong) / taken(miss after
         // eviction, wrong) / taken(hit, right)

@@ -35,8 +35,8 @@ mod jump_trace;
 
 pub use btb::{Btb, BtbConfig, BtbStats};
 pub use counter::{CounterPredictor, Predictor};
-pub use finite::FinitePredictor;
 pub use evaluate::{
     evaluate_dynamic, evaluate_predictor, evaluate_static_optimal, Accuracy, StaticOptimal,
 };
+pub use finite::FinitePredictor;
 pub use jump_trace::{JumpTrace, JumpTraceStats};

@@ -73,7 +73,10 @@ impl SimConfig {
     /// The paper's case A/B/E machine: folding disabled, everything
     /// else as shipped.
     pub fn without_folding() -> SimConfig {
-        SimConfig { fold_policy: FoldPolicy::None, ..SimConfig::default() }
+        SimConfig {
+            fold_policy: FoldPolicy::None,
+            ..SimConfig::default()
+        }
     }
 
     /// Validate invariants (cache size a power of two, nonzero latency).
@@ -88,7 +91,10 @@ impl SimConfig {
         );
         assert!(self.mem_latency >= 1, "mem_latency must be at least 1");
         if let HwPredictor::Dynamic { bits, entries } = self.predictor {
-            assert!((1..=7).contains(&bits), "dynamic predictor bits must be 1..=7");
+            assert!(
+                (1..=7).contains(&bits),
+                "dynamic predictor bits must be 1..=7"
+            );
             assert!(
                 entries.is_power_of_two() && entries >= 1,
                 "dynamic predictor table must be a power of two"
@@ -119,6 +125,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn validate_rejects_bad_cache() {
-        SimConfig { icache_entries: 3, ..SimConfig::default() }.validate();
+        SimConfig {
+            icache_entries: 3,
+            ..SimConfig::default()
+        }
+        .validate();
     }
 }

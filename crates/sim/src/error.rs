@@ -39,14 +39,23 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MemOutOfBounds { addr, size } => {
-                write!(f, "memory access at {addr:#x} outside {size:#x}-byte memory")
+                write!(
+                    f,
+                    "memory access at {addr:#x} outside {size:#x}-byte memory"
+                )
             }
             SimError::Decode { pc, source } => write!(f, "decode failed at {pc:#x}: {source}"),
             SimError::StepLimit { limit } => {
                 write!(f, "execution exceeded the limit of {limit} steps")
             }
-            SimError::ImageTooLarge { required, available } => {
-                write!(f, "image needs {required:#x} bytes but memory has {available:#x}")
+            SimError::ImageTooLarge {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "image needs {required:#x} bytes but memory has {available:#x}"
+                )
             }
         }
     }

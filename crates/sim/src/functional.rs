@@ -2,6 +2,7 @@ use std::collections::HashMap;
 
 use crisp_isa::{decode_and_fold, Decoded, ExecOp, FoldClass, FoldPolicy};
 
+use crate::observe::{NullObserver, PipeObserver};
 use crate::{BranchEvent, BranchKind, Machine, RunStats, SimError, Trace};
 
 /// Maximum parcels one decoded entry can span: a five-parcel host plus a
@@ -94,14 +95,25 @@ impl FunctionalSim {
     /// * [`SimError::StepLimit`] if the program does not halt within the
     ///   configured limit;
     /// * [`SimError::MemOutOfBounds`] on wild data accesses.
-    pub fn run(mut self) -> Result<FunctionalRun, SimError> {
+    pub fn run(self) -> Result<FunctionalRun, SimError> {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Run to `halt`, reporting each retirement to `obs` (the step
+    /// index plays the role of the cycle — the functional engine has
+    /// no clock). Useful for comparing commit streams across engines.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FunctionalSim::run`].
+    pub fn run_observed<O: PipeObserver>(mut self, obs: &mut O) -> Result<FunctionalRun, SimError> {
         let mut stats = RunStats::default();
         let mut trace = Trace::new();
 
-        for _ in 0..self.max_steps {
+        for step_no in 0..self.max_steps {
             let pc = self.machine.pc;
             let d = self.decoded_at(pc)?;
-            let step = self.machine.execute(&d)?;
+            let step = self.machine.execute_observed(&d, step_no, obs)?;
 
             stats.entries += 1;
             stats.program_instrs += 1 + u64::from(d.folded);
@@ -134,15 +146,27 @@ impl FunctionalSim {
                         Some((taken_path, _seq)) => taken_path,
                         None => step.next_pc,
                     };
-                    trace.push(BranchEvent { pc: branch_pc, target, taken, kind });
+                    trace.push(BranchEvent {
+                        pc: branch_pc,
+                        target,
+                        taken,
+                        kind,
+                    });
                 }
             }
 
             if step.halted {
-                return Ok(FunctionalRun { machine: self.machine, stats, trace, halted: true });
+                return Ok(FunctionalRun {
+                    machine: self.machine,
+                    stats,
+                    trace,
+                    halted: true,
+                });
             }
         }
-        Err(SimError::StepLimit { limit: self.max_steps })
+        Err(SimError::StepLimit {
+            limit: self.max_steps,
+        })
     }
 }
 
@@ -222,8 +246,11 @@ mod tests {
             ifjmpy.t top
             halt
         ");
-        let conds: Vec<_> =
-            r.trace.iter().filter(|e| e.kind == BranchKind::Cond).collect();
+        let conds: Vec<_> = r
+            .trace
+            .iter()
+            .filter(|e| e.kind == BranchKind::Cond)
+            .collect();
         assert_eq!(conds.len(), 3);
         // All occurrences share the branch PC and the taken-target.
         assert!(conds.windows(2).all(|w| w[0].pc == w[1].pc));
@@ -281,7 +308,9 @@ mod tests {
         let img = assemble_text("jmp d\nd: .word 0x0000B800").unwrap();
         // 0xB800 >> 10 = 46 — unassigned opcode. The low parcel (0xB800)
         // is at the jump target... low parcel first: parcels[1]=0xB800.
-        let err = FunctionalSim::new(Machine::load(&img).unwrap()).run().unwrap_err();
+        let err = FunctionalSim::new(Machine::load(&img).unwrap())
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::Decode { .. }), "{err:?}");
     }
 }

@@ -25,7 +25,10 @@ impl DecodedCache {
     ///
     /// Panics when `entries` is zero or not a power of two.
     pub fn new(entries: usize) -> DecodedCache {
-        assert!(entries.is_power_of_two() && entries >= 1, "cache size must be a power of two");
+        assert!(
+            entries.is_power_of_two() && entries >= 1,
+            "cache size must be a power of two"
+        );
         DecodedCache {
             entries: vec![None; entries],
             mask: entries as u32 - 1,
@@ -58,16 +61,20 @@ impl DecodedCache {
         self.lookup(pc).is_some()
     }
 
-    /// Insert a decoded entry, evicting any conflicting one.
-    pub fn insert(&mut self, d: Decoded) {
+    /// Insert a decoded entry, evicting any conflicting one; returns
+    /// the PC of the evicted entry when a different tag was displaced.
+    pub fn insert(&mut self, d: Decoded) -> Option<u32> {
         let idx = self.index(d.pc);
+        let mut evicted = None;
         if let Some(old) = &self.entries[idx] {
             if old.pc != d.pc {
                 self.evictions += 1;
+                evicted = Some(old.pc);
             }
         }
         self.inserts += 1;
         self.entries[idx] = Some(d);
+        evicted
     }
 
     /// Invalidate everything (used between experiment runs).
@@ -110,8 +117,8 @@ mod tests {
     #[test]
     fn conflicting_insert_evicts() {
         let mut c = DecodedCache::new(32);
-        c.insert(entry(0x10));
-        c.insert(entry(0x10 + 64));
+        assert_eq!(c.insert(entry(0x10)), None);
+        assert_eq!(c.insert(entry(0x10 + 64)), Some(0x10));
         assert!(!c.contains(0x10));
         assert!(c.contains(0x10 + 64));
         assert_eq!(c.evictions, 1);

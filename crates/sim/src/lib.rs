@@ -51,8 +51,10 @@ mod functional;
 mod icache;
 mod machine;
 mod mem;
+pub mod observe;
 mod pdu;
 mod pipeline;
+pub mod profile;
 mod stats;
 mod trace;
 
@@ -62,7 +64,12 @@ pub use functional::{FunctionalRun, FunctionalSim};
 pub use icache::DecodedCache;
 pub use machine::{Machine, Step};
 pub use mem::Memory;
+pub use observe::{
+    mispredict_cycles, parse_jsonl, render_timeline, write_chrome_trace, write_jsonl, EventRing,
+    NullObserver, PipeEvent, PipeObserver, StallKind, TraceParseError,
+};
 pub use pdu::Pdu;
 pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};
+pub use profile::{BranchProfiler, SiteStats};
 pub use stats::{CycleStats, OpcodeCounts, RunStats};
 pub use trace::{BranchEvent, BranchKind, Trace};

@@ -1,6 +1,7 @@
 use crisp_asm::Image;
 use crisp_isa::{BinOp, Decoded, ExecOp, FoldClass, NextPc, Operand, Psw};
 
+use crate::observe::{PipeEvent, PipeObserver};
 use crate::{Memory, SimError};
 
 /// Default memory size: 256 KiB covers the default memory map (code at
@@ -157,7 +158,11 @@ impl Machine {
             ExecOp::Halt => {
                 self.halted = true;
                 self.pc = d.pc;
-                return Ok(Step { next_pc: d.pc, taken: None, halted: true });
+                return Ok(Step {
+                    next_pc: d.pc,
+                    taken: None,
+                    halted: true,
+                });
             }
             ExecOp::Op2 { op, dst, src } => {
                 let b = self.read_operand(src)?;
@@ -193,7 +198,10 @@ impl Machine {
 
         let (next_pc, taken) = match d.fold {
             FoldClass::Sequential | FoldClass::Uncond => (self.resolve_next(d.next_pc)?, None),
-            FoldClass::Cond { on_true, predict_taken } => {
+            FoldClass::Cond {
+                on_true,
+                predict_taken,
+            } => {
                 let taken = self.psw.flag == on_true;
                 let chosen = if taken == predict_taken {
                     d.next_pc
@@ -204,7 +212,50 @@ impl Machine {
             }
         };
         self.pc = next_pc;
-        Ok(Step { next_pc, taken, halted: false })
+        Ok(Step {
+            next_pc,
+            taken,
+            halted: false,
+        })
+    }
+
+    /// [`Machine::execute`] plus retirement events: emits
+    /// [`PipeEvent::Issue`] for the entry (and [`PipeEvent::Halt`] /
+    /// [`PipeEvent::BranchRetire`] as applicable) at `cycle`. Both
+    /// engines retire through this method so observers see an
+    /// identical commit stream; with [`crate::NullObserver`] it
+    /// compiles to exactly `execute`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::execute`].
+    pub fn execute_observed<O: PipeObserver>(
+        &mut self,
+        d: &Decoded,
+        cycle: u64,
+        obs: &mut O,
+    ) -> Result<Step, SimError> {
+        let step = self.execute(d)?;
+        if O::ENABLED {
+            obs.event(PipeEvent::Issue {
+                cycle,
+                pc: d.pc,
+                folded: d.folded,
+            });
+            if step.halted {
+                obs.event(PipeEvent::Halt { cycle });
+            }
+            if let (Some(taken), FoldClass::Cond { predict_taken, .. }) = (step.taken, d.fold) {
+                obs.event(PipeEvent::BranchRetire {
+                    cycle,
+                    branch_pc: d.branch_pc.unwrap_or(d.pc),
+                    taken,
+                    predicted: predict_taken,
+                    folded: d.folded,
+                });
+            }
+        }
+        Ok(step)
     }
 }
 

@@ -13,7 +13,9 @@ pub struct Memory {
 impl Memory {
     /// Allocate `size` bytes of zeroed memory.
     pub fn new(size: u32) -> Memory {
-        Memory { bytes: vec![0; size as usize] }
+        Memory {
+            bytes: vec![0; size as usize],
+        }
     }
 
     /// Size in bytes.
@@ -25,7 +27,10 @@ impl Memory {
         let end = addr.checked_add(len).filter(|&e| e <= self.size());
         match end {
             Some(_) => Ok(addr as usize),
-            None => Err(SimError::MemOutOfBounds { addr, size: self.size() }),
+            None => Err(SimError::MemOutOfBounds {
+                addr,
+                size: self.size(),
+            }),
         }
     }
 
@@ -122,11 +127,23 @@ mod tests {
     fn bounds_checked() {
         let m = Memory::new(16);
         assert_eq!(m.read_word(12).unwrap(), 0);
-        assert!(matches!(m.read_word(16), Err(SimError::MemOutOfBounds { .. })));
-        assert!(matches!(m.read_word(u32::MAX), Err(SimError::MemOutOfBounds { .. })));
-        assert!(matches!(m.read_parcel(16), Err(SimError::MemOutOfBounds { .. })));
+        assert!(matches!(
+            m.read_word(16),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.read_word(u32::MAX),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.read_parcel(16),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
         let mut m = Memory::new(16);
-        assert!(matches!(m.write_word(16, 0), Err(SimError::MemOutOfBounds { .. })));
+        assert!(matches!(
+            m.write_word(16, 0),
+            Err(SimError::MemOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,1052 @@
+//! Structured observability for the cycle-level simulator.
+//!
+//! The pipeline, PDU and decoded cache report their per-cycle activity
+//! as typed [`PipeEvent`]s through the [`PipeObserver`] trait. The
+//! default observer, [`NullObserver`], is a set of empty inlined
+//! methods that monomorphize away — the uninstrumented simulator pays
+//! nothing. Real observers collect events into a bounded ring
+//! ([`EventRing`]), aggregate them per branch site
+//! ([`crate::BranchProfiler`]), or both at once (observers compose as
+//! tuples).
+//!
+//! On top of the event stream this module provides three renderings:
+//!
+//! * [`write_jsonl`] / [`parse_jsonl`] — one flat JSON object per
+//!   event, the machine-readable trace format;
+//! * [`write_chrome_trace`] — Chrome `trace_event` JSON that opens
+//!   directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev);
+//! * [`render_timeline`] — a Konata-style ASCII lane diagram of the
+//!   IR→OR→RR flow around a window of cycles, with squash markers.
+//!
+//! Event ↔ counter contract: every [`crate::CycleStats`] counter bump
+//! has a corresponding event, so an [`EventRing`] large enough to hold
+//! the whole run reconciles *exactly* with the end-of-run stats (the
+//! `prop_observer` property test enforces this):
+//!
+//! | counter                  | events                                  |
+//! |--------------------------|-----------------------------------------|
+//! | `issued`                 | `Issue`                                 |
+//! | `program_instrs`         | `Issue` + folded `Issue`                |
+//! | `cond_branches`          | `BranchRetire`                          |
+//! | `mispredicts_by_stage[s]`| `BranchResolve { stage: s, mispredicted }`|
+//! | `resolved_at_fetch`      | `BranchResolve { stage: 0, .. }`        |
+//! | `flushed_slots`          | `Squash`                                |
+//! | `icache_hits`/`misses`   | `FetchHit` / `FetchMiss`                |
+//! | `miss_stall_cycles`      | `StallBegin`/`StallEnd` (kind Miss)     |
+//! | `indirect_stall_cycles`  | `StallBegin`/`StallEnd` (kind Indirect) |
+//! | `pdu_decodes`            | `Decode`                                |
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+
+use crisp_isa::FoldFailure;
+
+/// What the Execution Unit is stalled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Decoded-cache miss: waiting for the PDU to fill the entry.
+    Miss,
+    /// Waiting for an indirect branch target to resolve at retire.
+    Indirect,
+}
+
+impl StallKind {
+    fn name(self) -> &'static str {
+        match self {
+            StallKind::Miss => "miss",
+            StallKind::Indirect => "indirect",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<StallKind> {
+        match s {
+            "miss" => Some(StallKind::Miss),
+            "indirect" => Some(StallKind::Indirect),
+            _ => None,
+        }
+    }
+}
+
+/// One typed observation from the simulator.
+///
+/// Stage indices follow the mispredict-penalty convention of
+/// [`crate::CycleStats::mispredicts_by_stage`]: 0 = cache-read time,
+/// 1 = IR, 2 = OR, 3 = RR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeEvent {
+    /// EU fetch hit the decoded cache; the entry enters IR this cycle.
+    FetchHit {
+        /// Cycle of the fetch.
+        cycle: u64,
+        /// Address of the fetched entry.
+        pc: u32,
+        /// Whether the entry carries a folded branch.
+        folded: bool,
+    },
+    /// EU fetch missed the decoded cache (counted once per missing
+    /// address, like [`crate::CycleStats::icache_misses`]).
+    FetchMiss {
+        /// Cycle of the first stalled fetch.
+        cycle: u64,
+        /// The missing address.
+        pc: u32,
+    },
+    /// The PDU decoded one instruction (possibly on the wrong path).
+    Decode {
+        /// Cycle of the decode.
+        cycle: u64,
+        /// Address of the decoded instruction.
+        pc: u32,
+        /// Whether a branch was folded into the entry.
+        folded: bool,
+    },
+    /// The PDU folded the branch at `branch_pc` into the entry at `pc`.
+    Fold {
+        /// Cycle of the decode.
+        cycle: u64,
+        /// Host entry address.
+        pc: u32,
+        /// Address of the absorbed branch.
+        branch_pc: u32,
+    },
+    /// A branch directly followed the entry at `pc` but could not fold.
+    FoldFail {
+        /// Cycle of the decode.
+        cycle: u64,
+        /// Host entry address.
+        pc: u32,
+        /// Address of the branch that stayed separate.
+        branch_pc: u32,
+        /// Which folding rule blocked it.
+        reason: FoldFailure,
+    },
+    /// The PDU wrote an entry into the decoded cache.
+    CacheFill {
+        /// Cycle the entry became visible.
+        cycle: u64,
+        /// Address of the entry.
+        pc: u32,
+        /// Address of a conflicting entry this fill evicted, if any.
+        evicted: Option<u32>,
+    },
+    /// A valid entry retired from RR (an EU issue).
+    Issue {
+        /// Cycle of the retirement.
+        cycle: u64,
+        /// Address of the entry.
+        pc: u32,
+        /// Whether the entry carried a folded branch.
+        folded: bool,
+    },
+    /// A conditional branch retired, reporting its direction.
+    BranchRetire {
+        /// Cycle of the retirement.
+        cycle: u64,
+        /// Address of the branch instruction.
+        branch_pc: u32,
+        /// The actual direction.
+        taken: bool,
+        /// The static prediction bit.
+        predicted: bool,
+        /// Whether the branch was folded with its host.
+        folded: bool,
+    },
+    /// A conditional branch's direction became certain.
+    BranchResolve {
+        /// Cycle of the resolution.
+        cycle: u64,
+        /// Address of the branch instruction.
+        branch_pc: u32,
+        /// Where it resolved: 0 = cache read, 1 = IR, 2 = OR, 3 = RR.
+        /// The mispredict penalty equals this index.
+        stage: u8,
+        /// Whether the followed path was wrong (recovery required).
+        mispredicted: bool,
+    },
+    /// A wrong-path slot was cancelled (valid bit cleared).
+    Squash {
+        /// Cycle of the cancellation.
+        cycle: u64,
+        /// Address of the killed entry.
+        pc: u32,
+        /// The stage holding it: 1 = IR, 2 = OR.
+        stage: u8,
+    },
+    /// The EU began stalling.
+    StallBegin {
+        /// First stalled cycle.
+        cycle: u64,
+        /// What it stalls on.
+        kind: StallKind,
+    },
+    /// The EU stopped stalling; stalled cycles = `cycle` − begin cycle.
+    StallEnd {
+        /// First non-stalled cycle.
+        cycle: u64,
+        /// What it was stalling on.
+        kind: StallKind,
+    },
+    /// `halt` retired; the run is over.
+    Halt {
+        /// Cycle of the halt.
+        cycle: u64,
+    },
+}
+
+impl PipeEvent {
+    /// The cycle the event belongs to.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            PipeEvent::FetchHit { cycle, .. }
+            | PipeEvent::FetchMiss { cycle, .. }
+            | PipeEvent::Decode { cycle, .. }
+            | PipeEvent::Fold { cycle, .. }
+            | PipeEvent::FoldFail { cycle, .. }
+            | PipeEvent::CacheFill { cycle, .. }
+            | PipeEvent::Issue { cycle, .. }
+            | PipeEvent::BranchRetire { cycle, .. }
+            | PipeEvent::BranchResolve { cycle, .. }
+            | PipeEvent::Squash { cycle, .. }
+            | PipeEvent::StallBegin { cycle, .. }
+            | PipeEvent::StallEnd { cycle, .. }
+            | PipeEvent::Halt { cycle } => cycle,
+        }
+    }
+}
+
+/// A sink for pipeline events.
+///
+/// Implementations should be cheap: the simulator calls [`event`] from
+/// its inner loop. The associated `ENABLED` constant lets call sites
+/// skip event construction entirely for the no-op observer, so the
+/// default-instantiated simulator compiles to exactly the
+/// uninstrumented code.
+///
+/// [`event`]: PipeObserver::event
+pub trait PipeObserver {
+    /// Whether this observer consumes events. Call sites guard event
+    /// construction on it; when `false` the whole emission path folds
+    /// away at monomorphization.
+    const ENABLED: bool = true;
+
+    /// Receive one event.
+    fn event(&mut self, ev: PipeEvent);
+}
+
+/// The zero-overhead default observer: does nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl PipeObserver for NullObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn event(&mut self, _ev: PipeEvent) {}
+}
+
+/// Observers compose: a tuple forwards every event to both members.
+impl<A: PipeObserver, B: PipeObserver> PipeObserver for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn event(&mut self, ev: PipeEvent) {
+        self.0.event(ev);
+        self.1.event(ev);
+    }
+}
+
+/// A bounded ring buffer of events: keeps the most recent `capacity`
+/// and counts what it had to drop.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: VecDeque<PipeEvent>,
+    capacity: usize,
+    /// Events discarded because the ring was full (oldest first).
+    pub dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing {
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &PipeEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the ring into a `Vec`, oldest first.
+    pub fn into_vec(self) -> Vec<PipeEvent> {
+        self.buf.into()
+    }
+}
+
+impl PipeObserver for EventRing {
+    #[inline]
+    fn event(&mut self, ev: PipeEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL serialization
+// ---------------------------------------------------------------------
+
+/// A malformed trace line encountered by [`parse_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl PipeEvent {
+    /// One flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        let _ = match *self {
+            PipeEvent::FetchHit { cycle, pc, folded } => write!(
+                s,
+                r#"{{"ev":"fetch_hit","cycle":{cycle},"pc":{pc},"folded":{folded}}}"#
+            ),
+            PipeEvent::FetchMiss { cycle, pc } => {
+                write!(s, r#"{{"ev":"fetch_miss","cycle":{cycle},"pc":{pc}}}"#)
+            }
+            PipeEvent::Decode { cycle, pc, folded } => {
+                write!(
+                    s,
+                    r#"{{"ev":"decode","cycle":{cycle},"pc":{pc},"folded":{folded}}}"#
+                )
+            }
+            PipeEvent::Fold {
+                cycle,
+                pc,
+                branch_pc,
+            } => write!(
+                s,
+                r#"{{"ev":"fold","cycle":{cycle},"pc":{pc},"branch_pc":{branch_pc}}}"#
+            ),
+            PipeEvent::FoldFail {
+                cycle,
+                pc,
+                branch_pc,
+                reason,
+            } => write!(
+                s,
+                r#"{{"ev":"fold_fail","cycle":{cycle},"pc":{pc},"branch_pc":{branch_pc},"reason":"{reason}"}}"#
+            ),
+            PipeEvent::CacheFill { cycle, pc, evicted } => match evicted {
+                Some(e) => write!(
+                    s,
+                    r#"{{"ev":"cache_fill","cycle":{cycle},"pc":{pc},"evicted":{e}}}"#
+                ),
+                None => write!(
+                    s,
+                    r#"{{"ev":"cache_fill","cycle":{cycle},"pc":{pc},"evicted":null}}"#
+                ),
+            },
+            PipeEvent::Issue { cycle, pc, folded } => {
+                write!(
+                    s,
+                    r#"{{"ev":"issue","cycle":{cycle},"pc":{pc},"folded":{folded}}}"#
+                )
+            }
+            PipeEvent::BranchRetire {
+                cycle,
+                branch_pc,
+                taken,
+                predicted,
+                folded,
+            } => write!(
+                s,
+                r#"{{"ev":"branch_retire","cycle":{cycle},"branch_pc":{branch_pc},"taken":{taken},"predicted":{predicted},"folded":{folded}}}"#
+            ),
+            PipeEvent::BranchResolve {
+                cycle,
+                branch_pc,
+                stage,
+                mispredicted,
+            } => write!(
+                s,
+                r#"{{"ev":"branch_resolve","cycle":{cycle},"branch_pc":{branch_pc},"stage":{stage},"mispredicted":{mispredicted}}}"#
+            ),
+            PipeEvent::Squash { cycle, pc, stage } => {
+                write!(
+                    s,
+                    r#"{{"ev":"squash","cycle":{cycle},"pc":{pc},"stage":{stage}}}"#
+                )
+            }
+            PipeEvent::StallBegin { cycle, kind } => write!(
+                s,
+                r#"{{"ev":"stall_begin","cycle":{cycle},"kind":"{}"}}"#,
+                kind.name()
+            ),
+            PipeEvent::StallEnd { cycle, kind } => write!(
+                s,
+                r#"{{"ev":"stall_end","cycle":{cycle},"kind":"{}"}}"#,
+                kind.name()
+            ),
+            PipeEvent::Halt { cycle } => write!(s, r#"{{"ev":"halt","cycle":{cycle}}}"#),
+        };
+        s
+    }
+
+    /// Parse one line produced by [`PipeEvent::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A message describing the malformation.
+    pub fn from_json(line: &str) -> Result<PipeEvent, String> {
+        let fields = parse_flat_object(line)?;
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{k}`"))
+        };
+        let num = |k: &str| -> Result<u64, String> {
+            match get(k)? {
+                JsonValue::Num(n) => Ok(*n),
+                v => Err(format!("field `{k}`: expected number, got {v:?}")),
+            }
+        };
+        let boolean = |k: &str| -> Result<bool, String> {
+            match get(k)? {
+                JsonValue::Bool(b) => Ok(*b),
+                v => Err(format!("field `{k}`: expected bool, got {v:?}")),
+            }
+        };
+        let string = |k: &str| -> Result<&str, String> {
+            match get(k)? {
+                JsonValue::Str(s) => Ok(s.as_str()),
+                v => Err(format!("field `{k}`: expected string, got {v:?}")),
+            }
+        };
+        let pc = |k: &str| -> Result<u32, String> {
+            u32::try_from(num(k)?).map_err(|_| format!("field `{k}`: out of range"))
+        };
+        let cycle = num("cycle")?;
+        match string("ev")? {
+            "fetch_hit" => Ok(PipeEvent::FetchHit {
+                cycle,
+                pc: pc("pc")?,
+                folded: boolean("folded")?,
+            }),
+            "fetch_miss" => Ok(PipeEvent::FetchMiss {
+                cycle,
+                pc: pc("pc")?,
+            }),
+            "decode" => Ok(PipeEvent::Decode {
+                cycle,
+                pc: pc("pc")?,
+                folded: boolean("folded")?,
+            }),
+            "fold" => Ok(PipeEvent::Fold {
+                cycle,
+                pc: pc("pc")?,
+                branch_pc: pc("branch_pc")?,
+            }),
+            "fold_fail" => {
+                let reason = string("reason")?;
+                Ok(PipeEvent::FoldFail {
+                    cycle,
+                    pc: pc("pc")?,
+                    branch_pc: pc("branch_pc")?,
+                    reason: reason
+                        .parse()
+                        .map_err(|()| format!("unknown fold-fail reason `{reason}`"))?,
+                })
+            }
+            "cache_fill" => Ok(PipeEvent::CacheFill {
+                cycle,
+                pc: pc("pc")?,
+                evicted: match get("evicted")? {
+                    JsonValue::Null => None,
+                    JsonValue::Num(n) => {
+                        Some(u32::try_from(*n).map_err(|_| "evicted out of range".to_string())?)
+                    }
+                    v => return Err(format!("field `evicted`: expected number/null, got {v:?}")),
+                },
+            }),
+            "issue" => Ok(PipeEvent::Issue {
+                cycle,
+                pc: pc("pc")?,
+                folded: boolean("folded")?,
+            }),
+            "branch_retire" => Ok(PipeEvent::BranchRetire {
+                cycle,
+                branch_pc: pc("branch_pc")?,
+                taken: boolean("taken")?,
+                predicted: boolean("predicted")?,
+                folded: boolean("folded")?,
+            }),
+            "branch_resolve" => Ok(PipeEvent::BranchResolve {
+                cycle,
+                branch_pc: pc("branch_pc")?,
+                stage: num("stage")? as u8,
+                mispredicted: boolean("mispredicted")?,
+            }),
+            "squash" => Ok(PipeEvent::Squash {
+                cycle,
+                pc: pc("pc")?,
+                stage: num("stage")? as u8,
+            }),
+            "stall_begin" => Ok(PipeEvent::StallBegin {
+                cycle,
+                kind: StallKind::from_name(string("kind")?)
+                    .ok_or_else(|| format!("unknown stall kind `{}`", string("kind").unwrap()))?,
+            }),
+            "stall_end" => Ok(PipeEvent::StallEnd {
+                cycle,
+                kind: StallKind::from_name(string("kind")?)
+                    .ok_or_else(|| format!("unknown stall kind `{}`", string("kind").unwrap()))?,
+            }),
+            other => Err(format!("unknown event type `{other}`")),
+        }
+        .or_else(|e: String| {
+            if string("ev") == Ok("halt") {
+                Ok(PipeEvent::Halt { cycle })
+            } else {
+                Err(e)
+            }
+        })
+    }
+}
+
+#[derive(Debug)]
+enum JsonValue {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+    Null,
+}
+
+/// Parse a single-level `{"key":value,...}` object with number, bool,
+/// string and null values — exactly the shape [`PipeEvent::to_json`]
+/// emits. Not a general JSON parser.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let line = line.trim();
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object".to_string())?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let after_key = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected key at `{rest}`"))?;
+        let end = after_key
+            .find('"')
+            .ok_or_else(|| "unterminated key".to_string())?;
+        let key = &after_key[..end];
+        rest = after_key[end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected `:` after key `{key}`"))?
+            .trim_start();
+        let (value, remainder) = if let Some(after) = rest.strip_prefix('"') {
+            let end = after
+                .find('"')
+                .ok_or_else(|| "unterminated string".to_string())?;
+            (JsonValue::Str(after[..end].to_string()), &after[end + 1..])
+        } else if let Some(after) = rest.strip_prefix("true") {
+            (JsonValue::Bool(true), after)
+        } else if let Some(after) = rest.strip_prefix("false") {
+            (JsonValue::Bool(false), after)
+        } else if let Some(after) = rest.strip_prefix("null") {
+            (JsonValue::Null, after)
+        } else {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return Err(format!("bad value at `{rest}`"));
+            }
+            let n = rest[..end]
+                .parse()
+                .map_err(|_| format!("bad number `{}`", &rest[..end]))?;
+            (JsonValue::Num(n), &rest[end..])
+        };
+        fields.push((key.to_string(), value));
+        rest = remainder.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected `,` at `{rest}`"));
+        }
+    }
+    Ok(fields)
+}
+
+/// Write events as JSON Lines (one object per line).
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_jsonl<'a, W, I>(w: &mut W, events: I) -> io::Result<()>
+where
+    W: io::Write + ?Sized,
+    I: IntoIterator<Item = &'a PipeEvent>,
+{
+    for ev in events {
+        writeln!(w, "{}", ev.to_json())?;
+    }
+    Ok(())
+}
+
+/// Parse a JSONL trace back into events. Blank lines are skipped.
+///
+/// # Errors
+///
+/// [`TraceParseError`] naming the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<PipeEvent>, TraceParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(
+            PipeEvent::from_json(line).map_err(|message| TraceParseError {
+                line: i + 1,
+                message,
+            })?,
+        );
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace_event export
+// ---------------------------------------------------------------------
+
+/// Lanes (thread ids) of the exported trace.
+const INSTR_LANES: u64 = 3;
+const LANE_EVENTS: u64 = INSTR_LANES;
+const LANE_STALLS: u64 = INSTR_LANES + 1;
+const LANE_PDU: u64 = INSTR_LANES + 2;
+
+/// Write a Chrome `trace_event` JSON document for the event stream.
+///
+/// One simulated cycle maps to one microsecond of trace time.
+/// Instructions appear as 3-cycle spans (IR→OR→RR) rotated over three
+/// lanes so overlapping lifetimes stay readable; squashes, mispredict
+/// resolutions and stalls get their own lanes. Open the file in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_chrome_trace<W: io::Write + ?Sized>(
+    w: &mut W,
+    events: &[PipeEvent],
+) -> io::Result<()> {
+    let mut items: Vec<String> = Vec::new();
+    for lane in 0..INSTR_LANES {
+        items.push(format!(
+            r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{lane},"args":{{"name":"pipeline lane {lane}"}}}}"#
+        ));
+    }
+    items.push(format!(
+        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{LANE_EVENTS},"args":{{"name":"branch events"}}}}"#
+    ));
+    items.push(format!(
+        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{LANE_STALLS},"args":{{"name":"stalls"}}}}"#
+    ));
+    items.push(format!(
+        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{LANE_PDU},"args":{{"name":"pdu"}}}}"#
+    ));
+
+    let mut open_stall: Option<(StallKind, u64)> = None;
+    for ev in events {
+        match *ev {
+            PipeEvent::FetchHit { cycle, pc, folded } => {
+                let lane = cycle % INSTR_LANES;
+                let name = if folded {
+                    format!("{pc:#x}+fold")
+                } else {
+                    format!("{pc:#x}")
+                };
+                items.push(format!(
+                    r#"{{"ph":"X","name":"{name}","cat":"instr","pid":0,"tid":{lane},"ts":{cycle},"dur":3}}"#
+                ));
+            }
+            PipeEvent::Squash { cycle, pc, stage } => {
+                items.push(format!(
+                    r#"{{"ph":"i","name":"squash {pc:#x} @{}","cat":"squash","pid":0,"tid":{LANE_EVENTS},"ts":{cycle},"s":"t"}}"#,
+                    stage_name(stage)
+                ));
+            }
+            PipeEvent::BranchResolve {
+                cycle,
+                branch_pc,
+                stage,
+                mispredicted,
+            } => {
+                let verdict = if mispredicted {
+                    "MISPREDICT"
+                } else {
+                    "resolve"
+                };
+                items.push(format!(
+                    r#"{{"ph":"i","name":"{verdict} {branch_pc:#x} @{}","cat":"branch","pid":0,"tid":{LANE_EVENTS},"ts":{cycle},"s":"t"}}"#,
+                    stage_name(stage)
+                ));
+            }
+            PipeEvent::StallBegin { cycle, kind } => open_stall = Some((kind, cycle)),
+            PipeEvent::StallEnd { cycle, kind } => {
+                if let Some((k, begin)) = open_stall.take() {
+                    if k == kind && cycle >= begin {
+                        items.push(format!(
+                            r#"{{"ph":"X","name":"{} stall","cat":"stall","pid":0,"tid":{LANE_STALLS},"ts":{begin},"dur":{}}}"#,
+                            kind.name(),
+                            cycle - begin
+                        ));
+                    }
+                }
+            }
+            PipeEvent::Decode { cycle, pc, .. } => {
+                items.push(format!(
+                    r#"{{"ph":"X","name":"decode {pc:#x}","cat":"pdu","pid":0,"tid":{LANE_PDU},"ts":{cycle},"dur":1}}"#
+                ));
+            }
+            PipeEvent::Halt { cycle } => {
+                items.push(format!(
+                    r#"{{"ph":"i","name":"halt","cat":"instr","pid":0,"tid":{LANE_EVENTS},"ts":{cycle},"s":"g"}}"#
+                ));
+            }
+            _ => {}
+        }
+    }
+    write!(w, r#"{{"displayTimeUnit":"ms","traceEvents":["#)?;
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(w, "{item}")?;
+    }
+    write!(w, "]}}")
+}
+
+fn stage_name(stage: u8) -> &'static str {
+    match stage {
+        0 => "fetch",
+        1 => "IR",
+        2 => "OR",
+        3 => "RR",
+        _ => "?",
+    }
+}
+
+// ---------------------------------------------------------------------
+// ASCII timeline
+// ---------------------------------------------------------------------
+
+/// Cycles at which a mispredicted branch resolved, oldest first —
+/// the interesting centers for [`render_timeline`] windows.
+pub fn mispredict_cycles(events: &[PipeEvent]) -> Vec<u64> {
+    events
+        .iter()
+        .filter_map(|ev| match *ev {
+            PipeEvent::BranchResolve {
+                cycle,
+                mispredicted: true,
+                ..
+            } => Some(cycle),
+            _ => None,
+        })
+        .collect()
+}
+
+struct TimelineRow {
+    pc: u32,
+    fetch: u64,
+    folded: bool,
+    /// `(cycle, stage)` of the squash, if the instance was killed.
+    squashed: Option<(u64, u8)>,
+}
+
+/// Render a Konata-style ASCII lane diagram of cycles
+/// `[from, to]`: one row per fetched instruction, columns per cycle,
+/// `I`/`O`/`R` for the stage occupied, `x` where a squash killed the
+/// slot, and a `v` header marking mispredict-resolution cycles.
+pub fn render_timeline(events: &[PipeEvent], from: u64, to: u64) -> String {
+    let (from, to) = (from.min(to), from.max(to));
+    let mut rows: Vec<TimelineRow> = Vec::new();
+    let mut mispredicts: Vec<u64> = Vec::new();
+    for ev in events {
+        match *ev {
+            PipeEvent::FetchHit { cycle, pc, folded } if cycle <= to && cycle + 2 >= from => {
+                rows.push(TimelineRow {
+                    pc,
+                    fetch: cycle,
+                    folded,
+                    squashed: None,
+                });
+            }
+            PipeEvent::Squash { cycle, pc, stage } => {
+                // The slot in stage s at cycle c was fetched at c - s.
+                let fetch = cycle.saturating_sub(u64::from(stage));
+                if let Some(row) = rows
+                    .iter_mut()
+                    .rev()
+                    .find(|r| r.pc == pc && r.fetch == fetch && r.squashed.is_none())
+                {
+                    row.squashed = Some((cycle, stage));
+                }
+            }
+            PipeEvent::BranchResolve {
+                cycle,
+                mispredicted: true,
+                ..
+            } if (from..=to).contains(&cycle) => {
+                mispredicts.push(cycle);
+            }
+            _ => {}
+        }
+    }
+
+    let width = (to - from + 1) as usize;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cycles {from}..{to}  (I=IR O=OR R=RR x=squashed v=mispredict)"
+    );
+    let mut header = String::from("            ");
+    for c in from..=to {
+        header.push(if mispredicts.contains(&c) { 'v' } else { ' ' });
+    }
+    out.push_str(header.trim_end());
+    out.push('\n');
+    for row in &rows {
+        let mut lane = vec![' '; width];
+        let mark = |lane: &mut Vec<char>, cycle: u64, ch: char| {
+            if (from..=to).contains(&cycle) {
+                lane[(cycle - from) as usize] = ch;
+            }
+        };
+        let end = match row.squashed {
+            Some((cycle, _)) => cycle,
+            None => row.fetch + 2,
+        };
+        for (offset, ch) in ['I', 'O', 'R'].into_iter().enumerate() {
+            let cycle = row.fetch + offset as u64;
+            if cycle < end || (row.squashed.is_none() && cycle == end) {
+                mark(&mut lane, cycle, ch);
+            }
+        }
+        if let Some((cycle, _)) = row.squashed {
+            mark(&mut lane, cycle, 'x');
+        }
+        let tag = if row.folded { "+f" } else { "  " };
+        let lane: String = lane.into_iter().collect();
+        let _ = writeln!(out, "{:#08x}{tag}  {}", row.pc, lane.trim_end());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<PipeEvent> {
+        vec![
+            PipeEvent::FetchMiss { cycle: 0, pc: 0 },
+            PipeEvent::StallBegin {
+                cycle: 0,
+                kind: StallKind::Miss,
+            },
+            PipeEvent::Decode {
+                cycle: 1,
+                pc: 0,
+                folded: true,
+            },
+            PipeEvent::Fold {
+                cycle: 1,
+                pc: 0,
+                branch_pc: 2,
+            },
+            PipeEvent::FoldFail {
+                cycle: 2,
+                pc: 4,
+                branch_pc: 8,
+                reason: FoldFailure::HostTooLong,
+            },
+            PipeEvent::CacheFill {
+                cycle: 3,
+                pc: 0,
+                evicted: None,
+            },
+            PipeEvent::CacheFill {
+                cycle: 4,
+                pc: 64,
+                evicted: Some(0),
+            },
+            PipeEvent::StallEnd {
+                cycle: 4,
+                kind: StallKind::Miss,
+            },
+            PipeEvent::FetchHit {
+                cycle: 4,
+                pc: 0,
+                folded: true,
+            },
+            PipeEvent::BranchResolve {
+                cycle: 5,
+                branch_pc: 2,
+                stage: 1,
+                mispredicted: true,
+            },
+            PipeEvent::Squash {
+                cycle: 6,
+                pc: 12,
+                stage: 2,
+            },
+            PipeEvent::Issue {
+                cycle: 7,
+                pc: 0,
+                folded: true,
+            },
+            PipeEvent::BranchRetire {
+                cycle: 7,
+                branch_pc: 2,
+                taken: true,
+                predicted: false,
+                folded: true,
+            },
+            PipeEvent::StallBegin {
+                cycle: 8,
+                kind: StallKind::Indirect,
+            },
+            PipeEvent::StallEnd {
+                cycle: 9,
+                kind: StallKind::Indirect,
+            },
+            PipeEvent::Halt { cycle: 10 },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse_jsonl("{\"ev\":\"halt\",\"cycle\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_jsonl(r#"{"ev":"warp","cycle":1}"#).unwrap_err();
+        assert!(err.message.contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut ring = EventRing::new(2);
+        for c in 0..5 {
+            ring.event(PipeEvent::Halt { cycle: c });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped, 3);
+        let kept: Vec<u64> = ring.events().map(|e| e.cycle()).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn tuple_observer_fans_out() {
+        let mut pair = (EventRing::new(8), EventRing::new(8));
+        pair.event(PipeEvent::Halt { cycle: 1 });
+        assert_eq!(pair.0.len(), 1);
+        assert_eq!(pair.1.len(), 1);
+        const { assert!(<(EventRing, EventRing)>::ENABLED) };
+        const { assert!(!NullObserver::ENABLED) };
+    }
+
+    #[test]
+    fn chrome_trace_is_json_shaped() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &sample_events()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains(r#""traceEvents":["#));
+        assert!(text.contains("MISPREDICT"));
+        assert!(text.contains("miss stall"));
+        // Balanced braces — cheap structural sanity without a parser.
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn timeline_draws_stages_and_squashes() {
+        let events = vec![
+            PipeEvent::FetchHit {
+                cycle: 4,
+                pc: 0,
+                folded: false,
+            },
+            PipeEvent::FetchHit {
+                cycle: 5,
+                pc: 2,
+                folded: true,
+            },
+            // The pc=2 slot is killed in OR at cycle 7.
+            PipeEvent::Squash {
+                cycle: 7,
+                pc: 2,
+                stage: 2,
+            },
+            PipeEvent::BranchResolve {
+                cycle: 7,
+                branch_pc: 0,
+                stage: 3,
+                mispredicted: true,
+            },
+        ];
+        let text = render_timeline(&events, 4, 8);
+        assert!(
+            text.contains("I O R".replace(' ', "").as_str()) || text.contains("IOR"),
+            "{text}"
+        );
+        assert!(text.contains('x'), "{text}");
+        assert!(text.contains('v'), "{text}");
+        assert!(text.contains("+f"), "{text}");
+        assert_eq!(mispredict_cycles(&events), vec![7]);
+    }
+}

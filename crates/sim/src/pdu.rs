@@ -1,7 +1,8 @@
 use std::collections::VecDeque;
 
-use crisp_isa::{decode_and_fold, encoding, Decoded, FoldPolicy, IsaError, NextPc};
+use crisp_isa::{decode_and_fold, encoding, fold_failure, Decoded, FoldPolicy, IsaError, NextPc};
 
+use crate::observe::{NullObserver, PipeEvent, PipeObserver};
 use crate::{DecodedCache, Memory};
 
 /// Parcels fetched from memory per access (the paper's Figure 2 shows
@@ -121,13 +122,33 @@ impl Pdu {
     /// Advance one clock cycle: drain the PIR pipeline into the cache,
     /// progress the memory access, and decode at most one instruction.
     pub fn tick(&mut self, cycle: u64, mem: &Memory, cache: &mut DecodedCache) {
+        self.tick_observed(cycle, mem, cache, &mut NullObserver);
+    }
+
+    /// [`Pdu::tick`] reporting decode, fold, fold-failure and
+    /// cache-fill events to `obs`. With [`NullObserver`] this is
+    /// exactly `tick`.
+    pub fn tick_observed<O: PipeObserver>(
+        &mut self,
+        cycle: u64,
+        mem: &Memory,
+        cache: &mut DecodedCache,
+        obs: &mut O,
+    ) {
         // 1. PIR pipeline → cache.
         while let Some(&(ready, _)) = self.inflight.front() {
             if ready > cycle {
                 break;
             }
             let (_, d) = self.inflight.pop_front().expect("checked non-empty");
-            cache.insert(d);
+            let evicted = cache.insert(d);
+            if O::ENABLED {
+                obs.event(PipeEvent::CacheFill {
+                    cycle,
+                    pc: d.pc,
+                    evicted,
+                });
+            }
         }
 
         if self.parked {
@@ -179,8 +200,7 @@ impl Pdu {
             FoldPolicy::All => 3,
             _ => 1,
         };
-        let determined =
-            window.len() >= host_len + branch_peek || queue_full || at_mem_end;
+        let determined = window.len() >= host_len + branch_peek || queue_full || at_mem_end;
         if !determined {
             return; // wait for the queue to fill so folding is decided
         }
@@ -190,6 +210,27 @@ impl Pdu {
                 self.decodes += 1;
                 self.folds += u64::from(d.folded);
                 self.since_demand += 1;
+                if O::ENABLED {
+                    obs.event(PipeEvent::Decode {
+                        cycle,
+                        pc: d.pc,
+                        folded: d.folded,
+                    });
+                    if d.folded {
+                        obs.event(PipeEvent::Fold {
+                            cycle,
+                            pc: d.pc,
+                            branch_pc: d.branch_pc.unwrap_or(d.pc),
+                        });
+                    } else if let Some(reason) = fold_failure(&window, 0, self.policy) {
+                        obs.event(PipeEvent::FoldFail {
+                            cycle,
+                            pc: d.pc,
+                            branch_pc: d.pc.wrapping_add(d.len_bytes),
+                            reason,
+                        });
+                    }
+                }
                 self.inflight.push_back((cycle + self.pipe_delay as u64, d));
                 self.advance_past(&d, cache);
             }
@@ -299,7 +340,11 @@ mod tests {
         // cmp folds the conditional branch; predicted taken → chain goes
         // back to `top`, which is already cached → parked.
         assert!(pdu.is_parked());
-        assert!(pdu.decodes < 10, "prefetcher must not spin: {} decodes", pdu.decodes);
+        assert!(
+            pdu.decodes < 10,
+            "prefetcher must not spin: {} decodes",
+            pdu.decodes
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crisp_isa::{Decoded, FoldClass, NextPc};
 
 use crate::config::HwPredictor;
+use crate::observe::{NullObserver, PipeEvent, PipeObserver, StallKind};
 use crate::{CycleStats, DecodedCache, Machine, Pdu, SimConfig, SimError};
 
 /// One EU pipeline stage latch.
@@ -130,8 +131,13 @@ pub struct CycleRun {
 }
 
 /// The cycle-level simulator (Figure 1's machine).
+///
+/// Generic over a [`PipeObserver`] that receives the typed event
+/// stream; the default [`NullObserver`] monomorphizes every emission
+/// site away, so `CycleSim::new` costs nothing over the
+/// uninstrumented model (the `sim_throughput` benchmark guards this).
 #[derive(Debug)]
-pub struct CycleSim {
+pub struct CycleSim<O: PipeObserver = NullObserver> {
     machine: Machine,
     cfg: SimConfig,
     cache: DecodedCache,
@@ -151,17 +157,32 @@ pub struct CycleSim {
     missing_pc: Option<u32>,
     /// Dynamic-prediction counter table, when configured.
     dyn_table: Option<DynTable>,
+    /// The EU stall in progress, for paired stall begin/end events.
+    stall: Option<StallKind>,
+    /// The event sink.
+    obs: O,
     /// Timing counters (public so callers can sample mid-run).
     pub stats: CycleStats,
 }
 
 impl CycleSim {
-    /// Build a simulator over a loaded machine.
+    /// Build an uninstrumented simulator over a loaded machine.
     ///
     /// # Panics
     ///
     /// Panics if `cfg` is invalid (see [`SimConfig::validate`]).
     pub fn new(machine: Machine, cfg: SimConfig) -> CycleSim {
+        CycleSim::with_observer(machine, cfg, NullObserver)
+    }
+}
+
+impl<O: PipeObserver> CycleSim<O> {
+    /// Build a simulator whose pipeline activity streams into `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`SimConfig::validate`]).
+    pub fn with_observer(machine: Machine, cfg: SimConfig, obs: O) -> CycleSim<O> {
         cfg.validate();
         let entry = machine.pc;
         let mut sim = CycleSim {
@@ -185,10 +206,44 @@ impl CycleSim {
                 HwPredictor::StaticBit => None,
                 HwPredictor::Dynamic { bits, entries } => Some(DynTable::new(bits, entries)),
             },
+            stall: None,
+            obs,
             stats: CycleStats::default(),
         };
         sim.pdu.demand(entry);
         sim
+    }
+
+    /// The observer (read-only view).
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The observer, mutably (e.g. to drain an event ring mid-run).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Run until `halt`, returning both the run result and the
+    /// observer with everything it collected.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CycleSim::run`].
+    pub fn run_observed(mut self) -> Result<(CycleRun, O), SimError> {
+        while self.stats.cycles < self.cfg.max_cycles {
+            if self.cycle_once()? {
+                let run = CycleRun {
+                    machine: self.machine,
+                    stats: self.stats,
+                    halted: true,
+                };
+                return Ok((run, self.obs));
+            }
+        }
+        Err(SimError::StepLimit {
+            limit: self.cfg.max_cycles,
+        })
     }
 
     /// Advance the machine by one clock cycle and return a snapshot of
@@ -199,9 +254,17 @@ impl CycleSim {
     ///
     /// Same conditions as [`CycleSim::run`].
     pub fn step(&mut self) -> Result<PipelineSnapshot, SimError> {
-        let halted = if self.machine.halted { true } else { self.cycle_once()? };
+        let halted = if self.machine.halted {
+            true
+        } else {
+            self.cycle_once()?
+        };
         let view = |slot: &Option<Slot>| {
-            slot.as_ref().map(|s| StageView { pc: s.d.pc, valid: s.valid, folded: s.d.folded })
+            slot.as_ref().map(|s| StageView {
+                pc: s.d.pc,
+                valid: s.valid,
+                folded: s.d.folded,
+            })
         };
         Ok(PipelineSnapshot {
             cycle: self.stats.cycles,
@@ -221,7 +284,11 @@ impl CycleSim {
     /// Consume the simulator after stepping to completion.
     pub fn into_run(self) -> CycleRun {
         let halted = self.machine.halted;
-        CycleRun { machine: self.machine, stats: self.stats, halted }
+        CycleRun {
+            machine: self.machine,
+            stats: self.stats,
+            halted,
+        }
     }
 
     /// Run until `halt`.
@@ -235,10 +302,16 @@ impl CycleSim {
     pub fn run(mut self) -> Result<CycleRun, SimError> {
         while self.stats.cycles < self.cfg.max_cycles {
             if self.cycle_once()? {
-                return Ok(CycleRun { machine: self.machine, stats: self.stats, halted: true });
+                return Ok(CycleRun {
+                    machine: self.machine,
+                    stats: self.stats,
+                    halted: true,
+                });
             }
         }
-        Err(SimError::StepLimit { limit: self.cfg.max_cycles })
+        Err(SimError::StepLimit {
+            limit: self.cfg.max_cycles,
+        })
     }
 
     fn cc_writer_in_flight(&self) -> bool {
@@ -255,13 +328,35 @@ impl CycleSim {
             .any(|s| s.valid && !s.resolved && matches!(s.d.fold, FoldClass::Cond { .. }))
     }
 
-    /// Kill a stage's slot, counting it if it held a valid entry.
-    fn kill(slot: &mut Option<Slot>, flushed: &mut u64) {
+    /// Kill a stage's slot, counting it (and reporting the squash) if
+    /// it held a valid entry. A free function over disjoint fields so
+    /// callers can hold `self.obs` alongside the stage latch.
+    fn kill(slot: &mut Option<Slot>, flushed: &mut u64, cycle: u64, stage: u8, obs: &mut O) {
         if let Some(s) = slot {
             if s.valid {
                 *flushed += 1;
+                if O::ENABLED {
+                    obs.event(PipeEvent::Squash {
+                        cycle,
+                        pc: s.d.pc,
+                        stage,
+                    });
+                }
             }
             s.valid = false;
+        }
+    }
+
+    /// Report a stall-state transition (begin, end, or kind change).
+    fn sync_stall(&mut self, cycle: u64, now: Option<StallKind>) {
+        if self.stall != now {
+            if let Some(kind) = self.stall {
+                self.obs.event(PipeEvent::StallEnd { cycle, kind });
+            }
+            if let Some(kind) = now {
+                self.obs.event(PipeEvent::StallBegin { cycle, kind });
+            }
+            self.stall = now;
         }
     }
 
@@ -284,10 +379,12 @@ impl CycleSim {
     /// Early-resolve the conditional branch in `or_` or `ir`, if its
     /// direction is now certain. Returns `true` if a mispredict flushed
     /// the pipeline behind it.
-    fn try_resolve(&mut self, at_or: bool, kill_fetch: &mut bool, stage_idx: usize) {
+    fn try_resolve(&mut self, cyc: u64, at_or: bool, kill_fetch: &mut bool, stage_idx: usize) {
         // Split-borrow gymnastics: take the slot out, put it back.
         let slot_ref = if at_or { &mut self.or_ } else { &mut self.ir };
-        let Some(mut slot) = slot_ref.take() else { return };
+        let Some(mut slot) = slot_ref.take() else {
+            return;
+        };
         let FoldClass::Cond { on_true, .. } = slot.d.fold else {
             *slot_ref = Some(slot);
             return;
@@ -311,17 +408,26 @@ impl CycleSim {
         slot.resolved = true;
         let seq = slot.seq;
         let other = slot.other;
+        let branch_pc = slot.d.branch_pc.unwrap_or(slot.d.pc);
         let mispredicted = taken != slot.followed;
         if at_or {
             self.or_ = Some(slot);
         } else {
             self.ir = Some(slot);
         }
+        if O::ENABLED {
+            self.obs.event(PipeEvent::BranchResolve {
+                cycle: cyc,
+                branch_pc,
+                stage: stage_idx as u8,
+                mispredicted,
+            });
+        }
         if mispredicted {
             self.stats.mispredicts_by_stage[stage_idx] += 1;
             let mut flushed = 0;
             if at_or {
-                Self::kill(&mut self.ir, &mut flushed);
+                Self::kill(&mut self.ir, &mut flushed, cyc, 1, &mut self.obs);
             }
             *kill_fetch = true;
             self.stats.flushed_slots += flushed;
@@ -338,7 +444,7 @@ impl CycleSim {
         // ---- 1. RR stage: commit and retire. ----
         if let Some(slot) = self.rr.take() {
             if slot.valid {
-                let step = self.machine.execute(&slot.d)?;
+                let step = self.machine.execute_observed(&slot.d, cyc, &mut self.obs)?;
                 self.stats.issued += 1;
                 self.stats.program_instrs += 1 + u64::from(slot.d.folded);
                 if let FoldClass::Cond { .. } = slot.d.fold {
@@ -347,17 +453,29 @@ impl CycleSim {
                     if let Some(table) = &mut self.dyn_table {
                         table.train(slot.d.branch_pc.unwrap_or(slot.d.pc), taken);
                     }
-                    if !slot.resolved && taken != slot.followed {
-                        // Resolved only now — the folded-compare case:
-                        // three slots die (OR, IR, and this cycle's fetch).
-                        self.stats.mispredicts_by_stage[3] += 1;
-                        let mut flushed = 0;
-                        Self::kill(&mut self.or_, &mut flushed);
-                        Self::kill(&mut self.ir, &mut flushed);
-                        self.stats.flushed_slots += flushed;
-                        kill_fetch = true;
-                        self.fetch_pc = Some(step.next_pc);
-                        self.waiting_on = None;
+                    if !slot.resolved {
+                        // Resolved only now — the folded-compare case.
+                        let mispredicted = taken != slot.followed;
+                        if O::ENABLED {
+                            self.obs.event(PipeEvent::BranchResolve {
+                                cycle: cyc,
+                                branch_pc: slot.d.branch_pc.unwrap_or(slot.d.pc),
+                                stage: 3,
+                                mispredicted,
+                            });
+                        }
+                        if mispredicted {
+                            // Three slots die (OR, IR, and this cycle's
+                            // fetch).
+                            self.stats.mispredicts_by_stage[3] += 1;
+                            let mut flushed = 0;
+                            Self::kill(&mut self.or_, &mut flushed, cyc, 2, &mut self.obs);
+                            Self::kill(&mut self.ir, &mut flushed, cyc, 1, &mut self.obs);
+                            self.stats.flushed_slots += flushed;
+                            kill_fetch = true;
+                            self.fetch_pc = Some(step.next_pc);
+                            self.waiting_on = None;
+                        }
                     }
                 }
                 if self.waiting_on == Some(slot.seq) {
@@ -366,14 +484,19 @@ impl CycleSim {
                     self.fetch_pc = Some(step.next_pc);
                 }
                 if step.halted {
+                    if O::ENABLED {
+                        // Close any open stall so begin/end pairs match
+                        // the stall-cycle counters exactly.
+                        self.sync_stall(cyc, None);
+                    }
                     return Ok(true);
                 }
             }
         }
 
         // ---- 2. Early resolution: OR first (older), then IR. ----
-        self.try_resolve(true, &mut kill_fetch, 2);
-        self.try_resolve(false, &mut kill_fetch, 1);
+        self.try_resolve(cyc, true, &mut kill_fetch, 2);
+        self.try_resolve(cyc, false, &mut kill_fetch, 1);
 
         // ---- 3. Clock the stages forward. ----
         self.rr = self.or_.take();
@@ -381,11 +504,19 @@ impl CycleSim {
 
         // ---- 4. Fetch into IR from the decoded cache. ----
         self.ir = None;
+        let mut stalled: Option<StallKind> = None;
         if kill_fetch {
             // The slot being clocked into IR this edge was cancelled.
         } else if let Some(pc) = self.fetch_pc {
             if let Some(&d) = self.cache.lookup(pc) {
                 self.stats.icache_hits += 1;
+                if O::ENABLED {
+                    self.obs.event(PipeEvent::FetchHit {
+                        cycle: cyc,
+                        pc,
+                        folded: d.folded,
+                    });
+                }
                 self.missing_pc = None;
                 let seq = self.next_seq;
                 self.next_seq += 1;
@@ -398,7 +529,11 @@ impl CycleSim {
                     seq,
                 };
                 let mut chosen = d.next_pc;
-                if let FoldClass::Cond { on_true, predict_taken } = d.fold {
+                if let FoldClass::Cond {
+                    on_true,
+                    predict_taken,
+                } = d.fold
+                {
                     let alt = d.alt_pc.expect("conditional entry carries an alternate");
                     // The hardware's guess: the static bit, or the
                     // dynamic counter table when configured.
@@ -413,6 +548,14 @@ impl CycleSim {
                         slot.resolved = true;
                         slot.followed = taken;
                         self.stats.resolved_at_fetch += 1;
+                        if O::ENABLED {
+                            self.obs.event(PipeEvent::BranchResolve {
+                                cycle: cyc,
+                                branch_pc: d.branch_pc.unwrap_or(d.pc),
+                                stage: 0,
+                                mispredicted: guess != taken,
+                            });
+                        }
                         if guess != taken {
                             // Wrong guess, but zero cycles lost: "the
                             // conditional branch has effectively been
@@ -421,7 +564,11 @@ impl CycleSim {
                         }
                         // Follow the actual direction. The Next-PC field
                         // holds the static-bit path; swap when needed.
-                        chosen = if taken == predict_taken { d.next_pc } else { alt };
+                        chosen = if taken == predict_taken {
+                            d.next_pc
+                        } else {
+                            alt
+                        };
                     } else {
                         slot.followed = guess;
                         let (c, o) = if guess == predict_taken {
@@ -445,25 +592,37 @@ impl CycleSim {
                 if self.missing_pc != Some(pc) {
                     self.missing_pc = Some(pc);
                     self.stats.icache_misses += 1;
+                    if O::ENABLED {
+                        self.obs.event(PipeEvent::FetchMiss { cycle: cyc, pc });
+                    }
                 }
                 self.stats.miss_stall_cycles += 1;
+                stalled = Some(StallKind::Miss);
                 // Check for a decode failure at this address *before*
                 // re-demanding (demand clears the failure latch). If no
                 // branch in flight can still redirect us, the failing
                 // address is the real path.
                 if let Some((fpc, e)) = self.pdu.failure() {
                     if *fpc == pc && !self.unresolved_branch_in_flight() {
-                        return Err(SimError::Decode { pc, source: e.clone() });
+                        return Err(SimError::Decode {
+                            pc,
+                            source: e.clone(),
+                        });
                     }
                 }
                 self.pdu.demand(pc);
             }
         } else {
             self.stats.indirect_stall_cycles += 1;
+            stalled = Some(StallKind::Indirect);
+        }
+        if O::ENABLED {
+            self.sync_stall(cyc, stalled);
         }
 
         // ---- 5. PDU cycle. ----
-        self.pdu.tick(cyc, &self.machine.mem, &mut self.cache);
+        self.pdu
+            .tick_observed(cyc, &self.machine.mem, &mut self.cache, &mut self.obs);
         self.stats.pdu_decodes = self.pdu.decodes;
         Ok(false)
     }
@@ -474,11 +633,12 @@ mod tests {
     use super::*;
     use crate::FunctionalSim;
     use crisp_asm::assemble_text;
-    
 
     fn run_cfg(src: &str, cfg: SimConfig) -> CycleRun {
         let img = assemble_text(src).unwrap();
-        CycleSim::new(Machine::load(&img).unwrap(), cfg).run().unwrap()
+        CycleSim::new(Machine::load(&img).unwrap(), cfg)
+            .run()
+            .unwrap()
     }
 
     fn run(src: &str) -> CycleRun {
@@ -513,7 +673,9 @@ mod tests {
             halt
         ";
         let img = assemble_text(src).unwrap();
-        let f = FunctionalSim::new(Machine::load(&img).unwrap()).run().unwrap();
+        let f = FunctionalSim::new(Machine::load(&img).unwrap())
+            .run()
+            .unwrap();
         let c = CycleSim::new(Machine::load(&img).unwrap(), SimConfig::default())
             .run()
             .unwrap();
@@ -793,8 +955,20 @@ mod tests {
             body.push_str(&format!("add {}(sp),$1\n", 4 * (i % 8)));
         }
         body.push_str("add 0(sp),$1\ncmp.s< 0(sp),$50\nifjmpy.t top\nhalt\n");
-        let big = run_cfg(&body, SimConfig { icache_entries: 64, ..SimConfig::default() });
-        let tiny = run_cfg(&body, SimConfig { icache_entries: 8, ..SimConfig::default() });
+        let big = run_cfg(
+            &body,
+            SimConfig {
+                icache_entries: 64,
+                ..SimConfig::default()
+            },
+        );
+        let tiny = run_cfg(
+            &body,
+            SimConfig {
+                icache_entries: 8,
+                ..SimConfig::default()
+            },
+        );
         assert!(
             tiny.stats.cycles > big.stats.cycles,
             "tiny {} vs big {}",
@@ -859,7 +1033,10 @@ mod tests {
         let img = assemble_text("top: jmp top").unwrap();
         let err = CycleSim::new(
             Machine::load(&img).unwrap(),
-            SimConfig { max_cycles: 500, ..SimConfig::default() },
+            SimConfig {
+                max_cycles: 500,
+                ..SimConfig::default()
+            },
         )
         .run()
         .unwrap_err();
@@ -883,7 +1060,10 @@ mod tests {
             halt
         ";
         let dyn_cfg = SimConfig {
-            predictor: HwPredictor::Dynamic { bits: 2, entries: 256 },
+            predictor: HwPredictor::Dynamic {
+                bits: 2,
+                entries: 256,
+            },
             ..SimConfig::default()
         };
         let dynamic = run_cfg(src, dyn_cfg);
@@ -900,7 +1080,11 @@ mod tests {
         // Architectural results identical.
         assert_eq!(
             dynamic.machine.mem.read_word(dynamic.machine.sp).unwrap(),
-            static_bad.machine.mem.read_word(static_bad.machine.sp).unwrap(),
+            static_bad
+                .machine
+                .mem
+                .read_word(static_bad.machine.sp)
+                .unwrap(),
         );
     }
 
@@ -926,15 +1110,26 @@ mod tests {
             halt
         ";
         let dyn_cfg = SimConfig {
-            predictor: HwPredictor::Dynamic { bits: 1, entries: 256 },
+            predictor: HwPredictor::Dynamic {
+                bits: 1,
+                entries: 256,
+            },
             ..SimConfig::default()
         };
         let dynamic = run_cfg(src, dyn_cfg);
         let static_bit = run_cfg(src, SimConfig::default());
         // Both runs compute the same result ...
         assert_eq!(
-            dynamic.machine.mem.read_word(dynamic.machine.sp + 4).unwrap(),
-            static_bit.machine.mem.read_word(static_bit.machine.sp + 4).unwrap(),
+            dynamic
+                .machine
+                .mem
+                .read_word(dynamic.machine.sp + 4)
+                .unwrap(),
+            static_bit
+                .machine
+                .mem
+                .read_word(static_bit.machine.sp + 4)
+                .unwrap(),
         );
         // ... and the alternating branch is spread (3 instructions), so
         // every wrong guess costs 0 — both predictors tie on cycles.
@@ -959,7 +1154,13 @@ mod tests {
             halt
         ";
         let fast = run_cfg(src, SimConfig::default());
-        let slow = run_cfg(src, SimConfig { mem_latency: 10, ..SimConfig::default() });
+        let slow = run_cfg(
+            src,
+            SimConfig {
+                mem_latency: 10,
+                ..SimConfig::default()
+            },
+        );
         assert!(slow.stats.cycles > fast.stats.cycles);
         // The loop runs from the decoded cache, so the gap is bounded by
         // the (small) number of misses, not proportional to iterations.

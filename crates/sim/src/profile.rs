@@ -1,0 +1,306 @@
+//! Per-branch-site aggregation of the pipeline event stream.
+//!
+//! [`BranchProfiler`] is a [`PipeObserver`] that folds the stream into
+//! a table keyed by branch PC: directions, static-prediction accuracy,
+//! where each branch resolved (which fixes its mispredict penalty),
+//! and fold outcomes with failure reasons. Its totals reconcile with
+//! [`crate::CycleStats`] by construction — the `prop_observer`
+//! property test pins that down.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crisp_isa::FoldFailure;
+
+use crate::observe::{PipeEvent, PipeObserver};
+
+/// Accumulated behaviour of one conditional-branch site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Retirements where the branch was taken.
+    pub taken: u64,
+    /// Retirements where it fell through.
+    pub not_taken: u64,
+    /// Retirements where the static prediction bit was right.
+    pub predicted_right: u64,
+    /// Retirements where the branch was folded with a host.
+    pub folded_retires: u64,
+    /// Resolutions by stage (0 = cache read, 1 = IR, 2 = OR, 3 = RR);
+    /// the index is the penalty paid when mispredicted.
+    pub resolved_at: [u64; 4],
+    /// Mispredicted resolutions by the same stage index.
+    pub mispredicts_by_stage: [u64; 4],
+}
+
+impl SiteStats {
+    /// Total retirements of this site.
+    pub fn executions(&self) -> u64 {
+        self.taken + self.not_taken
+    }
+
+    /// Total mispredicted resolutions.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts_by_stage.iter().sum()
+    }
+
+    /// Cycles lost to this site's mispredicts under the 3/2/1/0
+    /// penalty schedule (the stage index *is* the penalty).
+    pub fn penalty_cycles(&self) -> u64 {
+        self.mispredicts_by_stage
+            .iter()
+            .enumerate()
+            .map(|(stage, n)| stage as u64 * n)
+            .sum()
+    }
+}
+
+/// A [`PipeObserver`] that aggregates branch behaviour per site.
+#[derive(Debug, Clone, Default)]
+pub struct BranchProfiler {
+    sites: BTreeMap<u32, SiteStats>,
+    /// Fold failures by reason, over all PDU decodes (a site can
+    /// appear many times if re-decoded after eviction).
+    pub fold_failures: [u64; FoldFailure::ALL.len()],
+    /// Successful folds performed by the PDU.
+    pub folds: u64,
+    /// Total issues observed (folded hosts count once).
+    pub issues: u64,
+    /// Issues whose entry carried a folded branch.
+    pub folded_issues: u64,
+}
+
+impl BranchProfiler {
+    /// An empty profiler.
+    pub fn new() -> BranchProfiler {
+        BranchProfiler::default()
+    }
+
+    /// The per-site table, ordered by PC.
+    pub fn sites(&self) -> &BTreeMap<u32, SiteStats> {
+        &self.sites
+    }
+
+    /// Total conditional-branch retirements.
+    pub fn branch_retires(&self) -> u64 {
+        self.sites.values().map(SiteStats::executions).sum()
+    }
+
+    /// Total mispredicted resolutions across sites.
+    pub fn mispredicts(&self) -> u64 {
+        self.sites.values().map(SiteStats::mispredicts).sum()
+    }
+
+    /// Mispredicted resolutions summed by stage across sites.
+    pub fn mispredicts_by_stage(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for site in self.sites.values() {
+            for (total, n) in out.iter_mut().zip(site.mispredicts_by_stage) {
+                *total += n;
+            }
+        }
+        out
+    }
+
+    /// Resolutions at cache-read time summed across sites.
+    pub fn resolved_at_fetch(&self) -> u64 {
+        self.sites.values().map(|s| s.resolved_at[0]).sum()
+    }
+
+    /// Sites ordered by mispredict-penalty cycles, worst first; ties
+    /// broken by PC for a stable listing.
+    pub fn hottest(&self) -> Vec<(u32, SiteStats)> {
+        let mut rows: Vec<(u32, SiteStats)> = self.sites.iter().map(|(&pc, &s)| (pc, s)).collect();
+        rows.sort_by(|a, b| {
+            b.1.penalty_cycles()
+                .cmp(&a.1.penalty_cycles())
+                .then(b.1.mispredicts().cmp(&a.1.mispredicts()))
+                .then(a.0.cmp(&b.0))
+        });
+        rows
+    }
+}
+
+impl PipeObserver for BranchProfiler {
+    fn event(&mut self, ev: PipeEvent) {
+        match ev {
+            PipeEvent::Issue { folded, .. } => {
+                self.issues += 1;
+                if folded {
+                    self.folded_issues += 1;
+                }
+            }
+            PipeEvent::BranchRetire {
+                branch_pc,
+                taken,
+                predicted,
+                folded,
+                ..
+            } => {
+                let site = self.sites.entry(branch_pc).or_default();
+                if taken {
+                    site.taken += 1;
+                } else {
+                    site.not_taken += 1;
+                }
+                if taken == predicted {
+                    site.predicted_right += 1;
+                }
+                if folded {
+                    site.folded_retires += 1;
+                }
+            }
+            PipeEvent::BranchResolve {
+                branch_pc,
+                stage,
+                mispredicted,
+                ..
+            } => {
+                let site = self.sites.entry(branch_pc).or_default();
+                let stage = (stage as usize).min(3);
+                site.resolved_at[stage] += 1;
+                if mispredicted {
+                    site.mispredicts_by_stage[stage] += 1;
+                }
+            }
+            PipeEvent::Fold { .. } => self.folds += 1,
+            PipeEvent::FoldFail { reason, .. } => {
+                self.fold_failures[reason as usize] += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The human-readable profile report: totals, fold outcomes, and the
+/// hottest mispredicting sites.
+impl fmt::Display for BranchProfiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "branch-site profile")?;
+        writeln!(f, "  issues               : {}", self.issues)?;
+        writeln!(f, "  folded issues        : {}", self.folded_issues)?;
+        writeln!(f, "  branch retirements   : {}", self.branch_retires())?;
+        writeln!(f, "  mispredicts          : {}", self.mispredicts())?;
+        writeln!(f, "  pdu folds            : {}", self.folds)?;
+        let failed: u64 = self.fold_failures.iter().sum();
+        writeln!(f, "  pdu fold failures    : {failed}")?;
+        for (reason, &n) in FoldFailure::ALL.iter().zip(&self.fold_failures) {
+            if n > 0 {
+                writeln!(f, "    {:<18} : {n}", reason.name())?;
+            }
+        }
+        if self.sites.is_empty() {
+            return writeln!(f, "  (no conditional branches retired)");
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "  {:<10} {:>7} {:>7} {:>8} {:>7} {:>8} {:>9}  resolved IR/OR/RR",
+            "branch pc", "taken", "fall", "pred-ok%", "mispred", "penalty", "folded%"
+        )?;
+        for (pc, s) in self.hottest() {
+            let execs = s.executions().max(1);
+            writeln!(
+                f,
+                "  {:<#10x} {:>7} {:>7} {:>7.1}% {:>7} {:>8} {:>8.1}%  {}/{}/{}",
+                pc,
+                s.taken,
+                s.not_taken,
+                100.0 * s.predicted_right as f64 / execs as f64,
+                s.mispredicts(),
+                s.penalty_cycles(),
+                100.0 * s.folded_retires as f64 / execs as f64,
+                s.resolved_at[1],
+                s.resolved_at[2],
+                s.resolved_at[3],
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_aggregates_per_site() {
+        let mut p = BranchProfiler::new();
+        for (taken, predicted) in [(true, true), (true, false), (false, false)] {
+            p.event(PipeEvent::BranchRetire {
+                cycle: 0,
+                branch_pc: 0x10,
+                taken,
+                predicted,
+                folded: taken,
+            });
+        }
+        p.event(PipeEvent::BranchResolve {
+            cycle: 0,
+            branch_pc: 0x10,
+            stage: 3,
+            mispredicted: true,
+        });
+        p.event(PipeEvent::BranchResolve {
+            cycle: 1,
+            branch_pc: 0x10,
+            stage: 0,
+            mispredicted: false,
+        });
+        p.event(PipeEvent::Issue {
+            cycle: 2,
+            pc: 0x10,
+            folded: true,
+        });
+        p.event(PipeEvent::Fold {
+            cycle: 2,
+            pc: 0x10,
+            branch_pc: 0x12,
+        });
+        p.event(PipeEvent::FoldFail {
+            cycle: 3,
+            pc: 0x20,
+            branch_pc: 0x22,
+            reason: FoldFailure::BranchTooLong,
+        });
+
+        let site = p.sites()[&0x10];
+        assert_eq!(site.taken, 2);
+        assert_eq!(site.not_taken, 1);
+        assert_eq!(site.predicted_right, 2);
+        assert_eq!(site.folded_retires, 2);
+        assert_eq!(site.mispredicts(), 1);
+        assert_eq!(site.penalty_cycles(), 3);
+        assert_eq!(p.resolved_at_fetch(), 1);
+        assert_eq!(p.mispredicts_by_stage(), [0, 0, 0, 1]);
+        assert_eq!(p.folds, 1);
+        assert_eq!(p.fold_failures[FoldFailure::BranchTooLong as usize], 1);
+
+        let text = p.to_string();
+        assert!(text.contains("0x10"), "{text}");
+        assert!(text.contains("branch-too-long"), "{text}");
+    }
+
+    #[test]
+    fn hottest_orders_by_penalty() {
+        let mut p = BranchProfiler::new();
+        // Site 0x10: one RR mispredict (penalty 3). Site 0x20: two IR
+        // mispredicts (penalty 2 total).
+        p.event(PipeEvent::BranchResolve {
+            cycle: 0,
+            branch_pc: 0x10,
+            stage: 3,
+            mispredicted: true,
+        });
+        for _ in 0..2 {
+            p.event(PipeEvent::BranchResolve {
+                cycle: 1,
+                branch_pc: 0x20,
+                stage: 1,
+                mispredicted: true,
+            });
+        }
+        let hottest = p.hottest();
+        assert_eq!(hottest[0].0, 0x10);
+        assert_eq!(hottest[1].0, 0x20);
+    }
+}

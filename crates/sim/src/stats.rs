@@ -146,7 +146,7 @@ pub struct CycleStats {
     /// Conditional branches resolved with certainty at cache-read time
     /// (the Branch Spreading payoff: no compare in the pipeline).
     pub resolved_at_fetch: u64,
-    /// Decoded-cache hits and misses (EU side).
+    /// Decoded-cache hits (EU side).
     pub icache_hits: u64,
     /// Decoded-cache misses (EU side).
     pub icache_misses: u64,
@@ -174,6 +174,95 @@ impl CycleStats {
     pub fn apparent_cpi(&self) -> f64 {
         self.cycles as f64 / self.program_instrs.max(1) as f64
     }
+
+    /// One flat JSON object with every counter and derived ratio —
+    /// the machine-readable form behind `crisp-run --stats-json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"cycles":{},"issued":{},"program_instrs":{},"cond_branches":{},"#,
+                r#""mispredicts":{},"mispredicts_by_stage":[{},{},{},{}],"flushed_slots":{},"#,
+                r#""resolved_at_fetch":{},"icache_hits":{},"icache_misses":{},"#,
+                r#""miss_stall_cycles":{},"indirect_stall_cycles":{},"pdu_decodes":{},"#,
+                r#""cycles_per_issued":{:.6},"apparent_cpi":{:.6}}}"#
+            ),
+            self.cycles,
+            self.issued,
+            self.program_instrs,
+            self.cond_branches,
+            self.mispredicts(),
+            self.mispredicts_by_stage[0],
+            self.mispredicts_by_stage[1],
+            self.mispredicts_by_stage[2],
+            self.mispredicts_by_stage[3],
+            self.flushed_slots,
+            self.resolved_at_fetch,
+            self.icache_hits,
+            self.icache_misses,
+            self.miss_stall_cycles,
+            self.indirect_stall_cycles,
+            self.pdu_decodes,
+            self.cycles_per_issued(),
+            self.apparent_cpi(),
+        )
+    }
+}
+
+/// The human-readable report `crisp-run --cycles` prints.
+impl fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles               : {}", self.cycles)?;
+        writeln!(f, "instructions issued  : {}", self.issued)?;
+        writeln!(f, "program instructions : {}", self.program_instrs)?;
+        writeln!(f, "issued CPI           : {:.3}", self.cycles_per_issued())?;
+        writeln!(f, "apparent CPI         : {:.3}", self.apparent_cpi())?;
+        writeln!(f, "conditional branches : {}", self.cond_branches)?;
+        writeln!(
+            f,
+            "mispredicts          : {} (by resolve stage {:?})",
+            self.mispredicts(),
+            self.mispredicts_by_stage
+        )?;
+        writeln!(f, "resolved at fetch    : {}", self.resolved_at_fetch)?;
+        writeln!(
+            f,
+            "decoded cache        : {} hits / {} misses",
+            self.icache_hits, self.icache_misses
+        )?;
+        writeln!(
+            f,
+            "stall cycles         : {} miss / {} indirect",
+            self.miss_stall_cycles, self.indirect_stall_cycles
+        )?;
+        writeln!(f, "pdu decodes          : {}", self.pdu_decodes)
+    }
+}
+
+impl RunStats {
+    /// One flat JSON object with every counter, including the opcode
+    /// histogram as a nested object.
+    pub fn to_json(&self) -> String {
+        let opcodes = self
+            .opcodes
+            .sorted_desc()
+            .into_iter()
+            .map(|(name, count)| format!(r#""{name}":{count}"#))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                r#"{{"program_instrs":{},"entries":{},"folded":{},"cond_branches":{},"#,
+                r#""static_mispredicts":{},"transfers":{},"opcodes":{{{}}}}}"#
+            ),
+            self.program_instrs,
+            self.entries,
+            self.folded,
+            self.cond_branches,
+            self.static_mispredicts,
+            self.transfers,
+            opcodes,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +277,12 @@ mod tests {
             src: Operand::Imm(1),
         })
         .unwrap();
-        p.extend(encoding::encode(&Instr::Jmp { target: BranchTarget::PcRel(-2) }).unwrap());
+        p.extend(
+            encoding::encode(&Instr::Jmp {
+                target: BranchTarget::PcRel(-2),
+            })
+            .unwrap(),
+        );
         decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap()
     }
 
@@ -203,7 +297,10 @@ mod tests {
 
     #[test]
     fn unfolded_branch_classified() {
-        let p = encoding::encode(&Instr::Jmp { target: BranchTarget::PcRel(-2) }).unwrap();
+        let p = encoding::encode(&Instr::Jmp {
+            target: BranchTarget::PcRel(-2),
+        })
+        .unwrap();
         let d = decode_and_fold(&p, 0, 0, FoldPolicy::Host13).unwrap();
         let mut c = OpcodeCounts::new();
         c.record(&d);
@@ -261,6 +358,50 @@ mod tests {
         assert!((s.cycles_per_issued() - 1.25).abs() < 1e-9);
         assert!((s.apparent_cpi() - 100.0 / 120.0).abs() < 1e-9);
         assert_eq!(CycleStats::default().cycles_per_issued(), 0.0);
+    }
+
+    #[test]
+    fn cycle_stats_display_and_json() {
+        let s = CycleStats {
+            cycles: 100,
+            issued: 80,
+            program_instrs: 120,
+            cond_branches: 10,
+            mispredicts_by_stage: [1, 0, 2, 3],
+            icache_hits: 90,
+            icache_misses: 5,
+            miss_stall_cycles: 7,
+            indirect_stall_cycles: 2,
+            ..CycleStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("cycles               : 100"), "{text}");
+        assert!(text.contains("mispredicts          : 6"), "{text}");
+        assert!(text.contains("90 hits / 5 misses"), "{text}");
+        assert!(text.contains("7 miss / 2 indirect"), "{text}");
+        let json = s.to_json();
+        assert!(json.contains(r#""cycles":100"#), "{json}");
+        assert!(
+            json.contains(r#""mispredicts_by_stage":[1,0,2,3]"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""apparent_cpi":0.833333"#), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn run_stats_json_includes_opcodes() {
+        let mut s = RunStats {
+            program_instrs: 3,
+            entries: 2,
+            ..RunStats::default()
+        };
+        s.opcodes.bump("add");
+        s.opcodes.bump("add");
+        s.opcodes.bump("cmp");
+        let json = s.to_json();
+        assert!(json.contains(r#""program_instrs":3"#), "{json}");
+        assert!(json.contains(r#""opcodes":{"add":2,"cmp":1}"#), "{json}");
     }
 
     #[test]

@@ -56,7 +56,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BranchEvent { pc: 0x10, target: 0x40, taken: true, kind: BranchKind::Cond };
+        let e = BranchEvent {
+            pc: 0x10,
+            target: 0x40,
+            taken: true,
+            kind: BranchKind::Cond,
+        };
         let s = e.to_string();
         assert!(s.contains("0x000010"));
         assert!(s.contains("taken"));

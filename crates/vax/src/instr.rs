@@ -181,13 +181,19 @@ mod tests {
     fn mnemonics_match_table2_names() {
         assert_eq!(VaxInstr::Incl(Operand::Reg(0)).mnemonic(), "incl");
         assert_eq!(VaxInstr::Jbr(0).mnemonic(), "jbr");
-        assert_eq!(VaxInstr::Bitl(Operand::Reg(0), Operand::Imm(1)).mnemonic(), "bitl");
+        assert_eq!(
+            VaxInstr::Bitl(Operand::Reg(0), Operand::Imm(1)).mnemonic(),
+            "bitl"
+        );
         assert_eq!(VaxInstr::Jgeq(0).mnemonic(), "jgeq");
     }
 
     #[test]
     fn display_forms() {
-        assert_eq!(VaxInstr::Movl(Operand::Loc(3), Operand::Imm(5)).to_string(), "movl L3,$5");
+        assert_eq!(
+            VaxInstr::Movl(Operand::Loc(3), Operand::Imm(5)).to_string(),
+            "movl L3,$5"
+        );
         assert_eq!(VaxInstr::Jeql(7).to_string(), "jeql @7");
         assert_eq!(
             VaxInstr::Addl3(Operand::Reg(1), Operand::Loc(0), Operand::Imm(2)).to_string(),

@@ -83,7 +83,9 @@ impl Program {
             let &target = self
                 .labels
                 .get(label)
-                .ok_or_else(|| VaxError::UndefinedLabel { label: label.clone() })?;
+                .ok_or_else(|| VaxError::UndefinedLabel {
+                    label: label.clone(),
+                })?;
             *self.instrs[*at]
                 .target_mut()
                 .expect("push_branch only accepts branch instructions") = target;
@@ -105,8 +107,11 @@ impl Program {
     /// Render the program as an assembly listing.
     pub fn listing(&self) -> String {
         use std::fmt::Write as _;
-        let by_index: BTreeMap<usize, &str> =
-            self.labels.iter().map(|(name, &i)| (i, name.as_str())).collect();
+        let by_index: BTreeMap<usize, &str> = self
+            .labels
+            .iter()
+            .map(|(name, &i)| (i, name.as_str()))
+            .collect();
         let mut out = String::new();
         for (i, instr) in self.instrs.iter().enumerate() {
             if let Some(name) = by_index.get(&i) {

@@ -195,7 +195,11 @@ impl Vm {
                 VaxInstr::Divl2(d, s) => {
                     let b = self.read(s)?;
                     let a = self.read(d)?;
-                    let v = if b == 0 || (a == i32::MIN && b == -1) { 0 } else { a / b };
+                    let v = if b == 0 || (a == i32::MIN && b == -1) {
+                        0
+                    } else {
+                        a / b
+                    };
                     self.write(d, v)?;
                 }
                 VaxInstr::Mcoml(d, s) => {
@@ -346,9 +350,11 @@ mod tests {
 
     #[test]
     fn condition_code_semantics() {
-        for (a, b, jlss, jeql, jgtr) in
-            [(1, 2, true, false, false), (2, 2, false, true, false), (3, 2, false, false, true)]
-        {
+        for (a, b, jlss, jeql, jgtr) in [
+            (1, 2, true, false, false),
+            (2, 2, false, true, false),
+            (3, 2, false, false, true),
+        ] {
             let mut p = Program::new();
             let out = p.alloc_slot("out");
             p.push(VaxInstr::Cmpl(Operand::Imm(a), Operand::Imm(b)));

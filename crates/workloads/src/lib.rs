@@ -129,10 +129,15 @@ mod tests {
         // jump 513, enter 1, return 1. Our entry stub adds call+halt.
         let image = compile_crisp(
             FIGURE3_SOURCE,
-            &CompileOptions { spread: false, ..CompileOptions::default() },
+            &CompileOptions {
+                spread: false,
+                ..CompileOptions::default()
+            },
         )
         .unwrap();
-        let r = FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap();
+        let r = FunctionalSim::new(Machine::load(&image).unwrap())
+            .run()
+            .unwrap();
         let ops = &r.stats.opcodes;
         assert_eq!(ops.get("add"), 3072);
         assert_eq!(ops.get("if-jump"), 2048);
@@ -149,9 +154,9 @@ mod tests {
         assert_eq!(ops.get("call"), 1); // entry stub
         assert_eq!(ops.get("halt"), 1); // entry stub
         assert_eq!(ops.get("leave"), 1); // paper folds this into `return`
-        // Paper total: 9734. Ours: 9737 = 9734 - 1 (no entry jump;
-        // inverted loop) + 1 (`i = 0` move) + 1 (explicit leave)
-        // + 2 (entry-stub call + halt).
+                                         // Paper total: 9734. Ours: 9737 = 9734 - 1 (no entry jump;
+                                         // inverted loop) + 1 (`i = 0` move) + 1 (explicit leave)
+                                         // + 2 (entry-stub call + halt).
         assert_eq!(r.stats.program_instrs, 9737);
     }
 
@@ -159,7 +164,9 @@ mod tests {
     fn figure3_count_parameter() {
         let src = figure3_with_count(64);
         let image = compile_crisp(&src, &CompileOptions::default()).unwrap();
-        let r = FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap();
+        let r = FunctionalSim::new(Machine::load(&image).unwrap())
+            .run()
+            .unwrap();
         assert!(r.halted);
         assert!(r.stats.program_instrs < 1000);
     }
@@ -169,7 +176,11 @@ mod tests {
         for w in prediction_workloads() {
             let r = run(w.source);
             assert!(r.halted, "{} did not halt", w.name);
-            let conds = r.trace.iter().filter(|e| e.kind == BranchKind::Cond).count();
+            let conds = r
+                .trace
+                .iter()
+                .filter(|e| e.kind == BranchKind::Cond)
+                .count();
             assert!(conds > 200, "{}: only {conds} conditional branches", w.name);
         }
     }
@@ -222,14 +233,24 @@ mod tests {
             let plain = {
                 let image = compile_crisp(
                     w.source,
-                    &CompileOptions { spread: false, ..Default::default() },
+                    &CompileOptions {
+                        spread: false,
+                        ..Default::default()
+                    },
                 )
                 .unwrap();
-                FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap()
+                FunctionalSim::new(Machine::load(&image).unwrap())
+                    .run()
+                    .unwrap()
             };
             let spread = run(w.source);
             for g in 0..4 {
-                assert_eq!(global(&plain, g), global(&spread, g), "{} global {g}", w.name);
+                assert_eq!(
+                    global(&plain, g),
+                    global(&spread, g),
+                    "{} global {g}",
+                    w.name
+                );
             }
         }
     }

@@ -24,13 +24,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let mut base = None;
     for (case, folding, predict, spreading) in cases {
-        let mode = if predict { PredictionMode::Taken } else { PredictionMode::Ftbnt };
+        let mode = if predict {
+            PredictionMode::Taken
+        } else {
+            PredictionMode::Ftbnt
+        };
         let image = compile_crisp(
             FIGURE3_SOURCE,
-            &CompileOptions { spread: spreading, prediction: mode },
+            &CompileOptions {
+                spread: spreading,
+                prediction: mode,
+            },
         )?;
         let cfg = SimConfig {
-            fold_policy: if folding { FoldPolicy::Host13 } else { FoldPolicy::None },
+            fold_policy: if folding {
+                FoldPolicy::Host13
+            } else {
+                FoldPolicy::None
+            },
             ..SimConfig::default()
         };
         let run = CycleSim::new(Machine::load(&image)?, cfg).run()?;

@@ -27,10 +27,16 @@ void main() {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== mini-C source ==\n{SOURCE}");
 
-    for (title, spread) in [("without Branch Spreading", false), ("with Branch Spreading", true)] {
+    for (title, spread) in [
+        ("without Branch Spreading", false),
+        ("with Branch Spreading", true),
+    ] {
         let module = compile_crisp_module(
             SOURCE,
-            &CompileOptions { spread, prediction: PredictionMode::Btfnt },
+            &CompileOptions {
+                spread,
+                prediction: PredictionMode::Btfnt,
+            },
         )?;
         let image = assemble(&module)?;
         println!("== CRISP code {title} ({} parcels) ==", image.parcels.len());

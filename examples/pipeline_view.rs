@@ -29,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut names: BTreeMap<u32, String> = BTreeMap::new();
     let mut at = 0usize;
     while at < image.parcels.len() {
-        let (instr, len) = encoding::decode(&image.parcels, at)
-            .map_err(|e| format!("disassembly failed: {e}"))?;
+        let (instr, len) =
+            encoding::decode(&image.parcels, at).map_err(|e| format!("disassembly failed: {e}"))?;
         names.insert(at as u32 * 2, instr.to_string());
         at += len;
     }
@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match v {
             None => "·".into(),
             Some(v) => {
-                let name = names.get(&v.pc).cloned().unwrap_or_else(|| format!("{:#x}", v.pc));
+                let name = names
+                    .get(&v.pc)
+                    .cloned()
+                    .unwrap_or_else(|| format!("{:#x}", v.pc));
                 let mut s = name;
                 if v.folded {
                     s.push_str(" [+branch]");

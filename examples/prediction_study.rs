@@ -9,9 +9,7 @@
 use std::collections::HashMap;
 
 use crisp::cc::{apply_profile, compile_crisp, CompileOptions};
-use crisp::predict::{
-    evaluate_dynamic, evaluate_static_optimal, Btb, BtbConfig, JumpTrace,
-};
+use crisp::predict::{evaluate_dynamic, evaluate_static_optimal, Btb, BtbConfig, JumpTrace};
 use crisp::sim::{FunctionalSim, Machine};
 use crisp::workloads::DHRY_SOURCE;
 
@@ -20,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut image = compile_crisp(DHRY_SOURCE, &opts)?;
 
     // 1. Profile run: collect the branch trace.
-    let run = FunctionalSim::new(Machine::load(&image)?).record_trace(true).run()?;
+    let run = FunctionalSim::new(Machine::load(&image)?)
+        .record_trace(true)
+        .run()?;
     println!(
         "dhry workload: {} instructions, {} conditional branches",
         run.stats.program_instrs, run.stats.cond_branches
@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let btb = Btb::new(BtbConfig::default()).evaluate(&run.trace);
     let jt = JumpTrace::new(JumpTrace::MU5_ENTRIES).evaluate(&run.trace);
-    println!("  BTB 128x4          : {:.3} (all transfers)", btb.effectiveness());
+    println!(
+        "  BTB 128x4          : {:.3} (all transfers)",
+        btb.effectiveness()
+    );
     println!("  MU5 jump trace (8) : {:.3} (all transfers)", jt.ratio());
 
     // 3. Patch the optimal bits into the image and re-measure.

@@ -10,7 +10,9 @@ use crisp::sim::{CycleSim, FunctionalSim, Machine, SimConfig};
 use crisp::workloads::{figure3_with_count, prediction_workloads, FIGURE3_CHECKED_SOURCE};
 
 fn globals(mem: &crisp::sim::Memory, n: u32) -> Vec<i32> {
-    (0..n).map(|i| mem.read_word(Image::DEFAULT_DATA_BASE + 4 * i).unwrap()).collect()
+    (0..n)
+        .map(|i| mem.read_word(Image::DEFAULT_DATA_BASE + 4 * i).unwrap())
+        .collect()
 }
 
 #[test]
@@ -18,10 +20,15 @@ fn functional_and_cycle_agree_on_every_workload() {
     for w in prediction_workloads() {
         for opts in [
             CompileOptions::default(),
-            CompileOptions { spread: false, prediction: PredictionMode::NotTaken },
+            CompileOptions {
+                spread: false,
+                prediction: PredictionMode::NotTaken,
+            },
         ] {
             let image = compile_crisp(w.source, &opts).unwrap();
-            let f = FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap();
+            let f = FunctionalSim::new(Machine::load(&image).unwrap())
+                .run()
+                .unwrap();
             let c = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
                 .run()
                 .unwrap();
@@ -48,22 +55,48 @@ fn cycle_results_invariant_under_machine_configuration() {
         .run()
         .unwrap();
     let configs = [
-        SimConfig { fold_policy: FoldPolicy::None, ..SimConfig::default() },
-        SimConfig { fold_policy: FoldPolicy::Host1, ..SimConfig::default() },
-        SimConfig { fold_policy: FoldPolicy::All, ..SimConfig::default() },
-        SimConfig { icache_entries: 4, ..SimConfig::default() },
-        SimConfig { icache_entries: 1024, ..SimConfig::default() },
-        SimConfig { mem_latency: 9, ..SimConfig::default() },
-        SimConfig { pdu_pipe_delay: 7, ..SimConfig::default() },
+        SimConfig {
+            fold_policy: FoldPolicy::None,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            fold_policy: FoldPolicy::Host1,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            fold_policy: FoldPolicy::All,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            icache_entries: 4,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            icache_entries: 1024,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            mem_latency: 9,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            pdu_pipe_delay: 7,
+            ..SimConfig::default()
+        },
     ];
     for cfg in configs {
-        let run = CycleSim::new(Machine::load(&image).unwrap(), cfg).run().unwrap();
+        let run = CycleSim::new(Machine::load(&image).unwrap(), cfg)
+            .run()
+            .unwrap();
         assert_eq!(
             globals(&run.machine.mem, 3),
             globals(&reference.machine.mem, 3),
             "{cfg:?}"
         );
-        assert_eq!(run.stats.program_instrs, reference.stats.program_instrs, "{cfg:?}");
+        assert_eq!(
+            run.stats.program_instrs, reference.stats.program_instrs,
+            "{cfg:?}"
+        );
     }
 }
 
@@ -77,8 +110,14 @@ fn prediction_bits_only_change_timing() {
         PredictionMode::Btfnt,
         PredictionMode::Ftbnt,
     ] {
-        let image = compile_crisp(&src, &CompileOptions { spread: false, prediction: mode })
-            .unwrap();
+        let image = compile_crisp(
+            &src,
+            &CompileOptions {
+                spread: false,
+                prediction: mode,
+            },
+        )
+        .unwrap();
         let run = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
             .run()
             .unwrap();
@@ -87,10 +126,21 @@ fn prediction_bits_only_change_timing() {
     // Issue counts identical across modes; cycles differ.
     assert!(cycles.windows(2).all(|w| w[0].2 == w[1].2), "{cycles:?}");
     let c: Vec<u64> = cycles.iter().map(|x| x.1).collect();
-    assert!(c.iter().any(|&x| x != c[0]), "prediction must matter: {cycles:?}");
+    assert!(
+        c.iter().any(|&x| x != c[0]),
+        "prediction must matter: {cycles:?}"
+    );
     // Btfnt (loop predicted taken) beats NotTaken on a loopy program.
-    let btfnt = cycles.iter().find(|x| x.0 == PredictionMode::Btfnt).unwrap().1;
-    let nottaken = cycles.iter().find(|x| x.0 == PredictionMode::NotTaken).unwrap().1;
+    let btfnt = cycles
+        .iter()
+        .find(|x| x.0 == PredictionMode::Btfnt)
+        .unwrap()
+        .1;
+    let nottaken = cycles
+        .iter()
+        .find(|x| x.0 == PredictionMode::NotTaken)
+        .unwrap()
+        .1;
     assert!(btfnt < nottaken, "{cycles:?}");
 }
 
@@ -105,12 +155,20 @@ fn deep_recursion_works_under_both_engines() {
         void main() { out = sum_to(200); }
     ";
     let image = compile_crisp(src, &CompileOptions::default()).unwrap();
-    let f = FunctionalSim::new(Machine::load(&image).unwrap()).run().unwrap();
+    let f = FunctionalSim::new(Machine::load(&image).unwrap())
+        .run()
+        .unwrap();
     let c = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
         .run()
         .unwrap();
-    assert_eq!(f.machine.mem.read_word(Image::DEFAULT_DATA_BASE).unwrap(), 20100);
-    assert_eq!(c.machine.mem.read_word(Image::DEFAULT_DATA_BASE).unwrap(), 20100);
+    assert_eq!(
+        f.machine.mem.read_word(Image::DEFAULT_DATA_BASE).unwrap(),
+        20100
+    );
+    assert_eq!(
+        c.machine.mem.read_word(Image::DEFAULT_DATA_BASE).unwrap(),
+        20100
+    );
 }
 
 #[test]
@@ -118,8 +176,7 @@ fn figure3_loop_count_scaling_is_linear() {
     // The paper: "The results are relatively independent of the actual
     // loop count" — per-iteration cycles stay constant.
     let per_iter = |n: u32| {
-        let image =
-            compile_crisp(&figure3_with_count(n), &CompileOptions::default()).unwrap();
+        let image = compile_crisp(&figure3_with_count(n), &CompileOptions::default()).unwrap();
         let run = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
             .run()
             .unwrap();

@@ -63,10 +63,22 @@ fn table4_full_scale_shape() {
     assert!(c.cycles > d.cycles);
 
     // Apparent CPI matches the paper to two decimals for C and D.
-    assert!((c.apparent_cpi - 0.90).abs() < 0.015, "C CPI {}", c.apparent_cpi);
-    assert!((d.apparent_cpi - 0.74).abs() < 0.015, "D CPI {}", d.apparent_cpi);
+    assert!(
+        (c.apparent_cpi - 0.90).abs() < 0.015,
+        "C CPI {}",
+        c.apparent_cpi
+    );
+    assert!(
+        (d.apparent_cpi - 0.74).abs() < 0.015,
+        "D CPI {}",
+        d.apparent_cpi
+    );
     // Case D issues one instruction per cycle in steady state.
-    assert!((d.issued_cpi - 1.0).abs() < 0.01, "D issued CPI {}", d.issued_cpi);
+    assert!(
+        (d.issued_cpi - 1.0).abs() < 0.01,
+        "D issued CPI {}",
+        d.issued_cpi
+    );
     // Case E (the delayed-branch analogue) also sustains one issue per
     // cycle but executes more instructions — the paper's point.
     assert!((e.issued_cpi - 1.0).abs() < 0.01);

@@ -92,8 +92,7 @@ impl Cmp {
 
 fn arb_stmt(depth: u32) -> BoxedStrategy<S> {
     let leaf = prop_oneof![
-        (0..NVARS, arb_op(), 0..NVARS, 0..NVARS)
-            .prop_map(|(d, op, a, b)| S::Assign(d, op, a, b)),
+        (0..NVARS, arb_op(), 0..NVARS, 0..NVARS).prop_map(|(d, op, a, b)| S::Assign(d, op, a, b)),
         (0..NVARS, arb_op(), -20i32..20).prop_map(|(d, op, k)| S::AssignImm(d, op, k)),
         (0..NVARS).prop_map(S::Inc),
     ];
@@ -140,9 +139,7 @@ fn render(stmts: &[S], loops: &mut usize, out: &mut String, indent: usize) {
             S::Repeat(n, body) => {
                 let id = *loops;
                 *loops += 1;
-                out.push_str(&format!(
-                    "{pad}for (c{id} = 0; c{id} < {n}; c{id}++) {{\n"
-                ));
+                out.push_str(&format!("{pad}for (c{id} = 0; c{id} < {n}; c{id}++) {{\n"));
                 render(body, loops, out, indent + 1);
                 out.push_str(&format!("{pad}}}\n"));
             }
@@ -202,13 +199,24 @@ fn interpret(stmts: &[S], g: &mut [i32; NVARS]) {
 fn run_image(image: &Image, cycle: bool) -> [i32; NVARS] {
     let machine = Machine::load(image).unwrap();
     let mem = if cycle {
-        CycleSim::new(machine, SimConfig::default()).run().unwrap().machine.mem
+        CycleSim::new(machine, SimConfig::default())
+            .run()
+            .unwrap()
+            .machine
+            .mem
     } else {
-        FunctionalSim::new(machine).max_steps(50_000_000).run().unwrap().machine.mem
+        FunctionalSim::new(machine)
+            .max_steps(50_000_000)
+            .run()
+            .unwrap()
+            .machine
+            .mem
     };
     let mut out = [0i32; NVARS];
     for (i, v) in out.iter_mut().enumerate() {
-        *v = mem.read_word(Image::DEFAULT_DATA_BASE + 4 * i as u32).unwrap();
+        *v = mem
+            .read_word(Image::DEFAULT_DATA_BASE + 4 * i as u32)
+            .unwrap();
     }
     out
 }

@@ -84,18 +84,30 @@ fn build_program(body: &[BodyOp], iters: u8) -> Module {
     let mut m = Module::new();
     let mut label = 0usize;
     // Counter in slot 0.
-    m.push(Item::Instr(Instr::Op2 { op: BinOp::Mov, dst: slot(0), src: Operand::Imm(0) }));
+    m.push(Item::Instr(Instr::Op2 {
+        op: BinOp::Mov,
+        dst: slot(0),
+        src: Operand::Imm(0),
+    }));
     m.push(Item::Label("top".into()));
     for op in body {
         emit(&mut m, op, &mut label);
     }
-    m.push(Item::Instr(Instr::Op2 { op: BinOp::Add, dst: slot(0), src: Operand::Imm(1) }));
+    m.push(Item::Instr(Instr::Op2 {
+        op: BinOp::Add,
+        dst: slot(0),
+        src: Operand::Imm(1),
+    }));
     m.push(Item::Instr(Instr::Cmp {
         cond: Cond::LtS,
         a: slot(0),
         b: Operand::Imm(iters as i32),
     }));
-    m.push(Item::IfJmpTo { on_true: true, predict_taken: true, label: "top".into() });
+    m.push(Item::IfJmpTo {
+        on_true: true,
+        predict_taken: true,
+        label: "top".into(),
+    });
     m.push(Item::Instr(Instr::Halt));
     m
 }
@@ -110,7 +122,11 @@ fn emit(m: &mut Module, op: &BodyOp, label: &mut usize) {
             }));
         }
         BodyOp::AluRr(op, a, b) => {
-            m.push(Item::Instr(Instr::Op2 { op: *op, dst: slot(*a), src: slot(*b) }));
+            m.push(Item::Instr(Instr::Op2 {
+                op: *op,
+                dst: slot(*a),
+                src: slot(*b),
+            }));
         }
         BodyOp::Acc(op, s, imm) => {
             m.push(Item::Instr(Instr::Op3 {
@@ -126,10 +142,21 @@ fn emit(m: &mut Module, op: &BodyOp, label: &mut usize) {
                 src: Operand::Accum,
             }));
         }
-        BodyOp::Skip { cond, a, b, on_true, predict, guarded } => {
+        BodyOp::Skip {
+            cond,
+            a,
+            b,
+            on_true,
+            predict,
+            guarded,
+        } => {
             *label += 1;
             let l = format!("skip{label}");
-            m.push(Item::Instr(Instr::Cmp { cond: *cond, a: slot(*a), b: slot(*b) }));
+            m.push(Item::Instr(Instr::Cmp {
+                cond: *cond,
+                a: slot(*a),
+                b: slot(*b),
+            }));
             m.push(Item::IfJmpTo {
                 on_true: *on_true,
                 predict_taken: *predict,

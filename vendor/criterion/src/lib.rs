@@ -1,0 +1,330 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment for this repository has no network access, so
+//! the real criterion cannot be fetched from crates.io. This crate
+//! implements the API subset the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`/
+//! `iter_batched`, `Throughput`, `BatchSize`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — as a plain wall-clock
+//! harness: each benchmark is calibrated to a target sample duration,
+//! timed over a fixed number of samples, and reported as median
+//! ns/iter (plus element throughput when configured).
+//!
+//! Differences from the real crate: no statistical outlier analysis,
+//! no HTML reports, no saved baselines. Under `cargo test` (cargo
+//! passes `--test` to harness-less bench binaries) every benchmark
+//! body runs exactly once as a smoke test, keeping the tier-1 suite
+//! fast.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported at crate root like
+/// the real criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` prepares per timing batch.
+/// This harness times each routine call individually, so the variants
+/// only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Pick up cargo's harness flags: `--test` (run each body once)
+    /// and a free-form substring filter.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags whose value we consume and ignore.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        run_benchmark(self, &id, None, self.sample_size, f);
+    }
+}
+
+/// A named group sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        run_benchmark(self.criterion, &id, throughput, samples, f);
+        self
+    }
+
+    /// End the group (report flushing is immediate here, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timing loop.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Median nanoseconds per iteration, filled in by `iter*`.
+    result_ns: f64,
+}
+
+enum BenchMode {
+    /// Run the routine exactly once (smoke test under `cargo test`).
+    TestOnce,
+    /// Calibrate then collect this many timed samples.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Time `routine` in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::TestOnce => {
+                black_box(routine());
+            }
+            BenchMode::Measure { samples } => {
+                let iters = calibrate(|n| {
+                    let start = Instant::now();
+                    for _ in 0..n {
+                        black_box(routine());
+                    }
+                    start.elapsed()
+                });
+                let mut per_iter = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+                }
+                self.result_ns = median(&mut per_iter);
+            }
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`, excluding the setup
+    /// cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            BenchMode::TestOnce => {
+                black_box(routine(setup()));
+            }
+            BenchMode::Measure { samples } => {
+                // One routine call per sample: setup stays outside the
+                // timed region, which is the point of iter_batched.
+                let total = samples.max(8) * 4;
+                let mut per_iter = Vec::with_capacity(total);
+                for _ in 0..total {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    per_iter.push(start.elapsed().as_nanos() as f64);
+                }
+                self.result_ns = median(&mut per_iter);
+            }
+        }
+    }
+}
+
+/// Find an iteration count whose batch takes roughly the target
+/// sample duration (but at least one iteration).
+fn calibrate(mut time_n: impl FnMut(u64) -> Duration) -> u64 {
+    const TARGET: Duration = Duration::from_millis(5);
+    let mut n = 1u64;
+    loop {
+        let t = time_n(n);
+        if t >= TARGET || n >= 1 << 24 {
+            return n;
+        }
+        if t < TARGET / 16 {
+            n = n.saturating_mul(8);
+        } else {
+            // Close enough to extrapolate in one step.
+            let scale = TARGET.as_nanos() as f64 / t.as_nanos().max(1) as f64;
+            return (n as f64 * scale).ceil().max(1.0) as u64;
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) {
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mode = if criterion.test_mode {
+        BenchMode::TestOnce
+    } else {
+        BenchMode::Measure { samples }
+    };
+    let mut bencher = Bencher {
+        mode,
+        result_ns: 0.0,
+    };
+    f(&mut bencher);
+    if criterion.test_mode {
+        println!("test {id} ... ok (ran once)");
+        return;
+    }
+    let ns = bencher.result_ns;
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns;
+            println!("{id:<40} {ns:>14.1} ns/iter  {per_sec:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns;
+            println!("{id:<40} {ns:>14.1} ns/iter  {per_sec:>14.0} B/s");
+        }
+        _ => println!("{id:<40} {ns:>14.1} ns/iter"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        let mut odd = vec![3.0, 1.0, 2.0];
+        assert_eq!(median(&mut odd), 2.0);
+        let mut even = vec![4.0, 1.0, 2.0, 3.0];
+        assert_eq!(median(&mut even), 3.0);
+    }
+
+    #[test]
+    fn calibrate_reaches_target_or_caps() {
+        // A "routine" where n iterations take n*100ns nominally.
+        let iters = calibrate(|n| Duration::from_nanos(n * 100));
+        assert!(iters >= 1);
+        let once = calibrate(|_| Duration::from_millis(10));
+        assert_eq!(once, 1);
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: None,
+            sample_size: 20,
+        };
+        let mut runs = 0;
+        criterion.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The `Arbitrary` trait and `any::<T>()` entry point.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain integer strategy that oversamples boundary values
+/// (zero, one, minus one, MIN, MAX) at roughly a 1-in-8 rate so edge
+/// cases show up even with few test cases.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! any_int {
+    ($($t:ty),+) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 5] =
+                        [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX.wrapping_add(1).wrapping_sub(2)];
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt { _marker: std::marker::PhantomData }
+            }
+        }
+    )+};
+}
+
+any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Uniform coin flip.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_int_hits_edges_and_varies() {
+        let mut rng = TestRng::for_test("arbitrary::edges");
+        let s = any::<u32>();
+        let mut saw_zero = false;
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let v = s.generate(&mut rng);
+            saw_zero |= v == 0;
+            distinct.insert(v);
+        }
+        assert!(saw_zero, "edge oversampling should produce 0");
+        assert!(distinct.len() > 100, "should produce varied values");
+    }
+
+    #[test]
+    fn any_bool_produces_both() {
+        let mut rng = TestRng::for_test("arbitrary::bool");
+        let s = any::<bool>();
+        let mut t = 0;
+        for _ in 0..100 {
+            if s.generate(&mut rng) {
+                t += 1;
+            }
+        }
+        assert!(t > 10 && t < 90);
+    }
+}

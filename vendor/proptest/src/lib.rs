@@ -1,0 +1,167 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this repository has no network access, so
+//! the real proptest cannot be fetched from crates.io. This crate
+//! implements exactly the API subset the workspace's property tests
+//! use — `proptest!`, `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`,
+//! `Strategy` with `prop_map`/`prop_filter`/`prop_filter_map`/`boxed`,
+//! `Just`, `any`, `prop::sample::select`, `prop::collection::vec`,
+//! integer-range strategies, `ProptestConfig` and `TestCaseError` —
+//! on top of a deterministic splitmix64 PRNG seeded per test name.
+//!
+//! Differences from the real crate: no shrinking (failures report the
+//! raw generated inputs) and no persistence of failing seeds. Both are
+//! acceptable for CI-style regression testing; if the real proptest
+//! becomes installable, deleting this crate and restoring the registry
+//! dependency is a drop-in change.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`, giving access to
+    /// `prop::sample::select` and `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the canonical form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(256))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(any::<u16>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property `{name}` failed at case {case}/{total}: {e}\ninputs:\n{inputs}",
+                        name = stringify!($name),
+                        case = case,
+                        total = config.cases,
+                        e = e,
+                        inputs = inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+}
+
+/// Weighted or unweighted union of strategies, mirroring
+/// `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Fallible assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {:?} != {:?}: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}

@@ -1,0 +1,42 @@
+//! Sampling strategies, mirroring `proptest::sample`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly pick one element of the given list per case.
+pub fn select<T: Clone + std::fmt::Debug + 'static>(items: Vec<T>) -> Select<T> {
+    assert!(
+        !items.is_empty(),
+        "sample::select requires a non-empty list"
+    );
+    Select { items }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_all_items() {
+        let mut rng = TestRng::for_test("sample::select");
+        let s = select(vec![10, 20, 30]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}
