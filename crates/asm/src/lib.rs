@@ -38,9 +38,11 @@ mod error;
 mod image;
 mod module;
 mod parse;
+pub mod rand_prog;
 
 pub use disasm::{disassemble, listing, listing_of, listing_with_symbols};
 pub use error::AsmError;
 pub use image::Image;
 pub use module::{assemble, Item, Module};
 pub use parse::{assemble_text, parse_module};
+pub use rand_prog::{shrink, Block, BlockKind, GenProgram, Rng};

@@ -1,0 +1,554 @@
+//! Seeded random program generation for the differential harness.
+//!
+//! [`GenProgram::generate`] builds terminating programs from a small
+//! PRNG seed, deliberately biased toward the cases that stress the
+//! cycle engine's speculation machinery: compares folded with their
+//! branches (RR-stage resolution), spread compares (OR/IR/fetch
+//! resolution), branches whose targets are themselves branches, stores
+//! sitting in the squash window behind a mispredicted branch,
+//! deliberately unaligned absolute operands, call/return pairs, and
+//! padding runs sized to alias in small decoded caches.
+//!
+//! Every program is a counted outer loop whose body is a sequence of
+//! independent *blocks*; branches inside a block only jump forward
+//! within it, so the program terminates for any subset of blocks. That
+//! subset structure is what [`shrink`] exploits: a failing program is
+//! minimised by bisecting windows of blocks off the enabled mask
+//! (delta-debugging style) and then shrinking the iteration count,
+//! re-running the caller's failure predicate at each step.
+
+use crisp_isa::{BinOp, Cond, Instr, Operand};
+
+use crate::{assemble, AsmError, Image, Item, Module};
+
+/// Base of the absolute-operand scratch region blocks store into
+/// (inside the default data segment, well away from code and stack).
+const SCRATCH_BASE: u32 = 0x0001_0000;
+/// Size of the scratch region in bytes.
+const SCRATCH_SIZE: u32 = 0x400;
+/// Stack slots available to blocks: `4..=4 * MAX_SLOT` (slot 0 is the
+/// outer loop counter).
+const MAX_SLOT: u64 = 30;
+
+/// A small deterministic PRNG (splitmix64): one `u64` of state, full
+/// 64-bit output, good enough mixing for test-case generation and —
+/// unlike a library RNG — trivially reproducible from the seed printed
+/// in a failure report.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A fair coin.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Pick one element of a nonempty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// The hard-case family a generated block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `cmp` immediately followed by its branch: folds under
+    /// `Host1`/`Host13`/`All`, resolving (possibly mispredicted) at RR.
+    FoldedCompare,
+    /// `cmp` with 1–3 fillers before the branch: resolution at
+    /// OR, IR, or cache-read time.
+    SpreadCompare,
+    /// A conditional branch whose target is itself a branch.
+    BranchIntoBranch,
+    /// A wide (3- or 5-parcel) host directly before a branch — the
+    /// 3-parcel form folds under `Host13`/`All` but not `Host1`, the
+    /// 5-parcel form only under `All`.
+    WideHostFold,
+    /// Stores on both paths of a conditional branch, so a mispredict
+    /// puts a store in the squash window.
+    SquashStores,
+    /// A straight run of instructions long enough to alias in a small
+    /// decoded cache.
+    CacheConflict,
+    /// Loads and stores through deliberately unaligned absolute
+    /// addresses (exercising the round-down masking contract).
+    UnalignedAbs,
+    /// A call to a local leaf function and back.
+    CallRet,
+    /// Accumulator ALU traffic, including division/remainder edge
+    /// cases and shifts.
+    AccumAlu,
+}
+
+impl BlockKind {
+    /// Stable kebab-case name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockKind::FoldedCompare => "folded-compare",
+            BlockKind::SpreadCompare => "spread-compare",
+            BlockKind::BranchIntoBranch => "branch-into-branch",
+            BlockKind::WideHostFold => "wide-host-fold",
+            BlockKind::SquashStores => "squash-stores",
+            BlockKind::CacheConflict => "cache-conflict",
+            BlockKind::UnalignedAbs => "unaligned-abs",
+            BlockKind::CallRet => "call-ret",
+            BlockKind::AccumAlu => "accum-alu",
+        }
+    }
+}
+
+/// One self-contained fragment of a generated program. All internal
+/// branches are forward and target labels within the block, so any
+/// subset of a program's blocks still assembles and terminates.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Which hard-case family produced it.
+    pub kind: BlockKind,
+    /// The assembly items.
+    pub items: Vec<Item>,
+}
+
+/// A generated program: an enabled subset of blocks inside a counted
+/// outer loop. [`GenProgram::image`] assembles the current subset;
+/// [`shrink`] minimises it against a failure predicate.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// The seed that produced it (carried for failure reports).
+    pub seed: u64,
+    /// The block pool, in program order.
+    pub blocks: Vec<Block>,
+    /// Which blocks are currently part of the program
+    /// (`enabled[i]` ↔ `blocks[i]`; starts all-true).
+    pub enabled: Vec<bool>,
+    /// Outer-loop iteration count (at least 1).
+    pub iters: u8,
+}
+
+impl GenProgram {
+    /// Generate a program from `seed` with up to `max_blocks` blocks.
+    pub fn generate(seed: u64, max_blocks: usize) -> GenProgram {
+        let mut rng = Rng::new(seed);
+        let n_blocks = 1 + rng.below(max_blocks.max(1) as u64) as usize;
+        let blocks: Vec<Block> = (0..n_blocks).map(|i| gen_block(&mut rng, i)).collect();
+        let enabled = vec![true; blocks.len()];
+        let iters = 1 + rng.below(24) as u8;
+        GenProgram {
+            seed,
+            blocks,
+            enabled,
+            iters,
+        }
+    }
+
+    /// Number of currently enabled blocks.
+    pub fn enabled_blocks(&self) -> usize {
+        self.enabled.iter().filter(|e| **e).count()
+    }
+
+    /// Lower the program to an assembly module: the enabled blocks
+    /// wrapped in the counted outer loop.
+    pub fn module(&self) -> Module {
+        let mut m = Module::new();
+        m.push(Item::Instr(Instr::Op2 {
+            op: BinOp::Mov,
+            dst: Operand::SpOff(0),
+            src: Operand::Imm(0),
+        }));
+        m.push(Item::Label("top".into()));
+        for (block, _) in self.blocks.iter().zip(&self.enabled).filter(|(_, on)| **on) {
+            m.items.extend(block.items.iter().cloned());
+        }
+        m.push(Item::Instr(Instr::Op2 {
+            op: BinOp::Add,
+            dst: Operand::SpOff(0),
+            src: Operand::Imm(1),
+        }));
+        m.push(Item::Instr(Instr::Cmp {
+            cond: Cond::LtS,
+            a: Operand::SpOff(0),
+            b: Operand::Imm(self.iters as i32),
+        }));
+        m.push(Item::IfJmpTo {
+            on_true: true,
+            predict_taken: true,
+            label: "top".into(),
+        });
+        m.push(Item::Instr(Instr::Halt));
+        m
+    }
+
+    /// Assemble the current subset into an executable image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AsmError`] — which generated programs never hit;
+    /// an error here is a generator bug worth surfacing.
+    pub fn image(&self) -> Result<Image, AsmError> {
+        assemble(&self.module())
+    }
+}
+
+fn slot(rng: &mut Rng) -> Operand {
+    Operand::SpOff(4 * (1 + rng.below(MAX_SLOT)) as i32)
+}
+
+/// A scratch-region absolute address; unaligned three times in four so
+/// the round-down masking contract is always in play.
+fn scratch(rng: &mut Rng) -> Operand {
+    Operand::Abs(SCRATCH_BASE + rng.below(SCRATCH_SIZE as u64) as u32)
+}
+
+fn src(rng: &mut Rng) -> Operand {
+    match rng.below(8) {
+        0..=2 => slot(rng),
+        3 | 4 => Operand::Imm(rng.next_u64() as i32 % 1000),
+        5 => Operand::Imm(rng.next_u64() as i32), // full-range constants
+        6 => Operand::Accum,
+        _ => scratch(rng),
+    }
+}
+
+fn store_dst(rng: &mut Rng) -> Operand {
+    match rng.below(4) {
+        0 | 1 => slot(rng),
+        2 => Operand::Accum,
+        _ => scratch(rng),
+    }
+}
+
+fn alu(rng: &mut Rng) -> Item {
+    let op = *rng.pick(&BinOp::ALL);
+    if rng.flip() {
+        Item::Instr(Instr::Op2 {
+            op,
+            dst: store_dst(rng),
+            src: src(rng),
+        })
+    } else {
+        let op = if op == BinOp::Mov { BinOp::Add } else { op };
+        Item::Instr(Instr::Op3 {
+            op,
+            a: src(rng),
+            b: src(rng),
+        })
+    }
+}
+
+fn cmp(rng: &mut Rng) -> Item {
+    Item::Instr(Instr::Cmp {
+        cond: *rng.pick(&Cond::ALL),
+        a: src(rng),
+        b: src(rng),
+    })
+}
+
+fn ifjmp(rng: &mut Rng, label: &str) -> Item {
+    Item::IfJmpTo {
+        on_true: rng.flip(),
+        predict_taken: rng.flip(),
+        label: label.to_owned(),
+    }
+}
+
+/// Generate one block. `idx` namespaces the labels so blocks compose.
+fn gen_block(rng: &mut Rng, idx: usize) -> Block {
+    let lbl = |n: &str| format!("b{idx}_{n}");
+    let kind = match rng.below(15) {
+        0..=2 => BlockKind::FoldedCompare,
+        3..=4 => BlockKind::SpreadCompare,
+        5..=6 => BlockKind::SquashStores,
+        7..=8 => BlockKind::BranchIntoBranch,
+        9 => BlockKind::WideHostFold,
+        10 => BlockKind::CacheConflict,
+        11 => BlockKind::UnalignedAbs,
+        12 => BlockKind::CallRet,
+        _ => BlockKind::AccumAlu,
+    };
+    let mut items = Vec::new();
+    match kind {
+        BlockKind::FoldedCompare => {
+            items.push(cmp(rng));
+            items.push(ifjmp(rng, &lbl("end")));
+            for _ in 0..1 + rng.below(2) {
+                items.push(alu(rng));
+            }
+            items.push(Item::Label(lbl("end")));
+        }
+        BlockKind::SpreadCompare => {
+            items.push(cmp(rng));
+            for _ in 0..1 + rng.below(3) {
+                items.push(alu(rng));
+            }
+            items.push(ifjmp(rng, &lbl("end")));
+            items.push(alu(rng));
+            items.push(Item::Label(lbl("end")));
+        }
+        BlockKind::BranchIntoBranch => {
+            items.push(cmp(rng));
+            items.push(ifjmp(rng, &lbl("mid")));
+            items.push(alu(rng));
+            // The first branch's target is itself a branch.
+            items.push(Item::Label(lbl("mid")));
+            items.push(ifjmp(rng, &lbl("end")));
+            items.push(alu(rng));
+            items.push(Item::Label(lbl("end")));
+        }
+        BlockKind::WideHostFold => {
+            items.push(cmp(rng));
+            // Multi-parcel host directly before the branch. A long
+            // immediate (> 31) costs one extension parcel → a 3-parcel
+            // host that Host1 refuses but Host13/All fold; an absolute
+            // operand costs two → a 5-parcel host only All folds.
+            let src = if rng.flip() {
+                Operand::Imm(32 + rng.below(1 << 20) as i32)
+            } else {
+                scratch(rng)
+            };
+            items.push(Item::Instr(Instr::Op2 {
+                op: BinOp::Add,
+                dst: slot(rng),
+                src,
+            }));
+            items.push(ifjmp(rng, &lbl("end")));
+            items.push(alu(rng));
+            items.push(Item::Label(lbl("end")));
+        }
+        BlockKind::SquashStores => {
+            items.push(cmp(rng));
+            items.push(ifjmp(rng, &lbl("taken")));
+            // Fallthrough-path store: squashed iff the branch was
+            // mispredicted not-taken.
+            items.push(Item::Instr(Instr::Op2 {
+                op: BinOp::Mov,
+                dst: scratch(rng),
+                src: src(rng),
+            }));
+            items.push(Item::JmpTo { label: lbl("end") });
+            items.push(Item::Label(lbl("taken")));
+            // Taken-path store: in the squash window the other way.
+            items.push(Item::Instr(Instr::Op2 {
+                op: BinOp::Mov,
+                dst: store_dst(rng),
+                src: src(rng),
+            }));
+            items.push(Item::Label(lbl("end")));
+        }
+        BlockKind::CacheConflict => {
+            // Enough distinct entry PCs to overflow a small decoded
+            // cache every iteration.
+            for _ in 0..16 + rng.below(32) {
+                if rng.below(4) == 0 {
+                    items.push(Item::Instr(Instr::Nop));
+                } else {
+                    items.push(alu(rng));
+                }
+            }
+        }
+        BlockKind::UnalignedAbs => {
+            for _ in 0..2 + rng.below(3) {
+                if rng.flip() {
+                    items.push(Item::Instr(Instr::Op2 {
+                        op: BinOp::Mov,
+                        dst: scratch(rng),
+                        src: src(rng),
+                    }));
+                } else {
+                    items.push(Item::Instr(Instr::Op2 {
+                        op: *rng.pick(&[BinOp::Add, BinOp::Xor, BinOp::Or]),
+                        dst: slot(rng),
+                        src: scratch(rng),
+                    }));
+                }
+            }
+        }
+        BlockKind::CallRet => {
+            items.push(Item::JmpTo { label: lbl("over") });
+            items.push(Item::Label(lbl("fn")));
+            // Leaf body: accumulator-only, so the frame (where the
+            // return address now sits at 0(sp)) stays untouched.
+            for _ in 0..1 + rng.below(2) {
+                items.push(Item::Instr(Instr::Op3 {
+                    op: *rng.pick(&[BinOp::Add, BinOp::Xor, BinOp::Mul]),
+                    a: Operand::Accum,
+                    b: src(rng),
+                }));
+            }
+            items.push(Item::Instr(Instr::Ret));
+            items.push(Item::Label(lbl("over")));
+            items.push(Item::CallTo { label: lbl("fn") });
+        }
+        BlockKind::AccumAlu => {
+            for _ in 0..1 + rng.below(3) {
+                let op = *rng.pick(&[
+                    BinOp::Div,
+                    BinOp::Rem,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                    BinOp::Sar,
+                    BinOp::Mul,
+                    BinOp::Sub,
+                ]);
+                items.push(Item::Instr(Instr::Op3 {
+                    op,
+                    a: if rng.flip() { Operand::Accum } else { src(rng) },
+                    b: src(rng),
+                }));
+            }
+        }
+    }
+    Block { kind, items }
+}
+
+/// Minimise a failing program: repeatedly bisect windows of enabled
+/// blocks off the program (largest windows first, delta-debugging
+/// style), then shrink the outer iteration count, keeping every
+/// candidate for which `fails` still returns `true`. The result fails
+/// and is 1-minimal over whole blocks: disabling any single remaining
+/// block (or halving the iterations again) makes the failure vanish.
+///
+/// `fails` must return `true` for `prog` itself; the caller checks
+/// this before shrinking.
+pub fn shrink(mut prog: GenProgram, mut fails: impl FnMut(&GenProgram) -> bool) -> GenProgram {
+    let mut chunk = prog.enabled_blocks().max(1);
+    loop {
+        let mut start = 0;
+        while start < prog.blocks.len() {
+            let mut cand = prog.clone();
+            let mut any = false;
+            for on in cand
+                .enabled
+                .iter_mut()
+                .skip(start)
+                .take(chunk)
+                .filter(|on| **on)
+            {
+                *on = false;
+                any = true;
+            }
+            if any && fails(&cand) {
+                prog = cand;
+            }
+            start += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2);
+    }
+    // Iteration count: halve while the failure survives, then step down.
+    while prog.iters > 1 {
+        let mut cand = prog.clone();
+        cand.iters /= 2;
+        if !fails(&cand) {
+            break;
+        }
+        prog = cand;
+    }
+    while prog.iters > 1 {
+        let mut cand = prog.clone();
+        cand.iters -= 1;
+        if !fails(&cand) {
+            break;
+        }
+        prog = cand;
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GenProgram::generate(42, 12);
+        let b = GenProgram::generate(42, 12);
+        assert_eq!(a.iters, b.iters);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        assert_eq!(
+            a.image().unwrap().parcels,
+            b.image().unwrap().parcels,
+            "same seed, same program"
+        );
+        let c = GenProgram::generate(43, 12);
+        assert!(
+            a.blocks.len() != c.blocks.len()
+                || a.image().unwrap().parcels != c.image().unwrap().parcels
+        );
+    }
+
+    #[test]
+    fn every_seed_assembles_with_any_subset() {
+        for seed in 0..200 {
+            let mut p = GenProgram::generate(seed, 10);
+            p.image()
+                .unwrap_or_else(|e| panic!("seed {seed} failed to assemble: {e:?}"));
+            // Arbitrary subsets must assemble too (shrinking relies
+            // on it).
+            let mut rng = Rng::new(seed ^ 0xDEAD_BEEF);
+            for on in p.enabled.iter_mut() {
+                *on = rng.flip();
+            }
+            p.image()
+                .unwrap_or_else(|e| panic!("seed {seed} subset failed: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn hard_case_kinds_all_appear() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..300 {
+            for b in &GenProgram::generate(seed, 12).blocks {
+                seen.insert(b.kind.name());
+            }
+        }
+        for kind in [
+            "folded-compare",
+            "spread-compare",
+            "branch-into-branch",
+            "wide-host-fold",
+            "squash-stores",
+            "cache-conflict",
+            "unaligned-abs",
+            "call-ret",
+            "accum-alu",
+        ] {
+            assert!(seen.contains(kind), "{kind} never generated");
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_minimal_failing_subset() {
+        // Synthetic predicate: "fails" iff a particular block is
+        // enabled and iters >= 3. Shrinking must isolate exactly that
+        // block at exactly 3 iterations.
+        let prog = GenProgram::generate(7, 12);
+        assert!(prog.blocks.len() > 1, "want a multi-block program");
+        let guilty = prog.blocks.len() / 2;
+        let mut prog = prog;
+        prog.iters = prog.iters.max(9);
+        let min = shrink(prog, |p| p.enabled[guilty] && p.iters >= 3);
+        assert_eq!(min.enabled_blocks(), 1);
+        assert!(min.enabled[guilty]);
+        assert_eq!(min.iters, 3);
+    }
+}

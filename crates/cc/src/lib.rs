@@ -45,12 +45,14 @@ pub mod fold_const;
 mod lexer;
 mod parser;
 pub mod predict;
+pub mod rand_c;
 pub mod spread;
 mod vax_gen;
 
 pub use error::CcError;
 pub use parser::parse;
 pub use predict::{apply_profile, PredictionMode};
+pub use rand_c::{generate_c, GenCProgram};
 
 use crisp_asm::{assemble, Image, Module};
 

@@ -1,0 +1,330 @@
+//! `crisp-diff` — differential co-simulation campaign driver.
+//!
+//! Generates seeded random programs (assembly-level hard cases plus
+//! compiled mini-C), then runs every one in lockstep on the functional
+//! and cycle engines across the full fold-policy × cache-size ×
+//! predictor sweep. The first divergence is shrunk to a minimal
+//! reproducer and printed with a pipeline-timeline excerpt.
+//!
+//! ```text
+//! crisp-diff [OPTIONS]
+//!
+//!   --seed N          base seed for the campaign (default 0)
+//!   --programs N      generated assembly programs (default 1000)
+//!   --c-programs N    generated mini-C programs (default 50)
+//!   --max-blocks N    block budget per generated program (default 10)
+//!   --jobs N          worker threads (default: available cores)
+//!   --smoke           bounded CI run (64 asm + 8 C programs)
+//!   --inject          demonstrate the oracle: run with the
+//!                     skip-OR-squash fault injected, expect it to be
+//!                     caught and shrunk
+//! ```
+//!
+//! Exit status is 0 when every program agrees on every configuration
+//! (or when `--inject` catches the planted bug), 1 otherwise.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crisp_asm::rand_prog::{shrink, GenProgram};
+use crisp_cc::{compile_crisp, generate_c, CompileOptions, PredictionMode};
+use crisp_cli::{extract_flag, extract_switch};
+use crisp_sim::{
+    run_lockstep, sweep_configs, Divergence, FaultInjection, LockstepOutcome, SimConfig,
+};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("crisp-diff: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One failing (program, configuration) pair from the campaign.
+struct Failure {
+    program: Program,
+    cfg: SimConfig,
+    divergence: Divergence,
+}
+
+/// A campaign work item: either a generated assembly program or a
+/// compiled mini-C program (under one compiler-option set).
+enum Program {
+    Asm(GenProgram),
+    C {
+        seed: u64,
+        source: String,
+        opts: CompileOptions,
+    },
+}
+
+impl Program {
+    fn image(&self) -> Result<crisp_asm::Image, String> {
+        match self {
+            Program::Asm(p) => p.image().map_err(|e| format!("assembling: {e}")),
+            Program::C { source, opts, .. } => {
+                compile_crisp(source, opts).map_err(|e| format!("compiling: {e}"))
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Program::Asm(p) => {
+                let kinds: Vec<&str> = p
+                    .blocks
+                    .iter()
+                    .zip(&p.enabled)
+                    .filter(|(_, e)| **e)
+                    .map(|(b, _)| b.kind.name())
+                    .collect();
+                format!(
+                    "asm seed {} ({} iterations; blocks: {})",
+                    p.seed,
+                    p.iters,
+                    kinds.join(", ")
+                )
+            }
+            Program::C { seed, opts, .. } => format!("mini-C seed {seed} under {opts:?}"),
+        }
+    }
+
+    fn listing(&self) -> String {
+        match self {
+            Program::Asm(p) => match p.image() {
+                Ok(image) => crisp_asm::listing_of(&image, crisp_isa::FoldPolicy::None)
+                    .unwrap_or_else(|(pc, e)| format!("<listing stops at {pc:#x}: {e}>")),
+                Err(e) => format!("<listing unavailable: {e}>"),
+            },
+            Program::C { source, .. } => source.clone(),
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    raw: &mut Vec<String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match extract_flag(raw, name).map_err(|e| e.to_string())? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name}: bad value `{v}`")),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: crisp-diff [--seed N] [--programs N] [--c-programs N] \
+             [--max-blocks N] [--jobs N] [--smoke] [--inject]"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let smoke = extract_switch(&mut raw, "--smoke");
+    let inject = extract_switch(&mut raw, "--inject");
+    let seed: u64 = parse_num(&mut raw, "--seed", 0)?;
+    let default_programs: u64 = if smoke { 64 } else { 1000 };
+    let default_c: u64 = if smoke { 8 } else { 50 };
+    let programs: u64 = parse_num(&mut raw, "--programs", default_programs)?;
+    let c_programs: u64 = parse_num(&mut raw, "--c-programs", default_c)?;
+    let max_blocks: usize = parse_num(&mut raw, "--max-blocks", 10)?;
+    let jobs: usize = parse_num(
+        &mut raw,
+        "--jobs",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )?;
+    if let Some(flag) = raw.first() {
+        return Err(format!("unknown flag `{flag}`"));
+    }
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+
+    if inject {
+        return demonstrate_injection(seed, max_blocks);
+    }
+
+    // Build the work list up front: sharing `GenProgram`s across
+    // threads is cheap and keeps the sweep loop allocation-free.
+    let mut work: Vec<Program> = (0..programs)
+        .map(|i| Program::Asm(GenProgram::generate(seed.wrapping_add(i), max_blocks)))
+        .collect();
+    for i in 0..c_programs {
+        let c = generate_c(seed.wrapping_add(i));
+        for opts in [
+            CompileOptions::default(),
+            CompileOptions {
+                spread: false,
+                prediction: PredictionMode::NotTaken,
+            },
+        ] {
+            work.push(Program::C {
+                seed: c.seed,
+                source: c.source.clone(),
+                opts,
+            });
+        }
+    }
+
+    let configs = sweep_configs();
+    println!(
+        "crisp-diff: {} programs x {} configurations on {jobs} threads (base seed {seed})",
+        work.len(),
+        configs.len()
+    );
+
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let commits = AtomicU64::new(0);
+    let failure: Mutex<Option<Failure>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                // Work stealing: each thread claims the next unchecked
+                // program; heavier programs simply hold their thread
+                // longer.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() || stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let program = &work[i];
+                let image = match program.image() {
+                    Ok(image) => image,
+                    Err(e) => {
+                        eprintln!("crisp-diff: {}: {e}", program.describe());
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for cfg in &configs {
+                    match run_lockstep(&image, *cfg) {
+                        Ok(LockstepOutcome::Agree { commits: c, .. }) => {
+                            commits.fetch_add(c, Ordering::Relaxed);
+                        }
+                        Ok(LockstepOutcome::Diverge(d)) => {
+                            let shrunk = shrink_failure(program, *cfg, *d);
+                            *failure.lock().unwrap() = Some(shrunk);
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "crisp-diff: {}: load failed under {cfg:?}: {e}",
+                                program.describe()
+                            );
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    match failure.into_inner().unwrap() {
+        None if stop.load(Ordering::Relaxed) => Err("campaign aborted".into()),
+        None => {
+            println!(
+                "crisp-diff: all agree ({} commits compared)",
+                commits.load(Ordering::Relaxed)
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(f) => {
+            print_failure(&f);
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Shrink a failing assembly program (mini-C failures are reported
+/// whole — the compiler path has no block structure to bisect).
+fn shrink_failure(program: &Program, cfg: SimConfig, divergence: Divergence) -> Failure {
+    let fails = |p: &GenProgram| {
+        p.image()
+            .ok()
+            .and_then(|image| run_lockstep(&image, cfg).ok())
+            .is_some_and(|out| !out.is_agree())
+    };
+    match program {
+        Program::Asm(p) => {
+            let min = shrink(p.clone(), fails);
+            let divergence = min
+                .image()
+                .ok()
+                .and_then(|image| run_lockstep(&image, cfg).ok())
+                .and_then(|out| match out {
+                    LockstepOutcome::Diverge(d) => Some(*d),
+                    LockstepOutcome::Agree { .. } => None,
+                })
+                .unwrap_or(divergence);
+            Failure {
+                program: Program::Asm(min),
+                cfg,
+                divergence,
+            }
+        }
+        Program::C { seed, source, opts } => Failure {
+            program: Program::C {
+                seed: *seed,
+                source: source.clone(),
+                opts: *opts,
+            },
+            cfg,
+            divergence,
+        },
+    }
+}
+
+fn print_failure(f: &Failure) {
+    println!("crisp-diff: DIVERGENCE — minimal reproducer follows");
+    println!("  program : {}", f.program.describe());
+    println!("  config  : {:?}", f.cfg);
+    println!();
+    for line in f.program.listing().lines() {
+        println!("    {line}");
+    }
+    println!();
+    println!("{}", f.divergence);
+}
+
+/// `--inject`: plant the skip-OR-squash pipeline bug and prove the
+/// oracle catches it with a shrunk reproducer.
+fn demonstrate_injection(seed: u64, max_blocks: usize) -> Result<ExitCode, String> {
+    let cfg = SimConfig {
+        fault: Some(FaultInjection::SkipOrSquash),
+        ..SimConfig::default()
+    };
+    let fails = |p: &GenProgram| {
+        p.image()
+            .ok()
+            .and_then(|image| run_lockstep(&image, cfg).ok())
+            .is_some_and(|out| !out.is_agree())
+    };
+    for i in 0..10_000 {
+        let prog = GenProgram::generate(seed.wrapping_add(i), max_blocks);
+        if !fails(&prog) {
+            continue;
+        }
+        let min = shrink(prog, fails);
+        let image = min.image().map_err(|e| e.to_string())?;
+        let divergence = match run_lockstep(&image, cfg).map_err(|e| e.to_string())? {
+            LockstepOutcome::Diverge(d) => *d,
+            LockstepOutcome::Agree { .. } => return Err("shrunk program stopped failing".into()),
+        };
+        println!("crisp-diff: injected fault caught (skip-OR-squash)");
+        print_failure(&Failure {
+            program: Program::Asm(min),
+            cfg,
+            divergence,
+        });
+        return Ok(ExitCode::SUCCESS);
+    }
+    Err("injected fault was never exposed — oracle is blind".into())
+}

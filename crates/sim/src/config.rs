@@ -27,6 +27,18 @@ pub enum HwPredictor {
     },
 }
 
+/// A deliberately-injected pipeline bug, used to validate that the
+/// differential oracle ([`crate::run_lockstep`]) actually catches the
+/// class of defect it exists for. Never set in real experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// When a folded compare resolves a mispredict at RR, skip the
+    /// squash of the OR-stage slot: one wrong-path instruction commits
+    /// architectural state — exactly the "missed squash window" bug the
+    /// commit-stream comparison is designed to expose.
+    SkipOrSquash,
+}
+
 /// Configuration of the cycle-level simulator.
 ///
 /// The defaults model the CRISP chip as described in the paper: the
@@ -54,6 +66,9 @@ pub struct SimConfig {
     pub predictor: HwPredictor,
     /// Upper bound on simulated cycles (runaway guard).
     pub max_cycles: u64,
+    /// Deliberate pipeline bug for oracle validation; `None` (always,
+    /// outside differential-harness self-tests) models the real chip.
+    pub fault: Option<FaultInjection>,
 }
 
 impl Default for SimConfig {
@@ -65,6 +80,7 @@ impl Default for SimConfig {
             pdu_pipe_delay: 2,
             predictor: HwPredictor::StaticBit,
             max_cycles: 500_000_000,
+            fault: None,
         }
     }
 }

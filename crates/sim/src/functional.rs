@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use crisp_isa::{decode_and_fold, Decoded, ExecOp, FoldClass, FoldPolicy};
 
 use crate::observe::{NullObserver, PipeObserver};
-use crate::{BranchEvent, BranchKind, Machine, RunStats, SimError, Trace};
+use crate::{BranchEvent, BranchKind, Machine, RunStats, SimError, Step, Trace};
 
 /// Maximum parcels one decoded entry can span: a five-parcel host plus a
 /// three-parcel branch under [`FoldPolicy::All`].
@@ -84,6 +84,34 @@ impl FunctionalSim {
             .map_err(|source| SimError::Decode { pc, source })?;
         self.decode_cache.insert(pc, d);
         Ok(d)
+    }
+
+    /// The architectural state (read-only view), for callers driving
+    /// the engine one step at a time.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Execute exactly one decoded entry at the current PC — one
+    /// commit — reporting it to `obs` with `seq` in the cycle field
+    /// (the functional engine has no clock). This is the lockstep
+    /// primitive behind [`crate::run_lockstep`]: the oracle co-steps
+    /// this engine one commit at a time against the cycle engine's
+    /// retirement stream. Callers must stop once
+    /// [`FunctionalSim::machine`] reports `halted`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FunctionalSim::run`] (no step limit — the
+    /// caller owns the loop).
+    pub fn step_observed<O: PipeObserver>(
+        &mut self,
+        seq: u64,
+        obs: &mut O,
+    ) -> Result<Step, SimError> {
+        let pc = self.machine.pc;
+        let d = self.decoded_at(pc)?;
+        self.machine.execute_observed(&d, seq, obs)
     }
 
     /// Run to `halt`.

@@ -12,8 +12,18 @@ use crisp_isa::Decoded;
 pub struct DecodedCache {
     entries: Vec<Option<Decoded>>,
     mask: u32,
-    /// Entries inserted over the cache's lifetime.
+    /// Fills that made a new PC resident: into an empty slot or over a
+    /// different tag. A same-PC re-decode is a [`refill`], not an
+    /// insert, so `inserts` counts distinct decoded entries becoming
+    /// visible rather than raw PDU write traffic.
+    ///
+    /// [`refill`]: DecodedCache::refills
     pub inserts: u64,
+    /// Fills that overwrote the *same* PC (the PDU re-decoded an entry
+    /// that was already resident, e.g. after a wrong-path excursion).
+    /// `inserts + refills` equals the total fills — one per
+    /// [`crate::PipeEvent::CacheFill`] event.
+    pub refills: u64,
     /// Insertions that overwrote a valid entry with a different tag.
     pub evictions: u64,
 }
@@ -33,6 +43,7 @@ impl DecodedCache {
             entries: vec![None; entries],
             mask: entries as u32 - 1,
             inserts: 0,
+            refills: 0,
             evictions: 0,
         }
     }
@@ -63,16 +74,19 @@ impl DecodedCache {
 
     /// Insert a decoded entry, evicting any conflicting one; returns
     /// the PC of the evicted entry when a different tag was displaced.
+    /// A same-PC overwrite counts as a refill, not a fresh insert.
     pub fn insert(&mut self, d: Decoded) -> Option<u32> {
         let idx = self.index(d.pc);
         let mut evicted = None;
-        if let Some(old) = &self.entries[idx] {
-            if old.pc != d.pc {
+        match &self.entries[idx] {
+            Some(old) if old.pc == d.pc => self.refills += 1,
+            Some(old) => {
                 self.evictions += 1;
                 evicted = Some(old.pc);
+                self.inserts += 1;
             }
+            None => self.inserts += 1,
         }
-        self.inserts += 1;
         self.entries[idx] = Some(d);
         evicted
     }
@@ -126,11 +140,13 @@ mod tests {
     }
 
     #[test]
-    fn reinsert_same_pc_not_an_eviction() {
+    fn reinsert_same_pc_is_a_refill_not_an_insert() {
         let mut c = DecodedCache::new(32);
         c.insert(entry(0x10));
         c.insert(entry(0x10));
         assert_eq!(c.evictions, 0);
+        assert_eq!(c.inserts, 1);
+        assert_eq!(c.refills, 1);
     }
 
     #[test]

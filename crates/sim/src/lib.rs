@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod diff;
 mod error;
 mod functional;
 mod icache;
@@ -58,7 +59,11 @@ pub mod profile;
 mod stats;
 mod trace;
 
-pub use config::{HwPredictor, SimConfig};
+pub use config::{FaultInjection, HwPredictor, SimConfig};
+pub use diff::{
+    run_lockstep, sweep_configs, CommitLog, CommitRecord, Divergence, DivergenceKind,
+    LockstepOutcome,
+};
 pub use error::SimError;
 pub use functional::{FunctionalRun, FunctionalSim};
 pub use icache::DecodedCache;
@@ -71,5 +76,5 @@ pub use observe::{
 pub use pdu::Pdu;
 pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};
 pub use profile::{BranchProfiler, SiteStats};
-pub use stats::{CycleStats, OpcodeCounts, RunStats};
+pub use stats::{resolve_stage, CycleStats, OpcodeCounts, RunStats};
 pub use trace::{BranchEvent, BranchKind, Trace};

@@ -38,6 +38,9 @@ pub struct Step {
     pub next_pc: u32,
     /// For conditional entries, whether the branch was taken.
     pub taken: Option<bool>,
+    /// The memory word this entry wrote (word-aligned address, value),
+    /// if any — the ISA writes at most one word per instruction.
+    pub mem_write: Option<(u32, i32)>,
     /// Whether this entry halted the machine.
     pub halted: bool,
 }
@@ -102,7 +105,9 @@ impl Machine {
         }
     }
 
-    /// Write a value to an operand location.
+    /// Write a value to an operand location. Returns the memory write
+    /// performed — `(word-aligned address, value)` — or `None` when the
+    /// destination is the accumulator (or a discarded immediate).
     ///
     /// # Errors
     ///
@@ -110,21 +115,29 @@ impl Machine {
     /// immediate is a programming error upstream and panics in debug
     /// builds; release builds ignore it (the encoder rejects such
     /// instructions, so this cannot arise from decoded programs).
-    pub fn write_operand(&mut self, op: Operand, value: i32) -> Result<(), SimError> {
+    pub fn write_operand(
+        &mut self,
+        op: Operand,
+        value: i32,
+    ) -> Result<Option<(u32, i32)>, SimError> {
+        let store = |mem: &mut crate::Memory, addr: u32| -> Result<Option<(u32, i32)>, SimError> {
+            mem.write_word(addr, value)?;
+            Ok(Some((addr & !3, value)))
+        };
         match op {
             Operand::Accum => {
                 self.accum = value;
-                Ok(())
+                Ok(None)
             }
             Operand::Imm(_) => {
                 debug_assert!(false, "write to immediate operand");
-                Ok(())
+                Ok(None)
             }
-            Operand::SpOff(off) => self.mem.write_word(self.sp.wrapping_add(off as u32), value),
-            Operand::Abs(a) => self.mem.write_word(a, value),
+            Operand::SpOff(off) => store(&mut self.mem, self.sp.wrapping_add(off as u32)),
+            Operand::Abs(a) => store(&mut self.mem, a),
             Operand::SpInd(off) => {
                 let ptr = self.mem.read_word(self.sp.wrapping_add(off as u32))?;
-                self.mem.write_word(ptr as u32, value)
+                store(&mut self.mem, ptr as u32)
             }
         }
     }
@@ -153,6 +166,7 @@ impl Machine {
     ///
     /// [`SimError::MemOutOfBounds`] on wild data accesses.
     pub fn execute(&mut self, d: &Decoded) -> Result<Step, SimError> {
+        let mut mem_write = None;
         match d.exec {
             ExecOp::Nop => {}
             ExecOp::Halt => {
@@ -161,6 +175,7 @@ impl Machine {
                 return Ok(Step {
                     next_pc: d.pc,
                     taken: None,
+                    mem_write: None,
                     halted: true,
                 });
             }
@@ -172,7 +187,7 @@ impl Machine {
                     let a = self.read_operand(dst)?;
                     op.eval(a, b)
                 };
-                self.write_operand(dst, value)?;
+                mem_write = self.write_operand(dst, value)?;
             }
             ExecOp::Op3 { op, a, b } => {
                 let av = self.read_operand(a)?;
@@ -189,6 +204,7 @@ impl Machine {
             ExecOp::CallPush { ret } => {
                 self.sp = self.sp.wrapping_sub(4);
                 self.mem.write_word(self.sp, ret as i32)?;
+                mem_write = Some((self.sp & !3, ret as i32));
             }
             ExecOp::RetPop => {
                 // Target is read before the pop; resolve_next compensates.
@@ -215,16 +231,17 @@ impl Machine {
         Ok(Step {
             next_pc,
             taken,
+            mem_write,
             halted: false,
         })
     }
 
     /// [`Machine::execute`] plus retirement events: emits
-    /// [`PipeEvent::Issue`] for the entry (and [`PipeEvent::Halt`] /
-    /// [`PipeEvent::BranchRetire`] as applicable) at `cycle`. Both
-    /// engines retire through this method so observers see an
-    /// identical commit stream; with [`crate::NullObserver`] it
-    /// compiles to exactly `execute`.
+    /// [`PipeEvent::Issue`] and [`PipeEvent::Commit`] for the entry
+    /// (and [`PipeEvent::Halt`] / [`PipeEvent::BranchRetire`] as
+    /// applicable) at `cycle`. Both engines retire through this method
+    /// so observers see an identical commit stream; with
+    /// [`crate::NullObserver`] it compiles to exactly `execute`.
     ///
     /// # Errors
     ///
@@ -241,6 +258,19 @@ impl Machine {
                 cycle,
                 pc: d.pc,
                 folded: d.folded,
+            });
+            obs.event(PipeEvent::Commit {
+                cycle,
+                pc: d.pc,
+                next_pc: step.next_pc,
+                branch_pc: d.branch_pc,
+                folded: d.folded,
+                taken: step.taken,
+                accum: self.accum,
+                sp: self.sp,
+                flag: self.psw.flag,
+                mem_write: step.mem_write,
+                halted: step.halted,
             });
             if step.halted {
                 obs.event(PipeEvent::Halt { cycle });

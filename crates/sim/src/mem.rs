@@ -5,6 +5,21 @@ use crate::SimError;
 /// Data accesses are 32-bit words (addresses masked to 4-byte
 /// alignment, as the hardware datapath would); instruction fetches read
 /// 16-bit parcels (masked to 2-byte alignment).
+///
+/// # Unaligned accesses
+///
+/// An unaligned address is **silently rounded down** to the containing
+/// aligned unit — `read_word(17)` and `read_word(19)` both access the
+/// word at 16. This is a deliberate architectural choice, not an
+/// accident: the modelled datapath has no byte-steering, so the low
+/// address bits simply do not reach the memory array, and no
+/// `Unaligned` fault exists. Both simulation engines go through this
+/// one implementation, so they agree on the masking by construction —
+/// and the differential oracle proves it dynamically: the random
+/// program generator emits deliberately unaligned absolute operands
+/// (see `crisp_asm::rand_prog`) and the lockstep commit comparison
+/// (`run_lockstep`) requires both engines to observe identical
+/// addresses and values for every such access.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Memory {
     bytes: Vec<u8>,
@@ -34,7 +49,9 @@ impl Memory {
         }
     }
 
-    /// Read the 32-bit word at `addr` (low two address bits ignored).
+    /// Read the 32-bit word at `addr`. The low two address bits are
+    /// ignored (masked to the containing aligned word — see the type
+    /// docs on unaligned accesses); no alignment fault is raised.
     ///
     /// # Errors
     ///
@@ -49,7 +66,9 @@ impl Memory {
         ]))
     }
 
-    /// Write the 32-bit word at `addr` (low two address bits ignored).
+    /// Write the 32-bit word at `addr`. The low two address bits are
+    /// ignored (masked to the containing aligned word — see the type
+    /// docs on unaligned accesses); no alignment fault is raised.
     ///
     /// # Errors
     ///

@@ -35,6 +35,12 @@
 //! | `miss_stall_cycles`      | `StallBegin`/`StallEnd` (kind Miss)     |
 //! | `indirect_stall_cycles`  | `StallBegin`/`StallEnd` (kind Indirect) |
 //! | `pdu_decodes`            | `Decode`                                |
+//! | `cache_inserts` + `cache_refills` | `CacheFill`                    |
+//! | `cache_evictions`        | `CacheFill { evicted: Some(_), .. }`    |
+//!
+//! `Commit` events sit outside the counter table: they carry the
+//! architectural state at the shared commit point and back the
+//! differential oracle (see [`crate::CommitRecord`]).
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -192,6 +198,38 @@ pub enum PipeEvent {
         /// Cycle of the halt.
         cycle: u64,
     },
+    /// One entry retired at the shared commit point
+    /// ([`crate::Machine::execute_observed`]), carrying the
+    /// architectural state the commit produced. Both engines emit an
+    /// identical `Commit` stream for the same program — the invariant
+    /// the differential oracle ([`crate::run_lockstep`]) checks.
+    Commit {
+        /// Cycle (cycle engine) or step index (functional engine).
+        cycle: u64,
+        /// Address of the (host) entry that committed.
+        pc: u32,
+        /// The architecturally correct next PC.
+        next_pc: u32,
+        /// Address of the branch the entry carried, if any (folded
+        /// branches and standalone branch entries alike).
+        branch_pc: Option<u32>,
+        /// Whether the entry carried a folded branch.
+        folded: bool,
+        /// For conditional entries, the actual direction taken.
+        taken: Option<bool>,
+        /// Accumulator after the commit.
+        accum: i32,
+        /// Stack pointer after the commit.
+        sp: u32,
+        /// PSW condition flag after the commit.
+        flag: bool,
+        /// The memory word this instruction wrote (word-aligned
+        /// address, value), if any. The ISA writes at most one word
+        /// per instruction.
+        mem_write: Option<(u32, i32)>,
+        /// Whether this commit was a `halt`.
+        halted: bool,
+    },
 }
 
 impl PipeEvent {
@@ -210,7 +248,8 @@ impl PipeEvent {
             | PipeEvent::Squash { cycle, .. }
             | PipeEvent::StallBegin { cycle, .. }
             | PipeEvent::StallEnd { cycle, .. }
-            | PipeEvent::Halt { cycle } => cycle,
+            | PipeEvent::Halt { cycle }
+            | PipeEvent::Commit { cycle, .. } => cycle,
         }
     }
 }
@@ -417,6 +456,37 @@ impl PipeEvent {
                 kind.name()
             ),
             PipeEvent::Halt { cycle } => write!(s, r#"{{"ev":"halt","cycle":{cycle}}}"#),
+            PipeEvent::Commit {
+                cycle,
+                pc,
+                next_pc,
+                branch_pc,
+                folded,
+                taken,
+                accum,
+                sp,
+                flag,
+                mem_write,
+                halted,
+            } => {
+                let opt = |v: Option<u32>| match v {
+                    Some(n) => n.to_string(),
+                    None => "null".to_string(),
+                };
+                let (mw_addr, mw_val) = match mem_write {
+                    Some((a, v)) => (a.to_string(), v.to_string()),
+                    None => ("null".to_string(), "null".to_string()),
+                };
+                let taken = match taken {
+                    Some(b) => b.to_string(),
+                    None => "null".to_string(),
+                };
+                write!(
+                    s,
+                    r#"{{"ev":"commit","cycle":{cycle},"pc":{pc},"next_pc":{next_pc},"branch_pc":{},"folded":{folded},"taken":{taken},"accum":{accum},"sp":{sp},"flag":{flag},"mw_addr":{mw_addr},"mw_val":{mw_val},"halted":{halted}}}"#,
+                    opt(branch_pc)
+                )
+            }
         };
         s
     }
@@ -437,8 +507,34 @@ impl PipeEvent {
         };
         let num = |k: &str| -> Result<u64, String> {
             match get(k)? {
-                JsonValue::Num(n) => Ok(*n),
+                JsonValue::Num(n) => {
+                    u64::try_from(*n).map_err(|_| format!("field `{k}`: negative"))
+                }
                 v => Err(format!("field `{k}`: expected number, got {v:?}")),
+            }
+        };
+        let signed = |k: &str| -> Result<i32, String> {
+            match get(k)? {
+                JsonValue::Num(n) => {
+                    i32::try_from(*n).map_err(|_| format!("field `{k}`: out of range"))
+                }
+                v => Err(format!("field `{k}`: expected number, got {v:?}")),
+            }
+        };
+        let opt_pc = |k: &str| -> Result<Option<u32>, String> {
+            match get(k)? {
+                JsonValue::Null => Ok(None),
+                JsonValue::Num(n) => u32::try_from(*n)
+                    .map(Some)
+                    .map_err(|_| format!("field `{k}`: out of range")),
+                v => Err(format!("field `{k}`: expected number/null, got {v:?}")),
+            }
+        };
+        let opt_bool = |k: &str| -> Result<Option<bool>, String> {
+            match get(k)? {
+                JsonValue::Null => Ok(None),
+                JsonValue::Bool(b) => Ok(Some(*b)),
+                v => Err(format!("field `{k}`: expected bool/null, got {v:?}")),
             }
         };
         let boolean = |k: &str| -> Result<bool, String> {
@@ -491,13 +587,23 @@ impl PipeEvent {
             "cache_fill" => Ok(PipeEvent::CacheFill {
                 cycle,
                 pc: pc("pc")?,
-                evicted: match get("evicted")? {
-                    JsonValue::Null => None,
-                    JsonValue::Num(n) => {
-                        Some(u32::try_from(*n).map_err(|_| "evicted out of range".to_string())?)
-                    }
-                    v => return Err(format!("field `evicted`: expected number/null, got {v:?}")),
+                evicted: opt_pc("evicted")?,
+            }),
+            "commit" => Ok(PipeEvent::Commit {
+                cycle,
+                pc: pc("pc")?,
+                next_pc: pc("next_pc")?,
+                branch_pc: opt_pc("branch_pc")?,
+                folded: boolean("folded")?,
+                taken: opt_bool("taken")?,
+                accum: signed("accum")?,
+                sp: pc("sp")?,
+                flag: boolean("flag")?,
+                mem_write: match (opt_pc("mw_addr")?, get("mw_val")?) {
+                    (None, _) => None,
+                    (Some(a), _) => Some((a, signed("mw_val")?)),
                 },
+                halted: boolean("halted")?,
             }),
             "issue" => Ok(PipeEvent::Issue {
                 cycle,
@@ -546,15 +652,15 @@ impl PipeEvent {
 
 #[derive(Debug)]
 enum JsonValue {
-    Num(u64),
+    Num(i64),
     Bool(bool),
     Str(String),
     Null,
 }
 
-/// Parse a single-level `{"key":value,...}` object with number, bool,
-/// string and null values — exactly the shape [`PipeEvent::to_json`]
-/// emits. Not a general JSON parser.
+/// Parse a single-level `{"key":value,...}` object with (possibly
+/// negative) integer, bool, string and null values — exactly the shape
+/// [`PipeEvent::to_json`] emits. Not a general JSON parser.
 fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
     let line = line.trim();
     let inner = line
@@ -588,16 +694,16 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
         } else if let Some(after) = rest.strip_prefix("null") {
             (JsonValue::Null, after)
         } else {
-            let end = rest
+            let digits = rest.strip_prefix('-').unwrap_or(rest);
+            let end = digits
                 .find(|c: char| !c.is_ascii_digit())
-                .unwrap_or(rest.len());
+                .unwrap_or(digits.len());
             if end == 0 {
                 return Err(format!("bad value at `{rest}`"));
             }
-            let n = rest[..end]
-                .parse()
-                .map_err(|_| format!("bad number `{}`", &rest[..end]))?;
-            (JsonValue::Num(n), &rest[end..])
+            let lit = &rest[..rest.len() - (digits.len() - end)];
+            let n = lit.parse().map_err(|_| format!("bad number `{lit}`"))?;
+            (JsonValue::Num(n), &digits[end..])
         };
         fields.push((key.to_string(), value));
         rest = remainder.trim_start();
@@ -952,6 +1058,32 @@ mod tests {
             PipeEvent::StallEnd {
                 cycle: 9,
                 kind: StallKind::Indirect,
+            },
+            PipeEvent::Commit {
+                cycle: 7,
+                pc: 0,
+                next_pc: 12,
+                branch_pc: Some(2),
+                folded: true,
+                taken: Some(true),
+                accum: -5,
+                sp: 0x3_fffc,
+                flag: true,
+                mem_write: Some((0x1_0000, -42)),
+                halted: false,
+            },
+            PipeEvent::Commit {
+                cycle: 10,
+                pc: 12,
+                next_pc: 12,
+                branch_pc: None,
+                folded: false,
+                taken: None,
+                accum: 0,
+                sp: 0x4_0000,
+                flag: false,
+                mem_write: None,
+                halted: true,
             },
             PipeEvent::Halt { cycle: 10 },
         ]

@@ -127,6 +127,26 @@ pub struct RunStats {
     pub opcodes: OpcodeCounts,
 }
 
+/// The one named mapping from a branch's resolving stage to its index
+/// in [`CycleStats::mispredicts_by_stage`] and in
+/// [`crate::PipeEvent::BranchResolve`]/[`crate::PipeEvent::Squash`].
+///
+/// The index *is* the mispredict penalty in cycles (the paper's
+/// schedule): a branch resolved at cache-read time costs 0, at IR 1,
+/// at OR 2, and at RR (the folded-compare case) 3. Every bookkeeping
+/// site in the pipeline goes through these constants so a mis-indexed
+/// stage cannot silently corrupt the Table 3 reproduction.
+pub mod resolve_stage {
+    /// Resolved at cache-read (fetch) time — 0-cycle penalty.
+    pub const FETCH: usize = 0;
+    /// Resolved from the Instruction Register stage — 1 cycle.
+    pub const IR: usize = 1;
+    /// Resolved from the Operand Register stage — 2 cycles.
+    pub const OR: usize = 2;
+    /// Resolved at Result Register retire (folded compare) — 3 cycles.
+    pub const RR: usize = 3;
+}
+
 /// Counters produced by the cycle engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CycleStats {
@@ -156,6 +176,13 @@ pub struct CycleStats {
     pub indirect_stall_cycles: u64,
     /// Instructions decoded by the PDU (including wrong-path decodes).
     pub pdu_decodes: u64,
+    /// Decoded-cache fills that made a new PC resident (distinct from
+    /// same-PC refills — see [`crate::DecodedCache::inserts`]).
+    pub cache_inserts: u64,
+    /// Decoded-cache fills that re-wrote an already-resident PC.
+    pub cache_refills: u64,
+    /// Decoded-cache fills that displaced a different PC.
+    pub cache_evictions: u64,
 }
 
 impl CycleStats {
@@ -184,6 +211,7 @@ impl CycleStats {
                 r#""mispredicts":{},"mispredicts_by_stage":[{},{},{},{}],"flushed_slots":{},"#,
                 r#""resolved_at_fetch":{},"icache_hits":{},"icache_misses":{},"#,
                 r#""miss_stall_cycles":{},"indirect_stall_cycles":{},"pdu_decodes":{},"#,
+                r#""cache_inserts":{},"cache_refills":{},"cache_evictions":{},"#,
                 r#""cycles_per_issued":{:.6},"apparent_cpi":{:.6}}}"#
             ),
             self.cycles,
@@ -202,6 +230,9 @@ impl CycleStats {
             self.miss_stall_cycles,
             self.indirect_stall_cycles,
             self.pdu_decodes,
+            self.cache_inserts,
+            self.cache_refills,
+            self.cache_evictions,
             self.cycles_per_issued(),
             self.apparent_cpi(),
         )
@@ -234,7 +265,12 @@ impl fmt::Display for CycleStats {
             "stall cycles         : {} miss / {} indirect",
             self.miss_stall_cycles, self.indirect_stall_cycles
         )?;
-        writeln!(f, "pdu decodes          : {}", self.pdu_decodes)
+        writeln!(f, "pdu decodes          : {}", self.pdu_decodes)?;
+        writeln!(
+            f,
+            "cache fills          : {} inserts / {} refills / {} evictions",
+            self.cache_inserts, self.cache_refills, self.cache_evictions
+        )
     }
 }
 
@@ -372,6 +408,9 @@ mod tests {
             icache_misses: 5,
             miss_stall_cycles: 7,
             indirect_stall_cycles: 2,
+            cache_inserts: 5,
+            cache_refills: 2,
+            cache_evictions: 1,
             ..CycleStats::default()
         };
         let text = s.to_string();
@@ -379,10 +418,18 @@ mod tests {
         assert!(text.contains("mispredicts          : 6"), "{text}");
         assert!(text.contains("90 hits / 5 misses"), "{text}");
         assert!(text.contains("7 miss / 2 indirect"), "{text}");
+        assert!(
+            text.contains("5 inserts / 2 refills / 1 evictions"),
+            "{text}"
+        );
         let json = s.to_json();
         assert!(json.contains(r#""cycles":100"#), "{json}");
         assert!(
             json.contains(r#""mispredicts_by_stage":[1,0,2,3]"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""cache_inserts":5,"cache_refills":2,"cache_evictions":1"#),
             "{json}"
         );
         assert!(json.contains(r#""apparent_cpi":0.833333"#), "{json}");

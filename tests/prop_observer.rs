@@ -173,6 +173,9 @@ struct Tally {
     miss_stall: u64,
     indirect_stall: u64,
     halts: u64,
+    commits: u64,
+    cache_fills: u64,
+    cache_fills_evicting: u64,
 }
 
 fn tally(events: &[PipeEvent]) -> Result<Tally, TestCaseError> {
@@ -204,7 +207,11 @@ fn tally(events: &[PipeEvent]) -> Result<Tally, TestCaseError> {
             PipeEvent::Decode { .. } => t.decodes += 1,
             PipeEvent::Fold { .. } => t.folds += 1,
             PipeEvent::FoldFail { .. } => t.fold_fails += 1,
-            PipeEvent::CacheFill { .. } => {}
+            PipeEvent::CacheFill { evicted, .. } => {
+                t.cache_fills += 1;
+                t.cache_fills_evicting += u64::from(evicted.is_some());
+            }
+            PipeEvent::Commit { .. } => t.commits += 1,
             PipeEvent::StallBegin { cycle, kind } => {
                 prop_assert!(open.is_none(), "nested StallBegin at cycle {cycle}");
                 open = Some((kind, cycle));
@@ -281,6 +288,18 @@ proptest! {
             prop_assert_eq!(t.miss_stall, run.stats.miss_stall_cycles);
             prop_assert_eq!(t.indirect_stall, run.stats.indirect_stall_cycles);
             prop_assert_eq!(t.halts, 1);
+            // One architectural commit per issued entry, no more (a
+            // squashed wrong-path slot must never reach the commit
+            // point).
+            prop_assert_eq!(t.commits, run.stats.issued);
+            // Cache fills split into first-time inserts vs same-PC
+            // refills; every eviction is a fill that displaced a
+            // different tag.
+            prop_assert_eq!(
+                t.cache_fills,
+                run.stats.cache_inserts + run.stats.cache_refills
+            );
+            prop_assert_eq!(t.cache_fills_evicting, run.stats.cache_evictions);
             // Every retired conditional branch resolved exactly once.
             prop_assert_eq!(
                 t.resolves_by_stage.iter().sum::<u64>(),
