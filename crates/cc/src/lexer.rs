@@ -176,7 +176,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
         }
         // Character literals (value of the byte).
         if c == b'\'' {
-            if i + 2 < bytes.len() && bytes[i + 1] == b'\\' && bytes[i + 3] == b'\'' {
+            if i + 3 < bytes.len() && bytes[i + 1] == b'\\' && bytes[i + 3] == b'\'' {
                 let v = match bytes[i + 2] {
                     b'n' => b'\n',
                     b't' => b'\t',
@@ -288,6 +288,13 @@ mod tests {
         assert_eq!(kinds("'a'")[0], Tok::Int(97));
         assert_eq!(kinds("'\\n'")[0], Tok::Int(10));
         assert_eq!(kinds("'\\0'")[0], Tok::Int(0));
+    }
+
+    #[test]
+    fn truncated_char_literals_are_errors_not_panics() {
+        for src in ["'", "'a", "'\\", "'\\n", "'\\x", "''", "'é'"] {
+            assert!(lex(src).is_err(), "lex({src:?}) should error");
+        }
     }
 
     #[test]

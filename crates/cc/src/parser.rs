@@ -11,7 +11,11 @@ use crate::CcError;
 /// [`CcError::Lex`] / [`CcError::Parse`] with line numbers.
 pub fn parse(src: &str) -> Result<Unit, CcError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut unit = Unit::default();
     while !p.at_eof() {
         unit.items.extend(p.item()?);
@@ -19,9 +23,17 @@ pub fn parse(src: &str) -> Result<Unit, CcError> {
     Ok(unit)
 }
 
+/// Recursion budget for nested statements/expressions. Far beyond any
+/// real program, but small enough that the parse stack at the limit
+/// (roughly a dozen frames per level through the precedence chain)
+/// stays well inside a default thread stack; hostile input like
+/// `((((...` errors out instead of overflowing.
+const MAX_DEPTH: usize = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -207,7 +219,24 @@ impl Parser {
         Ok(out)
     }
 
+    /// Enter one level of statement/expression nesting, erroring out
+    /// (instead of overflowing the stack) past [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), CcError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        Ok(())
+    }
+
     fn stmt(&mut self) -> Result<Stmt, CcError> {
+        self.descend()?;
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, CcError> {
         if self.eat_punct("{") {
             return Ok(Stmt::Block(self.block_body()?));
         }
@@ -353,7 +382,10 @@ impl Parser {
     // ---- expressions (precedence climbing) ----
 
     fn expr(&mut self) -> Result<Expr, CcError> {
-        self.assignment()
+        self.descend()?;
+        let r = self.assignment();
+        self.depth -= 1;
+        r
     }
 
     fn assignment(&mut self) -> Result<Expr, CcError> {
@@ -436,6 +468,15 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, CcError> {
+        // `----x` recurses here without passing through `expr`, so the
+        // chain needs its own depth guard.
+        self.descend()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, CcError> {
         if self.eat_punct("-") {
             return Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary()?)));
         }
@@ -689,6 +730,27 @@ mod tests {
         assert!(matches!(err, CcError::Parse { .. }));
         let err = parse("float f;").unwrap_err();
         assert!(matches!(err, CcError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        let parens = format!(
+            "void f() {{ int x; x = {}1{}; }}",
+            "(".repeat(5000),
+            ")".repeat(5000)
+        );
+        assert!(matches!(parse(&parens), Err(CcError::Parse { .. })));
+        let negs = format!("void f() {{ int x; x = {}1; }}", "-".repeat(5000));
+        assert!(matches!(parse(&negs), Err(CcError::Parse { .. })));
+        let blocks = format!("void f() {}1; {}", "{".repeat(5000), "}".repeat(5000));
+        assert!(parse(&blocks).is_err());
+        // Realistic nesting stays well inside the budget.
+        let ok = format!(
+            "void f() {{ int x; x = {}1{}; }}",
+            "(".repeat(25),
+            ")".repeat(25)
+        );
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

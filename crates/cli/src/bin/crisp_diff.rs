@@ -14,22 +14,28 @@
 //!   --c-programs N    generated mini-C programs (default 50)
 //!   --max-blocks N    block budget per generated program (default 10)
 //!   --jobs N          worker threads (default: available cores)
+//!   --max-cycles N    watchdog budget per lockstep run (overrides
+//!                     every sweep configuration)
 //!   --smoke           bounded CI run (64 asm + 8 C programs)
+//!   --resume FILE     checkpoint campaign progress in FILE
 //!   --inject          demonstrate the oracle: run with the
 //!                     skip-OR-squash fault injected, expect it to be
 //!                     caught and shrunk
 //! ```
 //!
-//! Exit status is 0 when every program agrees on every configuration
-//! (or when `--inject` catches the planted bug), 1 otherwise.
+//! Worker panics are caught per program and reported as failures with
+//! the offending seed. Exit status is 0 when every program agrees on
+//! every configuration (or when `--inject` catches the planted bug),
+//! 1 otherwise.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crisp_asm::rand_prog::{shrink, GenProgram};
 use crisp_cc::{compile_crisp, generate_c, CompileOptions, PredictionMode};
-use crisp_cli::{extract_flag, extract_switch};
+use crisp_cli::{extract_flag, extract_switch, Checkpoint};
 use crisp_sim::{
     run_lockstep, sweep_configs, Divergence, FaultInjection, LockstepOutcome, SimConfig,
 };
@@ -121,7 +127,8 @@ fn run() -> Result<ExitCode, String> {
     if raw.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: crisp-diff [--seed N] [--programs N] [--c-programs N] \
-             [--max-blocks N] [--jobs N] [--smoke] [--inject]"
+             [--max-blocks N] [--jobs N] [--max-cycles N] [--smoke] \
+             [--resume FILE] [--inject]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -138,11 +145,22 @@ fn run() -> Result<ExitCode, String> {
         "--jobs",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     )?;
+    let max_cycles: Option<u64> = extract_flag(&mut raw, "--max-cycles")
+        .map_err(|e| e.to_string())?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--max-cycles: bad value `{v}`"))
+        })
+        .transpose()?;
+    let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
     if let Some(flag) = raw.first() {
         return Err(format!("unknown flag `{flag}`"));
     }
     if jobs == 0 {
         return Err("--jobs must be at least 1".into());
+    }
+    if max_cycles == Some(0) {
+        return Err("--max-cycles must be at least 1".into());
     }
 
     if inject {
@@ -171,68 +189,119 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
-    let configs = sweep_configs();
+    let mut configs = sweep_configs();
+    if let Some(mc) = max_cycles {
+        for cfg in &mut configs {
+            cfg.max_cycles = mc;
+        }
+    }
+    let total = work.len() as u64;
+    let mut cp = match &resume_path {
+        Some(path) => {
+            let loaded = Checkpoint::load(path).map_err(|e| e.to_string())?;
+            if let Some(cp) = &loaded {
+                println!(
+                    "crisp-diff: resuming from {path} ({} / {total} programs done)",
+                    cp.completed
+                );
+            }
+            loaded.unwrap_or_default()
+        }
+        None => Checkpoint::default(),
+    };
+    if cp.completed > total {
+        return Err(format!(
+            "checkpoint claims {} completed programs but the campaign has only {total}",
+            cp.completed
+        ));
+    }
+
     println!(
-        "crisp-diff: {} programs x {} configurations on {jobs} threads (base seed {seed})",
-        work.len(),
+        "crisp-diff: {total} programs x {} configurations on {jobs} threads (base seed {seed})",
         configs.len()
     );
 
-    let next = AtomicUsize::new(0);
-    let stop = AtomicBool::new(false);
-    let commits = AtomicU64::new(0);
     let failure: Mutex<Option<Failure>> = Mutex::new(None);
-
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                // Work stealing: each thread claims the next unchecked
-                // program; heavier programs simply hold their thread
-                // longer.
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= work.len() || stop.load(Ordering::Relaxed) {
-                    return;
-                }
-                let program = &work[i];
-                let image = match program.image() {
-                    Ok(image) => image,
-                    Err(e) => {
-                        eprintln!("crisp-diff: {}: {e}", program.describe());
-                        stop.store(true, Ordering::Relaxed);
+    let panicked: Mutex<Option<String>> = Mutex::new(None);
+    let aborted: Mutex<Option<String>> = Mutex::new(None);
+    let chunk = (jobs as u64 * 8).max(32);
+    while cp.completed < total {
+        let start = cp.completed;
+        let end = (start + chunk).min(total);
+        let next = AtomicU64::new(start);
+        let stop = AtomicBool::new(false);
+        let commits = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    // Work stealing: each thread claims the next
+                    // unchecked program; heavier programs simply hold
+                    // their thread longer.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= end || stop.load(Ordering::Relaxed) {
                         return;
                     }
-                };
-                for cfg in &configs {
-                    match run_lockstep(&image, *cfg) {
-                        Ok(LockstepOutcome::Agree { commits: c, .. }) => {
-                            commits.fetch_add(c, Ordering::Relaxed);
-                        }
-                        Ok(LockstepOutcome::Diverge(d)) => {
-                            let shrunk = shrink_failure(program, *cfg, *d);
-                            *failure.lock().unwrap() = Some(shrunk);
+                    let program = &work[i as usize];
+                    // A panic anywhere in the harness must not take the
+                    // whole campaign down: record it as a failure with
+                    // the seed and stop cleanly.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        check_program(program, &configs, &commits)
+                    }));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(CheckFail::Load(msg))) => {
+                            *aborted.lock().unwrap() = Some(msg);
                             stop.store(true, Ordering::Relaxed);
                             return;
                         }
-                        Err(e) => {
-                            eprintln!(
-                                "crisp-diff: {}: load failed under {cfg:?}: {e}",
-                                program.describe()
-                            );
+                        Ok(Err(CheckFail::Diverge(cfg, d))) => {
+                            *failure.lock().unwrap() = Some(shrink_failure(program, cfg, *d));
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(payload) => {
+                            let what = if let Some(s) = payload.downcast_ref::<&str>() {
+                                (*s).to_string()
+                            } else if let Some(s) = payload.downcast_ref::<String>() {
+                                s.clone()
+                            } else {
+                                "unknown panic payload".to_string()
+                            };
+                            *panicked.lock().unwrap() =
+                                Some(format!("{}: worker panicked: {what}", program.describe()));
                             stop.store(true, Ordering::Relaxed);
                             return;
                         }
                     }
-                }
-            });
+                });
+            }
+        });
+        let failed = failure.lock().unwrap().is_some()
+            || panicked.lock().unwrap().is_some()
+            || aborted.lock().unwrap().is_some();
+        if failed {
+            break;
         }
-    });
+        cp.completed = end;
+        cp.tally("commits", commits.load(Ordering::Relaxed));
+        if let Some(path) = &resume_path {
+            cp.save(path).map_err(|e| e.to_string())?;
+        }
+    }
 
+    if let Some(msg) = aborted.into_inner().unwrap() {
+        return Err(format!("campaign aborted: {msg}"));
+    }
+    if let Some(msg) = panicked.into_inner().unwrap() {
+        println!("crisp-diff: PANIC — {msg}");
+        return Ok(ExitCode::FAILURE);
+    }
     match failure.into_inner().unwrap() {
-        None if stop.load(Ordering::Relaxed) => Err("campaign aborted".into()),
         None => {
             println!(
                 "crisp-diff: all agree ({} commits compared)",
-                commits.load(Ordering::Relaxed)
+                cp.get("commits")
             );
             Ok(ExitCode::SUCCESS)
         }
@@ -241,6 +310,42 @@ fn run() -> Result<ExitCode, String> {
             Ok(ExitCode::FAILURE)
         }
     }
+}
+
+/// Why one program's configuration sweep stopped.
+enum CheckFail {
+    /// The program would not assemble/compile or load — a harness bug.
+    Load(String),
+    /// The engines disagreed under this configuration. Boxed: the
+    /// divergence record is large and the happy path returns `Ok(())`.
+    Diverge(SimConfig, Box<Divergence>),
+}
+
+/// Run one program across every sweep configuration, accumulating
+/// compared commits.
+fn check_program(
+    program: &Program,
+    configs: &[SimConfig],
+    commits: &AtomicU64,
+) -> Result<(), CheckFail> {
+    let image = program
+        .image()
+        .map_err(|e| CheckFail::Load(format!("{}: {e}", program.describe())))?;
+    for cfg in configs {
+        match run_lockstep(&image, *cfg) {
+            Ok(LockstepOutcome::Agree { commits: c, .. }) => {
+                commits.fetch_add(c, Ordering::Relaxed);
+            }
+            Ok(LockstepOutcome::Diverge(d)) => return Err(CheckFail::Diverge(*cfg, d)),
+            Err(e) => {
+                return Err(CheckFail::Load(format!(
+                    "{}: load failed under {cfg:?}: {e}",
+                    program.describe()
+                )))
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Shrink a failing assembly program (mini-C failures are reported

@@ -1,0 +1,373 @@
+//! `crisp-fault` — soft-error fault-injection campaign driver.
+//!
+//! Generates seeded random programs, injects single-bit transient
+//! faults into live decoded-cache entries at chosen cycles, and
+//! measures the outcome twice per fault:
+//!
+//! * Under `ParityMode::DetectInvalidate` every injected fault must be
+//!   masked — the parity check detects the flip at issue, the entry is
+//!   invalidated and redecoded, and the commit stream matches the
+//!   fault-free reference. Anything else is a bug in the recovery path
+//!   and fails the campaign.
+//! * Under `ParityMode::Off` each fault is classified as masked, SDC
+//!   (silent data corruption), control-flow divergence or hang,
+//!   accumulating AVF-style per-field vulnerability statistics.
+//!
+//! ```text
+//! crisp-fault [OPTIONS]
+//!
+//!   --seed N          base seed for the campaign (default 0)
+//!   --programs N      generated programs (default 8)
+//!   --faults N        faults injected per program (default 64)
+//!   --max-blocks N    block budget per generated program (default 10)
+//!   --jobs N          worker threads (default: available cores)
+//!   --max-cycles N    watchdog budget per run (default 200000)
+//!   --smoke           bounded CI run (2 programs x 32 faults)
+//!   --resume FILE     checkpoint campaign progress in FILE
+//!   --report FILE     write the JSON AVF report to FILE
+//! ```
+//!
+//! Worker panics are caught per case and reported as failures with the
+//! offending seed and fault plan. Exit status is 0 when every fault is
+//! recovered under parity protection, 1 otherwise.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crisp_asm::rand_prog::{GenProgram, Rng};
+use crisp_asm::Image;
+use crisp_cli::{extract_flag, extract_switch, Checkpoint};
+use crisp_sim::{
+    classify_fault, nth_field, FaultOutcome, FaultPlan, ParityMode, SimConfig, FAULT_SPACE,
+    FIELD_NAMES,
+};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("crisp-fault: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One failed campaign case: either the parity recovery missed an
+/// injected fault, or a worker panicked mid-case.
+struct Failure {
+    program_seed: u64,
+    plan: FaultPlan,
+    detail: String,
+}
+
+/// Result of the `ParityMode::Off` classification phase.
+enum CaseClass {
+    /// Both phases ran; the unprotected outcome is tallied.
+    Classified(FaultOutcome),
+    /// The fault-free reference did not halt within the watchdog
+    /// budget — the case is tallied as skipped, not failed.
+    Skipped,
+}
+
+fn parse_num<T: std::str::FromStr>(
+    raw: &mut Vec<String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match extract_flag(raw, name).map_err(|e| e.to_string())? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name}: bad value `{v}`")),
+    }
+}
+
+/// Derive the deterministic fault plan for campaign case `case`.
+fn plan_for(seed: u64, case: u64, icache_entries: u64) -> FaultPlan {
+    let mut rng = Rng::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(case));
+    FaultPlan {
+        // Bias strike cycles toward the start of the run so most
+        // faults land before the program halts.
+        cycle: rng.below(400),
+        slot: rng.below(icache_entries) as u32,
+        field: nth_field(rng.below(FAULT_SPACE)),
+    }
+}
+
+/// Run one case: verify parity recovery, then classify unprotected.
+///
+/// `Err` means the parity-protected run did NOT reconverge to the
+/// fault-free commit stream — a recovery bug.
+fn run_case(image: &Image, plan: FaultPlan, max_cycles: u64) -> Result<CaseClass, String> {
+    let protected = SimConfig {
+        parity: ParityMode::DetectInvalidate,
+        fault_plan: Some(plan),
+        max_cycles,
+        ..SimConfig::default()
+    };
+    match classify_fault(image, protected) {
+        Err(_) => return Ok(CaseClass::Skipped),
+        Ok(FaultOutcome::Masked) => {}
+        Ok(other) => {
+            return Err(format!(
+                "DetectInvalidate failed to mask the fault (outcome: {})",
+                other.name()
+            ))
+        }
+    }
+    let unprotected = SimConfig {
+        parity: ParityMode::Off,
+        ..protected
+    };
+    match classify_fault(image, unprotected) {
+        Err(_) => Ok(CaseClass::Skipped),
+        Ok(outcome) => Ok(CaseClass::Classified(outcome)),
+    }
+}
+
+/// Render a panic payload as text.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".into()
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: crisp-fault [--seed N] [--programs N] [--faults N] [--max-blocks N] \
+             [--jobs N] [--max-cycles N] [--smoke] [--resume FILE] [--report FILE]"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let smoke = extract_switch(&mut raw, "--smoke");
+    let seed: u64 = parse_num(&mut raw, "--seed", 0)?;
+    let default_programs: u64 = if smoke { 2 } else { 8 };
+    let default_faults: u64 = if smoke { 32 } else { 64 };
+    let programs: u64 = parse_num(&mut raw, "--programs", default_programs)?;
+    let faults: u64 = parse_num(&mut raw, "--faults", default_faults)?;
+    let max_blocks: usize = parse_num(&mut raw, "--max-blocks", 10)?;
+    let max_cycles: u64 = parse_num(&mut raw, "--max-cycles", 200_000)?;
+    let jobs: usize = parse_num(
+        &mut raw,
+        "--jobs",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )?;
+    let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
+    let report_path = extract_flag(&mut raw, "--report").map_err(|e| e.to_string())?;
+    if let Some(flag) = raw.first() {
+        return Err(format!("unknown flag `{flag}`"));
+    }
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    if programs == 0 || faults == 0 {
+        return Err("--programs and --faults must be at least 1".into());
+    }
+    if max_cycles == 0 {
+        return Err("--max-cycles must be at least 1".into());
+    }
+
+    // The work list is deterministic in (seed, programs, faults,
+    // max_blocks), which is what makes --resume sound: case i always
+    // means the same (program, fault plan) pair.
+    let mut images: Vec<(u64, Image)> = Vec::with_capacity(programs as usize);
+    for p in 0..programs {
+        let pseed = seed.wrapping_add(p);
+        let prog = GenProgram::generate(pseed, max_blocks);
+        let image = prog
+            .image()
+            .map_err(|e| format!("assembling program seed {pseed}: {e}"))?;
+        images.push((pseed, image));
+    }
+    let icache_entries = SimConfig::default().icache_entries as u64;
+
+    let total = programs * faults;
+    let mut cp = match &resume_path {
+        Some(path) => {
+            let loaded = Checkpoint::load(path).map_err(|e| e.to_string())?;
+            if let Some(cp) = &loaded {
+                println!(
+                    "crisp-fault: resuming from {path} ({} / {total} cases done)",
+                    cp.completed
+                );
+            }
+            loaded.unwrap_or_default()
+        }
+        None => Checkpoint::default(),
+    };
+    if cp.completed > total {
+        return Err(format!(
+            "checkpoint claims {} completed cases but the campaign has only {total}",
+            cp.completed
+        ));
+    }
+
+    println!(
+        "crisp-fault: {programs} programs x {faults} faults on {jobs} threads (base seed {seed})"
+    );
+
+    let chunk = (jobs as u64 * 32).max(64);
+    let failure: Mutex<Option<Failure>> = Mutex::new(None);
+    while cp.completed < total {
+        let start = cp.completed;
+        let end = (start + chunk).min(total);
+        let next = AtomicU64::new(start);
+        let stop = AtomicBool::new(false);
+        let shared = Mutex::new(&mut cp);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= end || stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let (pseed, image) = &images[(i / faults) as usize];
+                    let plan = plan_for(seed, i, icache_entries);
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| run_case(image, plan, max_cycles)));
+                    match outcome {
+                        Ok(Ok(CaseClass::Classified(o))) => {
+                            let mut cp = shared.lock().unwrap();
+                            cp.tally("verified", 1);
+                            cp.tally(&format!("{}.{}", plan.field.name(), o.name()), 1);
+                        }
+                        Ok(Ok(CaseClass::Skipped)) => {
+                            shared.lock().unwrap().tally("skipped", 1);
+                        }
+                        Ok(Err(detail)) => {
+                            *failure.lock().unwrap() = Some(Failure {
+                                program_seed: *pseed,
+                                plan,
+                                detail,
+                            });
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(payload) => {
+                            *failure.lock().unwrap() = Some(Failure {
+                                program_seed: *pseed,
+                                plan,
+                                detail: panic_text(payload),
+                            });
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        if failure.lock().unwrap().is_some() {
+            break;
+        }
+        cp.completed = end;
+        if let Some(path) = &resume_path {
+            cp.save(path).map_err(|e| e.to_string())?;
+        }
+    }
+
+    if let Some(f) = failure.into_inner().unwrap() {
+        println!("crisp-fault: FAILURE");
+        println!("  program seed : {}", f.program_seed);
+        println!(
+            "  fault plan   : cycle {} slot {} field {:?}",
+            f.plan.cycle, f.plan.slot, f.plan.field
+        );
+        println!("  detail       : {}", f.detail);
+        println!(
+            "  reproduce    : crisp-fault --seed {seed} --programs {programs} --faults {faults}"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+
+    print_report(&cp, programs, faults, report_path.as_deref())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Per-field outcome counts pulled back out of the checkpoint tallies.
+struct FieldRow {
+    field: &'static str,
+    counts: [u64; 4],
+    total: u64,
+    avf: f64,
+}
+
+fn field_rows(cp: &Checkpoint) -> Vec<FieldRow> {
+    FIELD_NAMES
+        .iter()
+        .map(|field| {
+            let mut counts = [0u64; 4];
+            for (slot, outcome) in FaultOutcome::ALL.iter().enumerate() {
+                counts[slot] = cp.get(&format!("{field}.{}", outcome.name()));
+            }
+            let total: u64 = counts.iter().sum();
+            // Architectural Vulnerability Factor: the fraction of
+            // injected faults that were NOT masked.
+            let avf = if total == 0 {
+                0.0
+            } else {
+                1.0 - counts[0] as f64 / total as f64
+            };
+            FieldRow {
+                field,
+                counts,
+                total,
+                avf,
+            }
+        })
+        .collect()
+}
+
+fn print_report(
+    cp: &Checkpoint,
+    programs: u64,
+    faults: u64,
+    report_path: Option<&str>,
+) -> Result<(), String> {
+    let rows = field_rows(cp);
+    let verified = cp.get("verified");
+    let skipped = cp.get("skipped");
+
+    println!("crisp-fault: {verified} faults recovered under DetectInvalidate, {skipped} skipped");
+    println!(
+        "  {:<10} {:>6} {:>7} {:>5} {:>9} {:>5}   {:>6}",
+        "field", "total", "masked", "sdc", "ctrl-div", "hang", "AVF"
+    );
+    for r in &rows {
+        println!(
+            "  {:<10} {:>6} {:>7} {:>5} {:>9} {:>5}   {:>6.3}",
+            r.field, r.total, r.counts[0], r.counts[1], r.counts[2], r.counts[3], r.avf
+        );
+    }
+
+    let mut json = format!(
+        "{{\"programs\":{programs},\"faults_per_program\":{faults},\"cases\":{},\
+         \"verified\":{verified},\"skipped\":{skipped},\"fields\":[",
+        cp.completed
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"field\":\"{}\",\"masked\":{},\"sdc\":{},\"control-divergence\":{},\
+             \"hang\":{},\"total\":{},\"avf\":{:.6}}}",
+            r.field, r.counts[0], r.counts[1], r.counts[2], r.counts[3], r.total, r.avf
+        ));
+    }
+    json.push_str("]}");
+
+    match report_path {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("crisp-fault: report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}

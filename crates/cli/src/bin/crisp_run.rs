@@ -23,6 +23,10 @@
 //!   --branch-trace               print the branch trace (functional
 //!                                engine only)
 //!   --fold POLICY --icache N --mem-latency N   machine configuration
+//!   --max-cycles N --max-insns N               watchdog limits (a run
+//!                                              that exceeds one ends
+//!                                              gracefully with halt
+//!                                              reason `watchdog`)
 //!   --no-spread --predict MODE                 compiler configuration
 //! ```
 //!
@@ -136,6 +140,7 @@ fn run() -> Result<(), String> {
         };
 
         print!("{}", run.stats);
+        println!("halt reason          : {}", run.halt_reason.name());
         println!("accumulator          : {}", run.machine.accum);
         emit_observations(
             &events,
@@ -149,7 +154,16 @@ fn run() -> Result<(), String> {
         }
     } else {
         let mut obs = (EventRing::new(TRACE_CAPACITY), BranchProfiler::new());
-        let sim = FunctionalSim::new(machine).record_trace(branch_trace);
+        // The functional engine has no cycle clock: the watchdog bounds
+        // pipeline entries (steps) instead. `--max-insns` tightens the
+        // same bound, since entries never exceed program instructions.
+        let steps = args
+            .sim
+            .max_insns
+            .map_or(args.sim.max_cycles, |n| n.min(args.sim.max_cycles));
+        let sim = FunctionalSim::new(machine)
+            .record_trace(branch_trace)
+            .max_steps(steps);
         let run = if observing {
             sim.run_observed(&mut obs).map_err(|e| e.to_string())?
         } else {
@@ -162,6 +176,7 @@ fn run() -> Result<(), String> {
         println!("folded branches      : {}", run.stats.folded);
         println!("conditional branches : {}", run.stats.cond_branches);
         println!("static mispredicts   : {}", run.stats.static_mispredicts);
+        println!("halt reason          : {}", run.halt_reason.name());
         println!("accumulator          : {}", run.machine.accum);
         println!("opcode mix:");
         print!("{}", run.stats.opcodes);

@@ -50,6 +50,8 @@ fn err<T>(msg: impl Into<String>) -> Result<T, UsageError> {
 /// --fold POLICY          none | host1 | host13 | all
 /// --icache N             decoded-cache entries (power of two)
 /// --mem-latency N        cycles per 4-parcel instruction fetch
+/// --max-cycles N         watchdog: end the run after N cycles/steps
+/// --max-insns N          watchdog: end the run after N instructions
 /// ```
 ///
 /// # Errors
@@ -104,6 +106,20 @@ pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonArgs, Us
                     Err(_) => return err(format!("bad --mem-latency value `{v}`")),
                 };
             }
+            "--max-cycles" => {
+                let v: String = value_for("--max-cycles", &mut args)?;
+                out.sim.max_cycles = match v.parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => return err(format!("bad --max-cycles value `{v}`")),
+                };
+            }
+            "--max-insns" => {
+                let v: String = value_for("--max-insns", &mut args)?;
+                out.sim.max_insns = match v.parse() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => return err(format!("bad --max-insns value `{v}`")),
+                };
+            }
             other if other.starts_with("--") => out.rest.push(arg),
             _ => {
                 if out.input.is_some() {
@@ -140,6 +156,126 @@ pub fn extract_switch(args: &mut Vec<String>, name: &str) -> bool {
         true
     } else {
         false
+    }
+}
+
+/// A crash-safe campaign checkpoint: how many leading cases of the
+/// deterministic work list are already done, plus accumulated named
+/// counters (for `crisp-fault` these are `<field>.<outcome>` tallies).
+///
+/// Serialised as one flat JSON object — `{"completed":N,"key":count}` —
+/// so a half-written file from a crash mid-save is detectably invalid
+/// rather than silently truncating the campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Number of leading campaign cases already completed.
+    pub completed: u64,
+    /// Accumulated named counters, in first-seen order.
+    pub tallies: Vec<(String, u64)>,
+}
+
+impl Checkpoint {
+    /// Add `n` to the named counter (creating it at zero).
+    pub fn tally(&mut self, key: &str, n: u64) {
+        match self.tallies.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v += n,
+            None => self.tallies.push((key.to_string(), n)),
+        }
+    }
+
+    /// Current value of the named counter (zero when absent).
+    pub fn get(&self, key: &str) -> u64 {
+        self.tallies
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Serialise as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"completed\":{}", self.completed);
+        for (k, v) in &self.tallies {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse the flat JSON object written by [`Checkpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`UsageError`] on malformed input (including a truncated file
+    /// left behind by a crash mid-save).
+    pub fn from_json(text: &str) -> Result<Checkpoint, UsageError> {
+        let bad = |what: &str| UsageError(format!("checkpoint: {what}"));
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| bad("not a JSON object"))?;
+        let mut cp = Checkpoint::default();
+        let mut saw_completed = false;
+        for pair in body.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| bad("entry is not `key:value`"))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| bad("key is not a quoted string"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| bad("value is not a non-negative integer"))?;
+            if key == "completed" {
+                cp.completed = value;
+                saw_completed = true;
+            } else {
+                cp.tally(key, value);
+            }
+        }
+        if !saw_completed {
+            return Err(bad("missing `completed` field"));
+        }
+        Ok(cp)
+    }
+
+    /// Load a checkpoint from `path`. A missing file is a fresh start
+    /// (`Ok(None)`); an unreadable or malformed file is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`UsageError`] on I/O failure (other than not-found) or parse
+    /// failure.
+    pub fn load(path: &str) -> Result<Option<Checkpoint>, UsageError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Checkpoint::from_json(&text).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => err(format!("reading {path}: {e}")),
+        }
+    }
+
+    /// Persist to `path` via a write-then-rename so an interrupted save
+    /// never leaves a half-written checkpoint in place.
+    ///
+    /// # Errors
+    ///
+    /// [`UsageError`] describing the I/O failure.
+    pub fn save(&self, path: &str) -> Result<(), UsageError> {
+        let tmp = format!("{path}.tmp");
+        if let Err(e) = std::fs::write(&tmp, self.to_json()) {
+            return err(format!("writing {tmp}: {e}"));
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            return err(format!("renaming {tmp} to {path}: {e}"));
+        }
+        Ok(())
     }
 }
 
@@ -210,11 +346,66 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_flags() {
+        let a = parse(&["--max-cycles", "5000", "--max-insns", "200", "x.c"]).unwrap();
+        assert_eq!(a.sim.max_cycles, 5000);
+        assert_eq!(a.sim.max_insns, Some(200));
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--predict"]).is_err());
         assert!(parse(&["--predict", "sideways"]).is_err());
         assert!(parse(&["--fold", "sometimes"]).is_err());
         assert!(parse(&["--icache", "lots"]).is_err());
+        assert!(parse(&["--max-cycles", "0"]).is_err());
+        assert!(parse(&["--max-insns", "soon"]).is_err());
         assert!(parse(&["a.c", "b.c"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let mut cp = Checkpoint {
+            completed: 37,
+            tallies: Vec::new(),
+        };
+        cp.tally("next-pc.masked", 4);
+        cp.tally("valid.hang", 1);
+        cp.tally("next-pc.masked", 2);
+        let json = cp.to_json();
+        assert_eq!(
+            json,
+            r#"{"completed":37,"next-pc.masked":6,"valid.hang":1}"#
+        );
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.get("next-pc.masked"), 6);
+        assert_eq!(back.get("absent"), 0);
+    }
+
+    #[test]
+    fn checkpoint_rejects_malformed_input() {
+        assert!(Checkpoint::from_json("").is_err());
+        assert!(Checkpoint::from_json("{").is_err());
+        assert!(Checkpoint::from_json("{\"completed\":1,\"k\":-3}").is_err());
+        assert!(Checkpoint::from_json("{\"k\":1}").is_err());
+        assert!(Checkpoint::from_json("{\"completed\":1,\"k\"}").is_err());
+        assert!(Checkpoint::from_json("{completed:1}").is_err());
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("crisp-checkpoint-test-{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        assert_eq!(Checkpoint::load(&path).unwrap(), None);
+        let mut cp = Checkpoint {
+            completed: 12,
+            tallies: Vec::new(),
+        };
+        cp.tally("opcode.sdc", 3);
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), Some(cp));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -1,5 +1,7 @@
 use crisp_isa::FoldPolicy;
 
+use crate::soft_error::{FaultPlan, ParityMode};
+
 /// The hardware branch-direction source used by the Execution Unit when
 /// a conditional branch must be guessed (i.e. a compare is still in
 /// flight).
@@ -64,11 +66,22 @@ pub struct SimConfig {
     pub pdu_pipe_delay: u32,
     /// Hardware branch-direction source.
     pub predictor: HwPredictor,
-    /// Upper bound on simulated cycles (runaway guard).
+    /// Watchdog: upper bound on simulated cycles. Reaching it ends the
+    /// run gracefully with [`crate::HaltReason::Watchdog`] rather than
+    /// an error, so hung programs still produce stats and reports.
     pub max_cycles: u64,
+    /// Watchdog: optional upper bound on retired program instructions;
+    /// like `max_cycles`, reaching it ends the run gracefully.
+    pub max_insns: Option<u64>,
     /// Deliberate pipeline bug for oracle validation; `None` (always,
     /// outside differential-harness self-tests) models the real chip.
     pub fault: Option<FaultInjection>,
+    /// Parity protection of decoded-cache entries (see
+    /// [`crate::soft_error`]).
+    pub parity: ParityMode,
+    /// A planned transient fault to inject into the decoded cache;
+    /// `None` models fault-free silicon.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -80,7 +93,10 @@ impl Default for SimConfig {
             pdu_pipe_delay: 2,
             predictor: HwPredictor::StaticBit,
             max_cycles: 500_000_000,
+            max_insns: None,
             fault: None,
+            parity: ParityMode::Off,
+            fault_plan: None,
         }
     }
 }

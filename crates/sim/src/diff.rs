@@ -161,6 +161,13 @@ pub enum DivergenceKind {
     /// write both engines failed to report (belt and braces over the
     /// per-commit comparison).
     FinalState,
+    /// The cycle engine hit its watchdog limit
+    /// ([`SimConfig::max_cycles`] / [`SimConfig::max_insns`]) before
+    /// halting — the oracle cannot tell agreement from a hang.
+    Watchdog {
+        /// The commits that did match before the limit expired.
+        commits: u64,
+    },
 }
 
 /// The first point where the two engines disagreed.
@@ -203,6 +210,12 @@ impl std::fmt::Display for Divergence {
             }
             DivergenceKind::FinalState => {
                 writeln!(f, "  commit streams match but final machine state differs")?;
+            }
+            DivergenceKind::Watchdog { commits } => {
+                writeln!(
+                    f,
+                    "  watchdog limit expired after {commits} matching commits (no halt)"
+                )?;
             }
         }
         write!(f, "{}", self.timeline)
@@ -319,17 +332,18 @@ pub fn run_lockstep(image: &Image, cfg: SimConfig) -> Result<LockstepOutcome, Si
     let mut func_halted = false;
 
     loop {
-        if cyc.stats.cycles >= cfg.max_cycles {
+        if cyc.stats.cycles >= cfg.max_cycles
+            || cfg
+                .max_insns
+                .is_some_and(|limit| cyc.stats.program_instrs >= limit)
+        {
             let at = cyc.stats.cycles;
             return Ok(diverge(
                 &cyc,
                 compared,
                 at,
-                DivergenceKind::Error {
-                    functional: None,
-                    cycle: Some(SimError::StepLimit {
-                        limit: cfg.max_cycles,
-                    }),
+                DivergenceKind::Watchdog {
+                    commits: compared as u64,
                 },
             ));
         }

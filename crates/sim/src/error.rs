@@ -2,6 +2,33 @@ use std::fmt;
 
 use crisp_isa::IsaError;
 
+/// Why a simulation run ended.
+///
+/// Runs that exhaust a watchdog limit ([`crate::SimConfig::max_cycles`]
+/// / [`crate::SimConfig::max_insns`], or
+/// [`crate::FunctionalSim::max_steps`]) end *gracefully* with
+/// [`HaltReason::Watchdog`]: all statistics and architectural state up
+/// to the limit are valid, the run just never reached `halt`. Fault
+/// campaigns rely on this to classify hangs without timing out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HaltReason {
+    /// The program executed `halt`.
+    #[default]
+    Halted,
+    /// A watchdog limit expired before the program halted.
+    Watchdog,
+}
+
+impl HaltReason {
+    /// Stable kebab-case name (used in reports and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            HaltReason::Halted => "halted",
+            HaltReason::Watchdog => "watchdog",
+        }
+    }
+}
+
 /// Errors produced while loading or running a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]

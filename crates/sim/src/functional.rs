@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use crisp_isa::{decode_and_fold, Decoded, ExecOp, FoldClass, FoldPolicy};
 
 use crate::observe::{NullObserver, PipeObserver};
-use crate::{BranchEvent, BranchKind, Machine, RunStats, SimError, Step, Trace};
+use crate::{BranchEvent, BranchKind, HaltReason, Machine, RunStats, SimError, Step, Trace};
 
 /// Maximum parcels one decoded entry can span: a five-parcel host plus a
 /// three-parcel branch under [`FoldPolicy::All`].
@@ -39,6 +39,9 @@ pub struct FunctionalRun {
     /// Whether the program reached `halt` (as opposed to the step
     /// limit; running off the end raises an error instead).
     pub halted: bool,
+    /// Why the run ended: [`HaltReason::Halted`] normally,
+    /// [`HaltReason::Watchdog`] when `max_steps` elapsed first.
+    pub halt_reason: HaltReason,
 }
 
 impl FunctionalSim {
@@ -114,14 +117,13 @@ impl FunctionalSim {
         self.machine.execute_observed(&d, seq, obs)
     }
 
-    /// Run to `halt`.
+    /// Run to `halt`, or until `max_steps` expires (a graceful
+    /// [`HaltReason::Watchdog`] end, not an error).
     ///
     /// # Errors
     ///
     /// * [`SimError::Decode`] if execution reaches bytes that are not
     ///   instructions;
-    /// * [`SimError::StepLimit`] if the program does not halt within the
-    ///   configured limit;
     /// * [`SimError::MemOutOfBounds`] on wild data accesses.
     pub fn run(self) -> Result<FunctionalRun, SimError> {
         self.run_observed(&mut NullObserver)
@@ -189,11 +191,17 @@ impl FunctionalSim {
                     stats,
                     trace,
                     halted: true,
+                    halt_reason: HaltReason::Halted,
                 });
             }
         }
-        Err(SimError::StepLimit {
-            limit: self.max_steps,
+        stats.watchdog = true;
+        Ok(FunctionalRun {
+            machine: self.machine,
+            stats,
+            trace,
+            halted: false,
+            halt_reason: HaltReason::Watchdog,
         })
     }
 }
@@ -323,11 +331,15 @@ mod tests {
     #[test]
     fn step_limit_guards_infinite_loops() {
         let img = assemble_text("top: jmp top").unwrap();
-        let err = FunctionalSim::new(Machine::load(&img).unwrap())
+        let r = FunctionalSim::new(Machine::load(&img).unwrap())
             .max_steps(1000)
             .run()
-            .unwrap_err();
-        assert_eq!(err, SimError::StepLimit { limit: 1000 });
+            .unwrap();
+        assert!(!r.halted);
+        assert_eq!(r.halt_reason, HaltReason::Watchdog);
+        assert!(r.stats.watchdog);
+        // Work up to the limit is still counted.
+        assert_eq!(r.stats.entries, 1000);
     }
 
     #[test]

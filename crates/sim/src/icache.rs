@@ -1,5 +1,35 @@
 use crisp_isa::Decoded;
 
+use crate::soft_error::{apply_fault, entry_bits, parity32, FaultField, ParityMode};
+
+/// One resident cache line: the decoded entry plus its parity state.
+///
+/// `stored_parity` is the parity word written at fill time over the
+/// canonical [`entry_bits`] image. `live_parity` tracks the parity of
+/// the bits *physically* in the array: it equals `stored_parity` until
+/// a fault flips a storage bit, at which point the two differ in the
+/// flipped bit's column. Keeping both models a real parity check —
+/// single-bit faults always detect, while an even number of flips in
+/// one column cancels (parity's standard blind spot).
+#[derive(Debug, Clone, Copy)]
+struct CacheLine {
+    d: Decoded,
+    stored_parity: u32,
+    live_parity: u32,
+}
+
+/// The result of a parity-checked cache read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// A valid entry with matching tag (and clean parity, when checked).
+    Hit(Decoded),
+    /// No entry, or the tag did not match.
+    Miss,
+    /// The slot's parity check failed: the entry was invalidated and
+    /// the access must take the miss path (redecode from memory).
+    ParityError,
+}
+
 /// The Decoded Instruction Cache.
 ///
 /// Direct-mapped, indexed by the low bits of the *parcel* address
@@ -8,10 +38,18 @@ use crisp_isa::Decoded;
 /// Each entry is one canonical decoded instruction carrying its Next-PC
 /// and Alternate Next-PC fields — the structure that makes branch
 /// folding possible.
+///
+/// Under [`ParityMode::DetectInvalidate`] every fill also stores a
+/// parity word over the entry image; [`DecodedCache::lookup_verified`]
+/// checks it and turns a corrupted slot into an invalidate-plus-miss.
+/// Because the cache is never written back — entries are pure decode
+/// products of instruction memory — invalidate-and-redecode is a
+/// complete recovery.
 #[derive(Debug, Clone)]
 pub struct DecodedCache {
-    entries: Vec<Option<Decoded>>,
+    entries: Vec<Option<CacheLine>>,
     mask: u32,
+    parity: ParityMode,
     /// Fills that made a new PC resident: into an empty slot or over a
     /// different tag. A same-PC re-decode is a [`refill`], not an
     /// insert, so `inserts` counts distinct decoded entries becoming
@@ -26,15 +64,28 @@ pub struct DecodedCache {
     pub refills: u64,
     /// Insertions that overwrote a valid entry with a different tag.
     pub evictions: u64,
+    /// Slots invalidated by a failed parity check (each one also
+    /// produced a [`crate::PipeEvent::ParityError`] event).
+    pub parity_invalidates: u64,
 }
 
 impl DecodedCache {
-    /// Create a cache with `entries` slots (must be a power of two).
+    /// Create an unprotected cache with `entries` slots (must be a
+    /// power of two).
     ///
     /// # Panics
     ///
     /// Panics when `entries` is zero or not a power of two.
     pub fn new(entries: usize) -> DecodedCache {
+        DecodedCache::with_parity(entries, ParityMode::Off)
+    }
+
+    /// Create a cache with `entries` slots and the given parity mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is zero or not a power of two.
+    pub fn with_parity(entries: usize, parity: ParityMode) -> DecodedCache {
         assert!(
             entries.is_power_of_two() && entries >= 1,
             "cache size must be a power of two"
@@ -42,9 +93,11 @@ impl DecodedCache {
         DecodedCache {
             entries: vec![None; entries],
             mask: entries as u32 - 1,
+            parity,
             inserts: 0,
             refills: 0,
             evictions: 0,
+            parity_invalidates: 0,
         }
     }
 
@@ -62,9 +115,44 @@ impl DecodedCache {
         ((pc >> 1) & self.mask) as usize
     }
 
-    /// Look up the entry decoded at `pc`.
+    /// The slot index `pc` maps to (exposed for fault planning: a
+    /// [`crate::FaultPlan`] names slots, not PCs).
+    pub fn slot_of(&self, pc: u32) -> usize {
+        self.index(pc)
+    }
+
+    /// Look up the entry decoded at `pc`, without a parity check.
     pub fn lookup(&self, pc: u32) -> Option<&Decoded> {
-        self.entries[self.index(pc)].as_ref().filter(|d| d.pc == pc)
+        self.entries[self.index(pc)]
+            .as_ref()
+            .map(|line| &line.d)
+            .filter(|d| d.pc == pc)
+    }
+
+    /// Look up the entry decoded at `pc`, checking parity first when
+    /// [`ParityMode::DetectInvalidate`] is configured.
+    ///
+    /// The parity check runs *before* the tag compare — corrupted bits
+    /// cannot be trusted to include a correct tag — so a slot whose
+    /// stored bits no longer match their fill-time parity is
+    /// invalidated and reported as [`CacheLookup::ParityError`] no
+    /// matter which PC probed it. The caller then takes the ordinary
+    /// miss path and the PDU redecodes the entry from memory.
+    pub fn lookup_verified(&mut self, pc: u32) -> CacheLookup {
+        let idx = self.index(pc);
+        let Some(line) = &self.entries[idx] else {
+            return CacheLookup::Miss;
+        };
+        if self.parity == ParityMode::DetectInvalidate && line.live_parity != line.stored_parity {
+            self.entries[idx] = None;
+            self.parity_invalidates += 1;
+            return CacheLookup::ParityError;
+        }
+        if line.d.pc == pc {
+            CacheLookup::Hit(line.d)
+        } else {
+            CacheLookup::Miss
+        }
     }
 
     /// Whether `pc` currently hits.
@@ -79,16 +167,50 @@ impl DecodedCache {
         let idx = self.index(d.pc);
         let mut evicted = None;
         match &self.entries[idx] {
-            Some(old) if old.pc == d.pc => self.refills += 1,
+            Some(old) if old.d.pc == d.pc => self.refills += 1,
             Some(old) => {
                 self.evictions += 1;
-                evicted = Some(old.pc);
+                evicted = Some(old.d.pc);
                 self.inserts += 1;
             }
             None => self.inserts += 1,
         }
-        self.entries[idx] = Some(d);
+        let parity = match self.parity {
+            ParityMode::Off => 0,
+            ParityMode::DetectInvalidate => parity32(&entry_bits(&d)),
+        };
+        self.entries[idx] = Some(CacheLine {
+            d,
+            stored_parity: parity,
+            live_parity: parity,
+        });
         evicted
+    }
+
+    /// Flip one bit of the entry resident in `slot` (taken modulo the
+    /// cache size) — the transient-fault injection point. Returns the
+    /// PC of the corrupted entry, or `None` when the slot held nothing
+    /// (the fault lands in invalid state and has no effect).
+    ///
+    /// A [`FaultField::Valid`] fault clears the slot (a live valid bit
+    /// can only flip to invalid). Any other fault re-encodes the entry,
+    /// flips the mapped bit, and stores the total re-decode; the slot's
+    /// `live_parity` is updated to the parity of the flipped bits, so a
+    /// later [`DecodedCache::lookup_verified`] sees exactly what a
+    /// hardware parity check would.
+    pub fn corrupt(&mut self, slot: usize, field: FaultField) -> Option<u32> {
+        let idx = slot % self.entries.len();
+        let line = self.entries[idx].as_mut()?;
+        let pc = line.d.pc;
+        match apply_fault(&line.d, field) {
+            None => self.entries[idx] = None,
+            Some(corrupted) => {
+                let (_, bit) = field.bit().expect("non-valid faults map to a bit");
+                line.d = corrupted;
+                line.live_parity ^= 1 << (bit % 32);
+            }
+        }
+        Some(pc)
     }
 
     /// Invalidate everything (used between experiment runs).
@@ -175,5 +297,60 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         DecodedCache::new(3);
+    }
+
+    #[test]
+    fn corrupt_flips_a_field_and_parity_catches_it() {
+        let mut c = DecodedCache::with_parity(32, ParityMode::DetectInvalidate);
+        c.insert(entry(0x10));
+        let slot = c.slot_of(0x10);
+        assert_eq!(c.corrupt(slot, FaultField::NextPc(2)), Some(0x10));
+        // The stored entry changed but the tag still matches ...
+        assert_eq!(c.lookup(0x10).unwrap().next_pc, NextPc::Known(0x12 ^ 1));
+        // ... and the verified lookup detects, invalidates, counts.
+        assert_eq!(c.lookup_verified(0x10), CacheLookup::ParityError);
+        assert_eq!(c.parity_invalidates, 1);
+        assert!(!c.contains(0x10));
+        assert_eq!(c.lookup_verified(0x10), CacheLookup::Miss);
+        // A refill restores clean parity.
+        c.insert(entry(0x10));
+        assert_eq!(c.lookup_verified(0x10), CacheLookup::Hit(entry(0x10)));
+        assert_eq!(c.parity_invalidates, 1);
+    }
+
+    #[test]
+    fn corrupt_tag_is_caught_before_tag_compare() {
+        let mut c = DecodedCache::with_parity(32, ParityMode::DetectInvalidate);
+        c.insert(entry(0x10));
+        let slot = c.slot_of(0x10);
+        // Flip a high tag bit: the entry now claims a different PC.
+        assert_eq!(c.corrupt(slot, FaultField::Tag(31)), Some(0x10));
+        // The probe at the original PC still reaches the slot, and the
+        // parity check fires before the (now wrong) tag can turn the
+        // access into a silent miss that leaves the corpse resident.
+        assert_eq!(c.lookup_verified(0x10), CacheLookup::ParityError);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn corrupt_valid_bit_clears_slot() {
+        let mut c = DecodedCache::new(4);
+        c.insert(entry(0));
+        assert_eq!(c.corrupt(c.slot_of(0), FaultField::Valid), Some(0));
+        assert!(c.is_empty());
+        // Faulting an empty slot corrupts nothing.
+        assert_eq!(c.corrupt(0, FaultField::Predict), None);
+    }
+
+    #[test]
+    fn unprotected_cache_serves_corrupted_entries() {
+        let mut c = DecodedCache::new(32);
+        c.insert(entry(0x10));
+        c.corrupt(c.slot_of(0x10), FaultField::NextPc(2));
+        // ParityMode::Off: the corrupted entry hits as if nothing
+        // happened — the SDC path the fault campaign measures.
+        let looked = c.lookup_verified(0x10);
+        assert!(matches!(looked, CacheLookup::Hit(d) if d.next_pc == NextPc::Known(0x12 ^ 1)));
+        assert_eq!(c.parity_invalidates, 0);
     }
 }

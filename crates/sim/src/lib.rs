@@ -56,6 +56,7 @@ pub mod observe;
 mod pdu;
 mod pipeline;
 pub mod profile;
+pub mod soft_error;
 mod stats;
 mod trace;
 
@@ -64,9 +65,9 @@ pub use diff::{
     run_lockstep, sweep_configs, CommitLog, CommitRecord, Divergence, DivergenceKind,
     LockstepOutcome,
 };
-pub use error::SimError;
+pub use error::{HaltReason, SimError};
 pub use functional::{FunctionalRun, FunctionalSim};
-pub use icache::DecodedCache;
+pub use icache::{CacheLookup, DecodedCache};
 pub use machine::{Machine, Step};
 pub use mem::Memory;
 pub use observe::{
@@ -76,5 +77,9 @@ pub use observe::{
 pub use pdu::Pdu;
 pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};
 pub use profile::{BranchProfiler, SiteStats};
+pub use soft_error::{
+    apply_fault, classify_fault, decode_entry, entry_bits, nth_field, parity32, FaultField,
+    FaultOutcome, FaultPlan, ParityMode, FAULT_SPACE, FIELD_NAMES,
+};
 pub use stats::{resolve_stage, CycleStats, OpcodeCounts, RunStats};
 pub use trace::{BranchEvent, BranchKind, Trace};

@@ -111,10 +111,11 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// [`SimError::MemOutOfBounds`] for wild addresses. Writing an
-    /// immediate is a programming error upstream and panics in debug
-    /// builds; release builds ignore it (the encoder rejects such
-    /// instructions, so this cannot arise from decoded programs).
+    /// [`SimError::MemOutOfBounds`] for wild addresses. A write to an
+    /// immediate destination is discarded: the encoder rejects such
+    /// instructions, so it can only arise from a corrupted decoded
+    /// entry (see [`crate::soft_error`]), where "the result goes
+    /// nowhere" is the natural don't-care behaviour.
     pub fn write_operand(
         &mut self,
         op: Operand,
@@ -129,10 +130,7 @@ impl Machine {
                 self.accum = value;
                 Ok(None)
             }
-            Operand::Imm(_) => {
-                debug_assert!(false, "write to immediate operand");
-                Ok(None)
-            }
+            Operand::Imm(_) => Ok(None),
             Operand::SpOff(off) => store(&mut self.mem, self.sp.wrapping_add(off as u32)),
             Operand::Abs(a) => store(&mut self.mem, a),
             Operand::SpInd(off) => {
@@ -219,10 +217,13 @@ impl Machine {
                 predict_taken,
             } => {
                 let taken = self.psw.flag == on_true;
+                // Decoding always gives conditional entries an
+                // alternate; only a corrupted entry (soft_error) lacks
+                // one, and then both paths collapse onto Next-PC.
                 let chosen = if taken == predict_taken {
                     d.next_pc
                 } else {
-                    d.alt_pc.expect("conditional entry carries an alternate")
+                    d.alt_pc.unwrap_or(d.next_pc)
                 };
                 (self.resolve_next(chosen)?, Some(taken))
             }

@@ -37,6 +37,8 @@
 //! | `pdu_decodes`            | `Decode`                                |
 //! | `cache_inserts` + `cache_refills` | `CacheFill`                    |
 //! | `cache_evictions`        | `CacheFill { evicted: Some(_), .. }`    |
+//! | `faults_injected`        | `FaultInject`                           |
+//! | `parity_invalidates`     | `ParityError`                           |
 //!
 //! `Commit` events sit outside the counter table: they carry the
 //! architectural state at the shared commit point and back the
@@ -193,6 +195,26 @@ pub enum PipeEvent {
         /// What it was stalling on.
         kind: StallKind,
     },
+    /// A transient fault ([`crate::SimConfig::fault_plan`]) flipped
+    /// bits in a live decoded-cache entry.
+    FaultInject {
+        /// Cycle of the strike.
+        cycle: u64,
+        /// The struck cache slot.
+        slot: u32,
+        /// Address of the entry that was resident (and corrupted).
+        pc: u32,
+    },
+    /// A parity check caught a corrupted decoded-cache entry at read
+    /// time; the entry was invalidated and will be redecoded.
+    ParityError {
+        /// Cycle of the failed fetch.
+        cycle: u64,
+        /// The fetch address whose slot failed its check.
+        pc: u32,
+        /// The invalidated cache slot.
+        slot: u32,
+    },
     /// `halt` retired; the run is over.
     Halt {
         /// Cycle of the halt.
@@ -248,6 +270,8 @@ impl PipeEvent {
             | PipeEvent::Squash { cycle, .. }
             | PipeEvent::StallBegin { cycle, .. }
             | PipeEvent::StallEnd { cycle, .. }
+            | PipeEvent::FaultInject { cycle, .. }
+            | PipeEvent::ParityError { cycle, .. }
             | PipeEvent::Halt { cycle }
             | PipeEvent::Commit { cycle, .. } => cycle,
         }
@@ -455,6 +479,14 @@ impl PipeEvent {
                 r#"{{"ev":"stall_end","cycle":{cycle},"kind":"{}"}}"#,
                 kind.name()
             ),
+            PipeEvent::FaultInject { cycle, slot, pc } => write!(
+                s,
+                r#"{{"ev":"fault_inject","cycle":{cycle},"slot":{slot},"pc":{pc}}}"#
+            ),
+            PipeEvent::ParityError { cycle, pc, slot } => write!(
+                s,
+                r#"{{"ev":"parity_error","cycle":{cycle},"pc":{pc},"slot":{slot}}}"#
+            ),
             PipeEvent::Halt { cycle } => write!(s, r#"{{"ev":"halt","cycle":{cycle}}}"#),
             PipeEvent::Commit {
                 cycle,
@@ -637,6 +669,16 @@ impl PipeEvent {
                 cycle,
                 kind: StallKind::from_name(string("kind")?)
                     .ok_or_else(|| format!("unknown stall kind `{}`", string("kind").unwrap()))?,
+            }),
+            "fault_inject" => Ok(PipeEvent::FaultInject {
+                cycle,
+                slot: pc("slot")?,
+                pc: pc("pc")?,
+            }),
+            "parity_error" => Ok(PipeEvent::ParityError {
+                cycle,
+                pc: pc("pc")?,
+                slot: pc("slot")?,
             }),
             other => Err(format!("unknown event type `{other}`")),
         }
@@ -1058,6 +1100,16 @@ mod tests {
             PipeEvent::StallEnd {
                 cycle: 9,
                 kind: StallKind::Indirect,
+            },
+            PipeEvent::FaultInject {
+                cycle: 9,
+                slot: 1,
+                pc: 2,
+            },
+            PipeEvent::ParityError {
+                cycle: 9,
+                pc: 2,
+                slot: 1,
             },
             PipeEvent::Commit {
                 cycle: 7,

@@ -28,7 +28,7 @@ use crisp_isa::{Decoded, FoldClass, NextPc};
 use crate::config::{FaultInjection, HwPredictor};
 use crate::observe::{NullObserver, PipeEvent, PipeObserver, StallKind};
 use crate::stats::resolve_stage;
-use crate::{CycleStats, DecodedCache, Machine, Pdu, SimConfig, SimError};
+use crate::{CacheLookup, CycleStats, DecodedCache, HaltReason, Machine, Pdu, SimConfig, SimError};
 
 /// One EU pipeline stage latch.
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +129,9 @@ pub struct CycleRun {
     pub stats: CycleStats,
     /// Whether the program reached `halt`.
     pub halted: bool,
+    /// Why the run ended: [`HaltReason::Halted`] normally,
+    /// [`HaltReason::Watchdog`] when a watchdog limit expired first.
+    pub halt_reason: HaltReason,
 }
 
 /// The cycle-level simulator (Figure 1's machine).
@@ -160,6 +163,9 @@ pub struct CycleSim<O: PipeObserver = NullObserver> {
     dyn_table: Option<DynTable>,
     /// The EU stall in progress, for paired stall begin/end events.
     stall: Option<StallKind>,
+    /// Whether the configured [`SimConfig::fault_plan`] has fired (each
+    /// plan injects exactly one transient fault).
+    fault_done: bool,
     /// The event sink.
     obs: O,
     /// Timing counters (public so callers can sample mid-run).
@@ -189,7 +195,7 @@ impl<O: PipeObserver> CycleSim<O> {
         let mut sim = CycleSim {
             machine,
             cfg,
-            cache: DecodedCache::new(cfg.icache_entries),
+            cache: DecodedCache::with_parity(cfg.icache_entries, cfg.parity),
             pdu: Pdu::new(
                 cfg.fold_policy,
                 cfg.mem_latency,
@@ -208,6 +214,7 @@ impl<O: PipeObserver> CycleSim<O> {
                 HwPredictor::Dynamic { bits, entries } => Some(DynTable::new(bits, entries)),
             },
             stall: None,
+            fault_done: false,
             obs,
             stats: CycleStats::default(),
         };
@@ -232,19 +239,37 @@ impl<O: PipeObserver> CycleSim<O> {
     ///
     /// Same conditions as [`CycleSim::run`].
     pub fn run_observed(mut self) -> Result<(CycleRun, O), SimError> {
-        while self.stats.cycles < self.cfg.max_cycles {
+        loop {
+            if self.watchdog_expired() {
+                self.stats.watchdog = true;
+                let run = CycleRun {
+                    machine: self.machine,
+                    stats: self.stats,
+                    halted: false,
+                    halt_reason: HaltReason::Watchdog,
+                };
+                return Ok((run, self.obs));
+            }
             if self.cycle_once()? {
                 let run = CycleRun {
                     machine: self.machine,
                     stats: self.stats,
                     halted: true,
+                    halt_reason: HaltReason::Halted,
                 };
                 return Ok((run, self.obs));
             }
         }
-        Err(SimError::StepLimit {
-            limit: self.cfg.max_cycles,
-        })
+    }
+
+    /// Whether a watchdog limit ([`SimConfig::max_cycles`] /
+    /// [`SimConfig::max_insns`]) has expired.
+    fn watchdog_expired(&self) -> bool {
+        self.stats.cycles >= self.cfg.max_cycles
+            || self
+                .cfg
+                .max_insns
+                .is_some_and(|limit| self.stats.program_instrs >= limit)
     }
 
     /// Advance the machine by one clock cycle and return a snapshot of
@@ -282,37 +307,32 @@ impl<O: PipeObserver> CycleSim<O> {
         &self.machine
     }
 
-    /// Consume the simulator after stepping to completion.
+    /// Consume the simulator after stepping to completion. A run
+    /// abandoned before `halt` reports [`HaltReason::Watchdog`].
     pub fn into_run(self) -> CycleRun {
         let halted = self.machine.halted;
         CycleRun {
             machine: self.machine,
             stats: self.stats,
             halted,
+            halt_reason: if halted {
+                HaltReason::Halted
+            } else {
+                HaltReason::Watchdog
+            },
         }
     }
 
-    /// Run until `halt`.
+    /// Run until `halt`, or until a watchdog limit expires (a graceful
+    /// [`HaltReason::Watchdog`] end, not an error).
     ///
     /// # Errors
     ///
     /// * [`SimError::Decode`] when the architecturally-correct path
     ///   reaches bytes that do not decode;
-    /// * [`SimError::StepLimit`] when `max_cycles` elapses first;
     /// * [`SimError::MemOutOfBounds`] on wild data accesses.
-    pub fn run(mut self) -> Result<CycleRun, SimError> {
-        while self.stats.cycles < self.cfg.max_cycles {
-            if self.cycle_once()? {
-                return Ok(CycleRun {
-                    machine: self.machine,
-                    stats: self.stats,
-                    halted: true,
-                });
-            }
-        }
-        Err(SimError::StepLimit {
-            limit: self.cfg.max_cycles,
-        })
+    pub fn run(self) -> Result<CycleRun, SimError> {
+        self.run_observed().map(|(run, _)| run)
     }
 
     fn cc_writer_in_flight(&self) -> bool {
@@ -448,6 +468,24 @@ impl<O: PipeObserver> CycleSim<O> {
         self.stats.cycles += 1;
         let mut kill_fetch = false;
 
+        // ---- 0. Transient-fault injection (soft-error model). ----
+        if let Some(plan) = self.cfg.fault_plan {
+            if !self.fault_done && cyc >= plan.cycle {
+                self.fault_done = true;
+                // A strike on an empty slot is a no-op: no bits to flip.
+                if let Some(pc) = self.cache.corrupt(plan.slot as usize, plan.field) {
+                    self.stats.faults_injected += 1;
+                    if O::ENABLED {
+                        self.obs.event(PipeEvent::FaultInject {
+                            cycle: cyc,
+                            slot: plan.slot,
+                            pc,
+                        });
+                    }
+                }
+            }
+        }
+
         // ---- 1. RR stage: commit and retire. ----
         if let Some(slot) = self.rr.take() {
             if slot.valid {
@@ -529,7 +567,21 @@ impl<O: PipeObserver> CycleSim<O> {
         if kill_fetch {
             // The slot being clocked into IR this edge was cancelled.
         } else if let Some(pc) = self.fetch_pc {
-            if let Some(&d) = self.cache.lookup(pc) {
+            let looked_up = self.cache.lookup_verified(pc);
+            if let CacheLookup::ParityError = looked_up {
+                // A protected entry failed its parity check at read
+                // time: the cache invalidated it, so fetch falls into
+                // the ordinary miss path below and the PDU redecodes
+                // the entry from memory.
+                if O::ENABLED {
+                    self.obs.event(PipeEvent::ParityError {
+                        cycle: cyc,
+                        pc,
+                        slot: self.cache.slot_of(pc) as u32,
+                    });
+                }
+            }
+            if let CacheLookup::Hit(d) = looked_up {
                 self.stats.icache_hits += 1;
                 if O::ENABLED {
                     self.obs.event(PipeEvent::FetchHit {
@@ -555,7 +607,11 @@ impl<O: PipeObserver> CycleSim<O> {
                     predict_taken,
                 } = d.fold
                 {
-                    let alt = d.alt_pc.expect("conditional entry carries an alternate");
+                    // Decoding always gives conditional entries an
+                    // alternate; only a corrupted entry (soft_error)
+                    // lacks one, and then both paths collapse onto
+                    // Next-PC.
+                    let alt = d.alt_pc.unwrap_or(d.next_pc);
                     // The hardware's guess: the static bit, or the
                     // dynamic counter table when configured.
                     let guess = match &self.dyn_table {
@@ -648,6 +704,7 @@ impl<O: PipeObserver> CycleSim<O> {
         self.stats.cache_inserts = self.cache.inserts;
         self.stats.cache_refills = self.cache.refills;
         self.stats.cache_evictions = self.cache.evictions;
+        self.stats.parity_invalidates = self.cache.parity_invalidates;
         Ok(false)
     }
 }
@@ -1175,9 +1232,9 @@ mod tests {
     }
 
     #[test]
-    fn cycle_limit_enforced() {
+    fn cycle_limit_ends_gracefully() {
         let img = assemble_text("top: jmp top").unwrap();
-        let err = CycleSim::new(
+        let r = CycleSim::new(
             Machine::load(&img).unwrap(),
             SimConfig {
                 max_cycles: 500,
@@ -1185,8 +1242,82 @@ mod tests {
             },
         )
         .run()
-        .unwrap_err();
-        assert_eq!(err, SimError::StepLimit { limit: 500 });
+        .unwrap();
+        assert!(!r.halted);
+        assert_eq!(r.halt_reason, HaltReason::Watchdog);
+        assert!(r.stats.watchdog);
+        assert_eq!(r.stats.cycles, 500);
+    }
+
+    #[test]
+    fn insn_limit_ends_gracefully() {
+        let img = assemble_text("top: add 0(sp),$1\n jmp top").unwrap();
+        let r = CycleSim::new(
+            Machine::load(&img).unwrap(),
+            SimConfig {
+                max_insns: Some(40),
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        assert!(!r.halted);
+        assert_eq!(r.halt_reason, HaltReason::Watchdog);
+        assert!(r.stats.watchdog);
+        // The limit is checked between cycles, so the run stops at the
+        // first boundary at or past 40 retirements.
+        assert!(r.stats.program_instrs >= 40);
+        assert!(r.stats.program_instrs < 44);
+    }
+
+    #[test]
+    fn injected_fault_detected_and_recovered_under_parity() {
+        use crate::soft_error::{FaultField, FaultPlan, ParityMode};
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$50
+            ifjmpy.t top
+            halt
+        ";
+        let img = assemble_text(src).unwrap();
+        let clean = run_cfg(src, SimConfig::default());
+        // Strike every slot of a warmed-up loop; under DetectInvalidate
+        // every run must still produce the fault-free result.
+        let mut detected = 0u64;
+        for slot in 0..8u32 {
+            let cfg = SimConfig {
+                parity: ParityMode::DetectInvalidate,
+                fault_plan: Some(FaultPlan {
+                    cycle: 60,
+                    slot,
+                    field: FaultField::NextPc(7),
+                }),
+                ..SimConfig::default()
+            };
+            let r = CycleSim::new(Machine::load(&img).unwrap(), cfg)
+                .run()
+                .unwrap();
+            assert!(r.halted, "slot {slot}");
+            assert_eq!(
+                r.machine.mem.read_word(r.machine.sp).unwrap(),
+                clean.machine.mem.read_word(clean.machine.sp).unwrap(),
+                "slot {slot}"
+            );
+            // A strike is only detected when the corrupted entry is
+            // fetched again (one-shot entries linger unread), so the
+            // invalidate count is bounded by — not equal to — the
+            // injection count.
+            assert!(
+                r.stats.parity_invalidates <= r.stats.faults_injected,
+                "slot {slot}"
+            );
+            detected += r.stats.parity_invalidates;
+        }
+        // The loop body is re-fetched every iteration, so at least one
+        // of the strikes must have been caught at read time.
+        assert!(detected >= 1);
     }
 
     #[test]

@@ -1,0 +1,762 @@
+//! Soft-error (transient-fault) model for the Decoded Instruction Cache.
+//!
+//! The paper's whole mechanism lives in the 192-bit decoded-cache entry:
+//! a flipped bit in Next-PC or Alternate Next-PC silently redirects
+//! control flow with no EU-visible symptom. Because the decoded cache is
+//! *never written back* — it holds pure decode products of instruction
+//! memory — the classic defense applies: protect each entry with parity,
+//! and on a parity mismatch simply invalidate the slot and redecode from
+//! memory. Recovery costs one miss; architecture is untouched.
+//!
+//! This module provides the three pieces of that model:
+//!
+//! 1. **A canonical bit-level encoding** of [`Decoded`] entries
+//!    ([`entry_bits`] / [`decode_entry`]): a 256-bit image (four `u64`
+//!    words) standing in for the hardware's 192-bit entry. The decoder
+//!    is *total* — every bit pattern decodes to some entry, modelling a
+//!    hardware decoder's don't-care handling of illegal encodings — so a
+//!    single-bit flip always yields a well-formed (if wrong) entry.
+//! 2. **A fault plan** ([`FaultPlan`] / [`FaultField`]): which bit of
+//!    which cache slot flips on which cycle. Set via
+//!    [`SimConfig::fault_plan`]; the cycle engine applies it once.
+//! 3. **Parity protection** ([`ParityMode`]): 32-bit column parity over
+//!    the entry image, checked when the EU reads the slot. On mismatch
+//!    the slot is invalidated and the fetch takes the ordinary miss
+//!    path, so the PDU redecodes the entry from memory.
+//!
+//! [`classify_fault`] runs a faulted cycle-engine simulation against the
+//! fault-free functional reference and buckets the outcome AVF-style:
+//! masked, silent data corruption, control-flow divergence, or hang.
+//! The `crisp-fault` CLI drives campaigns of these classifications.
+
+use crisp_isa::{BinOp, Cond, Decoded, ExecOp, FoldClass, NextPc, Operand};
+
+use crate::diff::{CommitLog, CommitRecord};
+use crate::error::HaltReason;
+use crate::{CycleSim, FunctionalSim, Machine, SimConfig, SimError};
+use crisp_asm::Image;
+
+/// Whether decoded-cache entries carry a parity word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParityMode {
+    /// No protection: a corrupted entry is consumed as-is (the fault
+    /// may be masked, corrupt data, divert control flow, or hang).
+    #[default]
+    Off,
+    /// Each fill stores a parity word over the entry image; the EU
+    /// checks it at cache-read time and, on mismatch, invalidates the
+    /// slot and refetches — the entry is redecoded from memory.
+    DetectInvalidate,
+}
+
+/// Which architectural field of a decoded-cache entry a fault hits.
+///
+/// The payload is the bit index *within* the field; [`FaultField::bit`]
+/// maps it to a position in the [`entry_bits`] image. The per-field
+/// widths sum to [`FAULT_SPACE`], so [`nth_field`] enumerates every
+/// single-bit fault the model can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultField {
+    /// The Next-PC field: 2 tag bits plus a 32-bit payload.
+    NextPc(u8),
+    /// The Alternate Next-PC field: presence bit, 2 tag bits, 32-bit
+    /// payload.
+    AltPc(u8),
+    /// The static branch-prediction direction bit.
+    Predict,
+    /// The slot's valid bit. Faulting it drops the entry (a live entry
+    /// can only flip valid→invalid, which is architecturally safe: the
+    /// fetch just misses and redecodes).
+    Valid,
+    /// The 8 opcode bits: execution kind plus sub-operation.
+    Opcode(u8),
+    /// The operand fields: two 3-bit addressing-mode tags plus two
+    /// 32-bit payloads.
+    Operand(u8),
+    /// The 32-bit cache tag (the entry's PC).
+    Tag(u8),
+}
+
+/// Width in bits of each [`FaultField`] group, in [`nth_field`] order.
+const FIELD_WIDTHS: [(u8, &str); 7] = [
+    (34, "next-pc"),
+    (35, "alt-pc"),
+    (1, "predict"),
+    (1, "valid"),
+    (8, "opcode"),
+    (70, "operand"),
+    (32, "tag"),
+];
+
+/// Total number of distinct single-bit faults [`nth_field`] enumerates.
+pub const FAULT_SPACE: u64 = 181;
+
+/// The stable kebab-case names of the seven fault-field groups, in
+/// [`nth_field`] order — the row keys of a `crisp-fault` AVF report.
+pub const FIELD_NAMES: [&str; 7] = [
+    "next-pc", "alt-pc", "predict", "valid", "opcode", "operand", "tag",
+];
+
+impl FaultField {
+    /// Enumerate the fault space: `nth_field(i)` for `i` in
+    /// `0..FAULT_SPACE` visits every injectable single-bit fault once.
+    /// Indices are taken modulo [`FAULT_SPACE`].
+    pub fn nth(i: u64) -> FaultField {
+        let mut i = (i % FAULT_SPACE) as u8;
+        for (group, &(width, _)) in FIELD_WIDTHS.iter().enumerate() {
+            if i < width {
+                return match group {
+                    0 => FaultField::NextPc(i),
+                    1 => FaultField::AltPc(i),
+                    2 => FaultField::Predict,
+                    3 => FaultField::Valid,
+                    4 => FaultField::Opcode(i),
+                    5 => FaultField::Operand(i),
+                    _ => FaultField::Tag(i),
+                };
+            }
+            i -= width;
+        }
+        unreachable!("FIELD_WIDTHS sums to FAULT_SPACE");
+    }
+
+    /// Stable kebab-case group name (the AVF-report row key).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultField::NextPc(_) => "next-pc",
+            FaultField::AltPc(_) => "alt-pc",
+            FaultField::Predict => "predict",
+            FaultField::Valid => "valid",
+            FaultField::Opcode(_) => "opcode",
+            FaultField::Operand(_) => "operand",
+            FaultField::Tag(_) => "tag",
+        }
+    }
+
+    /// The `(word, bit)` position of this fault in the [`entry_bits`]
+    /// image, or `None` for the valid bit (which lives in the slot, not
+    /// the entry image).
+    pub fn bit(self) -> Option<(usize, u32)> {
+        match self {
+            FaultField::NextPc(i) if i < 2 => Some((0, 57 + u32::from(i))),
+            FaultField::NextPc(i) => Some((1, u32::from(i) - 2)),
+            FaultField::AltPc(0) => Some((0, 56)),
+            FaultField::AltPc(i) if i < 3 => Some((0, 59 + u32::from(i) - 1)),
+            FaultField::AltPc(i) => Some((1, 32 + u32::from(i) - 3)),
+            FaultField::Predict => Some((0, 54)),
+            FaultField::Valid => None,
+            FaultField::Opcode(i) => Some((0, 40 + u32::from(i))),
+            FaultField::Operand(i) if i < 6 => Some((2, 32 + u32::from(i))),
+            FaultField::Operand(i) => Some((3, u32::from(i) - 6)),
+            FaultField::Tag(i) => Some((0, u32::from(i))),
+        }
+    }
+}
+
+/// Enumerate the fault space (free-function form of [`FaultField::nth`]).
+pub fn nth_field(i: u64) -> FaultField {
+    FaultField::nth(i)
+}
+
+/// One planned transient fault: flip `field` of cache slot `slot`
+/// (taken modulo the cache size) at the start of cycle `cycle`. The
+/// cycle engine applies the plan exactly once; if the slot is empty at
+/// that cycle, nothing is corrupted (the fault lands in invalid state
+/// and is trivially masked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Cycle at which the flip occurs.
+    pub cycle: u64,
+    /// Target cache slot (modulo the configured cache size).
+    pub slot: u32,
+    /// The bit to flip.
+    pub field: FaultField,
+}
+
+// --- Canonical entry encoding -------------------------------------------
+
+fn binop_index(op: BinOp) -> u64 {
+    BinOp::ALL.iter().position(|&o| o == op).unwrap_or(0) as u64
+}
+
+fn cond_index(c: Cond) -> u64 {
+    Cond::ALL.iter().position(|&o| o == c).unwrap_or(0) as u64
+}
+
+fn operand_bits(o: Operand) -> (u64, u64) {
+    match o {
+        Operand::Accum => (0, 0),
+        Operand::Imm(v) => (1, u64::from(v as u32)),
+        Operand::SpOff(v) => (2, u64::from(v as u32)),
+        Operand::Abs(a) => (3, u64::from(a)),
+        Operand::SpInd(v) => (4, u64::from(v as u32)),
+    }
+}
+
+fn decode_operand(tag: u64, pay: u32) -> Operand {
+    match tag % 5 {
+        0 => Operand::Accum,
+        1 => Operand::Imm(pay as i32),
+        2 => Operand::SpOff(pay as i32),
+        3 => Operand::Abs(pay),
+        _ => Operand::SpInd(pay as i32),
+    }
+}
+
+fn next_pc_bits(n: NextPc) -> (u64, u64) {
+    match n {
+        NextPc::Known(a) => (0, u64::from(a)),
+        NextPc::IndAbs(a) => (1, u64::from(a)),
+        NextPc::IndSp(off) => (2, u64::from(off as u32)),
+        NextPc::FromRet => (3, 0),
+    }
+}
+
+fn decode_next_pc(tag: u64, pay: u32) -> NextPc {
+    match tag & 3 {
+        0 => NextPc::Known(pay),
+        1 => NextPc::IndAbs(pay),
+        2 => NextPc::IndSp(pay as i32),
+        _ => NextPc::FromRet,
+    }
+}
+
+/// The canonical bit image of a decoded-cache entry: the software stand-in
+/// for the hardware's 192-bit word, the domain parity is computed over and
+/// faults are injected into.
+///
+/// Layout (word:bit, little-endian within each `u64`):
+///
+/// ```text
+/// w0:  0..32  pc (the cache tag)        w0: 51..53  fold-class tag
+/// w0: 32..40  len_bytes                 w0: 53      Cond on_true
+/// w0: 40..44  exec kind                 w0: 54      Cond predict_taken
+/// w0: 44..48  exec sub-op               w0: 55      branch_pc present
+/// w0: 48      modifies_cc               w0: 56      alt_pc present
+/// w0: 49      modifies_sp               w0: 57..59  next_pc tag
+/// w0: 50      folded                    w0: 59..61  alt_pc tag
+/// w1:  0..32  next_pc payload           w1: 32..64  alt_pc payload
+/// w2:  0..32  branch_pc                 w2: 32..38  operand A/B tags
+/// w3:  0..32  operand A payload         w3: 32..64  operand B payload
+/// ```
+///
+/// `Enter`/`Leave`/`CallPush` store their immediate in the operand-A
+/// payload. [`decode_entry`] inverts this encoding exactly on canonical
+/// images and totally (via don't-care reduction) on all others.
+pub fn entry_bits(d: &Decoded) -> [u64; 4] {
+    let mut w = [0u64; 4];
+    w[0] |= u64::from(d.pc);
+    w[0] |= (u64::from(d.len_bytes) & 0xFF) << 32;
+    let (kind, sub): (u64, u64) = match d.exec {
+        ExecOp::Nop => (0, 0),
+        ExecOp::Halt => (1, 0),
+        ExecOp::Op2 { op, .. } => (2, binop_index(op)),
+        ExecOp::Op3 { op, .. } => (3, binop_index(op)),
+        ExecOp::Cmp { cond, .. } => (4, cond_index(cond)),
+        ExecOp::Enter { .. } => (5, 0),
+        ExecOp::Leave { .. } => (6, 0),
+        ExecOp::CallPush { .. } => (7, 0),
+        ExecOp::RetPop => (8, 0),
+    };
+    w[0] |= kind << 40;
+    w[0] |= sub << 44;
+    w[0] |= u64::from(d.modifies_cc) << 48;
+    w[0] |= u64::from(d.modifies_sp) << 49;
+    w[0] |= u64::from(d.folded) << 50;
+    let (ftag, on_true, predict) = match d.fold {
+        FoldClass::Sequential => (0u64, false, false),
+        FoldClass::Uncond => (1, false, false),
+        FoldClass::Cond {
+            on_true,
+            predict_taken,
+        } => (2, on_true, predict_taken),
+    };
+    w[0] |= ftag << 51;
+    w[0] |= u64::from(on_true) << 53;
+    w[0] |= u64::from(predict) << 54;
+    w[0] |= u64::from(d.branch_pc.is_some()) << 55;
+    w[0] |= u64::from(d.alt_pc.is_some()) << 56;
+    let (ntag, npay) = next_pc_bits(d.next_pc);
+    w[0] |= ntag << 57;
+    w[1] |= npay;
+    if let Some(alt) = d.alt_pc {
+        let (atag, apay) = next_pc_bits(alt);
+        w[0] |= atag << 59;
+        w[1] |= apay << 32;
+    }
+    w[2] |= u64::from(d.branch_pc.unwrap_or(0));
+    match d.exec {
+        ExecOp::Op2 { dst, src, .. } => {
+            let (at, ap) = operand_bits(dst);
+            let (bt, bp) = operand_bits(src);
+            w[2] |= at << 32;
+            w[2] |= bt << 35;
+            w[3] |= ap;
+            w[3] |= bp << 32;
+        }
+        ExecOp::Op3 { a, b, .. } | ExecOp::Cmp { a, b, .. } => {
+            let (at, ap) = operand_bits(a);
+            let (bt, bp) = operand_bits(b);
+            w[2] |= at << 32;
+            w[2] |= bt << 35;
+            w[3] |= ap;
+            w[3] |= bp << 32;
+        }
+        ExecOp::Enter { bytes } | ExecOp::Leave { bytes } => w[3] |= u64::from(bytes),
+        ExecOp::CallPush { ret } => w[3] |= u64::from(ret),
+        ExecOp::Nop | ExecOp::Halt | ExecOp::RetPop => {}
+    }
+    w
+}
+
+/// Decode a 256-bit entry image back into a [`Decoded`] entry.
+///
+/// Total: every bit pattern decodes. Out-of-range discriminants reduce
+/// modulo their variant count (a hardware decoder's don't-care
+/// handling), so a single-bit flip of a valid image always produces a
+/// well-formed entry — possibly a wrong one, which is the point.
+/// Inverse of [`entry_bits`] on canonical images:
+/// `decode_entry(entry_bits(d)) == d`.
+pub fn decode_entry(w: [u64; 4]) -> Decoded {
+    let pc = w[0] as u32;
+    let len_bytes = ((w[0] >> 32) & 0xFF) as u32;
+    let kind = ((w[0] >> 40) & 0xF) % 9;
+    let sub = (w[0] >> 44) & 0xF;
+    let a_tag = (w[2] >> 32) & 0x7;
+    let b_tag = (w[2] >> 35) & 0x7;
+    let a_pay = w[3] as u32;
+    let b_pay = (w[3] >> 32) as u32;
+    let exec = match kind {
+        0 => ExecOp::Nop,
+        1 => ExecOp::Halt,
+        2 => ExecOp::Op2 {
+            op: BinOp::ALL[(sub % 12) as usize],
+            dst: decode_operand(a_tag, a_pay),
+            src: decode_operand(b_tag, b_pay),
+        },
+        3 => ExecOp::Op3 {
+            op: BinOp::ALL[(sub % 12) as usize],
+            a: decode_operand(a_tag, a_pay),
+            b: decode_operand(b_tag, b_pay),
+        },
+        4 => ExecOp::Cmp {
+            cond: Cond::ALL[(sub % 10) as usize],
+            a: decode_operand(a_tag, a_pay),
+            b: decode_operand(b_tag, b_pay),
+        },
+        5 => ExecOp::Enter { bytes: a_pay },
+        6 => ExecOp::Leave { bytes: a_pay },
+        7 => ExecOp::CallPush { ret: a_pay },
+        _ => ExecOp::RetPop,
+    };
+    let fold = match ((w[0] >> 51) & 3) % 3 {
+        0 => FoldClass::Sequential,
+        1 => FoldClass::Uncond,
+        _ => FoldClass::Cond {
+            on_true: (w[0] >> 53) & 1 != 0,
+            predict_taken: (w[0] >> 54) & 1 != 0,
+        },
+    };
+    Decoded {
+        pc,
+        len_bytes,
+        exec,
+        modifies_cc: (w[0] >> 48) & 1 != 0,
+        modifies_sp: (w[0] >> 49) & 1 != 0,
+        fold,
+        folded: (w[0] >> 50) & 1 != 0,
+        branch_pc: ((w[0] >> 55) & 1 != 0).then_some(w[2] as u32),
+        next_pc: decode_next_pc((w[0] >> 57) & 3, w[1] as u32),
+        alt_pc: ((w[0] >> 56) & 1 != 0)
+            .then(|| decode_next_pc((w[0] >> 59) & 3, (w[1] >> 32) as u32)),
+    }
+}
+
+/// 32-bit column parity over an entry image: the XOR of its eight
+/// 32-bit lanes. Any single-bit flip of the image flips exactly one bit
+/// of the parity word (bit `position mod 32`), so single-bit faults are
+/// always detected; an even number of flips in the same column cancels
+/// — the standard blind spot of parity, faithfully modelled.
+pub fn parity32(w: &[u64; 4]) -> u32 {
+    w.iter()
+        .fold(0u32, |p, &x| p ^ (x as u32) ^ ((x >> 32) as u32))
+}
+
+/// Apply a single-bit fault to a decoded entry: re-encode, flip the
+/// mapped bit, decode totally. Returns `None` for [`FaultField::Valid`],
+/// which lives in the slot rather than the entry image (the caller
+/// clears the slot instead).
+pub fn apply_fault(d: &Decoded, field: FaultField) -> Option<Decoded> {
+    let (word, bit) = field.bit()?;
+    let mut bits = entry_bits(d);
+    bits[word] ^= 1u64 << bit;
+    Some(decode_entry(bits))
+}
+
+// --- Fault-outcome classification ---------------------------------------
+
+/// AVF-style bucket for one injected fault run without parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The faulted run retired the exact commit stream and final state
+    /// of the fault-free reference: the flip had no architectural
+    /// effect (overwritten, evicted, in a don't-care field, or the
+    /// slot was never read again).
+    Masked,
+    /// Commit streams and control flow agree but some architectural
+    /// value (accumulator, SP, flag, a memory write) differs — silent
+    /// data corruption.
+    Sdc,
+    /// The faulted run took a different path: a commit disagrees on
+    /// PC, next-PC, branch identity or direction, or the run halted at
+    /// the wrong place, or execution wandered into undecodable bytes.
+    ControlDivergence,
+    /// The faulted run never halted: the watchdog limit expired with
+    /// the commit stream still a clean prefix of the reference.
+    Hang,
+}
+
+impl FaultOutcome {
+    /// All outcomes, in report order.
+    pub const ALL: [FaultOutcome; 4] = [
+        FaultOutcome::Masked,
+        FaultOutcome::Sdc,
+        FaultOutcome::ControlDivergence,
+        FaultOutcome::Hang,
+    ];
+
+    /// Stable kebab-case name (the AVF-report column key).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Sdc => "sdc",
+            FaultOutcome::ControlDivergence => "control-divergence",
+            FaultOutcome::Hang => "hang",
+        }
+    }
+}
+
+/// Classify one commit-record disagreement: control-identity fields
+/// make it a control divergence, pure value fields an SDC.
+fn classify_pair(reference: &CommitRecord, faulted: &CommitRecord) -> FaultOutcome {
+    if reference.pc != faulted.pc
+        || reference.next_pc != faulted.next_pc
+        || reference.branch_pc != faulted.branch_pc
+        || reference.folded != faulted.folded
+        || reference.taken != faulted.taken
+        || reference.halted != faulted.halted
+    {
+        FaultOutcome::ControlDivergence
+    } else {
+        FaultOutcome::Sdc
+    }
+}
+
+/// Run the cycle engine with the fault plan in `cfg` (typically with
+/// [`ParityMode::Off`]) and classify the outcome against the fault-free
+/// functional reference.
+///
+/// The faulted run's commit stream is compared record by record with
+/// the reference; the first disagreement buckets the fault via
+/// [`classify_pair`]. A clean prefix that ends in the watchdog is a
+/// [`FaultOutcome::Hang`]; a clean prefix of different length is a
+/// control divergence (the run halted early or late); equal streams
+/// with equal final state are [`FaultOutcome::Masked`]. A faulted run
+/// that errors maps to control divergence for decode errors (execution
+/// left the instruction stream) and to SDC for data errors (a wild
+/// address from a corrupted operand).
+///
+/// # Errors
+///
+/// Only harness-level failures are `Err`: the image does not load, or
+/// the *fault-free* reference itself fails to halt within
+/// `cfg.max_cycles` steps (campaign drivers pre-screen programs so this
+/// does not happen).
+pub fn classify_fault(image: &Image, cfg: SimConfig) -> Result<FaultOutcome, SimError> {
+    cfg.validate();
+    let machine = Machine::load(image)?;
+
+    let mut ref_log = CommitLog::default();
+    let reference = FunctionalSim::with_policy(machine.clone(), cfg.fold_policy)
+        .max_steps(cfg.max_cycles)
+        .run_observed(&mut ref_log)?;
+    if reference.halt_reason != HaltReason::Halted {
+        return Err(SimError::StepLimit {
+            limit: cfg.max_cycles,
+        });
+    }
+
+    let faulted = CycleSim::with_observer(machine, cfg, CommitLog::default()).run_observed();
+    let (run, log) = match faulted {
+        Ok((run, log)) => (run, log),
+        // The faulted run died. Decode errors mean control flow left
+        // the instruction stream; anything else (a wild memory access
+        // from a corrupted operand) is data corruption.
+        Err(SimError::Decode { .. }) => return Ok(FaultOutcome::ControlDivergence),
+        Err(_) => return Ok(FaultOutcome::Sdc),
+    };
+
+    let shared = ref_log.records.len().min(log.records.len());
+    for i in 0..shared {
+        if ref_log.records[i] != log.records[i] {
+            return Ok(classify_pair(&ref_log.records[i], &log.records[i]));
+        }
+    }
+    if run.halt_reason == HaltReason::Watchdog {
+        return Ok(FaultOutcome::Hang);
+    }
+    if ref_log.records.len() != log.records.len() {
+        return Ok(FaultOutcome::ControlDivergence);
+    }
+    let (fm, cm) = (&reference.machine, &run.machine);
+    if fm.accum != cm.accum || fm.sp != cm.sp || fm.psw.flag != cm.psw.flag || fm.mem != cm.mem {
+        return Ok(FaultOutcome::Sdc);
+    }
+    Ok(FaultOutcome::Masked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParityMode as PM;
+
+    // One entry per ExecOp kind, with varied operand modes, next-PC
+    // forms and fold classes.
+    fn sample_entries() -> Vec<Decoded> {
+        vec![
+            Decoded {
+                pc: 0x100,
+                len_bytes: 2,
+                exec: ExecOp::Nop,
+                modifies_cc: false,
+                modifies_sp: false,
+                fold: FoldClass::Sequential,
+                folded: false,
+                branch_pc: None,
+                next_pc: NextPc::Known(0x102),
+                alt_pc: None,
+            },
+            Decoded {
+                pc: 0x200,
+                len_bytes: 2,
+                exec: ExecOp::Halt,
+                modifies_cc: false,
+                modifies_sp: false,
+                fold: FoldClass::Sequential,
+                folded: false,
+                branch_pc: None,
+                next_pc: NextPc::Known(0x202),
+                alt_pc: None,
+            },
+            Decoded {
+                pc: 0x304,
+                len_bytes: 8,
+                exec: ExecOp::Op2 {
+                    op: BinOp::Add,
+                    dst: Operand::SpOff(8),
+                    src: Operand::Imm(-3),
+                },
+                modifies_cc: true,
+                modifies_sp: false,
+                fold: FoldClass::Cond {
+                    on_true: true,
+                    predict_taken: false,
+                },
+                folded: true,
+                branch_pc: Some(0x30A),
+                next_pc: NextPc::Known(0x30C),
+                alt_pc: Some(NextPc::Known(0x2F0)),
+            },
+            Decoded {
+                pc: 0x400,
+                len_bytes: 6,
+                exec: ExecOp::Op3 {
+                    op: BinOp::Sar,
+                    a: Operand::Abs(0x8000),
+                    b: Operand::Accum,
+                },
+                modifies_cc: true,
+                modifies_sp: false,
+                fold: FoldClass::Uncond,
+                folded: true,
+                branch_pc: Some(0x404),
+                next_pc: NextPc::IndAbs(0x9000),
+                alt_pc: None,
+            },
+            Decoded {
+                pc: 0x500,
+                len_bytes: 4,
+                exec: ExecOp::Cmp {
+                    cond: Cond::GeU,
+                    a: Operand::SpInd(-8),
+                    b: Operand::SpOff(124),
+                },
+                modifies_cc: true,
+                modifies_sp: false,
+                fold: FoldClass::Cond {
+                    on_true: false,
+                    predict_taken: true,
+                },
+                folded: true,
+                branch_pc: Some(0x502),
+                next_pc: NextPc::Known(0x480),
+                alt_pc: Some(NextPc::Known(0x504)),
+            },
+            Decoded {
+                pc: 0x600,
+                len_bytes: 2,
+                exec: ExecOp::Enter { bytes: 64 },
+                modifies_cc: false,
+                modifies_sp: true,
+                fold: FoldClass::Sequential,
+                folded: false,
+                branch_pc: None,
+                next_pc: NextPc::Known(0x602),
+                alt_pc: None,
+            },
+            Decoded {
+                pc: 0x700,
+                len_bytes: 2,
+                exec: ExecOp::Leave { bytes: 32 },
+                modifies_cc: false,
+                modifies_sp: true,
+                fold: FoldClass::Sequential,
+                folded: false,
+                branch_pc: None,
+                next_pc: NextPc::IndSp(-4),
+                alt_pc: None,
+            },
+            Decoded {
+                pc: 0x800,
+                len_bytes: 4,
+                exec: ExecOp::CallPush { ret: 0x804 },
+                modifies_cc: false,
+                modifies_sp: true,
+                fold: FoldClass::Uncond,
+                folded: false,
+                branch_pc: Some(0x800),
+                next_pc: NextPc::Known(0x1000),
+                alt_pc: None,
+            },
+            Decoded {
+                pc: 0x900,
+                len_bytes: 2,
+                exec: ExecOp::RetPop,
+                modifies_cc: false,
+                modifies_sp: true,
+                fold: FoldClass::Uncond,
+                folded: false,
+                branch_pc: Some(0x900),
+                next_pc: NextPc::FromRet,
+                alt_pc: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_canonical_entries() {
+        for d in sample_entries() {
+            let bits = entry_bits(&d);
+            assert_eq!(decode_entry(bits), d, "{d}");
+        }
+    }
+
+    #[test]
+    fn decode_is_total_over_flips() {
+        // Every single-bit flip of every sample decodes without panic
+        // and re-encodes stably (decode∘encode is idempotent).
+        for d in sample_entries() {
+            let bits = entry_bits(&d);
+            for word in 0..4 {
+                for bit in 0..64 {
+                    let mut flipped = bits;
+                    flipped[word] ^= 1u64 << bit;
+                    let d2 = decode_entry(flipped);
+                    let re = entry_bits(&d2);
+                    assert_eq!(decode_entry(re), d2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_flips_exactly_one_column_bit() {
+        for d in sample_entries() {
+            let bits = entry_bits(&d);
+            let p = parity32(&bits);
+            for word in 0..4 {
+                for bit in 0..64 {
+                    let mut flipped = bits;
+                    flipped[word] ^= 1u64 << bit;
+                    assert_eq!(parity32(&flipped), p ^ (1 << (bit % 32)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_space_enumeration_is_exhaustive_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        let mut valid = 0;
+        for i in 0..FAULT_SPACE {
+            let f = nth_field(i);
+            assert!(seen.insert(f), "{f:?} enumerated twice");
+            match f.bit() {
+                Some((w, b)) => {
+                    assert!(w < 4 && b < 64);
+                }
+                None => valid += 1,
+            }
+        }
+        assert_eq!(valid, 1, "exactly one valid-bit fault");
+        // Bit positions are distinct too.
+        let bits: std::collections::HashSet<_> = seen.iter().filter_map(|f| f.bit()).collect();
+        assert_eq!(bits.len(), FAULT_SPACE as usize - 1);
+        // Wraps modulo the space.
+        assert_eq!(nth_field(FAULT_SPACE), nth_field(0));
+        // Names stay in sync with the width table.
+        for (i, (_, name)) in FIELD_WIDTHS.iter().enumerate() {
+            assert_eq!(FIELD_NAMES[i], *name);
+        }
+        assert_eq!(
+            FIELD_WIDTHS.iter().map(|(w, _)| u64::from(*w)).sum::<u64>(),
+            FAULT_SPACE
+        );
+    }
+
+    #[test]
+    fn apply_fault_changes_targeted_field() {
+        let d = sample_entries()[2]; // folded conditional Op2
+                                     // Predict bit: flips the predicted direction.
+        let f = apply_fault(&d, FaultField::Predict).unwrap();
+        match (d.fold, f.fold) {
+            (
+                FoldClass::Cond {
+                    predict_taken: a, ..
+                },
+                FoldClass::Cond {
+                    predict_taken: b, ..
+                },
+            ) => assert_ne!(a, b),
+            other => panic!("fold class changed: {other:?}"),
+        }
+        // Tag bit 0: moves the entry's PC by one.
+        let f = apply_fault(&d, FaultField::Tag(0)).unwrap();
+        assert_eq!(f.pc, d.pc ^ 1);
+        // Next-PC payload bit: redirects the next address.
+        let f = apply_fault(&d, FaultField::NextPc(2)).unwrap();
+        assert_eq!(f.next_pc, NextPc::Known(0x30C ^ 1));
+        // Valid faults have no image bit.
+        assert_eq!(apply_fault(&d, FaultField::Valid), None);
+        assert_eq!(FaultField::Valid.name(), "valid");
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(
+            FaultOutcome::ALL.map(FaultOutcome::name),
+            ["masked", "sdc", "control-divergence", "hang"]
+        );
+        assert_eq!(PM::default(), PM::Off);
+    }
+}

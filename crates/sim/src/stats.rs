@@ -123,6 +123,9 @@ pub struct RunStats {
     pub static_mispredicts: u64,
     /// All control transfers (conditional, unconditional, calls, returns).
     pub transfers: u64,
+    /// Whether the run ended on the watchdog step limit rather than
+    /// `halt` (see [`crate::HaltReason`]).
+    pub watchdog: bool,
     /// Per-mnemonic dynamic histogram.
     pub opcodes: OpcodeCounts,
 }
@@ -183,6 +186,14 @@ pub struct CycleStats {
     pub cache_refills: u64,
     /// Decoded-cache fills that displaced a different PC.
     pub cache_evictions: u64,
+    /// Decoded-cache entries invalidated by a parity mismatch at read
+    /// time (see [`crate::soft_error`]).
+    pub parity_invalidates: u64,
+    /// Transient faults actually injected into live cache entries.
+    pub faults_injected: u64,
+    /// Whether the run ended on a watchdog limit rather than `halt`
+    /// (see [`crate::HaltReason`]).
+    pub watchdog: bool,
 }
 
 impl CycleStats {
@@ -212,6 +223,7 @@ impl CycleStats {
                 r#""resolved_at_fetch":{},"icache_hits":{},"icache_misses":{},"#,
                 r#""miss_stall_cycles":{},"indirect_stall_cycles":{},"pdu_decodes":{},"#,
                 r#""cache_inserts":{},"cache_refills":{},"cache_evictions":{},"#,
+                r#""parity_invalidates":{},"faults_injected":{},"watchdog":{},"#,
                 r#""cycles_per_issued":{:.6},"apparent_cpi":{:.6}}}"#
             ),
             self.cycles,
@@ -233,6 +245,9 @@ impl CycleStats {
             self.cache_inserts,
             self.cache_refills,
             self.cache_evictions,
+            self.parity_invalidates,
+            self.faults_injected,
+            self.watchdog,
             self.cycles_per_issued(),
             self.apparent_cpi(),
         )
@@ -270,7 +285,16 @@ impl fmt::Display for CycleStats {
             f,
             "cache fills          : {} inserts / {} refills / {} evictions",
             self.cache_inserts, self.cache_refills, self.cache_evictions
-        )
+        )?;
+        writeln!(
+            f,
+            "soft errors          : {} injected / {} parity invalidates",
+            self.faults_injected, self.parity_invalidates
+        )?;
+        if self.watchdog {
+            writeln!(f, "watchdog             : expired before halt")?;
+        }
+        Ok(())
     }
 }
 
@@ -288,7 +312,7 @@ impl RunStats {
         format!(
             concat!(
                 r#"{{"program_instrs":{},"entries":{},"folded":{},"cond_branches":{},"#,
-                r#""static_mispredicts":{},"transfers":{},"opcodes":{{{}}}}}"#
+                r#""static_mispredicts":{},"transfers":{},"watchdog":{},"opcodes":{{{}}}}}"#
             ),
             self.program_instrs,
             self.entries,
@@ -296,6 +320,7 @@ impl RunStats {
             self.cond_branches,
             self.static_mispredicts,
             self.transfers,
+            self.watchdog,
             opcodes,
         )
     }

@@ -1,0 +1,132 @@
+//! Fuzz-smoke test: the text front ends must never panic, whatever
+//! bytes they are fed.
+//!
+//! Seeded corpora of valid assembly and mini-C sources are mutated —
+//! byte flips, truncations, insertions, deletions and swaps to
+//! syntax-significant characters — and every mutant is pushed through
+//! `crisp::asm::assemble_text` and `crisp::cc::compile_crisp`. The
+//! result is ignored; the only assertion is that neither front end
+//! panics (every malformed input must come back as a structured
+//! error). Deterministic by seed, bounded in size, suitable for CI.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crisp::asm::assemble_text;
+use crisp::asm::rand_prog::Rng;
+use crisp::cc::{compile_crisp, generate_c, CompileOptions};
+
+/// A hand-written corpus entry exercising every assembly construct.
+const ASM_CORPUS: &[&str] = &[
+    "
+    main:
+        enter 16
+    loop:
+        add 0(sp),$1
+        and3 4(sp),$1
+        cmp.= Accum,$0
+        ifjmpy.t loop
+        mov *0x10000,Accum
+        mov [8(sp)],$5
+        call f
+        jmp .+4
+        leave 16
+        ret
+    f:  halt
+        .align
+        .word 1, 2, 3
+        .entry main
+    ",
+    "a: b: nop\nifjmpn.nt a\nsub3 0(sp),$-1\n.word -2147483648\n",
+    "jmp *12(sp)\ncall *0x44\ncmp.<u 8(sp),[0(sp)]\nifjmpy 100\nhalt\n",
+];
+
+/// Syntax-significant bytes that steer mutants toward interesting
+/// parser states (half-open literals, stray directives, labels).
+const SPICE: &[u8] = b"':$*([{.\\x09,;=<>-";
+
+fn mutate(rng: &mut Rng, base: &str) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    let edits = 1 + rng.below(4);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        let i = rng.below(bytes.len() as u64) as usize;
+        match rng.below(5) {
+            0 => bytes.truncate(i),
+            1 => bytes[i] = rng.next_u64() as u8,
+            2 => bytes.insert(i, rng.next_u64() as u8),
+            3 => {
+                bytes.remove(i);
+            }
+            _ => bytes[i] = *rng.pick(SPICE),
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Run `f`, turning a panic into a test failure that shows the input.
+fn assert_no_panic(what: &str, input: &str, f: impl FnOnce()) {
+    if catch_unwind(AssertUnwindSafe(f)).is_err() {
+        panic!("{what} panicked on input:\n---\n{input}\n---");
+    }
+}
+
+#[test]
+fn assembler_never_panics_on_mutated_input() {
+    let mut rng = Rng::new(0xA5A5);
+    for base in ASM_CORPUS {
+        for _ in 0..400 {
+            let input = mutate(&mut rng, base);
+            assert_no_panic("assemble_text", &input, || {
+                let _ = assemble_text(&input);
+            });
+        }
+    }
+}
+
+#[test]
+fn compiler_never_panics_on_mutated_input() {
+    let opts = CompileOptions::default();
+    let mut sources = vec![crisp::workloads::FIGURE3_SOURCE.to_string()];
+    for seed in 0..4 {
+        sources.push(generate_c(seed).source);
+    }
+    let mut rng = Rng::new(0x5A5A);
+    for base in &sources {
+        for _ in 0..250 {
+            let input = mutate(&mut rng, base);
+            assert_no_panic("compile_crisp", &input, || {
+                let _ = compile_crisp(&input, &opts);
+            });
+        }
+    }
+}
+
+#[test]
+fn front_ends_survive_raw_garbage() {
+    // Pure noise, no valid seed at all: empty input, long runs of one
+    // delimiter, and random byte soup.
+    let mut rng = Rng::new(7);
+    let mut cases = vec![
+        String::new(),
+        "'".repeat(300),
+        "(".repeat(300),
+        ":".repeat(300),
+        ".".repeat(300),
+    ];
+    for _ in 0..100 {
+        let len = rng.below(200) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        cases.push(String::from_utf8_lossy(&bytes).into_owned());
+    }
+    let opts = CompileOptions::default();
+    for input in &cases {
+        assert_no_panic("assemble_text", input, || {
+            let _ = assemble_text(input);
+        });
+        assert_no_panic("compile_crisp", input, || {
+            let _ = compile_crisp(input, &opts);
+        });
+    }
+}

@@ -176,6 +176,8 @@ struct Tally {
     commits: u64,
     cache_fills: u64,
     cache_fills_evicting: u64,
+    fault_injects: u64,
+    parity_errors: u64,
 }
 
 fn tally(events: &[PipeEvent]) -> Result<Tally, TestCaseError> {
@@ -225,6 +227,8 @@ fn tally(events: &[PipeEvent]) -> Result<Tally, TestCaseError> {
                     StallKind::Indirect => t.indirect_stall += cycle - begin,
                 }
             }
+            PipeEvent::FaultInject { .. } => t.fault_injects += 1,
+            PipeEvent::ParityError { .. } => t.parity_errors += 1,
             PipeEvent::Halt { .. } => t.halts += 1,
         }
     }
@@ -300,6 +304,8 @@ proptest! {
                 run.stats.cache_inserts + run.stats.cache_refills
             );
             prop_assert_eq!(t.cache_fills_evicting, run.stats.cache_evictions);
+            prop_assert_eq!(t.fault_injects, run.stats.faults_injected);
+            prop_assert_eq!(t.parity_errors, run.stats.parity_invalidates);
             // Every retired conditional branch resolved exactly once.
             prop_assert_eq!(
                 t.resolves_by_stage.iter().sum::<u64>(),
