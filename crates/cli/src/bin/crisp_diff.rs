@@ -30,14 +30,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crisp_asm::rand_prog::{shrink, GenProgram};
 use crisp_cc::{compile_crisp, generate_c, CompileOptions, PredictionMode};
-use crisp_cli::{extract_flag, extract_switch, Checkpoint};
+use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
-    run_lockstep, sweep_configs, Divergence, FaultInjection, LockstepOutcome, SimConfig,
+    run_lockstep, run_lockstep_pooled, sweep_configs, Divergence, FaultInjection, LockstepBuffers,
+    LockstepOutcome, PredecodedImage, SimConfig,
 };
 
 fn main() -> ExitCode {
@@ -196,7 +196,7 @@ fn run() -> Result<ExitCode, String> {
         }
     }
     let total = work.len() as u64;
-    let mut cp = match &resume_path {
+    let cp = match &resume_path {
         Some(path) => {
             let loaded = Checkpoint::load(path).map_err(|e| e.to_string())?;
             if let Some(cp) = &loaded {
@@ -224,40 +224,57 @@ fn run() -> Result<ExitCode, String> {
     let failure: Mutex<Option<Failure>> = Mutex::new(None);
     let panicked: Mutex<Option<String>> = Mutex::new(None);
     let aborted: Mutex<Option<String>> = Mutex::new(None);
-    let chunk = (jobs as u64 * 8).max(32);
-    while cp.completed < total {
-        let start = cp.completed;
-        let end = (start + chunk).min(total);
-        let next = AtomicU64::new(start);
-        let stop = AtomicBool::new(false);
-        let commits = AtomicU64::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    // Work stealing: each thread claims the next
-                    // unchecked program; heavier programs simply hold
-                    // their thread longer.
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= end || stop.load(Ordering::Relaxed) {
-                        return;
-                    }
+    // Single self-scheduling queue over the whole campaign: no chunk
+    // barriers, so a slow program never idles the other threads, and
+    // the contiguous-prefix tracker keeps --resume checkpoints sound.
+    let queue: WorkQueue<u64> = WorkQueue::new(cp.completed, total);
+    let save_every = (jobs as u64 * 8).max(32);
+    let progress = Mutex::new((cp, 0u64));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                // Per-worker machine buffers: every lockstep run after
+                // the first resets memory in place instead of
+                // allocating a fresh Machine pair.
+                let mut bufs = LockstepBuffers::default();
+                while let Some(i) = queue.claim() {
                     let program = &work[i as usize];
                     // A panic anywhere in the harness must not take the
                     // whole campaign down: record it as a failure with
                     // the seed and stop cleanly.
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        check_program(program, &configs, &commits)
+                        check_program(program, &configs, &mut bufs)
                     }));
                     match outcome {
-                        Ok(Ok(())) => {}
+                        Ok(Ok(commits)) => {
+                            let drained = queue.complete(i, commits);
+                            if drained.payloads.is_empty() {
+                                continue;
+                            }
+                            let (cp, last_saved) = &mut *progress.lock().unwrap();
+                            for c in drained.payloads {
+                                cp.tally("commits", c);
+                            }
+                            cp.completed = drained.completed;
+                            if let Some(path) = &resume_path {
+                                if drained.completed >= *last_saved + save_every {
+                                    if let Err(e) = cp.save(path) {
+                                        *aborted.lock().unwrap() = Some(e.to_string());
+                                        queue.abort();
+                                        return;
+                                    }
+                                    *last_saved = drained.completed;
+                                }
+                            }
+                        }
                         Ok(Err(CheckFail::Load(msg))) => {
                             *aborted.lock().unwrap() = Some(msg);
-                            stop.store(true, Ordering::Relaxed);
+                            queue.abort();
                             return;
                         }
                         Ok(Err(CheckFail::Diverge(cfg, d))) => {
                             *failure.lock().unwrap() = Some(shrink_failure(program, cfg, *d));
-                            stop.store(true, Ordering::Relaxed);
+                            queue.abort();
                             return;
                         }
                         Err(payload) => {
@@ -270,25 +287,14 @@ fn run() -> Result<ExitCode, String> {
                             };
                             *panicked.lock().unwrap() =
                                 Some(format!("{}: worker panicked: {what}", program.describe()));
-                            stop.store(true, Ordering::Relaxed);
+                            queue.abort();
                             return;
                         }
                     }
-                });
-            }
-        });
-        let failed = failure.lock().unwrap().is_some()
-            || panicked.lock().unwrap().is_some()
-            || aborted.lock().unwrap().is_some();
-        if failed {
-            break;
+                }
+            });
         }
-        cp.completed = end;
-        cp.tally("commits", commits.load(Ordering::Relaxed));
-        if let Some(path) = &resume_path {
-            cp.save(path).map_err(|e| e.to_string())?;
-        }
-    }
+    });
 
     if let Some(msg) = aborted.into_inner().unwrap() {
         return Err(format!("campaign aborted: {msg}"));
@@ -297,8 +303,12 @@ fn run() -> Result<ExitCode, String> {
         println!("crisp-diff: PANIC — {msg}");
         return Ok(ExitCode::FAILURE);
     }
+    let (cp, _) = progress.into_inner().unwrap();
     match failure.into_inner().unwrap() {
         None => {
+            if let Some(path) = &resume_path {
+                cp.save(path).map_err(|e| e.to_string())?;
+            }
             println!(
                 "crisp-diff: all agree ({} commits compared)",
                 cp.get("commits")
@@ -321,21 +331,37 @@ enum CheckFail {
     Diverge(SimConfig, Box<Divergence>),
 }
 
-/// Run one program across every sweep configuration, accumulating
-/// compared commits.
+/// Run one program across every sweep configuration, returning the
+/// number of compared commits. The program is decoded once per fold
+/// policy into a shared [`PredecodedImage`] that every configuration
+/// (and both engines within each lockstep run) reads, and the worker's
+/// machine buffers are recycled between runs.
 fn check_program(
     program: &Program,
     configs: &[SimConfig],
-    commits: &AtomicU64,
-) -> Result<(), CheckFail> {
+    bufs: &mut LockstepBuffers,
+) -> Result<u64, CheckFail> {
     let image = program
         .image()
         .map_err(|e| CheckFail::Load(format!("{}: {e}", program.describe())))?;
+    let mut commits = 0u64;
+    let mut tables: Vec<Arc<PredecodedImage>> = Vec::with_capacity(4);
     for cfg in configs {
-        match run_lockstep(&image, *cfg) {
-            Ok(LockstepOutcome::Agree { commits: c, .. }) => {
-                commits.fetch_add(c, Ordering::Relaxed);
+        let table = match tables.iter().find(|t| t.policy() == cfg.fold_policy) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let t = PredecodedImage::shared(&image, cfg.fold_policy).map_err(|e| {
+                    CheckFail::Load(format!(
+                        "{}: predecode failed under {cfg:?}: {e}",
+                        program.describe()
+                    ))
+                })?;
+                tables.push(Arc::clone(&t));
+                t
             }
+        };
+        match run_lockstep_pooled(&image, *cfg, Some(&table), bufs) {
+            Ok(LockstepOutcome::Agree { commits: c, .. }) => commits += c,
             Ok(LockstepOutcome::Diverge(d)) => return Err(CheckFail::Diverge(*cfg, d)),
             Err(e) => {
                 return Err(CheckFail::Load(format!(
@@ -345,7 +371,7 @@ fn check_program(
             }
         }
     }
-    Ok(())
+    Ok(commits)
 }
 
 /// Shrink a failing assembly program (mini-C failures are reported

@@ -33,15 +33,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crisp_asm::rand_prog::{GenProgram, Rng};
 use crisp_asm::Image;
-use crisp_cli::{extract_flag, extract_switch, Checkpoint};
+use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
-    classify_fault, nth_field, FaultOutcome, FaultPlan, ParityMode, SimConfig, FAULT_SPACE,
-    FIELD_NAMES,
+    classify_fault_pooled, nth_field, ClassifyBuffers, FaultOutcome, FaultPlan, ParityMode,
+    PredecodedImage, SimConfig, FAULT_SPACE, FIELD_NAMES,
 };
 
 fn main() -> ExitCode {
@@ -96,16 +95,26 @@ fn plan_for(seed: u64, case: u64, icache_entries: u64) -> FaultPlan {
 
 /// Run one case: verify parity recovery, then classify unprotected.
 ///
+/// Both phases share the image's predecoded table and the worker's
+/// recycled machine buffers — the fault-free reference and the faulted
+/// run decode nothing on the steady-state path.
+///
 /// `Err` means the parity-protected run did NOT reconverge to the
 /// fault-free commit stream — a recovery bug.
-fn run_case(image: &Image, plan: FaultPlan, max_cycles: u64) -> Result<CaseClass, String> {
+fn run_case(
+    image: &Image,
+    table: &Arc<PredecodedImage>,
+    plan: FaultPlan,
+    max_cycles: u64,
+    bufs: &mut ClassifyBuffers,
+) -> Result<CaseClass, String> {
     let protected = SimConfig {
         parity: ParityMode::DetectInvalidate,
         fault_plan: Some(plan),
         max_cycles,
         ..SimConfig::default()
     };
-    match classify_fault(image, protected) {
+    match classify_fault_pooled(image, protected, Some(table), bufs) {
         Err(_) => return Ok(CaseClass::Skipped),
         Ok(FaultOutcome::Masked) => {}
         Ok(other) => {
@@ -119,7 +128,7 @@ fn run_case(image: &Image, plan: FaultPlan, max_cycles: u64) -> Result<CaseClass
         parity: ParityMode::Off,
         ..protected
     };
-    match classify_fault(image, unprotected) {
+    match classify_fault_pooled(image, unprotected, Some(table), bufs) {
         Err(_) => Ok(CaseClass::Skipped),
         Ok(outcome) => Ok(CaseClass::Classified(outcome)),
     }
@@ -175,20 +184,25 @@ fn run() -> Result<ExitCode, String> {
 
     // The work list is deterministic in (seed, programs, faults,
     // max_blocks), which is what makes --resume sound: case i always
-    // means the same (program, fault plan) pair.
-    let mut images: Vec<(u64, Image)> = Vec::with_capacity(programs as usize);
+    // means the same (program, fault plan) pair. Each image is decoded
+    // once here; every fault case (and both phases within a case)
+    // shares the predecoded table.
+    let fold_policy = SimConfig::default().fold_policy;
+    let mut images: Vec<(u64, Image, Arc<PredecodedImage>)> = Vec::with_capacity(programs as usize);
     for p in 0..programs {
         let pseed = seed.wrapping_add(p);
         let prog = GenProgram::generate(pseed, max_blocks);
         let image = prog
             .image()
             .map_err(|e| format!("assembling program seed {pseed}: {e}"))?;
-        images.push((pseed, image));
+        let table = PredecodedImage::shared(&image, fold_policy)
+            .map_err(|e| format!("predecoding program seed {pseed}: {e}"))?;
+        images.push((pseed, image, table));
     }
     let icache_entries = SimConfig::default().icache_entries as u64;
 
     let total = programs * faults;
-    let mut cp = match &resume_path {
+    let cp = match &resume_path {
         Some(path) => {
             let loaded = Checkpoint::load(path).map_err(|e| e.to_string())?;
             if let Some(cp) = &loaded {
@@ -212,41 +226,40 @@ fn run() -> Result<ExitCode, String> {
         "crisp-fault: {programs} programs x {faults} faults on {jobs} threads (base seed {seed})"
     );
 
-    let chunk = (jobs as u64 * 32).max(64);
     let failure: Mutex<Option<Failure>> = Mutex::new(None);
-    while cp.completed < total {
-        let start = cp.completed;
-        let end = (start + chunk).min(total);
-        let next = AtomicU64::new(start);
-        let stop = AtomicBool::new(false);
-        let shared = Mutex::new(&mut cp);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= end || stop.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let (pseed, image) = &images[(i / faults) as usize];
+    let io_error: Mutex<Option<String>> = Mutex::new(None);
+    // Single self-scheduling queue over the whole campaign: no chunk
+    // barriers, and the contiguous-prefix tracker means a saved
+    // checkpoint accounts for exactly its first `completed` cases even
+    // though cases finish out of order.
+    let queue: WorkQueue<Option<String>> = WorkQueue::new(cp.completed, total);
+    let save_every = (jobs as u64 * 32).max(64);
+    let progress = Mutex::new((cp, 0u64));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                // Per-worker machine buffers, recycled across cases.
+                let mut bufs = ClassifyBuffers::default();
+                while let Some(i) = queue.claim() {
+                    let (pseed, image, table) = &images[(i / faults) as usize];
                     let plan = plan_for(seed, i, icache_entries);
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(|| run_case(image, plan, max_cycles)));
-                    match outcome {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        run_case(image, table, plan, max_cycles, &mut bufs)
+                    }));
+                    // The checkpoint payload: the outcome key to tally,
+                    // or None for a skipped case.
+                    let payload = match outcome {
                         Ok(Ok(CaseClass::Classified(o))) => {
-                            let mut cp = shared.lock().unwrap();
-                            cp.tally("verified", 1);
-                            cp.tally(&format!("{}.{}", plan.field.name(), o.name()), 1);
+                            Some(format!("{}.{}", plan.field.name(), o.name()))
                         }
-                        Ok(Ok(CaseClass::Skipped)) => {
-                            shared.lock().unwrap().tally("skipped", 1);
-                        }
+                        Ok(Ok(CaseClass::Skipped)) => None,
                         Ok(Err(detail)) => {
                             *failure.lock().unwrap() = Some(Failure {
                                 program_seed: *pseed,
                                 plan,
                                 detail,
                             });
-                            stop.store(true, Ordering::Relaxed);
+                            queue.abort();
                             return;
                         }
                         Err(payload) => {
@@ -255,22 +268,44 @@ fn run() -> Result<ExitCode, String> {
                                 plan,
                                 detail: panic_text(payload),
                             });
-                            stop.store(true, Ordering::Relaxed);
+                            queue.abort();
                             return;
                         }
+                    };
+                    let drained = queue.complete(i, payload);
+                    if drained.payloads.is_empty() {
+                        continue;
                     }
-                });
-            }
-        });
-        if failure.lock().unwrap().is_some() {
-            break;
+                    let (cp, last_saved) = &mut *progress.lock().unwrap();
+                    for key in drained.payloads {
+                        match key {
+                            Some(key) => {
+                                cp.tally("verified", 1);
+                                cp.tally(&key, 1);
+                            }
+                            None => cp.tally("skipped", 1),
+                        }
+                    }
+                    cp.completed = drained.completed;
+                    if let Some(path) = &resume_path {
+                        if drained.completed >= *last_saved + save_every {
+                            if let Err(e) = cp.save(path) {
+                                *io_error.lock().unwrap() = Some(e.to_string());
+                                queue.abort();
+                                return;
+                            }
+                            *last_saved = drained.completed;
+                        }
+                    }
+                }
+            });
         }
-        cp.completed = end;
-        if let Some(path) = &resume_path {
-            cp.save(path).map_err(|e| e.to_string())?;
-        }
-    }
+    });
 
+    if let Some(msg) = io_error.into_inner().unwrap() {
+        return Err(msg);
+    }
+    let (cp, _) = progress.into_inner().unwrap();
     if let Some(f) = failure.into_inner().unwrap() {
         println!("crisp-fault: FAILURE");
         println!("  program seed : {}", f.program_seed);
@@ -285,6 +320,9 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::FAILURE);
     }
 
+    if let Some(path) = &resume_path {
+        cp.save(path).map_err(|e| e.to_string())?;
+    }
     print_report(&cp, programs, faults, report_path.as_deref())?;
     Ok(ExitCode::SUCCESS)
 }

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crisp_cc::{CompileOptions, PredictionMode};
 use crisp_isa::FoldPolicy;
@@ -279,6 +281,102 @@ impl Checkpoint {
     }
 }
 
+/// A self-scheduling campaign work queue with contiguous-prefix
+/// completion tracking.
+///
+/// Workers [`claim`](WorkQueue::claim) indices one at a time — no fixed
+/// chunking, so one slow case never leaves the other threads idle at a
+/// chunk boundary — and report each finished case together with its
+/// checkpoint payload. Payloads are handed back to the caller only once
+/// their case joins the contiguous completed prefix, which keeps
+/// `--resume` checkpoints sound: a checkpoint claiming N completed
+/// cases accounts for exactly the first N cases even though cases
+/// finish out of order.
+pub struct WorkQueue<T> {
+    next: AtomicU64,
+    total: u64,
+    stop: AtomicBool,
+    state: Mutex<QueueState<T>>,
+}
+
+struct QueueState<T> {
+    /// Cases `0..prefix` are complete and their payloads drained.
+    prefix: u64,
+    /// Finished cases still waiting for an earlier one (bounded by the
+    /// worker count, so the linear scans below stay cheap).
+    pending: Vec<(u64, T)>,
+}
+
+/// Prefix progress released by [`WorkQueue::complete`].
+pub struct Drained<T> {
+    /// Cases now in the contiguous completed prefix.
+    pub completed: u64,
+    /// Payloads of the cases that just joined the prefix, in index
+    /// order. Empty when the completed case is still waiting on an
+    /// earlier in-flight one.
+    pub payloads: Vec<T>,
+}
+
+impl<T> WorkQueue<T> {
+    /// A queue over cases `start..total` (cases below `start` were
+    /// completed by a previous run and come from the checkpoint).
+    pub fn new(start: u64, total: u64) -> Self {
+        WorkQueue {
+            next: AtomicU64::new(start),
+            total,
+            stop: AtomicBool::new(false),
+            state: Mutex::new(QueueState {
+                prefix: start,
+                pending: Vec::new(),
+            }),
+        }
+    }
+
+    /// Claim the next unprocessed case, or `None` when the queue is
+    /// drained or aborted.
+    pub fn claim(&self) -> Option<u64> {
+        if self.stop.load(Ordering::Relaxed) {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// Stop handing out work (a failure was recorded); in-flight cases
+    /// finish on their own.
+    pub fn abort(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`abort`](WorkQueue::abort) has been called.
+    pub fn aborted(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Record case `index` as finished with its checkpoint payload and
+    /// collect any payloads that just became part of the contiguous
+    /// prefix.
+    pub fn complete(&self, index: u64, payload: T) -> Drained<T> {
+        let mut st = self.state.lock().unwrap();
+        st.pending.push((index, payload));
+        let mut payloads = Vec::new();
+        while let Some(pos) = st.pending.iter().position(|(i, _)| *i == st.prefix) {
+            let (_, p) = st.pending.swap_remove(pos);
+            payloads.push(p);
+            st.prefix += 1;
+        }
+        Drained {
+            completed: st.prefix,
+            payloads,
+        }
+    }
+
+    /// Current contiguous completed prefix.
+    pub fn completed(&self) -> u64 {
+        self.state.lock().unwrap().prefix
+    }
+}
+
 /// Read the input file (or stdin when the path is `-` or absent).
 ///
 /// # Errors
@@ -391,6 +489,66 @@ mod tests {
         assert!(Checkpoint::from_json("{\"k\":1}").is_err());
         assert!(Checkpoint::from_json("{\"completed\":1,\"k\"}").is_err());
         assert!(Checkpoint::from_json("{completed:1}").is_err());
+    }
+
+    #[test]
+    fn work_queue_hands_out_each_case_once() {
+        let q: WorkQueue<u64> = WorkQueue::new(3, 6);
+        assert_eq!(q.claim(), Some(3));
+        assert_eq!(q.claim(), Some(4));
+        assert_eq!(q.claim(), Some(5));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn work_queue_releases_payloads_in_prefix_order() {
+        let q: WorkQueue<&str> = WorkQueue::new(0, 4);
+        for _ in 0..4 {
+            q.claim();
+        }
+        // Case 2 finishes first: nothing is released yet.
+        let d = q.complete(2, "two");
+        assert_eq!(d.completed, 0);
+        assert!(d.payloads.is_empty());
+        // Case 0 joins: 0 is released, 1 still in flight blocks 2.
+        let d = q.complete(0, "zero");
+        assert_eq!(d.completed, 1);
+        assert_eq!(d.payloads, ["zero"]);
+        // Case 1 joins and unblocks the parked case 2.
+        let d = q.complete(1, "one");
+        assert_eq!(d.completed, 3);
+        assert_eq!(d.payloads, ["one", "two"]);
+        let d = q.complete(3, "three");
+        assert_eq!(d.completed, 4);
+        assert_eq!(d.payloads, ["three"]);
+        assert_eq!(q.completed(), 4);
+    }
+
+    #[test]
+    fn work_queue_abort_stops_claims() {
+        let q: WorkQueue<()> = WorkQueue::new(0, 100);
+        assert_eq!(q.claim(), Some(0));
+        assert!(!q.aborted());
+        q.abort();
+        assert!(q.aborted());
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn work_queue_under_thread_contention() {
+        let q: WorkQueue<u64> = WorkQueue::new(0, 500);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    while let Some(i) = q.claim() {
+                        q.complete(i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.completed(), 500);
+        assert_eq!(q.claim(), None);
     }
 
     #[test]

@@ -324,6 +324,23 @@ impl Decoded {
             _ => None,
         }
     }
+
+    /// Bytes of the host instruction alone, excluding a folded branch:
+    /// for a folded entry the branch starts at `branch_pc`, so the host
+    /// spans `branch_pc - pc`; otherwise the whole entry is the host.
+    pub fn host_len_bytes(&self) -> u32 {
+        match (self.folded, self.branch_pc) {
+            (true, Some(bpc)) => bpc.wrapping_sub(self.pc),
+            _ => self.len_bytes,
+        }
+    }
+
+    /// Parcels (16-bit units) of the host instruction alone. Decode
+    /// paths that already hold a cached entry use this to reconstruct
+    /// the lookahead requirement without re-decoding the raw parcels.
+    pub fn host_parcels(&self) -> usize {
+        (self.host_len_bytes() / 2) as usize
+    }
 }
 
 impl fmt::Display for Decoded {

@@ -137,7 +137,7 @@ fn widen(mode: u8) -> Result<u8, IsaError> {
     }
 }
 
-fn push_ext(out: &mut Vec<u16>, mode: u8, op: Operand) {
+fn push_ext(out: &mut ParcelBuf, mode: u8, op: Operand) {
     let raw: u32 = match op {
         Operand::Accum => 0,
         Operand::Imm(v) => v as u32,
@@ -179,6 +179,36 @@ fn read_ext(parcels: &[u16], at: &mut usize, mode: u8) -> Result<Operand, IsaErr
 
 // ---- encoding -------------------------------------------------------------
 
+/// Maximum encoded instruction length, in parcels.
+pub const MAX_ENCODED_PARCELS: usize = 5;
+
+/// Fixed-capacity buffer the encoder writes into: encoding never touches
+/// the heap, so hot decode-time callers ([`encoded_len`] via
+/// `Instr::parcels`, used by fold-eligibility checks) stay allocation
+/// free.
+struct ParcelBuf {
+    buf: [u16; MAX_ENCODED_PARCELS],
+    len: usize,
+}
+
+impl ParcelBuf {
+    fn new() -> ParcelBuf {
+        ParcelBuf {
+            buf: [0; MAX_ENCODED_PARCELS],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, p: u16) {
+        self.buf[self.len] = p;
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[u16] {
+        &self.buf[..self.len]
+    }
+}
+
 /// Encode one instruction into its parcel sequence (length 1, 3 or 5).
 ///
 /// # Errors
@@ -194,43 +224,61 @@ fn read_ext(parcels: &[u16], at: &mut usize, mode: u8) -> Result<Operand, IsaErr
 /// * [`IsaError::BadFrameSize`] — `enter`/`leave` with a misaligned byte
 ///   count.
 pub fn encode(instr: &Instr) -> Result<Vec<u16>, IsaError> {
+    let mut out = ParcelBuf::new();
+    encode_into(instr, &mut out)?;
+    Ok(out.as_slice().to_vec())
+}
+
+/// The encoded length in parcels without materialising the encoding (and
+/// without allocating).
+///
+/// # Errors
+///
+/// Same conditions as [`encode`].
+pub fn encoded_len(instr: &Instr) -> Result<usize, IsaError> {
+    let mut out = ParcelBuf::new();
+    encode_into(instr, &mut out)?;
+    Ok(out.len)
+}
+
+fn encode_into(instr: &Instr, out: &mut ParcelBuf) -> Result<(), IsaError> {
     match *instr {
-        Instr::Nop => Ok(vec![OP_NOP << 10]),
-        Instr::Halt => Ok(vec![OP_HALT << 10]),
-        Instr::Ret => Ok(vec![OP_RET << 10]),
-        Instr::Enter { bytes } => encode_frame(bytes, false),
-        Instr::Leave { bytes } => encode_frame(bytes, true),
+        Instr::Nop => out.push(OP_NOP << 10),
+        Instr::Halt => out.push(OP_HALT << 10),
+        Instr::Ret => out.push(OP_RET << 10),
+        Instr::Enter { bytes } => encode_frame(bytes, false, out)?,
+        Instr::Leave { bytes } => encode_frame(bytes, true, out)?,
         Instr::Op2 { op, dst, src } => {
             if !dst.is_writable() {
                 return Err(IsaError::ImmediateDestination);
             }
             if let Some(p) = compact_op2(op, dst, src) {
-                return Ok(vec![p]);
+                out.push(p);
+            } else {
+                encode_general(OP_OP2_X, op.code(), dst, src, out)?;
             }
-            encode_general(OP_OP2_X, op.code(), dst, src)
         }
         Instr::Op3 { op, a, b } => {
             if let Some(p) = compact_op3(op, a, b) {
-                return Ok(vec![p]);
+                out.push(p);
+            } else {
+                encode_general(OP_OP3_X, op.code(), a, b, out)?;
             }
-            encode_general(OP_OP3_X, op.code(), a, b)
         }
         Instr::Cmp { cond, a, b } => {
             if a == Operand::Accum {
                 if let Some(imm) = b.as_imm5() {
-                    return Ok(vec![
-                        (OP_CMP_AI << 10) | ((cond.code() as u16) << 6) | imm as u16,
-                    ]);
+                    out.push((OP_CMP_AI << 10) | ((cond.code() as u16) << 6) | imm as u16);
+                    return Ok(());
                 }
                 if let Some(slot) = b.as_slot5() {
-                    return Ok(vec![
-                        (OP_CMP_AR << 10) | ((cond.code() as u16) << 6) | slot as u16,
-                    ]);
+                    out.push((OP_CMP_AR << 10) | ((cond.code() as u16) << 6) | slot as u16);
+                    return Ok(());
                 }
             }
-            encode_general(OP_CMP_X, cond.code(), a, b)
+            encode_general(OP_CMP_X, cond.code(), a, b, out)?;
         }
-        Instr::Jmp { target } => encode_branch(CLASS_JMP_S, OP_JMP_L, false, target),
+        Instr::Jmp { target } => encode_branch(CLASS_JMP_S, OP_JMP_L, false, target, out)?,
         Instr::IfJmp {
             on_true,
             predict_taken,
@@ -241,39 +289,28 @@ pub fn encode(instr: &Instr) -> Result<Vec<u16>, IsaError> {
             } else {
                 (CLASS_IFF_S, OP_IFF_L)
             };
-            encode_branch(short, long, predict_taken, target)
+            encode_branch(short, long, predict_taken, target, out)?;
         }
-        Instr::Call { target } => encode_branch(CLASS_CALL_S, OP_CALL_L, false, target),
+        Instr::Call { target } => encode_branch(CLASS_CALL_S, OP_CALL_L, false, target, out)?,
     }
+    Ok(())
 }
 
-/// The encoded length in parcels without materialising the encoding.
-///
-/// # Errors
-///
-/// Same conditions as [`encode`].
-pub fn encoded_len(instr: &Instr) -> Result<usize, IsaError> {
-    // Encoding is cheap (at most five u16 pushes); reuse it rather than
-    // duplicating the format-selection logic.
-    Ok(encode(instr)?.len())
-}
-
-fn encode_frame(bytes: u32, leave: bool) -> Result<Vec<u16>, IsaError> {
+fn encode_frame(bytes: u32, leave: bool, out: &mut ParcelBuf) -> Result<(), IsaError> {
     if !bytes.is_multiple_of(4) {
         return Err(IsaError::BadFrameSize { bytes });
     }
     let words = bytes / 4;
     if words <= 0x3FF {
         let op = if leave { OP_LEAVE_S } else { OP_ENTER_S };
-        Ok(vec![(op << 10) | words as u16])
+        out.push((op << 10) | words as u16);
     } else {
         let sub = if leave { 1u16 } else { 0 };
-        Ok(vec![
-            (OP_FRAME_L << 10) | (sub << 9),
-            (bytes >> 16) as u16,
-            bytes as u16,
-        ])
+        out.push((OP_FRAME_L << 10) | (sub << 9));
+        out.push((bytes >> 16) as u16);
+        out.push(bytes as u16);
     }
+    Ok(())
 }
 
 fn compact_op2(op: BinOp, dst: Operand, src: Operand) -> Option<u16> {
@@ -319,7 +356,13 @@ fn compact_op3(op: BinOp, a: Operand, b: Operand) -> Option<u16> {
     None
 }
 
-fn encode_general(op6: u16, sub: u8, a: Operand, b: Operand) -> Result<Vec<u16>, IsaError> {
+fn encode_general(
+    op6: u16,
+    sub: u8,
+    a: Operand,
+    b: Operand,
+    out: &mut ParcelBuf,
+) -> Result<(), IsaError> {
     let mut m1 = natural_mode(a)?;
     let mut m2 = natural_mode(b)?;
     if mode_width(m1) != mode_width(m2) {
@@ -329,12 +372,11 @@ fn encode_general(op6: u16, sub: u8, a: Operand, b: Operand) -> Result<Vec<u16>,
             m2 = widen(m2)?;
         }
     }
-    let mut out = Vec::with_capacity(5);
     out.push((op6 << 10) | ((m1 as u16) << 7) | ((m2 as u16) << 4) | sub as u16);
-    push_ext(&mut out, m1, a);
-    push_ext(&mut out, m2, b);
-    debug_assert!(out.len() == 3 || out.len() == 5);
-    Ok(out)
+    push_ext(out, m1, a);
+    push_ext(out, m2, b);
+    debug_assert!(out.len == 3 || out.len == 5);
+    Ok(())
 }
 
 fn encode_branch(
@@ -342,7 +384,8 @@ fn encode_branch(
     long_op: u16,
     pred: bool,
     target: BranchTarget,
-) -> Result<Vec<u16>, IsaError> {
+    out: &mut ParcelBuf,
+) -> Result<(), IsaError> {
     match target {
         BranchTarget::PcRel(off) => {
             if !target.is_short() {
@@ -350,20 +393,19 @@ fn encode_branch(
             }
             let parcels_off = (off / 2) as i16;
             let off10 = (parcels_off as u16) & 0x3FF;
-            Ok(vec![(short_class << 11) | ((pred as u16) << 10) | off10])
+            out.push((short_class << 11) | ((pred as u16) << 10) | off10);
         }
-        BranchTarget::Abs(a) => Ok(long_branch(long_op, 0, pred, a)),
-        BranchTarget::IndAbs(a) => Ok(long_branch(long_op, 1, pred, a)),
-        BranchTarget::IndSp(off) => Ok(long_branch(long_op, 2, pred, off as u32)),
+        BranchTarget::Abs(a) => long_branch(long_op, 0, pred, a, out),
+        BranchTarget::IndAbs(a) => long_branch(long_op, 1, pred, a, out),
+        BranchTarget::IndSp(off) => long_branch(long_op, 2, pred, off as u32, out),
     }
+    Ok(())
 }
 
-fn long_branch(op6: u16, mode: u16, pred: bool, spec: u32) -> Vec<u16> {
-    vec![
-        (op6 << 10) | (mode << 8) | ((pred as u16) << 7),
-        (spec >> 16) as u16,
-        spec as u16,
-    ]
+fn long_branch(op6: u16, mode: u16, pred: bool, spec: u32, out: &mut ParcelBuf) {
+    out.push((op6 << 10) | (mode << 8) | ((pred as u16) << 7));
+    out.push((spec >> 16) as u16);
+    out.push(spec as u16);
 }
 
 /// Encode `Accum = value` in the fixed five-parcel wide form

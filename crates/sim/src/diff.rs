@@ -20,10 +20,13 @@
 //! must catch the wrong-path commit (a unit test here and the
 //! `diff_oracle` integration test both insist on it).
 
+use std::sync::Arc;
+
 use crisp_isa::FoldPolicy;
 
 use crate::config::HwPredictor;
 use crate::observe::{render_timeline, EventRing, PipeEvent, PipeObserver};
+use crate::predecode::PredecodedImage;
 use crate::{CycleSim, FunctionalSim, Machine, SimConfig, SimError};
 use crisp_asm::Image;
 
@@ -319,14 +322,83 @@ fn diverge(
 /// every behavioural disagreement — including one engine erroring where
 /// the other ran on — is reported as [`LockstepOutcome::Diverge`].
 pub fn run_lockstep(image: &Image, cfg: SimConfig) -> Result<LockstepOutcome, SimError> {
+    run_lockstep_pooled(image, cfg, None, &mut LockstepBuffers::default())
+}
+
+/// Reusable per-worker state for [`run_lockstep_pooled`]: the two
+/// engines' `Machine` buffers, recycled across cases via
+/// [`Machine::reset_from`] so a million-case campaign performs two
+/// memory allocations per worker instead of two per case.
+#[derive(Debug, Default)]
+pub struct LockstepBuffers {
+    func: Option<Machine>,
+    cycle: Option<Machine>,
+}
+
+pub(crate) fn reset_or_load(buf: Option<Machine>, image: &Image) -> Result<Machine, SimError> {
+    match buf {
+        // `reset_from` is bit-identical to a fresh load (including the
+        // memory size), so pooled and unpooled runs cannot diverge.
+        Some(mut m) => {
+            m.reset_from(image)?;
+            Ok(m)
+        }
+        None => Machine::load(image),
+    }
+}
+
+/// [`run_lockstep`] with the campaign fast paths: `predecoded` (when
+/// given) serves both engines' decode work from a shared table, and
+/// `bufs` recycles the machine buffers across calls.
+///
+/// # Errors
+///
+/// Same conditions as [`run_lockstep`].
+///
+/// # Panics
+///
+/// If `predecoded` was built under a fold policy different from
+/// `cfg.fold_policy` — the table would silently answer for the wrong
+/// policy.
+pub fn run_lockstep_pooled(
+    image: &Image,
+    cfg: SimConfig,
+    predecoded: Option<&Arc<PredecodedImage>>,
+    bufs: &mut LockstepBuffers,
+) -> Result<LockstepOutcome, SimError> {
     cfg.validate();
-    let machine = Machine::load(image)?;
-    let mut func = FunctionalSim::with_policy(machine.clone(), cfg.fold_policy);
+    if let Some(t) = predecoded {
+        assert_eq!(
+            t.policy(),
+            cfg.fold_policy,
+            "predecode table policy must match the swept config"
+        );
+    }
+    let fmach = reset_or_load(bufs.func.take(), image)?;
+    let cmach = reset_or_load(bufs.cycle.take(), image)?;
+    let mut func = match predecoded {
+        Some(t) => FunctionalSim::with_predecoded(fmach, Arc::clone(t)),
+        None => FunctionalSim::with_policy(fmach, cfg.fold_policy),
+    };
     let mut cyc = CycleSim::with_observer(
-        machine,
+        cmach,
         cfg,
         (CommitLog::default(), EventRing::new(TIMELINE_RING)),
     );
+    if let Some(t) = predecoded {
+        cyc.set_predecoded(Arc::clone(t));
+    }
+    let outcome = lockstep_loop(&mut func, &mut cyc, &cfg);
+    bufs.func = Some(func.into_machine());
+    bufs.cycle = Some(cyc.into_machine());
+    Ok(outcome)
+}
+
+fn lockstep_loop(
+    func: &mut FunctionalSim,
+    cyc: &mut CycleSim<(CommitLog, EventRing)>,
+    cfg: &SimConfig,
+) -> LockstepOutcome {
     let mut flog = CommitLog::default();
     let mut compared = 0usize;
     let mut func_halted = false;
@@ -338,14 +410,14 @@ pub fn run_lockstep(image: &Image, cfg: SimConfig) -> Result<LockstepOutcome, Si
                 .is_some_and(|limit| cyc.stats.program_instrs >= limit)
         {
             let at = cyc.stats.cycles;
-            return Ok(diverge(
-                &cyc,
+            return diverge(
+                cyc,
                 compared,
                 at,
                 DivergenceKind::Watchdog {
                     commits: compared as u64,
                 },
-            ));
+            );
         }
         let step_result = cyc.step();
 
@@ -355,37 +427,37 @@ pub fn run_lockstep(image: &Image, cfg: SimConfig) -> Result<LockstepOutcome, Si
             let crec = cyc.observer().0.records[compared];
             let at = cyc.observer().0.cycles[compared];
             if func_halted {
-                return Ok(diverge(
-                    &cyc,
+                return diverge(
+                    cyc,
                     compared,
                     at,
                     DivergenceKind::ExtraCommit { cycle: crec },
-                ));
+                );
             }
             let frec = match func.step_observed(compared as u64, &mut flog) {
                 Ok(_) => *flog.records.last().expect("step_observed emits a commit"),
                 Err(e) => {
-                    return Ok(diverge(
-                        &cyc,
+                    return diverge(
+                        cyc,
                         compared,
                         at,
                         DivergenceKind::Error {
                             functional: Some(e),
                             cycle: None,
                         },
-                    ));
+                    );
                 }
             };
             if frec != crec {
-                return Ok(diverge(
-                    &cyc,
+                return diverge(
+                    cyc,
                     compared,
                     at,
                     DivergenceKind::Mismatch {
                         functional: frec,
                         cycle: crec,
                     },
-                ));
+                );
             }
             func_halted = frec.halted;
             compared += 1;
@@ -419,21 +491,21 @@ pub fn run_lockstep(image: &Image, cfg: SimConfig) -> Result<LockstepOutcome, Si
                     }
                 }
                 if func_err.as_ref() == Some(&cycle_err) {
-                    return Ok(LockstepOutcome::Agree {
+                    return LockstepOutcome::Agree {
                         commits: compared as u64,
                         cycles: cyc.stats.cycles,
-                    });
+                    };
                 }
                 let at = cyc.stats.cycles;
-                return Ok(diverge(
-                    &cyc,
+                return diverge(
+                    cyc,
                     compared,
                     at,
                     DivergenceKind::Error {
                         functional: func_err,
                         cycle: Some(cycle_err),
                     },
-                ));
+                );
             }
         }
     }
@@ -450,12 +522,12 @@ pub fn run_lockstep(image: &Image, cfg: SimConfig) -> Result<LockstepOutcome, Si
         || fm.mem != cm.mem
     {
         let at = cyc.stats.cycles;
-        return Ok(diverge(&cyc, compared, at, DivergenceKind::FinalState));
+        return diverge(cyc, compared, at, DivergenceKind::FinalState);
     }
-    Ok(LockstepOutcome::Agree {
+    LockstepOutcome::Agree {
         commits: compared as u64,
         cycles: cyc.stats.cycles,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -495,6 +567,60 @@ mod tests {
                     assert!(cycles >= commits);
                 }
                 LockstepOutcome::Diverge(d) => panic!("diverged under {cfg:?}:\n{d}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_lockstep_matches_fresh_runs() {
+        // Shared tables + recycled machine buffers are pure work-savers:
+        // the outcome of every swept config must match the unpooled
+        // oracle, including across different images through the same
+        // buffers.
+        let images = [
+            image(
+                "
+                    mov 0(sp),$0
+                top:
+                    add 0(sp),$1
+                    cmp.s< 0(sp),$9
+                    ifjmpy.t top
+                    halt
+                ",
+            ),
+            image("call f\nhalt\nf: add 0(sp),$3\nret"),
+        ];
+        let mut bufs = LockstepBuffers::default();
+        for img in &images {
+            let tables: Vec<Arc<PredecodedImage>> = [
+                FoldPolicy::None,
+                FoldPolicy::Host1,
+                FoldPolicy::Host13,
+                FoldPolicy::All,
+            ]
+            .iter()
+            .map(|&p| PredecodedImage::shared(img, p).unwrap())
+            .collect();
+            for cfg in sweep_configs() {
+                let table = tables
+                    .iter()
+                    .find(|t| t.policy() == cfg.fold_policy)
+                    .unwrap();
+                let fresh = run_lockstep(img, cfg).unwrap();
+                let pooled = run_lockstep_pooled(img, cfg, Some(table), &mut bufs).unwrap();
+                match (&fresh, &pooled) {
+                    (
+                        LockstepOutcome::Agree { commits, cycles },
+                        LockstepOutcome::Agree {
+                            commits: pc,
+                            cycles: py,
+                        },
+                    ) => {
+                        assert_eq!(commits, pc, "{cfg:?}");
+                        assert_eq!(cycles, py, "{cfg:?}");
+                    }
+                    other => panic!("outcomes differ under {cfg:?}: {other:?}"),
+                }
             }
         }
     }

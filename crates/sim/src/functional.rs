@@ -1,13 +1,11 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crisp_isa::{decode_and_fold, Decoded, ExecOp, FoldClass, FoldPolicy};
 
 use crate::observe::{NullObserver, PipeObserver};
+use crate::predecode::{PredecodedImage, DECODE_WINDOW};
 use crate::{BranchEvent, BranchKind, HaltReason, Machine, RunStats, SimError, Step, Trace};
-
-/// Maximum parcels one decoded entry can span: a five-parcel host plus a
-/// three-parcel branch under [`FoldPolicy::All`].
-const DECODE_WINDOW: usize = 8;
 
 /// The functional (untimed) engine.
 ///
@@ -17,11 +15,19 @@ const DECODE_WINDOW: usize = 8;
 /// and the branch-trace recorder behind Table 1. Its results must match
 /// the cycle engine's exactly — an invariant the integration tests
 /// check on every workload.
+///
+/// Decode is served from a shared [`PredecodedImage`]: the text segment
+/// is decoded once at construction (or a table is shared in via
+/// [`FunctionalSim::with_predecoded`]) and the steady-state lookup is a
+/// direct index. PCs outside the table — wild control flow into data or
+/// odd addresses — fall back to on-demand decode memoized in a small
+/// overflow map, preserving exact legacy behaviour.
 #[derive(Debug)]
 pub struct FunctionalSim {
     machine: Machine,
     policy: FoldPolicy,
-    decode_cache: HashMap<u32, Decoded>,
+    predecoded: Arc<PredecodedImage>,
+    overflow: HashMap<u32, Decoded>,
     max_steps: u64,
     record_trace: bool,
 }
@@ -57,13 +63,30 @@ impl FunctionalSim {
     /// change the entry/instruction bookkeeping, which some experiments
     /// read.
     pub fn with_policy(machine: Machine, policy: FoldPolicy) -> FunctionalSim {
+        let predecoded = Arc::new(PredecodedImage::from_machine(&machine, policy));
+        FunctionalSim::with_predecoded(machine, predecoded)
+    }
+
+    /// Wrap a loaded machine around an already-built predecode table
+    /// (the fold policy comes from the table). Campaign workers build
+    /// the table once per image × policy and share it across every
+    /// case, so repeated runs skip the per-instance decode pass
+    /// entirely.
+    pub fn with_predecoded(machine: Machine, predecoded: Arc<PredecodedImage>) -> FunctionalSim {
         FunctionalSim {
             machine,
-            policy,
-            decode_cache: HashMap::new(),
+            policy: predecoded.policy(),
+            predecoded,
+            overflow: HashMap::new(),
             max_steps: 2_000_000_000,
             record_trace: false,
         }
+    }
+
+    /// Recover the machine for buffer reuse (see
+    /// [`Machine::reset_from`]), dropping the engine state.
+    pub fn into_machine(self) -> Machine {
+        self.machine
     }
 
     /// Enable branch-trace recording (builder style).
@@ -79,13 +102,30 @@ impl FunctionalSim {
     }
 
     fn decoded_at(&mut self, pc: u32) -> Result<Decoded, SimError> {
-        if let Some(d) = self.decode_cache.get(&pc) {
+        // Fast path: direct index into the shared predecode table.
+        // `Decoded` is `Copy`; copying the entry out keeps the machine
+        // free for the mutable borrow `execute` needs.
+        match self.predecoded.get(pc) {
+            Some(Ok(d)) => return Ok(*d),
+            Some(Err(e)) => {
+                return Err(SimError::Decode {
+                    pc,
+                    source: e.clone(),
+                })
+            }
+            None => {}
+        }
+        // Out-of-text or odd PC: decode on demand through a
+        // stack-allocated window (no per-miss heap traffic), memoized
+        // in the overflow map.
+        if let Some(d) = self.overflow.get(&pc) {
             return Ok(*d);
         }
-        let window = self.machine.mem.parcel_window(pc, DECODE_WINDOW);
-        let d = decode_and_fold(&window, 0, pc, self.policy)
+        let mut window = [0u16; DECODE_WINDOW];
+        let n = self.machine.mem.parcel_window_into(pc, &mut window);
+        let d = decode_and_fold(&window[..n], 0, pc, self.policy)
             .map_err(|source| SimError::Decode { pc, source })?;
-        self.decode_cache.insert(pc, d);
+        self.overflow.insert(pc, d);
         Ok(d)
     }
 

@@ -19,10 +19,18 @@ struct CacheLine {
 }
 
 /// The result of a parity-checked cache read.
+///
+/// A hit borrows the resident entry instead of copying it out:
+/// `Decoded` is `Copy` but spans several machine words (operands,
+/// Next-PC, Alternate Next-PC), and the fetch stage reads one entry per
+/// cycle — the single hottest load in the cycle engine. Consumers that
+/// need an owned copy (the EU latching into its `Slot`) dereference
+/// exactly once, matching [`DecodedCache::lookup`]'s by-reference
+/// shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CacheLookup {
+pub enum CacheLookup<'a> {
     /// A valid entry with matching tag (and clean parity, when checked).
-    Hit(Decoded),
+    Hit(&'a Decoded),
     /// No entry, or the tag did not match.
     Miss,
     /// The slot's parity check failed: the entry was invalidated and
@@ -138,20 +146,22 @@ impl DecodedCache {
     /// invalidated and reported as [`CacheLookup::ParityError`] no
     /// matter which PC probed it. The caller then takes the ordinary
     /// miss path and the PDU redecodes the entry from memory.
-    pub fn lookup_verified(&mut self, pc: u32) -> CacheLookup {
+    pub fn lookup_verified(&mut self, pc: u32) -> CacheLookup<'_> {
         let idx = self.index(pc);
-        let Some(line) = &self.entries[idx] else {
-            return CacheLookup::Miss;
-        };
-        if self.parity == ParityMode::DetectInvalidate && line.live_parity != line.stored_parity {
+        // The invalidate (needing `&mut`) happens before the borrow of
+        // the line is handed out, so the hit path can return a
+        // reference into the slot.
+        let parity_failed = matches!(&self.entries[idx], Some(line)
+            if self.parity == ParityMode::DetectInvalidate
+                && line.live_parity != line.stored_parity);
+        if parity_failed {
             self.entries[idx] = None;
             self.parity_invalidates += 1;
             return CacheLookup::ParityError;
         }
-        if line.d.pc == pc {
-            CacheLookup::Hit(line.d)
-        } else {
-            CacheLookup::Miss
+        match &self.entries[idx] {
+            Some(line) if line.d.pc == pc => CacheLookup::Hit(&line.d),
+            _ => CacheLookup::Miss,
         }
     }
 
@@ -314,7 +324,7 @@ mod tests {
         assert_eq!(c.lookup_verified(0x10), CacheLookup::Miss);
         // A refill restores clean parity.
         c.insert(entry(0x10));
-        assert_eq!(c.lookup_verified(0x10), CacheLookup::Hit(entry(0x10)));
+        assert_eq!(c.lookup_verified(0x10), CacheLookup::Hit(&entry(0x10)));
         assert_eq!(c.parity_invalidates, 1);
     }
 

@@ -55,6 +55,7 @@ mod mem;
 pub mod observe;
 mod pdu;
 mod pipeline;
+mod predecode;
 pub mod profile;
 pub mod soft_error;
 mod stats;
@@ -62,8 +63,8 @@ mod trace;
 
 pub use config::{FaultInjection, HwPredictor, SimConfig};
 pub use diff::{
-    run_lockstep, sweep_configs, CommitLog, CommitRecord, Divergence, DivergenceKind,
-    LockstepOutcome,
+    run_lockstep, run_lockstep_pooled, sweep_configs, CommitLog, CommitRecord, Divergence,
+    DivergenceKind, LockstepBuffers, LockstepOutcome,
 };
 pub use error::{HaltReason, SimError};
 pub use functional::{FunctionalRun, FunctionalSim};
@@ -76,10 +77,12 @@ pub use observe::{
 };
 pub use pdu::Pdu;
 pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};
+pub use predecode::{PredecodedImage, DECODE_WINDOW};
 pub use profile::{BranchProfiler, SiteStats};
 pub use soft_error::{
-    apply_fault, classify_fault, decode_entry, entry_bits, nth_field, parity32, FaultField,
-    FaultOutcome, FaultPlan, ParityMode, FAULT_SPACE, FIELD_NAMES,
+    apply_fault, classify_fault, classify_fault_pooled, decode_entry, entry_bits, nth_field,
+    parity32, ClassifyBuffers, FaultField, FaultOutcome, FaultPlan, ParityMode, FAULT_SPACE,
+    FIELD_NAMES,
 };
 pub use stats::{resolve_stage, CycleStats, OpcodeCounts, RunStats};
 pub use trace::{BranchEvent, BranchKind, Trace};

@@ -15,7 +15,7 @@ pub const DEFAULT_MEMORY_BYTES: u32 = 0x0004_0000;
 /// [`Machine::execute`], which applies one decoded entry atomically —
 /// the reconstruction's commit point (the hardware's result-write at the
 /// end of the RR stage).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Machine {
     /// Simulated memory.
     pub mem: Memory,
@@ -29,6 +29,10 @@ pub struct Machine {
     pub pc: u32,
     /// Whether a `halt` has been executed.
     pub halted: bool,
+    /// First byte of the loaded text segment (`image.code_base`).
+    text_base: u32,
+    /// One past the last byte of the loaded text segment.
+    text_end: u32,
 }
 
 /// The result of executing one decoded entry.
@@ -75,6 +79,8 @@ impl Machine {
             psw: Psw::new(),
             pc: image.entry,
             halted: false,
+            text_base: image.code_base,
+            text_end: image.code_base + image.parcels.len() as u32 * 2,
         })
     }
 
@@ -85,6 +91,62 @@ impl Machine {
     /// Same conditions as [`Machine::with_memory`].
     pub fn load(image: &Image) -> Result<Machine, SimError> {
         Machine::with_memory(image, DEFAULT_MEMORY_BYTES.max(image.min_memory_bytes()))
+    }
+
+    /// First byte of the loaded text segment.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// One past the last byte of the loaded text segment.
+    pub fn text_end(&self) -> u32 {
+        self.text_end
+    }
+
+    /// Reinitialise this machine in place to the state a fresh
+    /// [`Machine::load`] of `image` would produce, reusing the memory
+    /// allocation. Campaign workers run millions of short cases; zeroing
+    /// and rewriting an existing buffer avoids a fresh multi-hundred-KiB
+    /// allocation (and its page faults) per case.
+    ///
+    /// The result is bit-identical to a fresh load — including the
+    /// memory *size*, which is `max(DEFAULT_MEMORY_BYTES,
+    /// image.min_memory_bytes())` and therefore reallocated only when
+    /// the target size actually differs from the current one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::with_memory`].
+    pub fn reset_from(&mut self, image: &Image) -> Result<(), SimError> {
+        let size = DEFAULT_MEMORY_BYTES.max(image.min_memory_bytes());
+        if image.min_memory_bytes() > size {
+            return Err(SimError::ImageTooLarge {
+                required: image.min_memory_bytes(),
+                available: size,
+            });
+        }
+        if self.mem.size() != size {
+            self.mem = Memory::new(size);
+        } else {
+            self.mem.zero();
+        }
+        for (i, &parcel) in image.parcels.iter().enumerate() {
+            self.mem
+                .write_parcel(image.code_base + i as u32 * 2, parcel)?;
+        }
+        for (base, words) in &image.data {
+            for (i, &w) in words.iter().enumerate() {
+                self.mem.write_word(base + i as u32 * 4, w)?;
+            }
+        }
+        self.sp = image.stack_top.unwrap_or(Image::DEFAULT_STACK_TOP);
+        self.accum = 0;
+        self.psw = Psw::new();
+        self.pc = image.entry;
+        self.halted = false;
+        self.text_base = image.code_base;
+        self.text_end = image.code_base + image.parcels.len() as u32 * 2;
+        Ok(())
     }
 
     /// Read the value of an operand.
@@ -429,6 +491,31 @@ mod tests {
         let d = entry(&m, 0);
         m.execute(&d).unwrap();
         assert_eq!(m.mem.read_word(0x11000).unwrap(), 9);
+    }
+
+    #[test]
+    fn reset_from_matches_fresh_load() {
+        let img_a = assemble_text("mov 0(sp),$5\nhalt").unwrap();
+        let img_b = assemble_text("enter 8\nleave 8\nhalt").unwrap();
+        let mut m = Machine::load(&img_a).unwrap();
+        // Dirty every piece of state before resetting.
+        let d = entry(&m, 0);
+        m.execute(&d).unwrap();
+        m.accum = 77;
+        m.psw.flag = true;
+        m.mem.write_word(0x11000, 123).unwrap();
+        m.reset_from(&img_b).unwrap();
+        assert_eq!(m, Machine::load(&img_b).unwrap());
+        m.reset_from(&img_a).unwrap();
+        assert_eq!(m, Machine::load(&img_a).unwrap());
+    }
+
+    #[test]
+    fn text_bounds_recorded() {
+        let img = assemble_text("enter 8\nhalt").unwrap();
+        let m = Machine::load(&img).unwrap();
+        assert_eq!(m.text_base(), img.code_base);
+        assert_eq!(m.text_end(), img.code_base + img.parcels.len() as u32 * 2);
     }
 
     #[test]

@@ -104,16 +104,40 @@ impl Memory {
     /// at the end of memory. Used by decode paths that need a lookahead
     /// window.
     pub fn parcel_window(&self, addr: u32, max: usize) -> Vec<u16> {
-        let mut out = Vec::with_capacity(max);
-        let mut a = addr & !1;
-        for _ in 0..max {
-            match self.read_parcel(a) {
-                Ok(p) => out.push(p),
-                Err(_) => break,
-            }
-            a += 2;
-        }
+        let mut out = vec![0u16; max];
+        let n = self.parcel_window_into(addr, &mut out);
+        out.truncate(n);
         out
+    }
+
+    /// Fill `buf` with consecutive parcels starting at `addr` and return
+    /// how many were read (bounds-checked against the end of memory: the
+    /// count is short exactly when the window runs off physical memory).
+    ///
+    /// This is the allocation-free form of [`Memory::parcel_window`]:
+    /// decode paths pass a stack-allocated `[u16; N]` window instead of
+    /// building a fresh `Vec` per miss. Memory is byte-addressed and
+    /// little-endian, so parcels cannot be *borrowed* as a `&[u16]`
+    /// without alignment games; a bounded copy into a caller-owned
+    /// buffer is the sound equivalent.
+    pub fn parcel_window_into(&self, addr: u32, buf: &mut [u16]) -> usize {
+        let start = (addr & !1) as usize;
+        if start >= self.bytes.len() {
+            return 0;
+        }
+        let avail_parcels = (self.bytes.len() - start) / 2;
+        let n = buf.len().min(avail_parcels);
+        for (i, slot) in buf.iter_mut().take(n).enumerate() {
+            let a = start + i * 2;
+            *slot = u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]);
+        }
+        n
+    }
+
+    /// Zero the whole array in place, keeping the allocation — the reset
+    /// path behind [`crate::Machine::reset_from`].
+    pub fn zero(&mut self) {
+        self.bytes.fill(0);
     }
 }
 

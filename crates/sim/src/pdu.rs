@@ -1,8 +1,10 @@
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crisp_isa::{decode_and_fold, encoding, fold_failure, Decoded, FoldPolicy, IsaError, NextPc};
 
 use crate::observe::{NullObserver, PipeEvent, PipeObserver};
+use crate::predecode::PredecodedImage;
 use crate::{DecodedCache, Memory};
 
 /// Parcels fetched from memory per access (the paper's Figure 2 shows
@@ -57,6 +59,9 @@ pub struct Pdu {
     failure: Option<(u32, IsaError)>,
     /// Entries decoded since the last demand (prefetch-depth counter).
     since_demand: u32,
+    /// Shared predecode table serving the refill fast path (see
+    /// [`Pdu::set_predecoded`]).
+    predecoded: Option<Arc<PredecodedImage>>,
     /// Instructions decoded (including wrong-path work).
     pub decodes: u64,
     /// Entries that folded a branch.
@@ -79,9 +84,31 @@ impl Pdu {
             parked: true,
             failure: None,
             since_demand: 0,
+            predecoded: None,
             decodes: 0,
             folds: 0,
         }
+    }
+
+    /// Serve refills of text-segment PCs from a shared predecode table
+    /// instead of re-running `decode_and_fold` per miss. Timing is
+    /// unchanged — the queue-fill, lookahead-wait and park decisions
+    /// are reproduced from the cached entry (its host length recovers
+    /// the peek the legacy path performs on raw parcels) — only the
+    /// redundant decode work disappears. PCs the table does not cover
+    /// (odd addresses, jumps into data) still take the raw-memory path.
+    ///
+    /// # Panics
+    ///
+    /// If the table was decoded under a different fold policy, which
+    /// would serve wrong entries.
+    pub fn set_predecoded(&mut self, table: Arc<PredecodedImage>) {
+        assert_eq!(
+            table.policy(),
+            self.policy,
+            "predecode table policy must match the PDU's"
+        );
+        self.predecoded = Some(table);
     }
 
     /// Redirect prefetch to `pc` (EU demand on a cache miss, or initial
@@ -112,6 +139,14 @@ impl Pdu {
     /// Whether the prefetcher is parked (waiting for a demand).
     pub fn is_parked(&self) -> bool {
         self.parked
+    }
+
+    /// Whether a tick would do no work at all: parked with an empty
+    /// PIR pipeline. In a captured loop (the steady state the cache is
+    /// built for) this is true every cycle, so the EU can skip the PDU
+    /// entirely instead of paying for a no-op call.
+    pub fn is_idle(&self) -> bool {
+        self.parked && self.inflight.is_empty()
     }
 
     /// The decode failure currently blocking prefetch, if any.
@@ -177,18 +212,51 @@ impl Pdu {
             return;
         }
         let want_parcels = (avail_bytes / 2).min(MAX_ENTRY_PARCELS) as usize;
-        let window = mem.parcel_window(self.decode_pc, want_parcels);
-        // `window` can be shorter than requested only at the end of
-        // physical memory, a hard (static) limit.
-        let at_mem_end = window.len() < want_parcels;
-        if window.is_empty() {
+        // Parcels physically available before the end of memory — a
+        // hard (static) limit; the lookahead window can be short only
+        // for this reason.
+        let mem_parcels = (mem.size() as usize).saturating_sub((self.decode_pc & !1) as usize) / 2;
+        let window_len = want_parcels.min(mem_parcels);
+        let at_mem_end = window_len < want_parcels;
+        if window_len == 0 {
             self.park_failed(IsaError::Truncated);
             return;
         }
         let queue_full = avail_bytes >= QUEUE_PARCELS * 2;
+        let branch_peek = match self.policy {
+            FoldPolicy::All => 3,
+            _ => 1,
+        };
+
+        // Fast path: the predecode table already holds this address's
+        // entry. Reproduce the legacy wait decisions from the entry's
+        // host length (what the raw-parcel peek would report), then
+        // emit the cached entry — fold determinism guarantees it is
+        // bit-identical to what decoding the current window would give.
+        // Err slots fall through to the raw path below, which reproduces
+        // the exact peek/wait sequence before parking with the right
+        // failure.
+        if let Some(Ok(d)) = self.predecoded.as_ref().and_then(|t| t.get(self.decode_pc)) {
+            let host_parcels = d.host_parcels();
+            if window_len < host_parcels && !queue_full && !at_mem_end {
+                return; // wait: the peek would report Truncated
+            }
+            let determined = window_len >= host_parcels + branch_peek || queue_full || at_mem_end;
+            if !determined {
+                return; // wait for the queue to fill so folding is decided
+            }
+            let d = *d;
+            self.emit_decoded(cycle, d, mem, window_len, cache, obs);
+            return;
+        }
+
+        let mut wbuf = [0u16; MAX_ENTRY_PARCELS as usize];
+        let got = mem.parcel_window_into(self.decode_pc, &mut wbuf[..want_parcels]);
+        debug_assert_eq!(got, window_len);
+        let window = &wbuf[..window_len];
 
         // Peek the host instruction to size the lookahead requirement.
-        let host_len = match encoding::decode(&window, 0) {
+        let host_len = match encoding::decode(window, 0) {
             Ok((_, len)) => len,
             Err(IsaError::Truncated) if !queue_full && !at_mem_end => return, // wait
             Err(e) => {
@@ -196,46 +264,61 @@ impl Pdu {
                 return;
             }
         };
-        let branch_peek = match self.policy {
-            FoldPolicy::All => 3,
-            _ => 1,
-        };
         let determined = window.len() >= host_len + branch_peek || queue_full || at_mem_end;
         if !determined {
             return; // wait for the queue to fill so folding is decided
         }
 
-        match decode_and_fold(&window, 0, self.decode_pc, self.policy) {
-            Ok(d) => {
-                self.decodes += 1;
-                self.folds += u64::from(d.folded);
-                self.since_demand += 1;
-                if O::ENABLED {
-                    obs.event(PipeEvent::Decode {
-                        cycle,
-                        pc: d.pc,
-                        folded: d.folded,
-                    });
-                    if d.folded {
-                        obs.event(PipeEvent::Fold {
-                            cycle,
-                            pc: d.pc,
-                            branch_pc: d.branch_pc.unwrap_or(d.pc),
-                        });
-                    } else if let Some(reason) = fold_failure(&window, 0, self.policy) {
-                        obs.event(PipeEvent::FoldFail {
-                            cycle,
-                            pc: d.pc,
-                            branch_pc: d.pc.wrapping_add(d.len_bytes),
-                            reason,
-                        });
-                    }
-                }
-                self.inflight.push_back((cycle + self.pipe_delay as u64, d));
-                self.advance_past(&d, cache);
-            }
+        match decode_and_fold(window, 0, self.decode_pc, self.policy) {
+            Ok(d) => self.emit_decoded(cycle, d, mem, window_len, cache, obs),
             Err(e) => self.park_failed(e),
         }
+    }
+
+    /// Book-keep one emitted entry: counters, observer events, the PIR
+    /// pipeline push and the next-address decision. `window_len` is the
+    /// length of the decode window in effect (needed only to rebuild
+    /// the window for the [`PipeEvent::FoldFail`] diagnostic when an
+    /// observer is attached).
+    fn emit_decoded<O: PipeObserver>(
+        &mut self,
+        cycle: u64,
+        d: Decoded,
+        mem: &Memory,
+        window_len: usize,
+        cache: &DecodedCache,
+        obs: &mut O,
+    ) {
+        self.decodes += 1;
+        self.folds += u64::from(d.folded);
+        self.since_demand += 1;
+        if O::ENABLED {
+            obs.event(PipeEvent::Decode {
+                cycle,
+                pc: d.pc,
+                folded: d.folded,
+            });
+            if d.folded {
+                obs.event(PipeEvent::Fold {
+                    cycle,
+                    pc: d.pc,
+                    branch_pc: d.branch_pc.unwrap_or(d.pc),
+                });
+            } else {
+                let mut wbuf = [0u16; MAX_ENTRY_PARCELS as usize];
+                let got = mem.parcel_window_into(self.decode_pc, &mut wbuf[..window_len]);
+                if let Some(reason) = fold_failure(&wbuf[..got], 0, self.policy) {
+                    obs.event(PipeEvent::FoldFail {
+                        cycle,
+                        pc: d.pc,
+                        branch_pc: d.pc.wrapping_add(d.len_bytes),
+                        reason,
+                    });
+                }
+            }
+        }
+        self.inflight.push_back((cycle + self.pipe_delay as u64, d));
+        self.advance_past(&d, cache);
     }
 
     fn park_failed(&mut self, e: IsaError) {
@@ -447,6 +530,54 @@ mod tests {
         }
         assert!(pdu.is_parked());
         assert!(pdu.decodes <= 33, "decodes = {}", pdu.decodes);
+    }
+
+    #[test]
+    fn predecoded_fast_path_matches_raw_decode() {
+        // The same tick sequence must produce identical cache contents,
+        // counters and park state with and without a predecode table —
+        // the fast path is a pure work-saver, never a timing change.
+        let src = "
+            top: add 0(sp),$1
+            cmp.s< 0(sp),$10
+            ifjmpy.t top
+            cmp.s< 0(sp),$1024
+            ifjmpn.nt top
+            jmp *0x10000
+            halt
+            ";
+        for policy in [
+            FoldPolicy::None,
+            FoldPolicy::Host1,
+            FoldPolicy::Host13,
+            FoldPolicy::All,
+        ] {
+            let m = machine(src);
+            let table = Arc::new(PredecodedImage::from_machine(&m, policy));
+            let mut raw = Pdu::new(policy, 1, 2, 32);
+            let mut fast = Pdu::new(policy, 1, 2, 32);
+            fast.set_predecoded(Arc::clone(&table));
+            let mut raw_cache = DecodedCache::new(32);
+            let mut fast_cache = DecodedCache::new(32);
+            raw.demand(0);
+            fast.demand(0);
+            for c in 0..60 {
+                raw.tick(c, &m.mem, &mut raw_cache);
+                fast.tick(c, &m.mem, &mut fast_cache);
+                let mut pc = 0;
+                while pc < m.text_end() {
+                    assert_eq!(
+                        raw_cache.lookup(pc),
+                        fast_cache.lookup(pc),
+                        "policy {policy:?} cycle {c} pc {pc:#x}"
+                    );
+                    pc += 2;
+                }
+                assert_eq!(raw.is_parked(), fast.is_parked(), "{policy:?} cycle {c}");
+            }
+            assert_eq!(raw.decodes, fast.decodes, "{policy:?}");
+            assert_eq!(raw.folds, fast.folds, "{policy:?}");
+        }
     }
 
     #[test]

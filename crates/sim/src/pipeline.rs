@@ -27,6 +27,9 @@ use crisp_isa::{Decoded, FoldClass, NextPc};
 
 use crate::config::{FaultInjection, HwPredictor};
 use crate::observe::{NullObserver, PipeEvent, PipeObserver, StallKind};
+use std::sync::Arc;
+
+use crate::predecode::PredecodedImage;
 use crate::stats::resolve_stage;
 use crate::{CacheLookup, CycleStats, DecodedCache, HaltReason, Machine, Pdu, SimConfig, SimError};
 
@@ -222,6 +225,26 @@ impl<O: PipeObserver> CycleSim<O> {
         sim
     }
 
+    /// Serve PDU refills from a shared predecode table instead of
+    /// re-running `decode_and_fold` per miss (see
+    /// [`Pdu::set_predecoded`]); timing is unchanged. Campaign drivers
+    /// build one table per image × fold policy and share it across
+    /// every case and both engines.
+    ///
+    /// # Panics
+    ///
+    /// If the table's fold policy differs from this simulator's
+    /// configuration.
+    pub fn set_predecoded(&mut self, table: Arc<PredecodedImage>) {
+        self.pdu.set_predecoded(table);
+    }
+
+    /// Recover the machine for buffer reuse (see
+    /// [`Machine::reset_from`]), dropping the pipeline state.
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+
     /// The observer (read-only view).
     pub fn observer(&self) -> &O {
         &self.obs
@@ -401,29 +424,29 @@ impl<O: PipeObserver> CycleSim<O> {
     /// direction is now certain. Returns `true` if a mispredict flushed
     /// the pipeline behind it.
     fn try_resolve(&mut self, cyc: u64, at_or: bool, kill_fetch: &mut bool, stage_idx: usize) {
-        // Split-borrow gymnastics: take the slot out, put it back.
-        let slot_ref = if at_or { &mut self.or_ } else { &mut self.ir };
-        let Some(mut slot) = slot_ref.take() else {
-            return;
-        };
-        let FoldClass::Cond { on_true, .. } = slot.d.fold else {
-            *slot_ref = Some(slot);
-            return;
-        };
-        if !slot.valid || slot.resolved || slot.d.modifies_cc {
-            *slot_ref = Some(slot);
-            return;
-        }
         // Blocked while an older valid compare is still in flight. For
         // the OR stage nothing older remains (RR retired this cycle);
         // for IR the OR slot may hold one.
-        if !at_or {
-            if let Some(older) = &self.or_ {
-                if older.valid && older.d.modifies_cc {
-                    self.ir = Some(slot);
-                    return;
-                }
-            }
+        if !at_or
+            && self
+                .or_
+                .as_ref()
+                .is_some_and(|older| older.valid && older.d.modifies_cc)
+        {
+            return;
+        }
+        // Resolve in place: the slot stays latched in its stage and only
+        // its resolution bits change. This runs twice every cycle, so a
+        // take/put-back of the whole slot would be two wasted copies on
+        // the (overwhelmingly common) nothing-to-resolve path.
+        let Some(slot) = (if at_or { &mut self.or_ } else { &mut self.ir }) else {
+            return;
+        };
+        let FoldClass::Cond { on_true, .. } = slot.d.fold else {
+            return;
+        };
+        if !slot.valid || slot.resolved || slot.d.modifies_cc {
+            return;
         }
         let taken = self.machine.psw.flag == on_true;
         slot.resolved = true;
@@ -431,11 +454,6 @@ impl<O: PipeObserver> CycleSim<O> {
         let other = slot.other;
         let branch_pc = slot.d.branch_pc.unwrap_or(slot.d.pc);
         let mispredicted = taken != slot.followed;
-        if at_or {
-            self.or_ = Some(slot);
-        } else {
-            self.ir = Some(slot);
-        }
         if O::ENABLED {
             self.obs.event(PipeEvent::BranchResolve {
                 cycle: cyc,
@@ -487,7 +505,10 @@ impl<O: PipeObserver> CycleSim<O> {
         }
 
         // ---- 1. RR stage: commit and retire. ----
-        if let Some(slot) = self.rr.take() {
+        // The slot is read in place (it is overwritten when the stages
+        // clock forward below) rather than moved out: retirement happens
+        // every cycle and the slot is the widest structure in the loop.
+        if let Some(slot) = &self.rr {
             if slot.valid {
                 let step = self.machine.execute_observed(&slot.d, cyc, &mut self.obs)?;
                 self.stats.issued += 1;
@@ -548,6 +569,10 @@ impl<O: PipeObserver> CycleSim<O> {
                         // the stall-cycle counters exactly.
                         self.sync_stall(cyc, None);
                     }
+                    // Normally the stage clocking below consumes this
+                    // slot; on halt, empty it explicitly so snapshots
+                    // show a drained RR.
+                    self.rr = None;
                     return Ok(true);
                 }
             }
@@ -567,21 +592,29 @@ impl<O: PipeObserver> CycleSim<O> {
         if kill_fetch {
             // The slot being clocked into IR this edge was cancelled.
         } else if let Some(pc) = self.fetch_pc {
-            let looked_up = self.cache.lookup_verified(pc);
-            if let CacheLookup::ParityError = looked_up {
-                // A protected entry failed its parity check at read
-                // time: the cache invalidated it, so fetch falls into
-                // the ordinary miss path below and the PDU redecodes
-                // the entry from memory.
-                if O::ENABLED {
-                    self.obs.event(PipeEvent::ParityError {
-                        cycle: cyc,
-                        pc,
-                        slot: self.cache.slot_of(pc) as u32,
-                    });
+            // The hit entry is latched (copied) into the IR slot here —
+            // the one purposeful copy-out of the borrow
+            // `lookup_verified` returns, mirroring the hardware latch
+            // at the cache read port.
+            let looked_up = match self.cache.lookup_verified(pc) {
+                CacheLookup::Hit(d) => Some(*d),
+                CacheLookup::ParityError => {
+                    // A protected entry failed its parity check at read
+                    // time: the cache invalidated it, so fetch falls into
+                    // the ordinary miss path below and the PDU redecodes
+                    // the entry from memory.
+                    if O::ENABLED {
+                        self.obs.event(PipeEvent::ParityError {
+                            cycle: cyc,
+                            pc,
+                            slot: self.cache.slot_of(pc) as u32,
+                        });
+                    }
+                    None
                 }
-            }
-            if let CacheLookup::Hit(d) = looked_up {
+                CacheLookup::Miss => None,
+            };
+            if let Some(d) = looked_up {
                 self.stats.icache_hits += 1;
                 if O::ENABLED {
                     self.obs.event(PipeEvent::FetchHit {
@@ -697,14 +730,18 @@ impl<O: PipeObserver> CycleSim<O> {
             self.sync_stall(cyc, stalled);
         }
 
-        // ---- 5. PDU cycle. ----
-        self.pdu
-            .tick_observed(cyc, &self.machine.mem, &mut self.cache, &mut self.obs);
-        self.stats.pdu_decodes = self.pdu.decodes;
-        self.stats.cache_inserts = self.cache.inserts;
-        self.stats.cache_refills = self.cache.refills;
-        self.stats.cache_evictions = self.cache.evictions;
-        self.stats.parity_invalidates = self.cache.parity_invalidates;
+        // ---- 5. PDU cycle. ---- An idle PDU (parked, nothing in the
+        // PIR pipeline) cannot change the cache or any counter, so the
+        // captured-loop steady state skips it outright.
+        if !self.pdu.is_idle() {
+            self.pdu
+                .tick_observed(cyc, &self.machine.mem, &mut self.cache, &mut self.obs);
+            self.stats.pdu_decodes = self.pdu.decodes;
+            self.stats.cache_inserts = self.cache.inserts;
+            self.stats.cache_refills = self.cache.refills;
+            self.stats.cache_evictions = self.cache.evictions;
+            self.stats.parity_invalidates = self.cache.parity_invalidates;
+        }
         Ok(false)
     }
 }

@@ -1,0 +1,205 @@
+//! Shared predecoded program images.
+//!
+//! The paper's central economy is that decode work is paid **once** and
+//! amortized through the decoded instruction cache. The simulator should
+//! enjoy the same economy: a loaded image's text segment is fixed (the
+//! ISA has no stores into text that either engine honours — the
+//! functional engine already memoizes decode results forever), so every
+//! parcel-aligned PC decodes to the same entry for a given
+//! [`FoldPolicy`] for the whole run — and for every run of the same
+//! image.
+//!
+//! [`PredecodedImage`] captures that: one pass over the text segment at
+//! load time produces a dense direct-indexed table (PC → [`Decoded`]),
+//! shared via [`Arc`] between the functional engine, the PDU's
+//! miss/refill path, and every campaign worker. Steady-state lookups
+//! become a bounds check plus an indexed load — no hashing, no window
+//! re-slicing, no re-running `decode_and_fold`.
+
+use std::sync::Arc;
+
+use crisp_asm::Image;
+use crisp_isa::{decode_and_fold, Decoded, FoldPolicy, IsaError};
+
+use crate::{Machine, SimError};
+
+/// Lookahead window, in parcels, used for each decode. Matches the
+/// hardware's bounded fetch queue: the longest instruction is 5 parcels
+/// and folding peeks at most 3 more.
+pub const DECODE_WINDOW: usize = 8;
+
+/// A program's text segment decoded once, under one [`FoldPolicy`],
+/// into a dense table indexed by parcel-aligned PC.
+///
+/// The table is built from **post-load memory**, not the raw image:
+/// zeroed memory beyond the end of text participates in fold lookahead
+/// windows, so decoding from the loaded [`Machine`] is what makes each
+/// slot bit-identical to the on-demand `decode_and_fold` both engines
+/// would otherwise perform (a property test in `tests/prop_predecode.rs`
+/// checks exactly this across policies).
+///
+/// Slots hold `Result<Decoded, IsaError>` so decode *errors* are
+/// predecoded too: an engine hitting an undecodable PC reports the same
+/// error it would have found on demand. Odd (misaligned) PCs and PCs
+/// outside the text segment are not covered — [`PredecodedImage::get`]
+/// returns `None` and callers fall back to on-demand decode, preserving
+/// exact behaviour for wild control flow.
+#[derive(Debug, Clone)]
+pub struct PredecodedImage {
+    policy: FoldPolicy,
+    base: u32,
+    slots: Vec<Result<Decoded, IsaError>>,
+}
+
+impl PredecodedImage {
+    /// Decode every parcel-aligned PC of `machine`'s text segment under
+    /// `policy`.
+    pub fn from_machine(machine: &Machine, policy: FoldPolicy) -> PredecodedImage {
+        let base = machine.text_base();
+        let end = machine.text_end();
+        let n_slots = ((end.saturating_sub(base)) / 2) as usize;
+        let mut slots = Vec::with_capacity(n_slots);
+        let mut window = [0u16; DECODE_WINDOW];
+        let mut pc = base;
+        while pc < end {
+            let n = machine.mem.parcel_window_into(pc, &mut window);
+            slots.push(decode_and_fold(&window[..n], 0, pc, policy));
+            pc += 2;
+        }
+        PredecodedImage {
+            policy,
+            base,
+            slots,
+        }
+    }
+
+    /// Load `image` into a scratch machine and predecode it under
+    /// `policy`, returning the table ready for sharing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::load`].
+    pub fn from_image(image: &Image, policy: FoldPolicy) -> Result<PredecodedImage, SimError> {
+        let machine = Machine::load(image)?;
+        Ok(PredecodedImage::from_machine(&machine, policy))
+    }
+
+    /// [`PredecodedImage::from_image`], wrapped in an [`Arc`] for
+    /// sharing across engines and campaign workers.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::load`].
+    pub fn shared(image: &Image, policy: FoldPolicy) -> Result<Arc<PredecodedImage>, SimError> {
+        Ok(Arc::new(PredecodedImage::from_image(image, policy)?))
+    }
+
+    /// The fold policy the table was decoded under.
+    pub fn policy(&self) -> FoldPolicy {
+        self.policy
+    }
+
+    /// First byte of the covered text segment.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// One past the last covered byte.
+    pub fn end(&self) -> u32 {
+        self.base + self.slots.len() as u32 * 2
+    }
+
+    /// Number of predecoded slots (one per text parcel).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the text segment was empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The predecoded slot for `pc`: `Some` for every parcel-aligned PC
+    /// inside the text segment, `None` otherwise (odd PCs decode with a
+    /// different entry PC, and out-of-text PCs see live memory — both
+    /// must take the caller's on-demand path).
+    #[inline]
+    pub fn get(&self, pc: u32) -> Option<&Result<Decoded, IsaError>> {
+        if pc < self.base || pc & 1 != 0 {
+            return None;
+        }
+        self.slots.get(((pc - self.base) >> 1) as usize)
+    }
+
+    /// The successfully predecoded entry at `pc`, if any.
+    #[inline]
+    pub fn decoded(&self, pc: u32) -> Option<&Decoded> {
+        match self.get(pc) {
+            Some(Ok(d)) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crisp_asm::assemble_text;
+
+    fn table(src: &str, policy: FoldPolicy) -> (Machine, PredecodedImage) {
+        let img = assemble_text(src).unwrap();
+        let m = Machine::load(&img).unwrap();
+        let t = PredecodedImage::from_machine(&m, policy);
+        (m, t)
+    }
+
+    #[test]
+    fn agrees_with_on_demand_decode() {
+        let (m, t) = table(
+            "
+            loop: add 0(sp),$1
+            cmp.= 0(sp),$10
+            ifjmpy.nt loop
+            halt
+            ",
+            FoldPolicy::All,
+        );
+        assert_eq!(t.base(), m.text_base());
+        assert_eq!(t.end(), m.text_end());
+        let mut pc = t.base();
+        while pc < t.end() {
+            let window = m.mem.parcel_window(pc, DECODE_WINDOW);
+            let want = decode_and_fold(&window, 0, pc, FoldPolicy::All);
+            assert_eq!(t.get(pc), Some(&want), "pc={pc:#x}");
+            pc += 2;
+        }
+    }
+
+    #[test]
+    fn decode_errors_are_predecoded() {
+        // Opcode 46 is unassigned: the slot must hold the same error
+        // on-demand decode reports.
+        let (_, t) = table(".word 0x0000B800\nhalt", FoldPolicy::Host13);
+        assert!(matches!(t.get(0), Some(Err(_))));
+        assert!(matches!(t.get(4), Some(Ok(d)) if d.pc == 4));
+    }
+
+    #[test]
+    fn out_of_range_and_odd_pcs_are_uncovered() {
+        let (_, t) = table("halt", FoldPolicy::None);
+        assert!(t.get(1).is_none());
+        assert!(t.get(t.end()).is_none());
+        assert!(t.get(u32::MAX).is_none());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.policy(), FoldPolicy::None);
+    }
+
+    #[test]
+    fn shared_wraps_in_arc() {
+        let img = assemble_text("halt").unwrap();
+        let t = PredecodedImage::shared(&img, FoldPolicy::All).unwrap();
+        let t2 = Arc::clone(&t);
+        assert!(matches!(t2.decoded(0), Some(d) if d.pc == 0));
+    }
+}

@@ -31,9 +31,11 @@
 
 use crisp_isa::{BinOp, Cond, Decoded, ExecOp, FoldClass, NextPc, Operand};
 
-use crate::diff::{CommitLog, CommitRecord};
+use std::sync::Arc;
+
+use crate::diff::{reset_or_load, CommitLog, CommitRecord};
 use crate::error::HaltReason;
-use crate::{CycleSim, FunctionalSim, Machine, SimConfig, SimError};
+use crate::{CycleSim, FunctionalSim, Machine, PredecodedImage, SimConfig, SimError};
 use crisp_asm::Image;
 
 /// Whether decoded-cache entries carry a parity word.
@@ -473,46 +475,106 @@ fn classify_pair(reference: &CommitRecord, faulted: &CommitRecord) -> FaultOutco
 /// `cfg.max_cycles` steps (campaign drivers pre-screen programs so this
 /// does not happen).
 pub fn classify_fault(image: &Image, cfg: SimConfig) -> Result<FaultOutcome, SimError> {
+    classify_fault_pooled(image, cfg, None, &mut ClassifyBuffers::default())
+}
+
+/// Reusable machine buffers for [`classify_fault_pooled`]; campaign
+/// workers keep one per thread so each case resets memory in place
+/// instead of allocating a fresh [`Machine`].
+#[derive(Debug, Default)]
+pub struct ClassifyBuffers {
+    reference: Option<Machine>,
+    faulted: Option<Machine>,
+}
+
+/// Pooled variant of [`classify_fault`]: recycles per-worker machine
+/// buffers via [`Machine::reset_from`] and, when `predecoded` is given,
+/// shares one decode table (which must match `cfg.fold_policy`) between
+/// the functional reference and the faulted cycle run.
+///
+/// Classification is identical to [`classify_fault`]. If the faulted
+/// run dies with a simulator error its machine buffer is lost and the
+/// next case falls back to a fresh load; that path is rare and already
+/// pays the cost of an early exit.
+///
+/// # Errors
+///
+/// Same harness-level failures as [`classify_fault`].
+pub fn classify_fault_pooled(
+    image: &Image,
+    cfg: SimConfig,
+    predecoded: Option<&Arc<PredecodedImage>>,
+    bufs: &mut ClassifyBuffers,
+) -> Result<FaultOutcome, SimError> {
     cfg.validate();
-    let machine = Machine::load(image)?;
+    if let Some(t) = predecoded {
+        assert_eq!(
+            t.policy(),
+            cfg.fold_policy,
+            "predecoded table policy must match cfg.fold_policy"
+        );
+    }
+    let ref_machine = reset_or_load(bufs.reference.take(), image)?;
+    let faulted_machine = reset_or_load(bufs.faulted.take(), image)?;
 
     let mut ref_log = CommitLog::default();
-    let reference = FunctionalSim::with_policy(machine.clone(), cfg.fold_policy)
-        .max_steps(cfg.max_cycles)
-        .run_observed(&mut ref_log)?;
+    let reference = match predecoded {
+        Some(t) => FunctionalSim::with_predecoded(ref_machine, Arc::clone(t)),
+        None => FunctionalSim::with_policy(ref_machine, cfg.fold_policy),
+    }
+    .max_steps(cfg.max_cycles)
+    .run_observed(&mut ref_log)?;
     if reference.halt_reason != HaltReason::Halted {
+        bufs.reference = Some(reference.machine);
         return Err(SimError::StepLimit {
             limit: cfg.max_cycles,
         });
     }
 
-    let faulted = CycleSim::with_observer(machine, cfg, CommitLog::default()).run_observed();
+    let mut cyc = CycleSim::with_observer(faulted_machine, cfg, CommitLog::default());
+    if let Some(t) = predecoded {
+        cyc.set_predecoded(Arc::clone(t));
+    }
+    let faulted = cyc.run_observed();
     let (run, log) = match faulted {
         Ok((run, log)) => (run, log),
         // The faulted run died. Decode errors mean control flow left
         // the instruction stream; anything else (a wild memory access
-        // from a corrupted operand) is data corruption.
-        Err(SimError::Decode { .. }) => return Ok(FaultOutcome::ControlDivergence),
-        Err(_) => return Ok(FaultOutcome::Sdc),
+        // from a corrupted operand) is data corruption. The faulted
+        // machine is consumed by the error path; the next pooled case
+        // reloads it from the image.
+        Err(e) => {
+            bufs.reference = Some(reference.machine);
+            return match e {
+                SimError::Decode { .. } => Ok(FaultOutcome::ControlDivergence),
+                _ => Ok(FaultOutcome::Sdc),
+            };
+        }
     };
 
-    let shared = ref_log.records.len().min(log.records.len());
-    for i in 0..shared {
-        if ref_log.records[i] != log.records[i] {
-            return Ok(classify_pair(&ref_log.records[i], &log.records[i]));
+    let outcome = (|| {
+        let shared = ref_log.records.len().min(log.records.len());
+        for i in 0..shared {
+            if ref_log.records[i] != log.records[i] {
+                return classify_pair(&ref_log.records[i], &log.records[i]);
+            }
         }
-    }
-    if run.halt_reason == HaltReason::Watchdog {
-        return Ok(FaultOutcome::Hang);
-    }
-    if ref_log.records.len() != log.records.len() {
-        return Ok(FaultOutcome::ControlDivergence);
-    }
-    let (fm, cm) = (&reference.machine, &run.machine);
-    if fm.accum != cm.accum || fm.sp != cm.sp || fm.psw.flag != cm.psw.flag || fm.mem != cm.mem {
-        return Ok(FaultOutcome::Sdc);
-    }
-    Ok(FaultOutcome::Masked)
+        if run.halt_reason == HaltReason::Watchdog {
+            return FaultOutcome::Hang;
+        }
+        if ref_log.records.len() != log.records.len() {
+            return FaultOutcome::ControlDivergence;
+        }
+        let (fm, cm) = (&reference.machine, &run.machine);
+        if fm.accum != cm.accum || fm.sp != cm.sp || fm.psw.flag != cm.psw.flag || fm.mem != cm.mem
+        {
+            return FaultOutcome::Sdc;
+        }
+        FaultOutcome::Masked
+    })();
+    bufs.reference = Some(reference.machine);
+    bufs.faulted = Some(run.machine);
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -758,5 +820,51 @@ mod tests {
             ["masked", "sdc", "control-divergence", "hang"]
         );
         assert_eq!(PM::default(), PM::Off);
+    }
+
+    #[test]
+    fn pooled_classification_matches_fresh_runs() {
+        // Buffer recycling and shared decode tables must not change a
+        // single verdict: sweep a slice of the fault space and compare
+        // against the unpooled oracle, reusing one buffer pair across
+        // every case so stale state would be caught.
+        use crisp_isa::FoldPolicy;
+        let image = crisp_asm::assemble_text(
+            "
+                mov 0(sp),$0
+            top:
+                add 0(sp),$1
+                cmp.s< 0(sp),$6
+                ifjmpy.t top
+                halt
+            ",
+        )
+        .unwrap();
+        let mut bufs = ClassifyBuffers::default();
+        for policy in [FoldPolicy::None, FoldPolicy::Host13] {
+            let table = crate::PredecodedImage::shared(&image, policy).unwrap();
+            for cycle in [2u64, 5, 9] {
+                for slot in [0u32, 3] {
+                    for field in [
+                        FaultField::Valid,
+                        FaultField::NextPc(0),
+                        FaultField::Opcode(2),
+                    ] {
+                        let cfg = SimConfig {
+                            fold_policy: policy,
+                            fault_plan: Some(FaultPlan { cycle, slot, field }),
+                            ..SimConfig::default()
+                        };
+                        let fresh = classify_fault(&image, cfg).unwrap();
+                        let pooled =
+                            classify_fault_pooled(&image, cfg, Some(&table), &mut bufs).unwrap();
+                        assert_eq!(
+                            fresh, pooled,
+                            "{policy:?} cycle {cycle} slot {slot} {field:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -3,15 +3,45 @@ use std::fmt;
 
 use crisp_isa::{BinOp, Decoded, ExecOp, FoldClass};
 
+/// The fixed mnemonic categories, in the index order used by the
+/// histogram array (binary operations first, mirroring `BinOp`).
+const CATEGORY_NAMES: [&str; NUM_CATEGORIES] = [
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "sar", "move", "cmp",
+    "enter", "leave", "call", "return", "nop", "halt", "jump", "if-jump",
+];
+const NUM_CATEGORIES: usize = 21;
+const IDX_CMP: usize = 12;
+const IDX_ENTER: usize = 13;
+const IDX_LEAVE: usize = 14;
+const IDX_CALL: usize = 15;
+const IDX_RETURN: usize = 16;
+const IDX_NOP: usize = 17;
+const IDX_HALT: usize = 18;
+const IDX_JUMP: usize = 19;
+const IDX_IF_JUMP: usize = 20;
+
 /// Dynamic opcode histogram, keyed by mnemonic category.
 ///
 /// The categories mirror the paper's Table 2 ("add", "if-jump", "cmp",
 /// "move", "and", "jump", "enter", "return"): a folded entry contributes
 /// its host mnemonic *and* its branch mnemonic, because Table 2 counts
 /// program instructions, not pipeline slots.
+///
+/// The category set is closed (every `ExecOp` maps to one of
+/// [`CATEGORY_NAMES`]), so the histogram is a fixed array and the
+/// per-retired-instruction [`OpcodeCounts::record`] is two indexed
+/// increments — no tree walk on the hot path. Ad-hoc names passed to
+/// [`OpcodeCounts::bump`] that fall outside the set land in a cold
+/// overflow map, preserving the old accept-anything behaviour.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OpcodeCounts {
-    counts: BTreeMap<&'static str, u64>,
+    counts: [u64; NUM_CATEGORIES],
+    other: BTreeMap<&'static str, u64>,
+}
+
+/// Index of a category name in the fixed set, if it belongs to it.
+fn category_index(name: &str) -> Option<usize> {
+    CATEGORY_NAMES.iter().position(|&n| n == name)
 }
 
 impl OpcodeCounts {
@@ -22,35 +52,49 @@ impl OpcodeCounts {
 
     /// Record one executed program instruction by category name.
     pub fn bump(&mut self, name: &'static str) {
-        *self.counts.entry(name).or_insert(0) += 1;
+        match category_index(name) {
+            Some(i) => self.counts[i] += 1,
+            None => *self.other.entry(name).or_insert(0) += 1,
+        }
     }
 
     /// Record the program instruction(s) represented by one decoded
     /// entry: the host operation plus, when folded, the branch.
+    #[inline]
     pub fn record(&mut self, d: &Decoded) {
-        self.bump(host_mnemonic(d));
+        self.counts[host_index(d)] += 1;
         if d.folded {
-            self.bump(match d.fold {
-                FoldClass::Cond { .. } => "if-jump",
-                _ => "jump",
-            });
+            self.counts[match d.fold {
+                FoldClass::Cond { .. } => IDX_IF_JUMP,
+                _ => IDX_JUMP,
+            }] += 1;
         }
     }
 
     /// Count for one category.
     pub fn get(&self, name: &str) -> u64 {
-        self.counts.get(name).copied().unwrap_or(0)
+        match category_index(name) {
+            Some(i) => self.counts[i],
+            None => self.other.get(name).copied().unwrap_or(0),
+        }
     }
 
     /// Total across categories.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().sum::<u64>() + self.other.values().sum::<u64>()
     }
 
     /// Iterate `(name, count)` sorted by descending count (stable by
-    /// name for ties) — the paper's table ordering.
+    /// name for ties) — the paper's table ordering. Categories that
+    /// never occurred are omitted.
     pub fn sorted_desc(&self) -> Vec<(&'static str, u64)> {
-        let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        let mut v: Vec<_> = CATEGORY_NAMES
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&k, &c)| (k, c))
+            .chain(self.other.iter().map(|(&k, &c)| (k, c)))
+            .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         v
     }
@@ -70,41 +114,43 @@ impl fmt::Display for OpcodeCounts {
     }
 }
 
-/// Mnemonic category of the host operation of a decoded entry.
-fn host_mnemonic(d: &Decoded) -> &'static str {
+/// Histogram index of the host operation of a decoded entry.
+fn host_index(d: &Decoded) -> usize {
     match d.exec {
         ExecOp::Nop => match d.fold {
             // An unfolded branch decodes to an entry whose ExecOp is Nop;
             // classify it by its control class.
-            FoldClass::Uncond if !d.folded => "jump",
-            FoldClass::Cond { .. } if !d.folded => "if-jump",
-            _ => "nop",
+            FoldClass::Uncond if !d.folded => IDX_JUMP,
+            FoldClass::Cond { .. } if !d.folded => IDX_IF_JUMP,
+            _ => IDX_NOP,
         },
-        ExecOp::Halt => "halt",
-        ExecOp::Op2 { op, .. } => binop_name(op),
-        ExecOp::Op3 { op, .. } => binop_name(op),
-        ExecOp::Cmp { .. } => "cmp",
-        ExecOp::Enter { .. } => "enter",
-        ExecOp::Leave { .. } => "leave",
-        ExecOp::CallPush { .. } => "call",
-        ExecOp::RetPop => "return",
+        ExecOp::Halt => IDX_HALT,
+        ExecOp::Op2 { op, .. } => binop_index(op),
+        ExecOp::Op3 { op, .. } => binop_index(op),
+        ExecOp::Cmp { .. } => IDX_CMP,
+        ExecOp::Enter { .. } => IDX_ENTER,
+        ExecOp::Leave { .. } => IDX_LEAVE,
+        ExecOp::CallPush { .. } => IDX_CALL,
+        ExecOp::RetPop => IDX_RETURN,
     }
 }
 
-fn binop_name(op: BinOp) -> &'static str {
+/// Binary operations occupy the first twelve histogram slots in
+/// declaration order (`BinOp::Mov` is "move").
+fn binop_index(op: BinOp) -> usize {
     match op {
-        BinOp::Add => "add",
-        BinOp::Sub => "sub",
-        BinOp::Mul => "mul",
-        BinOp::Div => "div",
-        BinOp::Rem => "rem",
-        BinOp::And => "and",
-        BinOp::Or => "or",
-        BinOp::Xor => "xor",
-        BinOp::Shl => "shl",
-        BinOp::Shr => "shr",
-        BinOp::Sar => "sar",
-        BinOp::Mov => "move",
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+        BinOp::Sar => 10,
+        BinOp::Mov => 11,
     }
 }
 

@@ -45,6 +45,18 @@ pub fn figure3_with_count(count: u32) -> String {
     FIGURE3_SOURCE.replace("1024", &count.to_string())
 }
 
+/// Iteration count of the large Figure 3 throughput workload.
+pub const FIGURE3_LARGE_ITERS: u32 = 4096;
+
+/// The Figure 3 program at [`FIGURE3_LARGE_ITERS`] iterations: the
+/// "large" workload of the simulator-throughput benchmarks, long enough
+/// (tens of thousands of commits per run) that per-run setup — machine
+/// loading, predecode, cache warm-up — is amortised away and the
+/// steady-state cycle loop dominates the measurement.
+pub fn figure3_large() -> String {
+    figure3_with_count(FIGURE3_LARGE_ITERS)
+}
+
 /// The six programs of the Table 1 prediction study, in the paper's row
 /// order.
 pub fn prediction_workloads() -> Vec<Workload> {
@@ -169,6 +181,19 @@ mod tests {
             .unwrap();
         assert!(r.halted);
         assert!(r.stats.program_instrs < 1000);
+    }
+
+    #[test]
+    fn figure3_large_runs_to_completion() {
+        let image = compile_crisp(&figure3_large(), &CompileOptions::default()).unwrap();
+        let r = FunctionalSim::new(Machine::load(&image).unwrap())
+            .max_steps(2_000_000)
+            .run()
+            .unwrap();
+        assert!(r.halted);
+        // Dynamic length scales with the iteration count: ~9.5 CRISP
+        // instructions per iteration (Table 2 shape).
+        assert!(r.stats.program_instrs > u64::from(FIGURE3_LARGE_ITERS) * 9);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Property tests for the shared predecode table and the pooled
+//! machine-reset path — the two invariants the hot-path batch kernel
+//! leans on:
+//!
+//! 1. [`PredecodedImage`] agrees with on-demand `decode_and_fold` at
+//!    every parcel-aligned PC of the text segment, under every
+//!    [`FoldPolicy`], for randomly generated programs. This is what
+//!    lets the functional engine and the PDU's miss path read one
+//!    shared table instead of re-decoding.
+//! 2. [`Machine::reset_from`] on an arbitrarily dirtied machine is
+//!    bit-identical to a fresh [`Machine::load`] of the same image, so
+//!    campaign workers can recycle machine buffers without any
+//!    cross-case state leak.
+
+use crisp::asm::rand_prog::GenProgram;
+use crisp::isa::{decode_and_fold, FoldPolicy};
+use crisp::sim::{FunctionalSim, Machine, PredecodedImage, DECODE_WINDOW};
+use proptest::prelude::*;
+
+const POLICIES: [FoldPolicy; 4] = [
+    FoldPolicy::None,
+    FoldPolicy::Host1,
+    FoldPolicy::Host13,
+    FoldPolicy::All,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Claim 1: every covered slot matches a demand decode of post-load
+    /// memory, errors included, and nothing outside the text segment or
+    /// off parcel alignment is covered.
+    #[test]
+    fn predecode_agrees_with_on_demand_decode(
+        seed in 0u64..10_000,
+        max_blocks in 1usize..12,
+    ) {
+        let prog = GenProgram::generate(seed, max_blocks);
+        let image = prog.image().expect("generated programs assemble");
+        let machine = Machine::load(&image).expect("generated programs load");
+        for policy in POLICIES {
+            let table = PredecodedImage::from_machine(&machine, policy);
+            prop_assert_eq!(table.base(), machine.text_base());
+            prop_assert_eq!(table.end(), machine.text_end());
+            let mut pc = table.base();
+            while pc < table.end() {
+                let window = machine.mem.parcel_window(pc, DECODE_WINDOW);
+                let want = decode_and_fold(&window, 0, pc, policy);
+                prop_assert_eq!(
+                    table.get(pc),
+                    Some(&want),
+                    "seed {} policy {:?} pc {:#x}",
+                    seed,
+                    policy,
+                    pc
+                );
+                prop_assert!(table.get(pc + 1).is_none(), "odd pc covered");
+                pc += 2;
+            }
+            prop_assert!(table.get(table.end()).is_none());
+        }
+    }
+
+    /// Claim 2: resetting a dirtied machine from another image is
+    /// indistinguishable from loading that image fresh — including
+    /// memory size, every byte of memory, registers and halt state.
+    #[test]
+    fn reset_from_is_bit_identical_to_fresh_load(
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+        max_blocks in 1usize..10,
+    ) {
+        let image_a = GenProgram::generate(seed_a, max_blocks)
+            .image()
+            .expect("assembles");
+        let image_b = GenProgram::generate(seed_b, max_blocks)
+            .image()
+            .expect("assembles");
+
+        // Dirty a machine by actually running program A for a while:
+        // real register values, stack traffic and data writes.
+        let mut run = FunctionalSim::new(Machine::load(&image_a).unwrap())
+            .max_steps(500)
+            .run()
+            .expect("bounded run");
+        run.machine.reset_from(&image_b).expect("reset");
+        prop_assert_eq!(&run.machine, &Machine::load(&image_b).unwrap());
+
+        // And back again: the recycled buffer round-trips to image A.
+        run.machine.reset_from(&image_a).expect("reset back");
+        prop_assert_eq!(&run.machine, &Machine::load(&image_a).unwrap());
+    }
+}
