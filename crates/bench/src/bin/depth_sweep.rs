@@ -1,0 +1,42 @@
+//! EU-depth sweep: the Figure 3 penalty-vs-spreading-distance curve at
+//! every supported pipeline depth, plus the Figure 3 workload's cycle
+//! count per depth.
+//!
+//! The paper's machine resolves branches in a 3-stage EU, fixing the
+//! penalty schedule at 3/2/1/0. Sweeping the depth shows the schedule
+//! is structural: the resolve-stage index *is* the penalty, so a
+//! depth-D pipe pays D cycles for a folded compare and needs D
+//! instructions of spreading to reach the free fetch-time resolution.
+
+fn main() {
+    let rows = crisp_bench::depth_sweep(&[2, 3, 4, 5, 6], 1024);
+
+    println!("== Mispredict penalty by spreading distance (cycles) ==");
+    println!("(distance 0 = folded compare; the resolve-stage index is the penalty)");
+    let max_depth = rows.iter().map(|r| r.depth).max().unwrap_or(0);
+    print!("{:>6}", "depth");
+    for d in 0..=max_depth {
+        print!(" {:>5}", format!("d={d}"));
+    }
+    println!();
+    for row in &rows {
+        print!("{:>6}", row.depth);
+        for d in 0..=max_depth {
+            match row.penalties.iter().find(|&&(dist, _, _)| dist == d) {
+                Some(&(_, _, measured)) => print!(" {measured:>5}"),
+                None => print!(" {:>5}", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+
+    println!("== Figure 3 workload (1024 iterations) by depth ==");
+    println!("{:>6} {:>10} {:>14}", "depth", "cycles", "apparent CPI");
+    for row in &rows {
+        println!(
+            "{:>6} {:>10} {:>14.3}",
+            row.depth, row.figure3_cycles, row.figure3_cpi
+        );
+    }
+}

@@ -19,7 +19,9 @@ use crisp_predict::{
     evaluate_dynamic, evaluate_predictor, evaluate_static_optimal, Btb, BtbConfig, FinitePredictor,
     JumpTrace,
 };
-use crisp_sim::{CycleSim, FunctionalSim, HwPredictor, Machine, SimConfig, Trace};
+use crisp_sim::{
+    CycleSim, FunctionalSim, HwPredictor, Machine, PipelineGeometry, SimConfig, Trace,
+};
 use crisp_workloads::{figure3_with_count, prediction_workloads, FIGURE3_SOURCE};
 
 // ---------------------------------------------------------------------
@@ -536,6 +538,110 @@ pub fn ablation_bbsize(sizes: &[usize]) -> Vec<(usize, u64, u64)> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Pipeline-depth sweep
+// ---------------------------------------------------------------------
+
+/// Penalty-vs-spreading-distance curve measured at one EU depth — the
+/// Figure 3 penalty schedule, generalized beyond the paper's 3-stage
+/// machine.
+#[derive(Debug, Clone)]
+pub struct DepthSweepRow {
+    /// EU depth of this row (3 = the paper's IR/OR/RR).
+    pub depth: usize,
+    /// `(spreading distance, expected resolve stage, measured penalty)`
+    /// triples; distance 0 is the folded compare, which resolves at
+    /// retire. The resolve-stage index *is* the penalty, so columns two
+    /// and three must agree.
+    pub penalties: Vec<(usize, usize, usize)>,
+    /// Figure 3 workload cycles at this depth (default configuration).
+    pub figure3_cycles: u64,
+    /// Figure 3 apparent CPI at this depth.
+    pub figure3_cpi: f64,
+}
+
+/// Measure the per-mispredict penalty of a branch whose compare sits
+/// `distance` instructions ahead (0 = folded) at EU depth `depth`.
+///
+/// Steady-state measurement: a 24-iteration loop whose back branch is
+/// statically predicted right (one exit mispredict) vs wrong (23). The
+/// cycle delta is 22 penalties plus a ±few-cycle cold-start difference,
+/// so rounding to the nearest multiple of 22 recovers the penalty. The
+/// counter lives in the accumulator because only `cmp.cond Accum,imm5`
+/// is one parcel — the folded case needs a one-parcel host.
+fn measured_penalty(depth: usize, distance: usize) -> usize {
+    use crisp_asm::assemble_text;
+    let filler: String = (0..distance.saturating_sub(1))
+        .map(|i| format!("add {}(sp),$1\n", 8 + 4 * i))
+        .collect();
+    let src_with = |bit: &str| {
+        format!(
+            "
+            mov Accum,$0
+        top:
+            add Accum,$1
+            cmp.s< Accum,$24
+            {filler}
+            ifjmpy.{bit} top
+            halt
+        "
+        )
+    };
+    let cfg = SimConfig {
+        geometry: PipelineGeometry::new(depth),
+        fold_policy: if distance == 0 {
+            FoldPolicy::Host13
+        } else {
+            FoldPolicy::None
+        },
+        ..SimConfig::default()
+    };
+    let run = |bit: &str| {
+        let image = assemble_text(&src_with(bit)).expect("assembles");
+        cycles_of(&image, cfg)
+    };
+    let wrong = run("nt");
+    let right = run("t");
+    assert!(wrong.stats.mispredicts() >= 23);
+    let delta = wrong.stats.cycles as i64 - right.stats.cycles as i64;
+    usize::try_from(((delta + 11).div_euclid(22)).max(0)).expect("non-negative penalty")
+}
+
+/// Sweep EU depth: for each depth, the measured penalty at every
+/// spreading distance (the Figure 3 curve at that depth) plus the
+/// Figure 3 workload's cycles and apparent CPI. Deeper pipes pay more
+/// for late resolution and need proportionally more spreading to reach
+/// the free fetch-time resolution.
+pub fn depth_sweep(depths: &[usize], count: u32) -> Vec<DepthSweepRow> {
+    let src = figure3_with_count(count);
+    let image = compile_crisp(&src, &CompileOptions::default()).expect("compiles");
+    depths
+        .iter()
+        .map(|&depth| {
+            let geo = PipelineGeometry::new(depth);
+            let mut penalties = vec![(0, geo.retire_stage(), measured_penalty(depth, 0))];
+            for d in 1..=depth {
+                penalties.push((
+                    d,
+                    geo.resolve_stage_for_distance(d),
+                    measured_penalty(depth, d),
+                ));
+            }
+            let cfg = SimConfig {
+                geometry: geo,
+                ..SimConfig::default()
+            };
+            let run = cycles_of(&image, cfg);
+            DepthSweepRow {
+                depth,
+                penalties,
+                figure3_cycles: run.stats.cycles,
+                figure3_cpi: run.stats.apparent_cpi(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,6 +693,22 @@ mod tests {
 
         // Case D issues ~1 instruction per cycle in steady state.
         assert!(d.issued_cpi < 1.1, "D issued CPI = {}", d.issued_cpi);
+    }
+
+    #[test]
+    fn depth_sweep_penalty_equals_resolve_stage() {
+        // Small depth set and loop count for test speed; the full 2..=6
+        // sweep is the depth_sweep binary's job.
+        for row in depth_sweep(&[2, 4], 64) {
+            for &(distance, expected, measured) in &row.penalties {
+                assert_eq!(
+                    measured, expected,
+                    "depth {} distance {distance}: measured {measured}, expected {expected}",
+                    row.depth
+                );
+            }
+            assert!(row.figure3_cycles > 0);
+        }
     }
 
     #[test]

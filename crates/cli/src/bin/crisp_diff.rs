@@ -16,6 +16,9 @@
 //!   --jobs N          worker threads (default: available cores)
 //!   --max-cycles N    watchdog budget per lockstep run (overrides
 //!                     every sweep configuration)
+//!   --eu-depth N      execution-unit depth for every sweep
+//!                     configuration (2..=8; default 3, the paper's
+//!                     IR/OR/RR)
 //!   --smoke           bounded CI run (64 asm + 8 C programs)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --inject          demonstrate the oracle: run with the
@@ -37,7 +40,7 @@ use crisp_cc::{compile_crisp, generate_c, CompileOptions, PredictionMode};
 use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
     run_lockstep, run_lockstep_pooled, sweep_configs, Divergence, FaultInjection, LockstepBuffers,
-    LockstepOutcome, PredecodedImage, SimConfig,
+    LockstepOutcome, PipelineGeometry, PredecodedImage, SimConfig, MAX_DEPTH, MIN_DEPTH,
 };
 
 fn main() -> ExitCode {
@@ -127,8 +130,8 @@ fn run() -> Result<ExitCode, String> {
     if raw.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: crisp-diff [--seed N] [--programs N] [--c-programs N] \
-             [--max-blocks N] [--jobs N] [--max-cycles N] [--smoke] \
-             [--resume FILE] [--inject]"
+             [--max-blocks N] [--jobs N] [--max-cycles N] [--eu-depth N] \
+             [--smoke] [--resume FILE] [--inject]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -152,6 +155,17 @@ fn run() -> Result<ExitCode, String> {
                 .map_err(|_| format!("--max-cycles: bad value `{v}`"))
         })
         .transpose()?;
+    let eu_depth: Option<usize> = extract_flag(&mut raw, "--eu-depth")
+        .map_err(|e| e.to_string())?
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|n| (MIN_DEPTH..=MAX_DEPTH).contains(n))
+                .ok_or_else(|| {
+                    format!("--eu-depth: bad value `{v}` (want {MIN_DEPTH}..={MAX_DEPTH})")
+                })
+        })
+        .transpose()?;
     let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
     if let Some(flag) = raw.first() {
         return Err(format!("unknown flag `{flag}`"));
@@ -162,9 +176,10 @@ fn run() -> Result<ExitCode, String> {
     if max_cycles == Some(0) {
         return Err("--max-cycles must be at least 1".into());
     }
+    let geometry = eu_depth.map(PipelineGeometry::new);
 
     if inject {
-        return demonstrate_injection(seed, max_blocks);
+        return demonstrate_injection(seed, max_blocks, geometry);
     }
 
     // Build the work list up front: sharing `GenProgram`s across
@@ -193,6 +208,11 @@ fn run() -> Result<ExitCode, String> {
     if let Some(mc) = max_cycles {
         for cfg in &mut configs {
             cfg.max_cycles = mc;
+        }
+    }
+    if let Some(geo) = geometry {
+        for cfg in &mut configs {
+            cfg.geometry = geo;
         }
     }
     let total = work.len() as u64;
@@ -427,9 +447,14 @@ fn print_failure(f: &Failure) {
 
 /// `--inject`: plant the skip-OR-squash pipeline bug and prove the
 /// oracle catches it with a shrunk reproducer.
-fn demonstrate_injection(seed: u64, max_blocks: usize) -> Result<ExitCode, String> {
+fn demonstrate_injection(
+    seed: u64,
+    max_blocks: usize,
+    geometry: Option<PipelineGeometry>,
+) -> Result<ExitCode, String> {
     let cfg = SimConfig {
         fault: Some(FaultInjection::SkipOrSquash),
+        geometry: geometry.unwrap_or_default(),
         ..SimConfig::default()
     };
     let fails = |p: &GenProgram| {

@@ -22,6 +22,8 @@
 //!   --max-blocks N    block budget per generated program (default 10)
 //!   --jobs N          worker threads (default: available cores)
 //!   --max-cycles N    watchdog budget per run (default 200000)
+//!   --eu-depth N      execution-unit depth for every run (2..=8;
+//!                     default 3, the paper's IR/OR/RR)
 //!   --smoke           bounded CI run (2 programs x 32 faults)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --report FILE     write the JSON AVF report to FILE
@@ -40,7 +42,7 @@ use crisp_asm::Image;
 use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
     classify_fault_pooled, nth_field, ClassifyBuffers, FaultOutcome, FaultPlan, ParityMode,
-    PredecodedImage, SimConfig, FAULT_SPACE, FIELD_NAMES,
+    PipelineGeometry, PredecodedImage, SimConfig, FAULT_SPACE, FIELD_NAMES, MAX_DEPTH, MIN_DEPTH,
 };
 
 fn main() -> ExitCode {
@@ -106,12 +108,14 @@ fn run_case(
     table: &Arc<PredecodedImage>,
     plan: FaultPlan,
     max_cycles: u64,
+    geometry: PipelineGeometry,
     bufs: &mut ClassifyBuffers,
 ) -> Result<CaseClass, String> {
     let protected = SimConfig {
         parity: ParityMode::DetectInvalidate,
         fault_plan: Some(plan),
         max_cycles,
+        geometry,
         ..SimConfig::default()
     };
     match classify_fault_pooled(image, protected, Some(table), bufs) {
@@ -150,7 +154,8 @@ fn run() -> Result<ExitCode, String> {
     if raw.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: crisp-fault [--seed N] [--programs N] [--faults N] [--max-blocks N] \
-             [--jobs N] [--max-cycles N] [--smoke] [--resume FILE] [--report FILE]"
+             [--jobs N] [--max-cycles N] [--eu-depth N] [--smoke] [--resume FILE] \
+             [--report FILE]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -162,6 +167,11 @@ fn run() -> Result<ExitCode, String> {
     let faults: u64 = parse_num(&mut raw, "--faults", default_faults)?;
     let max_blocks: usize = parse_num(&mut raw, "--max-blocks", 10)?;
     let max_cycles: u64 = parse_num(&mut raw, "--max-cycles", 200_000)?;
+    let eu_depth: usize = parse_num(
+        &mut raw,
+        "--eu-depth",
+        SimConfig::default().geometry.depth(),
+    )?;
     let jobs: usize = parse_num(
         &mut raw,
         "--jobs",
@@ -181,6 +191,12 @@ fn run() -> Result<ExitCode, String> {
     if max_cycles == 0 {
         return Err("--max-cycles must be at least 1".into());
     }
+    if !(MIN_DEPTH..=MAX_DEPTH).contains(&eu_depth) {
+        return Err(format!(
+            "--eu-depth: bad value `{eu_depth}` (want {MIN_DEPTH}..={MAX_DEPTH})"
+        ));
+    }
+    let geometry = PipelineGeometry::new(eu_depth);
 
     // The work list is deterministic in (seed, programs, faults,
     // max_blocks), which is what makes --resume sound: case i always
@@ -244,7 +260,7 @@ fn run() -> Result<ExitCode, String> {
                     let (pseed, image, table) = &images[(i / faults) as usize];
                     let plan = plan_for(seed, i, icache_entries);
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        run_case(image, table, plan, max_cycles, &mut bufs)
+                        run_case(image, table, plan, max_cycles, geometry, &mut bufs)
                     }));
                     // The checkpoint payload: the outcome key to tally,
                     // or None for a skipped case.

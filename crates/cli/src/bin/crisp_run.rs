@@ -23,6 +23,8 @@
 //!   --branch-trace               print the branch trace (functional
 //!                                engine only)
 //!   --fold POLICY --icache N --mem-latency N   machine configuration
+//!   --eu-depth N                 execution-unit depth (2..=8, default 3;
+//!                                cycle engine geometry)
 //!   --max-cycles N --max-insns N               watchdog limits (a run
 //!                                              that exceeds one ends
 //!                                              gracefully with halt
@@ -45,8 +47,8 @@ use crisp_asm::assemble_text;
 use crisp_cc::compile_crisp;
 use crisp_cli::{extract_flag, extract_switch, parse_common, read_input};
 use crisp_sim::{
-    mispredict_cycles, render_timeline, write_chrome_trace, write_jsonl, BranchProfiler, CycleSim,
-    EventRing, FunctionalSim, Machine, PipeEvent,
+    mispredict_cycles, render_timeline_for, write_chrome_trace_for, write_jsonl, BranchProfiler,
+    CycleSim, EventRing, FunctionalSim, Machine, PipeEvent, PipelineGeometry,
 };
 
 /// Event-ring capacity for `--trace`/`--chrome-trace`/`--timeline`:
@@ -121,7 +123,10 @@ fn run() -> Result<(), String> {
 
     if cycles {
         let (run, events, profiler) = if observing {
-            let obs = (EventRing::new(TRACE_CAPACITY), BranchProfiler::new());
+            let obs = (
+                EventRing::new(TRACE_CAPACITY),
+                BranchProfiler::with_geometry(args.sim.geometry),
+            );
             let (run, (ring, prof)) = CycleSim::with_observer(machine, args.sim, obs)
                 .run_observed()
                 .map_err(|e| e.to_string())?;
@@ -148,6 +153,7 @@ fn run() -> Result<(), String> {
             &trace_path,
             &chrome_path,
             timeline,
+            args.sim.geometry,
         )?;
         if let Some(path) = &stats_path {
             write_output(path, |w| writeln!(w, "{}", run.stats.to_json()))?;
@@ -193,6 +199,7 @@ fn run() -> Result<(), String> {
             &trace_path,
             &None,
             false,
+            args.sim.geometry,
         )?;
         if let Some(path) = &stats_path {
             write_output(path, |w| writeln!(w, "{}", run.stats.to_json()))?;
@@ -208,12 +215,13 @@ fn emit_observations(
     trace_path: &Option<String>,
     chrome_path: &Option<String>,
     timeline: bool,
+    geometry: PipelineGeometry,
 ) -> Result<(), String> {
     if let Some(path) = trace_path {
         write_output(path, |w| write_jsonl(w, events))?;
     }
     if let Some(path) = chrome_path {
-        write_output(path, |w| write_chrome_trace(w, events))?;
+        write_output(path, |w| write_chrome_trace_for(w, events, geometry))?;
     }
     if let Some(prof) = profiler {
         print!("{prof}");
@@ -222,7 +230,10 @@ fn emit_observations(
         match mispredict_cycles(events).first() {
             Some(&center) => {
                 let from = center.saturating_sub(6);
-                print!("{}", render_timeline(events, from, center + 6));
+                print!(
+                    "{}",
+                    render_timeline_for(events, from, center + 6, geometry)
+                );
             }
             None => println!("timeline: no mispredicts in this run"),
         }

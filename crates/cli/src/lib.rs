@@ -13,7 +13,7 @@ use std::sync::Mutex;
 
 use crisp_cc::{CompileOptions, PredictionMode};
 use crisp_isa::FoldPolicy;
-use crisp_sim::SimConfig;
+use crisp_sim::{PipelineGeometry, SimConfig, MAX_DEPTH, MIN_DEPTH};
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +51,8 @@ fn err<T>(msg: impl Into<String>) -> Result<T, UsageError> {
 /// --predict MODE         taken | not-taken | btfnt | ftbnt
 /// --fold POLICY          none | host1 | host13 | all
 /// --icache N             decoded-cache entries (power of two)
+/// --eu-depth N           execution-unit stages between issue and
+///                        retire (2..=8; 3 is the paper's IR/OR/RR)
 /// --mem-latency N        cycles per 4-parcel instruction fetch
 /// --max-cycles N         watchdog: end the run after N cycles/steps
 /// --max-insns N          watchdog: end the run after N instructions
@@ -99,6 +101,17 @@ pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonArgs, Us
                 out.sim.icache_entries = match v.parse() {
                     Ok(n) => n,
                     Err(_) => return err(format!("bad --icache value `{v}`")),
+                };
+            }
+            "--eu-depth" => {
+                let v: String = value_for("--eu-depth", &mut args)?;
+                out.sim.geometry = match v.parse() {
+                    Ok(n) if (MIN_DEPTH..=MAX_DEPTH).contains(&n) => PipelineGeometry::new(n),
+                    _ => {
+                        return err(format!(
+                            "bad --eu-depth value `{v}` (want {MIN_DEPTH}..={MAX_DEPTH})"
+                        ))
+                    }
                 };
             }
             "--mem-latency" => {
@@ -438,6 +451,14 @@ mod tests {
     }
 
     #[test]
+    fn eu_depth_flag_sets_geometry() {
+        let a = parse(&["--eu-depth", "5", "x.c"]).unwrap();
+        assert_eq!(a.sim.geometry.depth(), 5);
+        let a = parse(&["x.c"]).unwrap();
+        assert_eq!(a.sim.geometry, PipelineGeometry::crisp());
+    }
+
+    #[test]
     fn tool_specific_flags_pass_through() {
         let a = parse(&["--cycles", "x.c"]).unwrap();
         assert_eq!(a.rest, vec!["--cycles".to_string()]);
@@ -456,6 +477,9 @@ mod tests {
         assert!(parse(&["--predict", "sideways"]).is_err());
         assert!(parse(&["--fold", "sometimes"]).is_err());
         assert!(parse(&["--icache", "lots"]).is_err());
+        assert!(parse(&["--eu-depth", "1"]).is_err());
+        assert!(parse(&["--eu-depth", "9"]).is_err());
+        assert!(parse(&["--eu-depth", "deep"]).is_err());
         assert!(parse(&["--max-cycles", "0"]).is_err());
         assert!(parse(&["--max-insns", "soon"]).is_err());
         assert!(parse(&["a.c", "b.c"]).is_err());

@@ -1,5 +1,6 @@
 use crisp_isa::FoldPolicy;
 
+use crate::geometry::PipelineGeometry;
 use crate::soft_error::{FaultPlan, ParityMode};
 
 /// The hardware branch-direction source used by the Execution Unit when
@@ -56,6 +57,11 @@ pub enum FaultInjection {
 pub struct SimConfig {
     /// Which instruction pairs the PDU folds.
     pub fold_policy: FoldPolicy,
+    /// Shape of the execution pipeline (the paper's machine: the
+    /// 3-stage IR→OR→RR unit). Resolve/squash points and the
+    /// mispredict-penalty schedule derive from it (see
+    /// [`crate::geometry`]).
+    pub geometry: PipelineGeometry,
     /// Decoded instruction cache entries (power of two). The paper's
     /// chip has 32 ("the low five bits are used to address the Decoded
     /// Instruction Cache").
@@ -88,6 +94,7 @@ impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig {
             fold_policy: FoldPolicy::Host13,
+            geometry: PipelineGeometry::crisp(),
             icache_entries: 32,
             mem_latency: 1,
             pdu_pipe_delay: 2,
@@ -122,6 +129,16 @@ impl SimConfig {
             "icache_entries must be a power of two"
         );
         assert!(self.mem_latency >= 1, "mem_latency must be at least 1");
+        // `PipelineGeometry` cannot be constructed out of range, but
+        // assert the invariant here too so a future widening of the
+        // type cannot silently bypass the engine's fixed stage array.
+        assert!(
+            (crate::geometry::MIN_DEPTH..=crate::geometry::MAX_DEPTH)
+                .contains(&self.geometry.depth()),
+            "EU depth must be {}..={}",
+            crate::geometry::MIN_DEPTH,
+            crate::geometry::MAX_DEPTH
+        );
         if let HwPredictor::Dynamic { bits, entries } = self.predictor {
             assert!(
                 (1..=7).contains(&bits),
@@ -144,7 +161,18 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.fold_policy, FoldPolicy::Host13);
         assert_eq!(c.icache_entries, 32);
+        assert_eq!(c.geometry.depth(), 3);
         c.validate();
+    }
+
+    #[test]
+    fn geometry_is_configurable() {
+        let c = SimConfig {
+            geometry: PipelineGeometry::new(5),
+            ..SimConfig::default()
+        };
+        c.validate();
+        assert_eq!(c.geometry.retire_stage(), 5);
     }
 
     #[test]

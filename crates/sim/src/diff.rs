@@ -25,7 +25,7 @@ use std::sync::Arc;
 use crisp_isa::FoldPolicy;
 
 use crate::config::HwPredictor;
-use crate::observe::{render_timeline, EventRing, PipeEvent, PipeObserver};
+use crate::observe::{render_timeline_for, EventRing, PipeEvent, PipeObserver};
 use crate::predecode::PredecodedImage;
 use crate::{CycleSim, FunctionalSim, Machine, SimConfig, SimError};
 use crisp_asm::Image;
@@ -298,7 +298,7 @@ fn diverge(
 ) -> LockstepOutcome {
     let events: Vec<PipeEvent> = cyc.observer().1.events().copied().collect();
     let from = at_cycle.saturating_sub(EXCERPT_BEFORE);
-    let timeline = render_timeline(&events, from, at_cycle + EXCERPT_AFTER);
+    let timeline = render_timeline_for(&events, from, at_cycle + EXCERPT_AFTER, cyc.geometry());
     LockstepOutcome::Diverge(Box::new(Divergence {
         commit_index,
         cycle: at_cycle,

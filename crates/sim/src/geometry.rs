@@ -1,0 +1,406 @@
+//! Parameterized execution-pipeline geometry.
+//!
+//! The paper's machine has a 3-stage execution unit — IR (instruction
+//! register), OR (operand register), RR (result register) — and its
+//! central quantity, cycles lost per branch as a function of the
+//! compare→branch distance, is an artifact of that specific depth:
+//! a branch that resolves `k` stages before retire costs `k` fewer
+//! cycles when mispredicted. Ditzel & McLellan note the schedule
+//! scales with pipe depth, which is exactly why folding and spreading
+//! matter *more* on deeper machines. [`PipelineGeometry`] lifts the
+//! depth into a value so the same engine can sweep it.
+//!
+//! # Resolve points
+//!
+//! A geometry of EU depth `D` has `D + 1` *resolve points*, indexed by
+//! the number of penalty cycles a mispredict at that point costs:
+//!
+//! * index `0` — resolved at cache-read (fetch) time, before the entry
+//!   ever occupies an EU stage (the Branch Spreading payoff);
+//! * index `s` for `1 ..= D-1` — resolved early from the stage that is
+//!   `s` stages past fetch (at `D = 3` these are IR and OR);
+//! * index `D` — resolved at retire (the folded-compare case; RR at
+//!   `D = 3`).
+//!
+//! The engine stores EU slots in a fixed `[_; MAX_DEPTH]` array and
+//! only iterates the live prefix, so changing depth costs no heap
+//! allocation (the `alloc_free` test pins this) and the default
+//! geometry remains bit-identical to the hard-coded 3-stage engine
+//! (the `golden_geometry` test pins *that*).
+
+use std::fmt;
+
+/// Smallest supported EU depth: one execute stage plus retire.
+pub const MIN_DEPTH: usize = 2;
+
+/// Largest supported EU depth; sizes the engine's fixed stage array.
+pub const MAX_DEPTH: usize = 8;
+
+/// Resolve points of the deepest geometry (`MAX_DEPTH` stages plus the
+/// fetch-time point); sizes [`StageHistogram`].
+pub const MAX_RESOLVE_POINTS: usize = MAX_DEPTH + 1;
+
+/// Depth of the paper's IR→OR→RR execution unit.
+const CRISP_DEPTH: usize = 3;
+
+/// The shape of the execution pipeline: how many stages an entry
+/// traverses between issue (leaving the decoded-instruction cache) and
+/// retire, and — derived from that — where branches can resolve and
+/// what each resolution point costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineGeometry {
+    /// Number of EU stages, `MIN_DEPTH ..= MAX_DEPTH`. Kept private so
+    /// a constructed geometry is always in range.
+    eu_depth: u8,
+}
+
+impl PipelineGeometry {
+    /// The paper's machine: a 3-stage (IR→OR→RR) execution unit.
+    pub const fn crisp() -> PipelineGeometry {
+        PipelineGeometry {
+            eu_depth: CRISP_DEPTH as u8,
+        }
+    }
+
+    /// A geometry with `depth` EU stages.
+    ///
+    /// # Panics
+    ///
+    /// If `depth` is outside `MIN_DEPTH ..= MAX_DEPTH` — same contract
+    /// as [`crate::SimConfig::validate`]: a bad experiment setup is a
+    /// programming error, not a recoverable condition.
+    pub fn new(depth: usize) -> PipelineGeometry {
+        assert!(
+            (MIN_DEPTH..=MAX_DEPTH).contains(&depth),
+            "EU depth {depth} outside supported range {MIN_DEPTH}..={MAX_DEPTH}"
+        );
+        PipelineGeometry {
+            eu_depth: depth as u8,
+        }
+    }
+
+    /// Number of EU stages (the paper's machine: 3).
+    pub const fn depth(self) -> usize {
+        self.eu_depth as usize
+    }
+
+    /// Resolve-point index of the retire stage — also the worst-case
+    /// mispredict penalty (the folded-compare case).
+    pub const fn retire_stage(self) -> usize {
+        self.eu_depth as usize
+    }
+
+    /// Number of distinct resolve points (`depth + 1`, counting the
+    /// fetch-time point 0).
+    pub const fn resolve_points(self) -> usize {
+        self.eu_depth as usize + 1
+    }
+
+    /// Resolve point of a branch whose compare was spread `distance`
+    /// entries ahead of it: distance 0 is the folded/adjacent compare
+    /// resolving at retire, and each extra entry of spreading buys one
+    /// stage, down to the free fetch-time resolution.
+    pub const fn resolve_stage_for_distance(self, distance: usize) -> usize {
+        self.retire_stage().saturating_sub(distance)
+    }
+
+    /// Display name of a resolve point, for traces and timelines. The
+    /// default geometry keeps the paper's stage names.
+    pub fn stage_name(self, stage: usize) -> String {
+        if self.depth() == CRISP_DEPTH {
+            match stage {
+                0 => "fetch".to_string(),
+                1 => "IR".to_string(),
+                2 => "OR".to_string(),
+                3 => "RR".to_string(),
+                s => format!("stage{s}"),
+            }
+        } else if stage == 0 {
+            "fetch".to_string()
+        } else if stage == self.retire_stage() {
+            "RR".to_string()
+        } else {
+            format!("E{stage}")
+        }
+    }
+
+    /// One-character timeline glyph for the EU stage at `position`
+    /// (0 = the stage an entry enters at issue, `depth-1` = retire).
+    /// The default geometry draws the paper's `I`/`O`/`R`; deeper pipes
+    /// draw `I`, digits for the middle stages, and `R` at retire.
+    pub fn stage_char(self, position: usize) -> char {
+        if self.depth() == CRISP_DEPTH {
+            match position {
+                0 => 'I',
+                1 => 'O',
+                _ => 'R',
+            }
+        } else if position == 0 {
+            'I'
+        } else if position + 1 == self.depth() {
+            'R'
+        } else {
+            char::from_digit((position as u32 + 1).min(9), 10).unwrap_or('+')
+        }
+    }
+
+    /// Timeline legend fragment naming the stage glyphs; the default
+    /// geometry reproduces the original `I=IR O=OR R=RR` byte-for-byte.
+    pub fn stage_legend(self) -> String {
+        if self.depth() == CRISP_DEPTH {
+            "I=IR O=OR R=RR".to_string()
+        } else {
+            let mut out = String::from("I=issue");
+            for p in 1..self.depth() - 1 {
+                out.push_str(&format!(" {}=E{}", self.stage_char(p), p + 1));
+            }
+            out.push_str(" R=retire");
+            out
+        }
+    }
+}
+
+impl Default for PipelineGeometry {
+    fn default() -> PipelineGeometry {
+        PipelineGeometry::crisp()
+    }
+}
+
+impl fmt::Display for PipelineGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D={}", self.depth())
+    }
+}
+
+/// A histogram indexed by resolve point, sized to the live geometry.
+///
+/// This is the one shared representation behind
+/// [`crate::CycleStats::mispredicts_by_stage`] and the per-site
+/// `resolved_at`/`mispredicts_by_stage` arrays in
+/// [`crate::SiteStats`] — previously three hand-written `[u64; 4]`s
+/// with duplicated formatting. Storage is a fixed
+/// `[u64; MAX_RESOLVE_POINTS]` (the type stays `Copy` and
+/// allocation-free); only the live prefix `len` is compared, formatted
+/// or summed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageHistogram {
+    counts: [u64; MAX_RESOLVE_POINTS],
+    len: u8,
+}
+
+impl StageHistogram {
+    /// An empty histogram with one bucket per resolve point of `geo`.
+    pub fn for_geometry(geo: PipelineGeometry) -> StageHistogram {
+        StageHistogram::with_points(geo.resolve_points())
+    }
+
+    /// An empty histogram with `points` buckets (`points` must be at
+    /// most [`MAX_RESOLVE_POINTS`]).
+    pub fn with_points(points: usize) -> StageHistogram {
+        assert!(
+            (1..=MAX_RESOLVE_POINTS).contains(&points),
+            "{points} resolve points outside 1..={MAX_RESOLVE_POINTS}"
+        );
+        StageHistogram {
+            counts: [0; MAX_RESOLVE_POINTS],
+            len: points as u8,
+        }
+    }
+
+    /// Number of live buckets.
+    #[allow(clippy::len_without_is_empty)] // "no buckets" is unrepresentable
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Increment the bucket for `stage`, clamping to the last live
+    /// bucket (mirrors the old defensive `.min(3)` in the profiler).
+    #[inline]
+    pub fn bump(&mut self, stage: usize) {
+        self.counts[stage.min(self.len as usize - 1)] += 1;
+    }
+
+    /// Count in one bucket (0 for out-of-range stages).
+    pub fn get(&self, stage: usize) -> u64 {
+        self.as_slice().get(stage).copied().unwrap_or(0)
+    }
+
+    /// The live buckets.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.counts[..self.len as usize]
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> u64 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Cycles represented under the "index is the penalty" schedule:
+    /// `Σ stage · count`.
+    pub fn penalty_cycles(&self) -> u64 {
+        self.as_slice()
+            .iter()
+            .enumerate()
+            .map(|(stage, &n)| stage as u64 * n)
+            .sum()
+    }
+
+    /// Add another histogram bucket-wise; the result keeps the longer
+    /// live prefix (used when summing per-site histograms).
+    pub fn merge(&mut self, other: &StageHistogram) {
+        self.len = self.len.max(other.len);
+        for (total, n) in self.counts.iter_mut().zip(other.counts) {
+            *total += n;
+        }
+    }
+
+    /// Compact JSON array of the live buckets: `[1,0,2,3]`.
+    pub fn json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, n) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&n.to_string());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Defaults to the paper geometry's four resolve points, so
+/// `CycleStats::default()` and `SiteStats::default()` behave exactly
+/// as the old `[u64; 4]` fields did.
+impl Default for StageHistogram {
+    fn default() -> StageHistogram {
+        StageHistogram::for_geometry(PipelineGeometry::crisp())
+    }
+}
+
+/// Renders like `{:?}` on the old fixed array — `[1, 0, 2, 3]` — so
+/// `CycleStats`' human-readable report is unchanged at the default
+/// geometry.
+impl fmt::Display for StageHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_slice())
+    }
+}
+
+/// Read-only indexing over the live buckets, so counter comparisons
+/// read like the old fixed-array field (`h[0]`, `h[3]`).
+impl std::ops::Index<usize> for StageHistogram {
+    type Output = u64;
+
+    fn index(&self, stage: usize) -> &u64 {
+        &self.as_slice()[stage]
+    }
+}
+
+/// A plain array converts into a histogram whose live prefix is
+/// exactly that array — handy for building expected values in tests.
+impl<const N: usize> From<[u64; N]> for StageHistogram {
+    fn from(arr: [u64; N]) -> StageHistogram {
+        let mut h = StageHistogram::with_points(N);
+        h.counts[..N].copy_from_slice(&arr);
+        h
+    }
+}
+
+/// A histogram equals a plain array when the live prefix matches it
+/// exactly — keeps the many `assert_eq!(stats.mispredicts_by_stage,
+/// [0, 0, 0, 1])`-style tests meaningful (and length-checked).
+impl<const N: usize> PartialEq<[u64; N]> for StageHistogram {
+    fn eq(&self, other: &[u64; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<StageHistogram> for [u64; N] {
+    fn eq(&self, other: &StageHistogram) -> bool {
+        other == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crisp_geometry_matches_the_paper() {
+        let g = PipelineGeometry::default();
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.retire_stage(), 3);
+        assert_eq!(g.resolve_points(), 4);
+        assert_eq!(g, PipelineGeometry::crisp());
+        assert_eq!(g.to_string(), "D=3");
+        assert_eq!(g.stage_name(0), "fetch");
+        assert_eq!(g.stage_name(1), "IR");
+        assert_eq!(g.stage_name(2), "OR");
+        assert_eq!(g.stage_name(3), "RR");
+        assert_eq!(g.stage_legend(), "I=IR O=OR R=RR");
+        assert_eq!((0..3).map(|p| g.stage_char(p)).collect::<String>(), "IOR");
+    }
+
+    #[test]
+    fn resolve_stage_scales_with_spreading_distance() {
+        for d in MIN_DEPTH..=MAX_DEPTH {
+            let g = PipelineGeometry::new(d);
+            assert_eq!(g.resolve_stage_for_distance(0), d, "folded compare");
+            assert_eq!(g.resolve_stage_for_distance(1), d - 1);
+            assert_eq!(g.resolve_stage_for_distance(d), 0, "fully spread");
+            assert_eq!(g.resolve_stage_for_distance(d + 5), 0, "saturates");
+        }
+    }
+
+    #[test]
+    fn deep_geometry_names_and_glyphs() {
+        let g = PipelineGeometry::new(5);
+        assert_eq!(g.stage_name(0), "fetch");
+        assert_eq!(g.stage_name(2), "E2");
+        assert_eq!(g.stage_name(5), "RR");
+        assert_eq!((0..5).map(|p| g.stage_char(p)).collect::<String>(), "I234R");
+        assert!(g.stage_legend().starts_with("I=issue"));
+        assert!(g.stage_legend().ends_with("R=retire"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn depth_out_of_range_panics() {
+        let _ = PipelineGeometry::new(MAX_DEPTH + 1);
+    }
+
+    #[test]
+    fn histogram_matches_old_array_behaviour() {
+        let mut h = StageHistogram::default();
+        assert_eq!(h.len(), 4);
+        h.bump(3);
+        h.bump(0);
+        h.bump(2);
+        h.bump(2);
+        h.bump(9); // clamps, like the old `.min(3)`
+        assert_eq!(h, [1, 0, 2, 2]);
+        assert_eq!([1, 0, 2, 2], h);
+        assert_ne!(h, [1, 0, 2]); // length-checked
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.penalty_cycles(), 3 + 3 + 2 + 2);
+        assert_eq!(h.get(2), 2);
+        assert_eq!(h.get(7), 0);
+        assert_eq!(h.to_string(), "[1, 0, 2, 2]");
+        assert_eq!(h.json(), "[1,0,2,2]");
+    }
+
+    #[test]
+    fn histogram_sizes_to_geometry() {
+        let mut h = StageHistogram::for_geometry(PipelineGeometry::new(5));
+        assert_eq!(h.len(), 6);
+        h.bump(5);
+        assert_eq!(h, [0, 0, 0, 0, 0, 1]);
+        assert_eq!(h.json(), "[0,0,0,0,0,1]");
+
+        let mut sum = StageHistogram::default();
+        sum.bump(1);
+        sum.merge(&h);
+        assert_eq!(sum.len(), 6, "merge keeps the longer prefix");
+        assert_eq!(sum, [0, 1, 0, 0, 0, 1]);
+    }
+}

@@ -49,6 +49,7 @@ mod config;
 pub mod diff;
 mod error;
 mod functional;
+pub mod geometry;
 mod icache;
 mod machine;
 mod mem;
@@ -68,12 +69,14 @@ pub use diff::{
 };
 pub use error::{HaltReason, SimError};
 pub use functional::{FunctionalRun, FunctionalSim};
+pub use geometry::{PipelineGeometry, StageHistogram, MAX_DEPTH, MIN_DEPTH};
 pub use icache::{CacheLookup, DecodedCache};
 pub use machine::{Machine, Step};
 pub use mem::Memory;
 pub use observe::{
-    mispredict_cycles, parse_jsonl, render_timeline, write_chrome_trace, write_jsonl, EventRing,
-    NullObserver, PipeEvent, PipeObserver, StallKind, TraceParseError,
+    mispredict_cycles, parse_jsonl, render_timeline, render_timeline_for, write_chrome_trace,
+    write_chrome_trace_for, write_jsonl, EventRing, NullObserver, PipeEvent, PipeObserver,
+    StallKind, TraceParseError,
 };
 pub use pdu::Pdu;
 pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};

@@ -50,6 +50,8 @@ use std::io;
 
 use crisp_isa::FoldFailure;
 
+use crate::geometry::PipelineGeometry;
+
 /// What the Execution Unit is stalled on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallKind {
@@ -79,8 +81,10 @@ impl StallKind {
 /// One typed observation from the simulator.
 ///
 /// Stage indices follow the mispredict-penalty convention of
-/// [`crate::CycleStats::mispredicts_by_stage`]: 0 = cache-read time,
-/// 1 = IR, 2 = OR, 3 = RR.
+/// [`crate::CycleStats::mispredicts_by_stage`]: at the default
+/// [`crate::PipelineGeometry`], 0 = cache-read time, 1 = IR, 2 = OR,
+/// 3 = RR; at EU depth `D` in general, 0 is still cache-read time and
+/// the retire stage carries index `D`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PipeEvent {
     /// EU fetch hit the decoded cache; the entry enters IR this cycle.
@@ -166,8 +170,9 @@ pub enum PipeEvent {
         cycle: u64,
         /// Address of the branch instruction.
         branch_pc: u32,
-        /// Where it resolved: 0 = cache read, 1 = IR, 2 = OR, 3 = RR.
-        /// The mispredict penalty equals this index.
+        /// Where it resolved: 0 = cache read, then one index per EU
+        /// stage up to retire (1 = IR, 2 = OR, 3 = RR at the default
+        /// geometry). The mispredict penalty equals this index.
         stage: u8,
         /// Whether the followed path was wrong (recovery required).
         mispredicted: bool,
@@ -178,7 +183,9 @@ pub enum PipeEvent {
         cycle: u64,
         /// Address of the killed entry.
         pc: u32,
-        /// The stage holding it: 1 = IR, 2 = OR.
+        /// The stage holding it, as a resolve index: `1..=depth-1`
+        /// (1 = IR, 2 = OR at the default geometry — the retire stage
+        /// cannot be squashed).
         stage: u8,
     },
     /// The EU began stalling.
@@ -799,19 +806,8 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<PipeEvent>, TraceParseError> {
 // Chrome trace_event export
 // ---------------------------------------------------------------------
 
-/// Lanes (thread ids) of the exported trace.
-const INSTR_LANES: u64 = 3;
-const LANE_EVENTS: u64 = INSTR_LANES;
-const LANE_STALLS: u64 = INSTR_LANES + 1;
-const LANE_PDU: u64 = INSTR_LANES + 2;
-
-/// Write a Chrome `trace_event` JSON document for the event stream.
-///
-/// One simulated cycle maps to one microsecond of trace time.
-/// Instructions appear as 3-cycle spans (IR→OR→RR) rotated over three
-/// lanes so overlapping lifetimes stay readable; squashes, mispredict
-/// resolutions and stalls get their own lanes. Open the file in
-/// `chrome://tracing` or <https://ui.perfetto.dev>.
+/// Write a Chrome `trace_event` JSON document for the event stream of
+/// a default-geometry (3-stage EU) run. See [`write_chrome_trace_for`].
 ///
 /// # Errors
 ///
@@ -820,40 +816,68 @@ pub fn write_chrome_trace<W: io::Write + ?Sized>(
     w: &mut W,
     events: &[PipeEvent],
 ) -> io::Result<()> {
+    write_chrome_trace_for(w, events, PipelineGeometry::crisp())
+}
+
+/// Write a Chrome `trace_event` JSON document for the event stream of
+/// a run at geometry `geo`.
+///
+/// One simulated cycle maps to one microsecond of trace time.
+/// Instructions appear as depth-cycle spans (IR→OR→RR on the paper's
+/// machine) rotated over depth lanes so overlapping lifetimes stay
+/// readable; squashes, mispredict resolutions and stalls get their own
+/// lanes. Open the file in `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_chrome_trace_for<W: io::Write + ?Sized>(
+    w: &mut W,
+    events: &[PipeEvent],
+    geo: PipelineGeometry,
+) -> io::Result<()> {
+    // Lanes (thread ids) of the exported trace: one per EU stage, then
+    // branch events / stalls / the PDU.
+    let instr_lanes = geo.depth() as u64;
+    let lane_events = instr_lanes;
+    let lane_stalls = instr_lanes + 1;
+    let lane_pdu = instr_lanes + 2;
     let mut items: Vec<String> = Vec::new();
-    for lane in 0..INSTR_LANES {
+    for lane in 0..instr_lanes {
         items.push(format!(
             r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{lane},"args":{{"name":"pipeline lane {lane}"}}}}"#
         ));
     }
     items.push(format!(
-        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{LANE_EVENTS},"args":{{"name":"branch events"}}}}"#
+        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{lane_events},"args":{{"name":"branch events"}}}}"#
     ));
     items.push(format!(
-        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{LANE_STALLS},"args":{{"name":"stalls"}}}}"#
+        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{lane_stalls},"args":{{"name":"stalls"}}}}"#
     ));
     items.push(format!(
-        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{LANE_PDU},"args":{{"name":"pdu"}}}}"#
+        r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{lane_pdu},"args":{{"name":"pdu"}}}}"#
     ));
 
     let mut open_stall: Option<(StallKind, u64)> = None;
     for ev in events {
         match *ev {
             PipeEvent::FetchHit { cycle, pc, folded } => {
-                let lane = cycle % INSTR_LANES;
+                let lane = cycle % instr_lanes;
                 let name = if folded {
                     format!("{pc:#x}+fold")
                 } else {
                     format!("{pc:#x}")
                 };
                 items.push(format!(
-                    r#"{{"ph":"X","name":"{name}","cat":"instr","pid":0,"tid":{lane},"ts":{cycle},"dur":3}}"#
+                    r#"{{"ph":"X","name":"{name}","cat":"instr","pid":0,"tid":{lane},"ts":{cycle},"dur":{}}}"#,
+                    geo.depth()
                 ));
             }
             PipeEvent::Squash { cycle, pc, stage } => {
                 items.push(format!(
-                    r#"{{"ph":"i","name":"squash {pc:#x} @{}","cat":"squash","pid":0,"tid":{LANE_EVENTS},"ts":{cycle},"s":"t"}}"#,
-                    stage_name(stage)
+                    r#"{{"ph":"i","name":"squash {pc:#x} @{}","cat":"squash","pid":0,"tid":{lane_events},"ts":{cycle},"s":"t"}}"#,
+                    geo.stage_name(stage as usize)
                 ));
             }
             PipeEvent::BranchResolve {
@@ -868,8 +892,8 @@ pub fn write_chrome_trace<W: io::Write + ?Sized>(
                     "resolve"
                 };
                 items.push(format!(
-                    r#"{{"ph":"i","name":"{verdict} {branch_pc:#x} @{}","cat":"branch","pid":0,"tid":{LANE_EVENTS},"ts":{cycle},"s":"t"}}"#,
-                    stage_name(stage)
+                    r#"{{"ph":"i","name":"{verdict} {branch_pc:#x} @{}","cat":"branch","pid":0,"tid":{lane_events},"ts":{cycle},"s":"t"}}"#,
+                    geo.stage_name(stage as usize)
                 ));
             }
             PipeEvent::StallBegin { cycle, kind } => open_stall = Some((kind, cycle)),
@@ -877,7 +901,7 @@ pub fn write_chrome_trace<W: io::Write + ?Sized>(
                 if let Some((k, begin)) = open_stall.take() {
                     if k == kind && cycle >= begin {
                         items.push(format!(
-                            r#"{{"ph":"X","name":"{} stall","cat":"stall","pid":0,"tid":{LANE_STALLS},"ts":{begin},"dur":{}}}"#,
+                            r#"{{"ph":"X","name":"{} stall","cat":"stall","pid":0,"tid":{lane_stalls},"ts":{begin},"dur":{}}}"#,
                             kind.name(),
                             cycle - begin
                         ));
@@ -886,12 +910,12 @@ pub fn write_chrome_trace<W: io::Write + ?Sized>(
             }
             PipeEvent::Decode { cycle, pc, .. } => {
                 items.push(format!(
-                    r#"{{"ph":"X","name":"decode {pc:#x}","cat":"pdu","pid":0,"tid":{LANE_PDU},"ts":{cycle},"dur":1}}"#
+                    r#"{{"ph":"X","name":"decode {pc:#x}","cat":"pdu","pid":0,"tid":{lane_pdu},"ts":{cycle},"dur":1}}"#
                 ));
             }
             PipeEvent::Halt { cycle } => {
                 items.push(format!(
-                    r#"{{"ph":"i","name":"halt","cat":"instr","pid":0,"tid":{LANE_EVENTS},"ts":{cycle},"s":"g"}}"#
+                    r#"{{"ph":"i","name":"halt","cat":"instr","pid":0,"tid":{lane_events},"ts":{cycle},"s":"g"}}"#
                 ));
             }
             _ => {}
@@ -905,16 +929,6 @@ pub fn write_chrome_trace<W: io::Write + ?Sized>(
         write!(w, "{item}")?;
     }
     write!(w, "]}}")
-}
-
-fn stage_name(stage: u8) -> &'static str {
-    match stage {
-        0 => "fetch",
-        1 => "IR",
-        2 => "OR",
-        3 => "RR",
-        _ => "?",
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -945,17 +959,32 @@ struct TimelineRow {
     squashed: Option<(u64, u8)>,
 }
 
-/// Render a Konata-style ASCII lane diagram of cycles
-/// `[from, to]`: one row per fetched instruction, columns per cycle,
-/// `I`/`O`/`R` for the stage occupied, `x` where a squash killed the
-/// slot, and a `v` header marking mispredict-resolution cycles.
+/// Render the ASCII lane diagram for a default-geometry (3-stage EU)
+/// run. See [`render_timeline_for`].
 pub fn render_timeline(events: &[PipeEvent], from: u64, to: u64) -> String {
+    render_timeline_for(events, from, to, PipelineGeometry::crisp())
+}
+
+/// Render a Konata-style ASCII lane diagram of cycles
+/// `[from, to]` for a run at geometry `geo`: one row per fetched
+/// instruction, columns per cycle, one glyph per EU stage occupied
+/// (`I`/`O`/`R` on the paper's machine), `x` where a squash killed the
+/// slot, and a `v` header marking mispredict-resolution cycles.
+pub fn render_timeline_for(
+    events: &[PipeEvent],
+    from: u64,
+    to: u64,
+    geo: PipelineGeometry,
+) -> String {
     let (from, to) = (from.min(to), from.max(to));
+    let last_offset = (geo.depth() - 1) as u64;
     let mut rows: Vec<TimelineRow> = Vec::new();
     let mut mispredicts: Vec<u64> = Vec::new();
     for ev in events {
         match *ev {
-            PipeEvent::FetchHit { cycle, pc, folded } if cycle <= to && cycle + 2 >= from => {
+            PipeEvent::FetchHit { cycle, pc, folded }
+                if cycle <= to && cycle + last_offset >= from =>
+            {
                 rows.push(TimelineRow {
                     pc,
                     fetch: cycle,
@@ -989,7 +1018,8 @@ pub fn render_timeline(events: &[PipeEvent], from: u64, to: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "cycles {from}..{to}  (I=IR O=OR R=RR x=squashed v=mispredict)"
+        "cycles {from}..{to}  ({} x=squashed v=mispredict)",
+        geo.stage_legend()
     );
     let mut header = String::from("            ");
     for c in from..=to {
@@ -1006,9 +1036,10 @@ pub fn render_timeline(events: &[PipeEvent], from: u64, to: u64) -> String {
         };
         let end = match row.squashed {
             Some((cycle, _)) => cycle,
-            None => row.fetch + 2,
+            None => row.fetch + last_offset,
         };
-        for (offset, ch) in ['I', 'O', 'R'].into_iter().enumerate() {
+        for offset in 0..geo.depth() {
+            let ch = geo.stage_char(offset);
             let cycle = row.fetch + offset as u64;
             if cycle < end || (row.squashed.is_none() && cycle == end) {
                 mark(&mut lane, cycle, ch);

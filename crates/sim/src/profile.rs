@@ -12,6 +12,7 @@ use std::fmt;
 
 use crisp_isa::FoldFailure;
 
+use crate::geometry::{PipelineGeometry, StageHistogram};
 use crate::observe::{PipeEvent, PipeObserver};
 
 /// Accumulated behaviour of one conditional-branch site.
@@ -25,14 +26,24 @@ pub struct SiteStats {
     pub predicted_right: u64,
     /// Retirements where the branch was folded with a host.
     pub folded_retires: u64,
-    /// Resolutions by stage (0 = cache read, 1 = IR, 2 = OR, 3 = RR);
-    /// the index is the penalty paid when mispredicted.
-    pub resolved_at: [u64; 4],
+    /// Resolutions by stage (at the default geometry: 0 = cache read,
+    /// 1 = IR, 2 = OR, 3 = RR); the index is the penalty paid when
+    /// mispredicted.
+    pub resolved_at: StageHistogram,
     /// Mispredicted resolutions by the same stage index.
-    pub mispredicts_by_stage: [u64; 4],
+    pub mispredicts_by_stage: StageHistogram,
 }
 
 impl SiteStats {
+    /// An empty site record sized to `geo`'s resolve points.
+    pub fn for_geometry(geo: PipelineGeometry) -> SiteStats {
+        SiteStats {
+            resolved_at: StageHistogram::for_geometry(geo),
+            mispredicts_by_stage: StageHistogram::for_geometry(geo),
+            ..SiteStats::default()
+        }
+    }
+
     /// Total retirements of this site.
     pub fn executions(&self) -> u64 {
         self.taken + self.not_taken
@@ -40,17 +51,13 @@ impl SiteStats {
 
     /// Total mispredicted resolutions.
     pub fn mispredicts(&self) -> u64 {
-        self.mispredicts_by_stage.iter().sum()
+        self.mispredicts_by_stage.total()
     }
 
-    /// Cycles lost to this site's mispredicts under the 3/2/1/0
-    /// penalty schedule (the stage index *is* the penalty).
+    /// Cycles lost to this site's mispredicts under the "stage index
+    /// *is* the penalty" schedule (3/2/1/0 on the paper's machine).
     pub fn penalty_cycles(&self) -> u64 {
-        self.mispredicts_by_stage
-            .iter()
-            .enumerate()
-            .map(|(stage, n)| stage as u64 * n)
-            .sum()
+        self.mispredicts_by_stage.penalty_cycles()
     }
 }
 
@@ -58,6 +65,9 @@ impl SiteStats {
 #[derive(Debug, Clone, Default)]
 pub struct BranchProfiler {
     sites: BTreeMap<u32, SiteStats>,
+    /// Pipeline geometry the observed run uses; sizes each site's
+    /// resolve histograms.
+    geometry: PipelineGeometry,
     /// Fold failures by reason, over all PDU decodes (a site can
     /// appear many times if re-decoded after eviction).
     pub fold_failures: [u64; FoldFailure::ALL.len()],
@@ -70,9 +80,19 @@ pub struct BranchProfiler {
 }
 
 impl BranchProfiler {
-    /// An empty profiler.
+    /// An empty profiler for the paper's default geometry.
     pub fn new() -> BranchProfiler {
         BranchProfiler::default()
+    }
+
+    /// An empty profiler for runs at `geo` — resolve histograms get
+    /// one bucket per resolve point (events beyond the last bucket
+    /// would otherwise clamp into it).
+    pub fn with_geometry(geo: PipelineGeometry) -> BranchProfiler {
+        BranchProfiler {
+            geometry: geo,
+            ..BranchProfiler::default()
+        }
     }
 
     /// The per-site table, ordered by PC.
@@ -91,19 +111,17 @@ impl BranchProfiler {
     }
 
     /// Mispredicted resolutions summed by stage across sites.
-    pub fn mispredicts_by_stage(&self) -> [u64; 4] {
-        let mut out = [0u64; 4];
+    pub fn mispredicts_by_stage(&self) -> StageHistogram {
+        let mut out = StageHistogram::for_geometry(self.geometry);
         for site in self.sites.values() {
-            for (total, n) in out.iter_mut().zip(site.mispredicts_by_stage) {
-                *total += n;
-            }
+            out.merge(&site.mispredicts_by_stage);
         }
         out
     }
 
     /// Resolutions at cache-read time summed across sites.
     pub fn resolved_at_fetch(&self) -> u64 {
-        self.sites.values().map(|s| s.resolved_at[0]).sum()
+        self.sites.values().map(|s| s.resolved_at.get(0)).sum()
     }
 
     /// Sites ordered by mispredict-penalty cycles, worst first; ties
@@ -136,7 +154,11 @@ impl PipeObserver for BranchProfiler {
                 folded,
                 ..
             } => {
-                let site = self.sites.entry(branch_pc).or_default();
+                let geo = self.geometry;
+                let site = self
+                    .sites
+                    .entry(branch_pc)
+                    .or_insert_with(|| SiteStats::for_geometry(geo));
                 if taken {
                     site.taken += 1;
                 } else {
@@ -155,11 +177,16 @@ impl PipeObserver for BranchProfiler {
                 mispredicted,
                 ..
             } => {
-                let site = self.sites.entry(branch_pc).or_default();
-                let stage = (stage as usize).min(3);
-                site.resolved_at[stage] += 1;
+                let geo = self.geometry;
+                let site = self
+                    .sites
+                    .entry(branch_pc)
+                    .or_insert_with(|| SiteStats::for_geometry(geo));
+                // `bump` clamps out-of-range stages into the last
+                // bucket, preserving the old defensive `.min(3)`.
+                site.resolved_at.bump(stage as usize);
                 if mispredicted {
-                    site.mispredicts_by_stage[stage] += 1;
+                    site.mispredicts_by_stage.bump(stage as usize);
                 }
             }
             PipeEvent::Fold { .. } => self.folds += 1,
@@ -192,16 +219,28 @@ impl fmt::Display for BranchProfiler {
             return writeln!(f, "  (no conditional branches retired)");
         }
         writeln!(f)?;
+        // The resolve columns cover the in-pipe stages 1..=retire —
+        // "IR/OR/RR" on the paper's machine, one column per stage on
+        // deeper geometries.
+        let stage_label = (1..=self.geometry.retire_stage())
+            .map(|s| self.geometry.stage_name(s))
+            .collect::<Vec<_>>()
+            .join("/");
         writeln!(
             f,
-            "  {:<10} {:>7} {:>7} {:>8} {:>7} {:>8} {:>9}  resolved IR/OR/RR",
+            "  {:<10} {:>7} {:>7} {:>8} {:>7} {:>8} {:>9}  resolved {stage_label}",
             "branch pc", "taken", "fall", "pred-ok%", "mispred", "penalty", "folded%"
         )?;
         for (pc, s) in self.hottest() {
             let execs = s.executions().max(1);
+            let resolved = s.resolved_at.as_slice()[1..]
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("/");
             writeln!(
                 f,
-                "  {:<#10x} {:>7} {:>7} {:>7.1}% {:>7} {:>8} {:>8.1}%  {}/{}/{}",
+                "  {:<#10x} {:>7} {:>7} {:>7.1}% {:>7} {:>8} {:>8.1}%  {resolved}",
                 pc,
                 s.taken,
                 s.not_taken,
@@ -209,9 +248,6 @@ impl fmt::Display for BranchProfiler {
                 s.mispredicts(),
                 s.penalty_cycles(),
                 100.0 * s.folded_retires as f64 / execs as f64,
-                s.resolved_at[1],
-                s.resolved_at[2],
-                s.resolved_at[3],
             )?;
         }
         Ok(())
@@ -278,6 +314,23 @@ mod tests {
         let text = p.to_string();
         assert!(text.contains("0x10"), "{text}");
         assert!(text.contains("branch-too-long"), "{text}");
+    }
+
+    #[test]
+    fn deep_geometry_sites_track_all_stages() {
+        let g = PipelineGeometry::new(5);
+        let mut p = BranchProfiler::with_geometry(g);
+        p.event(PipeEvent::BranchResolve {
+            cycle: 0,
+            branch_pc: 0x10,
+            stage: 5,
+            mispredicted: true,
+        });
+        // A depth-5 retire resolve is NOT clamped into a 4th bucket.
+        assert_eq!(p.mispredicts_by_stage(), [0, 0, 0, 0, 0, 1]);
+        assert_eq!(p.sites()[&0x10].penalty_cycles(), 5);
+        let text = p.to_string();
+        assert!(text.contains("resolved E1/E2/E3/E4/RR"), "{text}");
     }
 
     #[test]

@@ -3,6 +3,8 @@ use std::fmt;
 
 use crisp_isa::{BinOp, Decoded, ExecOp, FoldClass};
 
+use crate::geometry::StageHistogram;
+
 /// The fixed mnemonic categories, in the index order used by the
 /// histogram array (binary operations first, mirroring `BinOp`).
 const CATEGORY_NAMES: [&str; NUM_CATEGORIES] = [
@@ -185,6 +187,12 @@ pub struct RunStats {
 /// at OR 2, and at RR (the folded-compare case) 3. Every bookkeeping
 /// site in the pipeline goes through these constants so a mis-indexed
 /// stage cannot silently corrupt the Table 3 reproduction.
+///
+/// These names describe the default [`crate::PipelineGeometry`] (EU
+/// depth 3). At depth `D` the schedule generalizes: index 0 is still
+/// fetch-time, indices `1..D` are the early-resolve stages, and the
+/// retire index — the folded-compare penalty — is `D` (see
+/// [`crate::PipelineGeometry::retire_stage`]).
 pub mod resolve_stage {
     /// Resolved at cache-read (fetch) time — 0-cycle penalty.
     pub const FETCH: usize = 0;
@@ -192,9 +200,17 @@ pub mod resolve_stage {
     pub const IR: usize = 1;
     /// Resolved from the Operand Register stage — 2 cycles.
     pub const OR: usize = 2;
-    /// Resolved at Result Register retire (folded compare) — 3 cycles.
+    /// Resolved at Result Register retire (folded compare) — 3 cycles
+    /// at the default depth-3 geometry.
     pub const RR: usize = 3;
 }
+
+/// Version of the flat-JSON schema emitted by [`CycleStats::to_json`]
+/// (and `crisp-run --stats-json`). Version 1 (implicit — no
+/// `schema_version` field) emitted `mispredicts_by_stage` as a fixed
+/// 4-tuple; version 2 emits it at the live pipeline depth (`D + 1`
+/// entries) and records this field so consumers can detect the shape.
+pub const STATS_SCHEMA_VERSION: u32 = 2;
 
 /// Counters produced by the cycle engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -208,8 +224,10 @@ pub struct CycleStats {
     /// Conditional branches retired.
     pub cond_branches: u64,
     /// Mispredicted conditional branches, by the stage distance at which
-    /// they resolved: `[at fetch (0 lost), at IR (1), at OR (2), at RR (3)]`.
-    pub mispredicts_by_stage: [u64; 4],
+    /// they resolved — at the default geometry `[at fetch (0 lost),
+    /// at IR (1), at OR (2), at RR (3)]`; sized to the configured
+    /// pipeline depth in general (one bucket per resolve point).
+    pub mispredicts_by_stage: StageHistogram,
     /// Pipeline slots killed by mispredict recovery.
     pub flushed_slots: u64,
     /// Conditional branches resolved with certainty at cache-read time
@@ -245,7 +263,7 @@ pub struct CycleStats {
 impl CycleStats {
     /// Total mispredicted conditional branches.
     pub fn mispredicts(&self) -> u64 {
-        self.mispredicts_by_stage.iter().sum()
+        self.mispredicts_by_stage.total()
     }
 
     /// Cycles per issued instruction.
@@ -261,26 +279,29 @@ impl CycleStats {
 
     /// One flat JSON object with every counter and derived ratio —
     /// the machine-readable form behind `crisp-run --stats-json`.
+    ///
+    /// `mispredicts_by_stage` has one entry per resolve point of the
+    /// configured geometry (`D + 1` entries at EU depth `D`), and
+    /// `schema_version` ([`STATS_SCHEMA_VERSION`]) announces the shape.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                r#"{{"cycles":{},"issued":{},"program_instrs":{},"cond_branches":{},"#,
-                r#""mispredicts":{},"mispredicts_by_stage":[{},{},{},{}],"flushed_slots":{},"#,
+                r#"{{"schema_version":{},"#,
+                r#""cycles":{},"issued":{},"program_instrs":{},"cond_branches":{},"#,
+                r#""mispredicts":{},"mispredicts_by_stage":{},"flushed_slots":{},"#,
                 r#""resolved_at_fetch":{},"icache_hits":{},"icache_misses":{},"#,
                 r#""miss_stall_cycles":{},"indirect_stall_cycles":{},"pdu_decodes":{},"#,
                 r#""cache_inserts":{},"cache_refills":{},"cache_evictions":{},"#,
                 r#""parity_invalidates":{},"faults_injected":{},"watchdog":{},"#,
                 r#""cycles_per_issued":{:.6},"apparent_cpi":{:.6}}}"#
             ),
+            STATS_SCHEMA_VERSION,
             self.cycles,
             self.issued,
             self.program_instrs,
             self.cond_branches,
             self.mispredicts(),
-            self.mispredicts_by_stage[0],
-            self.mispredicts_by_stage[1],
-            self.mispredicts_by_stage[2],
-            self.mispredicts_by_stage[3],
+            self.mispredicts_by_stage.json(),
             self.flushed_slots,
             self.resolved_at_fetch,
             self.icache_hits,
@@ -311,7 +332,7 @@ impl fmt::Display for CycleStats {
         writeln!(f, "conditional branches : {}", self.cond_branches)?;
         writeln!(
             f,
-            "mispredicts          : {} (by resolve stage {:?})",
+            "mispredicts          : {} (by resolve stage {})",
             self.mispredicts(),
             self.mispredicts_by_stage
         )?;
@@ -474,7 +495,7 @@ mod tests {
             issued: 80,
             program_instrs: 120,
             cond_branches: 10,
-            mispredicts_by_stage: [1, 0, 2, 3],
+            mispredicts_by_stage: [1, 0, 2, 3].into(),
             icache_hits: 90,
             icache_misses: 5,
             miss_stall_cycles: 7,
@@ -496,6 +517,10 @@ mod tests {
         let json = s.to_json();
         assert!(json.contains(r#""cycles":100"#), "{json}");
         assert!(
+            json.starts_with(&format!(r#"{{"schema_version":{STATS_SCHEMA_VERSION},"#)),
+            "{json}"
+        );
+        assert!(
             json.contains(r#""mispredicts_by_stage":[1,0,2,3]"#),
             "{json}"
         );
@@ -505,6 +530,22 @@ mod tests {
         );
         assert!(json.contains(r#""apparent_cpi":0.833333"#), "{json}");
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn stats_json_emits_live_depth_histogram() {
+        // A depth-5 geometry has six resolve points; the export must
+        // follow the live depth, not the paper's fixed 4-tuple.
+        let s = CycleStats {
+            mispredicts_by_stage: [0, 1, 0, 0, 2, 7].into(),
+            ..CycleStats::default()
+        };
+        let json = s.to_json();
+        assert!(
+            json.contains(r#""mispredicts_by_stage":[0,1,0,0,2,7]"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""mispredicts":10"#), "{json}");
     }
 
     #[test]

@@ -127,6 +127,15 @@ mod tests {
     }
 
     #[test]
+    fn figure3_on_disk_copy_matches_embedded_source() {
+        // CI smoke runs feed `workloads/figure3.c` to crisp-run; pin
+        // the file to the embedded source so the two cannot drift.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../workloads/figure3.c");
+        let on_disk = std::fs::read_to_string(path).expect("workloads/figure3.c exists");
+        assert_eq!(on_disk.trim(), FIGURE3_SOURCE.trim());
+    }
+
+    #[test]
     fn figure3_checked_results() {
         let r = run(FIGURE3_CHECKED_SOURCE);
         assert_eq!(global(&r, 0), (0..1024).sum::<i32>()); // out_sum

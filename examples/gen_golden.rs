@@ -1,0 +1,101 @@
+//! Regenerate the geometry golden vectors under `tests/golden/`.
+//!
+//! Each file pins the complete observable output of one cycle-engine
+//! run at the default (paper) pipeline geometry: the full commit-event
+//! stream (architectural history *with* cycle stamps, so timing drift
+//! is caught too) followed by the end-of-run stats JSON. The
+//! `golden_geometry` integration test replays every file and demands
+//! bit-identical output, so refactors of the pipeline engine — like the
+//! `PipelineGeometry` generalization — cannot silently change the D=3
+//! machine the paper tables are built on.
+//!
+//! Run from the repo root: `cargo run --release --example gen_golden`
+
+use crisp::cc::{compile_crisp, CompileOptions, PredictionMode};
+use crisp::isa::FoldPolicy;
+use crisp::sim::{CycleSim, EventRing, HwPredictor, Machine, PipeEvent, SimConfig};
+use crisp::workloads::figure3_with_count;
+
+/// Strip the `"schema_version":N,` field from a stats JSON line, so
+/// vectors generated before and after the field was introduced compare
+/// equal. (The schema version deliberately sits outside the frozen
+/// surface: it exists to *announce* shape changes, not to be one.)
+fn normalize_stats(json: &str) -> String {
+    match json.find("\"schema_version\":") {
+        None => json.to_string(),
+        Some(start) => {
+            let rest = &json[start..];
+            let end = rest.find(',').map_or(rest.len(), |i| i + 1);
+            format!("{}{}", &json[..start], &rest[end..])
+        }
+    }
+}
+
+fn fold_name(p: FoldPolicy) -> &'static str {
+    match p {
+        FoldPolicy::None => "none",
+        FoldPolicy::Host1 => "host1",
+        FoldPolicy::Host13 => "host13",
+        FoldPolicy::All => "all",
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::path::Path::new("tests/golden");
+    std::fs::create_dir_all(dir)?;
+    let source = figure3_with_count(64);
+    let compiles = [
+        ("figure3x64", CompileOptions::default()),
+        (
+            "figure3x64-nospread",
+            CompileOptions {
+                spread: false,
+                prediction: PredictionMode::Btfnt,
+            },
+        ),
+    ];
+    for (wname, copts) in compiles {
+        let image = compile_crisp(&source, &copts)?;
+        for fold_policy in [
+            FoldPolicy::None,
+            FoldPolicy::Host1,
+            FoldPolicy::Host13,
+            FoldPolicy::All,
+        ] {
+            for (pname, predictor) in [
+                ("static", HwPredictor::StaticBit),
+                (
+                    "dyn2x64",
+                    HwPredictor::Dynamic {
+                        bits: 2,
+                        entries: 64,
+                    },
+                ),
+            ] {
+                let cfg = SimConfig {
+                    fold_policy,
+                    predictor,
+                    ..SimConfig::default()
+                };
+                let sim =
+                    CycleSim::with_observer(Machine::load(&image)?, cfg, EventRing::new(1 << 20));
+                let (run, ring) = sim.run_observed()?;
+                assert!(run.halted, "golden workloads must halt");
+                assert_eq!(ring.dropped, 0, "ring must hold the whole run");
+                let mut out = String::new();
+                out.push_str(&normalize_stats(&run.stats.to_json()));
+                out.push('\n');
+                for ev in ring.events() {
+                    if matches!(ev, PipeEvent::Commit { .. }) {
+                        out.push_str(&ev.to_json());
+                        out.push('\n');
+                    }
+                }
+                let path = dir.join(format!("{wname}_{}_{pname}.txt", fold_name(fold_policy)));
+                std::fs::write(&path, out)?;
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+    Ok(())
+}

@@ -62,9 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>5}  {:<26} {:<26} {:<26}",
             snap.cycle,
-            describe(snap.ir),
-            describe(snap.or),
-            describe(snap.rr),
+            describe(snap.ir()),
+            describe(snap.or()),
+            describe(snap.rr()),
         );
         if snap.halted {
             break;

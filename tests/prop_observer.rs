@@ -12,7 +12,7 @@ use crisp::asm::{assemble, Item, Module};
 use crisp::isa::{BinOp, Cond, FoldPolicy, Instr, Operand};
 use crisp::sim::{
     parse_jsonl, write_jsonl, BranchProfiler, CycleSim, EventRing, HwPredictor, Machine, PipeEvent,
-    SimConfig, StallKind,
+    PipelineGeometry, SimConfig, StageHistogram, StallKind,
 };
 use proptest::prelude::*;
 
@@ -162,8 +162,8 @@ struct Tally {
     issues: u64,
     folded_issues: u64,
     branch_retires: u64,
-    resolves_by_stage: [u64; 4],
-    mispredicts_by_stage: [u64; 4],
+    resolves_by_stage: StageHistogram,
+    mispredicts_by_stage: StageHistogram,
     squashes: u64,
     fetch_hits: u64,
     fetch_misses: u64,
@@ -180,8 +180,12 @@ struct Tally {
     parity_errors: u64,
 }
 
-fn tally(events: &[PipeEvent]) -> Result<Tally, TestCaseError> {
-    let mut t = Tally::default();
+fn tally(events: &[PipeEvent], geo: PipelineGeometry) -> Result<Tally, TestCaseError> {
+    let mut t = Tally {
+        resolves_by_stage: StageHistogram::for_geometry(geo),
+        mispredicts_by_stage: StageHistogram::for_geometry(geo),
+        ..Tally::default()
+    };
     let mut open: Option<(StallKind, u64)> = None;
     for ev in events {
         match *ev {
@@ -196,12 +200,17 @@ fn tally(events: &[PipeEvent]) -> Result<Tally, TestCaseError> {
                 ..
             } => {
                 let s = stage as usize;
-                prop_assert!(s < 4, "stage out of range: {stage}");
-                t.resolves_by_stage[s] += 1;
-                t.mispredicts_by_stage[s] += u64::from(mispredicted);
+                prop_assert!(s <= geo.retire_stage(), "stage out of range: {stage}");
+                t.resolves_by_stage.bump(s);
+                if mispredicted {
+                    t.mispredicts_by_stage.bump(s);
+                }
             }
             PipeEvent::Squash { stage, .. } => {
-                prop_assert!(stage == 1 || stage == 2, "squash stage {stage}");
+                // Only in-flight EU stages short of retire can be
+                // squashed: 1..=depth-1 (IR/OR on the paper's machine).
+                let s = stage as usize;
+                prop_assert!(s >= 1 && s < geo.depth(), "squash stage {stage}");
                 t.squashes += 1;
             }
             PipeEvent::FetchHit { .. } => t.fetch_hits += 1,
@@ -256,6 +265,18 @@ fn configs() -> Vec<SimConfig> {
             fold_policy: FoldPolicy::All,
             ..SimConfig::default()
         },
+        // Non-default geometries: the shallowest supported pipe and a
+        // deep one, so the reconciliation holds away from D=3 too.
+        SimConfig {
+            geometry: PipelineGeometry::new(2),
+            ..SimConfig::default()
+        },
+        SimConfig {
+            geometry: PipelineGeometry::new(5),
+            icache_entries: 8,
+            mem_latency: 3,
+            ..SimConfig::default()
+        },
     ]
 }
 
@@ -272,19 +293,22 @@ proptest! {
             let sim = CycleSim::with_observer(
                 Machine::load(&image).unwrap(),
                 cfg,
-                (EventRing::new(1 << 20), BranchProfiler::new()),
+                (
+                    EventRing::new(1 << 20),
+                    BranchProfiler::with_geometry(cfg.geometry),
+                ),
             );
             let (run, (ring, prof)) = sim.run_observed().unwrap();
             prop_assert_eq!(ring.dropped, 0, "ring sized for the whole run");
             let events = ring.into_vec();
-            let t = tally(&events)?;
+            let t = tally(&events, cfg.geometry)?;
 
             // Every counter in CycleStats is derivable from the stream.
             prop_assert_eq!(t.issues, run.stats.issued);
             prop_assert_eq!(t.issues + t.folded_issues, run.stats.program_instrs);
             prop_assert_eq!(t.branch_retires, run.stats.cond_branches);
             prop_assert_eq!(t.mispredicts_by_stage, run.stats.mispredicts_by_stage);
-            prop_assert_eq!(t.resolves_by_stage[0], run.stats.resolved_at_fetch);
+            prop_assert_eq!(t.resolves_by_stage.get(0), run.stats.resolved_at_fetch);
             prop_assert_eq!(t.squashes, run.stats.flushed_slots);
             prop_assert_eq!(t.fetch_hits, run.stats.icache_hits);
             prop_assert_eq!(t.fetch_misses, run.stats.icache_misses);
@@ -307,10 +331,7 @@ proptest! {
             prop_assert_eq!(t.fault_injects, run.stats.faults_injected);
             prop_assert_eq!(t.parity_errors, run.stats.parity_invalidates);
             // Every retired conditional branch resolved exactly once.
-            prop_assert_eq!(
-                t.resolves_by_stage.iter().sum::<u64>(),
-                run.stats.cond_branches
-            );
+            prop_assert_eq!(t.resolves_by_stage.total(), run.stats.cond_branches);
 
             // The profiler is an aggregation of the same stream, so its
             // totals must match both.

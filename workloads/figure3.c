@@ -1,0 +1,10 @@
+void main() {
+    int i, j, odd, even, sum;
+    j = odd = even = 0;
+    for (i = 0; i < 1024; i++) {
+        sum += i;
+        if (i & 1) odd++;
+        else even++;
+        j = sum;
+    }
+}
