@@ -255,6 +255,26 @@ fn run_suite(reduced: bool) -> Vec<Measured> {
     out
 }
 
+/// One deterministic instrumented run of the large workload: the
+/// top-down cycle accounting the throughput numbers decompose into.
+/// Recorded alongside the timings so a throughput regression can be
+/// read against where the simulated cycles actually went. The leading
+/// key is deliberately not `name` — [`parse_results`] scans for
+/// `{"name":"` and must not pick this object up as a benchmark.
+fn cpi_breakdown() -> String {
+    let large =
+        compile_crisp(&figure3_large(), &CompileOptions::default()).expect("figure 3 compiles");
+    let run = CycleSim::new(Machine::load(&large).unwrap(), SimConfig::default())
+        .run()
+        .expect("figure 3 runs");
+    format!(
+        "{{\"workload\":\"cycle_figure3_large\",\"cycles\":{},\"program_instrs\":{},\"accounts\":{}}}",
+        run.stats.cycles,
+        run.stats.program_instrs,
+        run.stats.accounts.json()
+    )
+}
+
 fn ns_of<'a>(results: &'a [Measured], name: &str) -> Option<&'a Measured> {
     results.iter().find(|m| m.name == name)
 }
@@ -268,7 +288,12 @@ fn merge_minima(results: &mut [Measured], fresh: &[Measured]) {
     }
 }
 
-fn render_report(results: &[Measured], reduced: bool, calibration_ns: u64) -> String {
+fn render_report(
+    results: &[Measured],
+    reduced: bool,
+    calibration_ns: u64,
+    cpi_breakdown: &str,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"crisp-bench-sim/1\",\n");
@@ -277,6 +302,7 @@ fn render_report(results: &[Measured], reduced: bool, calibration_ns: u64) -> St
     s.push_str(&format!(
         "  \"workloads\": {{\"small_iters\": 256, \"large_iters\": {FIGURE3_LARGE_ITERS}}},\n"
     ));
+    s.push_str(&format!("  \"cpi_breakdown\": {cpi_breakdown},\n"));
     s.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
@@ -457,6 +483,8 @@ fn main() -> ExitCode {
     }
 
     let mut calibration_ns = calibrate();
+    // Deterministic (same simulation every pass), so computed once.
+    let cpi = cpi_breakdown();
     let mut results = run_suite(reduced);
     for _ in 1..passes {
         std::thread::sleep(std::time::Duration::from_millis(RETRY_SLEEP_MS));
@@ -472,7 +500,10 @@ fn main() -> ExitCode {
         );
     }
     let write_report = |results: &[Measured], calibration_ns: u64| -> bool {
-        match std::fs::write(&out_path, render_report(results, reduced, calibration_ns)) {
+        match std::fs::write(
+            &out_path,
+            render_report(results, reduced, calibration_ns, &cpi),
+        ) {
             Ok(()) => {
                 println!("bench_sim: wrote {out_path}");
                 true
@@ -540,7 +571,9 @@ mod tests {
                 elements: 9737,
             },
         ];
-        let report = render_report(&results, true, 1_234_567);
+        let cpi = "{\"workload\":\"cycle_figure3_large\",\"cycles\":10,\
+                   \"program_instrs\":10,\"accounts\":{\"useful\":10}}";
+        let report = render_report(&results, true, 1_234_567, cpi);
         let parsed = parse_results(&report);
         assert_eq!(
             parsed,

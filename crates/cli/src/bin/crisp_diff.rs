@@ -21,6 +21,10 @@
 //!                     IR/OR/RR)
 //!   --smoke           bounded CI run (64 asm + 8 C programs)
 //!   --resume FILE     checkpoint campaign progress in FILE
+//!   --heartbeat SECS  emit a campaign-telemetry JSONL snapshot to
+//!                     stderr every SECS seconds (throughput, worker
+//!                     utilization, queue depth, p50/p99 case latency,
+//!                     ETA) plus a final campaign report
 //!   --inject          demonstrate the oracle: run with the
 //!                     skip-OR-squash fault injected, expect it to be
 //!                     caught and shrunk
@@ -34,6 +38,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crisp_asm::rand_prog::{shrink, GenProgram};
 use crisp_cc::{compile_crisp, generate_c, CompileOptions, PredictionMode};
@@ -42,6 +47,7 @@ use crisp_sim::{
     run_lockstep, run_lockstep_pooled, sweep_configs, Divergence, FaultInjection, LockstepBuffers,
     LockstepOutcome, PipelineGeometry, PredecodedImage, SimConfig, MAX_DEPTH, MIN_DEPTH,
 };
+use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
 fn main() -> ExitCode {
     match run() {
@@ -131,7 +137,7 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "usage: crisp-diff [--seed N] [--programs N] [--c-programs N] \
              [--max-blocks N] [--jobs N] [--max-cycles N] [--eu-depth N] \
-             [--smoke] [--resume FILE] [--inject]"
+             [--smoke] [--resume FILE] [--heartbeat SECS] [--inject]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -167,6 +173,15 @@ fn run() -> Result<ExitCode, String> {
         })
         .transpose()?;
     let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
+    let heartbeat_secs: Option<u64> = extract_flag(&mut raw, "--heartbeat")
+        .map_err(|e| e.to_string())?
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--heartbeat: bad value `{v}` (want seconds >= 1)"))
+        })
+        .transpose()?;
     if let Some(flag) = raw.first() {
         return Err(format!("unknown flag `{flag}`"));
     }
@@ -250,9 +265,18 @@ fn run() -> Result<ExitCode, String> {
     let queue: WorkQueue<u64> = WorkQueue::new(cp.completed, total);
     let save_every = (jobs as u64 * 8).max(32);
     let progress = Mutex::new((cp, 0u64));
+    // Campaign telemetry: workers time each case into the monitor; the
+    // heartbeat thread (when requested) samples it onto stderr.
+    let monitor = Arc::new(CampaignMonitor::new(queue.remaining(), jobs));
+    let heartbeat =
+        heartbeat_secs.map(|s| Heartbeat::start(Arc::clone(&monitor), Duration::from_secs(s)));
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| {
+        for w in 0..jobs {
+            let (queue, work, configs) = (&queue, &work, &configs);
+            let (progress, resume_path) = (&progress, &resume_path);
+            let (failure, panicked, aborted) = (&failure, &panicked, &aborted);
+            let monitor = &monitor;
+            scope.spawn(move || {
                 // Per-worker machine buffers: every lockstep run after
                 // the first resets memory in place instead of
                 // allocating a fresh Machine pair.
@@ -262,9 +286,11 @@ fn run() -> Result<ExitCode, String> {
                     // A panic anywhere in the harness must not take the
                     // whole campaign down: record it as a failure with
                     // the seed and stop cleanly.
+                    let case_start = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        check_program(program, &configs, &mut bufs)
+                        check_program(program, configs, &mut bufs)
                     }));
+                    monitor.record_case(w, case_start.elapsed());
                     match outcome {
                         Ok(Ok(commits)) => {
                             let drained = queue.complete(i, commits);
@@ -293,11 +319,13 @@ fn run() -> Result<ExitCode, String> {
                             return;
                         }
                         Ok(Err(CheckFail::Diverge(cfg, d))) => {
+                            monitor.record_finding();
                             *failure.lock().unwrap() = Some(shrink_failure(program, cfg, *d));
                             queue.abort();
                             return;
                         }
                         Err(payload) => {
+                            monitor.record_finding();
                             let what = if let Some(s) = payload.downcast_ref::<&str>() {
                                 (*s).to_string()
                             } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -315,6 +343,9 @@ fn run() -> Result<ExitCode, String> {
             });
         }
     });
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
 
     if let Some(msg) = aborted.into_inner().unwrap() {
         return Err(format!("campaign aborted: {msg}"));

@@ -27,6 +27,8 @@
 //!   --smoke           bounded CI run (2 programs x 32 faults)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --report FILE     write the JSON AVF report to FILE
+//!   --heartbeat SECS  emit JSONL campaign snapshots to stderr every
+//!                     SECS seconds, plus a final campaign report
 //! ```
 //!
 //! Worker panics are caught per case and reported as failures with the
@@ -36,6 +38,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crisp_asm::rand_prog::{GenProgram, Rng};
 use crisp_asm::Image;
@@ -44,6 +47,7 @@ use crisp_sim::{
     classify_fault_pooled, nth_field, ClassifyBuffers, FaultOutcome, FaultPlan, ParityMode,
     PipelineGeometry, PredecodedImage, SimConfig, FAULT_SPACE, FIELD_NAMES, MAX_DEPTH, MIN_DEPTH,
 };
+use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
 fn main() -> ExitCode {
     match run() {
@@ -155,7 +159,7 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "usage: crisp-fault [--seed N] [--programs N] [--faults N] [--max-blocks N] \
              [--jobs N] [--max-cycles N] [--eu-depth N] [--smoke] [--resume FILE] \
-             [--report FILE]"
+             [--report FILE] [--heartbeat SECS]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -179,6 +183,15 @@ fn run() -> Result<ExitCode, String> {
     )?;
     let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
     let report_path = extract_flag(&mut raw, "--report").map_err(|e| e.to_string())?;
+    let heartbeat_secs: Option<u64> = extract_flag(&mut raw, "--heartbeat")
+        .map_err(|e| e.to_string())?
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--heartbeat: bad value `{v}` (want seconds >= 1)"))
+        })
+        .transpose()?;
     if let Some(flag) = raw.first() {
         return Err(format!("unknown flag `{flag}`"));
     }
@@ -251,17 +264,28 @@ fn run() -> Result<ExitCode, String> {
     let queue: WorkQueue<Option<String>> = WorkQueue::new(cp.completed, total);
     let save_every = (jobs as u64 * 32).max(64);
     let progress = Mutex::new((cp, 0u64));
+    // Campaign telemetry: workers time each case into the monitor; the
+    // heartbeat thread (when requested) samples it onto stderr.
+    let monitor = Arc::new(CampaignMonitor::new(queue.remaining(), jobs));
+    let heartbeat =
+        heartbeat_secs.map(|s| Heartbeat::start(Arc::clone(&monitor), Duration::from_secs(s)));
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| {
+        for w in 0..jobs {
+            let (queue, images) = (&queue, &images);
+            let (progress, resume_path) = (&progress, &resume_path);
+            let (failure, io_error) = (&failure, &io_error);
+            let monitor = &monitor;
+            scope.spawn(move || {
                 // Per-worker machine buffers, recycled across cases.
                 let mut bufs = ClassifyBuffers::default();
                 while let Some(i) = queue.claim() {
                     let (pseed, image, table) = &images[(i / faults) as usize];
                     let plan = plan_for(seed, i, icache_entries);
+                    let case_start = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         run_case(image, table, plan, max_cycles, geometry, &mut bufs)
                     }));
+                    monitor.record_case(w, case_start.elapsed());
                     // The checkpoint payload: the outcome key to tally,
                     // or None for a skipped case.
                     let payload = match outcome {
@@ -270,6 +294,7 @@ fn run() -> Result<ExitCode, String> {
                         }
                         Ok(Ok(CaseClass::Skipped)) => None,
                         Ok(Err(detail)) => {
+                            monitor.record_finding();
                             *failure.lock().unwrap() = Some(Failure {
                                 program_seed: *pseed,
                                 plan,
@@ -279,6 +304,7 @@ fn run() -> Result<ExitCode, String> {
                             return;
                         }
                         Err(payload) => {
+                            monitor.record_finding();
                             *failure.lock().unwrap() = Some(Failure {
                                 program_seed: *pseed,
                                 plan,
@@ -317,6 +343,9 @@ fn run() -> Result<ExitCode, String> {
             });
         }
     });
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
 
     if let Some(msg) = io_error.into_inner().unwrap() {
         return Err(msg);

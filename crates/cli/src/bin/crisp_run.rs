@@ -20,6 +20,9 @@
 //!                                --cycles)
 //!   --stats-json PATH            write run statistics as JSON
 //!                                (`-` = stdout)
+//!   --cpi-breakdown              print the top-down cycle accounting
+//!                                table: every cycle attributed to one
+//!                                cause bucket (needs --cycles)
 //!   --branch-trace               print the branch trace (functional
 //!                                engine only)
 //!   --fold POLICY --icache N --mem-latency N   machine configuration
@@ -47,8 +50,9 @@ use crisp_asm::assemble_text;
 use crisp_cc::compile_crisp;
 use crisp_cli::{extract_flag, extract_switch, parse_common, read_input};
 use crisp_sim::{
-    mispredict_cycles, render_timeline_for, write_chrome_trace_for, write_jsonl, BranchProfiler,
-    CycleSim, EventRing, FunctionalSim, Machine, PipeEvent, PipelineGeometry,
+    mispredict_cycles, render_timeline_for, write_chrome_trace_for, write_jsonl,
+    write_trace_footer, BranchProfiler, CycleSim, EventRing, FunctionalSim, Machine, PipeEvent,
+    PipelineGeometry, TraceFooter,
 };
 
 /// Event-ring capacity for `--trace`/`--chrome-trace`/`--timeline`:
@@ -88,7 +92,8 @@ fn run() -> Result<(), String> {
     if raw.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: crisp-run [--asm] [--cycles] [--trace PATH] [--chrome-trace PATH] \
-             [--profile] [--timeline] [--stats-json PATH] [--branch-trace] [OPTIONS] [FILE]"
+             [--profile] [--timeline] [--stats-json PATH] [--cpi-breakdown] [--branch-trace] \
+             [OPTIONS] [FILE]"
         );
         return Ok(());
     }
@@ -100,6 +105,7 @@ fn run() -> Result<(), String> {
     let profile = extract_switch(&mut raw, "--profile");
     let timeline = extract_switch(&mut raw, "--timeline");
     let branch_trace = extract_switch(&mut raw, "--branch-trace");
+    let cpi_breakdown = extract_switch(&mut raw, "--cpi-breakdown");
     let args = parse_common(raw.into_iter()).map_err(|e| e.to_string())?;
     if let Some(flag) = args.rest.first() {
         return Err(format!("unknown flag `{flag}`"));
@@ -109,6 +115,9 @@ fn run() -> Result<(), String> {
     }
     if !cycles && timeline {
         return Err("--timeline needs --cycles".into());
+    }
+    if !cycles && cpi_breakdown {
+        return Err("--cpi-breakdown needs --cycles".into());
     }
 
     let source = read_input(&args.input).map_err(|e| e.to_string())?;
@@ -122,7 +131,7 @@ fn run() -> Result<(), String> {
     let observing = trace_path.is_some() || chrome_path.is_some() || profile || timeline;
 
     if cycles {
-        let (run, events, profiler) = if observing {
+        let (mut run, events, dropped, profiler) = if observing {
             let obs = (
                 EventRing::new(TRACE_CAPACITY),
                 BranchProfiler::with_geometry(args.sim.geometry),
@@ -136,19 +145,27 @@ fn run() -> Result<(), String> {
                     ring.dropped
                 );
             }
-            (run, ring.into_vec(), Some(prof))
+            let dropped = ring.dropped;
+            (run, ring.into_vec(), dropped, Some(prof))
         } else {
             let run = CycleSim::new(machine, args.sim)
                 .run()
                 .map_err(|e| e.to_string())?;
-            (run, Vec::new(), None)
+            (run, Vec::new(), 0, None)
         };
+        // Ring overflow is a property of this driver's capture, not of
+        // the engine; fold it into the exported stats here.
+        run.stats.dropped_events = dropped;
 
         print!("{}", run.stats);
         println!("halt reason          : {}", run.halt_reason.name());
         println!("accumulator          : {}", run.machine.accum);
+        if cpi_breakdown {
+            print!("{}", run.stats.cpi_breakdown());
+        }
         emit_observations(
             &events,
+            dropped,
             profiler.as_ref().filter(|_| profile),
             &trace_path,
             &chrome_path,
@@ -192,9 +209,11 @@ fn run() -> Result<(), String> {
                 println!("  {e}");
             }
         }
+        let dropped = ring.dropped;
         let events = ring.into_vec();
         emit_observations(
             &events,
+            dropped,
             Some(&profiler).filter(|_| profile),
             &trace_path,
             &None,
@@ -211,6 +230,7 @@ fn run() -> Result<(), String> {
 /// Emit the trace/profile/timeline renderings common to both engines.
 fn emit_observations(
     events: &[PipeEvent],
+    dropped: u64,
     profiler: Option<&BranchProfiler>,
     trace_path: &Option<String>,
     chrome_path: &Option<String>,
@@ -218,7 +238,18 @@ fn emit_observations(
     geometry: PipelineGeometry,
 ) -> Result<(), String> {
     if let Some(path) = trace_path {
-        write_output(path, |w| write_jsonl(w, events))?;
+        write_output(path, |w| {
+            write_jsonl(w, events)?;
+            // Footer makes capture completeness auditable downstream:
+            // a consumer can tell a short trace from a truncated one.
+            write_trace_footer(
+                w,
+                TraceFooter {
+                    events: events.len() as u64,
+                    dropped,
+                },
+            )
+        })?;
     }
     if let Some(path) = chrome_path {
         write_output(path, |w| write_chrome_trace_for(w, events, geometry))?;

@@ -388,6 +388,16 @@ impl<T> WorkQueue<T> {
     pub fn completed(&self) -> u64 {
         self.state.lock().unwrap().prefix
     }
+
+    /// Cases not yet handed out by [`claim`](WorkQueue::claim). Read
+    /// before the workers start, this is the work left for this run
+    /// (total minus the checkpoint prefix), which is what campaign
+    /// monitors use as their progress denominator: a resumed run
+    /// reports progress over its own remaining work rather than the
+    /// full campaign.
+    pub fn remaining(&self) -> u64 {
+        self.total - self.next.load(Ordering::Relaxed).min(self.total)
+    }
 }
 
 /// Read the input file (or stdin when the path is `-` or absent).

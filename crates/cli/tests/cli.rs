@@ -170,6 +170,101 @@ fn crisp_run_chrome_trace_and_timeline() {
 }
 
 #[test]
+fn crisp_run_cpi_breakdown_conserves_cycles() {
+    let (stdout, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &["--cycles", "--cpi-breakdown"],
+        PROGRAM,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("cycle accounting ("), "{stdout}");
+    assert!(stdout.contains("useful issue"), "{stdout}");
+    assert!(stdout.contains("pipeline startup"), "{stdout}");
+    // The total row carries the full cycle count and a 100% share:
+    // the buckets partition the run.
+    let cycles: u64 = stdout
+        .lines()
+        .find(|l| l.starts_with("cycles"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("cycles line");
+    let total = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("total"))
+        .expect("total row");
+    assert!(total.contains(&cycles.to_string()), "{total}");
+    assert!(total.contains("100.00%"), "{total}");
+
+    // Accounting is a cycle-engine feature.
+    let (_, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &["--cpi-breakdown"],
+        PROGRAM,
+    );
+    assert!(!ok);
+    assert!(
+        stderr.contains("--cpi-breakdown needs --cycles"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn crisp_run_stats_json_carries_accounts_and_trace_footer() {
+    let trace = std::env::temp_dir().join(format!("crisp_run_footer_{}.jsonl", std::process::id()));
+    let trace_path = trace.to_str().unwrap();
+    let (stdout, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &["--cycles", "--trace", trace_path, "--stats-json", "-"],
+        PROGRAM,
+    );
+    let jsonl = std::fs::read_to_string(&trace);
+    std::fs::remove_file(&trace).ok();
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains(r#""schema_version":3"#), "{stdout}");
+    assert!(stdout.contains(r#""accounts":{"useful":"#), "{stdout}");
+    assert!(stdout.contains(r#""dropped_events":0"#), "{stdout}");
+    // The trace ends with the completeness footer, and its event count
+    // matches the body.
+    let jsonl = jsonl.expect("trace file written");
+    let last = jsonl.lines().last().expect("trace non-empty");
+    assert!(last.contains(r#""ev":"trace_footer""#), "{last}");
+    assert!(last.contains(r#""dropped":0"#), "{last}");
+    let body_lines = jsonl.lines().count() as u64 - 1;
+    assert!(
+        last.contains(&format!(r#""events":{body_lines}"#)),
+        "{last}"
+    );
+}
+
+#[test]
+fn campaign_drivers_emit_heartbeat_telemetry() {
+    for (exe, extra) in [
+        (env!("CARGO_BIN_EXE_crisp-diff"), ["--programs", "3"]),
+        (env!("CARGO_BIN_EXE_crisp-fault"), ["--faults", "8"]),
+    ] {
+        let mut args = vec!["--smoke", "--jobs", "2", "--heartbeat", "1"];
+        args.extend(extra);
+        let (_, stderr, ok) = run_tool(exe, &args, "");
+        assert!(ok, "{stderr}");
+        // The heartbeat emits one snapshot immediately, so even a
+        // sub-second campaign produces at least one line plus the
+        // final report.
+        assert!(stderr.contains(r#""type":"heartbeat""#), "{stderr}");
+        let last = stderr
+            .lines()
+            .rev()
+            .find(|l| l.contains(r#""type":"final""#))
+            .expect("final report line");
+        assert!(last.contains(r#""findings":0"#), "{last}");
+        assert!(last.contains(r#""eta_s":null"#), "{last}");
+
+        let (_, stderr, ok) = run_tool(exe, &["--smoke", "--heartbeat", "0"], "");
+        assert!(!ok);
+        assert!(stderr.contains("--heartbeat: bad value"), "{stderr}");
+    }
+}
+
+#[test]
 fn unknown_flags_fail_cleanly() {
     let (_, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_crisp-run"), &["--bogus"], PROGRAM);
     assert!(!ok);

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accounting;
 mod config;
 pub mod diff;
 mod error;
@@ -62,6 +63,7 @@ pub mod soft_error;
 mod stats;
 mod trace;
 
+pub use accounting::{BubbleCause, CycleAccounts};
 pub use config::{FaultInjection, HwPredictor, SimConfig};
 pub use diff::{
     run_lockstep, run_lockstep_pooled, sweep_configs, CommitLog, CommitRecord, Divergence,
@@ -75,8 +77,8 @@ pub use machine::{Machine, Step};
 pub use mem::Memory;
 pub use observe::{
     mispredict_cycles, parse_jsonl, render_timeline, render_timeline_for, write_chrome_trace,
-    write_chrome_trace_for, write_jsonl, EventRing, NullObserver, PipeEvent, PipeObserver,
-    StallKind, TraceParseError,
+    write_chrome_trace_for, write_jsonl, write_trace_footer, EventRing, NullObserver, PipeEvent,
+    PipeObserver, StallKind, TraceFooter, TraceParseError,
 };
 pub use pdu::Pdu;
 pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};
@@ -87,5 +89,5 @@ pub use soft_error::{
     parity32, ClassifyBuffers, FaultField, FaultOutcome, FaultPlan, ParityMode, FAULT_SPACE,
     FIELD_NAMES,
 };
-pub use stats::{resolve_stage, CycleStats, OpcodeCounts, RunStats};
+pub use stats::{resolve_stage, CycleStats, OpcodeCounts, RunStats, STATS_SCHEMA_VERSION};
 pub use trace::{BranchEvent, BranchKind, Trace};

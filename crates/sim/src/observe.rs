@@ -781,15 +781,53 @@ where
     Ok(())
 }
 
-/// Parse a JSONL trace back into events. Blank lines are skipped.
+/// The `ev` value of the trace footer line (see [`TraceFooter`]).
+const TRACE_FOOTER_EV: &str = "trace_footer";
+
+/// End-of-trace summary line written by `crisp-run --trace`: how many
+/// events the file holds and how many the capturing [`EventRing`]
+/// dropped. A non-zero `dropped` flags the trace as truncated — any
+/// attribution derived from its events covers only the captured tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFooter {
+    /// Events written to the trace.
+    pub events: u64,
+    /// Events the ring discarded (oldest first) during capture.
+    pub dropped: u64,
+}
+
+impl TraceFooter {
+    /// The footer as one JSONL line (same flat shape as the events).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"ev":"{TRACE_FOOTER_EV}","events":{},"dropped":{}}}"#,
+            self.events, self.dropped
+        )
+    }
+}
+
+/// Write the end-of-trace footer line after the events of a JSONL
+/// trace.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_trace_footer<W: io::Write + ?Sized>(w: &mut W, footer: TraceFooter) -> io::Result<()> {
+    writeln!(w, "{}", footer.to_json())
+}
+
+/// Parse a JSONL trace back into events. Blank lines and the
+/// [`TraceFooter`] summary line are skipped, so traces written with and
+/// without a footer both round-trip.
 ///
 /// # Errors
 ///
 /// [`TraceParseError`] naming the first malformed line.
 pub fn parse_jsonl(text: &str) -> Result<Vec<PipeEvent>, TraceParseError> {
     let mut out = Vec::new();
+    let footer_tag = format!(r#""ev":"{TRACE_FOOTER_EV}""#);
     for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
+        if line.trim().is_empty() || line.contains(&footer_tag) {
             continue;
         }
         out.push(
@@ -844,9 +882,16 @@ pub fn write_chrome_trace_for<W: io::Write + ?Sized>(
     let lane_stalls = instr_lanes + 1;
     let lane_pdu = instr_lanes + 2;
     let mut items: Vec<String> = Vec::new();
+    // The process name carries the geometry and its stage legend, so a
+    // non-default depth is visible in the viewer without decoding lane
+    // counts by eye.
+    items.push(format!(
+        r#"{{"ph":"M","name":"process_name","pid":0,"args":{{"name":"crisp EU {geo} ({})"}}}}"#,
+        geo.stage_legend()
+    ));
     for lane in 0..instr_lanes {
         items.push(format!(
-            r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{lane},"args":{{"name":"pipeline lane {lane}"}}}}"#
+            r#"{{"ph":"M","name":"thread_name","pid":0,"tid":{lane},"args":{{"name":"pipeline lane {lane} of {instr_lanes}"}}}}"#
         ));
     }
     items.push(format!(
@@ -1192,6 +1237,33 @@ mod tests {
     }
 
     #[test]
+    fn trace_footer_round_trips_through_parser() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &events).unwrap();
+        write_trace_footer(
+            &mut buf,
+            TraceFooter {
+                events: events.len() as u64,
+                dropped: 7,
+            },
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let footer_line = text.lines().last().unwrap();
+        assert_eq!(
+            footer_line,
+            format!(
+                r#"{{"ev":"trace_footer","events":{},"dropped":7}}"#,
+                events.len()
+            )
+        );
+        // The footer is skipped on parse, so a footered trace yields
+        // exactly the events a footerless one does.
+        assert_eq!(parse_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
     fn ring_bounds_and_counts_drops() {
         let mut ring = EventRing::new(2);
         for c in 0..5 {
@@ -1226,6 +1298,37 @@ mod tests {
         let opens = text.matches('{').count();
         let closes = text.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_trace_tracks_name_the_geometry() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &sample_events()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("crisp EU D=3 (I=IR O=OR R=RR)"), "{text}");
+        assert!(text.contains("pipeline lane 0 of 3"), "{text}");
+
+        // A deep pipe gets its own lane count, legend, and stage names
+        // (a resolve at stage 4 of D=5 is E4, not an out-of-range RR).
+        let deep = vec![
+            PipeEvent::FetchHit {
+                cycle: 0,
+                pc: 0,
+                folded: false,
+            },
+            PipeEvent::BranchResolve {
+                cycle: 4,
+                branch_pc: 0,
+                stage: 4,
+                mispredicted: true,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace_for(&mut buf, &deep, PipelineGeometry::new(5)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("crisp EU D=5"), "{text}");
+        assert!(text.contains("pipeline lane 4 of 5"), "{text}");
+        assert!(text.contains("MISPREDICT 0x0 @E4"), "{text}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crisp_isa::{Decoded, FoldClass, NextPc};
 
+use crate::accounting::{BubbleCause, CycleAccounts};
 use crate::config::{FaultInjection, HwPredictor};
 use crate::geometry::{PipelineGeometry, StageHistogram, MAX_DEPTH, MIN_DEPTH};
 use crate::observe::{NullObserver, PipeEvent, PipeObserver, StallKind};
@@ -206,6 +207,20 @@ pub struct CycleSim<O: PipeObserver = NullObserver> {
     /// Whether the configured [`SimConfig::fault_plan`] has fired (each
     /// plan injects exactly one transient fault).
     fault_done: bool,
+    /// Bubble provenance, parallel to `stages` and clocked forward with
+    /// them: why the latch at each position carries no useful work.
+    /// Meaningful only where the stage latch is empty or invalid — a
+    /// valid slot's entry is stale and ignored (and overwritten if the
+    /// slot is later squashed).
+    causes: [BubbleCause; MAX_DEPTH],
+    /// Resolve-stage index of the mispredict that cancelled this
+    /// cycle's fetch; read only while `kill_fetch` is set within a
+    /// cycle, to tag the suppressed fetch slot's bubble.
+    fetch_kill_stage: u8,
+    /// PC whose decoded-cache entry was invalidated by a read-time
+    /// parity check: the refill stall for that PC is accounted as
+    /// parity recovery rather than an ordinary miss.
+    parity_pc: Option<u32>,
     /// The event sink.
     obs: O,
     /// Timing counters (public so callers can sample mid-run).
@@ -254,9 +269,13 @@ impl<O: PipeObserver> CycleSim<O> {
             },
             stall: None,
             fault_done: false,
+            causes: [BubbleCause::Startup; MAX_DEPTH],
+            fetch_kill_stage: 0,
+            parity_pc: None,
             obs,
             stats: CycleStats {
                 mispredicts_by_stage: StageHistogram::for_geometry(cfg.geometry),
+                accounts: CycleAccounts::for_geometry(cfg.geometry),
                 ..CycleStats::default()
             },
         };
@@ -421,10 +440,20 @@ impl<O: PipeObserver> CycleSim<O> {
 
     /// Kill a stage's slot, counting it (and reporting the squash) if
     /// it held a valid entry. A free function over disjoint fields so
-    /// callers can hold `self.obs` alongside the stage latch.
-    fn kill(slot: &mut Option<Slot>, flushed: &mut u64, cycle: u64, stage: u8, obs: &mut O) {
+    /// callers can hold `self.obs` alongside the stage latch. Returns
+    /// whether a valid entry was actually killed, so the caller can
+    /// re-tag the bubble's cause — an already-invalid slot keeps its
+    /// original cause (no double attribution).
+    fn kill(
+        slot: &mut Option<Slot>,
+        flushed: &mut u64,
+        cycle: u64,
+        stage: u8,
+        obs: &mut O,
+    ) -> bool {
         if let Some(s) = slot {
-            if s.valid {
+            let was_valid = s.valid;
+            if was_valid {
                 *flushed += 1;
                 if O::ENABLED {
                     obs.event(PipeEvent::Squash {
@@ -435,6 +464,9 @@ impl<O: PipeObserver> CycleSim<O> {
                 }
             }
             s.valid = false;
+            was_valid
+        } else {
+            false
         }
     }
 
@@ -511,15 +543,18 @@ impl<O: PipeObserver> CycleSim<O> {
             // one (oldest first, matching retire-time squash order) and
             // this cycle's fetch.
             for q in (0..pos).rev() {
-                Self::kill(
+                if Self::kill(
                     &mut self.stages[q],
                     &mut flushed,
                     cyc,
                     (q + 1) as u8,
                     &mut self.obs,
-                );
+                ) {
+                    self.causes[q] = BubbleCause::Branch(stage_idx as u8);
+                }
             }
             *kill_fetch = true;
+            self.fetch_kill_stage = stage_idx as u8;
             self.stats.flushed_slots += flushed;
             self.redirect_to(other, seq);
         }
@@ -558,6 +593,22 @@ impl<O: PipeObserver> CycleSim<O> {
         let cyc = self.stats.cycles;
         self.stats.cycles += 1;
         let mut kill_fetch = false;
+
+        // ---- Top-down cycle accounting. ---- Attribute this cycle by
+        // what the retire latch is about to do: a valid entry retiring
+        // is useful work; anything else is a bubble whose cause rode
+        // along in `causes`. Done before anything mutates the latches,
+        // so every exit path below (including halt) is covered and the
+        // conservation invariant holds cycle-by-cycle.
+        match &self.stages[depth - 1] {
+            Some(slot) if slot.valid => self.stats.accounts.useful += 1,
+            _ => self.stats.accounts.bubble(self.causes[depth - 1]),
+        }
+        debug_assert_eq!(
+            self.stats.accounts.total(),
+            self.stats.cycles,
+            "cycle accounting must conserve cycles"
+        );
 
         // ---- 0. Transient-fault injection (soft-error model). ----
         if let Some(plan) = self.cfg.fault_plan {
@@ -609,9 +660,8 @@ impl<O: PipeObserver> CycleSim<O> {
                         if mispredicted {
                             // Every younger stage dies (plus this
                             // cycle's fetch): `depth` slots in total.
-                            self.stats
-                                .mispredicts_by_stage
-                                .bump(self.cfg.geometry.retire_stage());
+                            let retire_stage = self.cfg.geometry.retire_stage();
+                            self.stats.mispredicts_by_stage.bump(retire_stage);
                             let mut flushed = 0;
                             for (q, latch) in younger.iter_mut().enumerate().rev() {
                                 // The planted SkipOrSquash bug skips the
@@ -622,10 +672,19 @@ impl<O: PipeObserver> CycleSim<O> {
                                 {
                                     continue;
                                 }
-                                Self::kill(latch, &mut flushed, cyc, (q + 1) as u8, &mut self.obs);
+                                if Self::kill(
+                                    latch,
+                                    &mut flushed,
+                                    cyc,
+                                    (q + 1) as u8,
+                                    &mut self.obs,
+                                ) {
+                                    self.causes[q] = BubbleCause::Branch(retire_stage as u8);
+                                }
                             }
                             self.stats.flushed_slots += flushed;
                             kill_fetch = true;
+                            self.fetch_kill_stage = retire_stage as u8;
                             self.fetch_pc = Some(step.next_pc);
                             self.waiting_on = None;
                         }
@@ -666,9 +725,11 @@ impl<O: PipeObserver> CycleSim<O> {
             }
         }
 
-        // ---- 3. Clock the stages forward. ----
+        // ---- 3. Clock the stages forward (bubble causes ride along
+        // with their latches). ----
         for i in (1..depth).rev() {
             self.stages[i] = self.stages[i - 1].take();
+            self.causes[i] = self.causes[i - 1];
         }
 
         // ---- 4. Fetch into the issue stage (IR) from the decoded
@@ -676,7 +737,9 @@ impl<O: PipeObserver> CycleSim<O> {
         self.stages[0] = None;
         let mut stalled: Option<StallKind> = None;
         if kill_fetch {
-            // The slot being clocked into IR this edge was cancelled.
+            // The slot being clocked into IR this edge was cancelled:
+            // one more bubble charged to the resolving branch.
+            self.causes[0] = BubbleCause::Branch(self.fetch_kill_stage);
         } else if let Some(pc) = self.fetch_pc {
             // The hit entry is latched (copied) into the IR slot here —
             // the one purposeful copy-out of the borrow
@@ -696,6 +759,7 @@ impl<O: PipeObserver> CycleSim<O> {
                             slot: self.cache.slot_of(pc) as u32,
                         });
                     }
+                    self.parity_pc = Some(pc);
                     None
                 }
                 CacheLookup::Miss => None,
@@ -710,6 +774,7 @@ impl<O: PipeObserver> CycleSim<O> {
                     });
                 }
                 self.missing_pc = None;
+                self.parity_pc = None;
                 let seq = self.next_seq;
                 self.next_seq += 1;
                 let mut slot = Slot {
@@ -794,6 +859,11 @@ impl<O: PipeObserver> CycleSim<O> {
                 }
                 self.stats.miss_stall_cycles += 1;
                 stalled = Some(StallKind::Miss);
+                self.causes[0] = if self.parity_pc == Some(pc) {
+                    BubbleCause::ParityRecovery
+                } else {
+                    BubbleCause::MissRefill
+                };
                 // Check for a decode failure at this address *before*
                 // re-demanding (demand clears the failure latch). If no
                 // branch in flight can still redirect us, the failing
@@ -811,6 +881,7 @@ impl<O: PipeObserver> CycleSim<O> {
         } else {
             self.stats.indirect_stall_cycles += 1;
             stalled = Some(StallKind::Indirect);
+            self.causes[0] = BubbleCause::Indirect;
         }
         if O::ENABLED {
             self.sync_stall(cyc, stalled);
@@ -1676,5 +1747,164 @@ mod tests {
         // The loop runs from the decoded cache, so the gap is bounded by
         // the (small) number of misses, not proportional to iterations.
         assert!(slow.stats.cycles < fast.stats.cycles + 400);
+    }
+
+    // ---- Top-down cycle accounting ----
+
+    fn assert_conserved(r: &CycleRun) {
+        assert_eq!(
+            r.stats.accounts.total(),
+            r.stats.cycles,
+            "buckets must sum to cycles: {:?}",
+            r.stats.accounts
+        );
+        assert_eq!(
+            r.stats.accounts.useful, r.stats.issued,
+            "useful cycles are exactly the retirements"
+        );
+        assert!(
+            r.stats.accounts.branch_penalty.total()
+                <= r.stats.mispredicts_by_stage.penalty_cycles(),
+            "branch bubbles cannot exceed the scheduled penalty: {} > {}",
+            r.stats.accounts.branch_penalty.total(),
+            r.stats.mispredicts_by_stage.penalty_cycles()
+        );
+    }
+
+    #[test]
+    fn accounting_attributes_startup_and_refills() {
+        let r = run("
+            mov 0(sp),$1
+            add 0(sp),$2
+            add 0(sp),$3
+            halt
+        ");
+        assert_conserved(&r);
+        // Pipeline fill: exactly `depth` cycles pass before the first
+        // entry can reach retire.
+        assert_eq!(r.stats.accounts.startup, 3);
+        // A cold straight line has no branches — every other bubble is
+        // a decode refill.
+        assert_eq!(r.stats.accounts.branch_penalty.total(), 0);
+        assert_eq!(r.stats.accounts.indirect_stall, 0);
+        assert!(r.stats.accounts.miss_refill > 0);
+    }
+
+    #[test]
+    fn accounting_startup_equals_depth_at_every_geometry() {
+        for depth in MIN_DEPTH..=6 {
+            let r = run_cfg(
+                "
+                mov 0(sp),$0
+            top:
+                add 0(sp),$1
+                cmp.s< 0(sp),$8
+                ifjmpy.t top
+                halt
+            ",
+                SimConfig {
+                    geometry: PipelineGeometry::new(depth),
+                    ..SimConfig::default()
+                },
+            );
+            assert_conserved(&r);
+            assert_eq!(r.stats.accounts.startup, depth as u64, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn folded_mispredict_bubbles_land_in_the_retire_bucket() {
+        // The folded-compare mispredict resolves at RR; its recovery
+        // bubbles are charged to the retire-stage bucket and to no
+        // other branch bucket.
+        let r = run("
+            nop
+            cmp.= Accum,$0
+            ifjmpn.t skip
+            nop
+        skip:
+            halt
+        ");
+        assert_conserved(&r);
+        let penalty = &r.stats.accounts.branch_penalty;
+        assert!(penalty.get(3) > 0, "{penalty}");
+        assert_eq!(penalty.total(), penalty.get(3), "{penalty}");
+    }
+
+    #[test]
+    fn spread_compare_leaves_branch_buckets_empty() {
+        // Fully spread: the wrong prediction bit is corrected for free
+        // at cache-read time — the paper's zero-delay case, visible in
+        // the accounting as an empty branch-penalty column.
+        let r = run_cfg(
+            "
+            nop
+            cmp.= Accum,$0
+            add 0(sp),$1
+            add 4(sp),$1
+            ifjmpn.t skip
+            nop
+        skip:
+            halt
+        ",
+            SimConfig::without_folding(),
+        );
+        assert_conserved(&r);
+        assert_eq!(r.stats.mispredicts_by_stage, [1, 0, 0, 0]);
+        assert_eq!(r.stats.accounts.branch_penalty.total(), 0);
+    }
+
+    #[test]
+    fn parity_invalidate_refills_accounted_separately() {
+        use crate::soft_error::{FaultField, FaultPlan, ParityMode};
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$50
+            ifjmpy.t top
+            halt
+        ";
+        let img = assemble_text(src).unwrap();
+        let mut recovered = 0u64;
+        for slot in 0..8u32 {
+            let cfg = SimConfig {
+                parity: ParityMode::DetectInvalidate,
+                fault_plan: Some(FaultPlan {
+                    cycle: 60,
+                    slot,
+                    field: FaultField::NextPc(7),
+                }),
+                ..SimConfig::default()
+            };
+            let r = CycleSim::new(Machine::load(&img).unwrap(), cfg)
+                .run()
+                .unwrap();
+            assert_conserved(&r);
+            if r.stats.parity_invalidates > 0 {
+                recovered += r.stats.accounts.parity_recovery;
+            } else {
+                assert_eq!(r.stats.accounts.parity_recovery, 0, "slot {slot}");
+            }
+        }
+        // At least one strike hit the warm loop body, and its redecode
+        // stall landed in the parity bucket, not the ordinary-miss one.
+        assert!(recovered >= 1);
+    }
+
+    #[test]
+    fn watchdog_truncation_still_conserves() {
+        let img = assemble_text("top: jmp top").unwrap();
+        let r = CycleSim::new(
+            Machine::load(&img).unwrap(),
+            SimConfig {
+                max_cycles: 500,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+        .unwrap();
+        assert!(r.stats.watchdog);
+        assert_conserved(&r);
     }
 }

@@ -3,6 +3,7 @@ use std::fmt;
 
 use crisp_isa::{BinOp, Decoded, ExecOp, FoldClass};
 
+use crate::accounting::CycleAccounts;
 use crate::geometry::StageHistogram;
 
 /// The fixed mnemonic categories, in the index order used by the
@@ -209,8 +210,11 @@ pub mod resolve_stage {
 /// (and `crisp-run --stats-json`). Version 1 (implicit — no
 /// `schema_version` field) emitted `mispredicts_by_stage` as a fixed
 /// 4-tuple; version 2 emits it at the live pipeline depth (`D + 1`
-/// entries) and records this field so consumers can detect the shape.
-pub const STATS_SCHEMA_VERSION: u32 = 2;
+/// entries) and records this field so consumers can detect the shape;
+/// version 3 adds the nested `accounts` object (top-down cycle
+/// accounting, see [`crate::CycleAccounts`]) and the `dropped_events`
+/// count (event-ring overflow during an observed run).
+pub const STATS_SCHEMA_VERSION: u32 = 3;
 
 /// Counters produced by the cycle engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -258,6 +262,15 @@ pub struct CycleStats {
     /// Whether the run ended on a watchdog limit rather than `halt`
     /// (see [`crate::HaltReason`]).
     pub watchdog: bool,
+    /// Top-down cycle accounting: every cycle attributed to exactly one
+    /// cause, with `accounts.total() == cycles` (see
+    /// [`crate::accounting`]).
+    pub accounts: CycleAccounts,
+    /// Pipeline events dropped by a saturated [`crate::EventRing`]
+    /// during an observed run. The engine itself never drops events —
+    /// drivers copy the ring's overflow count here before exporting, so
+    /// event-derived attribution is trusted (0) or flagged (> 0).
+    pub dropped_events: u64,
 }
 
 impl CycleStats {
@@ -281,7 +294,8 @@ impl CycleStats {
     /// the machine-readable form behind `crisp-run --stats-json`.
     ///
     /// `mispredicts_by_stage` has one entry per resolve point of the
-    /// configured geometry (`D + 1` entries at EU depth `D`), and
+    /// configured geometry (`D + 1` entries at EU depth `D`), the
+    /// nested `accounts` object carries the top-down cycle buckets, and
     /// `schema_version` ([`STATS_SCHEMA_VERSION`]) announces the shape.
     pub fn to_json(&self) -> String {
         format!(
@@ -293,6 +307,7 @@ impl CycleStats {
                 r#""miss_stall_cycles":{},"indirect_stall_cycles":{},"pdu_decodes":{},"#,
                 r#""cache_inserts":{},"cache_refills":{},"cache_evictions":{},"#,
                 r#""parity_invalidates":{},"faults_injected":{},"watchdog":{},"#,
+                r#""accounts":{},"dropped_events":{},"#,
                 r#""cycles_per_issued":{:.6},"apparent_cpi":{:.6}}}"#
             ),
             STATS_SCHEMA_VERSION,
@@ -315,9 +330,57 @@ impl CycleStats {
             self.parity_invalidates,
             self.faults_injected,
             self.watchdog,
+            self.accounts.json(),
+            self.dropped_events,
             self.cycles_per_issued(),
             self.apparent_cpi(),
         )
+    }
+
+    /// The top-down CPI attribution table behind
+    /// `crisp-run --cpi-breakdown`: each accounting bucket with its
+    /// cycle count, share of total cycles, and contribution to the
+    /// apparent CPI (cycles per program instruction), so the paper's
+    /// static-vs-folding comparison reads off as "where did the branch
+    /// delay go".
+    pub fn cpi_breakdown(&self) -> String {
+        use fmt::Write as _;
+        let total = self.accounts.total();
+        let share_denom = total.max(1) as f64;
+        let instrs = self.program_instrs.max(1) as f64;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycle accounting ({} cycles over {} program instructions):",
+            self.cycles, self.program_instrs
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12} {:>8} {:>8}",
+            "bucket", "cycles", "share", "CPI"
+        );
+        for (label, cycles) in self.accounts.rows() {
+            let _ = writeln!(
+                out,
+                "  {label:<24} {cycles:>12} {:>7.2}% {:>8.3}",
+                cycles as f64 * 100.0 / share_denom,
+                cycles as f64 / instrs,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<24} {total:>12} {:>7.2}% {:>8.3}",
+            "total",
+            100.0,
+            total as f64 / instrs,
+        );
+        if self.watchdog {
+            let _ = writeln!(
+                out,
+                "  (run truncated by watchdog — buckets cover the cycles simulated)"
+            );
+        }
+        out
     }
 }
 
@@ -530,6 +593,46 @@ mod tests {
         );
         assert!(json.contains(r#""apparent_cpi":0.833333"#), "{json}");
         assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn stats_json_carries_accounts_and_dropped_events() {
+        use crate::accounting::BubbleCause;
+
+        let mut s = CycleStats {
+            cycles: 12,
+            issued: 6,
+            program_instrs: 8,
+            dropped_events: 3,
+            ..CycleStats::default()
+        };
+        s.accounts.useful = 6;
+        for _ in 0..3 {
+            s.accounts.bubble(BubbleCause::Startup);
+        }
+        s.accounts.bubble(BubbleCause::Branch(3));
+        s.accounts.bubble(BubbleCause::Branch(3));
+        s.accounts.bubble(BubbleCause::MissRefill);
+        assert_eq!(s.accounts.total(), s.cycles);
+
+        let json = s.to_json();
+        assert!(
+            json.contains(
+                r#""accounts":{"useful":6,"branch_penalty":[0,0,0,2],"miss_refill":1,"parity_recovery":0,"indirect_stall":0,"startup":3}"#
+            ),
+            "{json}"
+        );
+        assert!(json.contains(r#""dropped_events":3"#), "{json}");
+
+        let table = s.cpi_breakdown();
+        assert!(table.contains("useful issue"), "{table}");
+        assert!(table.contains("resolved at RR"), "{table}");
+        assert!(table.contains("pipeline startup"), "{table}");
+        assert!(table.lines().last().unwrap().contains("total"), "{table}");
+        assert!(!table.contains("watchdog"), "{table}");
+
+        s.watchdog = true;
+        assert!(s.cpi_breakdown().contains("truncated by watchdog"));
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! Campaign telemetry for the CRISP reproduction's long-running
+//! drivers (`crisp-diff`, `crisp-fault`, and the future `crisp-serve`).
+//!
+//! A campaign fans a work list out over a pool of worker threads; this
+//! crate watches it without slowing it down:
+//!
+//! * [`Counter`] — a relaxed atomic counter (one `fetch_add` per
+//!   update, no locks on the record path);
+//! * [`DurationHisto`] — a log₂-bucketed latency histogram with
+//!   approximate percentile readout, fixed-size and lock-free;
+//! * [`CampaignMonitor`] — the per-campaign aggregate each worker
+//!   updates once per case (done count, findings, per-worker busy
+//!   time, case-latency histogram);
+//! * [`Heartbeat`] — a sampling thread that emits one JSONL snapshot
+//!   to stderr per period (throughput, utilization, queue depth,
+//!   p50/p99 latency, ETA) and a final machine-readable campaign
+//!   report when told to finish.
+//!
+//! The record path is a handful of relaxed atomic adds — well under
+//! the drivers' 2% overhead budget — and snapshots are computed
+//! entirely on the heartbeat thread, so an unmonitored campaign pays
+//! nothing but the `Instant` pair around each case. Everything is
+//! plain `std`; there are no dependencies.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A lock-free event counter (relaxed atomics: totals are exact once
+/// the writers quiesce, and monotonic while they run — all a monitor
+/// needs).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`DurationHisto`]: one per possible bit
+/// length of a nanosecond count.
+const HISTO_BUCKETS: usize = 64;
+
+/// A log₂-bucketed duration histogram: a sample of `n` nanoseconds
+/// lands in the bucket indexed by `n`'s bit length, so the whole range
+/// from nanoseconds to minutes fits in 64 lock-free counters and a
+/// recorded sample costs one relaxed `fetch_add`.
+///
+/// Percentiles read back as the upper power-of-two bound of the bucket
+/// holding the requested rank — within 2× of the true value, which is
+/// the right fidelity for heartbeat monitoring.
+#[derive(Debug)]
+pub struct DurationHisto {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+}
+
+impl Default for DurationHisto {
+    fn default() -> DurationHisto {
+        DurationHisto::new()
+    }
+}
+
+impl DurationHisto {
+    /// An empty histogram.
+    pub fn new() -> DurationHisto {
+        DurationHisto {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index of a sample: the bit length of its nanosecond
+    /// count (0 for a zero-length sample).
+    fn bucket_of(d: Duration) -> usize {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        (u64::BITS - ns.leading_zeros()) as usize % HISTO_BUCKETS
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate `p`-th percentile (`0.0 ..= 1.0`): the upper bound
+    /// of the bucket containing that rank, or zero when empty.
+    pub fn percentile(&self, p: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_nanos(1u64 << i.min(62));
+            }
+        }
+        Duration::from_nanos(1u64 << 62)
+    }
+}
+
+/// Shared telemetry for one campaign: workers call
+/// [`CampaignMonitor::record_case`] once per completed case (a few
+/// relaxed atomic adds), and the heartbeat thread reads a consistent-
+/// enough [`Snapshot`] whenever it samples.
+#[derive(Debug)]
+pub struct CampaignMonitor {
+    /// Cases this invocation set out to run (after any checkpoint
+    /// resume — resumed campaigns monitor the remaining work).
+    total: u64,
+    start: Instant,
+    done: Counter,
+    findings: Counter,
+    latency: DurationHisto,
+    busy_ns: Vec<Counter>,
+}
+
+impl CampaignMonitor {
+    /// A monitor for a campaign of `total` cases over `workers`
+    /// threads, with the clock starting now.
+    pub fn new(total: u64, workers: usize) -> CampaignMonitor {
+        CampaignMonitor {
+            total,
+            start: Instant::now(),
+            done: Counter::new(),
+            findings: Counter::new(),
+            latency: DurationHisto::new(),
+            busy_ns: (0..workers.max(1)).map(|_| Counter::new()).collect(),
+        }
+    }
+
+    /// Record one finished case: `worker` spent `elapsed` on it.
+    pub fn record_case(&self, worker: usize, elapsed: Duration) {
+        self.done.inc();
+        self.latency.record(elapsed);
+        self.busy_ns[worker % self.busy_ns.len()]
+            .add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one finding (a divergence, a vulnerable fault outcome —
+    /// whatever the campaign hunts).
+    pub fn record_finding(&self) {
+        self.findings.inc();
+    }
+
+    /// Cases completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.get()
+    }
+
+    /// Findings recorded so far.
+    pub fn findings(&self) -> u64 {
+        self.findings.get()
+    }
+
+    /// Sample the campaign's current state.
+    pub fn snapshot(&self) -> Snapshot {
+        let elapsed = self.start.elapsed();
+        let done = self.done.get();
+        let rate = done as f64 / elapsed.as_secs_f64().max(1e-9);
+        let queue_depth = self.total.saturating_sub(done);
+        let eta = (rate > 0.0 && queue_depth > 0)
+            .then(|| Duration::from_secs_f64(queue_depth as f64 / rate));
+        let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let utilization = self
+            .busy_ns
+            .iter()
+            .map(|c| (c.get() as f64 / elapsed_ns.max(1) as f64).min(1.0))
+            .collect();
+        Snapshot {
+            elapsed,
+            done,
+            total: self.total,
+            queue_depth,
+            findings: self.findings.get(),
+            rate_per_s: rate,
+            utilization,
+            p50: self.latency.percentile(0.50),
+            p99: self.latency.percentile(0.99),
+            eta,
+        }
+    }
+}
+
+/// One sampled view of a campaign, as emitted by the heartbeat.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Wall time since the monitor was created.
+    pub elapsed: Duration,
+    /// Cases completed.
+    pub done: u64,
+    /// Cases this invocation set out to run.
+    pub total: u64,
+    /// Cases not yet completed (`total - done`).
+    pub queue_depth: u64,
+    /// Findings recorded so far.
+    pub findings: u64,
+    /// Completed cases per second of wall time.
+    pub rate_per_s: f64,
+    /// Per-worker busy fraction (`0.0 ..= 1.0`) since the start.
+    pub utilization: Vec<f64>,
+    /// Approximate median case latency.
+    pub p50: Duration,
+    /// Approximate 99th-percentile case latency.
+    pub p99: Duration,
+    /// Projected time to drain the queue at the current rate, when the
+    /// rate is nonzero and work remains.
+    pub eta: Option<Duration>,
+}
+
+impl Snapshot {
+    /// The snapshot as one flat JSONL record. `kind` is the `type`
+    /// field — `"heartbeat"` for periodic lines, `"final"` for the
+    /// end-of-campaign report.
+    pub fn to_json(&self, kind: &str) -> String {
+        let mut out = format!(
+            concat!(
+                r#"{{"type":"{}","elapsed_s":{:.3},"done":{},"total":{},"#,
+                r#""queue_depth":{},"findings":{},"rate_per_s":{:.3},"#,
+                r#""p50_ms":{:.3},"p99_ms":{:.3},"eta_s":"#
+            ),
+            kind,
+            self.elapsed.as_secs_f64(),
+            self.done,
+            self.total,
+            self.queue_depth,
+            self.findings,
+            self.rate_per_s,
+            self.p50.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+        );
+        match self.eta {
+            Some(eta) => {
+                let _ = write!(out, "{:.1}", eta.as_secs_f64());
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(r#","utilization":["#);
+        for (i, u) in self.utilization.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{u:.3}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// How finely the heartbeat thread slices its sleep, so `finish` never
+/// waits a full period for the thread to notice the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(25);
+
+/// The heartbeat thread: emits one snapshot line to stderr immediately
+/// (so even sub-period campaigns produce a heartbeat), then one per
+/// `period`, and a `"final"` report line on [`Heartbeat::finish`].
+#[derive(Debug)]
+pub struct Heartbeat {
+    monitor: Arc<CampaignMonitor>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Spawn the heartbeat thread over `monitor`, sampling every
+    /// `period`.
+    pub fn start(monitor: Arc<CampaignMonitor>, period: Duration) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let monitor = Arc::clone(&monitor);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                eprintln!("{}", monitor.snapshot().to_json("heartbeat"));
+                loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < period {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let slice = STOP_POLL.min(period - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    eprintln!("{}", monitor.snapshot().to_json("heartbeat"));
+                }
+            })
+        };
+        Heartbeat {
+            monitor,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the heartbeat thread and emit the final campaign report
+    /// (one `"type":"final"` JSONL line on stderr).
+    pub fn finish(mut self) {
+        self.stop_thread();
+        eprintln!("{}", self.monitor.snapshot().to_json("final"));
+    }
+
+    fn stop_thread(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Dropping without [`Heartbeat::finish`] (e.g. on a panic unwinding
+/// through the driver) still stops the thread; it just skips the final
+/// report.
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histo_buckets_by_magnitude() {
+        let h = DurationHisto::new();
+        assert_eq!(h.percentile(0.5), Duration::ZERO, "empty histogram");
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // ~2^14 ns
+        }
+        h.record(Duration::from_millis(100)); // ~2^27 ns
+        assert_eq!(h.count(), 100);
+        let p50 = h.percentile(0.50);
+        assert!(
+            p50 >= Duration::from_micros(10) && p50 < Duration::from_micros(20),
+            "{p50:?}"
+        );
+        let p99 = h.percentile(0.99);
+        assert!(p99 < Duration::from_millis(1), "{p99:?}");
+        let p100 = h.percentile(1.0);
+        assert!(p100 >= Duration::from_millis(100), "{p100:?}");
+    }
+
+    #[test]
+    fn monitor_snapshot_and_json_shape() {
+        let m = CampaignMonitor::new(10, 2);
+        m.record_case(0, Duration::from_millis(2));
+        m.record_case(1, Duration::from_millis(4));
+        m.record_case(0, Duration::from_millis(2));
+        m.record_finding();
+        let s = m.snapshot();
+        assert_eq!(s.done, 3);
+        assert_eq!(s.total, 10);
+        assert_eq!(s.queue_depth, 7);
+        assert_eq!(s.findings, 1);
+        assert!(s.rate_per_s > 0.0);
+        assert_eq!(s.utilization.len(), 2);
+        assert!(s.utilization.iter().all(|u| (0.0..=1.0).contains(u)));
+        assert!(s.eta.is_some());
+
+        let json = s.to_json("heartbeat");
+        assert!(json.starts_with(r#"{"type":"heartbeat","#), "{json}");
+        assert!(json.contains(r#""done":3,"total":10"#), "{json}");
+        assert!(json.contains(r#""queue_depth":7"#), "{json}");
+        assert!(json.contains(r#""findings":1"#), "{json}");
+        assert!(json.contains(r#""p99_ms":"#), "{json}");
+        assert!(json.contains(r#""utilization":["#), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+
+        // A drained campaign has no ETA: the field is JSON null.
+        let done = CampaignMonitor::new(1, 1);
+        done.record_case(0, Duration::from_millis(1));
+        let json = done.snapshot().to_json("final");
+        assert!(json.contains(r#""eta_s":null"#), "{json}");
+    }
+
+    #[test]
+    fn heartbeat_emits_immediately_and_finishes() {
+        let m = Arc::new(CampaignMonitor::new(2, 1));
+        let hb = Heartbeat::start(Arc::clone(&m), Duration::from_secs(60));
+        m.record_case(0, Duration::from_millis(1));
+        m.record_case(0, Duration::from_millis(1));
+        // The first heartbeat line is emitted at start, so even this
+        // instant campaign produced one; finish adds the final report.
+        hb.finish();
+        assert_eq!(m.done(), 2);
+    }
+}

@@ -17,18 +17,35 @@ use crisp::sim::{
 };
 use crisp::workloads::figure3_with_count;
 
-/// Strip the `"schema_version":N,` field from a stats JSON line — the
-/// vectors predate the field, and it deliberately sits outside the
-/// frozen surface (it announces shape changes rather than being one).
-fn normalize_stats(json: &str) -> String {
-    match json.find("\"schema_version\":") {
-        None => json.to_string(),
-        Some(start) => {
-            let rest = &json[start..];
-            let end = rest.find(',').map_or(rest.len(), |i| i + 1);
-            format!("{}{}", &json[..start], &rest[end..])
-        }
+/// Strip one additive post-refactor field (scalar, array, or flat
+/// object value followed by a comma) from a stats JSON line.
+fn strip_field(json: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let Some(start) = json.find(&pat) else {
+        return json.to_string();
+    };
+    let rest = &json[start + pat.len()..];
+    let vlen = match rest.as_bytes()[0] {
+        b'{' => rest.find('}').map_or(rest.len(), |i| i + 1),
+        b'[' => rest.find(']').map_or(rest.len(), |i| i + 1),
+        _ => rest.find([',', '}']).unwrap_or(rest.len()),
+    };
+    let mut after = &rest[vlen..];
+    if let Some(tail) = after.strip_prefix(',') {
+        after = tail;
     }
+    format!("{}{}", &json[..start], after)
+}
+
+/// Strip the fields added after the vectors were generated —
+/// `schema_version` (v2) and the `accounts`/`dropped_events` pair
+/// (v3). They deliberately sit outside the frozen surface: additive
+/// observability, not architectural behaviour (and the accounting's
+/// own invariants are enforced by `tests/prop_accounting.rs`).
+fn normalize_stats(json: &str) -> String {
+    ["schema_version", "accounts", "dropped_events"]
+        .iter()
+        .fold(json.to_string(), |s, key| strip_field(&s, key))
 }
 
 fn fold_name(p: FoldPolicy) -> &'static str {
@@ -120,8 +137,9 @@ fn default_geometry_matches_pre_refactor_golden_vectors() {
 }
 
 /// The stats JSON at a non-default depth emits the histogram at live
-/// length and carries the schema version; stripping the version field
-/// reproduces the v1 shape exactly (what `normalize_stats` relies on).
+/// length and carries the schema version; stripping the post-v1
+/// fields reproduces the v1 shape exactly (what `normalize_stats`
+/// relies on).
 #[test]
 fn deep_geometry_stats_json_has_live_depth_histogram() {
     let source = figure3_with_count(16);
