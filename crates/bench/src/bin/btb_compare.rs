@@ -3,6 +3,8 @@
 //! CRISP's optimal static bit.
 
 fn main() {
+    let rows = crisp_bench::btb_compare();
+
     println!("Comparison to other schemes (paper: MU5 jump trace 40-65%,");
     println!("Lee-Smith BTB up to 78%; CRISP uses the static bit instead).");
     println!();
@@ -10,10 +12,30 @@ fn main() {
         "{:<12} {:>8} {:>10} {:>10} {:>11}",
         "program", "static", "BTB128x4", "MU5-jt8", "transfers"
     );
-    for r in crisp_bench::btb_compare() {
+    for r in &rows {
         println!(
             "{:<12} {:>8.2} {:>10.2} {:>10.2} {:>11}",
             r.program, r.static_acc, r.btb, r.jump_trace, r.transfers
+        );
+    }
+
+    println!();
+    println!("Live in the pipeline (cycle engine, retired-branch correct");
+    println!("rate and end-to-end cycles per predictor):");
+    println!();
+    println!(
+        "{:<12} {:>9} {:>9} {:>12} {:>12} {:>12}",
+        "program", "btb-live", "jt-live", "cyc-static", "cyc-btb", "cyc-jt"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>9.2} {:>9.2} {:>12} {:>12} {:>12}",
+            r.program,
+            r.btb_live,
+            r.jump_trace_live,
+            r.live_cycles[0],
+            r.live_cycles[1],
+            r.live_cycles[2]
         );
     }
 }

@@ -39,4 +39,21 @@ fn main() {
             row.depth, row.figure3_cycles, row.figure3_cpi
         );
     }
+    println!();
+
+    println!("== Figure 3 cycles by depth x live predictor ==");
+    print!("{:>6}", "depth");
+    if let Some(first) = rows.first() {
+        for (label, _, _) in &first.figure3_by_predictor {
+            print!(" {label:>12}");
+        }
+    }
+    println!();
+    for row in &rows {
+        print!("{:>6}", row.depth);
+        for (_, cycles, _) in &row.figure3_by_predictor {
+            print!(" {cycles:>12}");
+        }
+        println!();
+    }
 }

@@ -307,9 +307,31 @@ pub struct BtbRow {
     pub jump_trace: f64,
     /// Transfers evaluated.
     pub transfers: u64,
+    /// Live in-pipeline correct rate with the same BTB geometry
+    /// (`1 - mispredicts / retired conditional branches` from a cycle
+    /// run under [`HwPredictor::Btb`]).
+    pub btb_live: f64,
+    /// Live in-pipeline correct rate under [`HwPredictor::JumpTrace`].
+    pub jump_trace_live: f64,
+    /// Cycle counts under the static bit, the live BTB and the live
+    /// jump trace — what each scheme actually costs end to end.
+    pub live_cycles: [u64; 3],
 }
 
-/// Evaluate the BTB and jump-trace schemes the paper compares against.
+/// Correct-prediction rate of a live cycle run: retired conditional
+/// branches that were not charged a mispredict. Wrong-path branches can
+/// resolve (and mispredict) without retiring, so this is a floor.
+fn live_correct_rate(run: &crisp_sim::CycleRun) -> f64 {
+    let branches = run.stats.cond_branches;
+    if branches == 0 {
+        return 1.0;
+    }
+    branches.saturating_sub(run.stats.mispredicts()) as f64 / branches as f64
+}
+
+/// Evaluate the BTB and jump-trace schemes the paper compares against —
+/// trace-driven (the paper's methodology) and live in the pipeline,
+/// side by side.
 pub fn btb_compare() -> Vec<BtbRow> {
     prediction_workloads()
         .into_iter()
@@ -318,12 +340,37 @@ pub fn btb_compare() -> Vec<BtbRow> {
             let st = evaluate_static_optimal(&trace);
             let btb = Btb::new(BtbConfig::default()).evaluate(&trace);
             let jt = JumpTrace::new(JumpTrace::MU5_ENTRIES).evaluate(&trace);
+            let image = compile_crisp(w.source, &CompileOptions::default()).expect("compiles");
+            let live = |predictor| {
+                cycles_of(
+                    &image,
+                    SimConfig {
+                        predictor,
+                        ..SimConfig::default()
+                    },
+                )
+            };
+            let st_run = live(HwPredictor::StaticBit);
+            let btb_run = live(HwPredictor::Btb {
+                entries: 128,
+                ways: 4,
+            });
+            let jt_run = live(HwPredictor::JumpTrace {
+                entries: JumpTrace::MU5_ENTRIES,
+            });
             BtbRow {
                 program: w.name.to_owned(),
                 static_acc: st.accuracy.ratio(),
                 btb: btb.effectiveness(),
                 jump_trace: jt.ratio(),
                 transfers: btb.total,
+                btb_live: live_correct_rate(&btb_run),
+                jump_trace_live: live_correct_rate(&jt_run),
+                live_cycles: [
+                    st_run.stats.cycles,
+                    btb_run.stats.cycles,
+                    jt_run.stats.cycles,
+                ],
             }
         })
         .collect()
@@ -558,6 +605,29 @@ pub struct DepthSweepRow {
     pub figure3_cycles: u64,
     /// Figure 3 apparent CPI at this depth.
     pub figure3_cpi: f64,
+    /// Figure 3 `(predictor label, cycles, apparent CPI)` per hardware
+    /// predictor at this depth — deeper pipes pay more per mispredict,
+    /// so the static-vs-dynamic gap widens with depth.
+    pub figure3_by_predictor: Vec<(String, u64, f64)>,
+}
+
+/// The predictor lineup every live sweep measures: the shipped static
+/// bit against the hardware schemes the paper compared on traces.
+pub fn sweep_predictors() -> [HwPredictor; 4] {
+    [
+        HwPredictor::StaticBit,
+        HwPredictor::Dynamic {
+            bits: 2,
+            entries: 64,
+        },
+        HwPredictor::Btb {
+            entries: 128,
+            ways: 4,
+        },
+        HwPredictor::JumpTrace {
+            entries: JumpTrace::MU5_ENTRIES,
+        },
+    ]
 }
 
 /// Measure the per-mispredict penalty of a branch whose compare sits
@@ -632,11 +702,19 @@ pub fn depth_sweep(depths: &[usize], count: u32) -> Vec<DepthSweepRow> {
                 ..SimConfig::default()
             };
             let run = cycles_of(&image, cfg);
+            let figure3_by_predictor = sweep_predictors()
+                .into_iter()
+                .map(|predictor| {
+                    let r = cycles_of(&image, SimConfig { predictor, ..cfg });
+                    (predictor.label(), r.stats.cycles, r.stats.apparent_cpi())
+                })
+                .collect();
             DepthSweepRow {
                 depth,
                 penalties,
                 figure3_cycles: run.stats.cycles,
                 figure3_cpi: run.stats.apparent_cpi(),
+                figure3_by_predictor,
             }
         })
         .collect()
@@ -708,6 +786,16 @@ mod tests {
                 );
             }
             assert!(row.figure3_cycles > 0);
+            // The predictor dimension: four labelled entries, the
+            // static-bit one identical to the default-config run.
+            assert_eq!(row.figure3_by_predictor.len(), 4);
+            let (label, cycles, cpi) = &row.figure3_by_predictor[0];
+            assert_eq!(label, "static");
+            assert_eq!(*cycles, row.figure3_cycles);
+            assert!((cpi - row.figure3_cpi).abs() < 1e-12);
+            for (label, cycles, _) in &row.figure3_by_predictor {
+                assert!(*cycles > 0, "{label}");
+            }
         }
     }
 
@@ -769,6 +857,23 @@ mod tests {
                 r.jump_trace
             );
             assert!(r.transfers > 0);
+            // Live in-pipeline rates are real probabilities and the live
+            // BTB should predict most retired branches on these loops.
+            assert!(
+                (0.0..=1.0).contains(&r.btb_live) && r.btb_live > 0.5,
+                "{}: live btb {}",
+                r.program,
+                r.btb_live
+            );
+            assert!(
+                (0.0..=1.0).contains(&r.jump_trace_live),
+                "{}: live jt {}",
+                r.program,
+                r.jump_trace_live
+            );
+            for cycles in r.live_cycles {
+                assert!(cycles > 0, "{}: {:?}", r.program, r.live_cycles);
+            }
         }
     }
 

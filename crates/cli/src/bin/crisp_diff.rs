@@ -19,6 +19,10 @@
 //!   --eu-depth N      execution-unit depth for every sweep
 //!                     configuration (2..=8; default 3, the paper's
 //!                     IR/OR/RR)
+//!   --predictor HW    pin every sweep configuration to one live
+//!                     hardware predictor (static | counterN[xM] |
+//!                     btb[SxW] | jumptrace[N]) instead of sweeping
+//!                     all four
 //!   --smoke           bounded CI run (64 asm + 8 C programs)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --heartbeat SECS  emit a campaign-telemetry JSONL snapshot to
@@ -44,8 +48,9 @@ use crisp_asm::rand_prog::{shrink, GenProgram};
 use crisp_cc::{compile_crisp, generate_c, CompileOptions, PredictionMode};
 use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
-    run_lockstep, run_lockstep_pooled, sweep_configs, Divergence, FaultInjection, LockstepBuffers,
-    LockstepOutcome, PipelineGeometry, PredecodedImage, SimConfig, MAX_DEPTH, MIN_DEPTH,
+    run_lockstep, run_lockstep_pooled, sweep_configs, Divergence, FaultInjection, HwPredictor,
+    LockstepBuffers, LockstepOutcome, PipelineGeometry, PredecodedImage, SimConfig, MAX_DEPTH,
+    MIN_DEPTH,
 };
 use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
@@ -137,7 +142,7 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "usage: crisp-diff [--seed N] [--programs N] [--c-programs N] \
              [--max-blocks N] [--jobs N] [--max-cycles N] [--eu-depth N] \
-             [--smoke] [--resume FILE] [--heartbeat SECS] [--inject]"
+             [--predictor HW] [--smoke] [--resume FILE] [--heartbeat SECS] [--inject]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -171,6 +176,10 @@ fn run() -> Result<ExitCode, String> {
                     format!("--eu-depth: bad value `{v}` (want {MIN_DEPTH}..={MAX_DEPTH})")
                 })
         })
+        .transpose()?;
+    let predictor: Option<HwPredictor> = extract_flag(&mut raw, "--predictor")
+        .map_err(|e| e.to_string())?
+        .map(|v| HwPredictor::parse(&v).map_err(|e| format!("--predictor: bad value `{v}`: {e}")))
         .transpose()?;
     let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
     let heartbeat_secs: Option<u64> = extract_flag(&mut raw, "--heartbeat")
@@ -230,10 +239,18 @@ fn run() -> Result<ExitCode, String> {
             cfg.geometry = geo;
         }
     }
+    if let Some(p) = predictor {
+        // Pinning collapses the sweep's predictor dimension; drop the
+        // duplicates it leaves behind.
+        for cfg in &mut configs {
+            cfg.predictor = p;
+        }
+        configs.dedup();
+    }
     let total = work.len() as u64;
     let cp = match &resume_path {
         Some(path) => {
-            let loaded = Checkpoint::load(path).map_err(|e| e.to_string())?;
+            let loaded = Checkpoint::load_for_campaign(path, total).map_err(|e| e.to_string())?;
             if let Some(cp) = &loaded {
                 println!(
                     "crisp-diff: resuming from {path} ({} / {total} programs done)",
@@ -244,12 +261,6 @@ fn run() -> Result<ExitCode, String> {
         }
         None => Checkpoint::default(),
     };
-    if cp.completed > total {
-        return Err(format!(
-            "checkpoint claims {} completed programs but the campaign has only {total}",
-            cp.completed
-        ));
-    }
 
     println!(
         "crisp-diff: {total} programs x {} configurations on {jobs} threads (base seed {seed})",

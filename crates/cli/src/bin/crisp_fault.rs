@@ -24,6 +24,9 @@
 //!   --max-cycles N    watchdog budget per run (default 200000)
 //!   --eu-depth N      execution-unit depth for every run (2..=8;
 //!                     default 3, the paper's IR/OR/RR)
+//!   --predictor HW    live hardware predictor for every run (static |
+//!                     counterN[xM] | btb[SxW] | jumptrace[N]) —
+//!                     recovery must mask faults under any predictor
 //!   --smoke           bounded CI run (2 programs x 32 faults)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --report FILE     write the JSON AVF report to FILE
@@ -44,8 +47,9 @@ use crisp_asm::rand_prog::{GenProgram, Rng};
 use crisp_asm::Image;
 use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
-    classify_fault_pooled, nth_field, ClassifyBuffers, FaultOutcome, FaultPlan, ParityMode,
-    PipelineGeometry, PredecodedImage, SimConfig, FAULT_SPACE, FIELD_NAMES, MAX_DEPTH, MIN_DEPTH,
+    classify_fault_pooled, nth_field, ClassifyBuffers, FaultOutcome, FaultPlan, HwPredictor,
+    ParityMode, PipelineGeometry, PredecodedImage, SimConfig, FAULT_SPACE, FIELD_NAMES, MAX_DEPTH,
+    MIN_DEPTH,
 };
 use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
@@ -113,6 +117,7 @@ fn run_case(
     plan: FaultPlan,
     max_cycles: u64,
     geometry: PipelineGeometry,
+    predictor: HwPredictor,
     bufs: &mut ClassifyBuffers,
 ) -> Result<CaseClass, String> {
     let protected = SimConfig {
@@ -120,6 +125,7 @@ fn run_case(
         fault_plan: Some(plan),
         max_cycles,
         geometry,
+        predictor,
         ..SimConfig::default()
     };
     match classify_fault_pooled(image, protected, Some(table), bufs) {
@@ -158,8 +164,8 @@ fn run() -> Result<ExitCode, String> {
     if raw.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: crisp-fault [--seed N] [--programs N] [--faults N] [--max-blocks N] \
-             [--jobs N] [--max-cycles N] [--eu-depth N] [--smoke] [--resume FILE] \
-             [--report FILE] [--heartbeat SECS]"
+             [--jobs N] [--max-cycles N] [--eu-depth N] [--predictor HW] [--smoke] \
+             [--resume FILE] [--report FILE] [--heartbeat SECS]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -181,6 +187,11 @@ fn run() -> Result<ExitCode, String> {
         "--jobs",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     )?;
+    let predictor: HwPredictor = extract_flag(&mut raw, "--predictor")
+        .map_err(|e| e.to_string())?
+        .map_or(Ok(SimConfig::default().predictor), |v| {
+            HwPredictor::parse(&v).map_err(|e| format!("--predictor: bad value `{v}`: {e}"))
+        })?;
     let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
     let report_path = extract_flag(&mut raw, "--report").map_err(|e| e.to_string())?;
     let heartbeat_secs: Option<u64> = extract_flag(&mut raw, "--heartbeat")
@@ -233,7 +244,7 @@ fn run() -> Result<ExitCode, String> {
     let total = programs * faults;
     let cp = match &resume_path {
         Some(path) => {
-            let loaded = Checkpoint::load(path).map_err(|e| e.to_string())?;
+            let loaded = Checkpoint::load_for_campaign(path, total).map_err(|e| e.to_string())?;
             if let Some(cp) = &loaded {
                 println!(
                     "crisp-fault: resuming from {path} ({} / {total} cases done)",
@@ -244,12 +255,6 @@ fn run() -> Result<ExitCode, String> {
         }
         None => Checkpoint::default(),
     };
-    if cp.completed > total {
-        return Err(format!(
-            "checkpoint claims {} completed cases but the campaign has only {total}",
-            cp.completed
-        ));
-    }
 
     println!(
         "crisp-fault: {programs} programs x {faults} faults on {jobs} threads (base seed {seed})"
@@ -283,7 +288,9 @@ fn run() -> Result<ExitCode, String> {
                     let plan = plan_for(seed, i, icache_entries);
                     let case_start = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        run_case(image, table, plan, max_cycles, geometry, &mut bufs)
+                        run_case(
+                            image, table, plan, max_cycles, geometry, predictor, &mut bufs,
+                        )
                     }));
                     monitor.record_case(w, case_start.elapsed());
                     // The checkpoint payload: the outcome key to tally,

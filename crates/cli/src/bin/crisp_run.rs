@@ -28,6 +28,12 @@
 //!   --fold POLICY --icache N --mem-latency N   machine configuration
 //!   --eu-depth N                 execution-unit depth (2..=8, default 3;
 //!                                cycle engine geometry)
+//!   --predictor HW               live hardware predictor consulted by
+//!                                the PDU: static (the compiled bit,
+//!                                default), counterN[xM] saturating
+//!                                counters, btb[SxW] branch target
+//!                                buffer, jumptrace[N] MU5-style FIFO
+//!                                (needs --cycles to matter)
 //!   --max-cycles N --max-insns N               watchdog limits (a run
 //!                                              that exceeds one ends
 //!                                              gracefully with halt

@@ -13,7 +13,7 @@ use std::sync::Mutex;
 
 use crisp_cc::{CompileOptions, PredictionMode};
 use crisp_isa::FoldPolicy;
-use crisp_sim::{PipelineGeometry, SimConfig, MAX_DEPTH, MIN_DEPTH};
+use crisp_sim::{HwPredictor, PipelineGeometry, SimConfig, MAX_DEPTH, MIN_DEPTH};
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +49,8 @@ fn err<T>(msg: impl Into<String>) -> Result<T, UsageError> {
 /// ```text
 /// --no-spread            disable Branch Spreading
 /// --predict MODE         taken | not-taken | btfnt | ftbnt
+/// --predictor HW         live hardware predictor: static |
+///                        counterN[xM] | btb[SxW] | jumptrace[N]
 /// --fold POLICY          none | host1 | host13 | all
 /// --icache N             decoded-cache entries (power of two)
 /// --eu-depth N           execution-unit stages between issue and
@@ -85,6 +87,11 @@ pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonArgs, Us
                     "ftbnt" => PredictionMode::Ftbnt,
                     other => return err(format!("unknown prediction mode `{other}`")),
                 };
+            }
+            "--predictor" => {
+                let v: String = value_for("--predictor", &mut args)?;
+                out.sim.predictor = HwPredictor::parse(&v)
+                    .map_err(|e| UsageError(format!("bad --predictor value `{v}`: {e}")))?;
             }
             "--fold" => {
                 let v: String = value_for("--fold", &mut args)?;
@@ -273,6 +280,27 @@ impl Checkpoint {
             Ok(text) => Checkpoint::from_json(&text).map(Some),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => err(format!("reading {path}: {e}")),
+        }
+    }
+
+    /// Load a checkpoint for a campaign of `total` cases: like
+    /// [`Checkpoint::load`], but a checkpoint claiming more completed
+    /// cases than the campaign has is rejected — it belongs to a
+    /// different (larger) campaign, and resuming from it would make
+    /// the work queue's remaining-case arithmetic underflow.
+    ///
+    /// # Errors
+    ///
+    /// [`UsageError`] on I/O failure, parse failure, or a `completed`
+    /// count exceeding `total`.
+    pub fn load_for_campaign(path: &str, total: u64) -> Result<Option<Checkpoint>, UsageError> {
+        match Checkpoint::load(path)? {
+            Some(cp) if cp.completed > total => err(format!(
+                "checkpoint {path} claims {} completed cases but this campaign has only {total}; \
+                 it belongs to a different campaign — delete it or run without --resume",
+                cp.completed
+            )),
+            other => Ok(other),
         }
     }
 
@@ -523,6 +551,63 @@ mod tests {
         assert!(Checkpoint::from_json("{\"k\":1}").is_err());
         assert!(Checkpoint::from_json("{\"completed\":1,\"k\"}").is_err());
         assert!(Checkpoint::from_json("{completed:1}").is_err());
+    }
+
+    #[test]
+    fn predictor_flag_selects_hardware_predictor() {
+        let a = parse(&["x.c"]).unwrap();
+        assert_eq!(a.sim.predictor, crisp_sim::HwPredictor::StaticBit);
+        let a = parse(&["--predictor", "btb", "x.c"]).unwrap();
+        assert_eq!(
+            a.sim.predictor,
+            crisp_sim::HwPredictor::Btb {
+                entries: 128,
+                ways: 4
+            }
+        );
+        let a = parse(&["--predictor", "counter2x32", "x.c"]).unwrap();
+        assert_eq!(
+            a.sim.predictor,
+            crisp_sim::HwPredictor::Dynamic {
+                bits: 2,
+                entries: 32
+            }
+        );
+        let e = parse(&["--predictor", "oracle", "x.c"]).unwrap_err();
+        assert!(e.0.contains("--predictor"), "{}", e.0);
+        assert!(parse(&["--predictor"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_load_for_campaign_rejects_oversized_completed() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "crisp-checkpoint-total-{}.json",
+            std::process::id()
+        ));
+        let path = path.to_str().unwrap().to_string();
+        // Missing file: fresh start regardless of total.
+        assert_eq!(Checkpoint::load_for_campaign(&path, 5).unwrap(), None);
+        let cp = Checkpoint {
+            completed: 10,
+            tallies: Vec::new(),
+        };
+        cp.save(&path).unwrap();
+        // Fits the campaign: accepted.
+        assert_eq!(
+            Checkpoint::load_for_campaign(&path, 10).unwrap(),
+            Some(cp.clone())
+        );
+        assert_eq!(Checkpoint::load_for_campaign(&path, 200).unwrap(), Some(cp));
+        // Claims more cases than the campaign has: clean usage error,
+        // not a queue-arithmetic underflow.
+        let e = Checkpoint::load_for_campaign(&path, 9).unwrap_err();
+        assert!(
+            e.0.contains("10 completed cases") && e.0.contains("only 9"),
+            "{}",
+            e.0
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

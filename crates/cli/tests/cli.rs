@@ -220,9 +220,10 @@ fn crisp_run_stats_json_carries_accounts_and_trace_footer() {
     let jsonl = std::fs::read_to_string(&trace);
     std::fs::remove_file(&trace).ok();
     assert!(ok, "{stderr}");
-    assert!(stdout.contains(r#""schema_version":3"#), "{stdout}");
+    assert!(stdout.contains(r#""schema_version":4"#), "{stdout}");
     assert!(stdout.contains(r#""accounts":{"useful":"#), "{stdout}");
     assert!(stdout.contains(r#""dropped_events":0"#), "{stdout}");
+    assert!(stdout.contains(r#""predicted_by":"static""#), "{stdout}");
     // The trace ends with the completeness footer, and its event count
     // matches the body.
     let jsonl = jsonl.expect("trace file written");
@@ -262,6 +263,110 @@ fn campaign_drivers_emit_heartbeat_telemetry() {
         assert!(!ok);
         assert!(stderr.contains("--heartbeat: bad value"), "{stderr}");
     }
+}
+
+#[test]
+fn crisp_run_predictor_flag_drives_live_prediction() {
+    // A loop whose static bit is wrong on every iteration: the BTB
+    // learns it after the first taken retirement, so the dynamic run
+    // must be faster and report its predictor in the stats.
+    let asm = "
+        mov 0(sp),$0
+    top:
+        add 0(sp),$1
+        cmp.s< 0(sp),$50
+        ifjmpy.nt top
+        halt
+    ";
+    let cycles_of = |stdout: &str| -> u64 {
+        stdout
+            .lines()
+            .find(|l| l.starts_with("cycles"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("cycles line")
+    };
+    let (static_out, stderr, ok) =
+        run_tool(env!("CARGO_BIN_EXE_crisp-run"), &["--asm", "--cycles"], asm);
+    assert!(ok, "{stderr}");
+    let (btb_out, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &[
+            "--asm",
+            "--cycles",
+            "--predictor",
+            "btb",
+            "--stats-json",
+            "-",
+        ],
+        asm,
+    );
+    assert!(ok, "{stderr}");
+    assert!(cycles_of(&btb_out) < cycles_of(&static_out));
+    assert!(
+        btb_out.contains("predictor            : btb128x4"),
+        "{btb_out}"
+    );
+    assert!(
+        btb_out.contains(r#""predicted_by":"btb128x4""#),
+        "{btb_out}"
+    );
+
+    let (_, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-run"),
+        &["--cycles", "--predictor", "oracle"],
+        asm,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("bad --predictor value"), "{stderr}");
+}
+
+#[test]
+fn crisp_diff_smoke_with_pinned_predictor() {
+    let (stdout, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-diff"),
+        &[
+            "--smoke",
+            "--programs",
+            "3",
+            "--c-programs",
+            "1",
+            "--predictor",
+            "counter2",
+        ],
+        "",
+    );
+    assert!(ok, "{stderr}");
+    // Pinning collapses the 4-way predictor dimension of the 32-config
+    // sweep to 8 deduplicated configurations.
+    assert!(stdout.contains("x 8 configurations"), "{stdout}");
+    assert!(stdout.contains("all agree"), "{stdout}");
+}
+
+#[test]
+fn campaign_checkpoint_from_larger_campaign_is_rejected() {
+    let cp = std::env::temp_dir().join(format!("crisp_diff_cp_{}.json", std::process::id()));
+    let cp_path = cp.to_str().unwrap();
+    std::fs::write(&cp, r#"{"completed":500}"#).unwrap();
+    let (_, stderr, ok) = run_tool(
+        env!("CARGO_BIN_EXE_crisp-diff"),
+        &[
+            "--smoke",
+            "--programs",
+            "2",
+            "--c-programs",
+            "0",
+            "--resume",
+            cp_path,
+        ],
+        "",
+    );
+    std::fs::remove_file(&cp).ok();
+    assert!(!ok);
+    assert!(
+        stderr.contains("500 completed cases") && stderr.contains("different campaign"),
+        "{stderr}"
+    );
 }
 
 #[test]

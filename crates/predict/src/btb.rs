@@ -1,5 +1,7 @@
 use crisp_sim::{BranchEvent, Trace};
 
+use crate::Predictor;
+
 /// Geometry of a branch target buffer.
 ///
 /// The paper quotes Lee & Smith's "128 sets of 4 entries" as the
@@ -157,6 +159,65 @@ impl Btb {
             self.access(e);
         }
         self.stats
+    }
+}
+
+/// Direction-only predictor view of the BTB, for replaying a pipeline's
+/// split predict/update stream (the fused [`Btb::access`] serves trace
+/// evaluation, where the outcome is known at lookup time).
+///
+/// `predict` is read-only and `update` carries all mutation — counter
+/// movement, LRU stamps and allocation (with a placeholder target of 0:
+/// stored targets never influence hit/miss, counter or replacement
+/// state, so direction behaviour is unaffected). `stats` accumulates
+/// only through [`Btb::access`].
+impl Predictor for Btb {
+    fn predict(&mut self, pc: u32) -> bool {
+        let idx = self.set_index(pc);
+        match self.sets[idx].iter().find(|en| en.pc == pc) {
+            Some(en) => en.counter >= 2,
+            None => false,
+        }
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.cfg.ways;
+        let idx = self.set_index(pc);
+        let set = &mut self.sets[idx];
+        match set.iter_mut().find(|en| en.pc == pc) {
+            Some(en) => {
+                en.counter = if taken {
+                    (en.counter + 1).min(3)
+                } else {
+                    en.counter.saturating_sub(1)
+                };
+                en.used = clock;
+            }
+            None if taken => {
+                let entry = BtbEntry {
+                    pc,
+                    target: 0,
+                    counter: 2,
+                    used: clock,
+                };
+                if set.len() < ways {
+                    set.push(entry);
+                } else {
+                    let lru = set
+                        .iter_mut()
+                        .min_by_key(|en| en.used)
+                        .expect("ways >= 1 guarantees an entry");
+                    *lru = entry;
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("BTB {}x{}", self.cfg.sets, self.cfg.ways)
     }
 }
 

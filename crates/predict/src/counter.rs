@@ -1,15 +1,6 @@
 use std::collections::HashMap;
 
-/// A per-branch direction predictor consulted before each conditional
-/// branch and trained afterwards.
-pub trait Predictor {
-    /// Predict whether the branch at `pc` will be taken.
-    fn predict(&mut self, pc: u32) -> bool;
-    /// Train with the actual outcome.
-    fn update(&mut self, pc: u32, taken: bool);
-    /// Short human-readable name.
-    fn name(&self) -> String;
-}
+use crate::Predictor;
 
 /// An n-bit saturating up/down counter per branch, with an infinite
 /// table — J. Smith's "Strategy 2" family, exactly the dynamic schemes

@@ -1,5 +1,7 @@
 use crisp_sim::{BranchEvent, Trace};
 
+use crate::Predictor;
+
 /// Counters accumulated by a jump-trace evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JumpTraceStats {
@@ -87,6 +89,41 @@ impl JumpTrace {
             self.access(e);
         }
         self.stats
+    }
+}
+
+/// Direction-only predictor view of the jump trace, for replaying a
+/// pipeline's split predict/update stream (the fused
+/// [`JumpTrace::access`] serves trace evaluation).
+///
+/// `predict` is read-only; `update` carries all FIFO mutation, with a
+/// placeholder target of 0 on insertion — stored targets never
+/// influence hit/miss or FIFO order, so direction behaviour is
+/// unaffected. `stats` accumulates only through [`JumpTrace::access`].
+impl Predictor for JumpTrace {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.entries.iter().any(|&(epc, _)| epc == pc)
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        let hit = self.entries.iter().position(|&(epc, _)| epc == pc);
+        match (hit, taken) {
+            (Some(_), true) => {}
+            (Some(i), false) => {
+                self.entries.remove(i);
+            }
+            (None, true) => {
+                if self.entries.len() == self.capacity {
+                    self.entries.remove(0);
+                }
+                self.entries.push((pc, 0));
+            }
+            (None, false) => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("jump trace, {} entries", self.capacity)
     }
 }
 

@@ -34,7 +34,11 @@ mod finite;
 mod jump_trace;
 
 pub use btb::{Btb, BtbConfig, BtbStats};
-pub use counter::{CounterPredictor, Predictor};
+pub use counter::CounterPredictor;
+// The shared predictor trait lives in `crisp_sim` (the cycle engine
+// consumes it too); re-exported here so trace-driven code keeps its
+// historical import path.
+pub use crisp_sim::Predictor;
 pub use evaluate::{
     evaluate_dynamic, evaluate_predictor, evaluate_static_optimal, Accuracy, StaticOptimal,
 };

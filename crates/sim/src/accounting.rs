@@ -31,15 +31,24 @@
 //! * **indirect stall** — fetch waited for an indirect branch target
 //!   (the structural stall: the next PC is not architected until the
 //!   producing entry retires).
+//! * **btb miss** — mispredict recovery, but the wrong guess came from
+//!   a predictor-table *miss default* (a BTB or jump-trace lookup that
+//!   found no resident entry and predicted fall-through) rather than
+//!   from a trained entry's direction. Splitting these out separates a
+//!   scheme's cold/capacity behaviour from its steady-state accuracy —
+//!   the distinction behind the paper's "nearly as large as our entire
+//!   microprocessor chip" sizing argument. Counter tables and the
+//!   static bit always "hit", so this bucket is zero for them.
 //! * **startup** — pipeline fill: no entry had reached retire yet.
 //!
 //! A bubble whose stall outlives the episode that caused it keeps its
 //! *original* cause — e.g. a post-mispredict fetch that then misses is
 //! charged to the miss, not the branch. Hence the reconciliation
-//! invariant is one-sided: `branch_penalty.total() <=
+//! invariant is one-sided: `branch_penalty.total() + btb_miss <=
 //! mispredicts_by_stage.penalty_cycles()` (a mispredict's scheduled
 //! penalty can overlap a stall already in progress, or still be
-//! draining when the run ends).
+//! draining when the run ends; BTB-miss bubbles are mispredict
+//! recovery too, just attributed to the miss default).
 //!
 //! Watchdog expiry consumes no cycles — the limit is checked between
 //! cycles — so there is no watchdog bucket; a truncated run simply
@@ -67,6 +76,10 @@ pub enum BubbleCause {
     ParityRecovery,
     /// Fetch waited for an indirect branch target to be architected.
     Indirect,
+    /// Mispredict recovery where the wrong guess was a predictor-table
+    /// miss default (no resident BTB/jump-trace entry), not a trained
+    /// direction.
+    BtbMiss,
     /// Mispredict recovery: the wrong path was killed by a branch that
     /// resolved at this stage index (the paper's penalty schedule —
     /// the index is the cost).
@@ -90,6 +103,10 @@ pub struct CycleAccounts {
     pub parity_recovery: u64,
     /// Cycles stalled waiting for an indirect branch target.
     pub indirect_stall: u64,
+    /// Mispredict-recovery bubbles whose wrong guess was a
+    /// predictor-table miss default (zero under the static bit and
+    /// counter tables, which always "hit").
+    pub btb_miss: u64,
     /// Pipeline-fill cycles before the first entry reached retire.
     pub startup: u64,
 }
@@ -112,6 +129,7 @@ impl CycleAccounts {
             miss_refill: 0,
             parity_recovery: 0,
             indirect_stall: 0,
+            btb_miss: 0,
             startup: 0,
         }
     }
@@ -124,6 +142,7 @@ impl CycleAccounts {
             BubbleCause::MissRefill => self.miss_refill += 1,
             BubbleCause::ParityRecovery => self.parity_recovery += 1,
             BubbleCause::Indirect => self.indirect_stall += 1,
+            BubbleCause::BtbMiss => self.btb_miss += 1,
             BubbleCause::Branch(stage) => self.branch_penalty.bump(stage as usize),
         }
     }
@@ -136,6 +155,7 @@ impl CycleAccounts {
             + self.miss_refill
             + self.parity_recovery
             + self.indirect_stall
+            + self.btb_miss
             + self.startup
     }
 
@@ -165,6 +185,7 @@ impl CycleAccounts {
         rows.push(("cache miss refill".to_string(), self.miss_refill));
         rows.push(("parity recovery".to_string(), self.parity_recovery));
         rows.push(("indirect stall".to_string(), self.indirect_stall));
+        rows.push(("btb miss penalty".to_string(), self.btb_miss));
         rows.push(("pipeline startup".to_string(), self.startup));
         rows
     }
@@ -175,13 +196,14 @@ impl CycleAccounts {
         format!(
             concat!(
                 r#"{{"useful":{},"branch_penalty":{},"miss_refill":{},"#,
-                r#""parity_recovery":{},"indirect_stall":{},"startup":{}}}"#
+                r#""parity_recovery":{},"indirect_stall":{},"btb_miss":{},"startup":{}}}"#
             ),
             self.useful,
             self.branch_penalty.json(),
             self.miss_refill,
             self.parity_recovery,
             self.indirect_stall,
+            self.btb_miss,
             self.startup,
         )
     }
@@ -225,6 +247,8 @@ mod tests {
         a.bubble(BubbleCause::MissRefill);
         a.bubble(BubbleCause::ParityRecovery);
         a.bubble(BubbleCause::Indirect);
+        a.bubble(BubbleCause::BtbMiss);
+        a.bubble(BubbleCause::BtbMiss);
         a
     }
 
@@ -236,8 +260,9 @@ mod tests {
         assert_eq!(a.miss_refill, 2);
         assert_eq!(a.parity_recovery, 1);
         assert_eq!(a.indirect_stall, 1);
+        assert_eq!(a.btb_miss, 2);
         assert_eq!(a.startup, 9);
-        assert_eq!(a.total(), 80 + 4 + 2 + 1 + 1 + 9);
+        assert_eq!(a.total(), 80 + 4 + 2 + 1 + 1 + 2 + 9);
     }
 
     #[test]
@@ -245,7 +270,7 @@ mod tests {
         let a = sample();
         assert_eq!(
             a.json(),
-            r#"{"useful":80,"branch_penalty":[0,1,0,3],"miss_refill":2,"parity_recovery":1,"indirect_stall":1,"startup":9}"#
+            r#"{"useful":80,"branch_penalty":[0,1,0,3],"miss_refill":2,"parity_recovery":1,"indirect_stall":1,"btb_miss":2,"startup":9}"#
         );
     }
 

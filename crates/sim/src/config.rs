@@ -28,6 +28,120 @@ pub enum HwPredictor {
         /// modelled.
         entries: usize,
     },
+    /// A Lee-Smith branch target buffer (direction half): set
+    /// associative, 2-bit counters, LRU, allocate-on-taken, misses
+    /// predict fall-through. The paper sizes it at "128 sets of 4
+    /// entries" and notes it "would be nearly as large as our entire
+    /// microprocessor chip".
+    Btb {
+        /// Number of sets (power of two); the paper's point is 128.
+        entries: usize,
+        /// Associativity (at least 1); the paper's point is 4.
+        ways: usize,
+    },
+    /// The Manchester MU5 jump trace: a small fully-associative FIFO
+    /// of taken-branch addresses ("only a 40-65 percent correct
+    /// prediction rate for an eight entry jump-trace").
+    JumpTrace {
+        /// FIFO capacity (at least 1); the MU5 had 8.
+        entries: usize,
+    },
+}
+
+impl HwPredictor {
+    /// Stable short label, used as the stats-JSON `predicted_by` value
+    /// and as golden-vector / sweep file-name components. The inverse
+    /// of [`HwPredictor::parse`].
+    pub fn label(&self) -> String {
+        match *self {
+            HwPredictor::StaticBit => "static".to_string(),
+            HwPredictor::Dynamic { bits, entries } => format!("counter{bits}x{entries}"),
+            HwPredictor::Btb { entries, ways } => format!("btb{entries}x{ways}"),
+            HwPredictor::JumpTrace { entries } => format!("jumptrace{entries}"),
+        }
+    }
+
+    /// Parse a `--predictor` spelling. Accepted forms (defaults fill
+    /// omitted geometry):
+    ///
+    /// * `static`
+    /// * `counterN` / `counterNxM` — N-bit counters, M entries
+    ///   (default 64)
+    /// * `btb` / `btbSxW` — S sets × W ways (default 128x4)
+    /// * `jumptrace` / `jumptraceN` — N FIFO entries (default 8)
+    pub fn parse(spec: &str) -> Result<HwPredictor, String> {
+        let bad = || {
+            format!("unknown predictor {spec:?} (expected static, counterN[xM], btb[SxW], or jumptrace[N])")
+        };
+        let parsed = if spec == "static" {
+            HwPredictor::StaticBit
+        } else if let Some(rest) = spec.strip_prefix("counter") {
+            let (bits, entries) = match rest.split_once('x') {
+                Some((b, e)) => (
+                    b.parse::<u8>().map_err(|_| bad())?,
+                    e.parse::<usize>().map_err(|_| bad())?,
+                ),
+                None => (rest.parse::<u8>().map_err(|_| bad())?, 64),
+            };
+            HwPredictor::Dynamic { bits, entries }
+        } else if let Some(rest) = spec.strip_prefix("btb") {
+            let (entries, ways) = if rest.is_empty() {
+                (128, 4)
+            } else {
+                let (s, w) = rest.split_once('x').ok_or_else(bad)?;
+                (
+                    s.parse::<usize>().map_err(|_| bad())?,
+                    w.parse::<usize>().map_err(|_| bad())?,
+                )
+            };
+            HwPredictor::Btb { entries, ways }
+        } else if let Some(rest) = spec.strip_prefix("jumptrace") {
+            let entries = if rest.is_empty() {
+                8
+            } else {
+                rest.parse::<usize>().map_err(|_| bad())?
+            };
+            HwPredictor::JumpTrace { entries }
+        } else {
+            return Err(bad());
+        };
+        parsed
+            .check()
+            .map_err(|e| format!("predictor {spec:?}: {e}"))?;
+        Ok(parsed)
+    }
+
+    /// Geometry invariants, shared by [`SimConfig::validate`] (which
+    /// panics — construction sites are static) and
+    /// [`HwPredictor::parse`] (which reports, since its input is a
+    /// command line).
+    fn check(&self) -> Result<(), String> {
+        match *self {
+            HwPredictor::StaticBit => {}
+            HwPredictor::Dynamic { bits, entries } => {
+                if !(1..=7).contains(&bits) {
+                    return Err("dynamic predictor bits must be 1..=7".to_string());
+                }
+                if !entries.is_power_of_two() || entries < 1 {
+                    return Err("dynamic predictor table must be a power of two".to_string());
+                }
+            }
+            HwPredictor::Btb { entries, ways } => {
+                if !entries.is_power_of_two() || entries < 1 {
+                    return Err("BTB sets must be a power of two".to_string());
+                }
+                if ways < 1 {
+                    return Err("BTB ways must be at least 1".to_string());
+                }
+            }
+            HwPredictor::JumpTrace { entries } => {
+                if entries < 1 {
+                    return Err("jump trace needs at least one entry".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A deliberately-injected pipeline bug, used to validate that the
@@ -139,15 +253,8 @@ impl SimConfig {
             crate::geometry::MIN_DEPTH,
             crate::geometry::MAX_DEPTH
         );
-        if let HwPredictor::Dynamic { bits, entries } = self.predictor {
-            assert!(
-                (1..=7).contains(&bits),
-                "dynamic predictor bits must be 1..=7"
-            );
-            assert!(
-                entries.is_power_of_two() && entries >= 1,
-                "dynamic predictor table must be a power of two"
-            );
+        if let Err(e) = self.predictor.check() {
+            panic!("{e}");
         }
     }
 }
@@ -180,6 +287,97 @@ mod tests {
         let c = SimConfig::without_folding();
         assert_eq!(c.fold_policy, FoldPolicy::None);
         assert_eq!(c.icache_entries, SimConfig::default().icache_entries);
+    }
+
+    #[test]
+    fn predictor_parse_accepts_all_spellings() {
+        assert_eq!(HwPredictor::parse("static"), Ok(HwPredictor::StaticBit));
+        assert_eq!(
+            HwPredictor::parse("counter2"),
+            Ok(HwPredictor::Dynamic {
+                bits: 2,
+                entries: 64
+            })
+        );
+        assert_eq!(
+            HwPredictor::parse("counter3x128"),
+            Ok(HwPredictor::Dynamic {
+                bits: 3,
+                entries: 128
+            })
+        );
+        assert_eq!(
+            HwPredictor::parse("btb"),
+            Ok(HwPredictor::Btb {
+                entries: 128,
+                ways: 4
+            })
+        );
+        assert_eq!(
+            HwPredictor::parse("btb8x2"),
+            Ok(HwPredictor::Btb {
+                entries: 8,
+                ways: 2
+            })
+        );
+        assert_eq!(
+            HwPredictor::parse("jumptrace"),
+            Ok(HwPredictor::JumpTrace { entries: 8 })
+        );
+        assert_eq!(
+            HwPredictor::parse("jumptrace4"),
+            Ok(HwPredictor::JumpTrace { entries: 4 })
+        );
+    }
+
+    #[test]
+    fn predictor_parse_round_trips_labels() {
+        for p in [
+            HwPredictor::StaticBit,
+            HwPredictor::Dynamic {
+                bits: 2,
+                entries: 64,
+            },
+            HwPredictor::Btb {
+                entries: 128,
+                ways: 4,
+            },
+            HwPredictor::JumpTrace { entries: 8 },
+        ] {
+            assert_eq!(HwPredictor::parse(&p.label()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn predictor_parse_rejects_bad_specs() {
+        for bad in [
+            "",
+            "oracle",
+            "counter",
+            "counter0",
+            "counter9",
+            "counter2x3",
+            "btb3x2",
+            "btb128x0",
+            "btbx",
+            "jumptrace0",
+            "jumptracex",
+        ] {
+            assert!(HwPredictor::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "BTB sets must be a power of two")]
+    fn validate_rejects_bad_btb() {
+        SimConfig {
+            predictor: HwPredictor::Btb {
+                entries: 100,
+                ways: 4,
+            },
+            ..SimConfig::default()
+        }
+        .validate();
     }
 
     #[test]

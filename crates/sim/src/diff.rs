@@ -260,8 +260,10 @@ impl LockstepOutcome {
 /// The configuration grid the differential harness sweeps: every
 /// [`FoldPolicy`] × decoded-cache size × hardware-prediction mode. The
 /// small cache forces conflict evictions and refetch-replay paths; the
-/// dynamic predictor exercises guess-direction swaps the static bit
-/// never takes.
+/// dynamic predictors exercise guess-direction swaps the static bit
+/// never takes — every [`HwPredictor`] variant is represented (tiny
+/// BTB/jump-trace geometries, so eviction and capacity paths fire on
+/// short programs).
 pub fn sweep_configs() -> Vec<SimConfig> {
     let mut out = Vec::new();
     for fold_policy in [
@@ -277,6 +279,11 @@ pub fn sweep_configs() -> Vec<SimConfig> {
                     bits: 2,
                     entries: 64,
                 },
+                HwPredictor::Btb {
+                    entries: 8,
+                    ways: 2,
+                },
+                HwPredictor::JumpTrace { entries: 8 },
             ] {
                 out.push(SimConfig {
                     fold_policy,

@@ -58,6 +58,7 @@ pub mod observe;
 mod pdu;
 mod pipeline;
 mod predecode;
+pub mod predictor;
 pub mod profile;
 pub mod soft_error;
 mod stats;
@@ -83,6 +84,7 @@ pub use observe::{
 pub use pdu::Pdu;
 pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};
 pub use predecode::{PredecodedImage, DECODE_WINDOW};
+pub use predictor::{BtbTable, CounterTable, HwPredictorState, JumpTraceTable, Predictor};
 pub use profile::{BranchProfiler, SiteStats};
 pub use soft_error::{
     apply_fault, classify_fault, classify_fault_pooled, decode_entry, entry_bits, nth_field,

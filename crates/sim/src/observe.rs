@@ -164,6 +164,25 @@ pub enum PipeEvent {
         /// Whether the branch was folded with its host.
         folded: bool,
     },
+    /// A live dynamic predictor ([`crate::SimConfig::predictor`], any
+    /// non-static variant) was consulted for a conditional entry at
+    /// cache-read time. Emitted at the guess, before the outcome is
+    /// known; together with the [`PipeEvent::BranchRetire`] stream
+    /// (the training points) it lets a trace-driven model replay the
+    /// pipeline's exact predict/update interleaving — the
+    /// cross-validation in `tests/prop_predictor_xval.rs`. Never
+    /// emitted under the static bit, which consults no table.
+    Predict {
+        /// Cycle of the lookup.
+        cycle: u64,
+        /// Address of the branch instruction (the predictor's key).
+        branch_pc: u32,
+        /// The predicted direction.
+        guess: bool,
+        /// Whether the guess was the table's miss default (no resident
+        /// entry) rather than a trained direction.
+        miss: bool,
+    },
     /// A conditional branch's direction became certain.
     BranchResolve {
         /// Cycle of the resolution.
@@ -273,6 +292,7 @@ impl PipeEvent {
             | PipeEvent::CacheFill { cycle, .. }
             | PipeEvent::Issue { cycle, .. }
             | PipeEvent::BranchRetire { cycle, .. }
+            | PipeEvent::Predict { cycle, .. }
             | PipeEvent::BranchResolve { cycle, .. }
             | PipeEvent::Squash { cycle, .. }
             | PipeEvent::StallBegin { cycle, .. }
@@ -460,6 +480,15 @@ impl PipeEvent {
             } => write!(
                 s,
                 r#"{{"ev":"branch_retire","cycle":{cycle},"branch_pc":{branch_pc},"taken":{taken},"predicted":{predicted},"folded":{folded}}}"#
+            ),
+            PipeEvent::Predict {
+                cycle,
+                branch_pc,
+                guess,
+                miss,
+            } => write!(
+                s,
+                r#"{{"ev":"predict","cycle":{cycle},"branch_pc":{branch_pc},"guess":{guess},"miss":{miss}}}"#
             ),
             PipeEvent::BranchResolve {
                 cycle,
@@ -655,6 +684,12 @@ impl PipeEvent {
                 taken: boolean("taken")?,
                 predicted: boolean("predicted")?,
                 folded: boolean("folded")?,
+            }),
+            "predict" => Ok(PipeEvent::Predict {
+                cycle,
+                branch_pc: pc("branch_pc")?,
+                guess: boolean("guess")?,
+                miss: boolean("miss")?,
             }),
             "branch_resolve" => Ok(PipeEvent::BranchResolve {
                 cycle,
@@ -1145,6 +1180,18 @@ mod tests {
                 cycle: 4,
                 pc: 0,
                 folded: true,
+            },
+            PipeEvent::Predict {
+                cycle: 4,
+                branch_pc: 2,
+                guess: true,
+                miss: false,
+            },
+            PipeEvent::Predict {
+                cycle: 4,
+                branch_pc: 6,
+                guess: false,
+                miss: true,
             },
             PipeEvent::BranchResolve {
                 cycle: 5,

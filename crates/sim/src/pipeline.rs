@@ -26,12 +26,13 @@
 use crisp_isa::{Decoded, FoldClass, NextPc};
 
 use crate::accounting::{BubbleCause, CycleAccounts};
-use crate::config::{FaultInjection, HwPredictor};
+use crate::config::FaultInjection;
 use crate::geometry::{PipelineGeometry, StageHistogram, MAX_DEPTH, MIN_DEPTH};
 use crate::observe::{NullObserver, PipeEvent, PipeObserver, StallKind};
 use std::sync::Arc;
 
 use crate::predecode::PredecodedImage;
+use crate::predictor::HwPredictorState;
 use crate::stats::resolve_stage;
 use crate::{CacheLookup, CycleStats, DecodedCache, HaltReason, Machine, Pdu, SimConfig, SimError};
 
@@ -50,49 +51,13 @@ struct Slot {
     /// For conditional entries: the path NOT followed, used for
     /// recovery on a mispredict.
     other: NextPc,
+    /// For conditional entries guessed by a dynamic predictor: whether
+    /// the guess was the table's *miss default* (no resident BTB /
+    /// jump-trace entry) rather than a trained direction. Routes a
+    /// later mispredict's bubbles to [`BubbleCause::BtbMiss`].
+    guess_miss: bool,
     /// Fetch sequence number (slot identity for indirect-target waits).
     seq: u64,
-}
-
-/// A direct-mapped table of n-bit saturating counters (the dynamic
-/// hardware predictor the paper evaluated and rejected).
-#[derive(Debug, Clone)]
-struct DynTable {
-    threshold: u8,
-    max: u8,
-    mask: usize,
-    counters: Vec<u8>,
-}
-
-impl DynTable {
-    fn new(bits: u8, entries: usize) -> DynTable {
-        let threshold = 1 << (bits - 1);
-        DynTable {
-            threshold,
-            max: (1 << bits) - 1,
-            mask: entries - 1,
-            // Weakly not-taken initial state.
-            counters: vec![threshold - 1; entries],
-        }
-    }
-
-    fn index(&self, pc: u32) -> usize {
-        ((pc >> 1) as usize) & self.mask
-    }
-
-    fn predict(&self, pc: u32) -> bool {
-        self.counters[self.index(pc)] >= self.threshold
-    }
-
-    fn train(&mut self, pc: u32, taken: bool) {
-        let i = self.index(pc);
-        let c = &mut self.counters[i];
-        if taken {
-            *c = (*c + 1).min(self.max);
-        } else {
-            *c = c.saturating_sub(1);
-        }
-    }
 }
 
 /// A view of one EU stage for [`CycleSim::step`] consumers.
@@ -200,8 +165,9 @@ pub struct CycleSim<O: PipeObserver = NullObserver> {
     /// The PC whose miss is currently being counted (so a multi-cycle
     /// stall counts as one miss).
     missing_pc: Option<u32>,
-    /// Dynamic-prediction counter table, when configured.
-    dyn_table: Option<DynTable>,
+    /// Live dynamic-prediction hardware, when configured (`None` for
+    /// the shipped static-bit design, keeping its hot path untouched).
+    predictor: Option<HwPredictorState>,
     /// The EU stall in progress, for paired stall begin/end events.
     stall: Option<StallKind>,
     /// Whether the configured [`SimConfig::fault_plan`] has fired (each
@@ -213,10 +179,10 @@ pub struct CycleSim<O: PipeObserver = NullObserver> {
     /// valid slot's entry is stale and ignored (and overwritten if the
     /// slot is later squashed).
     causes: [BubbleCause; MAX_DEPTH],
-    /// Resolve-stage index of the mispredict that cancelled this
-    /// cycle's fetch; read only while `kill_fetch` is set within a
-    /// cycle, to tag the suppressed fetch slot's bubble.
-    fetch_kill_stage: u8,
+    /// Bubble cause of the mispredict that cancelled this cycle's
+    /// fetch; read only while `kill_fetch` is set within a cycle, to
+    /// tag the suppressed fetch slot's bubble.
+    fetch_kill_cause: BubbleCause,
     /// PC whose decoded-cache entry was invalidated by a read-time
     /// parity check: the refill stall for that PC is accounted as
     /// parity recovery rather than an ordinary miss.
@@ -263,19 +229,17 @@ impl<O: PipeObserver> CycleSim<O> {
             waiting_on: None,
             next_seq: 0,
             missing_pc: None,
-            dyn_table: match cfg.predictor {
-                HwPredictor::StaticBit => None,
-                HwPredictor::Dynamic { bits, entries } => Some(DynTable::new(bits, entries)),
-            },
+            predictor: HwPredictorState::from_config(cfg.predictor),
             stall: None,
             fault_done: false,
             causes: [BubbleCause::Startup; MAX_DEPTH],
-            fetch_kill_stage: 0,
+            fetch_kill_cause: BubbleCause::Startup,
             parity_pc: None,
             obs,
             stats: CycleStats {
                 mispredicts_by_stage: StageHistogram::for_geometry(cfg.geometry),
                 accounts: CycleAccounts::for_geometry(cfg.geometry),
+                predicted_by: cfg.predictor.label(),
                 ..CycleStats::default()
             },
         };
@@ -527,6 +491,7 @@ impl<O: PipeObserver> CycleSim<O> {
         let other = slot.other;
         let branch_pc = slot.d.branch_pc.unwrap_or(slot.d.pc);
         let mispredicted = taken != slot.followed;
+        let guess_miss = slot.guess_miss;
         let stage_idx = pos + 1;
         if O::ENABLED {
             self.obs.event(PipeEvent::BranchResolve {
@@ -538,6 +503,14 @@ impl<O: PipeObserver> CycleSim<O> {
         }
         if mispredicted {
             self.stats.mispredicts_by_stage.bump(stage_idx);
+            // A wrong guess that was only a predictor-table miss default
+            // is cold/capacity behaviour, not trained-direction error:
+            // its recovery bubbles get their own bucket.
+            let cause = if guess_miss {
+                BubbleCause::BtbMiss
+            } else {
+                BubbleCause::Branch(stage_idx as u8)
+            };
             let mut flushed = 0;
             // Everything younger is wrong-path: the stages behind this
             // one (oldest first, matching retire-time squash order) and
@@ -550,11 +523,11 @@ impl<O: PipeObserver> CycleSim<O> {
                     (q + 1) as u8,
                     &mut self.obs,
                 ) {
-                    self.causes[q] = BubbleCause::Branch(stage_idx as u8);
+                    self.causes[q] = cause;
                 }
             }
             *kill_fetch = true;
-            self.fetch_kill_stage = stage_idx as u8;
+            self.fetch_kill_cause = cause;
             self.stats.flushed_slots += flushed;
             self.redirect_to(other, seq);
         }
@@ -640,11 +613,18 @@ impl<O: PipeObserver> CycleSim<O> {
                 let step = self.machine.execute_observed(&slot.d, cyc, &mut self.obs)?;
                 self.stats.issued += 1;
                 self.stats.program_instrs += 1 + u64::from(slot.d.folded);
-                if let FoldClass::Cond { .. } = slot.d.fold {
+                if let FoldClass::Cond { predict_taken, .. } = slot.d.fold {
                     self.stats.cond_branches += 1;
                     let taken = step.taken.expect("conditional step reports direction");
-                    if let Some(table) = &mut self.dyn_table {
-                        table.train(slot.d.branch_pc.unwrap_or(slot.d.pc), taken);
+                    // Shadow score of the compiler's static bit over the
+                    // same retired branch stream, independent of which
+                    // predictor actually drove the fetch — the basis of
+                    // the per-predictor mispredict split in the stats.
+                    if taken != predict_taken {
+                        self.stats.static_bit_mispredicts += 1;
+                    }
+                    if let Some(p) = &mut self.predictor {
+                        p.train(slot.d.branch_pc.unwrap_or(slot.d.pc), taken);
                     }
                     if !slot.resolved {
                         // Resolved only now — the folded-compare case.
@@ -662,6 +642,11 @@ impl<O: PipeObserver> CycleSim<O> {
                             // cycle's fetch): `depth` slots in total.
                             let retire_stage = self.cfg.geometry.retire_stage();
                             self.stats.mispredicts_by_stage.bump(retire_stage);
+                            let cause = if slot.guess_miss {
+                                BubbleCause::BtbMiss
+                            } else {
+                                BubbleCause::Branch(retire_stage as u8)
+                            };
                             let mut flushed = 0;
                             for (q, latch) in younger.iter_mut().enumerate().rev() {
                                 // The planted SkipOrSquash bug skips the
@@ -679,12 +664,12 @@ impl<O: PipeObserver> CycleSim<O> {
                                     (q + 1) as u8,
                                     &mut self.obs,
                                 ) {
-                                    self.causes[q] = BubbleCause::Branch(retire_stage as u8);
+                                    self.causes[q] = cause;
                                 }
                             }
                             self.stats.flushed_slots += flushed;
                             kill_fetch = true;
-                            self.fetch_kill_stage = retire_stage as u8;
+                            self.fetch_kill_cause = cause;
                             self.fetch_pc = Some(step.next_pc);
                             self.waiting_on = None;
                         }
@@ -739,7 +724,7 @@ impl<O: PipeObserver> CycleSim<O> {
         if kill_fetch {
             // The slot being clocked into IR this edge was cancelled:
             // one more bubble charged to the resolving branch.
-            self.causes[0] = BubbleCause::Branch(self.fetch_kill_stage);
+            self.causes[0] = self.fetch_kill_cause;
         } else if let Some(pc) = self.fetch_pc {
             // The hit entry is latched (copied) into the IR slot here —
             // the one purposeful copy-out of the borrow
@@ -783,6 +768,7 @@ impl<O: PipeObserver> CycleSim<O> {
                     resolved: false,
                     followed: false,
                     other: d.next_pc,
+                    guess_miss: false,
                     seq,
                 };
                 let mut chosen = d.next_pc;
@@ -796,12 +782,27 @@ impl<O: PipeObserver> CycleSim<O> {
                     // lacks one, and then both paths collapse onto
                     // Next-PC.
                     let alt = d.alt_pc.unwrap_or(d.next_pc);
-                    // The hardware's guess: the static bit, or the
-                    // dynamic counter table when configured.
-                    let guess = match &self.dyn_table {
-                        None => predict_taken,
-                        Some(t) => t.predict(d.branch_pc.unwrap_or(d.pc)),
+                    // The hardware's guess: the static bit, or the live
+                    // dynamic predictor when configured. `guess` must be
+                    // a read-only lookup — training happens at retire —
+                    // or wrong-path fetches and in-flight repeats of a
+                    // tight loop would desynchronize the table from the
+                    // trace-driven reference models (see
+                    // `crate::predictor`).
+                    let branch_pc = d.branch_pc.unwrap_or(d.pc);
+                    let (guess, guess_miss) = match &self.predictor {
+                        None => (predict_taken, false),
+                        Some(p) => p.guess(branch_pc),
                     };
+                    slot.guess_miss = guess_miss;
+                    if O::ENABLED && self.predictor.is_some() {
+                        self.obs.event(PipeEvent::Predict {
+                            cycle: cyc,
+                            branch_pc,
+                            guess,
+                            miss: guess_miss,
+                        });
+                    }
                     // Zero-cost resolution at cache-read time: no compare
                     // anywhere in the pipeline means the flag is final.
                     if !d.modifies_cc && !self.cc_writer_in_flight() {
@@ -1723,6 +1724,154 @@ mod tests {
             dynamic.stats.mispredicts_by_stage,
             static_bit.stats.mispredicts_by_stage
         );
+    }
+
+    #[test]
+    fn btb_predictor_learns_a_loop_and_charges_cold_misses() {
+        use crate::config::HwPredictor;
+        // Same loop as the counter test: the static bit is wrong every
+        // iteration, a BTB allocates the branch on its first taken
+        // retirement and predicts taken from then on. The first wrong
+        // guess came from a table miss, so its recovery bubbles land in
+        // the btb_miss bucket, not branch_penalty.
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$100
+            ifjmpy.nt top      ; static bit says NOT taken (wrong 99x)
+            halt
+        ";
+        let btb_cfg = SimConfig {
+            predictor: HwPredictor::Btb {
+                entries: 128,
+                ways: 4,
+            },
+            ..SimConfig::default()
+        };
+        let btb = run_cfg(src, btb_cfg);
+        let static_bad = run_cfg(src, SimConfig::default());
+        assert!(
+            btb.stats.mispredicts() < 6,
+            "btb mispredicts = {}",
+            btb.stats.mispredicts()
+        );
+        assert!(btb.stats.cycles < static_bad.stats.cycles);
+        assert_eq!(btb.stats.accounts.total(), btb.stats.cycles);
+        assert!(
+            btb.stats.accounts.btb_miss > 0,
+            "cold-miss mispredict must be charged to btb_miss: {:?}",
+            btb.stats.accounts
+        );
+        // The shadow static-bit score is independent of the live
+        // predictor: the bad bit misses ~99 times either way.
+        assert_eq!(
+            btb.stats.static_bit_mispredicts,
+            static_bad.stats.static_bit_mispredicts
+        );
+        assert!(btb.stats.static_bit_mispredicts > 90);
+        assert_eq!(btb.stats.predicted_by, "btb128x4");
+        assert_eq!(static_bad.stats.predicted_by, "static");
+        // Under the static bit the shadow score IS the live score.
+        assert_eq!(
+            static_bad.stats.static_bit_mispredicts,
+            static_bad.stats.mispredicts()
+        );
+        // Architectural results identical.
+        assert_eq!(
+            btb.machine.mem.read_word(btb.machine.sp).unwrap(),
+            static_bad
+                .machine
+                .mem
+                .read_word(static_bad.machine.sp)
+                .unwrap(),
+        );
+    }
+
+    #[test]
+    fn jump_trace_predictor_learns_a_loop() {
+        use crate::config::HwPredictor;
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$100
+            ifjmpy.nt top      ; static bit says NOT taken (wrong 99x)
+            halt
+        ";
+        let jt_cfg = SimConfig {
+            predictor: HwPredictor::JumpTrace { entries: 8 },
+            ..SimConfig::default()
+        };
+        let jt = run_cfg(src, jt_cfg);
+        let static_bad = run_cfg(src, SimConfig::default());
+        // A hit predicts taken, so after the first taken retirement the
+        // loop branch is always right; only the cold miss costs.
+        assert!(
+            jt.stats.mispredicts() < 3,
+            "jump-trace mispredicts = {}",
+            jt.stats.mispredicts()
+        );
+        assert!(jt.stats.cycles < static_bad.stats.cycles);
+        assert_eq!(jt.stats.accounts.total(), jt.stats.cycles);
+        assert!(jt.stats.accounts.btb_miss > 0, "{:?}", jt.stats.accounts);
+        assert_eq!(jt.stats.predicted_by, "jumptrace8");
+        assert_eq!(
+            jt.machine.mem.read_word(jt.machine.sp).unwrap(),
+            static_bad
+                .machine
+                .mem
+                .read_word(static_bad.machine.sp)
+                .unwrap(),
+        );
+    }
+
+    #[test]
+    fn predict_events_mark_table_misses() {
+        use crate::config::HwPredictor;
+        use crate::EventRing;
+        let src = "
+            mov 0(sp),$0
+        top:
+            add 0(sp),$1
+            cmp.s< 0(sp),$16
+            ifjmpy.nt top
+            halt
+        ";
+        let image = assemble_text(src).unwrap();
+        let cfg = SimConfig {
+            predictor: HwPredictor::Btb {
+                entries: 8,
+                ways: 2,
+            },
+            ..SimConfig::default()
+        };
+        let sim =
+            CycleSim::with_observer(Machine::load(&image).unwrap(), cfg, EventRing::new(1 << 16));
+        let (run, ring) = sim.run_observed().unwrap();
+        assert!(run.halted);
+        let predicts: Vec<_> = ring
+            .events()
+            .filter_map(|e| match *e {
+                PipeEvent::Predict { guess, miss, .. } => Some((guess, miss)),
+                _ => None,
+            })
+            .collect();
+        assert!(!predicts.is_empty(), "dynamic runs must emit Predict");
+        // First consult of the loop branch misses (predicting
+        // not-taken); once allocated, hits predict taken.
+        assert_eq!(predicts[0], (false, true));
+        assert!(predicts.iter().any(|&(g, m)| g && !m));
+        // The static-bit machine consults no table: no Predict events.
+        let sim = CycleSim::with_observer(
+            Machine::load(&image).unwrap(),
+            SimConfig::default(),
+            EventRing::new(1 << 16),
+        );
+        let (_, ring) = sim.run_observed().unwrap();
+        assert!(!ring
+            .events()
+            .any(|e| matches!(e, PipeEvent::Predict { .. })));
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Hardware branch-direction predictors shared between the cycle
+//! engine and the trace-driven study in `crisp-predict`.
+//!
+//! The paper's comparison — a single compiler-set static bit against
+//! dynamic hardware schemes — needs both kinds of model to make *the
+//! same predictions over the same branch stream*, or the cycle-level
+//! and trace-level numbers cannot be reconciled. This module owns the
+//! shared [`Predictor`] trait (re-exported by `crisp_predict`) plus the
+//! finite, preallocated table implementations the pipeline instantiates
+//! from [`HwPredictor`]:
+//!
+//! * [`CounterTable`] — a direct-mapped table of n-bit saturating
+//!   counters (J. Smith's weighted history, the scheme behind the
+//!   paper's Table 1 dynamic columns);
+//! * [`BtbTable`] — the direction half of a Lee-Smith branch target
+//!   buffer (set-associative, 2-bit counters, LRU, allocate-on-taken);
+//! * [`JumpTraceTable`] — the MU5 jump trace (a small fully-associative
+//!   FIFO of taken-branch addresses).
+//!
+//! # The trace-vs-pipeline seam
+//!
+//! A trace-driven model sees `predict → update` fused per branch; the
+//! pipeline predicts at fetch and trains at retire, so in a tight loop
+//! a branch is predicted again *before* its previous outcome trains
+//! the table, and wrong-path fetches are predicted but never trained.
+//! The contract that keeps the two worlds bit-identical is therefore:
+//! **`predict` never mutates predictor state; `update` carries every
+//! mutation** (counter movement, LRU stamps, allocation, eviction).
+//! Under that contract, replaying the pipeline's actual operation
+//! stream through a trace-driven model reproduces its prediction
+//! stream exactly — the cross-validation the `prop_predictor_xval`
+//! suite enforces.
+//!
+//! On direction-only equivalence: the BTB and jump trace store branch
+//! targets, but no stored target ever influences hit/miss, counter
+//! state, or replacement. Conditional-branch targets are static per
+//! address in this ISA, so the direction-only tables here are exactly
+//! direction-equivalent to the target-carrying `crisp-predict` models.
+
+use crate::config::HwPredictor;
+
+/// A per-branch direction predictor consulted before each conditional
+/// branch and trained afterwards.
+///
+/// `predict` must be semantically read-only (no observable effect on
+/// later predictions or updates); `update` carries all state mutation.
+/// The pipeline relies on this split — see the module docs.
+pub trait Predictor {
+    /// Predict whether the branch at `pc` will be taken.
+    fn predict(&mut self, pc: u32) -> bool;
+    /// Train with the actual outcome.
+    fn update(&mut self, pc: u32, taken: bool);
+    /// Short human-readable name.
+    fn name(&self) -> String;
+}
+
+/// A direct-mapped table of n-bit saturating counters (the dynamic
+/// hardware predictor the paper evaluated and rejected). Counters start
+/// at the weakly-not-taken value; the index is the parcel address
+/// (`pc >> 1`) masked to the table size — identical to
+/// `crisp_predict::FinitePredictor`, which cross-validates it.
+#[derive(Debug, Clone)]
+pub struct CounterTable {
+    bits: u8,
+    threshold: u8,
+    max: u8,
+    mask: usize,
+    counters: Vec<u8>,
+}
+
+impl CounterTable {
+    /// Create a table of `entries` counters, each `bits` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero/oversized width or a non-power-of-two size
+    /// (construction sites validate via [`crate::SimConfig::validate`]).
+    pub fn new(bits: u8, entries: usize) -> CounterTable {
+        assert!((1..=7).contains(&bits), "counter bits must be 1..=7");
+        assert!(
+            entries.is_power_of_two() && entries >= 1,
+            "table entries must be a power of two"
+        );
+        let threshold = 1 << (bits - 1);
+        CounterTable {
+            bits,
+            threshold,
+            max: (1 << bits) - 1,
+            mask: entries - 1,
+            // Weakly not-taken initial state.
+            counters: vec![threshold - 1; entries],
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 1) as usize) & self.mask
+    }
+
+    /// Read-only prediction for the branch at `pc`.
+    #[inline]
+    pub fn guess(&self, pc: u32) -> bool {
+        self.counters[self.index(pc)] >= self.threshold
+    }
+
+    /// Move the counter toward the actual outcome.
+    #[inline]
+    pub fn train(&mut self, pc: u32, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(self.max);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+impl Predictor for CounterTable {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.guess(pc)
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        self.train(pc, taken);
+    }
+
+    fn name(&self) -> String {
+        format!("{}-bit dynamic, {} entries", self.bits, self.mask + 1)
+    }
+}
+
+/// One resident BTB entry: a branch address with its 2-bit direction
+/// counter and LRU stamp. No target — see the module docs.
+#[derive(Debug, Clone, Copy)]
+struct BtbSlot {
+    pc: u32,
+    counter: u8,
+    used: u64,
+}
+
+/// The direction half of a set-associative branch target buffer with
+/// 2-bit counters, LRU replacement and allocate-on-taken — the
+/// Lee-Smith design the paper sizes at "128 sets of 4 entries" (and
+/// notes would be "nearly as large as our entire microprocessor
+/// chip"). A lookup miss predicts not-taken (fall through).
+#[derive(Debug, Clone)]
+pub struct BtbTable {
+    mask: usize,
+    ways: usize,
+    /// Per-set entry lists, each preallocated to `ways` so the steady
+    /// state never allocates.
+    sets: Vec<Vec<BtbSlot>>,
+    /// LRU clock, advanced once per [`BtbTable::train`].
+    clock: u64,
+}
+
+impl BtbTable {
+    /// Create a BTB of `sets` sets × `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> BtbTable {
+        assert!(
+            sets.is_power_of_two() && sets >= 1,
+            "sets must be a power of two"
+        );
+        assert!(ways >= 1, "ways must be at least 1");
+        BtbTable {
+            mask: sets - 1,
+            ways,
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            clock: 0,
+        }
+    }
+
+    fn set_index(&self, pc: u32) -> usize {
+        ((pc >> 1) as usize) & self.mask
+    }
+
+    /// Read-only prediction: `(direction, table_miss)`. A hit predicts
+    /// by its counter; a miss predicts not-taken.
+    #[inline]
+    pub fn guess(&self, pc: u32) -> (bool, bool) {
+        match self.sets[self.set_index(pc)].iter().find(|e| e.pc == pc) {
+            Some(e) => (e.counter >= 2, false),
+            None => (false, true),
+        }
+    }
+
+    /// Train with the actual outcome: move a hit entry's counter and
+    /// LRU stamp; allocate on a taken miss (evicting LRU at capacity).
+    pub fn train(&mut self, pc: u32, taken: bool) {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.ways;
+        let idx = self.set_index(pc);
+        let set = &mut self.sets[idx];
+        match set.iter_mut().find(|e| e.pc == pc) {
+            Some(e) => {
+                e.counter = if taken {
+                    (e.counter + 1).min(3)
+                } else {
+                    e.counter.saturating_sub(1)
+                };
+                e.used = clock;
+            }
+            None if taken => {
+                // Allocate on taken branches only (a BTB of fall-through
+                // branches would be useless), born weakly taken.
+                let entry = BtbSlot {
+                    pc,
+                    counter: 2,
+                    used: clock,
+                };
+                if set.len() < ways {
+                    set.push(entry);
+                } else {
+                    let lru = set
+                        .iter_mut()
+                        .min_by_key(|e| e.used)
+                        .expect("ways >= 1 guarantees an entry");
+                    *lru = entry;
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+impl Predictor for BtbTable {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.guess(pc).0
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        self.train(pc, taken);
+    }
+
+    fn name(&self) -> String {
+        format!("BTB {}x{}", self.mask + 1, self.ways)
+    }
+}
+
+/// The Manchester MU5 Jump Trace: a small fully-associative FIFO of
+/// taken-branch addresses. A hit predicts taken; a miss predicts
+/// sequential flow; a not-taken occurrence evicts its entry. The paper:
+/// "Results for the MU5 show only a 40-65 percent correct prediction
+/// rate for an eight entry jump-trace, barely better than tossing a
+/// coin."
+#[derive(Debug, Clone)]
+pub struct JumpTraceTable {
+    capacity: usize,
+    /// FIFO order, oldest first; preallocated to capacity.
+    entries: Vec<u32>,
+}
+
+impl JumpTraceTable {
+    /// Create a jump trace with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> JumpTraceTable {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        JumpTraceTable {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Read-only prediction: `(direction, table_miss)`. A resident
+    /// branch predicts taken; anything else predicts not-taken.
+    #[inline]
+    pub fn guess(&self, pc: u32) -> (bool, bool) {
+        let hit = self.entries.contains(&pc);
+        (hit, !hit)
+    }
+
+    /// Train with the actual outcome: a not-taken hit evicts, a taken
+    /// miss inserts (dropping the oldest entry at capacity).
+    pub fn train(&mut self, pc: u32, taken: bool) {
+        let hit = self.entries.iter().position(|&p| p == pc);
+        match (hit, taken) {
+            (Some(_), true) => {}
+            (Some(i), false) => {
+                self.entries.remove(i);
+            }
+            (None, true) => {
+                if self.entries.len() == self.capacity {
+                    self.entries.remove(0);
+                }
+                self.entries.push(pc);
+            }
+            (None, false) => {}
+        }
+    }
+}
+
+impl Predictor for JumpTraceTable {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.guess(pc).0
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        self.train(pc, taken);
+    }
+
+    fn name(&self) -> String {
+        format!("jump trace, {} entries", self.capacity)
+    }
+}
+
+/// The live predictor instance the cycle engine carries, instantiated
+/// from [`HwPredictor`] (`None` for the static bit — the shipped
+/// design has no hardware table at all, and the hot path stays
+/// untouched).
+#[derive(Debug, Clone)]
+pub enum HwPredictorState {
+    /// Direct-mapped n-bit saturating counters.
+    Counters(CounterTable),
+    /// Set-associative Lee-Smith BTB (direction half).
+    Btb(BtbTable),
+    /// MU5 jump trace FIFO.
+    JumpTrace(JumpTraceTable),
+}
+
+impl HwPredictorState {
+    /// Build the table a configuration calls for; `None` for
+    /// [`HwPredictor::StaticBit`].
+    pub fn from_config(cfg: HwPredictor) -> Option<HwPredictorState> {
+        match cfg {
+            HwPredictor::StaticBit => None,
+            HwPredictor::Dynamic { bits, entries } => {
+                Some(HwPredictorState::Counters(CounterTable::new(bits, entries)))
+            }
+            HwPredictor::Btb { entries, ways } => {
+                Some(HwPredictorState::Btb(BtbTable::new(entries, ways)))
+            }
+            HwPredictor::JumpTrace { entries } => {
+                Some(HwPredictorState::JumpTrace(JumpTraceTable::new(entries)))
+            }
+        }
+    }
+
+    /// Read-only prediction: `(direction, table_miss)`. `table_miss`
+    /// marks a guess that came from the miss default rather than a
+    /// resident entry — a direct-mapped counter table always "hits".
+    #[inline]
+    pub fn guess(&self, pc: u32) -> (bool, bool) {
+        match self {
+            HwPredictorState::Counters(t) => (t.guess(pc), false),
+            HwPredictorState::Btb(t) => t.guess(pc),
+            HwPredictorState::JumpTrace(t) => t.guess(pc),
+        }
+    }
+
+    /// Train with the actual outcome.
+    #[inline]
+    pub fn train(&mut self, pc: u32, taken: bool) {
+        match self {
+            HwPredictorState::Counters(t) => t.train(pc, taken),
+            HwPredictorState::Btb(t) => t.train(pc, taken),
+            HwPredictorState::JumpTrace(t) => t.train(pc, taken),
+        }
+    }
+}
+
+impl Predictor for HwPredictorState {
+    fn predict(&mut self, pc: u32) -> bool {
+        self.guess(pc).0
+    }
+
+    fn update(&mut self, pc: u32, taken: bool) {
+        self.train(pc, taken);
+    }
+
+    fn name(&self) -> String {
+        match self {
+            HwPredictorState::Counters(t) => t.name(),
+            HwPredictorState::Btb(t) => t.name(),
+            HwPredictorState::JumpTrace(t) => t.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_table_learns_and_saturates() {
+        let mut t = CounterTable::new(2, 16);
+        assert!(!t.guess(0x10), "weakly not-taken start");
+        t.train(0x10, true);
+        t.train(0x10, true);
+        assert!(t.guess(0x10));
+        // One not-taken must not flip a strongly-taken counter.
+        t.train(0x10, true);
+        t.train(0x10, false);
+        assert!(t.guess(0x10));
+    }
+
+    #[test]
+    fn counter_table_aliases_at_table_size() {
+        let t = CounterTable::new(2, 16);
+        assert_eq!(t.index(0x20), t.index(0x20 + 32));
+        assert_ne!(t.index(0x20), t.index(0x22));
+    }
+
+    #[test]
+    fn btb_miss_predicts_not_taken_and_allocates_on_taken() {
+        let mut t = BtbTable::new(8, 2);
+        assert_eq!(t.guess(0x10), (false, true));
+        t.train(0x10, true);
+        assert_eq!(t.guess(0x10), (true, false), "born weakly taken");
+        // Never-taken branches are not allocated.
+        t.train(0x20, false);
+        assert_eq!(t.guess(0x20), (false, true));
+    }
+
+    #[test]
+    fn btb_predict_does_not_mutate() {
+        let mut t = BtbTable::new(8, 2);
+        t.train(0x10, true);
+        let before = format!("{t:?}");
+        for _ in 0..10 {
+            t.guess(0x10);
+            t.guess(0x99);
+        }
+        assert_eq!(format!("{t:?}"), before);
+    }
+
+    #[test]
+    fn btb_evicts_lru_within_a_set() {
+        // 1 set × 2 ways: three hot branches fight over two slots.
+        let mut t = BtbTable::new(1, 2);
+        t.train(0x10, true);
+        t.train(0x20, true);
+        // 0x10 is LRU; allocating 0x30 must displace it.
+        t.train(0x30, true);
+        assert_eq!(t.guess(0x10), (false, true), "LRU entry evicted");
+        assert!(!t.guess(0x20).1);
+        assert!(!t.guess(0x30).1);
+    }
+
+    #[test]
+    fn jump_trace_fifo_and_not_taken_eviction() {
+        let mut t = JumpTraceTable::new(2);
+        t.train(0x10, true);
+        t.train(0x20, true);
+        assert_eq!(t.guess(0x10), (true, false));
+        // Capacity eviction drops the oldest.
+        t.train(0x30, true);
+        assert_eq!(t.guess(0x10), (false, true));
+        // A not-taken occurrence evicts its entry.
+        t.train(0x20, false);
+        assert_eq!(t.guess(0x20), (false, true));
+    }
+
+    #[test]
+    fn state_builds_from_every_config() {
+        use crate::config::HwPredictor;
+        assert!(HwPredictorState::from_config(HwPredictor::StaticBit).is_none());
+        let c = HwPredictorState::from_config(HwPredictor::Dynamic {
+            bits: 2,
+            entries: 64,
+        })
+        .unwrap();
+        assert!(matches!(c, HwPredictorState::Counters(_)));
+        assert!(!c.guess(0).1, "counter tables never miss");
+        let b = HwPredictorState::from_config(HwPredictor::Btb {
+            entries: 128,
+            ways: 4,
+        })
+        .unwrap();
+        assert_eq!(b.guess(0), (false, true));
+        let j = HwPredictorState::from_config(HwPredictor::JumpTrace { entries: 8 }).unwrap();
+        assert_eq!(j.guess(0), (false, true));
+    }
+
+    #[test]
+    fn trait_dispatch_matches_inherent_calls() {
+        let mut s = HwPredictorState::from_config(HwPredictor::Btb {
+            entries: 8,
+            ways: 2,
+        })
+        .unwrap();
+        s.update(0x10, true);
+        assert_eq!(s.predict(0x10), s.guess(0x10).0);
+        assert!(s.name().contains("BTB"));
+    }
+}

@@ -213,8 +213,13 @@ pub mod resolve_stage {
 /// entries) and records this field so consumers can detect the shape;
 /// version 3 adds the nested `accounts` object (top-down cycle
 /// accounting, see [`crate::CycleAccounts`]) and the `dropped_events`
-/// count (event-ring overflow during an observed run).
-pub const STATS_SCHEMA_VERSION: u32 = 3;
+/// count (event-ring overflow during an observed run); version 4 adds
+/// `predicted_by` (the live [`crate::HwPredictor`] label),
+/// `static_bit_mispredicts` (the compiler's static bit scored in
+/// shadow over the same retired branch stream, giving the
+/// per-predictor mispredict split), and the `btb_miss` bucket inside
+/// `accounts`.
+pub const STATS_SCHEMA_VERSION: u32 = 4;
 
 /// Counters produced by the cycle engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -262,6 +267,16 @@ pub struct CycleStats {
     /// Whether the run ended on a watchdog limit rather than `halt`
     /// (see [`crate::HaltReason`]).
     pub watchdog: bool,
+    /// Label of the hardware predictor that drove the fetch guesses
+    /// ([`crate::HwPredictor::label`]); empty on a default-constructed
+    /// stats block that never ran.
+    pub predicted_by: String,
+    /// Retired conditional branches the compiler's *static bit* would
+    /// have mispredicted, scored in shadow regardless of which
+    /// predictor is live. Against `mispredicts` (the live predictor's
+    /// score over the same stream) this gives the paper's
+    /// static-vs-dynamic comparison from a single run.
+    pub static_bit_mispredicts: u64,
     /// Top-down cycle accounting: every cycle attributed to exactly one
     /// cause, with `accounts.total() == cycles` (see
     /// [`crate::accounting`]).
@@ -307,6 +322,7 @@ impl CycleStats {
                 r#""miss_stall_cycles":{},"indirect_stall_cycles":{},"pdu_decodes":{},"#,
                 r#""cache_inserts":{},"cache_refills":{},"cache_evictions":{},"#,
                 r#""parity_invalidates":{},"faults_injected":{},"watchdog":{},"#,
+                r#""predicted_by":"{}","static_bit_mispredicts":{},"#,
                 r#""accounts":{},"dropped_events":{},"#,
                 r#""cycles_per_issued":{:.6},"apparent_cpi":{:.6}}}"#
             ),
@@ -330,6 +346,8 @@ impl CycleStats {
             self.parity_invalidates,
             self.faults_injected,
             self.watchdog,
+            self.predicted_by,
+            self.static_bit_mispredicts,
             self.accounts.json(),
             self.dropped_events,
             self.cycles_per_issued(),
@@ -399,6 +417,13 @@ impl fmt::Display for CycleStats {
             self.mispredicts(),
             self.mispredicts_by_stage
         )?;
+        if !self.predicted_by.is_empty() && self.predicted_by != "static" {
+            writeln!(
+                f,
+                "predictor            : {} (static bit would miss {})",
+                self.predicted_by, self.static_bit_mispredicts
+            )?;
+        }
         writeln!(f, "resolved at fetch    : {}", self.resolved_at_fetch)?;
         writeln!(
             f,
@@ -596,6 +621,30 @@ mod tests {
     }
 
     #[test]
+    fn stats_json_carries_predictor_split() {
+        let s = CycleStats {
+            cycles: 10,
+            predicted_by: "btb128x4".to_string(),
+            static_bit_mispredicts: 7,
+            ..CycleStats::default()
+        };
+        let json = s.to_json();
+        assert!(json.contains(r#""predicted_by":"btb128x4""#), "{json}");
+        assert!(json.contains(r#""static_bit_mispredicts":7"#), "{json}");
+        let text = s.to_string();
+        assert!(
+            text.contains("predictor            : btb128x4 (static bit would miss 7)"),
+            "{text}"
+        );
+        // The static-bit machine keeps its historical report shape.
+        let plain = CycleStats {
+            predicted_by: "static".to_string(),
+            ..CycleStats::default()
+        };
+        assert!(!plain.to_string().contains("predictor            :"));
+    }
+
+    #[test]
     fn stats_json_carries_accounts_and_dropped_events() {
         use crate::accounting::BubbleCause;
 
@@ -618,7 +667,7 @@ mod tests {
         let json = s.to_json();
         assert!(
             json.contains(
-                r#""accounts":{"useful":6,"branch_penalty":[0,0,0,2],"miss_refill":1,"parity_recovery":0,"indirect_stall":0,"startup":3}"#
+                r#""accounts":{"useful":6,"branch_penalty":[0,0,0,2],"miss_refill":1,"parity_recovery":0,"indirect_stall":0,"btb_miss":0,"startup":3}"#
             ),
             "{json}"
         );

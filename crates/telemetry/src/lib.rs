@@ -188,8 +188,18 @@ impl CampaignMonitor {
         let done = self.done.get();
         let rate = done as f64 / elapsed.as_secs_f64().max(1e-9);
         let queue_depth = self.total.saturating_sub(done);
-        let eta = (rate > 0.0 && queue_depth > 0)
-            .then(|| Duration::from_secs_f64(queue_depth as f64 / rate));
+        // Guard the projection: `Duration::from_secs_f64` panics on a
+        // non-finite or overflowing input, and the very first heartbeat
+        // fires with done == 0 (no ETA) or with an elapsed time so
+        // small the division can blow up. An unprojectable ETA is
+        // `None` — serialized as JSON null — never a panic or an `inf`
+        // in the JSONL stream.
+        let eta = if rate > 0.0 && queue_depth > 0 {
+            let secs = queue_depth as f64 / rate;
+            (secs.is_finite() && secs < 1e15).then(|| Duration::from_secs_f64(secs))
+        } else {
+            None
+        };
         let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         let utilization = self
             .busy_ns
@@ -237,39 +247,47 @@ pub struct Snapshot {
     pub eta: Option<Duration>,
 }
 
+/// Append `x` to `out` with `prec` decimal places — or the literal
+/// `null` when `x` is not finite. `{:.3}`-formatting an `inf` or `NaN`
+/// would emit a bare `inf`/`NaN` token, which is not JSON: one bad
+/// float would make the whole heartbeat line unparseable downstream.
+fn write_json_f64(out: &mut String, x: f64, prec: usize) {
+    if x.is_finite() {
+        let _ = write!(out, "{x:.prec$}");
+    } else {
+        out.push_str("null");
+    }
+}
+
 impl Snapshot {
     /// The snapshot as one flat JSONL record. `kind` is the `type`
     /// field — `"heartbeat"` for periodic lines, `"final"` for the
-    /// end-of-campaign report.
+    /// end-of-campaign report. Every float field is either a finite
+    /// number or JSON `null`; the line always parses.
     pub fn to_json(&self, kind: &str) -> String {
-        let mut out = format!(
-            concat!(
-                r#"{{"type":"{}","elapsed_s":{:.3},"done":{},"total":{},"#,
-                r#""queue_depth":{},"findings":{},"rate_per_s":{:.3},"#,
-                r#""p50_ms":{:.3},"p99_ms":{:.3},"eta_s":"#
-            ),
-            kind,
-            self.elapsed.as_secs_f64(),
-            self.done,
-            self.total,
-            self.queue_depth,
-            self.findings,
-            self.rate_per_s,
-            self.p50.as_secs_f64() * 1e3,
-            self.p99.as_secs_f64() * 1e3,
+        let mut out = format!(r#"{{"type":"{kind}","elapsed_s":"#);
+        write_json_f64(&mut out, self.elapsed.as_secs_f64(), 3);
+        let _ = write!(
+            out,
+            r#","done":{},"total":{},"queue_depth":{},"findings":{},"rate_per_s":"#,
+            self.done, self.total, self.queue_depth, self.findings,
         );
+        write_json_f64(&mut out, self.rate_per_s, 3);
+        out.push_str(r#","p50_ms":"#);
+        write_json_f64(&mut out, self.p50.as_secs_f64() * 1e3, 3);
+        out.push_str(r#","p99_ms":"#);
+        write_json_f64(&mut out, self.p99.as_secs_f64() * 1e3, 3);
+        out.push_str(r#","eta_s":"#);
         match self.eta {
-            Some(eta) => {
-                let _ = write!(out, "{:.1}", eta.as_secs_f64());
-            }
+            Some(eta) => write_json_f64(&mut out, eta.as_secs_f64(), 1),
             None => out.push_str("null"),
         }
         out.push_str(r#","utilization":["#);
-        for (i, u) in self.utilization.iter().enumerate() {
+        for (i, &u) in self.utilization.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{u:.3}");
+            write_json_f64(&mut out, u, 3);
         }
         out.push_str("]}");
         out
@@ -408,6 +426,59 @@ mod tests {
         done.record_case(0, Duration::from_millis(1));
         let json = done.snapshot().to_json("final");
         assert!(json.contains(r#""eta_s":null"#), "{json}");
+    }
+
+    /// Minimal JSON well-formedness check: balanced braces/brackets and
+    /// no bare `inf`/`NaN` tokens (what `{:.3}` would print for a
+    /// non-finite float, and what breaks downstream line parsers).
+    fn assert_parseable(json: &str) {
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        let mut depth = 0i32;
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "{json}");
+        }
+        assert_eq!(depth, 0, "{json}");
+        for tok in ["inf", "NaN"] {
+            assert!(!json.contains(tok), "non-JSON float token in {json}");
+        }
+    }
+
+    #[test]
+    fn first_snapshot_with_nothing_done_is_parseable() {
+        // The heartbeat thread emits a line the instant it starts,
+        // before any case completes: done == 0, rate == 0, no ETA.
+        let m = CampaignMonitor::new(100, 4);
+        let s = m.snapshot();
+        assert_eq!(s.done, 0);
+        assert_eq!(s.eta, None);
+        let json = s.to_json("heartbeat");
+        assert_parseable(&json);
+        assert!(json.contains(r#""eta_s":null"#), "{json}");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let s = Snapshot {
+            elapsed: Duration::ZERO,
+            done: 0,
+            total: 10,
+            queue_depth: 10,
+            findings: 0,
+            rate_per_s: f64::INFINITY,
+            utilization: vec![f64::NAN, 0.5],
+            p50: Duration::ZERO,
+            p99: Duration::ZERO,
+            eta: None,
+        };
+        let json = s.to_json("heartbeat");
+        assert_parseable(&json);
+        assert!(json.contains(r#""rate_per_s":null"#), "{json}");
+        assert!(json.contains(r#""utilization":[null,0.500]"#), "{json}");
     }
 
     #[test]

@@ -16,19 +16,41 @@ use crisp::isa::FoldPolicy;
 use crisp::sim::{CycleSim, EventRing, HwPredictor, Machine, PipeEvent, SimConfig};
 use crisp::workloads::figure3_with_count;
 
-/// Strip the `"schema_version":N,` field from a stats JSON line, so
-/// vectors generated before and after the field was introduced compare
-/// equal. (The schema version deliberately sits outside the frozen
-/// surface: it exists to *announce* shape changes, not to be one.)
-fn normalize_stats(json: &str) -> String {
-    match json.find("\"schema_version\":") {
-        None => json.to_string(),
-        Some(start) => {
-            let rest = &json[start..];
-            let end = rest.find(',').map_or(rest.len(), |i| i + 1);
-            format!("{}{}", &json[..start], &rest[end..])
-        }
+/// Strip one additive post-refactor field (scalar, array, or flat
+/// object value followed by a comma) from a stats JSON line.
+fn strip_field(json: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let Some(start) = json.find(&pat) else {
+        return json.to_string();
+    };
+    let rest = &json[start + pat.len()..];
+    let vlen = match rest.as_bytes()[0] {
+        b'{' => rest.find('}').map_or(rest.len(), |i| i + 1),
+        b'[' => rest.find(']').map_or(rest.len(), |i| i + 1),
+        _ => rest.find([',', '}']).unwrap_or(rest.len()),
+    };
+    let mut after = &rest[vlen..];
+    if let Some(tail) = after.strip_prefix(',') {
+        after = tail;
     }
+    format!("{}{}", &json[..start], after)
+}
+
+/// Strip the additive observability fields, exactly as the
+/// `golden_geometry` replay does — the two lists MUST stay in sync or
+/// freshly generated vectors won't match the replay's normalization.
+/// (These fields deliberately sit outside the frozen surface: they
+/// exist to *announce* shape changes, not to be one.)
+fn normalize_stats(json: &str) -> String {
+    [
+        "schema_version",
+        "accounts",
+        "dropped_events",
+        "predicted_by",
+        "static_bit_mispredicts",
+    ]
+    .iter()
+    .fold(json.to_string(), |s, key| strip_field(&s, key))
 }
 
 fn fold_name(p: FoldPolicy) -> &'static str {
@@ -69,6 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     HwPredictor::Dynamic {
                         bits: 2,
                         entries: 64,
+                    },
+                ),
+                (
+                    "btb128x4",
+                    HwPredictor::Btb {
+                        entries: 128,
+                        ways: 4,
                     },
                 ),
             ] {

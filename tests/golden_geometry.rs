@@ -38,14 +38,21 @@ fn strip_field(json: &str, key: &str) -> String {
 }
 
 /// Strip the fields added after the vectors were generated —
-/// `schema_version` (v2) and the `accounts`/`dropped_events` pair
-/// (v3). They deliberately sit outside the frozen surface: additive
+/// `schema_version` (v2), the `accounts`/`dropped_events` pair (v3)
+/// and the `predicted_by`/`static_bit_mispredicts` predictor split
+/// (v4). They deliberately sit outside the frozen surface: additive
 /// observability, not architectural behaviour (and the accounting's
 /// own invariants are enforced by `tests/prop_accounting.rs`).
 fn normalize_stats(json: &str) -> String {
-    ["schema_version", "accounts", "dropped_events"]
-        .iter()
-        .fold(json.to_string(), |s, key| strip_field(&s, key))
+    [
+        "schema_version",
+        "accounts",
+        "dropped_events",
+        "predicted_by",
+        "static_bit_mispredicts",
+    ]
+    .iter()
+    .fold(json.to_string(), |s, key| strip_field(&s, key))
 }
 
 fn fold_name(p: FoldPolicy) -> &'static str {
@@ -114,6 +121,13 @@ fn default_geometry_matches_pre_refactor_golden_vectors() {
                         entries: 64,
                     },
                 ),
+                (
+                    "btb128x4",
+                    HwPredictor::Btb {
+                        entries: 128,
+                        ways: 4,
+                    },
+                ),
             ] {
                 let cfg = SimConfig {
                     fold_policy,
@@ -133,7 +147,7 @@ fn default_geometry_matches_pre_refactor_golden_vectors() {
             }
         }
     }
-    assert_eq!(checked, 16, "all golden vectors must be replayed");
+    assert_eq!(checked, 24, "all golden vectors must be replayed");
 }
 
 /// The stats JSON at a non-default depth emits the histogram at live

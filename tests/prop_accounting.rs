@@ -14,7 +14,7 @@
 use crisp::asm::rand_prog::GenProgram;
 use crisp::asm::{assemble, Item, Module};
 use crisp::isa::{BinOp, Cond, FoldPolicy, Instr, Operand};
-use crisp::sim::{CycleRun, CycleSim, Machine, PipelineGeometry, SimConfig};
+use crisp::sim::{CycleRun, CycleSim, HwPredictor, Machine, PipelineGeometry, SimConfig};
 use proptest::prelude::*;
 
 /// The accounting invariants every run must satisfy, independent of
@@ -36,14 +36,32 @@ fn assert_accounts(run: &CycleRun, cfg: &SimConfig) -> Result<(), TestCaseError>
     // One-sided reconciliation with the penalty schedule: each
     // mispredict resolved at stage s injects at most s bubbles, but
     // bubbles overlapping an earlier stall keep their original cause
-    // and in-flight bubbles may not drain before halt.
+    // and in-flight bubbles may not drain before halt. Recovery
+    // bubbles whose wrong guess was a table-miss default land in the
+    // btb_miss bucket instead of branch_penalty, so the schedule
+    // bounds their sum.
     prop_assert!(
-        acc.branch_penalty.total() <= run.stats.mispredicts_by_stage.penalty_cycles(),
-        "branch bubbles {} exceed the penalty schedule {} (cfg {:?})",
+        acc.branch_penalty.total() + acc.btb_miss
+            <= run.stats.mispredicts_by_stage.penalty_cycles(),
+        "branch bubbles {} + btb-miss bubbles {} exceed the penalty schedule {} (cfg {:?})",
         acc.branch_penalty.total(),
+        acc.btb_miss,
         run.stats.mispredicts_by_stage.penalty_cycles(),
         cfg
     );
+    // Only tables with a miss default (BTB, jump trace) can charge the
+    // btb_miss bucket; the static bit and infinite counter tables
+    // always "hit".
+    match cfg.predictor {
+        HwPredictor::Btb { .. } | HwPredictor::JumpTrace { .. } => {}
+        _ => prop_assert_eq!(acc.btb_miss, 0, "cfg {:?}", cfg),
+    }
+    // The shadow static-bit score counts retired conditional branches
+    // whose static bit was wrong; under the static bit itself every
+    // such branch also bumped a live resolution counter.
+    if matches!(cfg.predictor, HwPredictor::StaticBit) {
+        prop_assert!(run.stats.static_bit_mispredicts <= run.stats.mispredicts());
+    }
     // No branch bubble can claim a resolve stage past retire.
     for s in cfg.geometry.retire_stage() + 1..acc.branch_penalty.len() {
         prop_assert_eq!(acc.branch_penalty.get(s), 0);
@@ -76,6 +94,27 @@ fn configs() -> Vec<SimConfig> {
         mem_latency: 5,
         ..SimConfig::default()
     });
+    // Every live predictor at two depths: deliberately tiny tables so
+    // aliasing, eviction and miss-default recovery all fire.
+    for depth in [2, 4] {
+        for predictor in [
+            HwPredictor::Dynamic {
+                bits: 2,
+                entries: 8,
+            },
+            HwPredictor::Btb {
+                entries: 4,
+                ways: 2,
+            },
+            HwPredictor::JumpTrace { entries: 4 },
+        ] {
+            cfgs.push(SimConfig {
+                predictor,
+                geometry: PipelineGeometry::new(depth),
+                ..SimConfig::default()
+            });
+        }
+    }
     cfgs
 }
 

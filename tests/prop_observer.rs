@@ -239,6 +239,9 @@ fn tally(events: &[PipeEvent], geo: PipelineGeometry) -> Result<Tally, TestCaseE
             PipeEvent::FaultInject { .. } => t.fault_injects += 1,
             PipeEvent::ParityError { .. } => t.parity_errors += 1,
             PipeEvent::Halt { .. } => t.halts += 1,
+            // Live-predictor lookups; their trace-model equivalence has
+            // its own harness (tests/prop_predictor_xval.rs).
+            PipeEvent::Predict { .. } => {}
         }
     }
     prop_assert!(open.is_none(), "unterminated stall at end of run");

@@ -1,0 +1,97 @@
+//! End-to-end pin of the static-bit tie rule.
+//!
+//! `evaluate_static_optimal` resolves a 50/50 branch as predict-taken
+//! (`taken * 2 >= total`). Three consumers must agree with it, or the
+//! reported "optimal static" accuracy is unachievable by the machine:
+//!
+//! 1. its own `majority` map must say `true` for a tied branch;
+//! 2. `crisp_cc::apply_profile` must patch that decision into the
+//!    image verbatim (it applies the map, it has no tie rule of its
+//!    own — this test pins that it stays that way);
+//! 3. the cycle engine must honour the patched bit, so the mispredict
+//!    count it measures equals exactly `total - correct` from the
+//!    evaluation.
+
+use std::collections::HashMap;
+
+use crisp::cc::apply_profile;
+use crisp::isa::{encoding, Instr};
+use crisp::predict::evaluate_static_optimal;
+use crisp::sim::{CycleSim, FunctionalSim, Machine, SimConfig};
+
+/// Decode the image and return `(pc, predict_taken)` for every
+/// conditional branch.
+fn branch_bits(image: &crisp::asm::Image) -> HashMap<u32, bool> {
+    let mut bits = HashMap::new();
+    let mut at = 0usize;
+    while at < image.parcels.len() {
+        let Ok((instr, len)) = encoding::decode(&image.parcels, at) else {
+            at += 1;
+            continue;
+        };
+        if let Instr::IfJmp { predict_taken, .. } = instr {
+            bits.insert(image.code_base + at as u32 * 2, predict_taken);
+        }
+        at += len;
+    }
+    bits
+}
+
+#[test]
+fn tied_branch_predicts_taken_through_profile_and_engine() {
+    // The inner branch alternates taken/not-taken via a toggle: over 8
+    // iterations it ties 4/4. Compiled not-taken, so only the tie rule
+    // can flip it. The loop back-edge is taken 7/8 — a clear majority
+    // that must stay taken.
+    let src = "
+        mov 0(sp),$0       ; i
+        mov 4(sp),$0       ; toggle
+    top:
+        add 0(sp),$1
+        xor 4(sp),$1
+        cmp.= 4(sp),$1
+        ifjmpy.nt skip     ; alternates: T,N,T,N,... -> 4/8 tie
+        nop
+    skip:
+        cmp.s< 0(sp),$8
+        ifjmpy.t top
+        halt
+    ";
+    let mut image = crisp::asm::assemble_text(src).unwrap();
+
+    // Profile run on the functional engine.
+    let run = FunctionalSim::new(Machine::load(&image).unwrap())
+        .record_trace(true)
+        .run()
+        .unwrap();
+    let optimal = evaluate_static_optimal(&run.trace);
+    assert_eq!(optimal.accuracy.total, 16, "8 ties + 8 loop iterations");
+    assert_eq!(optimal.accuracy.correct, 4 + 7);
+
+    // The tie branch carries bit=false before patching; the evaluator's
+    // tie rule says taken, and apply_profile must write exactly that.
+    let before = branch_bits(&image);
+    let (&tie_pc, _) = before
+        .iter()
+        .find(|(_, &bit)| !bit)
+        .expect("the tie branch compiled not-taken");
+    assert!(optimal.majority[&tie_pc], "ties predict taken");
+    let patched = apply_profile(&mut image, &optimal.majority);
+    assert_eq!(patched, 1, "only the tie branch needed flipping");
+    let after = branch_bits(&image);
+    assert!(after[&tie_pc]);
+    assert!(after.values().all(|&bit| bit));
+
+    // The cycle engine's static bit is the patched bit: it mispredicts
+    // exactly the occurrences the optimal evaluation concedes — the 4
+    // not-taken ties plus the single loop exit.
+    let run = CycleSim::new(Machine::load(&image).unwrap(), SimConfig::default())
+        .run()
+        .unwrap();
+    assert!(run.halted);
+    assert_eq!(
+        run.stats.static_bit_mispredicts,
+        optimal.accuracy.total - optimal.accuracy.correct,
+        "engine and evaluator must agree on what the optimal bits achieve"
+    );
+}
