@@ -34,9 +34,11 @@
 //!                     caught and shrunk
 //! ```
 //!
-//! Worker panics are caught per program and reported as failures with
-//! the offending seed. Exit status is 0 when every program agrees on
-//! every configuration (or when `--inject` catches the planted bug),
+//! Worker panics are caught per program, retried once on fresh machine
+//! buffers, and quarantined (recorded with the offending seed, skipped,
+//! campaign continues) if the retry dies too. Exit status is 0 when
+//! every program agrees on every configuration and nothing was
+//! quarantined (or when `--inject` catches the planted bug),
 //! 1 otherwise.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -268,12 +270,12 @@ fn run() -> Result<ExitCode, String> {
     );
 
     let failure: Mutex<Option<Failure>> = Mutex::new(None);
-    let panicked: Mutex<Option<String>> = Mutex::new(None);
+    let quarantine_log: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let aborted: Mutex<Option<String>> = Mutex::new(None);
     // Single self-scheduling queue over the whole campaign: no chunk
     // barriers, so a slow program never idles the other threads, and
     // the contiguous-prefix tracker keeps --resume checkpoints sound.
-    let queue: WorkQueue<u64> = WorkQueue::new(cp.completed, total);
+    let queue: WorkQueue<ProgramTally> = WorkQueue::new(cp.completed, total);
     let save_every = (jobs as u64 * 8).max(32);
     let progress = Mutex::new((cp, 0u64));
     // Campaign telemetry: workers time each case into the monitor; the
@@ -285,7 +287,7 @@ fn run() -> Result<ExitCode, String> {
         for w in 0..jobs {
             let (queue, work, configs) = (&queue, &work, &configs);
             let (progress, resume_path) = (&progress, &resume_path);
-            let (failure, panicked, aborted) = (&failure, &panicked, &aborted);
+            let (failure, quarantine_log, aborted) = (&failure, &quarantine_log, &aborted);
             let monitor = &monitor;
             scope.spawn(move || {
                 // Per-worker machine buffers: every lockstep run after
@@ -295,35 +297,29 @@ fn run() -> Result<ExitCode, String> {
                 while let Some(i) = queue.claim() {
                     let program = &work[i as usize];
                     // A panic anywhere in the harness must not take the
-                    // whole campaign down: record it as a failure with
-                    // the seed and stop cleanly.
+                    // whole campaign down: retry the program once on
+                    // fresh buffers (the recycled pair may hold
+                    // poisoned state), then quarantine it and move on.
                     let case_start = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut outcome = catch_unwind(AssertUnwindSafe(|| {
                         check_program(program, configs, &mut bufs)
                     }));
+                    let mut retried = false;
+                    if outcome.is_err() {
+                        monitor.record_retry();
+                        retried = true;
+                        bufs = LockstepBuffers::default();
+                        outcome = catch_unwind(AssertUnwindSafe(|| {
+                            check_program(program, configs, &mut bufs)
+                        }));
+                    }
                     monitor.record_case(w, case_start.elapsed());
-                    match outcome {
-                        Ok(Ok(commits)) => {
-                            let drained = queue.complete(i, commits);
-                            if drained.payloads.is_empty() {
-                                continue;
-                            }
-                            let (cp, last_saved) = &mut *progress.lock().unwrap();
-                            for c in drained.payloads {
-                                cp.tally("commits", c);
-                            }
-                            cp.completed = drained.completed;
-                            if let Some(path) = &resume_path {
-                                if drained.completed >= *last_saved + save_every {
-                                    if let Err(e) = cp.save(path) {
-                                        *aborted.lock().unwrap() = Some(e.to_string());
-                                        queue.abort();
-                                        return;
-                                    }
-                                    *last_saved = drained.completed;
-                                }
-                            }
-                        }
+                    let tally = match outcome {
+                        Ok(Ok(commits)) => ProgramTally {
+                            commits,
+                            retried,
+                            quarantined: false,
+                        },
                         Ok(Err(CheckFail::Load(msg))) => {
                             *aborted.lock().unwrap() = Some(msg);
                             queue.abort();
@@ -336,7 +332,11 @@ fn run() -> Result<ExitCode, String> {
                             return;
                         }
                         Err(payload) => {
-                            monitor.record_finding();
+                            // Second panic on the same program:
+                            // quarantine it and keep the campaign
+                            // going on clean buffers.
+                            monitor.record_quarantine();
+                            bufs = LockstepBuffers::default();
                             let what = if let Some(s) = payload.downcast_ref::<&str>() {
                                 (*s).to_string()
                             } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -344,10 +344,40 @@ fn run() -> Result<ExitCode, String> {
                             } else {
                                 "unknown panic payload".to_string()
                             };
-                            *panicked.lock().unwrap() =
-                                Some(format!("{}: worker panicked: {what}", program.describe()));
-                            queue.abort();
-                            return;
+                            quarantine_log.lock().unwrap().push(format!(
+                                "{}: worker panicked twice: {what}",
+                                program.describe()
+                            ));
+                            ProgramTally {
+                                commits: 0,
+                                retried,
+                                quarantined: true,
+                            }
+                        }
+                    };
+                    let drained = queue.complete(i, tally);
+                    if drained.payloads.is_empty() {
+                        continue;
+                    }
+                    let (cp, last_saved) = &mut *progress.lock().unwrap();
+                    for t in drained.payloads {
+                        cp.tally("commits", t.commits);
+                        if t.retried {
+                            cp.tally("retries", 1);
+                        }
+                        if t.quarantined {
+                            cp.tally("quarantined", 1);
+                        }
+                    }
+                    cp.completed = drained.completed;
+                    if let Some(path) = &resume_path {
+                        if drained.completed >= *last_saved + save_every {
+                            if let Err(e) = cp.save(path) {
+                                *aborted.lock().unwrap() = Some(e.to_string());
+                                queue.abort();
+                                return;
+                            }
+                            *last_saved = drained.completed;
                         }
                     }
                 }
@@ -361,10 +391,7 @@ fn run() -> Result<ExitCode, String> {
     if let Some(msg) = aborted.into_inner().unwrap() {
         return Err(format!("campaign aborted: {msg}"));
     }
-    if let Some(msg) = panicked.into_inner().unwrap() {
-        println!("crisp-diff: PANIC — {msg}");
-        return Ok(ExitCode::FAILURE);
-    }
+    let quarantined = quarantine_log.into_inner().unwrap();
     let (cp, _) = progress.into_inner().unwrap();
     match failure.into_inner().unwrap() {
         None => {
@@ -375,13 +402,37 @@ fn run() -> Result<ExitCode, String> {
                 "crisp-diff: all agree ({} commits compared)",
                 cp.get("commits")
             );
-            Ok(ExitCode::SUCCESS)
+            let retries = cp.get("retries");
+            if retries > 0 || !quarantined.is_empty() {
+                println!(
+                    "crisp-diff: supervisor retried {retries} program(s), quarantined {}",
+                    cp.get("quarantined")
+                );
+            }
+            if quarantined.is_empty() {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for q in &quarantined {
+                    println!("  quarantined : {q}");
+                }
+                Ok(ExitCode::FAILURE)
+            }
         }
         Some(f) => {
             print_failure(&f);
             Ok(ExitCode::FAILURE)
         }
     }
+}
+
+/// What one finished program contributes to the checkpoint tallies.
+struct ProgramTally {
+    /// Commits compared across the whole configuration sweep.
+    commits: u64,
+    /// The first attempt panicked and the program was re-run.
+    retried: bool,
+    /// Both attempts panicked; the program was set aside.
+    quarantined: bool,
 }
 
 /// Why one program's configuration sweep stopped.

@@ -1,17 +1,22 @@
-//! `crisp-fault` — soft-error fault-injection campaign driver.
+//! `crisp-fault` — whole-front-end fault-injection campaign driver.
 //!
 //! Generates seeded random programs, injects single-bit transient
-//! faults into live decoded-cache entries at chosen cycles, and
-//! measures the outcome twice per fault:
+//! faults into live front-end state — decoded-cache entries, dynamic
+//! predictor tables (BTB tags/counters/valid bits, saturating
+//! counters, jump-trace entries) or PDU fold slots — at chosen cycles,
+//! and measures the outcome twice per fault:
 //!
 //! * Under `ParityMode::DetectInvalidate` every injected fault must be
-//!   masked — the parity check detects the flip at issue, the entry is
-//!   invalidated and redecoded, and the commit stream matches the
-//!   fault-free reference. Anything else is a bug in the recovery path
-//!   and fails the campaign.
-//! * Under `ParityMode::Off` each fault is classified as masked, SDC
-//!   (silent data corruption), control-flow divergence or hang,
-//!   accumulating AVF-style per-field vulnerability statistics.
+//!   masked — the parity check detects the flip at issue (cache) or at
+//!   the fill port (PDU), the entry is invalidated and redecoded, and
+//!   the commit stream matches the fault-free reference. Anything else
+//!   is a bug in the recovery path and fails the campaign.
+//! * Under `ParityMode::Off` each cache/PDU fault is classified as
+//!   masked, SDC (silent data corruption), control-flow divergence or
+//!   hang, accumulating AVF-style per-field vulnerability statistics.
+//!   Predictor-state faults are held to a stricter bar: they may only
+//!   ever cost cycles, so a non-masked outcome in *either* phase is an
+//!   architectural-safety violation and fails the campaign.
 //!
 //! ```text
 //! crisp-fault [OPTIONS]
@@ -27,6 +32,9 @@
 //!   --predictor HW    live hardware predictor for every run (static |
 //!                     counterN[xM] | btb[SxW] | jumptrace[N]) —
 //!                     recovery must mask faults under any predictor
+//!   --target T        front-end structure to strike: cache | btb |
+//!                     pdu | all (default cache; btb needs a dynamic
+//!                     --predictor)
 //!   --smoke           bounded CI run (2 programs x 32 faults)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --report FILE     write the JSON AVF report to FILE
@@ -34,9 +42,12 @@
 //!                     SECS seconds, plus a final campaign report
 //! ```
 //!
-//! Worker panics are caught per case and reported as failures with the
-//! offending seed and fault plan. Exit status is 0 when every fault is
-//! recovered under parity protection, 1 otherwise.
+//! Worker panics are caught per case, retried once on fresh machine
+//! buffers, and quarantined (recorded, skipped, campaign continues)
+//! if the retry dies too — a single pathological case can no longer
+//! abort a multi-hour campaign. Exit status is 0 when every fault is
+//! recovered under parity protection and nothing was quarantined,
+//! 1 otherwise.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
@@ -47,9 +58,10 @@ use crisp_asm::rand_prog::{GenProgram, Rng};
 use crisp_asm::Image;
 use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
-    classify_fault_pooled, nth_field, ClassifyBuffers, FaultOutcome, FaultPlan, HwPredictor,
-    ParityMode, PipelineGeometry, PredecodedImage, SimConfig, FAULT_SPACE, FIELD_NAMES, MAX_DEPTH,
-    MIN_DEPTH,
+    classify_fault_pooled, nth_field, nth_pdu_field, nth_predictor_field, predictor_fault_space,
+    ClassifyBuffers, FaultOutcome, FaultPlan, FaultTarget, HwPredictor, ParityMode,
+    PipelineGeometry, PredecodedImage, SimConfig, FAULT_SPACE, MAX_DEPTH, MIN_DEPTH,
+    PDU_FAULT_SPACE,
 };
 use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
@@ -63,9 +75,19 @@ fn main() -> ExitCode {
     }
 }
 
-/// One failed campaign case: either the parity recovery missed an
-/// injected fault, or a worker panicked mid-case.
+/// One failed campaign case: the parity recovery missed an injected
+/// fault, or a predictor-state fault leaked into architectural state.
 struct Failure {
+    program_seed: u64,
+    plan: FaultPlan,
+    detail: String,
+}
+
+/// One quarantined case: the worker died twice on it (panic on both
+/// the first attempt and the fresh-buffer retry), so the supervisor
+/// set it aside and kept the campaign going.
+struct Quarantine {
+    case: u64,
     program_seed: u64,
     plan: FaultPlan,
     detail: String,
@@ -80,6 +102,17 @@ enum CaseClass {
     Skipped,
 }
 
+/// What one finished case contributes to the checkpoint tallies.
+struct CaseTally {
+    /// `Some("field.outcome")` for a classified case, `None` for a
+    /// skipped or quarantined one.
+    key: Option<String>,
+    /// The first attempt panicked and the case was re-run.
+    retried: bool,
+    /// Both attempts panicked; the case was set aside.
+    quarantined: bool,
+}
+
 fn parse_num<T: std::str::FromStr>(
     raw: &mut Vec<String>,
     name: &str,
@@ -91,15 +124,52 @@ fn parse_num<T: std::str::FromStr>(
     }
 }
 
-/// Derive the deterministic fault plan for campaign case `case`.
-fn plan_for(seed: u64, case: u64, icache_entries: u64) -> FaultPlan {
+/// Derive the deterministic fault plan for campaign case `case`. The
+/// strike target rotates through `targets` per-case via the same
+/// seeded stream that picks the cycle, slot and field, so a resumed
+/// campaign replays exactly the plans it would have run uninterrupted.
+fn plan_for(
+    seed: u64,
+    case: u64,
+    icache_entries: u64,
+    targets: &[FaultTarget],
+    predictor: HwPredictor,
+) -> FaultPlan {
     let mut rng = Rng::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(case));
-    FaultPlan {
-        // Bias strike cycles toward the start of the run so most
-        // faults land before the program halts.
-        cycle: rng.below(400),
-        slot: rng.below(icache_entries) as u32,
-        field: nth_field(rng.below(FAULT_SPACE)),
+    let target = targets[rng.below(targets.len() as u64) as usize];
+    // Bias strike cycles toward the start of the run so most faults
+    // land before the program halts.
+    let cycle = rng.below(400);
+    match target {
+        FaultTarget::Cache => FaultPlan {
+            cycle,
+            slot: rng.below(icache_entries) as u32,
+            field: nth_field(rng.below(FAULT_SPACE)),
+            target,
+        },
+        FaultTarget::Predictor => {
+            // `targets` only includes Predictor when the configured
+            // predictor has state, so the space is nonzero here.
+            let space = predictor_fault_space(predictor).max(1);
+            let field = nth_predictor_field(predictor, rng.below(space))
+                .expect("stateful predictor has a nonzero fault space");
+            FaultPlan {
+                cycle,
+                // The corrupter indexes resident entries modulo
+                // occupancy; any slot number is a valid strike point.
+                slot: rng.below(1 << 10) as u32,
+                field,
+                target,
+            }
+        }
+        FaultTarget::Pdu => FaultPlan {
+            cycle,
+            // Taken modulo the in-flight queue length at fire time;
+            // 8 covers the deepest PIR pipeline.
+            slot: rng.below(8) as u32,
+            field: nth_pdu_field(rng.below(PDU_FAULT_SPACE)),
+            target,
+        },
     }
 }
 
@@ -110,7 +180,10 @@ fn plan_for(seed: u64, case: u64, icache_entries: u64) -> FaultPlan {
 /// run decode nothing on the steady-state path.
 ///
 /// `Err` means the parity-protected run did NOT reconverge to the
-/// fault-free commit stream — a recovery bug.
+/// fault-free commit stream — a recovery bug — or, for predictor-state
+/// faults, that the *unprotected* run diverged architecturally, which
+/// the predictor contract forbids outright (a wrong prediction may
+/// cost cycles, never correctness).
 fn run_case(
     image: &Image,
     table: &Arc<PredecodedImage>,
@@ -133,7 +206,8 @@ fn run_case(
         Ok(FaultOutcome::Masked) => {}
         Ok(other) => {
             return Err(format!(
-                "DetectInvalidate failed to mask the fault (outcome: {})",
+                "DetectInvalidate failed to mask the {} fault (outcome: {})",
+                plan.target.name(),
                 other.name()
             ))
         }
@@ -144,7 +218,16 @@ fn run_case(
     };
     match classify_fault_pooled(image, unprotected, Some(table), bufs) {
         Err(_) => Ok(CaseClass::Skipped),
-        Ok(outcome) => Ok(CaseClass::Classified(outcome)),
+        Ok(outcome) => {
+            if plan.target == FaultTarget::Predictor && outcome != FaultOutcome::Masked {
+                return Err(format!(
+                    "predictor-state fault changed architectural state with parity off \
+                     (outcome: {})",
+                    outcome.name()
+                ));
+            }
+            Ok(CaseClass::Classified(outcome))
+        }
     }
 }
 
@@ -159,13 +242,44 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Parse `--target` into the set of structures this campaign strikes.
+fn parse_targets(spec: &str, predictor: HwPredictor) -> Result<Vec<FaultTarget>, String> {
+    let has_predictor_state = predictor_fault_space(predictor) > 0;
+    match spec {
+        "cache" => Ok(vec![FaultTarget::Cache]),
+        "pdu" => Ok(vec![FaultTarget::Pdu]),
+        "btb" => {
+            if !has_predictor_state {
+                return Err(
+                    "--target btb needs a dynamic --predictor (the static bit has no \
+                     hardware state to strike)"
+                        .into(),
+                );
+            }
+            Ok(vec![FaultTarget::Predictor])
+        }
+        "all" => {
+            let mut targets = vec![FaultTarget::Cache];
+            if has_predictor_state {
+                targets.push(FaultTarget::Predictor);
+            }
+            targets.push(FaultTarget::Pdu);
+            Ok(targets)
+        }
+        other => Err(format!(
+            "--target: bad value `{other}` (want cache | btb | pdu | all)"
+        )),
+    }
+}
+
 fn run() -> Result<ExitCode, String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: crisp-fault [--seed N] [--programs N] [--faults N] [--max-blocks N] \
-             [--jobs N] [--max-cycles N] [--eu-depth N] [--predictor HW] [--smoke] \
-             [--resume FILE] [--report FILE] [--heartbeat SECS]"
+             [--jobs N] [--max-cycles N] [--eu-depth N] [--predictor HW] \
+             [--target cache|btb|pdu|all] [--smoke] [--resume FILE] [--report FILE] \
+             [--heartbeat SECS]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -192,6 +306,10 @@ fn run() -> Result<ExitCode, String> {
         .map_or(Ok(SimConfig::default().predictor), |v| {
             HwPredictor::parse(&v).map_err(|e| format!("--predictor: bad value `{v}`: {e}"))
         })?;
+    let target_spec = extract_flag(&mut raw, "--target")
+        .map_err(|e| e.to_string())?
+        .unwrap_or_else(|| "cache".into());
+    let targets = parse_targets(&target_spec, predictor)?;
     let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
     let report_path = extract_flag(&mut raw, "--report").map_err(|e| e.to_string())?;
     let heartbeat_secs: Option<u64> = extract_flag(&mut raw, "--heartbeat")
@@ -223,10 +341,10 @@ fn run() -> Result<ExitCode, String> {
     let geometry = PipelineGeometry::new(eu_depth);
 
     // The work list is deterministic in (seed, programs, faults,
-    // max_blocks), which is what makes --resume sound: case i always
-    // means the same (program, fault plan) pair. Each image is decoded
-    // once here; every fault case (and both phases within a case)
-    // shares the predecoded table.
+    // max_blocks, targets), which is what makes --resume sound: case i
+    // always means the same (program, fault plan) pair. Each image is
+    // decoded once here; every fault case (and both phases within a
+    // case) shares the predecoded table.
     let fold_policy = SimConfig::default().fold_policy;
     let mut images: Vec<(u64, Image, Arc<PredecodedImage>)> = Vec::with_capacity(programs as usize);
     for p in 0..programs {
@@ -257,16 +375,18 @@ fn run() -> Result<ExitCode, String> {
     };
 
     println!(
-        "crisp-fault: {programs} programs x {faults} faults on {jobs} threads (base seed {seed})"
+        "crisp-fault: {programs} programs x {faults} faults on {jobs} threads \
+         (base seed {seed}, target {target_spec})"
     );
 
     let failure: Mutex<Option<Failure>> = Mutex::new(None);
+    let quarantine_log: Mutex<Vec<Quarantine>> = Mutex::new(Vec::new());
     let io_error: Mutex<Option<String>> = Mutex::new(None);
     // Single self-scheduling queue over the whole campaign: no chunk
     // barriers, and the contiguous-prefix tracker means a saved
     // checkpoint accounts for exactly its first `completed` cases even
     // though cases finish out of order.
-    let queue: WorkQueue<Option<String>> = WorkQueue::new(cp.completed, total);
+    let queue: WorkQueue<CaseTally> = WorkQueue::new(cp.completed, total);
     let save_every = (jobs as u64 * 32).max(64);
     let progress = Mutex::new((cp, 0u64));
     // Campaign telemetry: workers time each case into the monitor; the
@@ -276,31 +396,52 @@ fn run() -> Result<ExitCode, String> {
         heartbeat_secs.map(|s| Heartbeat::start(Arc::clone(&monitor), Duration::from_secs(s)));
     std::thread::scope(|scope| {
         for w in 0..jobs {
-            let (queue, images) = (&queue, &images);
+            let (queue, images, targets) = (&queue, &images, &targets);
             let (progress, resume_path) = (&progress, &resume_path);
-            let (failure, io_error) = (&failure, &io_error);
+            let (failure, quarantine_log, io_error) = (&failure, &quarantine_log, &io_error);
             let monitor = &monitor;
             scope.spawn(move || {
                 // Per-worker machine buffers, recycled across cases.
                 let mut bufs = ClassifyBuffers::default();
                 while let Some(i) = queue.claim() {
                     let (pseed, image, table) = &images[(i / faults) as usize];
-                    let plan = plan_for(seed, i, icache_entries);
+                    let plan = plan_for(seed, i, icache_entries, targets, predictor);
                     let case_start = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut outcome = catch_unwind(AssertUnwindSafe(|| {
                         run_case(
                             image, table, plan, max_cycles, geometry, predictor, &mut bufs,
                         )
                     }));
+                    let mut retried = false;
+                    if outcome.is_err() {
+                        // First attempt panicked: the recycled buffers
+                        // may hold poisoned state, so retry exactly
+                        // once on fresh ones before giving up.
+                        monitor.record_retry();
+                        retried = true;
+                        bufs = ClassifyBuffers::default();
+                        outcome = catch_unwind(AssertUnwindSafe(|| {
+                            run_case(
+                                image, table, plan, max_cycles, geometry, predictor, &mut bufs,
+                            )
+                        }));
+                    }
                     monitor.record_case(w, case_start.elapsed());
-                    // The checkpoint payload: the outcome key to tally,
-                    // or None for a skipped case.
-                    let payload = match outcome {
-                        Ok(Ok(CaseClass::Classified(o))) => {
-                            Some(format!("{}.{}", plan.field.name(), o.name()))
-                        }
-                        Ok(Ok(CaseClass::Skipped)) => None,
+                    let tally = match outcome {
+                        Ok(Ok(CaseClass::Classified(o))) => CaseTally {
+                            key: Some(format!("{}.{}", plan.field.name(), o.name())),
+                            retried,
+                            quarantined: false,
+                        },
+                        Ok(Ok(CaseClass::Skipped)) => CaseTally {
+                            key: None,
+                            retried,
+                            quarantined: false,
+                        },
                         Ok(Err(detail)) => {
+                            // A deterministic verification failure: the
+                            // property under test is violated, so the
+                            // campaign stops and reports it.
                             monitor.record_finding();
                             *failure.lock().unwrap() = Some(Failure {
                                 program_seed: *pseed,
@@ -311,28 +452,44 @@ fn run() -> Result<ExitCode, String> {
                             return;
                         }
                         Err(payload) => {
-                            monitor.record_finding();
-                            *failure.lock().unwrap() = Some(Failure {
+                            // Second panic on the same case: quarantine
+                            // it and keep the campaign going. Buffers
+                            // are refreshed again so the next case
+                            // starts clean.
+                            monitor.record_quarantine();
+                            bufs = ClassifyBuffers::default();
+                            quarantine_log.lock().unwrap().push(Quarantine {
+                                case: i,
                                 program_seed: *pseed,
                                 plan,
                                 detail: panic_text(payload),
                             });
-                            queue.abort();
-                            return;
+                            CaseTally {
+                                key: None,
+                                retried,
+                                quarantined: true,
+                            }
                         }
                     };
-                    let drained = queue.complete(i, payload);
+                    let drained = queue.complete(i, tally);
                     if drained.payloads.is_empty() {
                         continue;
                     }
                     let (cp, last_saved) = &mut *progress.lock().unwrap();
-                    for key in drained.payloads {
-                        match key {
-                            Some(key) => {
-                                cp.tally("verified", 1);
-                                cp.tally(&key, 1);
+                    for tally in drained.payloads {
+                        if tally.retried {
+                            cp.tally("retries", 1);
+                        }
+                        if tally.quarantined {
+                            cp.tally("quarantined", 1);
+                        } else {
+                            match tally.key {
+                                Some(key) => {
+                                    cp.tally("verified", 1);
+                                    cp.tally(&key, 1);
+                                }
+                                None => cp.tally("skipped", 1),
                             }
-                            None => cp.tally("skipped", 1),
                         }
                     }
                     cp.completed = drained.completed;
@@ -362,12 +519,16 @@ fn run() -> Result<ExitCode, String> {
         println!("crisp-fault: FAILURE");
         println!("  program seed : {}", f.program_seed);
         println!(
-            "  fault plan   : cycle {} slot {} field {:?}",
-            f.plan.cycle, f.plan.slot, f.plan.field
+            "  fault plan   : target {} cycle {} slot {} field {:?}",
+            f.plan.target.name(),
+            f.plan.cycle,
+            f.plan.slot,
+            f.plan.field
         );
         println!("  detail       : {}", f.detail);
         println!(
-            "  reproduce    : crisp-fault --seed {seed} --programs {programs} --faults {faults}"
+            "  reproduce    : crisp-fault --seed {seed} --programs {programs} --faults {faults} \
+             --target {target_spec}"
         );
         return Ok(ExitCode::FAILURE);
     }
@@ -375,9 +536,36 @@ fn run() -> Result<ExitCode, String> {
     if let Some(path) = &resume_path {
         cp.save(path).map_err(|e| e.to_string())?;
     }
-    print_report(&cp, programs, faults, report_path.as_deref())?;
+    let quarantined = quarantine_log.into_inner().unwrap();
+    print_report(&cp, programs, faults, &quarantined, report_path.as_deref())?;
+    if !quarantined.is_empty() {
+        println!(
+            "crisp-fault: {} case(s) quarantined — campaign completed, but the \
+             quarantined plans need investigation",
+            quarantined.len()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
 }
+
+/// Every AVF-report row key: the seven decoded-cache entry fields
+/// (also the PDU fold-slot fields, which alias `next-pc`/`alt-pc`),
+/// then the predictor-state field groups.
+const REPORT_FIELDS: [&str; 12] = [
+    "next-pc",
+    "alt-pc",
+    "predict",
+    "valid",
+    "opcode",
+    "operand",
+    "tag",
+    "btb-tag",
+    "btb-counter",
+    "btb-valid",
+    "counter-bit",
+    "jump-trace",
+];
 
 /// Per-field outcome counts pulled back out of the checkpoint tallies.
 struct FieldRow {
@@ -388,7 +576,7 @@ struct FieldRow {
 }
 
 fn field_rows(cp: &Checkpoint) -> Vec<FieldRow> {
-    FIELD_NAMES
+    REPORT_FIELDS
         .iter()
         .map(|field| {
             let mut counts = [0u64; 4];
@@ -417,27 +605,49 @@ fn print_report(
     cp: &Checkpoint,
     programs: u64,
     faults: u64,
+    quarantined: &[Quarantine],
     report_path: Option<&str>,
 ) -> Result<(), String> {
     let rows = field_rows(cp);
     let verified = cp.get("verified");
     let skipped = cp.get("skipped");
+    let retries = cp.get("retries");
+    let quarantined_total = cp.get("quarantined");
 
     println!("crisp-fault: {verified} faults recovered under DetectInvalidate, {skipped} skipped");
+    if retries > 0 || quarantined_total > 0 {
+        println!("  supervisor   : {retries} case(s) retried, {quarantined_total} quarantined");
+    }
     println!(
-        "  {:<10} {:>6} {:>7} {:>5} {:>9} {:>5}   {:>6}",
+        "  {:<11} {:>6} {:>7} {:>5} {:>9} {:>5}   {:>6}",
         "field", "total", "masked", "sdc", "ctrl-div", "hang", "AVF"
     );
     for r in &rows {
+        if r.total == 0 {
+            continue;
+        }
         println!(
-            "  {:<10} {:>6} {:>7} {:>5} {:>9} {:>5}   {:>6.3}",
+            "  {:<11} {:>6} {:>7} {:>5} {:>9} {:>5}   {:>6.3}",
             r.field, r.total, r.counts[0], r.counts[1], r.counts[2], r.counts[3], r.avf
+        );
+    }
+    for q in quarantined {
+        println!(
+            "  quarantined  : case {} (seed {}, target {} cycle {} slot {} field {:?}): {}",
+            q.case,
+            q.program_seed,
+            q.plan.target.name(),
+            q.plan.cycle,
+            q.plan.slot,
+            q.plan.field,
+            q.detail
         );
     }
 
     let mut json = format!(
         "{{\"programs\":{programs},\"faults_per_program\":{faults},\"cases\":{},\
-         \"verified\":{verified},\"skipped\":{skipped},\"fields\":[",
+         \"verified\":{verified},\"skipped\":{skipped},\"retries\":{retries},\
+         \"quarantined\":{quarantined_total},\"fields\":[",
         cp.completed
     );
     for (i, r) in rows.iter().enumerate() {
@@ -448,6 +658,22 @@ fn print_report(
             "{{\"field\":\"{}\",\"masked\":{},\"sdc\":{},\"control-divergence\":{},\
              \"hang\":{},\"total\":{},\"avf\":{:.6}}}",
             r.field, r.counts[0], r.counts[1], r.counts[2], r.counts[3], r.total, r.avf
+        ));
+    }
+    json.push_str("],\"quarantined_cases\":[");
+    for (i, q) in quarantined.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"case\":{},\"program_seed\":{},\"target\":\"{}\",\"cycle\":{},\
+             \"slot\":{},\"field\":\"{}\"}}",
+            q.case,
+            q.program_seed,
+            q.plan.target.name(),
+            q.plan.cycle,
+            q.plan.slot,
+            q.plan.field.name()
         ));
     }
     json.push_str("]}");

@@ -38,6 +38,17 @@
 //!                                              that exceeds one ends
 //!                                              gracefully with halt
 //!                                              reason `watchdog`)
+//!   --parity MODE                front-end parity: off | detect
+//!   --degrade N                  disable a cache slot / BTB way after
+//!                                N detected parity errors (degraded
+//!                                runs report `degraded_ways` in the
+//!                                stats; needs --cycles and --parity
+//!                                detect)
+//!   --inject T:C:S:B             arm a single-bit fault into target T
+//!                                (cache | btb | pdu) at cycle C, slot
+//!                                S, bit-site B — the knob behind
+//!                                crisp-fault, exposed for one-off
+//!                                what-does-this-strike-cost runs
 //!   --no-spread --predict MODE                 compiler configuration
 //! ```
 //!

@@ -13,7 +13,11 @@ use std::sync::Mutex;
 
 use crisp_cc::{CompileOptions, PredictionMode};
 use crisp_isa::FoldPolicy;
-use crisp_sim::{HwPredictor, PipelineGeometry, SimConfig, MAX_DEPTH, MIN_DEPTH};
+use crisp_sim::{
+    nth_field, nth_pdu_field, nth_predictor_field, predictor_fault_space, DegradePolicy, FaultPlan,
+    FaultTarget, HwPredictor, ParityMode, PipelineGeometry, SimConfig, FAULT_SPACE, MAX_DEPTH,
+    MIN_DEPTH, PDU_FAULT_SPACE,
+};
 
 /// Parsed common command-line options.
 #[derive(Debug, Clone, Default)]
@@ -58,6 +62,13 @@ fn err<T>(msg: impl Into<String>) -> Result<T, UsageError> {
 /// --mem-latency N        cycles per 4-parcel instruction fetch
 /// --max-cycles N         watchdog: end the run after N cycles/steps
 /// --max-insns N          watchdog: end the run after N instructions
+/// --parity MODE          front-end parity: off | detect
+/// --degrade N            disable a cache slot / BTB way after N
+///                        detected parity errors (needs --parity
+///                        detect to ever trigger)
+/// --inject T:C:S:B       arm a single-bit fault: target T (cache |
+///                        btb | pdu), cycle C, slot S, bit-site B
+///                        (an index into the target's fault space)
 /// ```
 ///
 /// # Errors
@@ -70,6 +81,10 @@ pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonArgs, Us
         sim: SimConfig::default(),
         rest: Vec::new(),
     };
+    // `--inject btb:...` needs the predictor to enumerate fault sites,
+    // and `--predictor` may appear later on the line — resolve after
+    // the loop.
+    let mut inject_spec: Option<String> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         let value_for = |flag: &str, args: &mut std::iter::Peekable<_>| match args.next() {
@@ -142,6 +157,24 @@ pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonArgs, Us
                     _ => return err(format!("bad --max-insns value `{v}`")),
                 };
             }
+            "--parity" => {
+                let v: String = value_for("--parity", &mut args)?;
+                out.sim.parity = match v.as_str() {
+                    "off" => ParityMode::Off,
+                    "detect" => ParityMode::DetectInvalidate,
+                    other => return err(format!("unknown --parity mode `{other}`")),
+                };
+            }
+            "--degrade" => {
+                let v: String = value_for("--degrade", &mut args)?;
+                out.sim.degrade = match v.parse() {
+                    Ok(n) if n > 0 => Some(DegradePolicy { parity_limit: n }),
+                    _ => return err(format!("bad --degrade value `{v}` (want a count >= 1)")),
+                };
+            }
+            "--inject" => {
+                inject_spec = Some(value_for("--inject", &mut args)?);
+            }
             other if other.starts_with("--") => out.rest.push(arg),
             _ => {
                 if out.input.is_some() {
@@ -151,7 +184,52 @@ pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonArgs, Us
             }
         }
     }
+    if let Some(spec) = inject_spec {
+        out.sim.fault_plan = Some(parse_fault_spec(&spec, out.sim.predictor)?);
+    }
     Ok(out)
+}
+
+/// Parse a `--inject TARGET:CYCLE:SLOT:SITE` fault specification into a
+/// [`FaultPlan`], resolving the bit site against the target's
+/// enumerable fault space (`btb` sites depend on the live predictor).
+fn parse_fault_spec(spec: &str, predictor: HwPredictor) -> Result<FaultPlan, UsageError> {
+    let bad = || format!("bad --inject value `{spec}` (want TARGET:CYCLE:SLOT:SITE)");
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [target, cycle, slot, site] = parts.as_slice() else {
+        return err(bad());
+    };
+    let target = match *target {
+        "cache" => FaultTarget::Cache,
+        "btb" => FaultTarget::Predictor,
+        "pdu" => FaultTarget::Pdu,
+        other => return err(format!("unknown --inject target `{other}`")),
+    };
+    let cycle: u64 = cycle.parse().map_err(|_| UsageError(bad()))?;
+    let slot: u32 = slot.parse().map_err(|_| UsageError(bad()))?;
+    let site: u64 = site.parse().map_err(|_| UsageError(bad()))?;
+    let space = match target {
+        FaultTarget::Cache => FAULT_SPACE,
+        FaultTarget::Predictor => predictor_fault_space(predictor),
+        FaultTarget::Pdu => PDU_FAULT_SPACE,
+    };
+    if site >= space {
+        return err(format!(
+            "--inject bit-site {site} out of range (this target has {space} fault sites)"
+        ));
+    }
+    let field = match target {
+        FaultTarget::Cache => nth_field(site),
+        FaultTarget::Predictor => nth_predictor_field(predictor, site)
+            .expect("site is in range, so the predictor has state"),
+        FaultTarget::Pdu => nth_pdu_field(site),
+    };
+    Ok(FaultPlan {
+        cycle,
+        slot,
+        field,
+        target,
+    })
 }
 
 /// Remove `--name VALUE` from an argument vector, returning the value.
@@ -304,15 +382,25 @@ impl Checkpoint {
         }
     }
 
-    /// Persist to `path` via a write-then-rename so an interrupted save
-    /// never leaves a half-written checkpoint in place.
+    /// Persist to `path` via write-temp, fsync, rename: a reader never
+    /// sees a half-written checkpoint (the rename is atomic on POSIX
+    /// filesystems), and the fsync ensures the rename cannot land
+    /// before the data — a crash or SIGKILL at any point leaves either
+    /// the previous complete checkpoint or the new complete one, never
+    /// a torn file.
     ///
     /// # Errors
     ///
     /// [`UsageError`] describing the I/O failure.
     pub fn save(&self, path: &str) -> Result<(), UsageError> {
+        use std::io::Write as _;
         let tmp = format!("{path}.tmp");
-        if let Err(e) = std::fs::write(&tmp, self.to_json()) {
+        let write_synced = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()
+        };
+        if let Err(e) = write_synced() {
             return err(format!("writing {tmp}: {e}"));
         }
         if let Err(e) = std::fs::rename(&tmp, path) {
@@ -510,6 +598,43 @@ mod tests {
     }
 
     #[test]
+    fn fault_injection_flags() {
+        let a = parse(&["--parity", "detect", "--degrade", "2", "x.c"]).unwrap();
+        assert_eq!(a.sim.parity, ParityMode::DetectInvalidate);
+        assert_eq!(a.sim.degrade, Some(DegradePolicy { parity_limit: 2 }));
+
+        let a = parse(&["--inject", "cache:60:7:0", "x.c"]).unwrap();
+        let plan = a.sim.fault_plan.unwrap();
+        assert_eq!(plan.target, FaultTarget::Cache);
+        assert_eq!((plan.cycle, plan.slot), (60, 7));
+        assert_eq!(plan.field, nth_field(0));
+
+        // `--inject btb:...` resolves against the predictor even when
+        // `--predictor` comes later on the line.
+        let a = parse(&["--inject", "btb:40:0:5", "--predictor", "btb", "x.c"]).unwrap();
+        let plan = a.sim.fault_plan.unwrap();
+        assert_eq!(plan.target, FaultTarget::Predictor);
+        assert_eq!(plan.field, nth_predictor_field(a.sim.predictor, 5).unwrap());
+
+        let a = parse(&["--inject", "pdu:10:3:40", "x.c"]).unwrap();
+        assert_eq!(a.sim.fault_plan.unwrap().field, nth_pdu_field(40));
+    }
+
+    #[test]
+    fn fault_injection_flag_errors() {
+        assert!(parse(&["--parity", "maybe"]).is_err());
+        assert!(parse(&["--degrade", "0"]).is_err());
+        assert!(parse(&["--degrade", "many"]).is_err());
+        assert!(parse(&["--inject", "cache:60:7"]).is_err());
+        assert!(parse(&["--inject", "dram:60:7:0"]).is_err());
+        assert!(parse(&["--inject", "cache:60:7:999"]).is_err());
+        // The static-bit predictor has no strikable state.
+        assert!(parse(&["--inject", "btb:60:0:0", "x.c"]).is_err());
+        let e = parse(&["--inject", "pdu:10:3:999"]).unwrap_err();
+        assert!(e.0.contains("fault sites"), "{e}");
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--predict"]).is_err());
         assert!(parse(&["--predict", "sideways"]).is_err());
@@ -682,6 +807,38 @@ mod tests {
         };
         cp.tally("opcode.sdc", 3);
         cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), Some(cp));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_load_rejects_torn_file() {
+        // A torn file can only appear if something other than `save`
+        // wrote it (save is write-temp/fsync/rename), e.g. a direct
+        // write interrupted mid-flight. The loader must reject it with
+        // a descriptive error, never resume from garbage.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("crisp-checkpoint-torn-{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        let mut cp = Checkpoint {
+            completed: 40,
+            tallies: Vec::new(),
+        };
+        cp.tally("verified", 40);
+        let full = cp.to_json();
+        // Every strict prefix of a valid checkpoint is malformed: the
+        // JSON object never closes, or a key/value is cut in half.
+        for cut in 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let e = Checkpoint::load(&path).unwrap_err();
+            assert!(e.0.contains("checkpoint"), "cut at {cut}: {}", e.0);
+            assert!(
+                Checkpoint::load_for_campaign(&path, 100).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // The intact file still loads.
+        std::fs::write(&path, &full).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), Some(cp));
         std::fs::remove_file(&path).unwrap();
     }

@@ -73,8 +73,23 @@ pub struct DecodedCache {
     /// Insertions that overwrote a valid entry with a different tag.
     pub evictions: u64,
     /// Slots invalidated by a failed parity check (each one also
-    /// produced a [`crate::PipeEvent::ParityError`] event).
+    /// produced a [`crate::PipeEvent::ParityError`] event). The PDU
+    /// also bumps this when parity catches a corrupted in-flight entry
+    /// at its fill port — the entry is dropped before it reaches the
+    /// array, but it is the same detect-and-discard event.
     pub parity_invalidates: u64,
+    /// Parity detections per slot, feeding the degrade policy.
+    slot_parity_hits: Vec<u32>,
+    /// Slots taken out of service by the degrade policy. A disabled
+    /// slot's traffic remaps onto its partner (index with the low bit
+    /// flipped), so the machine keeps running — with more conflict
+    /// misses — instead of re-filling a faulty slot forever.
+    disabled: Vec<bool>,
+    /// Parity hits on one slot before it is disabled; `None` never
+    /// degrades.
+    degrade_limit: Option<u32>,
+    /// Slots disabled since the engine last drained the queue.
+    pending_degraded: Vec<u32>,
 }
 
 impl DecodedCache {
@@ -106,7 +121,35 @@ impl DecodedCache {
             refills: 0,
             evictions: 0,
             parity_invalidates: 0,
+            slot_parity_hits: vec![0; entries],
+            disabled: vec![false; entries],
+            degrade_limit: None,
+            pending_degraded: Vec::new(),
         }
+    }
+
+    /// The configured parity mode (the PDU's fill port checks it to
+    /// decide whether a corrupted in-flight entry is droppable).
+    pub fn parity_mode(&self) -> ParityMode {
+        self.parity
+    }
+
+    /// Arm (or disarm) the degrade policy: a slot accumulating `limit`
+    /// parity detections is taken out of service and its traffic
+    /// remapped onto the partner slot.
+    pub fn set_degrade(&mut self, limit: Option<u32>) {
+        self.degrade_limit = limit;
+    }
+
+    /// Drain one pending slot-disablement (for the engine to turn into
+    /// a `Degrade` event + stat); `None` when nothing new degraded.
+    pub fn take_degraded(&mut self) -> Option<u32> {
+        self.pending_degraded.pop()
+    }
+
+    /// Slots currently out of service under the degrade policy.
+    pub fn degraded_slots(&self) -> u64 {
+        self.disabled.iter().filter(|&&d| d).count() as u64
     }
 
     /// Number of slots.
@@ -120,7 +163,17 @@ impl DecodedCache {
     }
 
     fn index(&self, pc: u32) -> usize {
-        ((pc >> 1) & self.mask) as usize
+        let idx = ((pc >> 1) & self.mask) as usize;
+        if self.disabled[idx] {
+            // Remap onto the partner slot (low index bit flipped). When
+            // the partner is also disabled — or the cache has a single
+            // slot — keep the home index; it simply never hits.
+            let partner = (idx ^ 1) & self.mask as usize;
+            if !self.disabled[partner] {
+                return partner;
+            }
+        }
+        idx
     }
 
     /// The slot index `pc` maps to (exposed for fault planning: a
@@ -157,6 +210,13 @@ impl DecodedCache {
         if parity_failed {
             self.entries[idx] = None;
             self.parity_invalidates += 1;
+            self.slot_parity_hits[idx] += 1;
+            if let Some(limit) = self.degrade_limit {
+                if self.slot_parity_hits[idx] >= limit && !self.disabled[idx] {
+                    self.disabled[idx] = true;
+                    self.pending_degraded.push(idx as u32);
+                }
+            }
             return CacheLookup::ParityError;
         }
         match &self.entries[idx] {

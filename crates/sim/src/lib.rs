@@ -65,7 +65,7 @@ mod stats;
 mod trace;
 
 pub use accounting::{BubbleCause, CycleAccounts};
-pub use config::{FaultInjection, HwPredictor, SimConfig};
+pub use config::{DegradePolicy, FaultInjection, HwPredictor, SimConfig};
 pub use diff::{
     run_lockstep, run_lockstep_pooled, sweep_configs, CommitLog, CommitRecord, Divergence,
     DivergenceKind, LockstepBuffers, LockstepOutcome,
@@ -78,8 +78,8 @@ pub use machine::{Machine, Step};
 pub use mem::Memory;
 pub use observe::{
     mispredict_cycles, parse_jsonl, render_timeline, render_timeline_for, write_chrome_trace,
-    write_chrome_trace_for, write_jsonl, write_trace_footer, EventRing, NullObserver, PipeEvent,
-    PipeObserver, StallKind, TraceFooter, TraceParseError,
+    write_chrome_trace_for, write_jsonl, write_trace_footer, DegradeUnit, EventRing, NullObserver,
+    PipeEvent, PipeObserver, StallKind, TraceFooter, TraceParseError,
 };
 pub use pdu::Pdu;
 pub use pipeline::{CycleRun, CycleSim, PipelineSnapshot, StageView};
@@ -88,8 +88,9 @@ pub use predictor::{BtbTable, CounterTable, HwPredictorState, JumpTraceTable, Pr
 pub use profile::{BranchProfiler, SiteStats};
 pub use soft_error::{
     apply_fault, classify_fault, classify_fault_pooled, decode_entry, entry_bits, nth_field,
-    parity32, ClassifyBuffers, FaultField, FaultOutcome, FaultPlan, ParityMode, FAULT_SPACE,
-    FIELD_NAMES,
+    nth_pdu_field, nth_predictor_field, parity32, predictor_fault_space, ClassifyBuffers,
+    FaultField, FaultOutcome, FaultPlan, FaultTarget, ParityMode, FAULT_SPACE, FIELD_NAMES,
+    PDU_FAULT_SPACE,
 };
 pub use stats::{resolve_stage, CycleStats, OpcodeCounts, RunStats, STATS_SCHEMA_VERSION};
 pub use trace::{BranchEvent, BranchKind, Trace};

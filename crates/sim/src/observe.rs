@@ -39,6 +39,7 @@
 //! | `cache_evictions`        | `CacheFill { evicted: Some(_), .. }`    |
 //! | `faults_injected`        | `FaultInject`                           |
 //! | `parity_invalidates`     | `ParityError`                           |
+//! | `degraded_ways`          | `Degrade`                               |
 //!
 //! `Commit` events sit outside the counter table: they carry the
 //! architectural state at the shared commit point and back the
@@ -73,6 +74,32 @@ impl StallKind {
         match s {
             "miss" => Some(StallKind::Miss),
             "indirect" => Some(StallKind::Indirect),
+            _ => None,
+        }
+    }
+}
+
+/// Which front-end structure the degrade policy took a unit out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeUnit {
+    /// A decoded-cache slot (traffic remaps onto the partner slot).
+    Cache,
+    /// A BTB way (the set associativity shrinks by one).
+    Btb,
+}
+
+impl DegradeUnit {
+    fn name(self) -> &'static str {
+        match self {
+            DegradeUnit::Cache => "cache",
+            DegradeUnit::Btb => "btb",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<DegradeUnit> {
+        match s {
+            "cache" => Some(DegradeUnit::Cache),
+            "btb" => Some(DegradeUnit::Btb),
             _ => None,
         }
     }
@@ -241,6 +268,17 @@ pub enum PipeEvent {
         /// The invalidated cache slot.
         slot: u32,
     },
+    /// The degrade policy ([`crate::SimConfig::degrade`]) took a unit
+    /// out of service after repeated parity detections: the machine
+    /// keeps running — slower — on the surviving capacity.
+    Degrade {
+        /// Cycle of the disablement.
+        cycle: u64,
+        /// Which structure lost capacity.
+        unit: DegradeUnit,
+        /// The disabled cache slot or BTB way position.
+        way: u32,
+    },
     /// `halt` retired; the run is over.
     Halt {
         /// Cycle of the halt.
@@ -299,6 +337,7 @@ impl PipeEvent {
             | PipeEvent::StallEnd { cycle, .. }
             | PipeEvent::FaultInject { cycle, .. }
             | PipeEvent::ParityError { cycle, .. }
+            | PipeEvent::Degrade { cycle, .. }
             | PipeEvent::Halt { cycle }
             | PipeEvent::Commit { cycle, .. } => cycle,
         }
@@ -523,6 +562,11 @@ impl PipeEvent {
                 s,
                 r#"{{"ev":"parity_error","cycle":{cycle},"pc":{pc},"slot":{slot}}}"#
             ),
+            PipeEvent::Degrade { cycle, unit, way } => write!(
+                s,
+                r#"{{"ev":"degrade","cycle":{cycle},"unit":"{}","way":{way}}}"#,
+                unit.name()
+            ),
             PipeEvent::Halt { cycle } => write!(s, r#"{{"ev":"halt","cycle":{cycle}}}"#),
             PipeEvent::Commit {
                 cycle,
@@ -721,6 +765,12 @@ impl PipeEvent {
                 cycle,
                 pc: pc("pc")?,
                 slot: pc("slot")?,
+            }),
+            "degrade" => Ok(PipeEvent::Degrade {
+                cycle,
+                unit: DegradeUnit::from_name(string("unit")?)
+                    .ok_or_else(|| format!("unknown degrade unit `{}`", string("unit").unwrap()))?,
+                way: pc("way")?,
             }),
             other => Err(format!("unknown event type `{other}`")),
         }
@@ -1233,6 +1283,11 @@ mod tests {
                 cycle: 9,
                 pc: 2,
                 slot: 1,
+            },
+            PipeEvent::Degrade {
+                cycle: 10,
+                unit: DegradeUnit::Btb,
+                way: 3,
             },
             PipeEvent::Commit {
                 cycle: 7,

@@ -5,6 +5,7 @@ use crisp_isa::{decode_and_fold, encoding, fold_failure, Decoded, FoldPolicy, Is
 
 use crate::observe::{NullObserver, PipeEvent, PipeObserver};
 use crate::predecode::PredecodedImage;
+use crate::soft_error::{apply_fault, FaultField, ParityMode};
 use crate::{DecodedCache, Memory};
 
 /// Parcels fetched from memory per access (the paper's Figure 2 shows
@@ -49,8 +50,13 @@ pub struct Pdu {
     fetched_until: u32,
     /// Remaining cycles of the in-flight memory access (0 = idle).
     mem_timer: u32,
-    /// Decoded entries in the PIR pipeline: `(ready_cycle, entry)`.
-    inflight: VecDeque<(u64, Decoded)>,
+    /// Decoded entries in the PIR pipeline: `(ready_cycle, entry,
+    /// parity_delta)`. The delta is the XOR of fault-flipped parity
+    /// columns since decode — zero for a clean entry. The fill port
+    /// compares it against zero exactly as the cache compares live
+    /// against stored parity, so a corrupted in-flight entry is caught
+    /// (and dropped) before it pollutes the cache.
+    inflight: VecDeque<(u64, Decoded, u32)>,
     /// Waiting for a redirect (indirect target, decode failure, loop
     /// closure, or prefetch-depth bound).
     parked: bool,
@@ -133,7 +139,41 @@ impl Pdu {
     /// Whether an entry for `pc` is in the PIR pipeline (decoded but not
     /// yet visible in the cache).
     pub fn pending(&self, pc: u32) -> bool {
-        self.inflight.iter().any(|(_, d)| d.pc == pc)
+        self.inflight.iter().any(|(_, d, _)| d.pc == pc)
+    }
+
+    /// Entries currently in the PIR pipeline (fault planning needs the
+    /// occupancy to know whether a PDU-slot strike can land).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Flip one bit of an in-flight PIR entry (transient-fault
+    /// injection). `slot` indexes the pipeline oldest-first, modulo
+    /// occupancy; returns the struck entry's PC, or `None` when the
+    /// pipeline is empty. A [`FaultField::Valid`]-style fault (one with
+    /// no bit position) drops the entry outright — a lost latch is an
+    /// entry that never reaches the cache, which is trivially safe.
+    /// Bit-carrying faults corrupt the latched entry and record the
+    /// flipped parity column so the fill-port check can catch it.
+    pub fn corrupt(&mut self, slot: u32, field: FaultField) -> Option<u32> {
+        if self.inflight.is_empty() {
+            return None;
+        }
+        let i = slot as usize % self.inflight.len();
+        let (_, d, delta) = &mut self.inflight[i];
+        let pc = d.pc;
+        match apply_fault(d, field) {
+            None => {
+                self.inflight.remove(i);
+            }
+            Some(corrupted) => {
+                let (_, bit) = field.bit().expect("non-valid faults map to a bit");
+                *d = corrupted;
+                *delta ^= 1 << (bit % 32);
+            }
+        }
+        Some(pc)
     }
 
     /// Whether the prefetcher is parked (waiting for a demand).
@@ -171,11 +211,28 @@ impl Pdu {
         obs: &mut O,
     ) {
         // 1. PIR pipeline → cache.
-        while let Some(&(ready, _)) = self.inflight.front() {
+        while let Some(&(ready, _, _)) = self.inflight.front() {
             if ready > cycle {
                 break;
             }
-            let (_, d) = self.inflight.pop_front().expect("checked non-empty");
+            let (_, d, delta) = self.inflight.pop_front().expect("checked non-empty");
+            // Fill-port parity check: a fault-struck latch (nonzero
+            // parity delta) is dropped before it reaches the array,
+            // exactly as a resident line with stale parity would be
+            // invalidated on lookup. The EU's next demand redecodes the
+            // entry from memory. With parity off the corrupted entry is
+            // inserted as-is — the SDC path the campaign measures.
+            if delta != 0 && cache.parity_mode() == ParityMode::DetectInvalidate {
+                cache.parity_invalidates += 1;
+                if O::ENABLED {
+                    obs.event(PipeEvent::ParityError {
+                        cycle,
+                        pc: d.pc,
+                        slot: cache.slot_of(d.pc) as u32,
+                    });
+                }
+                continue;
+            }
             let evicted = cache.insert(d);
             if O::ENABLED {
                 obs.event(PipeEvent::CacheFill {
@@ -317,7 +374,8 @@ impl Pdu {
                 }
             }
         }
-        self.inflight.push_back((cycle + self.pipe_delay as u64, d));
+        self.inflight
+            .push_back((cycle + self.pipe_delay as u64, d, 0));
         self.advance_past(&d, cache);
     }
 

@@ -28,11 +28,12 @@ use crisp_isa::{Decoded, FoldClass, NextPc};
 use crate::accounting::{BubbleCause, CycleAccounts};
 use crate::config::FaultInjection;
 use crate::geometry::{PipelineGeometry, StageHistogram, MAX_DEPTH, MIN_DEPTH};
-use crate::observe::{NullObserver, PipeEvent, PipeObserver, StallKind};
+use crate::observe::{DegradeUnit, NullObserver, PipeEvent, PipeObserver, StallKind};
 use std::sync::Arc;
 
 use crate::predecode::PredecodedImage;
 use crate::predictor::HwPredictorState;
+use crate::soft_error::FaultTarget;
 use crate::stats::resolve_stage;
 use crate::{CacheLookup, CycleStats, DecodedCache, HaltReason, Machine, Pdu, SimConfig, SimError};
 
@@ -243,6 +244,10 @@ impl<O: PipeObserver> CycleSim<O> {
                 ..CycleStats::default()
             },
         };
+        sim.cache.set_degrade(cfg.degrade.map(|d| d.parity_limit));
+        if let Some(p) = &mut sim.predictor {
+            p.protect(cfg.parity, cfg.degrade);
+        }
         sim.pdu.demand(entry);
         sim
     }
@@ -586,9 +591,42 @@ impl<O: PipeObserver> CycleSim<O> {
         // ---- 0. Transient-fault injection (soft-error model). ----
         if let Some(plan) = self.cfg.fault_plan {
             if !self.fault_done && cyc >= plan.cycle {
-                self.fault_done = true;
-                // A strike on an empty slot is a no-op: no bits to flip.
-                if let Some(pc) = self.cache.corrupt(plan.slot as usize, plan.field) {
+                let struck = match plan.target {
+                    // A strike on an empty cache slot is a no-op: the
+                    // particle lands in invalid state. The plan is spent
+                    // either way — cache slots always exist, so the
+                    // strike happened even if nothing flipped.
+                    FaultTarget::Cache => {
+                        self.fault_done = true;
+                        self.cache.corrupt(plan.slot as usize, plan.field)
+                    }
+                    // Predictor tables and PDU fold slots are often
+                    // empty at any given instant: the strike stays
+                    // armed until the structure first holds state (a
+                    // particle that never finds a victim is a trivially
+                    // masked run). The static bit has no hardware state
+                    // at all, so the plan is spent immediately.
+                    FaultTarget::Predictor => match &mut self.predictor {
+                        Some(p) if p.has_state() => {
+                            self.fault_done = true;
+                            p.corrupt(plan.slot, plan.field)
+                        }
+                        Some(_) => None,
+                        None => {
+                            self.fault_done = true;
+                            None
+                        }
+                    },
+                    FaultTarget::Pdu => {
+                        if self.pdu.inflight_len() > 0 {
+                            self.fault_done = true;
+                            self.pdu.corrupt(plan.slot, plan.field)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(pc) = struck {
                     self.stats.faults_injected += 1;
                     if O::ENABLED {
                         self.obs.event(PipeEvent::FaultInject {
@@ -790,12 +828,17 @@ impl<O: PipeObserver> CycleSim<O> {
                     // trace-driven reference models (see
                     // `crate::predictor`).
                     let branch_pc = d.branch_pc.unwrap_or(d.pc);
-                    let (guess, guess_miss) = match &self.predictor {
+                    // A fully-degraded table (every way disabled by the
+                    // degrade policy) answers nothing useful; the engine
+                    // falls back to the compiler's static bit, exactly
+                    // as if no hardware predictor were fitted.
+                    let live_predictor = self.predictor.as_ref().filter(|p| !p.fully_degraded());
+                    let (guess, guess_miss) = match live_predictor {
                         None => (predict_taken, false),
                         Some(p) => p.guess(branch_pc),
                     };
                     slot.guess_miss = guess_miss;
-                    if O::ENABLED && self.predictor.is_some() {
+                    if O::ENABLED && live_predictor.is_some() {
                         self.obs.event(PipeEvent::Predict {
                             cycle: cyc,
                             branch_pc,
@@ -899,6 +942,39 @@ impl<O: PipeObserver> CycleSim<O> {
             self.stats.cache_refills = self.cache.refills;
             self.stats.cache_evictions = self.cache.evictions;
             self.stats.parity_invalidates = self.cache.parity_invalidates;
+        }
+
+        // ---- 6. Degrade-policy drain. ---- Gated on the config so the
+        // common (no-degrade) run pays one branch per cycle. Units
+        // disabled this cycle — cache slots at the fetch-port parity
+        // check, BTB ways at the train-port scrub — become events and a
+        // stat here.
+        if self.cfg.degrade.is_some() {
+            while let Some(way) = self.cache.take_degraded() {
+                self.stats.degraded_ways += 1;
+                if O::ENABLED {
+                    self.obs.event(PipeEvent::Degrade {
+                        cycle: cyc,
+                        unit: DegradeUnit::Cache,
+                        way,
+                    });
+                }
+            }
+            if let Some(p) = &mut self.predictor {
+                while let Some(way) = p.take_degraded() {
+                    self.stats.degraded_ways += 1;
+                    if O::ENABLED {
+                        self.obs.event(PipeEvent::Degrade {
+                            cycle: cyc,
+                            unit: DegradeUnit::Btb,
+                            way,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(p) = &self.predictor {
+            self.stats.parity_scrubs = p.parity_scrubs();
         }
         Ok(false)
     }
@@ -1578,7 +1654,7 @@ mod tests {
 
     #[test]
     fn injected_fault_detected_and_recovered_under_parity() {
-        use crate::soft_error::{FaultField, FaultPlan, ParityMode};
+        use crate::soft_error::{FaultField, FaultPlan, FaultTarget, ParityMode};
         let src = "
             mov 0(sp),$0
         top:
@@ -1599,6 +1675,7 @@ mod tests {
                     cycle: 60,
                     slot,
                     field: FaultField::NextPc(7),
+                    target: FaultTarget::Cache,
                 }),
                 ..SimConfig::default()
             };
@@ -2005,7 +2082,7 @@ mod tests {
 
     #[test]
     fn parity_invalidate_refills_accounted_separately() {
-        use crate::soft_error::{FaultField, FaultPlan, ParityMode};
+        use crate::soft_error::{FaultField, FaultPlan, FaultTarget, ParityMode};
         let src = "
             mov 0(sp),$0
         top:
@@ -2023,6 +2100,7 @@ mod tests {
                     cycle: 60,
                     slot,
                     field: FaultField::NextPc(7),
+                    target: FaultTarget::Cache,
                 }),
                 ..SimConfig::default()
             };

@@ -37,7 +37,8 @@
 //! address in this ISA, so the direction-only tables here are exactly
 //! direction-equivalent to the target-carrying `crisp-predict` models.
 
-use crate::config::HwPredictor;
+use crate::config::{DegradePolicy, HwPredictor};
+use crate::soft_error::{FaultField, ParityMode};
 
 /// A per-branch direction predictor consulted before each conditional
 /// branch and trained afterwards.
@@ -113,6 +114,18 @@ impl CounterTable {
             *c = c.saturating_sub(1);
         }
     }
+
+    /// Flip one bit of the counter at `slot` (modulo the table size) —
+    /// transient-fault injection. The flip stays inside the counter's
+    /// width, so the value remains representable and later training is
+    /// unaffected; there is no parity on counters (a flipped counter is
+    /// just a different — equally legal — prediction history). Returns
+    /// the parcel address that indexes the struck counter.
+    pub fn corrupt(&mut self, slot: u32, bit: u8) -> Option<u32> {
+        let i = slot as usize % self.counters.len();
+        self.counters[i] ^= 1 << (bit % self.bits);
+        Some((i as u32) << 1)
+    }
 }
 
 impl Predictor for CounterTable {
@@ -130,12 +143,24 @@ impl Predictor for CounterTable {
 }
 
 /// One resident BTB entry: a branch address with its 2-bit direction
-/// counter and LRU stamp. No target — see the module docs.
+/// counter, LRU stamp and a parity bit over the tag + counter. No
+/// target — see the module docs.
 #[derive(Debug, Clone, Copy)]
 struct BtbSlot {
     pc: u32,
     counter: u8,
     used: u64,
+    /// Odd parity over `pc` and `counter`, kept correct by every
+    /// legitimate write; a transient flip leaves it stale, which the
+    /// train-port scrub detects.
+    parity: bool,
+}
+
+/// The parity bit a well-formed [`BtbSlot`] carries: odd popcount of
+/// the tag and the counter (the LRU stamp is replacement metadata, not
+/// prediction state, so it is outside the protected word).
+fn slot_parity(pc: u32, counter: u8) -> bool {
+    (pc.count_ones() + u32::from(counter).count_ones()) & 1 == 1
 }
 
 /// The direction half of a set-associative branch target buffer with
@@ -152,6 +177,25 @@ pub struct BtbTable {
     sets: Vec<Vec<BtbSlot>>,
     /// LRU clock, advanced once per [`BtbTable::train`].
     clock: u64,
+    /// Whether the train port checks slot parity (see
+    /// [`BtbTable::protect`]). Reads stay unchecked: a wrong direction
+    /// guess is architecturally safe, so the read port needs no parity
+    /// tree — exactly the cheap-hardware argument the paper makes.
+    protected: bool,
+    /// Parity detections per way position, feeding the degrade policy.
+    way_parity_hits: Vec<u32>,
+    /// Ways taken out of service by the degrade policy.
+    ways_disabled: usize,
+    /// Parity hits on one way before it is disabled; `None` never
+    /// degrades.
+    degrade_limit: Option<u32>,
+    /// Ways disabled since the engine last drained the queue
+    /// (preallocated to `ways`; see [`BtbTable::take_degraded`]).
+    pending_degraded: Vec<u32>,
+    /// Total parity-mismatched entries scrubbed from the table. Kept
+    /// separate from the cache's `parity_invalidates`: a scrub drops
+    /// hint state without a refill, so it is not an invalidate event.
+    pub parity_scrubs: u64,
 }
 
 impl BtbTable {
@@ -171,7 +215,109 @@ impl BtbTable {
             ways,
             sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
             clock: 0,
+            protected: false,
+            way_parity_hits: vec![0; ways],
+            ways_disabled: 0,
+            degrade_limit: None,
+            pending_degraded: Vec::with_capacity(ways),
+            parity_scrubs: 0,
         }
+    }
+
+    /// Enable the train-port parity scrub and (optionally) the degrade
+    /// policy: a way accumulating `degrade_limit` parity hits is taken
+    /// out of service, shrinking the table's associativity.
+    pub fn protect(&mut self, parity: bool, degrade_limit: Option<u32>) {
+        self.protected = parity;
+        self.degrade_limit = degrade_limit;
+    }
+
+    /// Ways still in service.
+    fn live_ways(&self) -> usize {
+        self.ways - self.ways_disabled
+    }
+
+    /// Whether every way has been disabled: the table can no longer
+    /// hold entries, so every guess is the miss default and the engine
+    /// should fall back to the static prediction bit.
+    pub fn fully_degraded(&self) -> bool {
+        self.ways_disabled == self.ways
+    }
+
+    /// Drain one pending way-disablement (for the engine to turn into
+    /// a `Degrade` event + stat); `None` when nothing new degraded.
+    pub fn take_degraded(&mut self) -> Option<u32> {
+        self.pending_degraded.pop()
+    }
+
+    /// Scrub one set through the train-port parity check: every entry
+    /// whose stored parity disagrees with its content is dropped (the
+    /// BTB is a hint structure — scrubbing costs prediction accuracy,
+    /// never correctness), and repeated hits on one way position can
+    /// disable that way under the degrade policy.
+    fn scrub(&mut self, idx: usize) {
+        if !self.protected {
+            return;
+        }
+        loop {
+            let set = &mut self.sets[idx];
+            let bad = set
+                .iter()
+                .position(|e| e.parity != slot_parity(e.pc, e.counter));
+            let Some(p) = bad else { break };
+            set.remove(p);
+            self.parity_scrubs += 1;
+            let way = p.min(self.ways - 1);
+            self.way_parity_hits[way] += 1;
+            if let Some(limit) = self.degrade_limit {
+                if self.way_parity_hits[way] >= limit && self.ways_disabled < self.ways {
+                    self.ways_disabled += 1;
+                    self.pending_degraded.push(way as u32);
+                    let live = self.live_ways();
+                    for s in &mut self.sets {
+                        s.truncate(live);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flip one bit of a resident entry (transient-fault injection).
+    /// `slot` indexes the resident entries in set order, modulo
+    /// occupancy; returns the struck entry's branch address, or `None`
+    /// when the table holds no state to corrupt. Stored parity is
+    /// deliberately left stale — that is what makes the strike
+    /// detectable.
+    pub fn corrupt(&mut self, slot: u32, field: FaultField) -> Option<u32> {
+        let total: usize = self.sets.iter().map(Vec::len).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut n = slot as usize % total;
+        let set = self
+            .sets
+            .iter_mut()
+            .find(|s| {
+                if n < s.len() {
+                    true
+                } else {
+                    n -= s.len();
+                    false
+                }
+            })
+            .expect("total counted above");
+        let pc = set[n].pc;
+        match field {
+            FaultField::BtbTag(b) => set[n].pc ^= 1 << (b % 32),
+            FaultField::BtbCounter(b) => set[n].counter ^= 1 << (b % 2),
+            FaultField::BtbValid => {
+                // A dropped valid bit is indistinguishable from an
+                // eviction: undetectable, and trivially safe.
+                set.remove(n);
+            }
+            _ => return None,
+        }
+        Some(pc)
     }
 
     fn set_index(&self, pc: u32) -> usize {
@@ -190,11 +336,15 @@ impl BtbTable {
 
     /// Train with the actual outcome: move a hit entry's counter and
     /// LRU stamp; allocate on a taken miss (evicting LRU at capacity).
+    /// Under [`BtbTable::protect`] the write port first scrubs the set
+    /// of parity-mismatched entries, so corrupted state is dropped
+    /// before it can be trained.
     pub fn train(&mut self, pc: u32, taken: bool) {
         self.clock += 1;
-        let clock = self.clock;
-        let ways = self.ways;
         let idx = self.set_index(pc);
+        self.scrub(idx);
+        let clock = self.clock;
+        let live = self.live_ways();
         let set = &mut self.sets[idx];
         match set.iter_mut().find(|e| e.pc == pc) {
             Some(e) => {
@@ -204,22 +354,24 @@ impl BtbTable {
                     e.counter.saturating_sub(1)
                 };
                 e.used = clock;
+                e.parity = slot_parity(e.pc, e.counter);
             }
-            None if taken => {
+            None if taken && live > 0 => {
                 // Allocate on taken branches only (a BTB of fall-through
                 // branches would be useless), born weakly taken.
                 let entry = BtbSlot {
                     pc,
                     counter: 2,
                     used: clock,
+                    parity: slot_parity(pc, 2),
                 };
-                if set.len() < ways {
+                if set.len() < live {
                     set.push(entry);
                 } else {
                     let lru = set
                         .iter_mut()
                         .min_by_key(|e| e.used)
-                        .expect("ways >= 1 guarantees an entry");
+                        .expect("live > 0 guarantees an entry at capacity");
                     *lru = entry;
                 }
             }
@@ -295,6 +447,21 @@ impl JumpTraceTable {
             (None, false) => {}
         }
     }
+
+    /// Flip one bit of the resident address at `slot` (modulo
+    /// occupancy) — transient-fault injection. The FIFO stores bare
+    /// addresses with no parity: a flipped address just predicts a
+    /// different branch taken, which is architecturally safe. Returns
+    /// the original address, or `None` when the trace is empty.
+    pub fn corrupt(&mut self, slot: u32, bit: u8) -> Option<u32> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let i = slot as usize % self.entries.len();
+        let old = self.entries[i];
+        self.entries[i] ^= 1 << (bit % 32);
+        Some(old)
+    }
 }
 
 impl Predictor for JumpTraceTable {
@@ -362,6 +529,72 @@ impl HwPredictorState {
             HwPredictorState::Counters(t) => t.train(pc, taken),
             HwPredictorState::Btb(t) => t.train(pc, taken),
             HwPredictorState::JumpTrace(t) => t.train(pc, taken),
+        }
+    }
+
+    /// Arm the table's protection: BTB train-port parity scrub under
+    /// [`ParityMode::DetectInvalidate`], plus the way-disable degrade
+    /// policy when one is configured. Counter tables and the jump trace
+    /// carry no parity (a flipped entry is a legal — if wrong —
+    /// history), so protection is a no-op for them.
+    pub fn protect(&mut self, parity: ParityMode, degrade: Option<DegradePolicy>) {
+        if let HwPredictorState::Btb(t) = self {
+            t.protect(
+                parity == ParityMode::DetectInvalidate,
+                degrade.map(|d| d.parity_limit),
+            );
+        }
+    }
+
+    /// Whether the table currently holds any state a fault could land
+    /// in. Counter tables are always fully resident; the BTB and jump
+    /// trace start empty and fill as branches train them.
+    pub fn has_state(&self) -> bool {
+        match self {
+            HwPredictorState::Counters(_) => true,
+            HwPredictorState::Btb(t) => t.sets.iter().any(|s| !s.is_empty()),
+            HwPredictorState::JumpTrace(t) => !t.entries.is_empty(),
+        }
+    }
+
+    /// Flip one bit of resident predictor state (transient-fault
+    /// injection), dispatching on the fault field's table. Returns the
+    /// struck entry's branch address, or `None` when the field does not
+    /// belong to this table kind or the table holds nothing to corrupt.
+    pub fn corrupt(&mut self, slot: u32, field: FaultField) -> Option<u32> {
+        match (self, field) {
+            (HwPredictorState::Counters(t), FaultField::CounterBit(b)) => t.corrupt(slot, b),
+            (HwPredictorState::Btb(t), FaultField::BtbTag(_))
+            | (HwPredictorState::Btb(t), FaultField::BtbCounter(_))
+            | (HwPredictorState::Btb(t), FaultField::BtbValid) => t.corrupt(slot, field),
+            (HwPredictorState::JumpTrace(t), FaultField::JumpTraceBit(b)) => t.corrupt(slot, b),
+            _ => None,
+        }
+    }
+
+    /// Drain one pending way-disablement from the degrade policy;
+    /// `None` when nothing new degraded (or the table has no ways).
+    pub fn take_degraded(&mut self) -> Option<u32> {
+        match self {
+            HwPredictorState::Btb(t) => t.take_degraded(),
+            _ => None,
+        }
+    }
+
+    /// Whether the degrade policy has taken every way out of service —
+    /// the engine should fall back to the static prediction bit.
+    pub fn fully_degraded(&self) -> bool {
+        match self {
+            HwPredictorState::Btb(t) => t.fully_degraded(),
+            _ => false,
+        }
+    }
+
+    /// Total parity-mismatched entries scrubbed by the train port.
+    pub fn parity_scrubs(&self) -> u64 {
+        match self {
+            HwPredictorState::Btb(t) => t.parity_scrubs,
+            _ => 0,
         }
     }
 }

@@ -1,4 +1,6 @@
-//! Soft-error (transient-fault) model for the Decoded Instruction Cache.
+//! Soft-error (transient-fault) model for the whole front end: the
+//! Decoded Instruction Cache, the PDU's fold slots, and live dynamic
+//! predictor state.
 //!
 //! The paper's whole mechanism lives in the 192-bit decoded-cache entry:
 //! a flipped bit in Next-PC or Alternate Next-PC silently redirects
@@ -7,6 +9,22 @@
 //! memory — the classic defense applies: protect each entry with parity,
 //! and on a parity mismatch simply invalidate the slot and redecode from
 //! memory. Recovery costs one miss; architecture is untouched.
+//!
+//! The same redundancy argument covers the rest of the front end, each
+//! with its own [`FaultTarget`]:
+//!
+//! * **PDU fold slots** ([`FaultTarget::Pdu`]): decoded entries latched
+//!   in the PIR pipeline on their way to the cache. They carry the same
+//!   Next-PC / Alternate Next-PC image as a cache line, so the same
+//!   parity word protects them; a corrupted slot is *dropped* before it
+//!   can pollute the cache and the demanding fetch redecodes.
+//! * **Predictor state** ([`FaultTarget::Predictor`]): BTB tags,
+//!   direction counters and valid bits, saturating-counter entries and
+//!   jump-trace addresses. These bits only ever steer a *guess* — the
+//!   central robustness invariant is that a fault here may change cycle
+//!   counts but can never change committed architectural state (the
+//!   `prop_fault_arch_safety` suite proves it against the functional
+//!   oracle).
 //!
 //! This module provides the three pieces of that model:
 //!
@@ -33,6 +51,7 @@ use crisp_isa::{BinOp, Cond, Decoded, ExecOp, FoldClass, NextPc, Operand};
 
 use std::sync::Arc;
 
+use crate::config::HwPredictor;
 use crate::diff::{reset_or_load, CommitLog, CommitRecord};
 use crate::error::HaltReason;
 use crate::{CycleSim, FunctionalSim, Machine, PredecodedImage, SimConfig, SimError};
@@ -51,12 +70,53 @@ pub enum ParityMode {
     DetectInvalidate,
 }
 
-/// Which architectural field of a decoded-cache entry a fault hits.
+/// Which front-end structure a planned fault strikes.
 ///
-/// The payload is the bit index *within* the field; [`FaultField::bit`]
-/// maps it to a position in the [`entry_bits`] image. The per-field
-/// widths sum to [`FAULT_SPACE`], so [`nth_field`] enumerates every
-/// single-bit fault the model can inject.
+/// [`FaultPlan::slot`] and [`FaultPlan::field`] are interpreted in the
+/// coordinate system of the target: cache slots with cache entry
+/// fields, resident predictor entries with predictor fields
+/// (enumerated per variant by [`nth_predictor_field`]), or PIR fold
+/// slots with the Next-PC / Alternate Next-PC fields of the in-flight
+/// entry ([`nth_pdu_field`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultTarget {
+    /// A Decoded Instruction Cache slot (the original PR 3 model).
+    #[default]
+    Cache,
+    /// Live dynamic-predictor state: BTB tag/counter/valid bits,
+    /// saturating-counter bits, or jump-trace entries.
+    Predictor,
+    /// A PDU fold slot: the folded next-PC / alternate-next-PC latches
+    /// of a decoded entry still in the PIR pipeline.
+    Pdu,
+}
+
+impl FaultTarget {
+    /// All targets, in report order.
+    pub const ALL: [FaultTarget; 3] =
+        [FaultTarget::Cache, FaultTarget::Predictor, FaultTarget::Pdu];
+
+    /// Stable name, matching the `crisp-fault --target` spelling
+    /// (`btb` names the predictor target: every dynamic predictor is a
+    /// BTB-like table from the fault model's point of view).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultTarget::Cache => "cache",
+            FaultTarget::Predictor => "btb",
+            FaultTarget::Pdu => "pdu",
+        }
+    }
+}
+
+/// Which architectural field of a front-end structure a fault hits.
+///
+/// The first seven variants are the decoded-cache entry fields; the
+/// payload is the bit index *within* the field and [`FaultField::bit`]
+/// maps it to a position in the [`entry_bits`] image. Their widths sum
+/// to [`FAULT_SPACE`], so [`nth_field`] enumerates every single-bit
+/// cache fault the model can inject. The remaining variants name
+/// predictor-state bits ([`FaultTarget::Predictor`]); they live outside
+/// the entry image, so [`FaultField::bit`] returns `None` for them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultField {
     /// The Next-PC field: 2 tag bits plus a 32-bit payload.
@@ -77,6 +137,19 @@ pub enum FaultField {
     Operand(u8),
     /// The 32-bit cache tag (the entry's PC).
     Tag(u8),
+    /// A resident BTB entry's 32-bit branch-address tag.
+    BtbTag(u8),
+    /// A resident BTB entry's 2-bit direction counter.
+    BtbCounter(u8),
+    /// A resident BTB entry's valid bit; flipping it drops the entry
+    /// (a live valid bit can only flip to invalid).
+    BtbValid,
+    /// One bit of a saturating direction counter (width = the
+    /// configured counter bits, index taken modulo it).
+    CounterBit(u8),
+    /// One bit of a jump-trace FIFO entry (a 32-bit taken-branch
+    /// address).
+    JumpTraceBit(u8),
 }
 
 /// Width in bits of each [`FaultField`] group, in [`nth_field`] order.
@@ -132,12 +205,18 @@ impl FaultField {
             FaultField::Opcode(_) => "opcode",
             FaultField::Operand(_) => "operand",
             FaultField::Tag(_) => "tag",
+            FaultField::BtbTag(_) => "btb-tag",
+            FaultField::BtbCounter(_) => "btb-counter",
+            FaultField::BtbValid => "btb-valid",
+            FaultField::CounterBit(_) => "counter-bit",
+            FaultField::JumpTraceBit(_) => "jump-trace",
         }
     }
 
     /// The `(word, bit)` position of this fault in the [`entry_bits`]
     /// image, or `None` for the valid bit (which lives in the slot, not
-    /// the entry image).
+    /// the entry image) and for predictor-state fields (which live
+    /// outside the cache entirely).
     pub fn bit(self) -> Option<(usize, u32)> {
         match self {
             FaultField::NextPc(i) if i < 2 => Some((0, 57 + u32::from(i))),
@@ -151,6 +230,11 @@ impl FaultField {
             FaultField::Operand(i) if i < 6 => Some((2, 32 + u32::from(i))),
             FaultField::Operand(i) => Some((3, u32::from(i) - 6)),
             FaultField::Tag(i) => Some((0, u32::from(i))),
+            FaultField::BtbTag(_)
+            | FaultField::BtbCounter(_)
+            | FaultField::BtbValid
+            | FaultField::CounterBit(_)
+            | FaultField::JumpTraceBit(_) => None,
         }
     }
 }
@@ -160,11 +244,73 @@ pub fn nth_field(i: u64) -> FaultField {
     FaultField::nth(i)
 }
 
+/// Number of distinct single-bit predictor-state faults injectable into
+/// the given predictor variant. The static bit has no hardware state,
+/// so its space is zero; a BTB entry is a 32-bit tag, a 2-bit counter
+/// and a valid bit; a counter table exposes its counter width; a jump
+/// trace holds 32-bit branch addresses.
+pub fn predictor_fault_space(p: HwPredictor) -> u64 {
+    match p {
+        HwPredictor::StaticBit => 0,
+        HwPredictor::Dynamic { bits, .. } => u64::from(bits),
+        HwPredictor::Btb { .. } => 35,
+        HwPredictor::JumpTrace { .. } => 32,
+    }
+}
+
+/// Enumerate the predictor fault space for the given variant:
+/// `nth_predictor_field(p, i)` for `i` in `0..predictor_fault_space(p)`
+/// visits every injectable predictor-state bit once (indices wrap).
+/// `None` for [`HwPredictor::StaticBit`], which has no state to strike.
+pub fn nth_predictor_field(p: HwPredictor, i: u64) -> Option<FaultField> {
+    let space = predictor_fault_space(p);
+    if space == 0 {
+        return None;
+    }
+    let i = (i % space) as u8;
+    Some(match p {
+        HwPredictor::Dynamic { .. } => FaultField::CounterBit(i),
+        HwPredictor::Btb { .. } => match i {
+            0..=31 => FaultField::BtbTag(i),
+            32..=33 => FaultField::BtbCounter(i - 32),
+            _ => FaultField::BtbValid,
+        },
+        HwPredictor::JumpTrace { .. } => FaultField::JumpTraceBit(i),
+        HwPredictor::StaticBit => unreachable!("space == 0 returned above"),
+    })
+}
+
+/// Number of distinct single-bit faults injectable into one PDU fold
+/// slot: the folded Next-PC (34 bits) and Alternate Next-PC (35 bits)
+/// latches of the in-flight entry — the same sub-fields the cache image
+/// carries, so the same parity word covers them.
+pub const PDU_FAULT_SPACE: u64 = 69;
+
+/// Enumerate the PDU fold-slot fault space: `nth_pdu_field(i)` for `i`
+/// in `0..PDU_FAULT_SPACE` visits every injectable bit of the two
+/// next-PC latches once (indices wrap).
+pub fn nth_pdu_field(i: u64) -> FaultField {
+    let i = (i % PDU_FAULT_SPACE) as u8;
+    if i < 34 {
+        FaultField::NextPc(i)
+    } else {
+        FaultField::AltPc(i - 34)
+    }
+}
+
 /// One planned transient fault: flip `field` of cache slot `slot`
 /// (taken modulo the cache size) at the start of cycle `cycle`. The
 /// cycle engine applies the plan exactly once; if the slot is empty at
 /// that cycle, nothing is corrupted (the fault lands in invalid state
 /// and is trivially masked).
+///
+/// With `target` other than [`FaultTarget::Cache`], `slot` indexes the
+/// target structure instead (a resident BTB/counter/jump-trace entry,
+/// or an in-flight PDU fold slot, modulo occupancy). Because those
+/// structures are often empty at any given instant, the engine *arms*
+/// the strike at `cycle` and fires it on the first later cycle where
+/// the target holds state — a particle that never finds a victim is a
+/// trivially masked run, not an error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Cycle at which the flip occurs.
@@ -173,6 +319,8 @@ pub struct FaultPlan {
     pub slot: u32,
     /// The bit to flip.
     pub field: FaultField,
+    /// Which front-end structure the strike lands in.
+    pub target: FaultTarget,
 }
 
 // --- Canonical entry encoding -------------------------------------------
@@ -787,6 +935,77 @@ mod tests {
     }
 
     #[test]
+    fn predictor_fault_space_enumeration_is_distinct_per_variant() {
+        let variants = [
+            HwPredictor::StaticBit,
+            HwPredictor::Dynamic {
+                bits: 2,
+                entries: 64,
+            },
+            HwPredictor::Btb {
+                entries: 128,
+                ways: 4,
+            },
+            HwPredictor::JumpTrace { entries: 16 },
+        ];
+        for p in variants {
+            let space = predictor_fault_space(p);
+            if space == 0 {
+                assert_eq!(p, HwPredictor::StaticBit);
+                assert_eq!(nth_predictor_field(p, 0), None);
+                continue;
+            }
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..space {
+                let f = nth_predictor_field(p, i).expect("in-range index enumerates");
+                assert!(seen.insert(f), "{f:?} enumerated twice for {p:?}");
+                assert_eq!(f.bit(), None, "predictor fields live outside the image");
+            }
+            // Wraps modulo the space.
+            assert_eq!(nth_predictor_field(p, space), nth_predictor_field(p, 0));
+        }
+        // Counter space tracks the configured width.
+        assert_eq!(
+            predictor_fault_space(HwPredictor::Dynamic {
+                bits: 3,
+                entries: 8
+            }),
+            3
+        );
+        // BTB space = 32 tag + 2 counter + 1 valid.
+        assert_eq!(
+            predictor_fault_space(HwPredictor::Btb {
+                entries: 16,
+                ways: 2
+            }),
+            35
+        );
+    }
+
+    #[test]
+    fn pdu_fault_space_covers_both_next_pc_latches() {
+        assert_eq!(PDU_FAULT_SPACE, 34 + 35);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..PDU_FAULT_SPACE {
+            let f = nth_pdu_field(i);
+            assert!(seen.insert(f), "{f:?} enumerated twice");
+            // Every PDU site maps into the canonical image, so cache
+            // parity covers it.
+            assert!(f.bit().is_some(), "{f:?} must be parity-visible");
+            assert!(matches!(f, FaultField::NextPc(_) | FaultField::AltPc(_)));
+        }
+        assert_eq!(nth_pdu_field(PDU_FAULT_SPACE), nth_pdu_field(0));
+    }
+
+    #[test]
+    fn fault_target_names_are_stable() {
+        assert_eq!(FaultTarget::ALL.len(), 3);
+        let names: Vec<_> = FaultTarget::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names, ["cache", "btb", "pdu"]);
+        assert_eq!(FaultTarget::default(), FaultTarget::Cache);
+    }
+
+    #[test]
     fn apply_fault_changes_targeted_field() {
         let d = sample_entries()[2]; // folded conditional Op2
                                      // Predict bit: flips the predicted direction.
@@ -852,7 +1071,12 @@ mod tests {
                     ] {
                         let cfg = SimConfig {
                             fold_policy: policy,
-                            fault_plan: Some(FaultPlan { cycle, slot, field }),
+                            fault_plan: Some(FaultPlan {
+                                cycle,
+                                slot,
+                                field,
+                                target: FaultTarget::Cache,
+                            }),
                             ..SimConfig::default()
                         };
                         let fresh = classify_fault(&image, cfg).unwrap();

@@ -218,8 +218,10 @@ pub mod resolve_stage {
 /// `static_bit_mispredicts` (the compiler's static bit scored in
 /// shadow over the same retired branch stream, giving the
 /// per-predictor mispredict split), and the `btb_miss` bucket inside
-/// `accounts`.
-pub const STATS_SCHEMA_VERSION: u32 = 4;
+/// `accounts`; version 5 adds `parity_scrubs` (corrupted BTB entries
+/// dropped at the train port) and `degraded_ways` (cache slots / BTB
+/// ways taken out of service by [`crate::DegradePolicy`]).
+pub const STATS_SCHEMA_VERSION: u32 = 5;
 
 /// Counters produced by the cycle engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -262,8 +264,17 @@ pub struct CycleStats {
     /// Decoded-cache entries invalidated by a parity mismatch at read
     /// time (see [`crate::soft_error`]).
     pub parity_invalidates: u64,
-    /// Transient faults actually injected into live cache entries.
+    /// Transient faults actually injected into live front-end state
+    /// (cache entries, predictor tables, or PDU fold slots).
     pub faults_injected: u64,
+    /// Corrupted BTB entries dropped by the train-port parity scrub
+    /// (see [`crate::BtbTable::parity_scrubs`]). Separate from
+    /// `parity_invalidates`: a scrub drops hint state without a refill.
+    pub parity_scrubs: u64,
+    /// Cache slots and BTB ways taken out of service by the degrade
+    /// policy ([`crate::DegradePolicy`]); each one also produced a
+    /// [`crate::PipeEvent::Degrade`] event.
+    pub degraded_ways: u64,
     /// Whether the run ended on a watchdog limit rather than `halt`
     /// (see [`crate::HaltReason`]).
     pub watchdog: bool,
@@ -321,7 +332,8 @@ impl CycleStats {
                 r#""resolved_at_fetch":{},"icache_hits":{},"icache_misses":{},"#,
                 r#""miss_stall_cycles":{},"indirect_stall_cycles":{},"pdu_decodes":{},"#,
                 r#""cache_inserts":{},"cache_refills":{},"cache_evictions":{},"#,
-                r#""parity_invalidates":{},"faults_injected":{},"watchdog":{},"#,
+                r#""parity_invalidates":{},"faults_injected":{},"#,
+                r#""parity_scrubs":{},"degraded_ways":{},"watchdog":{},"#,
                 r#""predicted_by":"{}","static_bit_mispredicts":{},"#,
                 r#""accounts":{},"dropped_events":{},"#,
                 r#""cycles_per_issued":{:.6},"apparent_cpi":{:.6}}}"#
@@ -345,6 +357,8 @@ impl CycleStats {
             self.cache_evictions,
             self.parity_invalidates,
             self.faults_injected,
+            self.parity_scrubs,
+            self.degraded_ways,
             self.watchdog,
             self.predicted_by,
             self.static_bit_mispredicts,
@@ -446,6 +460,13 @@ impl fmt::Display for CycleStats {
             "soft errors          : {} injected / {} parity invalidates",
             self.faults_injected, self.parity_invalidates
         )?;
+        if self.parity_scrubs > 0 || self.degraded_ways > 0 {
+            writeln!(
+                f,
+                "degradation          : {} BTB scrubs / {} ways disabled",
+                self.parity_scrubs, self.degraded_ways
+            )?;
+        }
         if self.watchdog {
             writeln!(f, "watchdog             : expired before halt")?;
         }
@@ -617,7 +638,28 @@ mod tests {
             "{json}"
         );
         assert!(json.contains(r#""apparent_cpi":0.833333"#), "{json}");
+        assert!(
+            json.contains(r#""parity_scrubs":0,"degraded_ways":0"#),
+            "{json}"
+        );
         assert!(json.starts_with('{') && json.ends_with('}'));
+        // Degradation counters appear in the report only when nonzero.
+        assert!(!text.contains("degradation"), "{text}");
+        let degraded = CycleStats {
+            parity_scrubs: 4,
+            degraded_ways: 2,
+            ..CycleStats::default()
+        };
+        let dtext = degraded.to_string();
+        assert!(
+            dtext.contains("degradation          : 4 BTB scrubs / 2 ways disabled"),
+            "{dtext}"
+        );
+        let djson = degraded.to_json();
+        assert!(
+            djson.contains(r#""parity_scrubs":4,"degraded_ways":2"#),
+            "{djson}"
+        );
     }
 
     #[test]

@@ -140,6 +140,8 @@ pub struct CampaignMonitor {
     start: Instant,
     done: Counter,
     findings: Counter,
+    retries: Counter,
+    quarantined: Counter,
     latency: DurationHisto,
     busy_ns: Vec<Counter>,
 }
@@ -153,6 +155,8 @@ impl CampaignMonitor {
             start: Instant::now(),
             done: Counter::new(),
             findings: Counter::new(),
+            retries: Counter::new(),
+            quarantined: Counter::new(),
             latency: DurationHisto::new(),
             busy_ns: (0..workers.max(1)).map(|_| Counter::new()).collect(),
         }
@@ -172,6 +176,19 @@ impl CampaignMonitor {
         self.findings.inc();
     }
 
+    /// Record one case retry: the first attempt died (panicked or
+    /// tripped the watchdog) and the supervisor is re-running it on
+    /// fresh buffers.
+    pub fn record_retry(&self) {
+        self.retries.inc();
+    }
+
+    /// Record one quarantined case: the bounded retry also failed, so
+    /// the supervisor set the case aside and kept the campaign going.
+    pub fn record_quarantine(&self) {
+        self.quarantined.inc();
+    }
+
     /// Cases completed so far.
     pub fn done(&self) -> u64 {
         self.done.get()
@@ -180,6 +197,16 @@ impl CampaignMonitor {
     /// Findings recorded so far.
     pub fn findings(&self) -> u64 {
         self.findings.get()
+    }
+
+    /// Retries recorded so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Quarantined cases recorded so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.get()
     }
 
     /// Sample the campaign's current state.
@@ -212,6 +239,8 @@ impl CampaignMonitor {
             total: self.total,
             queue_depth,
             findings: self.findings.get(),
+            retries: self.retries.get(),
+            quarantined: self.quarantined.get(),
             rate_per_s: rate,
             utilization,
             p50: self.latency.percentile(0.50),
@@ -234,6 +263,10 @@ pub struct Snapshot {
     pub queue_depth: u64,
     /// Findings recorded so far.
     pub findings: u64,
+    /// Case retries so far (first attempts that died and were re-run).
+    pub retries: u64,
+    /// Cases quarantined so far (retry also failed; set aside).
+    pub quarantined: u64,
     /// Completed cases per second of wall time.
     pub rate_per_s: f64,
     /// Per-worker busy fraction (`0.0 ..= 1.0`) since the start.
@@ -269,8 +302,8 @@ impl Snapshot {
         write_json_f64(&mut out, self.elapsed.as_secs_f64(), 3);
         let _ = write!(
             out,
-            r#","done":{},"total":{},"queue_depth":{},"findings":{},"rate_per_s":"#,
-            self.done, self.total, self.queue_depth, self.findings,
+            r#","done":{},"total":{},"queue_depth":{},"findings":{},"retries":{},"quarantined":{},"rate_per_s":"#,
+            self.done, self.total, self.queue_depth, self.findings, self.retries, self.quarantined,
         );
         write_json_f64(&mut out, self.rate_per_s, 3);
         out.push_str(r#","p50_ms":"#);
@@ -402,11 +435,15 @@ mod tests {
         m.record_case(1, Duration::from_millis(4));
         m.record_case(0, Duration::from_millis(2));
         m.record_finding();
+        m.record_retry();
+        m.record_quarantine();
         let s = m.snapshot();
         assert_eq!(s.done, 3);
         assert_eq!(s.total, 10);
         assert_eq!(s.queue_depth, 7);
         assert_eq!(s.findings, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.quarantined, 1);
         assert!(s.rate_per_s > 0.0);
         assert_eq!(s.utilization.len(), 2);
         assert!(s.utilization.iter().all(|u| (0.0..=1.0).contains(u)));
@@ -417,6 +454,7 @@ mod tests {
         assert!(json.contains(r#""done":3,"total":10"#), "{json}");
         assert!(json.contains(r#""queue_depth":7"#), "{json}");
         assert!(json.contains(r#""findings":1"#), "{json}");
+        assert!(json.contains(r#""retries":1,"quarantined":1"#), "{json}");
         assert!(json.contains(r#""p99_ms":"#), "{json}");
         assert!(json.contains(r#""utilization":["#), "{json}");
         assert!(json.ends_with("]}"), "{json}");
@@ -469,6 +507,8 @@ mod tests {
             total: 10,
             queue_depth: 10,
             findings: 0,
+            retries: 0,
+            quarantined: 0,
             rate_per_s: f64::INFINITY,
             utilization: vec![f64::NAN, 0.5],
             p50: Duration::ZERO,

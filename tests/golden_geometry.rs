@@ -38,9 +38,10 @@ fn strip_field(json: &str, key: &str) -> String {
 }
 
 /// Strip the fields added after the vectors were generated —
-/// `schema_version` (v2), the `accounts`/`dropped_events` pair (v3)
-/// and the `predicted_by`/`static_bit_mispredicts` predictor split
-/// (v4). They deliberately sit outside the frozen surface: additive
+/// `schema_version` (v2), the `accounts`/`dropped_events` pair (v3),
+/// the `predicted_by`/`static_bit_mispredicts` predictor split (v4)
+/// and the `parity_scrubs`/`degraded_ways` degradation counters (v5).
+/// They deliberately sit outside the frozen surface: additive
 /// observability, not architectural behaviour (and the accounting's
 /// own invariants are enforced by `tests/prop_accounting.rs`).
 fn normalize_stats(json: &str) -> String {
@@ -50,6 +51,8 @@ fn normalize_stats(json: &str) -> String {
         "dropped_events",
         "predicted_by",
         "static_bit_mispredicts",
+        "parity_scrubs",
+        "degraded_ways",
     ]
     .iter()
     .fold(json.to_string(), |s, key| strip_field(&s, key))

@@ -12,14 +12,18 @@
 //! 3. under `ParityMode::Off` classification is total: every fault
 //!    buckets into masked / SDC / control-divergence / hang;
 //! 4. a detected fault costs exactly one invalidate plus one redecode
-//!    refill, reconciled across cache counters and observer events.
+//!    refill, reconciled across cache counters and observer events;
+//! 5. PDU fold-slot fault sites are parity-visible and a corrupted
+//!    in-flight entry is dropped at the fill port — `DetectInvalidate`
+//!    masks 100% of PDU-slot strikes.
 
 use crisp::asm::rand_prog::GenProgram;
 use crisp::asm::{assemble, Item, Module};
 use crisp::isa::{BinOp, Cond, Instr, Operand};
 use crisp::sim::{
-    classify_fault, decode_entry, entry_bits, nth_field, parity32, CycleSim, EventRing, FaultField,
-    FaultOutcome, FaultPlan, Machine, ParityMode, PipeEvent, SimConfig, FAULT_SPACE,
+    classify_fault, decode_entry, entry_bits, nth_field, nth_pdu_field, parity32, CycleSim,
+    EventRing, FaultField, FaultOutcome, FaultPlan, FaultTarget, Machine, ParityMode, PipeEvent,
+    SimConfig, FAULT_SPACE, PDU_FAULT_SPACE,
 };
 use proptest::prelude::*;
 
@@ -30,6 +34,7 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
         cycle,
         slot,
         field: nth_field(i),
+        target: FaultTarget::Cache,
     })
 }
 
@@ -80,6 +85,39 @@ proptest! {
         prop_assert_eq!(
             outcome, FaultOutcome::Masked,
             "fault {:?} escaped parity recovery on seed {}", plan, seed
+        );
+    }
+
+    /// Claim 5 (whole-front-end model): every PDU fold-slot fault site
+    /// maps into the canonical entry image — so the cache's parity word
+    /// covers it — and under `DetectInvalidate` a strike on an
+    /// in-flight PIR entry is dropped at the fill port before it can
+    /// pollute the cache: classification is always `Masked`.
+    #[test]
+    fn pdu_slot_faults_are_always_masked_under_parity(
+        seed in 0u64..5000,
+        cycle in 0u64..300,
+        slot in 0u32..8,
+        i in 0u64..PDU_FAULT_SPACE,
+    ) {
+        let field = nth_pdu_field(i);
+        prop_assert!(field.bit().is_some(), "{:?} must be parity-visible", field);
+        let image = GenProgram::generate(seed, 8).image().unwrap();
+        let cfg = SimConfig {
+            parity: ParityMode::DetectInvalidate,
+            fault_plan: Some(FaultPlan {
+                cycle,
+                slot,
+                field,
+                target: FaultTarget::Pdu,
+            }),
+            max_cycles: 200_000,
+            ..SimConfig::default()
+        };
+        let outcome = classify_fault(&image, cfg).unwrap();
+        prop_assert_eq!(
+            outcome, FaultOutcome::Masked,
+            "PDU-slot fault {:?} escaped the fill-port parity check on seed {}", field, seed
         );
     }
 
@@ -154,6 +192,7 @@ fn recovery_costs_one_invalidate_and_one_refill() {
                 cycle: 60,
                 slot,
                 field: FaultField::NextPc(7),
+                target: FaultTarget::Cache,
             }),
             ..base_cfg
         };
