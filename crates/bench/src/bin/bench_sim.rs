@@ -49,8 +49,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crisp_cc::{compile_crisp, CompileOptions};
-use crisp_sim::{CycleSim, FunctionalSim, Machine, PredecodedImage, SimConfig};
-use crisp_workloads::{figure3_large, figure3_with_count, FIGURE3_LARGE_ITERS};
+use crisp_sim::{
+    CycleSim, FunctionalSim, Machine, PredecodedImage, SimConfig, ThreadedSim, TranslatedImage,
+};
+use crisp_workloads::{dispatch_workload, figure3_large, figure3_with_count, FIGURE3_LARGE_ITERS};
 
 /// Seed-commit medians (ns per run, `cargo bench` on the reference
 /// host) for the benchmarks that existed before the batch kernel.
@@ -153,9 +155,20 @@ fn run_suite(reduced: bool) -> Vec<Measured> {
         .expect("figure 3 compiles");
     let large =
         compile_crisp(&figure3_large(), &CompileOptions::default()).expect("figure 3 compiles");
+    let dispatch = compile_crisp(dispatch_workload().source, &CompileOptions::default())
+        .expect("dispatch compiles");
     let policy = SimConfig::default().fold_policy;
     let small_table = PredecodedImage::shared(&small, policy).expect("predecodes");
     let large_table = PredecodedImage::shared(&large, policy).expect("predecodes");
+    let dispatch_table = PredecodedImage::shared(&dispatch, policy).expect("predecodes");
+    // Superinstruction tables for the threaded tier, hoisted exactly as
+    // the campaign drivers hoist them: translated once, shared by every
+    // pooled run.
+    let small_threaded = Arc::new(TranslatedImage::from_predecoded(Arc::clone(&small_table)));
+    let large_threaded = Arc::new(TranslatedImage::from_predecoded(Arc::clone(&large_table)));
+    let dispatch_threaded = Arc::new(TranslatedImage::from_predecoded(Arc::clone(
+        &dispatch_table,
+    )));
 
     let mut out = Vec::new();
 
@@ -182,6 +195,25 @@ fn run_suite(reduced: bool) -> Vec<Measured> {
                 .unwrap_or_else(|| Machine::load(&small).unwrap());
             m.reset_from(&small).unwrap();
             let run = FunctionalSim::with_predecoded(m, Arc::clone(&small_table))
+                .run()
+                .unwrap();
+            let n = run.stats.program_instrs;
+            pool = Some(run.machine);
+            n
+        },
+    ));
+
+    let mut pool: Option<Machine> = None;
+    out.push(measure(
+        "functional_threaded_figure3_256_pooled",
+        warmup,
+        samples,
+        || {
+            let mut m = pool
+                .take()
+                .unwrap_or_else(|| Machine::load(&small).unwrap());
+            m.reset_from(&small).unwrap();
+            let run = ThreadedSim::with_translated(m, Arc::clone(&small_threaded))
                 .run()
                 .unwrap();
             let n = run.stats.program_instrs;
@@ -226,6 +258,65 @@ fn run_suite(reduced: bool) -> Vec<Measured> {
                 .unwrap_or_else(|| Machine::load(&large).unwrap());
             m.reset_from(&large).unwrap();
             let run = FunctionalSim::with_predecoded(m, Arc::clone(&large_table))
+                .run()
+                .unwrap();
+            let n = run.stats.program_instrs;
+            pool = Some(run.machine);
+            n
+        },
+    ));
+    let mut pool: Option<Machine> = None;
+    out.push(measure(
+        "functional_threaded_figure3_large_pooled",
+        lwarm,
+        lsamples,
+        || {
+            let mut m = pool
+                .take()
+                .unwrap_or_else(|| Machine::load(&large).unwrap());
+            m.reset_from(&large).unwrap();
+            let run = ThreadedSim::with_translated(m, Arc::clone(&large_threaded))
+                .run()
+                .unwrap();
+            let n = run.stats.program_instrs;
+            pool = Some(run.machine);
+            n
+        },
+    ));
+    // The dispatch-loop workload is branchy, indirect-jump-heavy code —
+    // the threaded tier's worst case (three and a half thousand deopt
+    // falls to the interpreter per run). Benchmarked under both engines
+    // so the gate guards the deopt/rejoin path, not just straight-line
+    // superblocks.
+    let mut pool: Option<Machine> = None;
+    out.push(measure(
+        "functional_dispatch_pooled",
+        lwarm,
+        lsamples,
+        || {
+            let mut m = pool
+                .take()
+                .unwrap_or_else(|| Machine::load(&dispatch).unwrap());
+            m.reset_from(&dispatch).unwrap();
+            let run = FunctionalSim::with_predecoded(m, Arc::clone(&dispatch_table))
+                .run()
+                .unwrap();
+            let n = run.stats.program_instrs;
+            pool = Some(run.machine);
+            n
+        },
+    ));
+    let mut pool: Option<Machine> = None;
+    out.push(measure(
+        "functional_threaded_dispatch_pooled",
+        lwarm,
+        lsamples,
+        || {
+            let mut m = pool
+                .take()
+                .unwrap_or_else(|| Machine::load(&dispatch).unwrap());
+            m.reset_from(&dispatch).unwrap();
+            let run = ThreadedSim::with_translated(m, Arc::clone(&dispatch_threaded))
                 .run()
                 .unwrap();
             let n = run.stats.program_instrs;
@@ -325,7 +416,21 @@ fn render_report(
         .map(|m| SEED_CYCLE_256_NS as f64 / m.ns_per_run as f64)
         .unwrap_or(0.0);
     s.push_str(&format!(
-        "  \"speedup_vs_seed\": {{\"functional\": {f:.2}, \"cycle\": {c:.2}}}\n"
+        "  \"speedup_vs_seed\": {{\"functional\": {f:.2}, \"cycle\": {c:.2}}},\n"
+    ));
+    // The headline tentpole ratio: interpreter vs threaded tier on the
+    // same workload, same host window, same calibration.
+    let t = match (
+        ns_of(results, "functional_figure3_large_pooled"),
+        ns_of(results, "functional_threaded_figure3_large_pooled"),
+    ) {
+        (Some(interp), Some(thr)) if thr.ns_per_run > 0 => {
+            interp.ns_per_run as f64 / thr.ns_per_run as f64
+        }
+        _ => 0.0,
+    };
+    s.push_str(&format!(
+        "  \"functional_threaded\": {{\"figure3_large_speedup_vs_interp\": {t:.2}}}\n"
     ));
     s.push_str("}\n");
     s

@@ -23,6 +23,12 @@
 //!                     hardware predictor (static | counterN[xM] |
 //!                     btb[SxW] | jumptrace[N]) instead of sweeping
 //!                     all four
+//!   --engine ENGINE   functional tier cross-check: threaded (default)
+//!                     additionally proves the threaded-code tier
+//!                     bit-identical to the interpreter on every
+//!                     program (commit streams, final state, traces,
+//!                     stats) once per fold policy; interp skips that
+//!                     pass
 //!   --smoke           bounded CI run (64 asm + 8 C programs)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --heartbeat SECS  emit a campaign-telemetry JSONL snapshot to
@@ -50,9 +56,9 @@ use crisp_asm::rand_prog::{shrink, GenProgram};
 use crisp_cc::{compile_crisp, generate_c, CompileOptions, PredictionMode};
 use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
-    run_lockstep, run_lockstep_pooled, sweep_configs, Divergence, FaultInjection, HwPredictor,
-    LockstepBuffers, LockstepOutcome, PipelineGeometry, PredecodedImage, SimConfig, MAX_DEPTH,
-    MIN_DEPTH,
+    run_lockstep, run_lockstep_pooled, sweep_configs, verify_threaded_pooled, Divergence, Engine,
+    FaultInjection, HwPredictor, LockstepBuffers, LockstepOutcome, PipelineGeometry,
+    PredecodedImage, SimConfig, TranslatedImage, MAX_DEPTH, MIN_DEPTH,
 };
 use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
@@ -70,7 +76,15 @@ fn main() -> ExitCode {
 struct Failure {
     program: Program,
     cfg: SimConfig,
-    divergence: Divergence,
+    divergence: FailureKind,
+}
+
+/// What kind of disagreement ended the campaign.
+enum FailureKind {
+    /// The functional and cycle engines diverged in lockstep.
+    Lockstep(Divergence),
+    /// The threaded tier broke bit-identity with the interpreter.
+    Threaded(String),
 }
 
 /// A campaign work item: either a generated assembly program or a
@@ -144,7 +158,8 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "usage: crisp-diff [--seed N] [--programs N] [--c-programs N] \
              [--max-blocks N] [--jobs N] [--max-cycles N] [--eu-depth N] \
-             [--predictor HW] [--smoke] [--resume FILE] [--heartbeat SECS] [--inject]"
+             [--predictor HW] [--engine interp|threaded] [--smoke] [--resume FILE] \
+             [--heartbeat SECS] [--inject]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -183,6 +198,13 @@ fn run() -> Result<ExitCode, String> {
         .map_err(|e| e.to_string())?
         .map(|v| HwPredictor::parse(&v).map_err(|e| format!("--predictor: bad value `{v}`: {e}")))
         .transpose()?;
+    // Campaigns default to the threaded tier: every program then also
+    // cross-checks threaded-vs-interpreter bit-identity per fold policy.
+    let engine = match extract_flag(&mut raw, "--engine").map_err(|e| e.to_string())? {
+        Some(name) => Engine::parse(&name)
+            .ok_or_else(|| format!("unknown engine `{name}` (interp | threaded)"))?,
+        None => Engine::default(),
+    };
     let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
     let heartbeat_secs: Option<u64> = extract_flag(&mut raw, "--heartbeat")
         .map_err(|e| e.to_string())?
@@ -302,7 +324,7 @@ fn run() -> Result<ExitCode, String> {
                     // poisoned state), then quarantine it and move on.
                     let case_start = Instant::now();
                     let mut outcome = catch_unwind(AssertUnwindSafe(|| {
-                        check_program(program, configs, &mut bufs)
+                        check_program(program, configs, engine, &mut bufs)
                     }));
                     let mut retried = false;
                     if outcome.is_err() {
@@ -310,7 +332,7 @@ fn run() -> Result<ExitCode, String> {
                         retried = true;
                         bufs = LockstepBuffers::default();
                         outcome = catch_unwind(AssertUnwindSafe(|| {
-                            check_program(program, configs, &mut bufs)
+                            check_program(program, configs, engine, &mut bufs)
                         }));
                     }
                     monitor.record_case(w, case_start.elapsed());
@@ -328,6 +350,16 @@ fn run() -> Result<ExitCode, String> {
                         Ok(Err(CheckFail::Diverge(cfg, d))) => {
                             monitor.record_finding();
                             *failure.lock().unwrap() = Some(shrink_failure(program, cfg, *d));
+                            queue.abort();
+                            return;
+                        }
+                        Ok(Err(CheckFail::Threaded(cfg, detail))) => {
+                            monitor.record_finding();
+                            *failure.lock().unwrap() = Some(Failure {
+                                program: clone_program(program),
+                                cfg,
+                                divergence: FailureKind::Threaded(detail),
+                            });
                             queue.abort();
                             return;
                         }
@@ -442,6 +474,9 @@ enum CheckFail {
     /// The engines disagreed under this configuration. Boxed: the
     /// divergence record is large and the happy path returns `Ok(())`.
     Diverge(SimConfig, Box<Divergence>),
+    /// The threaded tier and the interpreter disagreed under this
+    /// configuration's fold policy.
+    Threaded(SimConfig, String),
 }
 
 /// Run one program across every sweep configuration, returning the
@@ -452,6 +487,7 @@ enum CheckFail {
 fn check_program(
     program: &Program,
     configs: &[SimConfig],
+    engine: Engine,
     bufs: &mut LockstepBuffers,
 ) -> Result<u64, CheckFail> {
     let image = program
@@ -459,6 +495,10 @@ fn check_program(
         .map_err(|e| CheckFail::Load(format!("{}: {e}", program.describe())))?;
     let mut commits = 0u64;
     let mut tables: Vec<Arc<PredecodedImage>> = Vec::with_capacity(4);
+    // Translated superinstruction tables, hoisted alongside the
+    // predecode tables: translation is paid once per image x policy,
+    // not once per configuration.
+    let mut translated: Vec<Arc<TranslatedImage>> = Vec::with_capacity(4);
     for cfg in configs {
         let table = match tables.iter().find(|t| t.policy() == cfg.fold_policy) {
             Some(t) => Arc::clone(t),
@@ -483,8 +523,38 @@ fn check_program(
                 )))
             }
         }
+        // Lockstep co-steps the two engines entry by entry, so the
+        // threaded tier (which retires whole blocks) cannot replace the
+        // functional side there; instead prove it bit-identical to the
+        // interpreter once per fold policy, on pooled machines.
+        if engine == Engine::Threaded && !translated.iter().any(|t| t.policy() == cfg.fold_policy) {
+            let t = Arc::new(TranslatedImage::from_predecoded(table));
+            translated.push(Arc::clone(&t));
+            match verify_threaded_pooled(&image, &t, cfg.max_cycles, bufs) {
+                Ok(None) => {}
+                Ok(Some(detail)) => return Err(CheckFail::Threaded(*cfg, detail)),
+                Err(e) => {
+                    return Err(CheckFail::Load(format!(
+                        "{}: threaded verify failed under {cfg:?}: {e}",
+                        program.describe()
+                    )))
+                }
+            }
+        }
     }
     Ok(commits)
+}
+
+/// Clone a work item for failure reporting.
+fn clone_program(program: &Program) -> Program {
+    match program {
+        Program::Asm(p) => Program::Asm(p.clone()),
+        Program::C { seed, source, opts } => Program::C {
+            seed: *seed,
+            source: source.clone(),
+            opts: *opts,
+        },
+    }
 }
 
 /// Shrink a failing assembly program (mini-C failures are reported
@@ -511,7 +581,7 @@ fn shrink_failure(program: &Program, cfg: SimConfig, divergence: Divergence) -> 
             Failure {
                 program: Program::Asm(min),
                 cfg,
-                divergence,
+                divergence: FailureKind::Lockstep(divergence),
             }
         }
         Program::C { seed, source, opts } => Failure {
@@ -521,7 +591,7 @@ fn shrink_failure(program: &Program, cfg: SimConfig, divergence: Divergence) -> 
                 opts: *opts,
             },
             cfg,
-            divergence,
+            divergence: FailureKind::Lockstep(divergence),
         },
     }
 }
@@ -535,7 +605,12 @@ fn print_failure(f: &Failure) {
         println!("    {line}");
     }
     println!();
-    println!("{}", f.divergence);
+    match &f.divergence {
+        FailureKind::Lockstep(d) => println!("{d}"),
+        FailureKind::Threaded(detail) => {
+            println!("threaded tier diverged from the interpreter: {detail}")
+        }
+    }
 }
 
 /// `--inject`: plant the skip-OR-squash pipeline bug and prove the
@@ -571,7 +646,7 @@ fn demonstrate_injection(
         print_failure(&Failure {
             program: Program::Asm(min),
             cfg,
-            divergence,
+            divergence: FailureKind::Lockstep(divergence),
         });
         return Ok(ExitCode::SUCCESS);
     }

@@ -35,6 +35,10 @@
 //!   --target T        front-end structure to strike: cache | btb |
 //!                     pdu | all (default cache; btb needs a dynamic
 //!                     --predictor)
+//!   --engine ENGINE   functional tier for the fault-free reference
+//!                     run: threaded (default) or interp. Faulted runs
+//!                     always use the cycle engine — the struck state
+//!                     only exists there
 //!   --smoke           bounded CI run (2 programs x 32 faults)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --report FILE     write the JSON AVF report to FILE
@@ -58,10 +62,10 @@ use crisp_asm::rand_prog::{GenProgram, Rng};
 use crisp_asm::Image;
 use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
 use crisp_sim::{
-    classify_fault_pooled, nth_field, nth_pdu_field, nth_predictor_field, predictor_fault_space,
-    ClassifyBuffers, FaultOutcome, FaultPlan, FaultTarget, HwPredictor, ParityMode,
-    PipelineGeometry, PredecodedImage, SimConfig, FAULT_SPACE, MAX_DEPTH, MIN_DEPTH,
-    PDU_FAULT_SPACE,
+    classify_fault_translated_pooled, nth_field, nth_pdu_field, nth_predictor_field,
+    predictor_fault_space, ClassifyBuffers, Engine, FaultOutcome, FaultPlan, FaultTarget,
+    HwPredictor, ParityMode, PipelineGeometry, PredecodedImage, SimConfig, TranslatedImage,
+    FAULT_SPACE, MAX_DEPTH, MIN_DEPTH, PDU_FAULT_SPACE,
 };
 use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
@@ -186,13 +190,14 @@ fn plan_for(
 /// cost cycles, never correctness).
 fn run_case(
     image: &Image,
-    table: &Arc<PredecodedImage>,
+    tables: (&Arc<PredecodedImage>, Option<&Arc<TranslatedImage>>),
     plan: FaultPlan,
     max_cycles: u64,
     geometry: PipelineGeometry,
     predictor: HwPredictor,
     bufs: &mut ClassifyBuffers,
 ) -> Result<CaseClass, String> {
+    let (table, translated) = tables;
     let protected = SimConfig {
         parity: ParityMode::DetectInvalidate,
         fault_plan: Some(plan),
@@ -201,7 +206,7 @@ fn run_case(
         predictor,
         ..SimConfig::default()
     };
-    match classify_fault_pooled(image, protected, Some(table), bufs) {
+    match classify_fault_translated_pooled(image, protected, Some(table), translated, bufs) {
         Err(_) => return Ok(CaseClass::Skipped),
         Ok(FaultOutcome::Masked) => {}
         Ok(other) => {
@@ -216,7 +221,7 @@ fn run_case(
         parity: ParityMode::Off,
         ..protected
     };
-    match classify_fault_pooled(image, unprotected, Some(table), bufs) {
+    match classify_fault_translated_pooled(image, unprotected, Some(table), translated, bufs) {
         Err(_) => Ok(CaseClass::Skipped),
         Ok(outcome) => {
             if plan.target == FaultTarget::Predictor && outcome != FaultOutcome::Masked {
@@ -278,8 +283,8 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "usage: crisp-fault [--seed N] [--programs N] [--faults N] [--max-blocks N] \
              [--jobs N] [--max-cycles N] [--eu-depth N] [--predictor HW] \
-             [--target cache|btb|pdu|all] [--smoke] [--resume FILE] [--report FILE] \
-             [--heartbeat SECS]"
+             [--target cache|btb|pdu|all] [--engine interp|threaded] [--smoke] \
+             [--resume FILE] [--report FILE] [--heartbeat SECS]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -310,6 +315,13 @@ fn run() -> Result<ExitCode, String> {
         .map_err(|e| e.to_string())?
         .unwrap_or_else(|| "cache".into());
     let targets = parse_targets(&target_spec, predictor)?;
+    // Campaigns default to the threaded tier for the fault-free
+    // reference phase; --engine interp keeps the one-entry interpreter.
+    let engine = match extract_flag(&mut raw, "--engine").map_err(|e| e.to_string())? {
+        Some(name) => Engine::parse(&name)
+            .ok_or_else(|| format!("unknown engine `{name}` (interp | threaded)"))?,
+        None => Engine::default(),
+    };
     let resume_path = extract_flag(&mut raw, "--resume").map_err(|e| e.to_string())?;
     let report_path = extract_flag(&mut raw, "--report").map_err(|e| e.to_string())?;
     let heartbeat_secs: Option<u64> = extract_flag(&mut raw, "--heartbeat")
@@ -346,7 +358,16 @@ fn run() -> Result<ExitCode, String> {
     // decoded once here; every fault case (and both phases within a
     // case) shares the predecoded table.
     let fold_policy = SimConfig::default().fold_policy;
-    let mut images: Vec<(u64, Image, Arc<PredecodedImage>)> = Vec::with_capacity(programs as usize);
+    // Translation (when the threaded engine is selected) is likewise
+    // hoisted: one superinstruction table per program, shared by every
+    // fault case's reference run.
+    type CampaignImage = (
+        u64,
+        Image,
+        Arc<PredecodedImage>,
+        Option<Arc<TranslatedImage>>,
+    );
+    let mut images: Vec<CampaignImage> = Vec::with_capacity(programs as usize);
     for p in 0..programs {
         let pseed = seed.wrapping_add(p);
         let prog = GenProgram::generate(pseed, max_blocks);
@@ -355,7 +376,9 @@ fn run() -> Result<ExitCode, String> {
             .map_err(|e| format!("assembling program seed {pseed}: {e}"))?;
         let table = PredecodedImage::shared(&image, fold_policy)
             .map_err(|e| format!("predecoding program seed {pseed}: {e}"))?;
-        images.push((pseed, image, table));
+        let translated = (engine == Engine::Threaded)
+            .then(|| Arc::new(TranslatedImage::from_predecoded(Arc::clone(&table))));
+        images.push((pseed, image, table, translated));
     }
     let icache_entries = SimConfig::default().icache_entries as u64;
 
@@ -404,12 +427,18 @@ fn run() -> Result<ExitCode, String> {
                 // Per-worker machine buffers, recycled across cases.
                 let mut bufs = ClassifyBuffers::default();
                 while let Some(i) = queue.claim() {
-                    let (pseed, image, table) = &images[(i / faults) as usize];
+                    let (pseed, image, table, translated) = &images[(i / faults) as usize];
                     let plan = plan_for(seed, i, icache_entries, targets, predictor);
                     let case_start = Instant::now();
                     let mut outcome = catch_unwind(AssertUnwindSafe(|| {
                         run_case(
-                            image, table, plan, max_cycles, geometry, predictor, &mut bufs,
+                            image,
+                            (table, translated.as_ref()),
+                            plan,
+                            max_cycles,
+                            geometry,
+                            predictor,
+                            &mut bufs,
                         )
                     }));
                     let mut retried = false;
@@ -422,7 +451,13 @@ fn run() -> Result<ExitCode, String> {
                         bufs = ClassifyBuffers::default();
                         outcome = catch_unwind(AssertUnwindSafe(|| {
                             run_case(
-                                image, table, plan, max_cycles, geometry, predictor, &mut bufs,
+                                image,
+                                (table, translated.as_ref()),
+                                plan,
+                                max_cycles,
+                                geometry,
+                                predictor,
+                                &mut bufs,
                             )
                         }));
                     }

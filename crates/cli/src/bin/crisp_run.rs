@@ -6,6 +6,13 @@
 //!   --asm                        input is CRISP assembly, not mini-C
 //!   --cycles                     use the cycle-level pipeline (default:
 //!                                functional engine)
+//!   --engine ENGINE              functional engine tier: interp (the
+//!                                one-entry reference interpreter,
+//!                                default here) or threaded (the
+//!                                block-translating superinstruction
+//!                                tier — same architectural results,
+//!                                several times faster; incompatible
+//!                                with --cycles)
 //!   --trace PATH                 write a JSONL pipeline event trace
 //!                                (`-` = stdout); the cycle engine emits
 //!                                the full fetch/decode/fold/squash
@@ -68,8 +75,8 @@ use crisp_cc::compile_crisp;
 use crisp_cli::{extract_flag, extract_switch, parse_common, read_input};
 use crisp_sim::{
     mispredict_cycles, render_timeline_for, write_chrome_trace_for, write_jsonl,
-    write_trace_footer, BranchProfiler, CycleSim, EventRing, FunctionalSim, Machine, PipeEvent,
-    PipelineGeometry, TraceFooter,
+    write_trace_footer, BranchProfiler, CycleSim, Engine, EventRing, FunctionalSim, Machine,
+    PipeEvent, PipelineGeometry, ThreadedSim, TraceFooter,
 };
 
 /// Event-ring capacity for `--trace`/`--chrome-trace`/`--timeline`:
@@ -108,14 +115,21 @@ fn run() -> Result<(), String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: crisp-run [--asm] [--cycles] [--trace PATH] [--chrome-trace PATH] \
-             [--profile] [--timeline] [--stats-json PATH] [--cpi-breakdown] [--branch-trace] \
-             [OPTIONS] [FILE]"
+            "usage: crisp-run [--asm] [--cycles] [--engine interp|threaded] [--trace PATH] \
+             [--chrome-trace PATH] [--profile] [--timeline] [--stats-json PATH] \
+             [--cpi-breakdown] [--branch-trace] [OPTIONS] [FILE]"
         );
         return Ok(());
     }
     let is_asm = extract_switch(&mut raw, "--asm");
     let cycles = extract_switch(&mut raw, "--cycles");
+    // One-shot runs default to the reference interpreter; campaign
+    // drivers (crisp-diff, crisp-fault, bench_sim) default to threaded.
+    let engine = match extract_flag(&mut raw, "--engine").map_err(|e| e.to_string())? {
+        Some(name) => Engine::parse(&name)
+            .ok_or_else(|| format!("unknown engine `{name}` (interp | threaded)"))?,
+        None => Engine::Interp,
+    };
     let trace_path = extract_flag(&mut raw, "--trace").map_err(|e| e.to_string())?;
     let chrome_path = extract_flag(&mut raw, "--chrome-trace").map_err(|e| e.to_string())?;
     let stats_path = extract_flag(&mut raw, "--stats-json").map_err(|e| e.to_string())?;
@@ -135,6 +149,9 @@ fn run() -> Result<(), String> {
     }
     if !cycles && cpi_breakdown {
         return Err("--cpi-breakdown needs --cycles".into());
+    }
+    if cycles && engine == Engine::Threaded {
+        return Err("--engine threaded applies to the functional engine (drop --cycles)".into());
     }
 
     let source = read_input(&args.input).map_err(|e| e.to_string())?;
@@ -201,13 +218,27 @@ fn run() -> Result<(), String> {
             .sim
             .max_insns
             .map_or(args.sim.max_cycles, |n| n.min(args.sim.max_cycles));
-        let sim = FunctionalSim::new(machine)
-            .record_trace(branch_trace)
-            .max_steps(steps);
-        let run = if observing {
-            sim.run_observed(&mut obs).map_err(|e| e.to_string())?
-        } else {
-            sim.run().map_err(|e| e.to_string())?
+        let run = match engine {
+            Engine::Interp => {
+                let sim = FunctionalSim::new(machine)
+                    .record_trace(branch_trace)
+                    .max_steps(steps);
+                if observing {
+                    sim.run_observed(&mut obs).map_err(|e| e.to_string())?
+                } else {
+                    sim.run().map_err(|e| e.to_string())?
+                }
+            }
+            Engine::Threaded => {
+                let sim = ThreadedSim::new(machine)
+                    .record_trace(branch_trace)
+                    .max_steps(steps);
+                if observing {
+                    sim.run_observed(&mut obs).map_err(|e| e.to_string())?
+                } else {
+                    sim.run().map_err(|e| e.to_string())?
+                }
+            }
         };
         let (ring, profiler) = obs;
 
@@ -216,6 +247,11 @@ fn run() -> Result<(), String> {
         println!("folded branches      : {}", run.stats.folded);
         println!("conditional branches : {}", run.stats.cond_branches);
         println!("static mispredicts   : {}", run.stats.static_mispredicts);
+        if engine == Engine::Threaded {
+            println!("translated blocks    : {}", run.stats.blocks_translated);
+            println!("superinstr dispatch  : {}", run.stats.superinstr_dispatches);
+            println!("deopt falls          : {}", run.stats.deopt_falls);
+        }
         println!("halt reason          : {}", run.halt_reason.name());
         println!("accumulator          : {}", run.machine.accum);
         println!("opcode mix:");

@@ -220,7 +220,7 @@ fn crisp_run_stats_json_carries_accounts_and_trace_footer() {
     let jsonl = std::fs::read_to_string(&trace);
     std::fs::remove_file(&trace).ok();
     assert!(ok, "{stderr}");
-    assert!(stdout.contains(r#""schema_version":4"#), "{stdout}");
+    assert!(stdout.contains(r#""schema_version":6"#), "{stdout}");
     assert!(stdout.contains(r#""accounts":{"useful":"#), "{stdout}");
     assert!(stdout.contains(r#""dropped_events":0"#), "{stdout}");
     assert!(stdout.contains(r#""predicted_by":"static""#), "{stdout}");

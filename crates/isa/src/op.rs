@@ -69,6 +69,7 @@ impl BinOp {
     /// Evaluate the operation on two 32-bit values.
     ///
     /// For [`BinOp::Mov`] the result is simply `b`.
+    #[inline]
     pub fn eval(self, a: i32, b: i32) -> i32 {
         match self {
             BinOp::Add => a.wrapping_add(b),
@@ -181,6 +182,7 @@ impl Cond {
     }
 
     /// Evaluate the condition on two 32-bit values.
+    #[inline]
     pub fn eval(self, a: i32, b: i32) -> bool {
         match self {
             Cond::Eq => a == b,

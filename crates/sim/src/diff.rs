@@ -338,8 +338,8 @@ pub fn run_lockstep(image: &Image, cfg: SimConfig) -> Result<LockstepOutcome, Si
 /// memory allocations per worker instead of two per case.
 #[derive(Debug, Default)]
 pub struct LockstepBuffers {
-    func: Option<Machine>,
-    cycle: Option<Machine>,
+    pub(crate) func: Option<Machine>,
+    pub(crate) cycle: Option<Machine>,
 }
 
 pub(crate) fn reset_or_load(buf: Option<Machine>, image: &Image) -> Result<Machine, SimError> {

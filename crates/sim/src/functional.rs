@@ -7,6 +7,35 @@ use crate::observe::{NullObserver, PipeObserver};
 use crate::predecode::{PredecodedImage, DECODE_WINDOW};
 use crate::{BranchEvent, BranchKind, HaltReason, Machine, RunStats, SimError, Step, Trace};
 
+/// Append the branch-trace event for one executed entry, if it carries
+/// a branch — shared between the interpreter loop and the threaded
+/// tier's generic terminator path so the two engines record identical
+/// traces.
+pub(crate) fn push_branch_event(trace: &mut Trace, d: &Decoded, step: &Step) {
+    let Some(branch_pc) = d.branch_pc else {
+        return;
+    };
+    let kind = match (d.fold, d.exec) {
+        (FoldClass::Cond { .. }, _) => BranchKind::Cond,
+        (_, ExecOp::CallPush { .. }) => BranchKind::Call,
+        (_, ExecOp::RetPop) => BranchKind::Ret,
+        _ => BranchKind::Uncond,
+    };
+    let taken = step.taken.unwrap_or(true);
+    // For conditional branches record the taken-path target even when
+    // not taken (a BTB stores it).
+    let target = match d.cond_paths() {
+        Some((taken_path, _seq)) => taken_path,
+        None => step.next_pc,
+    };
+    trace.push(BranchEvent {
+        pc: branch_pc,
+        target,
+        taken,
+        kind,
+    });
+}
+
 /// The functional (untimed) engine.
 ///
 /// Executes decoded entries back to back: no pipeline, no cache
@@ -135,6 +164,53 @@ impl FunctionalSim {
         &self.machine
     }
 
+    /// Mutable machine access for the threaded tier, which executes
+    /// translated blocks directly against the same architectural state
+    /// and falls back to [`FunctionalSim::interp_step`] at deopt
+    /// boundaries.
+    pub(crate) fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// One full interpreter step — decode, execute (reporting to
+    /// `obs`), per-entry statistics and optional trace recording —
+    /// shared verbatim between [`FunctionalSim::run_observed`] and the
+    /// threaded tier's deopt path, so the two engines cannot drift in
+    /// their bookkeeping.
+    pub(crate) fn interp_step<O: PipeObserver>(
+        &mut self,
+        step_no: u64,
+        stats: &mut RunStats,
+        trace: &mut Trace,
+        record_trace: bool,
+        obs: &mut O,
+    ) -> Result<Step, SimError> {
+        let pc = self.machine.pc;
+        let d = self.decoded_at(pc)?;
+        let step = self.machine.execute_observed(&d, step_no, obs)?;
+
+        stats.entries += 1;
+        stats.program_instrs += 1 + u64::from(d.folded);
+        stats.folded += u64::from(d.folded);
+        stats.opcodes.record(&d);
+
+        if d.fold.is_transfer() {
+            stats.transfers += 1;
+        }
+        if let FoldClass::Cond { predict_taken, .. } = d.fold {
+            stats.cond_branches += 1;
+            let taken = step.taken.expect("conditional step reports direction");
+            if taken != predict_taken {
+                stats.static_mispredicts += 1;
+            }
+        }
+
+        if record_trace {
+            push_branch_event(trace, &d, &step);
+        }
+        Ok(step)
+    }
+
     /// Execute exactly one decoded entry at the current PC — one
     /// commit — reporting it to `obs` with `seq` in the cycle field
     /// (the functional engine has no clock). This is the lockstep
@@ -179,51 +255,10 @@ impl FunctionalSim {
     pub fn run_observed<O: PipeObserver>(mut self, obs: &mut O) -> Result<FunctionalRun, SimError> {
         let mut stats = RunStats::default();
         let mut trace = Trace::new();
+        let record_trace = self.record_trace;
 
         for step_no in 0..self.max_steps {
-            let pc = self.machine.pc;
-            let d = self.decoded_at(pc)?;
-            let step = self.machine.execute_observed(&d, step_no, obs)?;
-
-            stats.entries += 1;
-            stats.program_instrs += 1 + u64::from(d.folded);
-            stats.folded += u64::from(d.folded);
-            stats.opcodes.record(&d);
-
-            if d.fold.is_transfer() {
-                stats.transfers += 1;
-            }
-            if let FoldClass::Cond { predict_taken, .. } = d.fold {
-                stats.cond_branches += 1;
-                let taken = step.taken.expect("conditional step reports direction");
-                if taken != predict_taken {
-                    stats.static_mispredicts += 1;
-                }
-            }
-
-            if self.record_trace {
-                if let Some(branch_pc) = d.branch_pc {
-                    let kind = match (d.fold, d.exec) {
-                        (FoldClass::Cond { .. }, _) => BranchKind::Cond,
-                        (_, ExecOp::CallPush { .. }) => BranchKind::Call,
-                        (_, ExecOp::RetPop) => BranchKind::Ret,
-                        _ => BranchKind::Uncond,
-                    };
-                    let taken = step.taken.unwrap_or(true);
-                    // For conditional branches record the taken-path
-                    // target even when not taken (a BTB stores it).
-                    let target = match d.cond_paths() {
-                        Some((taken_path, _seq)) => taken_path,
-                        None => step.next_pc,
-                    };
-                    trace.push(BranchEvent {
-                        pc: branch_pc,
-                        target,
-                        taken,
-                        kind,
-                    });
-                }
-            }
+            let step = self.interp_step(step_no, &mut stats, &mut trace, record_trace, obs)?;
 
             if step.halted {
                 return Ok(FunctionalRun {

@@ -62,6 +62,7 @@ pub mod predictor;
 pub mod profile;
 pub mod soft_error;
 mod stats;
+pub mod threaded;
 mod trace;
 
 pub use accounting::{BubbleCause, CycleAccounts};
@@ -87,10 +88,11 @@ pub use predecode::{PredecodedImage, DECODE_WINDOW};
 pub use predictor::{BtbTable, CounterTable, HwPredictorState, JumpTraceTable, Predictor};
 pub use profile::{BranchProfiler, SiteStats};
 pub use soft_error::{
-    apply_fault, classify_fault, classify_fault_pooled, decode_entry, entry_bits, nth_field,
-    nth_pdu_field, nth_predictor_field, parity32, predictor_fault_space, ClassifyBuffers,
-    FaultField, FaultOutcome, FaultPlan, FaultTarget, ParityMode, FAULT_SPACE, FIELD_NAMES,
-    PDU_FAULT_SPACE,
+    apply_fault, classify_fault, classify_fault_pooled, classify_fault_translated_pooled,
+    decode_entry, entry_bits, nth_field, nth_pdu_field, nth_predictor_field, parity32,
+    predictor_fault_space, ClassifyBuffers, FaultField, FaultOutcome, FaultPlan, FaultTarget,
+    ParityMode, FAULT_SPACE, FIELD_NAMES, PDU_FAULT_SPACE,
 };
 pub use stats::{resolve_stage, CycleStats, OpcodeCounts, RunStats, STATS_SCHEMA_VERSION};
+pub use threaded::{verify_threaded_pooled, Engine, ThreadedSim, TranslatedImage};
 pub use trace::{BranchEvent, BranchKind, Trace};

@@ -56,14 +56,17 @@ impl Memory {
     /// # Errors
     ///
     /// [`SimError::MemOutOfBounds`] when the word lies outside memory.
+    #[inline]
     pub fn read_word(&self, addr: u32) -> Result<i32, SimError> {
-        let a = self.check(addr & !3, 4)?;
-        Ok(i32::from_le_bytes([
-            self.bytes[a],
-            self.bytes[a + 1],
-            self.bytes[a + 2],
-            self.bytes[a + 3],
-        ]))
+        let a = (addr & !3) as usize;
+        // Single bounds check; compiles to one aligned 32-bit load.
+        match self.bytes.get(a..a + 4) {
+            Some(w) => Ok(i32::from_le_bytes(w.try_into().expect("length 4"))),
+            None => Err(SimError::MemOutOfBounds {
+                addr,
+                size: self.size(),
+            }),
+        }
     }
 
     /// Write the 32-bit word at `addr`. The low two address bits are
@@ -73,10 +76,17 @@ impl Memory {
     /// # Errors
     ///
     /// [`SimError::MemOutOfBounds`] when the word lies outside memory.
+    #[inline]
     pub fn write_word(&mut self, addr: u32, value: i32) -> Result<(), SimError> {
-        let a = self.check(addr & !3, 4)?;
-        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
-        Ok(())
+        let a = (addr & !3) as usize;
+        let size = self.size();
+        match self.bytes.get_mut(a..a + 4) {
+            Some(w) => {
+                w.copy_from_slice(&value.to_le_bytes());
+                Ok(())
+            }
+            None => Err(SimError::MemOutOfBounds { addr, size }),
+        }
     }
 
     /// Read the 16-bit instruction parcel at `addr` (low bit ignored).

@@ -54,7 +54,10 @@ use std::sync::Arc;
 use crate::config::HwPredictor;
 use crate::diff::{reset_or_load, CommitLog, CommitRecord};
 use crate::error::HaltReason;
-use crate::{CycleSim, FunctionalSim, Machine, PredecodedImage, SimConfig, SimError};
+use crate::{
+    CycleSim, FunctionalSim, Machine, PredecodedImage, SimConfig, SimError, ThreadedSim,
+    TranslatedImage,
+};
 use crisp_asm::Image;
 
 /// Whether decoded-cache entries carry a parity word.
@@ -654,6 +657,31 @@ pub fn classify_fault_pooled(
     predecoded: Option<&Arc<PredecodedImage>>,
     bufs: &mut ClassifyBuffers,
 ) -> Result<FaultOutcome, SimError> {
+    classify_fault_translated_pooled(image, cfg, predecoded, None, bufs)
+}
+
+/// [`classify_fault_pooled`] with the fault-free reference run on the
+/// threaded-code tier when `translated` is given (which must match
+/// `cfg.fold_policy`). The faulted run always stays on the cycle
+/// engine — faults are injected into live front-end state that only
+/// exists there — so only the reference phase speeds up; campaign
+/// drivers hoist one [`TranslatedImage`] per program and pay
+/// translation once across every fault case.
+///
+/// Classification is identical either way: the threaded tier is
+/// bit-identical to the interpreter (commit stream, final state), which
+/// `tests/prop_threaded.rs` proves over the generated corpora.
+///
+/// # Errors
+///
+/// Same harness-level failures as [`classify_fault`].
+pub fn classify_fault_translated_pooled(
+    image: &Image,
+    cfg: SimConfig,
+    predecoded: Option<&Arc<PredecodedImage>>,
+    translated: Option<&Arc<TranslatedImage>>,
+    bufs: &mut ClassifyBuffers,
+) -> Result<FaultOutcome, SimError> {
     cfg.validate();
     if let Some(t) = predecoded {
         assert_eq!(
@@ -662,16 +690,28 @@ pub fn classify_fault_pooled(
             "predecoded table policy must match cfg.fold_policy"
         );
     }
+    if let Some(t) = translated {
+        assert_eq!(
+            t.policy(),
+            cfg.fold_policy,
+            "translated table policy must match cfg.fold_policy"
+        );
+    }
     let ref_machine = reset_or_load(bufs.reference.take(), image)?;
     let faulted_machine = reset_or_load(bufs.faulted.take(), image)?;
 
     let mut ref_log = CommitLog::default();
-    let reference = match predecoded {
-        Some(t) => FunctionalSim::with_predecoded(ref_machine, Arc::clone(t)),
-        None => FunctionalSim::with_policy(ref_machine, cfg.fold_policy),
-    }
-    .max_steps(cfg.max_cycles)
-    .run_observed(&mut ref_log)?;
+    let reference = match translated {
+        Some(t) => ThreadedSim::with_translated(ref_machine, Arc::clone(t))
+            .max_steps(cfg.max_cycles)
+            .run_observed(&mut ref_log)?,
+        None => match predecoded {
+            Some(t) => FunctionalSim::with_predecoded(ref_machine, Arc::clone(t)),
+            None => FunctionalSim::with_policy(ref_machine, cfg.fold_policy),
+        }
+        .max_steps(cfg.max_cycles)
+        .run_observed(&mut ref_log)?,
+    };
     if reference.halt_reason != HaltReason::Halted {
         bufs.reference = Some(reference.machine);
         return Err(SimError::StepLimit {

@@ -87,6 +87,27 @@ impl OpcodeCounts {
         self.counts.iter().sum::<u64>() + self.other.values().sum::<u64>()
     }
 
+    /// Record `n` occurrences of the fixed category at `idx` — the
+    /// replay port for the threaded tier's precomputed per-block
+    /// histogram deltas (see [`crate::TranslatedImage`]), which turn
+    /// the per-entry [`OpcodeCounts::record`] into a handful of adds
+    /// per block.
+    #[inline]
+    pub(crate) fn bump_index(&mut self, idx: usize, n: u64) {
+        self.counts[idx] += n;
+    }
+
+    /// The nonzero fixed-category slots as `(index, count)` pairs —
+    /// the translation-time inverse of [`OpcodeCounts::bump_index`].
+    pub(crate) fn sparse(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
     /// Iterate `(name, count)` sorted by descending count (stable by
     /// name for ties) — the paper's table ordering. Categories that
     /// never occurred are omitted.
@@ -175,6 +196,18 @@ pub struct RunStats {
     /// Whether the run ended on the watchdog step limit rather than
     /// `halt` (see [`crate::HaltReason`]).
     pub watchdog: bool,
+    /// Basic blocks in the threaded-code translation table the run
+    /// executed under (0 on the one-entry interpreter — see
+    /// [`crate::ThreadedSim`]).
+    pub blocks_translated: u64,
+    /// Translated superinstruction blocks dispatched by the threaded
+    /// tier (each one retires a whole block with no per-entry decode
+    /// or dispatch).
+    pub superinstr_dispatches: u64,
+    /// Times the threaded tier fell back to the one-entry interpreter:
+    /// untranslated/indirect targets, watchdog-budget tails, or blocks
+    /// invalidated by stores into text.
+    pub deopt_falls: u64,
     /// Per-mnemonic dynamic histogram.
     pub opcodes: OpcodeCounts,
 }
@@ -220,8 +253,12 @@ pub mod resolve_stage {
 /// per-predictor mispredict split), and the `btb_miss` bucket inside
 /// `accounts`; version 5 adds `parity_scrubs` (corrupted BTB entries
 /// dropped at the train port) and `degraded_ways` (cache slots / BTB
-/// ways taken out of service by [`crate::DegradePolicy`]).
-pub const STATS_SCHEMA_VERSION: u32 = 5;
+/// ways taken out of service by [`crate::DegradePolicy`]); version 6
+/// extends the functional-run object ([`RunStats::to_json`], which now
+/// also announces the version) with the threaded-tier counters
+/// `blocks_translated`, `superinstr_dispatches` and `deopt_falls` (see
+/// [`crate::ThreadedSim`]).
+pub const STATS_SCHEMA_VERSION: u32 = 6;
 
 /// Counters produced by the cycle engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -476,7 +513,9 @@ impl fmt::Display for CycleStats {
 
 impl RunStats {
     /// One flat JSON object with every counter, including the opcode
-    /// histogram as a nested object.
+    /// histogram as a nested object. `schema_version`
+    /// ([`STATS_SCHEMA_VERSION`]) announces the shape; the threaded
+    /// counters are zero on interpreter runs.
     pub fn to_json(&self) -> String {
         let opcodes = self
             .opcodes
@@ -487,9 +526,13 @@ impl RunStats {
             .join(",");
         format!(
             concat!(
-                r#"{{"program_instrs":{},"entries":{},"folded":{},"cond_branches":{},"#,
-                r#""static_mispredicts":{},"transfers":{},"watchdog":{},"opcodes":{{{}}}}}"#
+                r#"{{"schema_version":{},"#,
+                r#""program_instrs":{},"entries":{},"folded":{},"cond_branches":{},"#,
+                r#""static_mispredicts":{},"transfers":{},"watchdog":{},"#,
+                r#""blocks_translated":{},"superinstr_dispatches":{},"deopt_falls":{},"#,
+                r#""opcodes":{{{}}}}}"#
             ),
+            STATS_SCHEMA_VERSION,
             self.program_instrs,
             self.entries,
             self.folded,
@@ -497,6 +540,9 @@ impl RunStats {
             self.static_mispredicts,
             self.transfers,
             self.watchdog,
+            self.blocks_translated,
+            self.superinstr_dispatches,
+            self.deopt_falls,
             opcodes,
         )
     }
@@ -747,14 +793,37 @@ mod tests {
         let mut s = RunStats {
             program_instrs: 3,
             entries: 2,
+            blocks_translated: 4,
+            superinstr_dispatches: 9,
+            deopt_falls: 1,
             ..RunStats::default()
         };
         s.opcodes.bump("add");
         s.opcodes.bump("add");
         s.opcodes.bump("cmp");
         let json = s.to_json();
+        assert!(
+            json.starts_with(&format!(r#"{{"schema_version":{STATS_SCHEMA_VERSION},"#)),
+            "{json}"
+        );
         assert!(json.contains(r#""program_instrs":3"#), "{json}");
+        assert!(
+            json.contains(r#""blocks_translated":4,"superinstr_dispatches":9,"deopt_falls":1"#),
+            "{json}"
+        );
         assert!(json.contains(r#""opcodes":{"add":2,"cmp":1}"#), "{json}");
+    }
+
+    #[test]
+    fn opcode_sparse_round_trips_through_bump_index() {
+        let mut c = OpcodeCounts::new();
+        c.record(&folded_add_jmp());
+        c.bump("cmp");
+        let mut replay = OpcodeCounts::new();
+        for (idx, n) in c.sparse() {
+            replay.bump_index(idx, n);
+        }
+        assert_eq!(replay, c);
     }
 
     #[test]

@@ -23,8 +23,8 @@
 mod sources;
 
 pub use sources::{
-    CC_PROXY_SOURCE, CWHET_SOURCE, DHRY_SOURCE, DRC_PROXY_SOURCE, FIGURE3_CHECKED_SOURCE,
-    FIGURE3_SOURCE, PUZZLE_SOURCE, TROFF_PROXY_SOURCE,
+    CC_PROXY_SOURCE, CWHET_SOURCE, DHRY_SOURCE, DISPATCH_SOURCE, DRC_PROXY_SOURCE,
+    FIGURE3_CHECKED_SOURCE, FIGURE3_SOURCE, PUZZLE_SOURCE, TROFF_PROXY_SOURCE,
 };
 
 /// A named benchmark program.
@@ -55,6 +55,21 @@ pub const FIGURE3_LARGE_ITERS: u32 = 4096;
 /// steady-state cycle loop dominates the measurement.
 pub fn figure3_large() -> String {
     figure3_with_count(FIGURE3_LARGE_ITERS)
+}
+
+/// The interpreter-dispatch workload ([`DISPATCH_SOURCE`]): a toy
+/// bytecode VM whose dense `switch` lowers to an indirect jump table,
+/// so every iteration takes a data-driven indirect transfer. This is
+/// the adversarial case for the threaded-code tier (indirect targets
+/// are never chained) and the stress input for its deopt/rejoin path.
+pub fn dispatch_workload() -> Workload {
+    Workload {
+        name: "dispatch",
+        description: "toy bytecode interpreter: dense-switch dispatch over \
+                      a synthetic LCG opcode stream (indirect jump table \
+                      every iteration)",
+        source: DISPATCH_SOURCE,
+    }
 }
 
 /// The six programs of the Table 1 prediction study, in the paper's row
@@ -133,6 +148,37 @@ mod tests {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../workloads/figure3.c");
         let on_disk = std::fs::read_to_string(path).expect("workloads/figure3.c exists");
         assert_eq!(on_disk.trim(), FIGURE3_SOURCE.trim());
+    }
+
+    #[test]
+    fn dispatch_on_disk_copy_matches_embedded_source() {
+        // CI smoke runs feed `workloads/dispatch.c` to crisp-run; pin
+        // the file to the embedded source so the two cannot drift.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../workloads/dispatch.c");
+        let on_disk = std::fs::read_to_string(path).expect("workloads/dispatch.c exists");
+        assert_eq!(on_disk.trim(), DISPATCH_SOURCE.trim());
+    }
+
+    #[test]
+    fn dispatch_executes_indirect_transfers() {
+        let r = run(DISPATCH_SOURCE);
+        assert!(r.halted);
+        assert_eq!(global(&r, 1), 4096); // out_steps: every opcode retired
+        let uncond = r
+            .trace
+            .iter()
+            .filter(|e| e.kind == BranchKind::Uncond)
+            .count();
+        // Each iteration dispatches through the jump table.
+        assert!(uncond >= 4096, "only {uncond} unconditional transfers");
+    }
+
+    #[test]
+    fn dispatch_is_deterministic() {
+        let a = run(DISPATCH_SOURCE);
+        let b = run(DISPATCH_SOURCE);
+        assert_eq!(a.machine, b.machine);
+        assert_eq!(global(&a, 0), global(&b, 0));
     }
 
     #[test]

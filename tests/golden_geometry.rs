@@ -39,11 +39,13 @@ fn strip_field(json: &str, key: &str) -> String {
 
 /// Strip the fields added after the vectors were generated —
 /// `schema_version` (v2), the `accounts`/`dropped_events` pair (v3),
-/// the `predicted_by`/`static_bit_mispredicts` predictor split (v4)
-/// and the `parity_scrubs`/`degraded_ways` degradation counters (v5).
-/// They deliberately sit outside the frozen surface: additive
-/// observability, not architectural behaviour (and the accounting's
-/// own invariants are enforced by `tests/prop_accounting.rs`).
+/// the `predicted_by`/`static_bit_mispredicts` predictor split (v4),
+/// the `parity_scrubs`/`degraded_ways` degradation counters (v5) and
+/// the `blocks_translated`/`superinstr_dispatches`/`deopt_falls`
+/// threaded-tier counters (v6). They deliberately sit outside the
+/// frozen surface: additive observability, not architectural behaviour
+/// (and the accounting's own invariants are enforced by
+/// `tests/prop_accounting.rs`).
 fn normalize_stats(json: &str) -> String {
     [
         "schema_version",
@@ -53,6 +55,9 @@ fn normalize_stats(json: &str) -> String {
         "static_bit_mispredicts",
         "parity_scrubs",
         "degraded_ways",
+        "blocks_translated",
+        "superinstr_dispatches",
+        "deopt_falls",
     ]
     .iter()
     .fold(json.to_string(), |s, key| strip_field(&s, key))

@@ -1,0 +1,130 @@
+//! Property tests for the threaded-code tier: block-translated
+//! execution is **bit-identical** to the one-entry interpreter.
+//!
+//! The tentpole claim, checked over both generated corpora (random
+//! assembly programs and random mini-C programs): registers, memory,
+//! halt disposition, branch traces, architectural statistics and the
+//! full observed commit stream all match, under every fold policy —
+//! including runs that end in the watchdog mid-block and runs whose
+//! fault-free reference participates in an armed fault-injection
+//! campaign.
+//!
+//! The comparison itself lives in `crisp::sim::verify_threaded_pooled`
+//! (the same cross-check `crisp-diff --engine threaded` runs per fold
+//! policy); these properties drive it across the corpus space.
+
+use crisp::asm::rand_prog::GenProgram;
+use crisp::cc::{compile_crisp, generate_c, CompileOptions};
+use crisp::isa::FoldPolicy;
+use crisp::sim::{
+    classify_fault_pooled, classify_fault_translated_pooled, nth_field, ClassifyBuffers, FaultPlan,
+    FaultTarget, LockstepBuffers, ParityMode, PredecodedImage, SimConfig, TranslatedImage,
+    FAULT_SPACE,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const POLICIES: [FoldPolicy; 4] = [
+    FoldPolicy::None,
+    FoldPolicy::Host1,
+    FoldPolicy::Host13,
+    FoldPolicy::All,
+];
+
+/// Faults strike live front-end state; the plan space covers plausible
+/// strike points (cycle windows long enough to hit steady state).
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (0u64..1500, 0u32..32, 0u64..FAULT_SPACE).prop_map(|(cycle, slot, i)| FaultPlan {
+        cycle,
+        slot,
+        field: nth_field(i),
+        target: FaultTarget::Cache,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random assembly programs (the `crisp-diff`/`crisp-fault` corpus
+    /// generator: calls, indirect jumps, random branches) are
+    /// bit-identical between the tiers under every fold policy.
+    #[test]
+    fn threaded_matches_interp_on_random_asm(seed in 0u64..5000) {
+        let image = GenProgram::generate(seed, 8).image().unwrap();
+        let mut bufs = LockstepBuffers::default();
+        for policy in POLICIES {
+            let table = TranslatedImage::shared(&image, policy).unwrap();
+            let d = crisp::sim::verify_threaded_pooled(&image, &table, 2_000_000, &mut bufs)
+                .unwrap();
+            prop_assert!(d.is_none(), "seed {} under {:?}: {}", seed, policy, d.unwrap());
+        }
+    }
+
+    /// Random mini-C programs (structured control flow: loops,
+    /// conditionals, dense switches lowering to indirect jump tables)
+    /// are bit-identical between the tiers.
+    #[test]
+    fn threaded_matches_interp_on_random_c(seed in 0u64..5000) {
+        let source = generate_c(seed).source;
+        let image = compile_crisp(&source, &CompileOptions::default()).unwrap();
+        let mut bufs = LockstepBuffers::default();
+        for policy in [FoldPolicy::Host13, FoldPolicy::All] {
+            let table = TranslatedImage::shared(&image, policy).unwrap();
+            let d = crisp::sim::verify_threaded_pooled(&image, &table, 2_000_000, &mut bufs)
+                .unwrap();
+            prop_assert!(d.is_none(), "seed {} under {:?}: {}", seed, policy, d.unwrap());
+        }
+    }
+
+    /// Watchdog exhaustion mid-block: whatever the step budget — zero,
+    /// one, mid-block, past the end — the threaded tier stops at
+    /// exactly the same entry as the interpreter, with identical
+    /// partial state and commit prefix.
+    #[test]
+    fn threaded_watchdog_budgets_are_bit_identical(
+        seed in 0u64..5000,
+        limit in 0u64..400,
+    ) {
+        let image = GenProgram::generate(seed, 8).image().unwrap();
+        let table = TranslatedImage::shared(&image, SimConfig::default().fold_policy).unwrap();
+        let mut bufs = LockstepBuffers::default();
+        let d = crisp::sim::verify_threaded_pooled(&image, &table, limit, &mut bufs).unwrap();
+        prop_assert!(d.is_none(), "seed {} limit {}: {}", seed, limit, d.unwrap());
+    }
+
+    /// Armed fault-injection campaigns classify identically whichever
+    /// tier runs the fault-free reference: the outcome bucket of every
+    /// (program, fault plan) case is unchanged when `crisp-fault`
+    /// defaults to `--engine threaded`.
+    #[test]
+    fn fault_classification_agrees_across_tiers(seed in 0u64..5000, plan in arb_plan()) {
+        let image = GenProgram::generate(seed, 8).image().unwrap();
+        let policy = SimConfig::default().fold_policy;
+        let pre = PredecodedImage::shared(&image, policy).unwrap();
+        let table = Arc::new(TranslatedImage::from_predecoded(Arc::clone(&pre)));
+        let mut bufs = ClassifyBuffers::default();
+        for parity in [ParityMode::DetectInvalidate, ParityMode::Off] {
+            let cfg = SimConfig {
+                parity,
+                fault_plan: Some(plan),
+                max_cycles: 200_000,
+                ..SimConfig::default()
+            };
+            let interp = classify_fault_pooled(&image, cfg, Some(&pre), &mut bufs);
+            let threaded =
+                classify_fault_translated_pooled(&image, cfg, Some(&pre), Some(&table), &mut bufs);
+            match (interp, threaded) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    a, b,
+                    "outcome differs under {:?} for seed {} plan {:?}", parity, seed, plan
+                ),
+                (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => prop_assert!(
+                    false,
+                    "one tier errored: interp {:?}, threaded {:?} (seed {}, plan {:?})",
+                    a, b, seed, plan
+                ),
+            }
+        }
+    }
+}

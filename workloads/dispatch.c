@@ -1,0 +1,33 @@
+int out_acc; int out_steps; int out_wraps;
+int ops[4096];
+int seed;
+
+void main() {
+    int i, op, acc, wraps;
+
+    seed = 2026;
+    for (i = 0; i < 4096; i++) {
+        seed = seed * 1103515245 + 12345;
+        ops[i] = (seed >> 16) & 7;
+    }
+
+    acc = 0; wraps = 0;
+    for (i = 0; i < 4096; i++) {
+        op = ops[i];
+        switch (op) {
+            case 0: acc += 1; break;
+            case 1: acc -= 1; break;
+            case 2: acc += i & 63; break;
+            case 3: acc ^= seed >> 12; break;
+            case 4: acc = acc << 1; break;
+            case 5: acc = acc >> 1; break;
+            case 6: acc += 7; break;
+            default:
+                if (acc > 1000000) { acc = 0; wraps++; }
+                break;
+        }
+    }
+    out_acc = acc;
+    out_steps = i;
+    out_wraps = wraps;
+}
