@@ -48,11 +48,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use crisp_asm::Image;
 use crisp_cc::{compile_crisp, CompileOptions};
 use crisp_sim::{
-    CycleSim, FunctionalSim, Machine, PredecodedImage, SimConfig, ThreadedSim, TranslatedImage,
+    classify_batch, fault_reference, nth_field, CommitLog, CycleSim, FaultOutcome, FaultPlan,
+    FaultTarget, FunctionalSim, HaltReason, Machine, MachinePool, ParityMode, PredecodedImage,
+    SimConfig, SimError, ThreadedSim, TranslatedImage, FAULT_SPACE,
 };
-use crisp_workloads::{dispatch_workload, figure3_large, figure3_with_count, FIGURE3_LARGE_ITERS};
+use crisp_workloads::{
+    campaign_workloads, dispatch_workload, figure3_large, figure3_with_count, FIGURE3_LARGE_ITERS,
+};
 
 /// Seed-commit medians (ns per run, `cargo bench` on the reference
 /// host) for the benchmarks that existed before the batch kernel.
@@ -343,7 +348,171 @@ fn run_suite(reduced: bool) -> Vec<Measured> {
         },
     ));
 
+    // Campaign kernel: the fault-classification loop that dominates
+    // `crisp-fault` wall-clock, measured in both shapes over the
+    // branch-diverse campaign workloads (sort + fsm). `percase` is the
+    // pre-batch drivers' loop, reproduced exactly — every case pays a
+    // full functional reference run plus a full cycle-engine faulted
+    // run, compared post hoc. `batched8` hoists one shared reference
+    // per program and steps the faulted runs through the 8-lane batch
+    // with first-divergent-commit ejection and parity settling, exactly
+    // as `crisp-fault --batch 8` does. The ratio between the two is the
+    // report's campaign speedup headline.
+    let base = SimConfig {
+        max_cycles: 400_000,
+        ..SimConfig::default()
+    };
+    let campaign: Vec<(Image, Arc<PredecodedImage>, Vec<SimConfig>)> = campaign_workloads()
+        .iter()
+        .map(|w| {
+            let image = compile_crisp(w.source, &CompileOptions::default())
+                .unwrap_or_else(|e| panic!("{} compiles: {e:?}", w.name));
+            let table = PredecodedImage::shared(&image, base.fold_policy).expect("predecodes");
+            let cfgs = campaign_fault_cases(&image, base);
+            (image, table, cfgs)
+        })
+        .collect();
+    let (cwarm, csamples) = if reduced { (1, 5) } else { (1, 15) };
+    let mut pool = MachinePool::default();
+    out.push(measure("campaign_fault_percase", cwarm, csamples, || {
+        let mut n = 0;
+        for (image, table, cfgs) in &campaign {
+            for cfg in cfgs {
+                std::hint::black_box(classify_percase(image, *cfg, table, &mut pool));
+                n += 1;
+            }
+        }
+        n
+    }));
+    let mut pool = MachinePool::default();
+    out.push(measure("campaign_fault_batched8", cwarm, csamples, || {
+        let mut n = 0;
+        for (image, table, cfgs) in &campaign {
+            let reference = fault_reference(image, base, Some(table), None, &mut pool)
+                .expect("campaign workloads run");
+            let outcomes = classify_batch(image, cfgs, Some(table), &reference, 8, &mut pool)
+                .expect("campaign workloads classify");
+            n += std::hint::black_box(outcomes.len() as u64);
+            pool.put(reference.into_machine());
+        }
+        n
+    }));
+
     out
+}
+
+/// The fault-campaign case block the `campaign_fault_*` benchmarks
+/// classify: sixteen cache-fault plans per program that actually land,
+/// each classified under parity protection and again unprotected — the
+/// same protected/unprotected pairing `crisp-fault` runs per case.
+///
+/// The plans come from a deterministic pre-pass that keeps candidates
+/// whose fault is injected into live decoded state and caught by the
+/// parity check under protection. A plan that misses (the slot was
+/// empty at the strike cycle, or refilled before its next read) is
+/// trivially masked in every kernel shape and would measure nothing but
+/// the reference run, so the block samples the campaign's armed cases —
+/// the ones classification actually spends its time on.
+fn campaign_fault_cases(image: &Image, base: SimConfig) -> Vec<SimConfig> {
+    let mut cfgs = Vec::new();
+    let mut k = 0u64;
+    while cfgs.len() < 32 {
+        assert!(k < 256, "armed-fault search space exhausted");
+        let plan = FaultPlan {
+            cycle: 50 + k.wrapping_mul(0x9E37_79B9) % 2000,
+            slot: (k % 8) as u32,
+            field: nth_field(k.wrapping_mul(13) % FAULT_SPACE),
+            target: FaultTarget::Cache,
+        };
+        k += 1;
+        let protected = SimConfig {
+            parity: ParityMode::DetectInvalidate,
+            fault_plan: Some(plan),
+            ..base
+        };
+        let probe = CycleSim::new(Machine::load(image).expect("workload loads"), protected)
+            .run()
+            .expect("protected campaign run completes");
+        if probe.stats.faults_injected == 0 || probe.stats.parity_invalidates == 0 {
+            continue;
+        }
+        cfgs.push(protected);
+        cfgs.push(SimConfig {
+            parity: ParityMode::Off,
+            ..protected
+        });
+    }
+    cfgs
+}
+
+/// The pre-batch scalar fault classifier, reproduced exactly as the
+/// campaign drivers ran it before the batched kernel: a full
+/// functional reference run and a full cycle-engine faulted run per
+/// case (no reference sharing, no early ejection), compared record by
+/// record after the fact. The "before" arm of the campaign headline.
+fn classify_percase(
+    image: &Image,
+    cfg: SimConfig,
+    table: &Arc<PredecodedImage>,
+    pool: &mut MachinePool,
+) -> FaultOutcome {
+    let machine = pool.take(image).expect("campaign workload loads");
+    let mut ref_log = CommitLog::default();
+    let reference = FunctionalSim::with_predecoded(machine, Arc::clone(table))
+        .max_steps(cfg.max_cycles)
+        .run_observed(&mut ref_log)
+        .expect("campaign reference runs");
+    assert_eq!(reference.halt_reason, HaltReason::Halted, "reference halts");
+    let mut sim = CycleSim::with_observer(
+        pool.take(image).expect("campaign workload loads"),
+        cfg,
+        CommitLog::default(),
+    );
+    sim.set_predecoded(Arc::clone(table));
+    let (run, log) = match sim.run_observed() {
+        Ok(pair) => pair,
+        Err(e) => {
+            pool.put(reference.machine);
+            return match e {
+                SimError::Decode { .. } => FaultOutcome::ControlDivergence,
+                _ => FaultOutcome::Sdc,
+            };
+        }
+    };
+    let outcome = (|| {
+        let shared = ref_log.records.len().min(log.records.len());
+        for i in 0..shared {
+            let (r, f) = (&ref_log.records[i], &log.records[i]);
+            if r != f {
+                return if r.pc != f.pc
+                    || r.next_pc != f.next_pc
+                    || r.branch_pc != f.branch_pc
+                    || r.folded != f.folded
+                    || r.taken != f.taken
+                    || r.halted != f.halted
+                {
+                    FaultOutcome::ControlDivergence
+                } else {
+                    FaultOutcome::Sdc
+                };
+            }
+        }
+        if run.halt_reason == HaltReason::Watchdog {
+            return FaultOutcome::Hang;
+        }
+        if ref_log.records.len() != log.records.len() {
+            return FaultOutcome::ControlDivergence;
+        }
+        let (fm, cm) = (&reference.machine, &run.machine);
+        if fm.accum != cm.accum || fm.sp != cm.sp || fm.psw.flag != cm.psw.flag || fm.mem != cm.mem
+        {
+            return FaultOutcome::Sdc;
+        }
+        FaultOutcome::Masked
+    })();
+    pool.put(reference.machine);
+    pool.put(run.machine);
+    outcome
 }
 
 /// One deterministic instrumented run of the large workload: the
@@ -430,7 +599,22 @@ fn render_report(
         _ => 0.0,
     };
     s.push_str(&format!(
-        "  \"functional_threaded\": {{\"figure3_large_speedup_vs_interp\": {t:.2}}}\n"
+        "  \"functional_threaded\": {{\"figure3_large_speedup_vs_interp\": {t:.2}}},\n"
+    ));
+    // The batched-campaign-kernel tentpole ratio: the fault-campaign
+    // classification block in the pre-batch per-case shape vs the
+    // hoisted-reference 8-lane batch, same cases, same host window.
+    let b = match (
+        ns_of(results, "campaign_fault_percase"),
+        ns_of(results, "campaign_fault_batched8"),
+    ) {
+        (Some(percase), Some(batched)) if batched.ns_per_run > 0 => {
+            percase.ns_per_run as f64 / batched.ns_per_run as f64
+        }
+        _ => 0.0,
+    };
+    s.push_str(&format!(
+        "  \"campaign\": {{\"fault_batched8_speedup_vs_percase\": {b:.2}}}\n"
     ));
     s.push_str("}\n");
     s
@@ -513,6 +697,17 @@ fn check_against(
             ok = false;
             continue;
         };
+        // The per-case arm replays the pre-batch classifier shape as
+        // the denominator of the campaign speedup ratio. Its ~1 s
+        // samples leave the minimum-of-N too noisy to gate on absolute
+        // time, and that time getting slower would not be a regression
+        // in anything the suite defends — it is gated below through
+        // the batched-vs-percase ratio, which is measured in the same
+        // host window and so is robust where the absolute time is not.
+        if name == "campaign_fault_percase" {
+            println!("bench_sim: skip {name}: gated via the campaign speedup ratio");
+            continue;
+        }
         let scaled = *base_ns as f64 * scale;
         let limit = scaled * (1.0 + tolerance_pct / 100.0);
         let ratio = m.ns_per_run as f64 / scaled;
@@ -529,6 +724,27 @@ fn check_against(
                 m.ns_per_run,
                 (ratio - 1.0) * 100.0
             );
+        }
+    }
+    // The campaign acceptance bar: the batched kernel must hold >= 3x
+    // over the per-case shape. Both arms run back to back in this
+    // process, so the ratio self-calibrates against host speed.
+    if let (Some(p), Some(b)) = (
+        ns_of(results, "campaign_fault_percase"),
+        ns_of(results, "campaign_fault_batched8"),
+    ) {
+        if b.ns_per_run > 0 {
+            let ratio = p.ns_per_run as f64 / b.ns_per_run as f64;
+            if ratio < 3.0 {
+                eprintln!(
+                    "bench_sim: FAIL campaign speedup: batched8 is {ratio:.2}x percase (< 3x)"
+                );
+                ok = false;
+            } else {
+                println!(
+                    "bench_sim: ok   campaign speedup: batched8 is {ratio:.2}x percase (>= 3x)"
+                );
+            }
         }
     }
     ok

@@ -29,6 +29,11 @@
 //!                     program (commit streams, final state, traces,
 //!                     stats) once per fold policy; interp skips that
 //!                     pass
+//!   --batch N         cycle-engine lanes per worker (default 8): each
+//!                     program's sweep configurations run as parallel
+//!                     batch lanes against one shared functional
+//!                     reference; --batch 1 is the scalar sweep, and
+//!                     any N produces identical output
 //!   --smoke           bounded CI run (64 asm + 8 C programs)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --heartbeat SECS  emit a campaign-telemetry JSONL snapshot to
@@ -47,20 +52,18 @@
 //! quarantined (or when `--inject` catches the planted bug),
 //! 1 otherwise.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
 use crisp_asm::rand_prog::{shrink, GenProgram};
 use crisp_cc::{compile_crisp, generate_c, CompileOptions, PredictionMode};
-use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
+use crisp_cli::campaign::{run_campaign, CampaignSpec, CaseResult};
+use crisp_cli::{extract_flag, extract_switch, Checkpoint};
 use crisp_sim::{
-    run_lockstep, run_lockstep_pooled, sweep_configs, verify_threaded_pooled, Divergence, Engine,
-    FaultInjection, HwPredictor, LockstepBuffers, LockstepOutcome, PipelineGeometry,
-    PredecodedImage, SimConfig, TranslatedImage, MAX_DEPTH, MIN_DEPTH,
+    diff_reference, run_lockstep, run_lockstep_batched, sweep_configs, verify_threaded_pooled,
+    Divergence, Engine, FaultInjection, HwPredictor, LockstepBuffers, LockstepOutcome, MachinePool,
+    PipelineGeometry, PredecodedImage, SimConfig, TranslatedImage, MAX_DEPTH, MIN_DEPTH,
 };
-use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
 fn main() -> ExitCode {
     match run() {
@@ -158,8 +161,8 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "usage: crisp-diff [--seed N] [--programs N] [--c-programs N] \
              [--max-blocks N] [--jobs N] [--max-cycles N] [--eu-depth N] \
-             [--predictor HW] [--engine interp|threaded] [--smoke] [--resume FILE] \
-             [--heartbeat SECS] [--inject]"
+             [--predictor HW] [--engine interp|threaded] [--batch N] [--smoke] \
+             [--resume FILE] [--heartbeat SECS] [--inject]"
         );
         return Ok(ExitCode::SUCCESS);
     }
@@ -176,6 +179,7 @@ fn run() -> Result<ExitCode, String> {
         "--jobs",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     )?;
+    let batch: u64 = parse_num(&mut raw, "--batch", 8)?;
     let max_cycles: Option<u64> = extract_flag(&mut raw, "--max-cycles")
         .map_err(|e| e.to_string())?
         .map(|v| {
@@ -220,6 +224,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if jobs == 0 {
         return Err("--jobs must be at least 1".into());
+    }
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
     }
     if max_cycles == Some(0) {
         return Err("--max-cycles must be at least 1".into());
@@ -287,145 +294,57 @@ fn run() -> Result<ExitCode, String> {
     };
 
     println!(
-        "crisp-diff: {total} programs x {} configurations on {jobs} threads (base seed {seed})",
+        "crisp-diff: {total} programs x {} configurations on {jobs} threads \
+         (base seed {seed}, batch {batch})",
         configs.len()
     );
 
-    let failure: Mutex<Option<Failure>> = Mutex::new(None);
-    let quarantine_log: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    let aborted: Mutex<Option<String>> = Mutex::new(None);
-    // Single self-scheduling queue over the whole campaign: no chunk
-    // barriers, so a slow program never idles the other threads, and
-    // the contiguous-prefix tracker keeps --resume checkpoints sound.
-    let queue: WorkQueue<ProgramTally> = WorkQueue::new(cp.completed, total);
-    let save_every = (jobs as u64 * 8).max(32);
-    let progress = Mutex::new((cp, 0u64));
-    // Campaign telemetry: workers time each case into the monitor; the
-    // heartbeat thread (when requested) samples it onto stderr.
-    let monitor = Arc::new(CampaignMonitor::new(queue.remaining(), jobs));
-    let heartbeat =
-        heartbeat_secs.map(|s| Heartbeat::start(Arc::clone(&monitor), Duration::from_secs(s)));
-    std::thread::scope(|scope| {
-        for w in 0..jobs {
-            let (queue, work, configs) = (&queue, &work, &configs);
-            let (progress, resume_path) = (&progress, &resume_path);
-            let (failure, quarantine_log, aborted) = (&failure, &quarantine_log, &aborted);
-            let monitor = &monitor;
-            scope.spawn(move || {
-                // Per-worker machine buffers: every lockstep run after
-                // the first resets memory in place instead of
-                // allocating a fresh Machine pair.
-                let mut bufs = LockstepBuffers::default();
-                while let Some(i) = queue.claim() {
-                    let program = &work[i as usize];
-                    // A panic anywhere in the harness must not take the
-                    // whole campaign down: retry the program once on
-                    // fresh buffers (the recycled pair may hold
-                    // poisoned state), then quarantine it and move on.
-                    let case_start = Instant::now();
-                    let mut outcome = catch_unwind(AssertUnwindSafe(|| {
-                        check_program(program, configs, engine, &mut bufs)
-                    }));
-                    let mut retried = false;
-                    if outcome.is_err() {
-                        monitor.record_retry();
-                        retried = true;
-                        bufs = LockstepBuffers::default();
-                        outcome = catch_unwind(AssertUnwindSafe(|| {
-                            check_program(program, configs, engine, &mut bufs)
-                        }));
-                    }
-                    monitor.record_case(w, case_start.elapsed());
-                    let tally = match outcome {
-                        Ok(Ok(commits)) => ProgramTally {
-                            commits,
-                            retried,
-                            quarantined: false,
-                        },
-                        Ok(Err(CheckFail::Load(msg))) => {
-                            *aborted.lock().unwrap() = Some(msg);
-                            queue.abort();
-                            return;
+    // One claimed block is one program; its whole configuration sweep
+    // runs as batch lanes inside check_program.
+    let run_block = |cases: &[u64], state: &mut (LockstepBuffers, MachinePool)| {
+        let (bufs, pool) = state;
+        cases
+            .iter()
+            .map(|&i| {
+                let program = &work[i as usize];
+                let result =
+                    match check_program(program, &configs, engine, batch as usize, bufs, pool) {
+                        Ok(commits) => CaseResult::Done(commits),
+                        Err(CheckFail::Load(msg)) => {
+                            CaseResult::Abort(format!("campaign aborted: {msg}"))
                         }
-                        Ok(Err(CheckFail::Diverge(cfg, d))) => {
-                            monitor.record_finding();
-                            *failure.lock().unwrap() = Some(shrink_failure(program, cfg, *d));
-                            queue.abort();
-                            return;
+                        Err(CheckFail::Diverge(cfg, d)) => {
+                            CaseResult::Fail(shrink_failure(program, cfg, *d))
                         }
-                        Ok(Err(CheckFail::Threaded(cfg, detail))) => {
-                            monitor.record_finding();
-                            *failure.lock().unwrap() = Some(Failure {
-                                program: clone_program(program),
-                                cfg,
-                                divergence: FailureKind::Threaded(detail),
-                            });
-                            queue.abort();
-                            return;
-                        }
-                        Err(payload) => {
-                            // Second panic on the same program:
-                            // quarantine it and keep the campaign
-                            // going on clean buffers.
-                            monitor.record_quarantine();
-                            bufs = LockstepBuffers::default();
-                            let what = if let Some(s) = payload.downcast_ref::<&str>() {
-                                (*s).to_string()
-                            } else if let Some(s) = payload.downcast_ref::<String>() {
-                                s.clone()
-                            } else {
-                                "unknown panic payload".to_string()
-                            };
-                            quarantine_log.lock().unwrap().push(format!(
-                                "{}: worker panicked twice: {what}",
-                                program.describe()
-                            ));
-                            ProgramTally {
-                                commits: 0,
-                                retried,
-                                quarantined: true,
-                            }
-                        }
+                        Err(CheckFail::Threaded(cfg, detail)) => CaseResult::Fail(Failure {
+                            program: clone_program(program),
+                            cfg,
+                            divergence: FailureKind::Threaded(detail),
+                        }),
                     };
-                    let drained = queue.complete(i, tally);
-                    if drained.payloads.is_empty() {
-                        continue;
-                    }
-                    let (cp, last_saved) = &mut *progress.lock().unwrap();
-                    for t in drained.payloads {
-                        cp.tally("commits", t.commits);
-                        if t.retried {
-                            cp.tally("retries", 1);
-                        }
-                        if t.quarantined {
-                            cp.tally("quarantined", 1);
-                        }
-                    }
-                    cp.completed = drained.completed;
-                    if let Some(path) = &resume_path {
-                        if drained.completed >= *last_saved + save_every {
-                            if let Err(e) = cp.save(path) {
-                                *aborted.lock().unwrap() = Some(e.to_string());
-                                queue.abort();
-                                return;
-                            }
-                            *last_saved = drained.completed;
-                        }
-                    }
-                }
-            });
-        }
-    });
-    if let Some(hb) = heartbeat {
-        hb.finish();
-    }
+                (i, result)
+            })
+            .collect()
+    };
+    let report = run_campaign(
+        CampaignSpec {
+            total,
+            jobs,
+            block: 1,
+            save_every: (jobs as u64 * 8).max(32),
+            resume_path: resume_path.as_ref(),
+            heartbeat_secs,
+            checkpoint: cp,
+        },
+        || (LockstepBuffers::default(), MachinePool::default()),
+        run_block,
+        |cp, commits| cp.tally("commits", commits),
+        |i, what| format!("{}: {what}", work[i as usize].describe()),
+    )?;
 
-    if let Some(msg) = aborted.into_inner().unwrap() {
-        return Err(format!("campaign aborted: {msg}"));
-    }
-    let quarantined = quarantine_log.into_inner().unwrap();
-    let (cp, _) = progress.into_inner().unwrap();
-    match failure.into_inner().unwrap() {
+    let cp = report.checkpoint;
+    let quarantined = report.quarantined;
+    match report.failure {
         None => {
             if let Some(path) = &resume_path {
                 cp.save(path).map_err(|e| e.to_string())?;
@@ -457,16 +376,6 @@ fn run() -> Result<ExitCode, String> {
     }
 }
 
-/// What one finished program contributes to the checkpoint tallies.
-struct ProgramTally {
-    /// Commits compared across the whole configuration sweep.
-    commits: u64,
-    /// The first attempt panicked and the program was re-run.
-    retried: bool,
-    /// Both attempts panicked; the program was set aside.
-    quarantined: bool,
-}
-
 /// Why one program's configuration sweep stopped.
 enum CheckFail {
     /// The program would not assemble/compile or load — a harness bug.
@@ -480,63 +389,85 @@ enum CheckFail {
 }
 
 /// Run one program across every sweep configuration, returning the
-/// number of compared commits. The program is decoded once per fold
-/// policy into a shared [`PredecodedImage`] that every configuration
-/// (and both engines within each lockstep run) reads, and the worker's
-/// machine buffers are recycled between runs.
+/// number of compared commits. The sweep is grouped by fold policy:
+/// each policy's image is decoded once into a shared
+/// [`PredecodedImage`], its functional reference commit log is
+/// computed once by [`diff_reference`], and all of the policy's
+/// configurations then run as parallel cycle-engine lanes against that
+/// log via [`run_lockstep_batched`] (which falls back to the scalar
+/// lockstep oracle on any lane that does not cleanly agree, so
+/// divergence reports are identical to the scalar sweep's).
 fn check_program(
     program: &Program,
     configs: &[SimConfig],
     engine: Engine,
+    lanes: usize,
     bufs: &mut LockstepBuffers,
+    pool: &mut MachinePool,
 ) -> Result<u64, CheckFail> {
     let image = program
         .image()
         .map_err(|e| CheckFail::Load(format!("{}: {e}", program.describe())))?;
     let mut commits = 0u64;
-    let mut tables: Vec<Arc<PredecodedImage>> = Vec::with_capacity(4);
-    // Translated superinstruction tables, hoisted alongside the
-    // predecode tables: translation is paid once per image x policy,
-    // not once per configuration.
-    let mut translated: Vec<Arc<TranslatedImage>> = Vec::with_capacity(4);
-    for cfg in configs {
-        let table = match tables.iter().find(|t| t.policy() == cfg.fold_policy) {
-            Some(t) => Arc::clone(t),
-            None => {
-                let t = PredecodedImage::shared(&image, cfg.fold_policy).map_err(|e| {
+    // Translated superinstruction tables are verified once per image x
+    // policy, not once per configuration.
+    let mut verified: Vec<Arc<TranslatedImage>> = Vec::with_capacity(4);
+    let mut idx = 0;
+    while idx < configs.len() {
+        // The sweep orders configurations policy-major; one contiguous
+        // group shares a predecode table and a functional reference.
+        let policy = configs[idx].fold_policy;
+        let mut end = idx + 1;
+        while end < configs.len() && configs[end].fold_policy == policy {
+            end += 1;
+        }
+        let group = &configs[idx..end];
+        idx = end;
+        let table = PredecodedImage::shared(&image, policy).map_err(|e| {
+            CheckFail::Load(format!(
+                "{}: predecode failed under {:?}: {e}",
+                program.describe(),
+                group[0]
+            ))
+        })?;
+        let reference = diff_reference(&image, policy, group[0].max_cycles, Some(&table), pool)
+            .map_err(|e| {
+                CheckFail::Load(format!(
+                    "{}: load failed under {:?}: {e}",
+                    program.describe(),
+                    group[0]
+                ))
+            })?;
+        let outcomes =
+            run_lockstep_batched(&image, group, Some(&table), &reference, lanes, pool, bufs)
+                .map_err(|e| {
                     CheckFail::Load(format!(
-                        "{}: predecode failed under {cfg:?}: {e}",
-                        program.describe()
+                        "{}: load failed under {:?}: {e}",
+                        program.describe(),
+                        group[0]
                     ))
                 })?;
-                tables.push(Arc::clone(&t));
-                t
-            }
-        };
-        match run_lockstep_pooled(&image, *cfg, Some(&table), bufs) {
-            Ok(LockstepOutcome::Agree { commits: c, .. }) => commits += c,
-            Ok(LockstepOutcome::Diverge(d)) => return Err(CheckFail::Diverge(*cfg, d)),
-            Err(e) => {
-                return Err(CheckFail::Load(format!(
-                    "{}: load failed under {cfg:?}: {e}",
-                    program.describe()
-                )))
+        for (cfg, out) in group.iter().zip(outcomes) {
+            match out {
+                LockstepOutcome::Agree { commits: c, .. } => commits += c,
+                LockstepOutcome::Diverge(d) => return Err(CheckFail::Diverge(*cfg, d)),
             }
         }
         // Lockstep co-steps the two engines entry by entry, so the
         // threaded tier (which retires whole blocks) cannot replace the
         // functional side there; instead prove it bit-identical to the
         // interpreter once per fold policy, on pooled machines.
-        if engine == Engine::Threaded && !translated.iter().any(|t| t.policy() == cfg.fold_policy) {
+        if engine == Engine::Threaded && !verified.iter().any(|t| t.policy() == policy) {
             let t = Arc::new(TranslatedImage::from_predecoded(table));
-            translated.push(Arc::clone(&t));
-            match verify_threaded_pooled(&image, &t, cfg.max_cycles, bufs) {
+            verified.push(Arc::clone(&t));
+            match verify_threaded_pooled(&image, &t, group[0].max_cycles, bufs) {
                 Ok(None) => {}
-                Ok(Some(detail)) => return Err(CheckFail::Threaded(*cfg, detail)),
+                Ok(Some(detail)) => return Err(CheckFail::Threaded(group[0], detail)),
                 Err(e) => {
                     return Err(CheckFail::Load(format!(
-                        "{}: threaded verify failed under {cfg:?}: {e}",
-                        program.describe()
+                        "{}: threaded verify failed under {:?}: {e}",
+                        program.describe(),
+                        group[0]
                     )))
                 }
             }

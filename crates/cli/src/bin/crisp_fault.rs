@@ -39,6 +39,9 @@
 //!                     run: threaded (default) or interp. Faulted runs
 //!                     always use the cycle engine — the struck state
 //!                     only exists there
+//!   --batch N         cycle-engine lanes per worker (default 8);
+//!                     --batch 1 is the scalar campaign, and any N
+//!                     produces byte-identical reports
 //!   --smoke           bounded CI run (2 programs x 32 faults)
 //!   --resume FILE     checkpoint campaign progress in FILE
 //!   --report FILE     write the JSON AVF report to FILE
@@ -46,28 +49,30 @@
 //!                     SECS seconds, plus a final campaign report
 //! ```
 //!
-//! Worker panics are caught per case, retried once on fresh machine
-//! buffers, and quarantined (recorded, skipped, campaign continues)
-//! if the retry dies too — a single pathological case can no longer
-//! abort a multi-hour campaign. Exit status is 0 when every fault is
-//! recovered under parity protection and nothing was quarantined,
-//! 1 otherwise.
+//! Workers claim cases in `--batch`-sized blocks and run both phases
+//! of every case through the lane-parallel batch kernel
+//! ([`crisp_sim::MachineBatch`]); the fault-free reference commit log
+//! is computed once per program and shared by every case that strikes
+//! it. Worker panics are contained per block: the block is re-run case
+//! by case on fresh machine buffers and only a case that panics solo
+//! is quarantined (recorded, skipped, campaign continues) — a single
+//! pathological case can no longer abort a multi-hour campaign. Exit
+//! status is 0 when every fault is recovered under parity protection
+//! and nothing was quarantined, 1 otherwise.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, OnceLock};
 
 use crisp_asm::rand_prog::{GenProgram, Rng};
 use crisp_asm::Image;
-use crisp_cli::{extract_flag, extract_switch, Checkpoint, WorkQueue};
+use crisp_cli::campaign::{run_campaign, CampaignSpec, CaseResult};
+use crisp_cli::{extract_flag, extract_switch, Checkpoint};
 use crisp_sim::{
-    classify_fault_translated_pooled, nth_field, nth_pdu_field, nth_predictor_field,
-    predictor_fault_space, ClassifyBuffers, Engine, FaultOutcome, FaultPlan, FaultTarget,
-    HwPredictor, ParityMode, PipelineGeometry, PredecodedImage, SimConfig, TranslatedImage,
-    FAULT_SPACE, MAX_DEPTH, MIN_DEPTH, PDU_FAULT_SPACE,
+    classify_batch, fault_reference, nth_field, nth_pdu_field, nth_predictor_field,
+    predictor_fault_space, Engine, FaultOutcome, FaultPlan, FaultReference, FaultTarget,
+    HwPredictor, MachinePool, ParityMode, PipelineGeometry, PredecodedImage, SimConfig,
+    TranslatedImage, FAULT_SPACE, MAX_DEPTH, MIN_DEPTH, PDU_FAULT_SPACE,
 };
-use crisp_telemetry::{CampaignMonitor, Heartbeat};
 
 fn main() -> ExitCode {
     match run() {
@@ -87,34 +92,14 @@ struct Failure {
     detail: String,
 }
 
-/// One quarantined case: the worker died twice on it (panic on both
-/// the first attempt and the fresh-buffer retry), so the supervisor
-/// set it aside and kept the campaign going.
+/// One quarantined case: the worker died twice on it (panic in a
+/// block, panic again solo), so the supervisor set it aside and kept
+/// the campaign going.
 struct Quarantine {
     case: u64,
     program_seed: u64,
     plan: FaultPlan,
     detail: String,
-}
-
-/// Result of the `ParityMode::Off` classification phase.
-enum CaseClass {
-    /// Both phases ran; the unprotected outcome is tallied.
-    Classified(FaultOutcome),
-    /// The fault-free reference did not halt within the watchdog
-    /// budget — the case is tallied as skipped, not failed.
-    Skipped,
-}
-
-/// What one finished case contributes to the checkpoint tallies.
-struct CaseTally {
-    /// `Some("field.outcome")` for a classified case, `None` for a
-    /// skipped or quarantined one.
-    key: Option<String>,
-    /// The first attempt panicked and the case was re-run.
-    retried: bool,
-    /// Both attempts panicked; the case was set aside.
-    quarantined: bool,
 }
 
 fn parse_num<T: std::str::FromStr>(
@@ -177,74 +162,46 @@ fn plan_for(
     }
 }
 
-/// Run one case: verify parity recovery, then classify unprotected.
+/// Judge one finished case from its two [`classify_batch`] outcomes.
 ///
-/// Both phases share the image's predecoded table and the worker's
-/// recycled machine buffers — the fault-free reference and the faulted
-/// run decode nothing on the steady-state path.
-///
-/// `Err` means the parity-protected run did NOT reconverge to the
+/// `Fail` means the parity-protected run did NOT reconverge to the
 /// fault-free commit stream — a recovery bug — or, for predictor-state
 /// faults, that the *unprotected* run diverged architecturally, which
 /// the predictor contract forbids outright (a wrong prediction may
 /// cost cycles, never correctness).
-fn run_case(
-    image: &Image,
-    tables: (&Arc<PredecodedImage>, Option<&Arc<TranslatedImage>>),
+fn case_verdict(
+    program_seed: u64,
     plan: FaultPlan,
-    max_cycles: u64,
-    geometry: PipelineGeometry,
-    predictor: HwPredictor,
-    bufs: &mut ClassifyBuffers,
-) -> Result<CaseClass, String> {
-    let (table, translated) = tables;
-    let protected = SimConfig {
-        parity: ParityMode::DetectInvalidate,
-        fault_plan: Some(plan),
-        max_cycles,
-        geometry,
-        predictor,
-        ..SimConfig::default()
-    };
-    match classify_fault_translated_pooled(image, protected, Some(table), translated, bufs) {
-        Err(_) => return Ok(CaseClass::Skipped),
-        Ok(FaultOutcome::Masked) => {}
-        Ok(other) => {
-            return Err(format!(
+    protected: FaultOutcome,
+    unprotected: FaultOutcome,
+) -> CaseResult<Option<String>, Failure> {
+    if protected != FaultOutcome::Masked {
+        return CaseResult::Fail(Failure {
+            program_seed,
+            plan,
+            detail: format!(
                 "DetectInvalidate failed to mask the {} fault (outcome: {})",
                 plan.target.name(),
-                other.name()
-            ))
-        }
+                protected.name()
+            ),
+        });
     }
-    let unprotected = SimConfig {
-        parity: ParityMode::Off,
-        ..protected
-    };
-    match classify_fault_translated_pooled(image, unprotected, Some(table), translated, bufs) {
-        Err(_) => Ok(CaseClass::Skipped),
-        Ok(outcome) => {
-            if plan.target == FaultTarget::Predictor && outcome != FaultOutcome::Masked {
-                return Err(format!(
-                    "predictor-state fault changed architectural state with parity off \
-                     (outcome: {})",
-                    outcome.name()
-                ));
-            }
-            Ok(CaseClass::Classified(outcome))
-        }
+    if plan.target == FaultTarget::Predictor && unprotected != FaultOutcome::Masked {
+        return CaseResult::Fail(Failure {
+            program_seed,
+            plan,
+            detail: format!(
+                "predictor-state fault changed architectural state with parity off \
+                 (outcome: {})",
+                unprotected.name()
+            ),
+        });
     }
-}
-
-/// Render a panic payload as text.
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        format!("worker panicked: {s}")
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        format!("worker panicked: {s}")
-    } else {
-        "worker panicked".into()
-    }
+    CaseResult::Done(Some(format!(
+        "{}.{}",
+        plan.field.name(),
+        unprotected.name()
+    )))
 }
 
 /// Parse `--target` into the set of structures this campaign strikes.
@@ -283,7 +240,7 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "usage: crisp-fault [--seed N] [--programs N] [--faults N] [--max-blocks N] \
              [--jobs N] [--max-cycles N] [--eu-depth N] [--predictor HW] \
-             [--target cache|btb|pdu|all] [--engine interp|threaded] [--smoke] \
+             [--target cache|btb|pdu|all] [--engine interp|threaded] [--batch N] [--smoke] \
              [--resume FILE] [--report FILE] [--heartbeat SECS]"
         );
         return Ok(ExitCode::SUCCESS);
@@ -306,6 +263,7 @@ fn run() -> Result<ExitCode, String> {
         "--jobs",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     )?;
+    let batch: u64 = parse_num(&mut raw, "--batch", 8)?;
     let predictor: HwPredictor = extract_flag(&mut raw, "--predictor")
         .map_err(|e| e.to_string())?
         .map_or(Ok(SimConfig::default().predictor), |v| {
@@ -338,6 +296,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if jobs == 0 {
         return Err("--jobs must be at least 1".into());
+    }
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
     }
     if programs == 0 || faults == 0 {
         return Err("--programs and --faults must be at least 1".into());
@@ -381,6 +342,15 @@ fn run() -> Result<ExitCode, String> {
         images.push((pseed, image, table, translated));
     }
     let icache_entries = SimConfig::default().icache_entries as u64;
+    // The fault-free reference commit log for each program, computed
+    // once by whichever worker strikes the program first and shared by
+    // every later case (the old scalar driver re-ran the reference
+    // twice per case). `None` records that the reference did not halt
+    // within the watchdog budget: every case of that program is
+    // skipped, exactly as when the per-case reference run hit the
+    // limit.
+    let references: Vec<OnceLock<Option<Arc<FaultReference>>>> =
+        (0..programs).map(|_| OnceLock::new()).collect();
 
     let total = programs * faults;
     let cp = match &resume_path {
@@ -399,158 +369,103 @@ fn run() -> Result<ExitCode, String> {
 
     println!(
         "crisp-fault: {programs} programs x {faults} faults on {jobs} threads \
-         (base seed {seed}, target {target_spec})"
+         (base seed {seed}, target {target_spec}, batch {batch})"
     );
 
-    let failure: Mutex<Option<Failure>> = Mutex::new(None);
-    let quarantine_log: Mutex<Vec<Quarantine>> = Mutex::new(Vec::new());
-    let io_error: Mutex<Option<String>> = Mutex::new(None);
-    // Single self-scheduling queue over the whole campaign: no chunk
-    // barriers, and the contiguous-prefix tracker means a saved
-    // checkpoint accounts for exactly its first `completed` cases even
-    // though cases finish out of order.
-    let queue: WorkQueue<CaseTally> = WorkQueue::new(cp.completed, total);
-    let save_every = (jobs as u64 * 32).max(64);
-    let progress = Mutex::new((cp, 0u64));
-    // Campaign telemetry: workers time each case into the monitor; the
-    // heartbeat thread (when requested) samples it onto stderr.
-    let monitor = Arc::new(CampaignMonitor::new(queue.remaining(), jobs));
-    let heartbeat =
-        heartbeat_secs.map(|s| Heartbeat::start(Arc::clone(&monitor), Duration::from_secs(s)));
-    std::thread::scope(|scope| {
-        for w in 0..jobs {
-            let (queue, images, targets) = (&queue, &images, &targets);
-            let (progress, resume_path) = (&progress, &resume_path);
-            let (failure, quarantine_log, io_error) = (&failure, &quarantine_log, &io_error);
-            let monitor = &monitor;
-            scope.spawn(move || {
-                // Per-worker machine buffers, recycled across cases.
-                let mut bufs = ClassifyBuffers::default();
-                while let Some(i) = queue.claim() {
-                    let (pseed, image, table, translated) = &images[(i / faults) as usize];
-                    let plan = plan_for(seed, i, icache_entries, targets, predictor);
-                    let case_start = Instant::now();
-                    let mut outcome = catch_unwind(AssertUnwindSafe(|| {
-                        run_case(
-                            image,
-                            (table, translated.as_ref()),
-                            plan,
-                            max_cycles,
-                            geometry,
-                            predictor,
-                            &mut bufs,
-                        )
-                    }));
-                    let mut retried = false;
-                    if outcome.is_err() {
-                        // First attempt panicked: the recycled buffers
-                        // may hold poisoned state, so retry exactly
-                        // once on fresh ones before giving up.
-                        monitor.record_retry();
-                        retried = true;
-                        bufs = ClassifyBuffers::default();
-                        outcome = catch_unwind(AssertUnwindSafe(|| {
-                            run_case(
-                                image,
-                                (table, translated.as_ref()),
-                                plan,
-                                max_cycles,
-                                geometry,
-                                predictor,
-                                &mut bufs,
-                            )
-                        }));
-                    }
-                    monitor.record_case(w, case_start.elapsed());
-                    let tally = match outcome {
-                        Ok(Ok(CaseClass::Classified(o))) => CaseTally {
-                            key: Some(format!("{}.{}", plan.field.name(), o.name())),
-                            retried,
-                            quarantined: false,
-                        },
-                        Ok(Ok(CaseClass::Skipped)) => CaseTally {
-                            key: None,
-                            retried,
-                            quarantined: false,
-                        },
-                        Ok(Err(detail)) => {
-                            // A deterministic verification failure: the
-                            // property under test is violated, so the
-                            // campaign stops and reports it.
-                            monitor.record_finding();
-                            *failure.lock().unwrap() = Some(Failure {
-                                program_seed: *pseed,
-                                plan,
-                                detail,
-                            });
-                            queue.abort();
-                            return;
-                        }
-                        Err(payload) => {
-                            // Second panic on the same case: quarantine
-                            // it and keep the campaign going. Buffers
-                            // are refreshed again so the next case
-                            // starts clean.
-                            monitor.record_quarantine();
-                            bufs = ClassifyBuffers::default();
-                            quarantine_log.lock().unwrap().push(Quarantine {
-                                case: i,
-                                program_seed: *pseed,
-                                plan,
-                                detail: panic_text(payload),
-                            });
-                            CaseTally {
-                                key: None,
-                                retried,
-                                quarantined: true,
-                            }
-                        }
-                    };
-                    let drained = queue.complete(i, tally);
-                    if drained.payloads.is_empty() {
-                        continue;
-                    }
-                    let (cp, last_saved) = &mut *progress.lock().unwrap();
-                    for tally in drained.payloads {
-                        if tally.retried {
-                            cp.tally("retries", 1);
-                        }
-                        if tally.quarantined {
-                            cp.tally("quarantined", 1);
-                        } else {
-                            match tally.key {
-                                Some(key) => {
-                                    cp.tally("verified", 1);
-                                    cp.tally(&key, 1);
-                                }
-                                None => cp.tally("skipped", 1),
-                            }
-                        }
-                    }
-                    cp.completed = drained.completed;
-                    if let Some(path) = &resume_path {
-                        if drained.completed >= *last_saved + save_every {
-                            if let Err(e) = cp.save(path) {
-                                *io_error.lock().unwrap() = Some(e.to_string());
-                                queue.abort();
-                                return;
-                            }
-                            *last_saved = drained.completed;
-                        }
+    // Run one claimed block: group its cases by program so each group
+    // shares one reference lookup, then push both phases of every case
+    // through the lane-parallel batch kernel.
+    let run_block = |cases: &[u64], pool: &mut MachinePool| {
+        let mut out: Vec<(u64, CaseResult<Option<String>, Failure>)> =
+            Vec::with_capacity(cases.len());
+        let mut k = 0;
+        while k < cases.len() {
+            let p = cases[k] / faults;
+            let mut end = k + 1;
+            while end < cases.len() && cases[end] / faults == p {
+                end += 1;
+            }
+            let group = &cases[k..end];
+            k = end;
+            let (pseed, image, table, translated) = &images[p as usize];
+            let reference = references[p as usize].get_or_init(|| {
+                let cfg = SimConfig {
+                    max_cycles,
+                    geometry,
+                    predictor,
+                    ..SimConfig::default()
+                };
+                fault_reference(image, cfg, Some(table), translated.as_ref(), pool)
+                    .ok()
+                    .map(Arc::new)
+            });
+            let Some(reference) = reference else {
+                out.extend(group.iter().map(|&i| (i, CaseResult::Done(None))));
+                continue;
+            };
+            let mut cfgs = Vec::with_capacity(group.len() * 2);
+            let mut plans = Vec::with_capacity(group.len());
+            for &i in group {
+                let plan = plan_for(seed, i, icache_entries, &targets, predictor);
+                let protected = SimConfig {
+                    parity: ParityMode::DetectInvalidate,
+                    fault_plan: Some(plan),
+                    max_cycles,
+                    geometry,
+                    predictor,
+                    ..SimConfig::default()
+                };
+                cfgs.push(protected);
+                cfgs.push(SimConfig {
+                    parity: ParityMode::Off,
+                    ..protected
+                });
+                plans.push(plan);
+            }
+            match classify_batch(image, &cfgs, Some(table), reference, batch as usize, pool) {
+                // A load failure is deterministic per program: tally
+                // the group skipped, as the scalar classifier did.
+                Err(_) => out.extend(group.iter().map(|&i| (i, CaseResult::Done(None)))),
+                Ok(outcomes) => {
+                    for (j, &i) in group.iter().enumerate() {
+                        let verdict =
+                            case_verdict(*pseed, plans[j], outcomes[2 * j], outcomes[2 * j + 1]);
+                        out.push((i, verdict));
                     }
                 }
-            });
+            }
         }
-    });
-    if let Some(hb) = heartbeat {
-        hb.finish();
-    }
+        out
+    };
+    let report = run_campaign(
+        CampaignSpec {
+            total,
+            jobs,
+            block: batch,
+            save_every: (jobs as u64 * 32).max(64),
+            resume_path: resume_path.as_ref(),
+            heartbeat_secs,
+            checkpoint: cp,
+        },
+        MachinePool::default,
+        run_block,
+        |cp, key: Option<String>| match key {
+            Some(key) => {
+                cp.tally("verified", 1);
+                cp.tally(&key, 1);
+            }
+            None => cp.tally("skipped", 1),
+        },
+        |i, detail| Quarantine {
+            case: i,
+            program_seed: images[(i / faults) as usize].0,
+            plan: plan_for(seed, i, icache_entries, &targets, predictor),
+            detail,
+        },
+    )?;
 
-    if let Some(msg) = io_error.into_inner().unwrap() {
-        return Err(msg);
-    }
-    let (cp, _) = progress.into_inner().unwrap();
-    if let Some(f) = failure.into_inner().unwrap() {
+    let cp = report.checkpoint;
+    if let Some(f) = report.failure {
         println!("crisp-fault: FAILURE");
         println!("  program seed : {}", f.program_seed);
         println!(
@@ -571,7 +486,7 @@ fn run() -> Result<ExitCode, String> {
     if let Some(path) = &resume_path {
         cp.save(path).map_err(|e| e.to_string())?;
     }
-    let quarantined = quarantine_log.into_inner().unwrap();
+    let quarantined = report.quarantined;
     print_report(&cp, programs, faults, &quarantined, report_path.as_deref())?;
     if !quarantined.is_empty() {
         println!(

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;

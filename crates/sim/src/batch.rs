@@ -1,0 +1,356 @@
+//! Batched SoA campaign kernel: N independent cycle-engine lanes
+//! stepped per loop iteration.
+//!
+//! Campaign drivers sweep thousands of independent cases (fold policy ×
+//! geometry × predictor × fault site), each a branchy scalar
+//! [`CycleSim`] run. [`MachineBatch`] restructures that hot state into
+//! structure-of-arrays lanes — the front-end latches ([`PipeFront`]),
+//! architectural state, decoded cache, PDU, predictor, counters and
+//! observer each live in a parallel array — and advances every live
+//! lane one cycle per wave. Per-lane halt/watchdog/error masks let
+//! finished lanes drain into [`FinishedLane`] records and refill from
+//! the driver's work queue without stalling the rest of the batch.
+//!
+//! The scalar engine is the one-lane specialization: both paths run the
+//! identical [`PipeFront::cycle_once`] body against the identical
+//! per-lane state, so a batch of N is bit-identical to N scalar runs
+//! (`tests/prop_batch.rs` pins this across policies, depths and
+//! predictors). One deliberate improvement over
+//! [`CycleSim::run_observed`]: the batch kernel owns the stepping loop,
+//! so a lane that dies on a [`SimError`] still returns its observer and
+//! counters instead of losing them with the simulator.
+
+use crate::diff::reset_or_load;
+use crate::observe::{NullObserver, PipeObserver};
+use crate::pipeline::{watchdog_expired, CycleRun, CycleSim, LaneMut, PipeFront};
+use crate::predictor::HwPredictorState;
+use crate::soft_error::ParityMode;
+use crate::{CycleStats, DecodedCache, HaltReason, Machine, Pdu, SimConfig, SimError};
+use crisp_asm::Image;
+
+/// A pool of architectural-state buffers for the batched campaign
+/// kernels. Where the scalar harnesses recycle a fixed pair of
+/// machines, a batch keeps up to lanes-plus-reference buffers in
+/// flight, so the pool grows to the high-water mark once and then
+/// serves every later lane allocation-free.
+#[derive(Debug, Default)]
+pub struct MachinePool {
+    free: Vec<Machine>,
+}
+
+impl MachinePool {
+    /// A machine loaded from `image`, recycling a pooled buffer when
+    /// one is free ([`Machine::reset_from`] is bit-identical to a fresh
+    /// [`Machine::load`], so pooled and unpooled runs cannot diverge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates load/reset failures.
+    pub fn take(&mut self, image: &Image) -> Result<Machine, SimError> {
+        reset_or_load(self.free.pop(), image)
+    }
+
+    /// Return a machine buffer to the pool for a later lane.
+    pub fn put(&mut self, m: Machine) {
+        self.free.push(m);
+    }
+}
+
+/// Why a lane left the batch.
+#[derive(Debug)]
+pub enum LaneEnd {
+    /// The program retired `halt`.
+    Halted,
+    /// A watchdog limit ([`SimConfig::max_cycles`] /
+    /// [`SimConfig::max_insns`]) expired first.
+    Watchdog,
+    /// The architecturally-correct path faulted (same conditions as
+    /// [`CycleSim::run`]).
+    Error(SimError),
+    /// The driver ejected the lane early via [`MachineBatch::eject`]
+    /// (e.g. its divergence observer already classified the case).
+    Ejected,
+}
+
+/// A drained lane: the case tag it carried, its final architectural
+/// state and counters, its observer, and how it ended.
+#[derive(Debug)]
+pub struct FinishedLane<O> {
+    /// The driver's case identifier, as passed to
+    /// [`MachineBatch::admit`].
+    pub tag: u64,
+    /// Final architectural state.
+    pub machine: Machine,
+    /// Timing counters.
+    pub stats: CycleStats,
+    /// The event sink, with everything it collected — present even
+    /// when the lane ended in [`LaneEnd::Error`].
+    pub obs: O,
+    /// Why the lane finished.
+    pub end: LaneEnd,
+}
+
+impl<O> FinishedLane<O> {
+    /// Whether the lane's program retired `halt`.
+    pub fn halted(&self) -> bool {
+        matches!(self.end, LaneEnd::Halted)
+    }
+
+    /// Repackage a cleanly-ended lane ([`LaneEnd::Halted`] /
+    /// [`LaneEnd::Watchdog`]) as the scalar engine's
+    /// [`CycleSim::run_observed`] result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lane's [`SimError`] (with the observer, which the
+    /// scalar path would have lost) for [`LaneEnd::Error`] lanes;
+    /// panics on [`LaneEnd::Ejected`], which has no scalar equivalent.
+    pub fn into_run(self) -> Result<(CycleRun, O), (SimError, O)> {
+        let halted = match self.end {
+            LaneEnd::Halted => true,
+            LaneEnd::Watchdog => false,
+            LaneEnd::Error(e) => return Err((e, self.obs)),
+            LaneEnd::Ejected => panic!("ejected lane has no scalar run equivalent"),
+        };
+        let run = CycleRun {
+            machine: self.machine,
+            stats: self.stats,
+            halted,
+            halt_reason: if halted {
+                HaltReason::Halted
+            } else {
+                HaltReason::Watchdog
+            },
+        };
+        Ok((run, self.obs))
+    }
+}
+
+/// N independent cycle-engine lanes in structure-of-arrays form.
+///
+/// Lanes are admitted as fully-constructed [`CycleSim`]s (so
+/// initialization — predecode sharing, degrade arming, fault plans —
+/// is byte-for-byte the scalar path) and scattered into the parallel
+/// arrays; [`MachineBatch::step_wave`] advances every live lane one
+/// cycle; finished lanes accumulate in an internal drain the driver
+/// collects with [`MachineBatch::drain_finished`] and refills with
+/// further [`MachineBatch::admit`] calls.
+#[derive(Debug)]
+pub struct MachineBatch<O: PipeObserver = NullObserver> {
+    /// Per-lane front-end hot state (stage latches, sequencing).
+    fronts: Vec<PipeFront>,
+    /// Per-lane architectural state; `None` in free lanes.
+    machines: Vec<Option<Machine>>,
+    /// Per-lane decoded caches; `None` in free lanes.
+    caches: Vec<Option<DecodedCache>>,
+    /// Per-lane prefetch/decode units; `None` in free lanes.
+    pdus: Vec<Option<Pdu>>,
+    /// Per-lane dynamic-predictor state (`None` both for free lanes
+    /// and for static-bit lanes, exactly as in the scalar engine).
+    predictors: Vec<Option<HwPredictorState>>,
+    /// Per-lane configuration.
+    cfgs: Vec<SimConfig>,
+    /// Per-lane timing counters.
+    stats: Vec<CycleStats>,
+    /// Per-lane event sinks; `None` in free lanes.
+    obs: Vec<Option<O>>,
+    /// Per-lane driver case tags.
+    tags: Vec<u64>,
+    /// The lane-liveness mask.
+    live: Vec<bool>,
+    /// Finished lanes awaiting collection.
+    finished: Vec<FinishedLane<O>>,
+}
+
+impl<O: PipeObserver> MachineBatch<O> {
+    /// An empty batch with `lanes` lane slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> MachineBatch<O> {
+        assert!(lanes >= 1, "a batch needs at least one lane");
+        let placeholder_front = PipeFront::new(0, SimConfig::default().geometry);
+        MachineBatch {
+            fronts: vec![placeholder_front; lanes],
+            machines: (0..lanes).map(|_| None).collect(),
+            caches: (0..lanes).map(|_| None).collect(),
+            pdus: (0..lanes).map(|_| None).collect(),
+            predictors: (0..lanes).map(|_| None).collect(),
+            cfgs: vec![SimConfig::default(); lanes],
+            stats: vec![CycleStats::default(); lanes],
+            obs: (0..lanes).map(|_| None).collect(),
+            tags: vec![0; lanes],
+            live: vec![false; lanes],
+            finished: Vec::new(),
+        }
+    }
+
+    /// The lane capacity N.
+    pub fn lanes(&self) -> usize {
+        self.live.len()
+    }
+
+    /// How many lanes are currently running.
+    pub fn live_lanes(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// The lowest free lane index, if any lane is idle.
+    pub fn free_lane(&self) -> Option<usize> {
+        self.live.iter().position(|&l| !l)
+    }
+
+    /// Scatter a fully-constructed simulator into a free lane,
+    /// returning the lane index. `tag` identifies the case when the
+    /// lane later drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every lane is live (check [`MachineBatch::free_lane`]).
+    pub fn admit(&mut self, tag: u64, sim: CycleSim<O>) -> usize {
+        let i = self.free_lane().expect("admit into a full batch");
+        let CycleSim {
+            machine,
+            cfg,
+            cache,
+            pdu,
+            front,
+            predictor,
+            obs,
+            stats,
+        } = sim;
+        self.fronts[i] = front;
+        self.machines[i] = Some(machine);
+        self.caches[i] = Some(cache);
+        self.pdus[i] = Some(pdu);
+        self.predictors[i] = predictor;
+        self.cfgs[i] = cfg;
+        self.stats[i] = stats;
+        self.obs[i] = Some(obs);
+        self.tags[i] = tag;
+        self.live[i] = true;
+        i
+    }
+
+    /// The case tag carried by a live lane.
+    pub fn tag(&self, lane: usize) -> u64 {
+        self.tags[lane]
+    }
+
+    /// Whether a lane is live.
+    pub fn is_live(&self, lane: usize) -> bool {
+        self.live[lane]
+    }
+
+    /// A live lane's observer (e.g. to poll a divergence checker
+    /// between waves).
+    pub fn observer(&self, lane: usize) -> &O {
+        self.obs[lane].as_ref().expect("observer of a live lane")
+    }
+
+    /// A live lane's timing counters.
+    pub fn stats(&self, lane: usize) -> &CycleStats {
+        &self.stats[lane]
+    }
+
+    /// Whether a parity-protected live lane's planned soft-error fault
+    /// has both struck and been caught by a parity check (a decoded-
+    /// cache invalidate or a predictor scrub).
+    ///
+    /// Under [`ParityMode::DetectInvalidate`] every cache read is
+    /// parity-checked, so a caught single-bit fault was invalidated
+    /// before any corrupted entry could execute: the rest of the run is
+    /// bit-identical to the fault-free reference, and a fault-campaign
+    /// driver can settle the lane as masked without running its tail.
+    pub fn parity_settled(&self, lane: usize) -> bool {
+        self.cfgs[lane].parity == ParityMode::DetectInvalidate
+            && self.stats[lane].faults_injected > 0
+            && (self.caches[lane]
+                .as_ref()
+                .expect("cache of a live lane")
+                .parity_invalidates
+                + self.predictors[lane]
+                    .as_ref()
+                    .map_or(0, HwPredictorState::parity_scrubs))
+                > 0
+    }
+
+    /// Retire a live lane before it finishes on its own; it drains as
+    /// [`LaneEnd::Ejected`]. Drivers use this when a lane's observer
+    /// has already decided the case and further cycles are waste.
+    pub fn eject(&mut self, lane: usize) {
+        assert!(self.live[lane], "eject of a free lane");
+        self.retire_lane(lane, LaneEnd::Ejected);
+    }
+
+    /// Advance every live lane one clock cycle (watchdog check first,
+    /// exactly as [`CycleSim::run_observed`] sequences it). Returns how
+    /// many lanes finished during the wave.
+    pub fn step_wave(&mut self) -> usize {
+        let mut done = 0;
+        for i in 0..self.live.len() {
+            if !self.live[i] {
+                continue;
+            }
+            if let Some(end) = self.step_lane(i) {
+                self.retire_lane(i, end);
+                done += 1;
+            }
+        }
+        done
+    }
+
+    /// Step every live lane until the batch is fully drained.
+    pub fn run_all(&mut self) {
+        while self.live_lanes() > 0 {
+            self.step_wave();
+        }
+    }
+
+    /// Collect every finished lane accumulated so far, freeing their
+    /// slots for refill (the slots were freed at retirement; this just
+    /// hands over the records).
+    pub fn drain_finished(&mut self) -> Vec<FinishedLane<O>> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// One lane-cycle; `Some(end)` when the lane just finished.
+    fn step_lane(&mut self, i: usize) -> Option<LaneEnd> {
+        let cfg = &self.cfgs[i];
+        if watchdog_expired(cfg, &self.stats[i]) {
+            self.stats[i].watchdog = true;
+            return Some(LaneEnd::Watchdog);
+        }
+        let mut lane = LaneMut {
+            machine: self.machines[i].as_mut().expect("live lane machine"),
+            cache: self.caches[i].as_mut().expect("live lane cache"),
+            pdu: self.pdus[i].as_mut().expect("live lane pdu"),
+            predictor: &mut self.predictors[i],
+            cfg,
+            stats: &mut self.stats[i],
+            obs: self.obs[i].as_mut().expect("live lane observer"),
+        };
+        match self.fronts[i].cycle_once(&mut lane) {
+            Ok(false) => None,
+            Ok(true) => Some(LaneEnd::Halted),
+            Err(e) => Some(LaneEnd::Error(e)),
+        }
+    }
+
+    /// Move a lane's state out into the finished drain and clear the
+    /// liveness bit so the slot can be refilled.
+    fn retire_lane(&mut self, i: usize, end: LaneEnd) {
+        self.live[i] = false;
+        self.caches[i] = None;
+        self.pdus[i] = None;
+        self.predictors[i] = None;
+        self.finished.push(FinishedLane {
+            tag: self.tags[i],
+            machine: self.machines[i].take().expect("live lane machine"),
+            stats: std::mem::take(&mut self.stats[i]),
+            obs: self.obs[i].take().expect("live lane observer"),
+            end,
+        });
+    }
+}

@@ -24,10 +24,11 @@ use std::sync::Arc;
 
 use crisp_isa::FoldPolicy;
 
+use crate::batch::{LaneEnd, MachineBatch, MachinePool};
 use crate::config::HwPredictor;
 use crate::observe::{render_timeline_for, EventRing, PipeEvent, PipeObserver};
 use crate::predecode::PredecodedImage;
-use crate::{CycleSim, FunctionalSim, Machine, SimConfig, SimError};
+use crate::{CycleSim, FunctionalSim, HaltReason, Machine, SimConfig, SimError};
 use crisp_asm::Image;
 
 /// Events of pipeline context retained for the divergence excerpt.
@@ -535,6 +536,274 @@ fn lockstep_loop(
         commits: compared as u64,
         cycles: cyc.stats.cycles,
     }
+}
+
+/// An online commit-stream comparator: checks each commit a cycle
+/// engine retires against a precomputed reference [`CommitLog`], in
+/// retirement order, without storing the stream.
+///
+/// This is the batched campaign kernels' observer. Where the scalar
+/// harnesses either co-step a live functional engine
+/// ([`run_lockstep`]) or buffer the whole faulted stream for a
+/// post-hoc comparison ([`crate::classify_fault`]), batched lanes
+/// share one reference log per (image, fold policy) and each lane
+/// carries only a cursor into it — no per-lane log allocation — and
+/// the driver polls [`PrefixCheck::decided`] between waves to eject a
+/// lane whose verdict is already fixed.
+#[derive(Debug, Clone)]
+pub struct PrefixCheck {
+    reference: Arc<CommitLog>,
+    /// Leading commits that matched the reference.
+    matched: usize,
+    /// The first divergent (reference, observed) pair, if any.
+    mismatch: Option<(CommitRecord, CommitRecord)>,
+    /// Commits observed beyond the end of the reference stream.
+    extra: u64,
+}
+
+impl PrefixCheck {
+    /// A fresh cursor over `reference`.
+    pub fn new(reference: Arc<CommitLog>) -> PrefixCheck {
+        PrefixCheck {
+            reference,
+            matched: 0,
+            mismatch: None,
+            extra: 0,
+        }
+    }
+
+    /// Leading commits that matched the reference stream.
+    pub fn matched(&self) -> usize {
+        self.matched
+    }
+
+    /// The first divergent (reference, observed) record pair, if the
+    /// prefix has diverged.
+    pub fn mismatch(&self) -> Option<&(CommitRecord, CommitRecord)> {
+        self.mismatch.as_ref()
+    }
+
+    /// Commits retired past the end of the reference stream (with the
+    /// whole reference matched).
+    pub fn extra(&self) -> u64 {
+        self.extra
+    }
+
+    /// Whether the verdict is already fixed no matter how the run
+    /// ends: the prefix has diverged, so later commits can only follow
+    /// the wrong path. Length differences do *not* decide — a short,
+    /// long or stalled stream still distinguishes hang from halt by
+    /// how the run ends.
+    pub fn decided(&self) -> bool {
+        self.mismatch.is_some()
+    }
+
+    /// Whether the observed stream reproduced the reference exactly:
+    /// every reference commit matched, none diverged, none were extra.
+    pub fn full_match(&self) -> bool {
+        self.mismatch.is_none() && self.extra == 0 && self.matched == self.reference.records.len()
+    }
+}
+
+impl PipeObserver for PrefixCheck {
+    #[inline]
+    fn event(&mut self, ev: PipeEvent) {
+        let Some((_, rec)) = CommitRecord::from_event(&ev) else {
+            return;
+        };
+        if self.mismatch.is_some() {
+            return;
+        }
+        match self.reference.records.get(self.matched) {
+            None => self.extra += 1,
+            Some(r) if *r == rec => self.matched += 1,
+            Some(r) => self.mismatch = Some((*r, rec)),
+        }
+    }
+}
+
+/// The functional engine's complete run over one (image, fold policy):
+/// the commit stream plus — when the run halted cleanly — the final
+/// architectural state. One reference serves every configuration of a
+/// batched lockstep sweep under that policy, where the scalar harness
+/// re-steps the functional engine once per configuration.
+#[derive(Debug)]
+pub struct DiffReference {
+    log: Arc<CommitLog>,
+    /// `Some` only when the reference halted within the step budget.
+    machine: Option<Machine>,
+}
+
+impl DiffReference {
+    /// Whether the reference ran to a clean halt. Batched lanes can
+    /// only agree against a clean reference; an unclean one (error or
+    /// step-budget expiry) sends every configuration down the scalar
+    /// fallback, which reproduces the error-chase and watchdog
+    /// reporting exactly.
+    pub fn clean(&self) -> bool {
+        self.machine.is_some()
+    }
+
+    /// The reference commit stream.
+    pub fn log(&self) -> &Arc<CommitLog> {
+        &self.log
+    }
+}
+
+/// Precompute the functional side of a lockstep sweep: run the
+/// reference once to completion and capture its commit stream.
+///
+/// `max_steps` bounds the run; pass the sweep's `max_cycles` — the
+/// cycle engine retires at most one entry per cycle, so a cycle run
+/// inside its watchdog can never need more reference steps than that.
+/// A reference that errors or exhausts the budget is still returned,
+/// just not [`DiffReference::clean`].
+///
+/// # Errors
+///
+/// Image-load failures only.
+pub fn diff_reference(
+    image: &Image,
+    fold_policy: FoldPolicy,
+    max_steps: u64,
+    predecoded: Option<&Arc<PredecodedImage>>,
+    pool: &mut MachinePool,
+) -> Result<DiffReference, SimError> {
+    if let Some(t) = predecoded {
+        assert_eq!(
+            t.policy(),
+            fold_policy,
+            "predecode table policy must match the reference policy"
+        );
+    }
+    let machine = pool.take(image)?;
+    let mut log = CommitLog::default();
+    let run = match predecoded {
+        Some(t) => FunctionalSim::with_predecoded(machine, Arc::clone(t)),
+        None => FunctionalSim::with_policy(machine, fold_policy),
+    }
+    .max_steps(max_steps)
+    .run_observed(&mut log);
+    let machine = match run {
+        Ok(run) if run.halt_reason == HaltReason::Halted => Some(run.machine),
+        Ok(run) => {
+            pool.put(run.machine);
+            None
+        }
+        // The reference died mid-run (its machine is consumed); the
+        // scalar fallback will chase the same error per configuration.
+        Err(_) => None,
+    };
+    Ok(DiffReference {
+        log: Arc::new(log),
+        machine,
+    })
+}
+
+/// Batched variant of [`run_lockstep_pooled`]: run `cfgs` (all sharing
+/// `reference`'s fold policy) as SoA cycle-engine lanes against one
+/// precomputed functional reference, `lanes` at a time, refilling each
+/// slot as its lane drains.
+///
+/// A lane that matches the whole reference stream, halts, and
+/// reproduces the reference's final state reports
+/// [`LockstepOutcome::Agree`] with exactly the counts the scalar
+/// harness computes. Every other lane — a mismatched commit (the lane
+/// is ejected the wave the mismatch retires), an engine error, a
+/// watchdog expiry, a stream-length difference, a final-state
+/// difference, or an unclean reference — is re-run through the scalar
+/// [`run_lockstep_pooled`] harness, which reproduces the divergence
+/// report (timeline excerpt included) bit-identically to a
+/// scalar-only sweep. Campaigns abort on the first divergence, so the
+/// double-run costs nothing on the steady-state path.
+///
+/// # Errors
+///
+/// Image-load failures only, as in [`run_lockstep`].
+///
+/// # Panics
+///
+/// If a config's fold policy differs from the reference table's
+/// policy, or a config fails [`SimConfig::validate`].
+pub fn run_lockstep_batched(
+    image: &Image,
+    cfgs: &[SimConfig],
+    predecoded: Option<&Arc<PredecodedImage>>,
+    reference: &DiffReference,
+    lanes: usize,
+    pool: &mut MachinePool,
+    bufs: &mut LockstepBuffers,
+) -> Result<Vec<LockstepOutcome>, SimError> {
+    let mut outcomes: Vec<Option<LockstepOutcome>> = (0..cfgs.len()).map(|_| None).collect();
+    let mut rerun: Vec<usize> = Vec::new();
+    match &reference.machine {
+        None => rerun.extend(0..cfgs.len()),
+        Some(ref_machine) => {
+            let mut batch: MachineBatch<PrefixCheck> =
+                MachineBatch::new(lanes.clamp(1, cfgs.len().max(1)));
+            let mut next = 0usize;
+            loop {
+                while next < cfgs.len() && batch.free_lane().is_some() {
+                    let cfg = cfgs[next];
+                    cfg.validate();
+                    if let Some(t) = predecoded {
+                        assert_eq!(
+                            t.policy(),
+                            cfg.fold_policy,
+                            "predecode table policy must match the swept config"
+                        );
+                    }
+                    let mut sim = CycleSim::with_observer(
+                        pool.take(image)?,
+                        cfg,
+                        PrefixCheck::new(Arc::clone(&reference.log)),
+                    );
+                    if let Some(t) = predecoded {
+                        sim.set_predecoded(Arc::clone(t));
+                    }
+                    batch.admit(next as u64, sim);
+                    next += 1;
+                }
+                if batch.live_lanes() == 0 {
+                    break;
+                }
+                batch.step_wave();
+                for lane in 0..batch.lanes() {
+                    if batch.is_live(lane) && batch.observer(lane).decided() {
+                        batch.eject(lane);
+                    }
+                }
+                for fin in batch.drain_finished() {
+                    let idx = fin.tag as usize;
+                    let fm = ref_machine;
+                    let cm = &fin.machine;
+                    let agree = matches!(fin.end, LaneEnd::Halted)
+                        && fin.obs.full_match()
+                        && fm.accum == cm.accum
+                        && fm.sp == cm.sp
+                        && fm.psw.flag == cm.psw.flag
+                        && fm.halted == cm.halted
+                        && fm.mem == cm.mem;
+                    if agree {
+                        outcomes[idx] = Some(LockstepOutcome::Agree {
+                            commits: fin.obs.matched() as u64,
+                            cycles: fin.stats.cycles,
+                        });
+                    } else {
+                        rerun.push(idx);
+                    }
+                    pool.put(fin.machine);
+                }
+            }
+        }
+    }
+    for idx in rerun {
+        outcomes[idx] = Some(run_lockstep_pooled(image, cfgs[idx], predecoded, bufs)?);
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.expect("every config ran as a lane or a scalar fallback"))
+        .collect())
 }
 
 #[cfg(test)]

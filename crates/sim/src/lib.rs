@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod batch;
 mod config;
 pub mod diff;
 mod error;
@@ -66,10 +67,12 @@ pub mod threaded;
 mod trace;
 
 pub use accounting::{BubbleCause, CycleAccounts};
+pub use batch::{FinishedLane, LaneEnd, MachineBatch, MachinePool};
 pub use config::{DegradePolicy, FaultInjection, HwPredictor, SimConfig};
 pub use diff::{
-    run_lockstep, run_lockstep_pooled, sweep_configs, CommitLog, CommitRecord, Divergence,
-    DivergenceKind, LockstepBuffers, LockstepOutcome,
+    diff_reference, run_lockstep, run_lockstep_batched, run_lockstep_pooled, sweep_configs,
+    CommitLog, CommitRecord, DiffReference, Divergence, DivergenceKind, LockstepBuffers,
+    LockstepOutcome, PrefixCheck,
 };
 pub use error::{HaltReason, SimError};
 pub use functional::{FunctionalRun, FunctionalSim};
@@ -88,10 +91,11 @@ pub use predecode::{PredecodedImage, DECODE_WINDOW};
 pub use predictor::{BtbTable, CounterTable, HwPredictorState, JumpTraceTable, Predictor};
 pub use profile::{BranchProfiler, SiteStats};
 pub use soft_error::{
-    apply_fault, classify_fault, classify_fault_pooled, classify_fault_translated_pooled,
-    decode_entry, entry_bits, nth_field, nth_pdu_field, nth_predictor_field, parity32,
-    predictor_fault_space, ClassifyBuffers, FaultField, FaultOutcome, FaultPlan, FaultTarget,
-    ParityMode, FAULT_SPACE, FIELD_NAMES, PDU_FAULT_SPACE,
+    apply_fault, classify_batch, classify_fault, classify_fault_pooled,
+    classify_fault_translated_pooled, decode_entry, entry_bits, fault_reference, nth_field,
+    nth_pdu_field, nth_predictor_field, parity32, predictor_fault_space, ClassifyBuffers,
+    FaultField, FaultOutcome, FaultPlan, FaultReference, FaultTarget, ParityMode, FAULT_SPACE,
+    FIELD_NAMES, PDU_FAULT_SPACE,
 };
 pub use stats::{resolve_stage, CycleStats, OpcodeCounts, RunStats, STATS_SCHEMA_VERSION};
 pub use threaded::{verify_threaded_pooled, Engine, ThreadedSim, TranslatedImage};

@@ -145,10 +145,32 @@ pub struct CycleRun {
 /// uninstrumented model (the `sim_throughput` benchmark guards this).
 #[derive(Debug)]
 pub struct CycleSim<O: PipeObserver = NullObserver> {
-    machine: Machine,
-    cfg: SimConfig,
-    cache: DecodedCache,
-    pdu: Pdu,
+    pub(crate) machine: Machine,
+    pub(crate) cfg: SimConfig,
+    pub(crate) cache: DecodedCache,
+    pub(crate) pdu: Pdu,
+    /// The front-end hot state (stage latches, sequencing registers,
+    /// bubble provenance) — see [`PipeFront`].
+    pub(crate) front: PipeFront,
+    /// Live dynamic-prediction hardware, when configured (`None` for
+    /// the shipped static-bit design, keeping its hot path untouched).
+    pub(crate) predictor: Option<HwPredictorState>,
+    /// The event sink.
+    pub(crate) obs: O,
+    /// Timing counters (public so callers can sample mid-run).
+    pub stats: CycleStats,
+}
+
+/// The cycle engine's per-lane front-end hot state: EU stage latches,
+/// sequencing registers, and bubble provenance.
+///
+/// Split out of [`CycleSim`] so the batched campaign kernel
+/// ([`crate::batch::MachineBatch`]) can hold N of these in
+/// structure-of-arrays form, stepping each lane against its own backing
+/// state through [`PipeFront::cycle_once`]. The scalar simulator is the
+/// one-lane specialization of the same code path.
+#[derive(Debug, Clone)]
+pub(crate) struct PipeFront {
     /// EU stage latches, youngest first: `stages[0]` is the issue
     /// stage (IR), `stages[depth - 1]` is retire (RR). Fixed capacity
     /// keeps the hot loop allocation-free at every geometry; only the
@@ -166,9 +188,6 @@ pub struct CycleSim<O: PipeObserver = NullObserver> {
     /// The PC whose miss is currently being counted (so a multi-cycle
     /// stall counts as one miss).
     missing_pc: Option<u32>,
-    /// Live dynamic-prediction hardware, when configured (`None` for
-    /// the shipped static-bit design, keeping its hot path untouched).
-    predictor: Option<HwPredictorState>,
     /// The EU stall in progress, for paired stall begin/end events.
     stall: Option<StallKind>,
     /// Whether the configured [`SimConfig::fault_plan`] has fired (each
@@ -188,10 +207,29 @@ pub struct CycleSim<O: PipeObserver = NullObserver> {
     /// parity check: the refill stall for that PC is accounted as
     /// parity recovery rather than an ordinary miss.
     parity_pc: Option<u32>,
-    /// The event sink.
-    obs: O,
-    /// Timing counters (public so callers can sample mid-run).
-    pub stats: CycleStats,
+}
+
+/// Mutable borrows of one lane's backing state — everything a
+/// [`PipeFront`] needs besides itself to advance a cycle. The scalar
+/// engine builds one from its own fields; [`crate::batch::MachineBatch`]
+/// builds one per lane from its parallel arrays.
+pub(crate) struct LaneMut<'a, O: PipeObserver> {
+    pub machine: &'a mut Machine,
+    pub cache: &'a mut DecodedCache,
+    pub pdu: &'a mut Pdu,
+    pub predictor: &'a mut Option<HwPredictorState>,
+    pub cfg: &'a SimConfig,
+    pub stats: &'a mut CycleStats,
+    pub obs: &'a mut O,
+}
+
+/// Whether a watchdog limit ([`SimConfig::max_cycles`] /
+/// [`SimConfig::max_insns`]) has expired for the given counters.
+pub(crate) fn watchdog_expired(cfg: &SimConfig, stats: &CycleStats) -> bool {
+    stats.cycles >= cfg.max_cycles
+        || cfg
+            .max_insns
+            .is_some_and(|limit| stats.program_instrs >= limit)
 }
 
 impl CycleSim {
@@ -224,18 +262,8 @@ impl<O: PipeObserver> CycleSim<O> {
                 cfg.pdu_pipe_delay,
                 cfg.icache_entries as u32,
             ),
-            stages: [None; MAX_DEPTH],
-            depth: cfg.geometry.depth(),
-            fetch_pc: Some(entry),
-            waiting_on: None,
-            next_seq: 0,
-            missing_pc: None,
+            front: PipeFront::new(entry, cfg.geometry),
             predictor: HwPredictorState::from_config(cfg.predictor),
-            stall: None,
-            fault_done: false,
-            causes: [BubbleCause::Startup; MAX_DEPTH],
-            fetch_kill_cause: BubbleCause::Startup,
-            parity_pc: None,
             obs,
             stats: CycleStats {
                 mispredicts_by_stage: StageHistogram::for_geometry(cfg.geometry),
@@ -320,11 +348,7 @@ impl<O: PipeObserver> CycleSim<O> {
     /// Whether a watchdog limit ([`SimConfig::max_cycles`] /
     /// [`SimConfig::max_insns`]) has expired.
     fn watchdog_expired(&self) -> bool {
-        self.stats.cycles >= self.cfg.max_cycles
-            || self
-                .cfg
-                .max_insns
-                .is_some_and(|limit| self.stats.program_instrs >= limit)
+        watchdog_expired(&self.cfg, &self.stats)
     }
 
     /// Advance the machine by one clock cycle and return a snapshot of
@@ -348,14 +372,14 @@ impl<O: PipeObserver> CycleSim<O> {
             })
         };
         let mut stages = [None; MAX_DEPTH];
-        for (out, latch) in stages.iter_mut().zip(&self.stages) {
+        for (out, latch) in stages.iter_mut().zip(&self.front.stages) {
             *out = view(latch);
         }
         Ok(PipelineSnapshot {
             cycle: self.stats.cycles,
-            fetch_pc: self.fetch_pc,
+            fetch_pc: self.front.fetch_pc,
             stages,
-            depth: self.depth,
+            depth: self.front.depth,
             halted,
         })
     }
@@ -393,6 +417,73 @@ impl<O: PipeObserver> CycleSim<O> {
         self.run_observed().map(|(run, _)| run)
     }
 
+    /// Advance the machine by one clock cycle. Returns `true` on halt.
+    fn cycle_once(&mut self) -> Result<bool, SimError> {
+        let mut lane = LaneMut {
+            machine: &mut self.machine,
+            cache: &mut self.cache,
+            pdu: &mut self.pdu,
+            predictor: &mut self.predictor,
+            cfg: &self.cfg,
+            stats: &mut self.stats,
+            obs: &mut self.obs,
+        };
+        self.front.cycle_once(&mut lane)
+    }
+}
+
+/// Kill a stage's slot, counting it (and reporting the squash) if
+/// it held a valid entry. A free function over disjoint fields so
+/// callers can hold the observer alongside the stage latch. Returns
+/// whether a valid entry was actually killed, so the caller can
+/// re-tag the bubble's cause — an already-invalid slot keeps its
+/// original cause (no double attribution).
+fn kill_slot<O: PipeObserver>(
+    slot: &mut Option<Slot>,
+    flushed: &mut u64,
+    cycle: u64,
+    stage: u8,
+    obs: &mut O,
+) -> bool {
+    if let Some(s) = slot {
+        let was_valid = s.valid;
+        if was_valid {
+            *flushed += 1;
+            if O::ENABLED {
+                obs.event(PipeEvent::Squash {
+                    cycle,
+                    pc: s.d.pc,
+                    stage,
+                });
+            }
+        }
+        s.valid = false;
+        was_valid
+    } else {
+        false
+    }
+}
+
+impl PipeFront {
+    /// A fresh front end pointed at `entry`, for a pipe of the given
+    /// geometry. Mirrors the reset state `CycleSim::with_observer`
+    /// always established inline.
+    pub(crate) fn new(entry: u32, geometry: PipelineGeometry) -> PipeFront {
+        PipeFront {
+            stages: [None; MAX_DEPTH],
+            depth: geometry.depth(),
+            fetch_pc: Some(entry),
+            waiting_on: None,
+            next_seq: 0,
+            missing_pc: None,
+            stall: None,
+            fault_done: false,
+            causes: [BubbleCause::Startup; MAX_DEPTH],
+            fetch_kill_cause: BubbleCause::Startup,
+            parity_pc: None,
+        }
+    }
+
     fn cc_writer_in_flight(&self) -> bool {
         self.stages[..self.depth]
             .iter()
@@ -407,46 +498,14 @@ impl<O: PipeObserver> CycleSim<O> {
             .any(|s| s.valid && !s.resolved && matches!(s.d.fold, FoldClass::Cond { .. }))
     }
 
-    /// Kill a stage's slot, counting it (and reporting the squash) if
-    /// it held a valid entry. A free function over disjoint fields so
-    /// callers can hold `self.obs` alongside the stage latch. Returns
-    /// whether a valid entry was actually killed, so the caller can
-    /// re-tag the bubble's cause — an already-invalid slot keeps its
-    /// original cause (no double attribution).
-    fn kill(
-        slot: &mut Option<Slot>,
-        flushed: &mut u64,
-        cycle: u64,
-        stage: u8,
-        obs: &mut O,
-    ) -> bool {
-        if let Some(s) = slot {
-            let was_valid = s.valid;
-            if was_valid {
-                *flushed += 1;
-                if O::ENABLED {
-                    obs.event(PipeEvent::Squash {
-                        cycle,
-                        pc: s.d.pc,
-                        stage,
-                    });
-                }
-            }
-            s.valid = false;
-            was_valid
-        } else {
-            false
-        }
-    }
-
     /// Report a stall-state transition (begin, end, or kind change).
-    fn sync_stall(&mut self, cycle: u64, now: Option<StallKind>) {
+    fn sync_stall<O: PipeObserver>(&mut self, obs: &mut O, cycle: u64, now: Option<StallKind>) {
         if self.stall != now {
             if let Some(kind) = self.stall {
-                self.obs.event(PipeEvent::StallEnd { cycle, kind });
+                obs.event(PipeEvent::StallEnd { cycle, kind });
             }
             if let Some(kind) = now {
-                self.obs.event(PipeEvent::StallBegin { cycle, kind });
+                obs.event(PipeEvent::StallBegin { cycle, kind });
             }
             self.stall = now;
         }
@@ -475,7 +534,13 @@ impl<O: PipeObserver> CycleSim<O> {
     /// older pre-retire stage still holds a valid compare (the
     /// incremental blocker walk in `cycle_once`).
     #[inline]
-    fn try_resolve(&mut self, cyc: u64, pos: usize, kill_fetch: &mut bool) {
+    fn try_resolve<O: PipeObserver>(
+        &mut self,
+        lane: &mut LaneMut<'_, O>,
+        cyc: u64,
+        pos: usize,
+        kill_fetch: &mut bool,
+    ) {
         // Resolve in place: the slot stays latched in its stage and only
         // its resolution bits change. This runs every cycle for every
         // pre-retire stage, so a take/put-back of the whole slot would
@@ -490,7 +555,7 @@ impl<O: PipeObserver> CycleSim<O> {
         if !slot.valid || slot.resolved || slot.d.modifies_cc {
             return;
         }
-        let taken = self.machine.psw.flag == on_true;
+        let taken = lane.machine.psw.flag == on_true;
         slot.resolved = true;
         let seq = slot.seq;
         let other = slot.other;
@@ -499,7 +564,7 @@ impl<O: PipeObserver> CycleSim<O> {
         let guess_miss = slot.guess_miss;
         let stage_idx = pos + 1;
         if O::ENABLED {
-            self.obs.event(PipeEvent::BranchResolve {
+            lane.obs.event(PipeEvent::BranchResolve {
                 cycle: cyc,
                 branch_pc,
                 stage: stage_idx as u8,
@@ -507,7 +572,7 @@ impl<O: PipeObserver> CycleSim<O> {
             });
         }
         if mispredicted {
-            self.stats.mispredicts_by_stage.bump(stage_idx);
+            lane.stats.mispredicts_by_stage.bump(stage_idx);
             // A wrong guess that was only a predictor-table miss default
             // is cold/capacity behaviour, not trained-direction error:
             // its recovery bubbles get their own bucket.
@@ -521,24 +586,24 @@ impl<O: PipeObserver> CycleSim<O> {
             // one (oldest first, matching retire-time squash order) and
             // this cycle's fetch.
             for q in (0..pos).rev() {
-                if Self::kill(
+                if kill_slot(
                     &mut self.stages[q],
                     &mut flushed,
                     cyc,
                     (q + 1) as u8,
-                    &mut self.obs,
+                    &mut *lane.obs,
                 ) {
                     self.causes[q] = cause;
                 }
             }
             *kill_fetch = true;
             self.fetch_kill_cause = cause;
-            self.stats.flushed_slots += flushed;
+            lane.stats.flushed_slots += flushed;
             self.redirect_to(other, seq);
         }
     }
 
-    /// Advance the machine by one clock cycle. Returns `true` on halt.
+    /// Advance one lane by one clock cycle. Returns `true` on halt.
     ///
     /// The paper's 3-stage geometry gets a monomorphized copy of the
     /// cycle body whose stage loops unroll at compile time — the
@@ -547,17 +612,23 @@ impl<O: PipeObserver> CycleSim<O> {
     /// `bench_sim` throughput gate guards this). Every other depth
     /// shares the one dynamic copy. The per-cycle dispatch branch is
     /// perfectly predicted: `depth` never changes during a run.
-    fn cycle_once(&mut self) -> Result<bool, SimError> {
+    pub(crate) fn cycle_once<O: PipeObserver>(
+        &mut self,
+        lane: &mut LaneMut<'_, O>,
+    ) -> Result<bool, SimError> {
         if self.depth == 3 {
-            self.cycle_once_at::<3>()
+            self.cycle_once_at::<3, O>(lane)
         } else {
-            self.cycle_once_at::<0>()
+            self.cycle_once_at::<0, O>(lane)
         }
     }
 
     /// One clock cycle at EU depth `D`, where `D == 0` means "read the
     /// live depth at run time" (the generic fallback).
-    fn cycle_once_at<const D: usize>(&mut self) -> Result<bool, SimError> {
+    fn cycle_once_at<const D: usize, O: PipeObserver>(
+        &mut self,
+        lane: &mut LaneMut<'_, O>,
+    ) -> Result<bool, SimError> {
         // Pin the live depth to the latch array's capacity once per
         // cycle: the construction invariant (`PipelineGeometry::new`
         // range-checks) guarantees it holds, and stating it here lets
@@ -568,8 +639,8 @@ impl<O: PipeObserver> CycleSim<O> {
             (MIN_DEPTH..=MAX_DEPTH).contains(&depth),
             "geometry invariant"
         );
-        let cyc = self.stats.cycles;
-        self.stats.cycles += 1;
+        let cyc = lane.stats.cycles;
+        lane.stats.cycles += 1;
         let mut kill_fetch = false;
 
         // ---- Top-down cycle accounting. ---- Attribute this cycle by
@@ -579,17 +650,17 @@ impl<O: PipeObserver> CycleSim<O> {
         // so every exit path below (including halt) is covered and the
         // conservation invariant holds cycle-by-cycle.
         match &self.stages[depth - 1] {
-            Some(slot) if slot.valid => self.stats.accounts.useful += 1,
-            _ => self.stats.accounts.bubble(self.causes[depth - 1]),
+            Some(slot) if slot.valid => lane.stats.accounts.useful += 1,
+            _ => lane.stats.accounts.bubble(self.causes[depth - 1]),
         }
         debug_assert_eq!(
-            self.stats.accounts.total(),
-            self.stats.cycles,
+            lane.stats.accounts.total(),
+            lane.stats.cycles,
             "cycle accounting must conserve cycles"
         );
 
         // ---- 0. Transient-fault injection (soft-error model). ----
-        if let Some(plan) = self.cfg.fault_plan {
+        if let Some(plan) = lane.cfg.fault_plan {
             if !self.fault_done && cyc >= plan.cycle {
                 let struck = match plan.target {
                     // A strike on an empty cache slot is a no-op: the
@@ -598,7 +669,7 @@ impl<O: PipeObserver> CycleSim<O> {
                     // strike happened even if nothing flipped.
                     FaultTarget::Cache => {
                         self.fault_done = true;
-                        self.cache.corrupt(plan.slot as usize, plan.field)
+                        lane.cache.corrupt(plan.slot as usize, plan.field)
                     }
                     // Predictor tables and PDU fold slots are often
                     // empty at any given instant: the strike stays
@@ -606,7 +677,7 @@ impl<O: PipeObserver> CycleSim<O> {
                     // particle that never finds a victim is a trivially
                     // masked run). The static bit has no hardware state
                     // at all, so the plan is spent immediately.
-                    FaultTarget::Predictor => match &mut self.predictor {
+                    FaultTarget::Predictor => match lane.predictor.as_mut() {
                         Some(p) if p.has_state() => {
                             self.fault_done = true;
                             p.corrupt(plan.slot, plan.field)
@@ -618,18 +689,18 @@ impl<O: PipeObserver> CycleSim<O> {
                         }
                     },
                     FaultTarget::Pdu => {
-                        if self.pdu.inflight_len() > 0 {
+                        if lane.pdu.inflight_len() > 0 {
                             self.fault_done = true;
-                            self.pdu.corrupt(plan.slot, plan.field)
+                            lane.pdu.corrupt(plan.slot, plan.field)
                         } else {
                             None
                         }
                     }
                 };
                 if let Some(pc) = struck {
-                    self.stats.faults_injected += 1;
+                    lane.stats.faults_injected += 1;
                     if O::ENABLED {
-                        self.obs.event(PipeEvent::FaultInject {
+                        lane.obs.event(PipeEvent::FaultInject {
                             cycle: cyc,
                             slot: plan.slot,
                             pc,
@@ -648,38 +719,40 @@ impl<O: PipeObserver> CycleSim<O> {
         let (younger, retire) = self.stages.split_at_mut(depth - 1);
         if let Some(slot) = &retire[0] {
             if slot.valid {
-                let step = self.machine.execute_observed(&slot.d, cyc, &mut self.obs)?;
-                self.stats.issued += 1;
-                self.stats.program_instrs += 1 + u64::from(slot.d.folded);
+                let step = lane
+                    .machine
+                    .execute_observed(&slot.d, cyc, &mut *lane.obs)?;
+                lane.stats.issued += 1;
+                lane.stats.program_instrs += 1 + u64::from(slot.d.folded);
                 if let FoldClass::Cond { predict_taken, .. } = slot.d.fold {
-                    self.stats.cond_branches += 1;
+                    lane.stats.cond_branches += 1;
                     let taken = step.taken.expect("conditional step reports direction");
                     // Shadow score of the compiler's static bit over the
                     // same retired branch stream, independent of which
                     // predictor actually drove the fetch — the basis of
                     // the per-predictor mispredict split in the stats.
                     if taken != predict_taken {
-                        self.stats.static_bit_mispredicts += 1;
+                        lane.stats.static_bit_mispredicts += 1;
                     }
-                    if let Some(p) = &mut self.predictor {
+                    if let Some(p) = lane.predictor.as_mut() {
                         p.train(slot.d.branch_pc.unwrap_or(slot.d.pc), taken);
                     }
                     if !slot.resolved {
                         // Resolved only now — the folded-compare case.
                         let mispredicted = taken != slot.followed;
                         if O::ENABLED {
-                            self.obs.event(PipeEvent::BranchResolve {
+                            lane.obs.event(PipeEvent::BranchResolve {
                                 cycle: cyc,
                                 branch_pc: slot.d.branch_pc.unwrap_or(slot.d.pc),
-                                stage: self.cfg.geometry.retire_stage() as u8,
+                                stage: lane.cfg.geometry.retire_stage() as u8,
                                 mispredicted,
                             });
                         }
                         if mispredicted {
                             // Every younger stage dies (plus this
                             // cycle's fetch): `depth` slots in total.
-                            let retire_stage = self.cfg.geometry.retire_stage();
-                            self.stats.mispredicts_by_stage.bump(retire_stage);
+                            let retire_stage = lane.cfg.geometry.retire_stage();
+                            lane.stats.mispredicts_by_stage.bump(retire_stage);
                             let cause = if slot.guess_miss {
                                 BubbleCause::BtbMiss
                             } else {
@@ -691,21 +764,21 @@ impl<O: PipeObserver> CycleSim<O> {
                                 // stage just behind retire (OR on the
                                 // paper's machine).
                                 if q == depth - 2
-                                    && self.cfg.fault == Some(FaultInjection::SkipOrSquash)
+                                    && lane.cfg.fault == Some(FaultInjection::SkipOrSquash)
                                 {
                                     continue;
                                 }
-                                if Self::kill(
+                                if kill_slot(
                                     latch,
                                     &mut flushed,
                                     cyc,
                                     (q + 1) as u8,
-                                    &mut self.obs,
+                                    &mut *lane.obs,
                                 ) {
                                     self.causes[q] = cause;
                                 }
                             }
-                            self.stats.flushed_slots += flushed;
+                            lane.stats.flushed_slots += flushed;
                             kill_fetch = true;
                             self.fetch_kill_cause = cause;
                             self.fetch_pc = Some(step.next_pc);
@@ -722,7 +795,7 @@ impl<O: PipeObserver> CycleSim<O> {
                     if O::ENABLED {
                         // Close any open stall so begin/end pairs match
                         // the stall-cycle counters exactly.
-                        self.sync_stall(cyc, None);
+                        self.sync_stall(&mut *lane.obs, cyc, None);
                     }
                     // Normally the stage clocking below consumes this
                     // slot; on halt, empty it explicitly so snapshots
@@ -741,7 +814,7 @@ impl<O: PipeObserver> CycleSim<O> {
         let mut blocked = false;
         for pos in (0..depth - 1).rev() {
             if !blocked {
-                self.try_resolve(cyc, pos, &mut kill_fetch);
+                self.try_resolve(lane, cyc, pos, &mut kill_fetch);
             }
             if let Some(s) = &self.stages[pos] {
                 blocked |= s.valid && s.d.modifies_cc;
@@ -768,7 +841,7 @@ impl<O: PipeObserver> CycleSim<O> {
             // the one purposeful copy-out of the borrow
             // `lookup_verified` returns, mirroring the hardware latch
             // at the cache read port.
-            let looked_up = match self.cache.lookup_verified(pc) {
+            let looked_up = match lane.cache.lookup_verified(pc) {
                 CacheLookup::Hit(d) => Some(*d),
                 CacheLookup::ParityError => {
                     // A protected entry failed its parity check at read
@@ -776,10 +849,10 @@ impl<O: PipeObserver> CycleSim<O> {
                     // the ordinary miss path below and the PDU redecodes
                     // the entry from memory.
                     if O::ENABLED {
-                        self.obs.event(PipeEvent::ParityError {
+                        lane.obs.event(PipeEvent::ParityError {
                             cycle: cyc,
                             pc,
-                            slot: self.cache.slot_of(pc) as u32,
+                            slot: lane.cache.slot_of(pc) as u32,
                         });
                     }
                     self.parity_pc = Some(pc);
@@ -788,9 +861,9 @@ impl<O: PipeObserver> CycleSim<O> {
                 CacheLookup::Miss => None,
             };
             if let Some(d) = looked_up {
-                self.stats.icache_hits += 1;
+                lane.stats.icache_hits += 1;
                 if O::ENABLED {
-                    self.obs.event(PipeEvent::FetchHit {
+                    lane.obs.event(PipeEvent::FetchHit {
                         cycle: cyc,
                         pc,
                         folded: d.folded,
@@ -832,14 +905,14 @@ impl<O: PipeObserver> CycleSim<O> {
                     // degrade policy) answers nothing useful; the engine
                     // falls back to the compiler's static bit, exactly
                     // as if no hardware predictor were fitted.
-                    let live_predictor = self.predictor.as_ref().filter(|p| !p.fully_degraded());
+                    let live_predictor = lane.predictor.as_ref().filter(|p| !p.fully_degraded());
                     let (guess, guess_miss) = match live_predictor {
                         None => (predict_taken, false),
                         Some(p) => p.guess(branch_pc),
                     };
                     slot.guess_miss = guess_miss;
                     if O::ENABLED && live_predictor.is_some() {
-                        self.obs.event(PipeEvent::Predict {
+                        lane.obs.event(PipeEvent::Predict {
                             cycle: cyc,
                             branch_pc,
                             guess,
@@ -849,12 +922,12 @@ impl<O: PipeObserver> CycleSim<O> {
                     // Zero-cost resolution at cache-read time: no compare
                     // anywhere in the pipeline means the flag is final.
                     if !d.modifies_cc && !self.cc_writer_in_flight() {
-                        let taken = self.machine.psw.flag == on_true;
+                        let taken = lane.machine.psw.flag == on_true;
                         slot.resolved = true;
                         slot.followed = taken;
-                        self.stats.resolved_at_fetch += 1;
+                        lane.stats.resolved_at_fetch += 1;
                         if O::ENABLED {
-                            self.obs.event(PipeEvent::BranchResolve {
+                            lane.obs.event(PipeEvent::BranchResolve {
                                 cycle: cyc,
                                 branch_pc: d.branch_pc.unwrap_or(d.pc),
                                 stage: resolve_stage::FETCH as u8,
@@ -865,7 +938,7 @@ impl<O: PipeObserver> CycleSim<O> {
                             // Wrong guess, but zero cycles lost: "the
                             // conditional branch has effectively been
                             // turned into an unconditional branch".
-                            self.stats.mispredicts_by_stage.bump(resolve_stage::FETCH);
+                            lane.stats.mispredicts_by_stage.bump(resolve_stage::FETCH);
                         }
                         // Follow the actual direction. The Next-PC field
                         // holds the static-bit path; swap when needed.
@@ -896,12 +969,12 @@ impl<O: PipeObserver> CycleSim<O> {
             } else {
                 if self.missing_pc != Some(pc) {
                     self.missing_pc = Some(pc);
-                    self.stats.icache_misses += 1;
+                    lane.stats.icache_misses += 1;
                     if O::ENABLED {
-                        self.obs.event(PipeEvent::FetchMiss { cycle: cyc, pc });
+                        lane.obs.event(PipeEvent::FetchMiss { cycle: cyc, pc });
                     }
                 }
-                self.stats.miss_stall_cycles += 1;
+                lane.stats.miss_stall_cycles += 1;
                 stalled = Some(StallKind::Miss);
                 self.causes[0] = if self.parity_pc == Some(pc) {
                     BubbleCause::ParityRecovery
@@ -912,7 +985,7 @@ impl<O: PipeObserver> CycleSim<O> {
                 // re-demanding (demand clears the failure latch). If no
                 // branch in flight can still redirect us, the failing
                 // address is the real path.
-                if let Some((fpc, e)) = self.pdu.failure() {
+                if let Some((fpc, e)) = lane.pdu.failure() {
                     if *fpc == pc && !self.unresolved_branch_in_flight() {
                         return Err(SimError::Decode {
                             pc,
@@ -920,28 +993,28 @@ impl<O: PipeObserver> CycleSim<O> {
                         });
                     }
                 }
-                self.pdu.demand(pc);
+                lane.pdu.demand(pc);
             }
         } else {
-            self.stats.indirect_stall_cycles += 1;
+            lane.stats.indirect_stall_cycles += 1;
             stalled = Some(StallKind::Indirect);
             self.causes[0] = BubbleCause::Indirect;
         }
         if O::ENABLED {
-            self.sync_stall(cyc, stalled);
+            self.sync_stall(&mut *lane.obs, cyc, stalled);
         }
 
         // ---- 5. PDU cycle. ---- An idle PDU (parked, nothing in the
         // PIR pipeline) cannot change the cache or any counter, so the
         // captured-loop steady state skips it outright.
-        if !self.pdu.is_idle() {
-            self.pdu
-                .tick_observed(cyc, &self.machine.mem, &mut self.cache, &mut self.obs);
-            self.stats.pdu_decodes = self.pdu.decodes;
-            self.stats.cache_inserts = self.cache.inserts;
-            self.stats.cache_refills = self.cache.refills;
-            self.stats.cache_evictions = self.cache.evictions;
-            self.stats.parity_invalidates = self.cache.parity_invalidates;
+        if !lane.pdu.is_idle() {
+            lane.pdu
+                .tick_observed(cyc, &lane.machine.mem, &mut *lane.cache, &mut *lane.obs);
+            lane.stats.pdu_decodes = lane.pdu.decodes;
+            lane.stats.cache_inserts = lane.cache.inserts;
+            lane.stats.cache_refills = lane.cache.refills;
+            lane.stats.cache_evictions = lane.cache.evictions;
+            lane.stats.parity_invalidates = lane.cache.parity_invalidates;
         }
 
         // ---- 6. Degrade-policy drain. ---- Gated on the config so the
@@ -949,22 +1022,22 @@ impl<O: PipeObserver> CycleSim<O> {
         // disabled this cycle — cache slots at the fetch-port parity
         // check, BTB ways at the train-port scrub — become events and a
         // stat here.
-        if self.cfg.degrade.is_some() {
-            while let Some(way) = self.cache.take_degraded() {
-                self.stats.degraded_ways += 1;
+        if lane.cfg.degrade.is_some() {
+            while let Some(way) = lane.cache.take_degraded() {
+                lane.stats.degraded_ways += 1;
                 if O::ENABLED {
-                    self.obs.event(PipeEvent::Degrade {
+                    lane.obs.event(PipeEvent::Degrade {
                         cycle: cyc,
                         unit: DegradeUnit::Cache,
                         way,
                     });
                 }
             }
-            if let Some(p) = &mut self.predictor {
+            if let Some(p) = lane.predictor.as_mut() {
                 while let Some(way) = p.take_degraded() {
-                    self.stats.degraded_ways += 1;
+                    lane.stats.degraded_ways += 1;
                     if O::ENABLED {
-                        self.obs.event(PipeEvent::Degrade {
+                        lane.obs.event(PipeEvent::Degrade {
                             cycle: cyc,
                             unit: DegradeUnit::Btb,
                             way,
@@ -973,8 +1046,8 @@ impl<O: PipeObserver> CycleSim<O> {
                 }
             }
         }
-        if let Some(p) = &self.predictor {
-            self.stats.parity_scrubs = p.parity_scrubs();
+        if let Some(p) = lane.predictor.as_ref() {
+            lane.stats.parity_scrubs = p.parity_scrubs();
         }
         Ok(false)
     }

@@ -51,8 +51,9 @@ use crisp_isa::{BinOp, Cond, Decoded, ExecOp, FoldClass, NextPc, Operand};
 
 use std::sync::Arc;
 
+use crate::batch::{FinishedLane, LaneEnd, MachineBatch, MachinePool};
 use crate::config::HwPredictor;
-use crate::diff::{reset_or_load, CommitLog, CommitRecord};
+use crate::diff::{CommitLog, CommitRecord, PrefixCheck};
 use crate::error::HaltReason;
 use crate::{
     CycleSim, FunctionalSim, Machine, PredecodedImage, SimConfig, SimError, ThreadedSim,
@@ -634,8 +635,7 @@ pub fn classify_fault(image: &Image, cfg: SimConfig) -> Result<FaultOutcome, Sim
 /// instead of allocating a fresh [`Machine`].
 #[derive(Debug, Default)]
 pub struct ClassifyBuffers {
-    reference: Option<Machine>,
-    faulted: Option<Machine>,
+    pool: MachinePool,
 }
 
 /// Pooled variant of [`classify_fault`]: recycles per-worker machine
@@ -682,6 +682,66 @@ pub fn classify_fault_translated_pooled(
     translated: Option<&Arc<TranslatedImage>>,
     bufs: &mut ClassifyBuffers,
 ) -> Result<FaultOutcome, SimError> {
+    let reference = fault_reference(image, cfg, predecoded, translated, &mut bufs.pool)?;
+    let outcomes = classify_batch(
+        image,
+        std::slice::from_ref(&cfg),
+        predecoded,
+        &reference,
+        1,
+        &mut bufs.pool,
+    )?;
+    bufs.pool.put(reference.into_machine());
+    Ok(outcomes[0])
+}
+
+/// The fault-free reference for one program: the commit stream and
+/// final architectural state every fault case classifies against.
+///
+/// Campaign drivers hoist one of these per program — the scalar kernel
+/// re-runs the reference for every case (twice: once per parity
+/// phase), so hoisting removes ~2·F functional runs from a program's F
+/// fault cases. The reference depends only on the image, the fold
+/// policy and the step budget, none of which vary within a campaign.
+#[derive(Debug)]
+pub struct FaultReference {
+    log: Arc<CommitLog>,
+    machine: Machine,
+}
+
+impl FaultReference {
+    /// The fault-free commit stream.
+    pub fn log(&self) -> &Arc<CommitLog> {
+        &self.log
+    }
+
+    /// Reclaim the reference's machine buffer (e.g. back into a
+    /// [`MachinePool`]).
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+}
+
+/// Run the fault-free reference for [`classify_batch`]: the threaded
+/// tier when `translated` is given, the interpreter otherwise.
+///
+/// # Errors
+///
+/// The image does not load, or the reference does not halt within
+/// `cfg.max_cycles` steps ([`SimError::StepLimit`]) — the same
+/// harness-level failures as [`classify_fault`].
+///
+/// # Panics
+///
+/// If a provided table's fold policy differs from `cfg.fold_policy`,
+/// or `cfg` fails [`SimConfig::validate`].
+pub fn fault_reference(
+    image: &Image,
+    cfg: SimConfig,
+    predecoded: Option<&Arc<PredecodedImage>>,
+    translated: Option<&Arc<TranslatedImage>>,
+    pool: &mut MachinePool,
+) -> Result<FaultReference, SimError> {
     cfg.validate();
     if let Some(t) = predecoded {
         assert_eq!(
@@ -697,72 +757,152 @@ pub fn classify_fault_translated_pooled(
             "translated table policy must match cfg.fold_policy"
         );
     }
-    let ref_machine = reset_or_load(bufs.reference.take(), image)?;
-    let faulted_machine = reset_or_load(bufs.faulted.take(), image)?;
-
-    let mut ref_log = CommitLog::default();
-    let reference = match translated {
-        Some(t) => ThreadedSim::with_translated(ref_machine, Arc::clone(t))
+    let machine = pool.take(image)?;
+    let mut log = CommitLog::default();
+    let run = match translated {
+        Some(t) => ThreadedSim::with_translated(machine, Arc::clone(t))
             .max_steps(cfg.max_cycles)
-            .run_observed(&mut ref_log)?,
+            .run_observed(&mut log)?,
         None => match predecoded {
-            Some(t) => FunctionalSim::with_predecoded(ref_machine, Arc::clone(t)),
-            None => FunctionalSim::with_policy(ref_machine, cfg.fold_policy),
+            Some(t) => FunctionalSim::with_predecoded(machine, Arc::clone(t)),
+            None => FunctionalSim::with_policy(machine, cfg.fold_policy),
         }
         .max_steps(cfg.max_cycles)
-        .run_observed(&mut ref_log)?,
+        .run_observed(&mut log)?,
     };
-    if reference.halt_reason != HaltReason::Halted {
-        bufs.reference = Some(reference.machine);
+    if run.halt_reason != HaltReason::Halted {
+        pool.put(run.machine);
         return Err(SimError::StepLimit {
             limit: cfg.max_cycles,
         });
     }
+    Ok(FaultReference {
+        log: Arc::new(log),
+        machine: run.machine,
+    })
+}
 
-    let mut cyc = CycleSim::with_observer(faulted_machine, cfg, CommitLog::default());
-    if let Some(t) = predecoded {
-        cyc.set_predecoded(Arc::clone(t));
-    }
-    let faulted = cyc.run_observed();
-    let (run, log) = match faulted {
-        Ok((run, log)) => (run, log),
-        // The faulted run died. Decode errors mean control flow left
-        // the instruction stream; anything else (a wild memory access
-        // from a corrupted operand) is data corruption. The faulted
-        // machine is consumed by the error path; the next pooled case
-        // reloads it from the image.
-        Err(e) => {
-            bufs.reference = Some(reference.machine);
-            return match e {
-                SimError::Decode { .. } => Ok(FaultOutcome::ControlDivergence),
-                _ => Ok(FaultOutcome::Sdc),
-            };
+/// Classify a batch of faulted runs against one precomputed reference,
+/// `lanes` SoA cycle-engine lanes at a time, returning one
+/// [`FaultOutcome`] per config in order.
+///
+/// Each case runs with a [`PrefixCheck`] cursor over the reference
+/// stream instead of buffering its own commit log. A lane whose prefix
+/// has diverged is ejected at the end of the wave the mismatch retired
+/// in: the verdict ([`classify_pair`] on the divergent records) is
+/// already fixed, and running on — potentially hundreds of thousands
+/// of cycles to a watchdog hang — is pure waste. Completed lanes keep
+/// the scalar verdict order: divergent prefix, then watchdog hang,
+/// then stream-length mismatch, then final-state SDC, then masked.
+/// A lane that dies on a [`SimError`] with its prefix still clean
+/// classifies by the error kind (decode errors are control divergence,
+/// anything else data corruption), exactly as the scalar kernel does.
+///
+/// Parity-protected lanes settle early too: under
+/// [`ParityMode::DetectInvalidate`] every cache read is parity-checked,
+/// so once the planned fault has struck *and* been caught (invalidated
+/// or scrubbed — [`MachineBatch::parity_settled`]) no corrupted entry
+/// can ever execute and the tail of the run is bit-identical to the
+/// reference; the lane is ejected as [`FaultOutcome::Masked`] without
+/// simulating that tail. The one observable difference from running
+/// the tail out: a protected run whose caught-fault refetch would have
+/// pushed it past the watchdog budget now classifies as the masked
+/// fault it provably is rather than a spurious `Hang`.
+///
+/// [`classify_fault_translated_pooled`] is the one-lane specialization
+/// of this kernel, so batch and scalar campaigns tally identically.
+///
+/// # Errors
+///
+/// Image-load failures only (`reference` already validated the run).
+///
+/// # Panics
+///
+/// If a config's fold policy differs from the provided table's, or a
+/// config fails [`SimConfig::validate`].
+pub fn classify_batch(
+    image: &Image,
+    cfgs: &[SimConfig],
+    predecoded: Option<&Arc<PredecodedImage>>,
+    reference: &FaultReference,
+    lanes: usize,
+    pool: &mut MachinePool,
+) -> Result<Vec<FaultOutcome>, SimError> {
+    let mut outcomes: Vec<Option<FaultOutcome>> = (0..cfgs.len()).map(|_| None).collect();
+    let mut batch: MachineBatch<PrefixCheck> = MachineBatch::new(lanes.clamp(1, cfgs.len().max(1)));
+    let mut next = 0usize;
+    loop {
+        while next < cfgs.len() && batch.free_lane().is_some() {
+            let cfg = cfgs[next];
+            cfg.validate();
+            if let Some(t) = predecoded {
+                assert_eq!(
+                    t.policy(),
+                    cfg.fold_policy,
+                    "predecoded table policy must match cfg.fold_policy"
+                );
+            }
+            let mut sim = CycleSim::with_observer(
+                pool.take(image)?,
+                cfg,
+                PrefixCheck::new(Arc::clone(&reference.log)),
+            );
+            if let Some(t) = predecoded {
+                sim.set_predecoded(Arc::clone(t));
+            }
+            batch.admit(next as u64, sim);
+            next += 1;
         }
-    };
-
-    let outcome = (|| {
-        let shared = ref_log.records.len().min(log.records.len());
-        for i in 0..shared {
-            if ref_log.records[i] != log.records[i] {
-                return classify_pair(&ref_log.records[i], &log.records[i]);
+        if batch.live_lanes() == 0 {
+            break;
+        }
+        batch.step_wave();
+        for lane in 0..batch.lanes() {
+            if batch.is_live(lane) && (batch.observer(lane).decided() || batch.parity_settled(lane))
+            {
+                batch.eject(lane);
             }
         }
-        if run.halt_reason == HaltReason::Watchdog {
-            return FaultOutcome::Hang;
+        for fin in batch.drain_finished() {
+            outcomes[fin.tag as usize] = Some(lane_outcome(reference, &fin));
+            pool.put(fin.machine);
         }
-        if ref_log.records.len() != log.records.len() {
-            return FaultOutcome::ControlDivergence;
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.expect("every config ran as a lane"))
+        .collect())
+}
+
+/// The scalar verdict order applied to one drained lane.
+fn lane_outcome(reference: &FaultReference, lane: &FinishedLane<PrefixCheck>) -> FaultOutcome {
+    if let Some((r, f)) = lane.obs.mismatch() {
+        return classify_pair(r, f);
+    }
+    match &lane.end {
+        // A lane ejected with a clean prefix was parity-settled: its
+        // planned fault was caught and invalidated before any corrupted
+        // entry could execute, so the rest of the run is bit-identical
+        // to the reference and the fault is masked by construction.
+        LaneEnd::Ejected => FaultOutcome::Masked,
+        LaneEnd::Error(SimError::Decode { .. }) => FaultOutcome::ControlDivergence,
+        LaneEnd::Error(_) => FaultOutcome::Sdc,
+        LaneEnd::Watchdog => FaultOutcome::Hang,
+        LaneEnd::Halted => {
+            if lane.obs.extra() > 0 || lane.obs.matched() != reference.log.records.len() {
+                return FaultOutcome::ControlDivergence;
+            }
+            let (fm, cm) = (&reference.machine, &lane.machine);
+            if fm.accum != cm.accum
+                || fm.sp != cm.sp
+                || fm.psw.flag != cm.psw.flag
+                || fm.mem != cm.mem
+            {
+                return FaultOutcome::Sdc;
+            }
+            FaultOutcome::Masked
         }
-        let (fm, cm) = (&reference.machine, &run.machine);
-        if fm.accum != cm.accum || fm.sp != cm.sp || fm.psw.flag != cm.psw.flag || fm.mem != cm.mem
-        {
-            return FaultOutcome::Sdc;
-        }
-        FaultOutcome::Masked
-    })();
-    bufs.reference = Some(reference.machine);
-    bufs.faulted = Some(run.machine);
-    Ok(outcome)
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,8 @@ mod sources;
 
 pub use sources::{
     CC_PROXY_SOURCE, CWHET_SOURCE, DHRY_SOURCE, DISPATCH_SOURCE, DRC_PROXY_SOURCE,
-    FIGURE3_CHECKED_SOURCE, FIGURE3_SOURCE, PUZZLE_SOURCE, TROFF_PROXY_SOURCE,
+    FIGURE3_CHECKED_SOURCE, FIGURE3_SOURCE, FSM_SOURCE, PUZZLE_SOURCE, SORT_SOURCE,
+    TROFF_PROXY_SOURCE,
 };
 
 /// A named benchmark program.
@@ -70,6 +71,40 @@ pub fn dispatch_workload() -> Workload {
                       every iteration)",
         source: DISPATCH_SOURCE,
     }
+}
+
+/// The sort-kernel workload ([`SORT_SOURCE`]): insertion sort over an
+/// LCG-shuffled array, whose inner compare-and-shift loop branches on
+/// data order — near-random early, increasingly biased as the prefix
+/// sorts. One of the two branch-diverse campaign workloads.
+pub fn sort_workload() -> Workload {
+    Workload {
+        name: "sort",
+        description: "insertion sort over an LCG-shuffled array: \
+                      data-order compare-and-shift branches, near-random \
+                      early and biased late",
+        source: SORT_SOURCE,
+    }
+}
+
+/// The table-driven state machine workload ([`FSM_SOURCE`]): an
+/// 8-state x 8-class transition table driven by an LCG input stream,
+/// so control flow hangs off indexed table loads rather than compare
+/// chains. The complementary branch shape to [`sort_workload`].
+pub fn fsm_workload() -> Workload {
+    Workload {
+        name: "fsm",
+        description: "table-driven state machine: 8x8 transition table \
+                      over an LCG input stream (branches off loaded \
+                      state, not compare chains)",
+        source: FSM_SOURCE,
+    }
+}
+
+/// The two branch-diverse campaign workloads fed to the batched
+/// campaign-kernel benchmarks, in a stable order.
+pub fn campaign_workloads() -> Vec<Workload> {
+    vec![sort_workload(), fsm_workload()]
 }
 
 /// The six programs of the Table 1 prediction study, in the paper's row
@@ -157,6 +192,62 @@ mod tests {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../workloads/dispatch.c");
         let on_disk = std::fs::read_to_string(path).expect("workloads/dispatch.c exists");
         assert_eq!(on_disk.trim(), DISPATCH_SOURCE.trim());
+    }
+
+    #[test]
+    fn sort_on_disk_copy_matches_embedded_source() {
+        // Pin `workloads/sort.c` to the embedded source so the CLI-
+        // visible file and the benchmarked program cannot drift.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../workloads/sort.c");
+        let on_disk = std::fs::read_to_string(path).expect("workloads/sort.c exists");
+        assert_eq!(on_disk.trim(), SORT_SOURCE.trim());
+    }
+
+    #[test]
+    fn fsm_on_disk_copy_matches_embedded_source() {
+        // Pin `workloads/fsm.c` to the embedded source so the CLI-
+        // visible file and the benchmarked program cannot drift.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../workloads/fsm.c");
+        let on_disk = std::fs::read_to_string(path).expect("workloads/fsm.c exists");
+        assert_eq!(on_disk.trim(), FSM_SOURCE.trim());
+    }
+
+    #[test]
+    fn sort_kernel_sorts_and_is_branch_diverse() {
+        let r = run(SORT_SOURCE);
+        assert!(r.halted);
+        assert_eq!(global(&r, 2), 1, "array not sorted"); // out_sorted
+        assert!(global(&r, 1) > 1000, "swaps = {}", global(&r, 1));
+        let conds = r
+            .trace
+            .iter()
+            .filter(|e| e.kind == BranchKind::Cond)
+            .count();
+        assert!(conds > 5000, "only {conds} conditional branches");
+    }
+
+    #[test]
+    fn fsm_accepts_and_rejects() {
+        let r = run(FSM_SOURCE);
+        assert!(r.halted);
+        assert!(global(&r, 0) > 10, "accepts = {}", global(&r, 0));
+        assert!(global(&r, 1) > 10, "rejects = {}", global(&r, 1));
+        let conds = r
+            .trace
+            .iter()
+            .filter(|e| e.kind == BranchKind::Cond)
+            .count();
+        assert!(conds > 5000, "only {conds} conditional branches");
+    }
+
+    #[test]
+    fn campaign_workloads_are_deterministic() {
+        for w in campaign_workloads() {
+            let a = run(w.source);
+            let b = run(w.source);
+            assert_eq!(a.machine, b.machine, "{}", w.name);
+            assert_eq!(a.trace, b.trace, "{}", w.name);
+        }
     }
 
     #[test]

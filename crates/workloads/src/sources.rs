@@ -369,3 +369,89 @@ void main() {
     out_wraps = wraps;
 }
 ";
+
+/// Sort-kernel workload: insertion sort over an LCG-shuffled array.
+/// The inner compare-and-shift loop branches on data order, so its
+/// taken/not-taken stream starts near-random and drifts biased as the
+/// prefix sorts — a branch-diverse input for the batched campaign
+/// kernel (lanes running this diverge in length and in fold behaviour
+/// under every policy). The sorted check and checksum pin the result.
+pub const SORT_SOURCE: &str = "
+int out_check; int out_swaps; int out_sorted;
+int a[192];
+int seed;
+
+void main() {
+    int i, j, key, swaps, check;
+
+    seed = 7177;
+    for (i = 0; i < 192; i++) {
+        seed = seed * 1103515245 + 12345;
+        a[i] = (seed >> 16) & 0x3ff;
+    }
+
+    swaps = 0;
+    for (i = 1; i < 192; i++) {
+        key = a[i];
+        j = i;
+        while (j > 0 && a[j - 1] > key) {
+            a[j] = a[j - 1];
+            j = j - 1;
+            swaps++;
+        }
+        a[j] = key;
+    }
+
+    check = 0;
+    out_sorted = 1;
+    for (i = 0; i < 192; i++) {
+        check = check * 31 + a[i];
+        if (i > 0) { if (a[i - 1] > a[i]) out_sorted = 0; }
+    }
+    out_check = check;
+    out_swaps = swaps;
+}
+";
+
+/// Table-driven state machine workload: an 8-state x 8-class
+/// transition table built at startup, then driven by an LCG input
+/// stream. Control flow is decided by indexed table loads rather than
+/// compare chains — short data-dependent branches off loaded state,
+/// the complementary branch shape to the sort kernel's loop-carried
+/// compares.
+pub const FSM_SOURCE: &str = "
+int out_accepts; int out_rejects; int out_hash;
+int trans[64];
+int inputs[4096];
+int seed;
+
+void main() {
+    int i, s, c, accepts, rejects, hash;
+
+    for (s = 0; s < 8; s++) {
+        for (c = 0; c < 8; c++) {
+            if (c == s) trans[s * 8 + c] = (s + 1) & 7;
+            else if (c == ((s + 3) & 7)) trans[s * 8 + c] = 0;
+            else if (c & 1) trans[s * 8 + c] = s;
+            else trans[s * 8 + c] = (s + c) & 7;
+        }
+    }
+    seed = 4241;
+    for (i = 0; i < 4096; i++) {
+        seed = seed * 1103515245 + 12345;
+        inputs[i] = (seed >> 16) & 7;
+    }
+
+    s = 0; accepts = 0; rejects = 0; hash = 0;
+    for (i = 0; i < 4096; i++) {
+        c = inputs[i];
+        s = trans[s * 8 + c];
+        if (s == 7) { accepts++; s = 0; }
+        else if (s == 0) { if (c != 0) rejects++; }
+        hash = hash * 5 + s;
+    }
+    out_accepts = accepts;
+    out_rejects = rejects;
+    out_hash = hash;
+}
+";

@@ -1,0 +1,220 @@
+//! The batched campaign kernel is a bit-identical re-arrangement of
+//! the scalar cycle engine.
+//!
+//! `MachineBatch` steps N independent lanes in structure-of-arrays
+//! form; the claims that make it safe to wire through the campaign
+//! drivers, checked over randomized programs here:
+//!
+//! 1. a batch of N runs — including mid-batch refill from a deeper
+//!    work list — produces exactly the machine state, counters, halt
+//!    reason and commit stream of N scalar `CycleSim::run_observed`
+//!    calls, across fold policies, execution-unit depths 2/3/8, cache
+//!    sizes and all four predictors;
+//! 2. fault-armed lanes classify identically: `classify_batch` over a
+//!    mixed block of protected/unprotected fault cases returns the
+//!    same verdict vector as the scalar per-case classifier;
+//! 3. the batched lockstep sweep (`run_lockstep_batched` against one
+//!    shared functional reference) returns the same outcome per
+//!    configuration as the scalar lockstep oracle.
+
+use crisp::asm::rand_prog::GenProgram;
+use crisp::asm::Image;
+use crisp::sim::{
+    classify_batch, classify_fault_pooled, fault_reference, nth_field, run_lockstep_batched,
+    run_lockstep_pooled, sweep_configs, ClassifyBuffers, CommitLog, CycleRun, CycleSim, FaultPlan,
+    FaultTarget, LockstepBuffers, LockstepOutcome, Machine, MachineBatch, MachinePool, ParityMode,
+    PipelineGeometry, SimConfig, FAULT_SPACE,
+};
+use proptest::prelude::*;
+
+/// Scalar oracle: one observed cycle-engine run.
+fn scalar_run(image: &Image, cfg: SimConfig) -> (CycleRun, CommitLog) {
+    CycleSim::with_observer(Machine::load(image).unwrap(), cfg, CommitLog::default())
+        .run_observed()
+        .unwrap()
+}
+
+/// Batched path: run every (image, config) case through a `lanes`-wide
+/// batch, refilling freed lanes from the remaining work list, and
+/// return results in case order.
+fn batch_run(cases: &[(Image, SimConfig)], lanes: usize) -> Vec<(CycleRun, CommitLog)> {
+    let mut batch: MachineBatch<CommitLog> = MachineBatch::new(lanes);
+    let mut out: Vec<Option<(CycleRun, CommitLog)>> = (0..cases.len()).map(|_| None).collect();
+    let mut next = 0usize;
+    loop {
+        while next < cases.len() && batch.free_lane().is_some() {
+            let (image, cfg) = &cases[next];
+            let sim =
+                CycleSim::with_observer(Machine::load(image).unwrap(), *cfg, CommitLog::default());
+            batch.admit(next as u64, sim);
+            next += 1;
+        }
+        if batch.live_lanes() == 0 {
+            break;
+        }
+        batch.step_wave();
+        for fin in batch.drain_finished() {
+            let tag = fin.tag as usize;
+            let run = fin.into_run().expect("generated programs do not error");
+            out[tag] = Some(run);
+        }
+    }
+    out.into_iter().map(|o| o.unwrap()).collect()
+}
+
+/// A config matrix spanning the dimensions the campaign drivers sweep:
+/// every fold policy and predictor from the sweep (subsampled), at
+/// execution-unit depths 2, 3 and 8, plus one tiny watchdog budget so
+/// a lane that ends on the watchdog (not `halt`) is always present.
+fn config_matrix() -> Vec<SimConfig> {
+    let mut cfgs = Vec::new();
+    for (i, base) in sweep_configs().into_iter().enumerate() {
+        // Every 3rd sweep point keeps all policies and predictors in
+        // play while bounding the matrix.
+        if i % 3 != 0 {
+            continue;
+        }
+        let depth = [2, 3, 8][(i / 3) % 3];
+        cfgs.push(SimConfig {
+            geometry: PipelineGeometry::new(depth),
+            max_cycles: 100_000,
+            ..base
+        });
+    }
+    // A lane that hits the watchdog mid-program.
+    cfgs.push(SimConfig {
+        max_cycles: 50,
+        ..SimConfig::default()
+    });
+    cfgs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Claim 1: batch-of-N ≡ N scalar runs, with mid-batch refill
+    /// (more cases than lanes) and lane counts that do not divide the
+    /// case count.
+    #[test]
+    fn batch_matches_scalar_runs(seed in 0u64..5000, lanes in 1usize..9) {
+        let cases: Vec<(Image, SimConfig)> = config_matrix()
+            .into_iter()
+            .enumerate()
+            .map(|(k, cfg)| {
+                let prog = GenProgram::generate(seed.wrapping_add(k as u64 / 4), 6);
+                (prog.image().unwrap(), cfg)
+            })
+            .collect();
+        let batched = batch_run(&cases, lanes);
+        for ((image, cfg), (brun, blog)) in cases.iter().zip(&batched) {
+            let (srun, slog) = scalar_run(image, *cfg);
+            prop_assert_eq!(&srun.machine, &brun.machine);
+            prop_assert_eq!(&srun.stats, &brun.stats);
+            prop_assert_eq!(srun.halted, brun.halted);
+            prop_assert_eq!(srun.halt_reason, brun.halt_reason);
+            prop_assert_eq!(&slog.records, &blog.records);
+            prop_assert_eq!(&slog.cycles, &blog.cycles);
+        }
+    }
+
+    /// Claim 2: fault-armed lanes classify identically to the scalar
+    /// per-case classifier, protected and unprotected alike, with the
+    /// block wider than the lane count (mid-batch refill).
+    #[test]
+    fn classify_batch_matches_scalar_classifier(seed in 0u64..5000, lanes in 1usize..5) {
+        let image = GenProgram::generate(seed, 8).image().unwrap();
+        let base = SimConfig { max_cycles: 20_000, ..SimConfig::default() };
+        let cfgs: Vec<SimConfig> = (0..10u64)
+            .map(|k| {
+                let plan = FaultPlan {
+                    cycle: (seed.wrapping_mul(31).wrapping_add(k * 97)) % 500,
+                    slot: (k % 8) as u32,
+                    field: nth_field(k % FAULT_SPACE),
+                    target: FaultTarget::Cache,
+                };
+                SimConfig {
+                    parity: if k % 3 == 0 { ParityMode::DetectInvalidate } else { ParityMode::Off },
+                    fault_plan: Some(plan),
+                    ..base
+                }
+            })
+            .collect();
+        let scalar: Vec<_> = cfgs
+            .iter()
+            .map(|cfg| {
+                classify_fault_pooled(&image, *cfg, None, &mut ClassifyBuffers::default()).unwrap()
+            })
+            .collect();
+        let mut pool = MachinePool::default();
+        let reference = fault_reference(&image, base, None, None, &mut pool).unwrap();
+        let batched = classify_batch(&image, &cfgs, None, &reference, lanes, &mut pool).unwrap();
+        prop_assert_eq!(scalar, batched);
+    }
+
+    /// Claim 3: the batched lockstep sweep agrees with the scalar
+    /// lockstep oracle on every sweep configuration.
+    #[test]
+    fn lockstep_batched_matches_scalar_oracle(seed in 0u64..5000) {
+        let image = GenProgram::generate(seed, 6).image().unwrap();
+        let mut bufs = LockstepBuffers::default();
+        let mut pool = MachinePool::default();
+        let configs = sweep_configs();
+        let mut idx = 0;
+        while idx < configs.len() {
+            let policy = configs[idx].fold_policy;
+            let mut end = idx + 1;
+            while end < configs.len() && configs[end].fold_policy == policy {
+                end += 1;
+            }
+            let group = &configs[idx..end];
+            idx = end;
+            let reference = crisp::sim::diff_reference(
+                &image,
+                policy,
+                group[0].max_cycles,
+                None,
+                &mut pool,
+            )
+            .unwrap();
+            // Three lanes over eight configurations forces refill.
+            let batched =
+                run_lockstep_batched(&image, group, None, &reference, 3, &mut pool, &mut bufs)
+                    .unwrap();
+            for (cfg, b) in group.iter().zip(batched) {
+                let s = run_lockstep_pooled(&image, *cfg, None, &mut bufs).unwrap();
+                match (s, b) {
+                    (
+                        LockstepOutcome::Agree { commits: sc, cycles: scy },
+                        LockstepOutcome::Agree { commits: bc, cycles: bcy },
+                    ) => {
+                        prop_assert_eq!(sc, bc);
+                        prop_assert_eq!(scy, bcy);
+                    }
+                    (s, b) => {
+                        return Err(TestCaseError::fail(format!(
+                            "outcome mismatch under {cfg:?}: scalar {s:?} vs batched {b:?}"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The batch refuses configurations only at admission (validate), so a
+/// one-lane batch on a default config is exactly the scalar engine —
+/// pinned here without proptest so the equivalence holds even if the
+/// randomized corpus shifts.
+#[test]
+fn one_lane_batch_is_the_scalar_engine() {
+    let image = GenProgram::generate(7, 8).image().unwrap();
+    let cfg = SimConfig::default();
+    let (srun, slog) = scalar_run(&image, cfg);
+    let batched = batch_run(std::slice::from_ref(&(image, cfg)), 1);
+    let (brun, blog) = &batched[0];
+    assert_eq!(&srun.machine, &brun.machine);
+    assert_eq!(&srun.stats, &brun.stats);
+    assert_eq!(srun.halted, brun.halted);
+    assert_eq!(slog.records, blog.records);
+    assert_eq!(slog.cycles, blog.cycles);
+}

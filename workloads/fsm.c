@@ -1,0 +1,34 @@
+int out_accepts; int out_rejects; int out_hash;
+int trans[64];
+int inputs[4096];
+int seed;
+
+void main() {
+    int i, s, c, accepts, rejects, hash;
+
+    for (s = 0; s < 8; s++) {
+        for (c = 0; c < 8; c++) {
+            if (c == s) trans[s * 8 + c] = (s + 1) & 7;
+            else if (c == ((s + 3) & 7)) trans[s * 8 + c] = 0;
+            else if (c & 1) trans[s * 8 + c] = s;
+            else trans[s * 8 + c] = (s + c) & 7;
+        }
+    }
+    seed = 4241;
+    for (i = 0; i < 4096; i++) {
+        seed = seed * 1103515245 + 12345;
+        inputs[i] = (seed >> 16) & 7;
+    }
+
+    s = 0; accepts = 0; rejects = 0; hash = 0;
+    for (i = 0; i < 4096; i++) {
+        c = inputs[i];
+        s = trans[s * 8 + c];
+        if (s == 7) { accepts++; s = 0; }
+        else if (s == 0) { if (c != 0) rejects++; }
+        hash = hash * 5 + s;
+    }
+    out_accepts = accepts;
+    out_rejects = rejects;
+    out_hash = hash;
+}

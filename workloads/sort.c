@@ -1,0 +1,34 @@
+int out_check; int out_swaps; int out_sorted;
+int a[192];
+int seed;
+
+void main() {
+    int i, j, key, swaps, check;
+
+    seed = 7177;
+    for (i = 0; i < 192; i++) {
+        seed = seed * 1103515245 + 12345;
+        a[i] = (seed >> 16) & 0x3ff;
+    }
+
+    swaps = 0;
+    for (i = 1; i < 192; i++) {
+        key = a[i];
+        j = i;
+        while (j > 0 && a[j - 1] > key) {
+            a[j] = a[j - 1];
+            j = j - 1;
+            swaps++;
+        }
+        a[j] = key;
+    }
+
+    check = 0;
+    out_sorted = 1;
+    for (i = 0; i < 192; i++) {
+        check = check * 31 + a[i];
+        if (i > 0) { if (a[i - 1] > a[i]) out_sorted = 0; }
+    }
+    out_check = check;
+    out_swaps = swaps;
+}
